@@ -1,0 +1,741 @@
+//! The BDD manager: arena, unique table, computed cache, and core algorithms.
+
+use crate::hash::FxHashMap;
+use crate::node::{Bdd, Node, Var, TERMINAL_VAR};
+use crate::stats::BddStats;
+
+/// Opcode tags for the computed-table cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    Ite,
+    Exists,
+    Forall,
+    AndExists,
+}
+
+/// An ROBDD manager.
+///
+/// Owns every node ever created (an append-only arena — no garbage
+/// collection; the verification runs in this project allocate at most a few
+/// million nodes, and an append-only arena keeps handles stable and
+/// operations allocation-free on the hot path).
+///
+/// All diagrams produced by one manager share structure via the unique
+/// table, so semantic equality of functions is pointer equality of handles.
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: FxHashMap<Node, u32>,
+    cache: FxHashMap<(Op, u32, u32, u32), u32>,
+    num_vars: u32,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_enabled: bool,
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BddManager {
+    /// Create an empty manager with the two terminal nodes.
+    pub fn new() -> Self {
+        let mut nodes = Vec::with_capacity(1 << 12);
+        // Slot 0: FALSE terminal, slot 1: TRUE terminal.
+        nodes.push(Node { var: TERMINAL_VAR, low: 0, high: 0 });
+        nodes.push(Node { var: TERMINAL_VAR, low: 1, high: 1 });
+        BddManager {
+            nodes,
+            unique: FxHashMap::default(),
+            cache: FxHashMap::default(),
+            num_vars: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_enabled: true,
+        }
+    }
+
+    /// Create a manager with the computed-table cache disabled — only for
+    /// ablation benchmarks; recursive operations degrade from linear in
+    /// the (product of) diagram sizes to exponential without memoisation.
+    pub fn new_without_cache() -> Self {
+        let mut m = BddManager::new();
+        m.cache_enabled = false;
+        m
+    }
+
+    fn cache_get(&mut self, key: &(Op, u32, u32, u32)) -> Option<u32> {
+        if !self.cache_enabled {
+            return None;
+        }
+        match self.cache.get(key) {
+            Some(&r) => {
+                self.cache_hits += 1;
+                Some(r)
+            }
+            None => {
+                self.cache_misses += 1;
+                None
+            }
+        }
+    }
+
+    fn cache_put(&mut self, key: (Op, u32, u32, u32), value: u32) {
+        if self.cache_enabled {
+            self.cache.insert(key, value);
+        }
+    }
+
+    /// Declare a fresh variable at the bottom of the current order.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Declare `n` fresh variables.
+    pub fn new_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// Number of declared variables.
+    pub fn var_count(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// The constant TRUE.
+    #[inline]
+    pub fn tru(&self) -> Bdd {
+        Bdd::TRUE
+    }
+
+    /// The constant FALSE.
+    #[inline]
+    pub fn fls(&self) -> Bdd {
+        Bdd::FALSE
+    }
+
+    /// The literal `v`.
+    pub fn var(&mut self, v: Var) -> Bdd {
+        assert!(v.0 < self.num_vars, "variable {v:?} not declared");
+        self.mk(v.0, 0, 1)
+    }
+
+    /// The negated literal `¬v`.
+    pub fn nvar(&mut self, v: Var) -> Bdd {
+        assert!(v.0 < self.num_vars, "variable {v:?} not declared");
+        self.mk(v.0, 1, 0)
+    }
+
+    /// Hash-consed node constructor applying the ROBDD reduction rules.
+    fn mk(&mut self, var: u32, low: u32, high: u32) -> Bdd {
+        if low == high {
+            return Bdd(low);
+        }
+        let node = Node { var, low, high };
+        if let Some(&id) = self.unique.get(&node) {
+            return Bdd(id);
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(node);
+        self.unique.insert(node, id);
+        Bdd(id)
+    }
+
+    #[inline]
+    fn node(&self, f: Bdd) -> Node {
+        self.nodes[f.0 as usize]
+    }
+
+    /// Decision variable of the root node (`None` for constants).
+    pub fn root_var(&self, f: Bdd) -> Option<Var> {
+        if f.is_const() {
+            None
+        } else {
+            Some(Var(self.node(f).var))
+        }
+    }
+
+    /// Low (else) cofactor of the root. Panics on constants.
+    pub fn low(&self, f: Bdd) -> Bdd {
+        assert!(!f.is_const());
+        Bdd(self.node(f).low)
+    }
+
+    /// High (then) cofactor of the root. Panics on constants.
+    pub fn high(&self, f: Bdd) -> Bdd {
+        assert!(!f.is_const());
+        Bdd(self.node(f).high)
+    }
+
+    #[inline]
+    fn level(&self, f: Bdd) -> u32 {
+        self.node(f).var // TERMINAL_VAR for constants sorts below everything
+    }
+
+    /// If-then-else: `(f ∧ g) ∨ (¬f ∧ h)`. The single primitive every other
+    /// binary operation reduces to, following Brace–Rudell–Bryant.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        // Terminal cases.
+        if f.is_true() {
+            return g;
+        }
+        if f.is_false() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_true() && h.is_false() {
+            return f;
+        }
+        let key = (Op::Ite, f.0, g.0, h.0);
+        if let Some(r) = self.cache_get(&key) {
+            return Bdd(r);
+        }
+        let top = self.level(f).min(self.level(g)).min(self.level(h));
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let (h0, h1) = self.cofactors(h, top);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(top, lo.0, hi.0);
+        self.cache_put(key, r.0);
+        r
+    }
+
+    /// Shannon cofactors of `f` with respect to the variable at `level`.
+    #[inline]
+    fn cofactors(&self, f: Bdd, level: u32) -> (Bdd, Bdd) {
+        let n = self.node(f);
+        if n.var == level {
+            (Bdd(n.low), Bdd(n.high))
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        self.ite(f, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, Bdd::FALSE)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, Bdd::TRUE, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Biconditional (XNOR).
+    pub fn iff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.ite(f, g, ng)
+    }
+
+    /// Implication `f ⇒ g`.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, Bdd::TRUE)
+    }
+
+    /// Set difference `f ∧ ¬g`.
+    pub fn diff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.and(f, ng)
+    }
+
+    /// Does `f ⇒ g` hold as a tautology? (No new nodes beyond the ITE.)
+    pub fn implies_trivially(&mut self, f: Bdd, g: Bdd) -> bool {
+        self.implies(f, g).is_true()
+    }
+
+    /// Build the positive cube `v₁ ∧ v₂ ∧ …` for a set of variables.
+    ///
+    /// Quantifiers take their variable set in this form so that the computed
+    /// cache can key on the (hash-consed) cube.
+    pub fn cube(&mut self, vars: &[Var]) -> Bdd {
+        let mut sorted: Vec<Var> = vars.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        // Build bottom-up so every mk call is reduced.
+        let mut acc = Bdd::TRUE;
+        for v in sorted.into_iter().rev() {
+            acc = self.mk(v.0, 0, acc.0);
+        }
+        acc
+    }
+
+    /// Existential quantification `∃ vars. f` (vars given as a positive cube).
+    pub fn exists(&mut self, f: Bdd, cube: Bdd) -> Bdd {
+        if f.is_const() || cube.is_true() {
+            return f;
+        }
+        debug_assert!(self.is_cube(cube), "quantifier argument must be a positive cube");
+        let key = (Op::Exists, f.0, cube.0, 0);
+        if let Some(r) = self.cache_get(&key) {
+            return Bdd(r);
+        }
+        let fv = self.level(f);
+        // Skip cube variables above f's top variable.
+        let mut c = cube;
+        while !c.is_true() && self.level(c) < fv {
+            c = Bdd(self.node(c).high);
+        }
+        let r = if c.is_true() {
+            f
+        } else {
+            let cv = self.level(c);
+            let n = self.node(f);
+            if n.var == cv {
+                // Quantify this level: OR of the cofactors under the rest.
+                let rest = Bdd(self.node(c).high);
+                let lo = self.exists(Bdd(n.low), rest);
+                let hi = self.exists(Bdd(n.high), rest);
+                self.or(lo, hi)
+            } else {
+                let lo = self.exists(Bdd(n.low), c);
+                let hi = self.exists(Bdd(n.high), c);
+                self.mk(n.var, lo.0, hi.0)
+            }
+        };
+        self.cache_put(key, r.0);
+        r
+    }
+
+    /// Universal quantification `∀ vars. f`.
+    pub fn forall(&mut self, f: Bdd, cube: Bdd) -> Bdd {
+        if f.is_const() || cube.is_true() {
+            return f;
+        }
+        let key = (Op::Forall, f.0, cube.0, 0);
+        if let Some(r) = self.cache_get(&key) {
+            return Bdd(r);
+        }
+        let nf = self.not(f);
+        let ex = self.exists(nf, cube);
+        let r = self.not(ex);
+        self.cache_put(key, r.0);
+        r
+    }
+
+    /// Relational product `∃ vars. (f ∧ g)` computed without materialising
+    /// the full conjunction — the workhorse of symbolic image computation.
+    pub fn and_exists(&mut self, f: Bdd, g: Bdd, cube: Bdd) -> Bdd {
+        if f.is_false() || g.is_false() {
+            return Bdd::FALSE;
+        }
+        if f.is_true() {
+            return self.exists(g, cube);
+        }
+        if g.is_true() {
+            return self.exists(f, cube);
+        }
+        if cube.is_true() {
+            return self.and(f, g);
+        }
+        // Normalise operand order for the cache (∧ commutes).
+        let (f, g) = if f.0 <= g.0 { (f, g) } else { (g, f) };
+        let key = (Op::AndExists, f.0, g.0, cube.0);
+        if let Some(r) = self.cache_get(&key) {
+            return Bdd(r);
+        }
+        let top = self.level(f).min(self.level(g));
+        let mut c = cube;
+        while !c.is_true() && self.level(c) < top {
+            c = Bdd(self.node(c).high);
+        }
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let r = if !c.is_true() && self.level(c) == top {
+            let rest = Bdd(self.node(c).high);
+            let lo = self.and_exists(f0, g0, rest);
+            if lo.is_true() {
+                // Early termination: lo ∨ hi is already TRUE.
+                Bdd::TRUE
+            } else {
+                let hi = self.and_exists(f1, g1, rest);
+                self.or(lo, hi)
+            }
+        } else {
+            let lo = self.and_exists(f0, g0, c);
+            let hi = self.and_exists(f1, g1, c);
+            self.mk(top, lo.0, hi.0)
+        };
+        self.cache_put(key, r.0);
+        r
+    }
+
+    /// Is `f` a positive cube (a conjunction of positive literals)?
+    pub fn is_cube(&self, mut f: Bdd) -> bool {
+        while !f.is_const() {
+            let n = self.node(f);
+            if n.low != 0 {
+                return false;
+            }
+            f = Bdd(n.high);
+        }
+        f.is_true()
+    }
+
+    /// Rename variables according to `map` (pairs `(from, to)`).
+    ///
+    /// The mapping must be order-preserving (if `a < b` then `map(a) <
+    /// map(b)`) so the diagram can be rebuilt structurally in one pass; the
+    /// interleaved current/next frame layout used by the symbolic checker
+    /// always satisfies this. Panics otherwise.
+    pub fn rename(&mut self, f: Bdd, map: &[(Var, Var)]) -> Bdd {
+        let mut pairs: Vec<(u32, u32)> = map.iter().map(|&(a, b)| (a.0, b.0)).collect();
+        pairs.sort_unstable();
+        for w in pairs.windows(2) {
+            assert!(
+                w[0].1 < w[1].1,
+                "rename map must be order-preserving: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        let lookup: FxHashMap<u32, u32> = pairs.iter().copied().collect();
+        let mut memo: FxHashMap<u32, u32> = FxHashMap::default();
+        self.rename_rec(f, &lookup, &mut memo)
+    }
+
+    fn rename_rec(
+        &mut self,
+        f: Bdd,
+        map: &FxHashMap<u32, u32>,
+        memo: &mut FxHashMap<u32, u32>,
+    ) -> Bdd {
+        if f.is_const() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f.0) {
+            return Bdd(r);
+        }
+        let n = self.node(f);
+        let lo = self.rename_rec(Bdd(n.low), map, memo);
+        let hi = self.rename_rec(Bdd(n.high), map, memo);
+        let var = *map.get(&n.var).unwrap_or(&n.var);
+        let r = self.mk(var, lo.0, hi.0);
+        memo.insert(f.0, r.0);
+        r
+    }
+
+    /// Restrict (cofactor) `f` by `var := val`.
+    pub fn restrict(&mut self, f: Bdd, var: Var, val: bool) -> Bdd {
+        let lit = if val { self.var(var) } else { self.nvar(var) };
+        let conj = self.and(f, lit);
+        let cube = self.cube(&[var]);
+        self.exists(conj, cube)
+    }
+
+    /// The set of variables `f` depends on, in order.
+    pub fn support(&self, f: Bdd) -> Vec<Var> {
+        let mut seen = crate::hash::FxHashSet::default();
+        let mut vars = crate::hash::FxHashSet::default();
+        let mut stack = vec![f.0];
+        while let Some(id) = stack.pop() {
+            if id < 2 || !seen.insert(id) {
+                continue;
+            }
+            let n = self.nodes[id as usize];
+            vars.insert(n.var);
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        let mut out: Vec<Var> = vars.into_iter().map(Var).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of decision nodes reachable from `f` (excluding terminals).
+    pub fn node_count(&self, f: Bdd) -> usize {
+        let mut seen = crate::hash::FxHashSet::default();
+        let mut stack = vec![f.0];
+        let mut count = 0usize;
+        while let Some(id) = stack.pop() {
+            if id < 2 || !seen.insert(id) {
+                continue;
+            }
+            count += 1;
+            let n = self.nodes[id as usize];
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        count
+    }
+
+    /// Shared node count of a set of diagrams (counted once across all).
+    pub fn node_count_many(&self, fs: &[Bdd]) -> usize {
+        let mut seen = crate::hash::FxHashSet::default();
+        let mut stack: Vec<u32> = fs.iter().map(|f| f.0).collect();
+        let mut count = 0usize;
+        while let Some(id) = stack.pop() {
+            if id < 2 || !seen.insert(id) {
+                continue;
+            }
+            count += 1;
+            let n = self.nodes[id as usize];
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        count
+    }
+
+    /// Evaluate `f` under a total assignment given as a closure.
+    pub fn eval(&self, f: Bdd, assignment: impl Fn(Var) -> bool) -> bool {
+        let mut cur = f;
+        while !cur.is_const() {
+            let n = self.node(cur);
+            cur = if assignment(Var(n.var)) { Bdd(n.high) } else { Bdd(n.low) };
+        }
+        cur.is_true()
+    }
+
+    /// Snapshot of resource statistics (mirrors SMV's `resources used:`).
+    pub fn stats(&self) -> BddStats {
+        BddStats {
+            nodes_allocated: self.nodes.len(),
+            bytes_allocated: self.nodes.len() * std::mem::size_of::<Node>()
+                + self.unique.capacity()
+                    * (std::mem::size_of::<Node>() + std::mem::size_of::<u32>())
+                + self.cache.capacity() * (std::mem::size_of::<(Op, u32, u32, u32)>() + 4),
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            variables: self.num_vars as usize,
+        }
+    }
+
+    /// Drop the computed table (unique table and arena are kept). Useful to
+    /// bound memory between unrelated verification runs on one manager.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: usize) -> (BddManager, Vec<Bdd>) {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(n);
+        let lits = vars.iter().map(|&v| m.var(v)).collect();
+        (m, lits)
+    }
+
+    #[test]
+    fn terminal_identities() {
+        let (mut m, l) = setup(1);
+        let x = l[0];
+        assert_eq!(m.and(x, Bdd::TRUE), x);
+        assert_eq!(m.and(x, Bdd::FALSE), Bdd::FALSE);
+        assert_eq!(m.or(x, Bdd::FALSE), x);
+        assert_eq!(m.or(x, Bdd::TRUE), Bdd::TRUE);
+        let nx = m.not(x);
+        assert_eq!(m.not(nx), x);
+        assert_eq!(m.and(x, nx), Bdd::FALSE);
+        assert_eq!(m.or(x, nx), Bdd::TRUE);
+    }
+
+    #[test]
+    fn hash_consing_gives_pointer_equality() {
+        let (mut m, l) = setup(2);
+        let a1 = m.and(l[0], l[1]);
+        let a2 = m.and(l[1], l[0]);
+        assert_eq!(a1, a2, "∧ must be canonical regardless of operand order");
+        let via_ite = m.ite(l[0], l[1], Bdd::FALSE);
+        assert_eq!(a1, via_ite);
+    }
+
+    #[test]
+    fn de_morgan() {
+        let (mut m, l) = setup(2);
+        let conj = m.and(l[0], l[1]);
+        let lhs = m.not(conj);
+        let n0 = m.not(l[0]);
+        let n1 = m.not(l[1]);
+        let rhs = m.or(n0, n1);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn xor_iff_duality() {
+        let (mut m, l) = setup(2);
+        let x = m.xor(l[0], l[1]);
+        let e = m.iff(l[0], l[1]);
+        let ne = m.not(e);
+        assert_eq!(x, ne);
+    }
+
+    #[test]
+    fn cube_structure() {
+        let (mut m, _) = setup(3);
+        let c = m.cube(&[Var(2), Var(0)]);
+        assert!(m.is_cube(c));
+        assert_eq!(m.support(c), vec![Var(0), Var(2)]);
+        // Duplicates collapse.
+        let c2 = m.cube(&[Var(0), Var(2), Var(0)]);
+        assert_eq!(c, c2);
+        assert!(m.is_cube(Bdd::TRUE));
+        assert!(!m.is_cube(Bdd::FALSE));
+        let disj = {
+            let a = m.var(Var(0));
+            let b = m.var(Var(1));
+            m.or(a, b)
+        };
+        assert!(!m.is_cube(disj));
+    }
+
+    #[test]
+    fn exists_quantifies_away_support() {
+        let (mut m, l) = setup(3);
+        let f = {
+            let t = m.and(l[0], l[1]);
+            m.or(t, l[2])
+        };
+        let cube = m.cube(&[Var(0)]);
+        let ex = m.exists(f, cube);
+        // ∃x0. (x0∧x1 ∨ x2) = x1 ∨ x2
+        let expect = m.or(l[1], l[2]);
+        assert_eq!(ex, expect);
+        assert!(!m.support(ex).contains(&Var(0)));
+    }
+
+    #[test]
+    fn forall_is_dual_of_exists() {
+        let (mut m, l) = setup(2);
+        let f = m.or(l[0], l[1]);
+        let cube = m.cube(&[Var(0)]);
+        // ∀x0. (x0 ∨ x1) = x1
+        assert_eq!(m.forall(f, cube), l[1]);
+        // ∃x0. (x0 ∨ x1) = true
+        assert_eq!(m.exists(f, cube), Bdd::TRUE);
+    }
+
+    #[test]
+    fn and_exists_equals_composed() {
+        let (mut m, l) = setup(4);
+        let f = {
+            let t = m.xor(l[0], l[1]);
+            m.or(t, l[3])
+        };
+        let g = {
+            let t = m.and(l[1], l[2]);
+            m.implies(l[0], t)
+        };
+        let cube = m.cube(&[Var(1), Var(2)]);
+        let direct = m.and_exists(f, g, cube);
+        let conj = m.and(f, g);
+        let composed = m.exists(conj, cube);
+        assert_eq!(direct, composed);
+    }
+
+    #[test]
+    fn rename_shifts_frames() {
+        let mut m = BddManager::new();
+        // Interleaved frames: current at even, next at odd.
+        let vs = m.new_vars(4);
+        let f = {
+            let a = m.var(vs[0]);
+            let b = m.var(vs[2]);
+            m.and(a, b)
+        };
+        let map = [(vs[0], vs[1]), (vs[2], vs[3])];
+        let g = m.rename(f, &map);
+        assert_eq!(m.support(g), vec![vs[1], vs[3]]);
+        // Renaming back round-trips.
+        let back = [(vs[1], vs[0]), (vs[3], vs[2])];
+        assert_eq!(m.rename(g, &back), f);
+    }
+
+    #[test]
+    #[should_panic(expected = "order-preserving")]
+    fn rename_rejects_non_monotone_map() {
+        let mut m = BddManager::new();
+        let vs = m.new_vars(2);
+        let f = m.var(vs[0]);
+        let _ = m.rename(f, &[(vs[0], vs[1]), (vs[1], vs[0])]);
+    }
+
+    #[test]
+    fn restrict_cofactors() {
+        let (mut m, l) = setup(2);
+        let f = m.ite(l[0], l[1], Bdd::FALSE); // x0 ∧ x1
+        assert_eq!(m.restrict(f, Var(0), true), l[1]);
+        assert_eq!(m.restrict(f, Var(0), false), Bdd::FALSE);
+    }
+
+    #[test]
+    fn eval_follows_paths() {
+        let (mut m, l) = setup(3);
+        let f = {
+            let t = m.and(l[0], l[1]);
+            m.or(t, l[2])
+        };
+        assert!(m.eval(f, |v| v.0 != 2)); // x0=1 x1=1 x2=0
+        assert!(!m.eval(f, |_| false));
+        assert!(m.eval(f, |v| v.0 == 2));
+    }
+
+    #[test]
+    fn node_counts() {
+        let (mut m, l) = setup(3);
+        assert_eq!(m.node_count(Bdd::TRUE), 0);
+        assert_eq!(m.node_count(l[0]), 1);
+        let f = {
+            let t = m.and(l[0], l[1]);
+            m.and(t, l[2])
+        };
+        assert_eq!(m.node_count(f), 3);
+        // Shared counting across multiple roots.
+        let g = m.and(l[0], l[1]);
+        // f has 3 nodes; g shares both of its nodes with f's top layers.
+        assert_eq!(m.node_count_many(&[f, g]), 5);
+        assert!(m.node_count_many(&[f, g]) <= m.node_count(f) + m.node_count(g));
+    }
+
+    #[test]
+    fn stats_track_allocation() {
+        let (mut m, l) = setup(4);
+        let before = m.stats().nodes_allocated;
+        let mut acc = Bdd::TRUE;
+        for &x in &l {
+            acc = m.and(acc, x);
+        }
+        let after = m.stats().nodes_allocated;
+        assert!(after > before);
+        assert!(m.stats().bytes_allocated > 0);
+    }
+
+    /// Exhaustive 3-variable equivalence against truth tables for a nest of
+    /// operations — guards the ITE terminal cases.
+    #[test]
+    fn exhaustive_truth_tables_3vars() {
+        let (mut m, l) = setup(3);
+        let f = {
+            let a = m.xor(l[0], l[1]);
+            let b = m.implies(l[1], l[2]);
+            let c = m.and(a, b);
+            let d = m.iff(l[0], l[2]);
+            m.or(c, d)
+        };
+        for bits in 0u32..8 {
+            let assign = |v: Var| bits >> v.0 & 1 == 1;
+            let x0 = assign(Var(0));
+            let x1 = assign(Var(1));
+            let x2 = assign(Var(2));
+            let expect = ((x0 ^ x1) && (!x1 || x2)) || (x0 == x2);
+            assert_eq!(m.eval(f, assign), expect, "bits={bits:03b}");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! N-ary convenience operations on top of the binary core.
+
+use crate::manager::BddManager;
+use crate::node::Bdd;
+
+impl BddManager {
+    /// Conjunction of a slice of diagrams (TRUE for the empty slice).
+    ///
+    /// Conjoins in increasing node-count order, which in practice keeps the
+    /// intermediate results smallest (cheap heuristic version of clustering).
+    pub fn and_many(&mut self, fs: &[Bdd]) -> Bdd {
+        let mut ordered: Vec<Bdd> = fs.to_vec();
+        ordered.sort_by_key(|&f| self.node_count(f));
+        let mut acc = Bdd::TRUE;
+        for f in ordered {
+            acc = self.and(acc, f);
+            if acc.is_false() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction of a slice of diagrams (FALSE for the empty slice).
+    pub fn or_many(&mut self, fs: &[Bdd]) -> Bdd {
+        let mut ordered: Vec<Bdd> = fs.to_vec();
+        ordered.sort_by_key(|&f| self.node_count(f));
+        let mut acc = Bdd::FALSE;
+        for f in ordered {
+            acc = self.or(acc, f);
+            if acc.is_true() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// `⋀ᵢ (fᵢ ⇔ gᵢ)` — equality of two variable frames; used for the
+    /// identity/stutter part of interleaved transition relations.
+    pub fn pairwise_iff(&mut self, pairs: &[(Bdd, Bdd)]) -> Bdd {
+        let mut acc = Bdd::TRUE;
+        for &(f, g) in pairs {
+            let eq = self.iff(f, g);
+            acc = self.and(acc, eq);
+            if acc.is_false() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Semantic equivalence test.
+    pub fn equivalent(&mut self, f: Bdd, g: Bdd) -> bool {
+        // Hash-consing makes this pointer equality, but route through XOR so
+        // the invariant (canonical form) is actually exercised in debug.
+        debug_assert_eq!(f == g, self.xor(f, g).is_false());
+        f == g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Var;
+
+    #[test]
+    fn and_many_or_many_match_folds() {
+        let mut m = BddManager::new();
+        let vs = m.new_vars(4);
+        let lits: Vec<Bdd> = vs.iter().map(|&v| m.var(v)).collect();
+        let nary = m.and_many(&lits);
+        let mut fold = Bdd::TRUE;
+        for &l in &lits {
+            fold = m.and(fold, l);
+        }
+        assert_eq!(nary, fold);
+        let nary_or = m.or_many(&lits);
+        let mut fold_or = Bdd::FALSE;
+        for &l in &lits {
+            fold_or = m.or(fold_or, l);
+        }
+        assert_eq!(nary_or, fold_or);
+    }
+
+    #[test]
+    fn empty_slices_are_units() {
+        let mut m = BddManager::new();
+        assert_eq!(m.and_many(&[]), Bdd::TRUE);
+        assert_eq!(m.or_many(&[]), Bdd::FALSE);
+    }
+
+    #[test]
+    fn early_exit_on_contradiction() {
+        let mut m = BddManager::new();
+        let v = m.new_var();
+        let x = m.var(v);
+        let nx = m.nvar(v);
+        assert_eq!(m.and_many(&[x, nx, Bdd::TRUE]), Bdd::FALSE);
+        assert_eq!(m.or_many(&[x, nx]), Bdd::TRUE);
+    }
+
+    #[test]
+    fn pairwise_iff_is_frame_equality() {
+        let mut m = BddManager::new();
+        let vs = m.new_vars(4);
+        let pairs: Vec<(Bdd, Bdd)> = vec![
+            (m.var(vs[0]), m.var(vs[1])),
+            (m.var(vs[2]), m.var(vs[3])),
+        ];
+        let eq = m.pairwise_iff(&pairs);
+        // Models where v0==v1 and v2==v3: 4 of 16.
+        assert_eq!(m.sat_count(eq, 4), 4.0);
+        assert!(m.eval(eq, |_| true));
+        assert!(m.eval(eq, |_| false));
+        assert!(!m.eval(eq, |v| v == Var(0)));
+    }
+
+    #[test]
+    fn equivalence_via_hash_consing() {
+        let mut m = BddManager::new();
+        let vs = m.new_vars(2);
+        let a = m.var(vs[0]);
+        let b = m.var(vs[1]);
+        let f = m.implies(a, b);
+        let na = m.not(a);
+        let g = m.or(na, b);
+        assert!(m.equivalent(f, g));
+        assert!(!m.equivalent(f, a));
+    }
+}

@@ -1,0 +1,252 @@
+//! Variable reordering.
+//!
+//! BDD sizes are exquisitely sensitive to the variable order — the classic
+//! example is the pairwise comparator `⋀ᵢ (aᵢ ⇔ bᵢ)`, linear under the
+//! interleaved order `a₀ b₀ a₁ b₁ …` and exponential under the separated
+//! order `a₀ a₁ … b₀ b₁ …`. This module provides *offline* reordering: a
+//! set of root functions is rebuilt into a fresh manager under a new
+//! order ([`BddManager::rebuild_with_order`]), and a greedy adjacent-swap
+//! search ([`BddManager::sift_order`]) looks for an order that shrinks the
+//! shared node count.
+//!
+//! Offline (rebuild-based) reordering keeps the manager's arena simple —
+//! handles are never invalidated behind the caller's back, unlike dynamic
+//! in-place sifting; the trade-off is that each candidate order costs a
+//! rebuild. That is the right trade-off for this project's model sizes and
+//! is measured in the `ablations` benchmark.
+
+use crate::hash::FxHashMap;
+use crate::manager::BddManager;
+use crate::node::{Bdd, Var};
+
+impl BddManager {
+    /// Rebuild `roots` into a fresh manager whose variable order is
+    /// `order` (a permutation of all declared variables: `order[i]` is the
+    /// old variable placed at new position `i`). Returns the new manager
+    /// and the translated roots, in input order.
+    ///
+    /// The rebuilt diagrams denote the same functions *up to renaming*:
+    /// old variable `order[i]` corresponds to new variable `Var(i)`.
+    pub fn rebuild_with_order(&mut self, roots: &[Bdd], order: &[Var]) -> (BddManager, Vec<Bdd>) {
+        let n = self.var_count();
+        assert_eq!(order.len(), n, "order must cover all {n} variables");
+        let mut seen = vec![false; n];
+        for v in order {
+            assert!(!seen[v.index()], "duplicate variable {v:?} in order");
+            seen[v.index()] = true;
+        }
+        let mut new = BddManager::new();
+        new.new_vars(n);
+        let mut memo: FxHashMap<(u32, usize), Bdd> = FxHashMap::default();
+        let new_roots = roots
+            .iter()
+            .map(|&f| self.rebuild_rec(&mut new, f, 0, order, &mut memo))
+            .collect();
+        (new, new_roots)
+    }
+
+    fn rebuild_rec(
+        &mut self,
+        new: &mut BddManager,
+        f: Bdd,
+        level: usize,
+        order: &[Var],
+        memo: &mut FxHashMap<(u32, usize), Bdd>,
+    ) -> Bdd {
+        if f.is_const() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&(f.raw(), level)) {
+            return r;
+        }
+        debug_assert!(level < order.len(), "non-constant diagram below the last level");
+        let v = order[level];
+        let f0 = self.restrict(f, v, false);
+        let f1 = self.restrict(f, v, true);
+        let r = if f0 == f1 {
+            // f does not depend on v at this level.
+            self.rebuild_rec(new, f0, level + 1, order, memo)
+        } else {
+            let lo = self.rebuild_rec(new, f0, level + 1, order, memo);
+            let hi = self.rebuild_rec(new, f1, level + 1, order, memo);
+            let nv = new.var(Var(level as u32));
+            new.ite(nv, hi, lo)
+        };
+        memo.insert((f.raw(), level), r);
+        r
+    }
+
+    /// Greedy adjacent-swap search for a small order: starting from the
+    /// identity order, repeatedly try swapping adjacent positions and keep
+    /// any swap that reduces the shared node count of `roots`, until a
+    /// full pass makes no progress (or `max_passes` is hit).
+    ///
+    /// Returns the discovered order (old variables in new positions). Use
+    /// [`BddManager::rebuild_with_order`] to apply it.
+    pub fn sift_order(&mut self, roots: &[Bdd], max_passes: usize) -> Vec<Var> {
+        let n = self.var_count();
+        let mut order: Vec<Var> = (0..n as u32).map(Var).collect();
+        if n < 2 || roots.is_empty() {
+            return order;
+        }
+        let mut best_size = self.size_under(roots, &order);
+        for _ in 0..max_passes {
+            let mut improved = false;
+            for i in 0..n - 1 {
+                order.swap(i, i + 1);
+                let size = self.size_under(roots, &order);
+                if size < best_size {
+                    best_size = size;
+                    improved = true;
+                } else {
+                    order.swap(i, i + 1); // undo
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        order
+    }
+
+    /// Shared node count of `roots` when rebuilt under `order`.
+    fn size_under(&mut self, roots: &[Bdd], order: &[Var]) -> usize {
+        let (new, new_roots) = self.rebuild_with_order(roots, order);
+        new.node_count_many(&new_roots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The comparator `⋀ (aᵢ ⇔ bᵢ)` with k pairs, under a given layout.
+    /// `separated = true` declares a₀…a_{k-1} then b₀…b_{k-1} (bad order);
+    /// otherwise interleaved (good order).
+    fn comparator(k: usize, separated: bool) -> (BddManager, Bdd) {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(2 * k);
+        let pair = |i: usize| -> (Var, Var) {
+            if separated {
+                (vars[i], vars[k + i])
+            } else {
+                (vars[2 * i], vars[2 * i + 1])
+            }
+        };
+        let mut acc = Bdd::TRUE;
+        for i in 0..k {
+            let (a, b) = pair(i);
+            let (la, lb) = (m.var(a), m.var(b));
+            let eq = m.iff(la, lb);
+            acc = m.and(acc, eq);
+        }
+        (m, acc)
+    }
+
+    #[test]
+    fn interleaved_order_is_linear_separated_is_exponential() {
+        let (mi, fi) = comparator(5, false);
+        let (ms, fs) = comparator(5, true);
+        let lin = mi.node_count(fi);
+        let exp = ms.node_count(fs);
+        assert!(lin <= 3 * 5 + 2, "interleaved should be linear, got {lin}");
+        assert!(exp > 2 * lin, "separated should blow up, got {exp} vs {lin}");
+    }
+
+    #[test]
+    fn rebuild_identity_order_preserves_function_and_size() {
+        let (mut m, f) = comparator(4, true);
+        let n = m.var_count();
+        let identity: Vec<Var> = (0..n as u32).map(Var).collect();
+        let (new, roots) = m.rebuild_with_order(&[f], &identity);
+        assert_eq!(new.node_count(roots[0]), m.node_count(f));
+        // Same truth table.
+        for bits in 0u32..(1 << n) {
+            let assign = |v: Var| bits >> v.index() & 1 == 1;
+            assert_eq!(m.eval(f, assign), new.eval(roots[0], assign));
+        }
+    }
+
+    #[test]
+    fn rebuild_to_interleaved_shrinks_comparator() {
+        let k = 5;
+        let (mut m, f) = comparator(k, true); // a0..a4 b0..b4
+        // Interleave: a0 b0 a1 b1 ... — old var a_i = Var(i), b_i = Var(k+i).
+        let mut order = Vec::new();
+        for i in 0..k {
+            order.push(Var(i as u32));
+            order.push(Var((k + i) as u32));
+        }
+        let before = m.node_count(f);
+        let (new, roots) = m.rebuild_with_order(&[f], &order);
+        let after = new.node_count(roots[0]);
+        assert!(after < before / 2, "reorder should shrink: {before} -> {after}");
+        assert_eq!(new.sat_count(roots[0], 2 * k), (2u32.pow(k as u32)) as f64);
+    }
+
+    #[test]
+    fn rebuild_translates_assignments() {
+        // f = a ∧ ¬b, reversed order.
+        let mut m = BddManager::new();
+        let vs = m.new_vars(2);
+        let a = m.var(vs[0]);
+        let nb = m.nvar(vs[1]);
+        let f = m.and(a, nb);
+        let (new, roots) = m.rebuild_with_order(&[f], &[vs[1], vs[0]]);
+        // In the new manager, position 0 is old b, position 1 is old a.
+        assert!(new.eval(roots[0], |v| v == Var(1)));
+        assert!(!new.eval(roots[0], |v| v == Var(0)));
+    }
+
+    #[test]
+    fn sift_recovers_good_order_for_comparator() {
+        let k = 4;
+        let (mut m, f) = comparator(k, true);
+        let before = m.node_count(f);
+        let order = m.sift_order(&[f], 8);
+        let (new, roots) = m.rebuild_with_order(&[f], &order);
+        let after = new.node_count(roots[0]);
+        assert!(
+            after < before,
+            "sifting should improve the separated comparator: {before} -> {after}"
+        );
+        // Function preserved (model count is order-independent).
+        assert_eq!(new.sat_count(roots[0], 2 * k), m.sat_count(f, 2 * k));
+    }
+
+    #[test]
+    fn sift_on_constant_or_tiny_inputs() {
+        let mut m = BddManager::new();
+        assert!(m.sift_order(&[Bdd::TRUE], 4).is_empty());
+        let v = m.new_var();
+        let f = m.var(v);
+        assert_eq!(m.sift_order(&[f], 4), vec![v]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate variable")]
+    fn rebuild_rejects_bad_permutation() {
+        let mut m = BddManager::new();
+        let vs = m.new_vars(2);
+        let f = m.var(vs[0]);
+        let _ = m.rebuild_with_order(&[f], &[vs[0], vs[0]]);
+    }
+
+    #[test]
+    fn multiple_roots_share_structure() {
+        let (mut m, f) = comparator(3, true);
+        let extra = {
+            let a = m.var(Var(0));
+            let b = m.var(Var(3));
+            m.and(a, b)
+        };
+        let n = m.var_count();
+        let identity: Vec<Var> = (0..n as u32).map(Var).collect();
+        let (new, roots) = m.rebuild_with_order(&[f, extra], &identity);
+        assert_eq!(roots.len(), 2);
+        assert_eq!(
+            new.node_count_many(&roots),
+            m.node_count_many(&[f, extra])
+        );
+    }
+}

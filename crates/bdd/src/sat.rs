@@ -1,0 +1,198 @@
+//! Model counting and witness extraction.
+
+use crate::hash::FxHashMap;
+use crate::manager::BddManager;
+use crate::node::{Bdd, Var};
+
+impl BddManager {
+    /// Number of satisfying assignments of `f` over `num_vars` variables
+    /// (variables `0..num_vars`; variables outside `f`'s support double the
+    /// count). Returned as `f64` because counts are exponential in the
+    /// variable count.
+    pub fn sat_count(&self, f: Bdd, num_vars: usize) -> f64 {
+        let mut memo: FxHashMap<u32, f64> = FxHashMap::default();
+        // count(f) over the variables strictly below f's root is cached;
+        // scale at the end by 2^(root level).
+        fn go(
+            m: &BddManager,
+            f: Bdd,
+            num_vars: usize,
+            memo: &mut FxHashMap<u32, f64>,
+        ) -> f64 {
+            // Returns models over variables in [level(f), num_vars).
+            if f.is_false() {
+                return 0.0;
+            }
+            if f.is_true() {
+                return 1.0;
+            }
+            if let Some(&c) = memo.get(&f.0) {
+                return c;
+            }
+            let v = m.root_var(f).unwrap().0 as usize;
+            let lo = f_scaled(m, m.low(f), v + 1, num_vars, memo);
+            let hi = f_scaled(m, m.high(f), v + 1, num_vars, memo);
+            let c = lo + hi;
+            memo.insert(f.0, c);
+            c
+        }
+        fn f_scaled(
+            m: &BddManager,
+            f: Bdd,
+            from_level: usize,
+            num_vars: usize,
+            memo: &mut FxHashMap<u32, f64>,
+        ) -> f64 {
+            let child_level = m.root_var(f).map(|v| v.0 as usize).unwrap_or(num_vars);
+            let gap = child_level.saturating_sub(from_level);
+            go(m, f, num_vars, memo) * (gap as f64).exp2()
+        }
+        f_scaled(self, f, 0, num_vars, &mut memo)
+    }
+
+    /// One satisfying assignment of `f`, as `(Var, bool)` pairs covering
+    /// exactly `f`'s decision path (don't-care variables omitted).
+    /// Returns `None` when `f` is unsatisfiable.
+    pub fn any_sat(&self, f: Bdd) -> Option<Vec<(Var, bool)>> {
+        if f.is_false() {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = f;
+        while !cur.is_const() {
+            let v = self.root_var(cur).unwrap();
+            // Prefer the high branch, fall back to low; one of them must be
+            // satisfiable in a reduced diagram.
+            if !self.high(cur).is_false() {
+                path.push((v, true));
+                cur = self.high(cur);
+            } else {
+                path.push((v, false));
+                cur = self.low(cur);
+            }
+        }
+        debug_assert!(cur.is_true());
+        Some(path)
+    }
+
+    /// A *total* satisfying assignment over variables `0..num_vars`
+    /// (don't-cares default to `false`). `None` if unsatisfiable.
+    pub fn any_sat_total(&self, f: Bdd, num_vars: usize) -> Option<Vec<bool>> {
+        let partial = self.any_sat(f)?;
+        let mut out = vec![false; num_vars];
+        for (v, b) in partial {
+            out[v.index()] = b;
+        }
+        Some(out)
+    }
+
+    /// Enumerate every satisfying total assignment over `0..num_vars`.
+    ///
+    /// Intended for the small state spaces of the paper's case studies and
+    /// for cross-validation against the explicit-state engine; the result is
+    /// exponential in general.
+    pub fn all_sat(&self, f: Bdd, num_vars: usize) -> Vec<Vec<bool>> {
+        let mut out = Vec::new();
+        let mut prefix = vec![false; num_vars];
+        self.all_sat_rec(f, 0, num_vars, &mut prefix, &mut out);
+        out
+    }
+
+    fn all_sat_rec(
+        &self,
+        f: Bdd,
+        level: usize,
+        num_vars: usize,
+        prefix: &mut Vec<bool>,
+        out: &mut Vec<Vec<bool>>,
+    ) {
+        if f.is_false() {
+            return;
+        }
+        if level == num_vars {
+            debug_assert!(f.is_true());
+            out.push(prefix.clone());
+            return;
+        }
+        let at_level = self.root_var(f).map(|v| v.index()) == Some(level);
+        let (lo, hi) = if at_level {
+            (self.low(f), self.high(f))
+        } else {
+            (f, f)
+        };
+        prefix[level] = false;
+        self.all_sat_rec(lo, level + 1, num_vars, prefix, out);
+        prefix[level] = true;
+        self.all_sat_rec(hi, level + 1, num_vars, prefix, out);
+        prefix[level] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_of_basic_functions() {
+        let mut m = BddManager::new();
+        let vs = m.new_vars(3);
+        let x = m.var(vs[0]);
+        assert_eq!(m.sat_count(Bdd::TRUE, 3), 8.0);
+        assert_eq!(m.sat_count(Bdd::FALSE, 3), 0.0);
+        assert_eq!(m.sat_count(x, 3), 4.0);
+        let y = m.var(vs[1]);
+        let xy = m.and(x, y);
+        assert_eq!(m.sat_count(xy, 3), 2.0);
+        let xor = m.xor(x, y);
+        assert_eq!(m.sat_count(xor, 3), 4.0);
+    }
+
+    #[test]
+    fn count_respects_gap_above_root() {
+        let mut m = BddManager::new();
+        let vs = m.new_vars(4);
+        // Function over the last variable only: 2^3 models.
+        let z = m.var(vs[3]);
+        assert_eq!(m.sat_count(z, 4), 8.0);
+    }
+
+    #[test]
+    fn any_sat_finds_model() {
+        let mut m = BddManager::new();
+        let vs = m.new_vars(3);
+        let x = m.var(vs[0]);
+        let ny = m.nvar(vs[1]);
+        let f = m.and(x, ny);
+        let sat = m.any_sat(f).unwrap();
+        assert!(sat.contains(&(vs[0], true)));
+        assert!(sat.contains(&(vs[1], false)));
+        assert!(m.eval(f, |v| sat.iter().any(|&(w, b)| w == v && b)));
+        assert!(m.any_sat(Bdd::FALSE).is_none());
+    }
+
+    #[test]
+    fn any_sat_total_covers_dont_cares() {
+        let mut m = BddManager::new();
+        let vs = m.new_vars(3);
+        let x = m.var(vs[1]);
+        let total = m.any_sat_total(x, 3).unwrap();
+        assert_eq!(total.len(), 3);
+        assert!(total[1]);
+    }
+
+    #[test]
+    fn all_sat_enumerates_exactly() {
+        let mut m = BddManager::new();
+        let vs = m.new_vars(3);
+        let x = m.var(vs[0]);
+        let y = m.var(vs[1]);
+        let f = m.or(x, y);
+        let models = m.all_sat(f, 3);
+        assert_eq!(models.len(), 6); // (2^2 - 1) * 2
+        for model in &models {
+            assert!(model[0] || model[1]);
+        }
+        // Consistency with sat_count.
+        assert_eq!(models.len() as f64, m.sat_count(f, 3));
+    }
+}

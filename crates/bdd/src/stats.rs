@@ -1,0 +1,107 @@
+//! Resource statistics in the format of SMV's `resources used:` trailer.
+//!
+//! The paper's Figures 7, 10, 15 and 17 report, for each component checked:
+//! user/system time, `BDD nodes allocated`, `Bytes allocated`, and
+//! `BDD nodes representing transition relation: X + Y`. This module carries
+//! the same measurements so the benchmark harness can print directly
+//! comparable rows.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Point-in-time resource counters for a [`crate::BddManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BddStats {
+    /// Total decision nodes ever allocated in the arena (including the two
+    /// terminals), matching SMV's monotone "BDD nodes allocated".
+    pub nodes_allocated: usize,
+    /// Estimated heap bytes held by the arena, unique table and cache.
+    pub bytes_allocated: usize,
+    /// Computed-table hits since manager creation.
+    pub cache_hits: u64,
+    /// Computed-table misses since manager creation.
+    pub cache_misses: u64,
+    /// Declared BDD variables.
+    pub variables: usize,
+}
+
+impl BddStats {
+    /// Cache hit rate in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// A full "resources used" report for one verification run, shaped like the
+/// output blocks in the paper's figures.
+#[derive(Debug, Clone)]
+pub struct ResourceReport {
+    /// Wall-clock time of the run.
+    pub user_time: Duration,
+    /// Manager counters at the end of the run.
+    pub stats: BddStats,
+    /// Nodes in the transition-relation BDD(s), shared count.
+    pub trans_nodes: usize,
+    /// Nodes in the auxiliary cubes/initial-state BDDs kept alongside the
+    /// transition relation (SMV prints these after the `+`).
+    pub aux_nodes: usize,
+}
+
+impl fmt::Display for ResourceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "resources used:")?;
+        writeln!(f, "user time: {:.7} s", self.user_time.as_secs_f64())?;
+        writeln!(f, "BDD nodes allocated: {}", self.stats.nodes_allocated)?;
+        writeln!(f, "Bytes allocated: {}", self.stats.bytes_allocated)?;
+        write!(
+            f,
+            "BDD nodes representing transition relation: {} + {}",
+            self.trans_nodes, self.aux_nodes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_bounds() {
+        let mut s = BddStats {
+            nodes_allocated: 2,
+            bytes_allocated: 24,
+            cache_hits: 0,
+            cache_misses: 0,
+            variables: 0,
+        };
+        assert_eq!(s.hit_rate(), 0.0);
+        s.cache_hits = 3;
+        s.cache_misses = 1;
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_format_matches_smv_shape() {
+        let r = ResourceReport {
+            user_time: Duration::from_millis(33),
+            stats: BddStats {
+                nodes_allocated: 403,
+                bytes_allocated: 1_245_134,
+                cache_hits: 0,
+                cache_misses: 0,
+                variables: 7,
+            },
+            trans_nodes: 43,
+            aux_nodes: 7,
+        };
+        let text = r.to_string();
+        assert!(text.contains("BDD nodes allocated: 403"));
+        assert!(text.contains("Bytes allocated: 1245134"));
+        assert!(text.contains("transition relation: 43 + 7"));
+    }
+}

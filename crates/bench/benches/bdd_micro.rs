@@ -1,0 +1,120 @@
+//! Microbenchmarks of the ROBDD substrate: construction, quantification,
+//! relational products and model counting on standard workloads.
+
+use cmc_bdd::{Bdd, BddManager, Var};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// The n-queens constraint as a BDD — the classic BDD package stress test.
+fn queens(m: &mut BddManager, n: usize) -> Bdd {
+    let vars: Vec<Vec<Var>> = (0..n).map(|_| m.new_vars(n)).collect();
+    let lit = |m: &mut BddManager, r: usize, c: usize, pos: bool| {
+        if pos {
+            m.var(vars[r][c])
+        } else {
+            m.nvar(vars[r][c])
+        }
+    };
+    let mut acc = Bdd::TRUE;
+    // One queen per row.
+    for r in 0..n {
+        let mut row = Bdd::FALSE;
+        for c in 0..n {
+            let l = lit(m, r, c, true);
+            row = m.or(row, l);
+        }
+        acc = m.and(acc, row);
+    }
+    // No attacks.
+    for r in 0..n {
+        for c in 0..n {
+            let q = lit(m, r, c, true);
+            let mut safe = Bdd::TRUE;
+            for r2 in 0..n {
+                if r2 == r {
+                    continue;
+                }
+                // Same column.
+                let other = lit(m, r2, c, false);
+                safe = m.and(safe, other);
+                // Diagonals.
+                let d = r.abs_diff(r2);
+                if c >= d {
+                    let other = lit(m, r2, c - d, false);
+                    safe = m.and(safe, other);
+                }
+                if c + d < n {
+                    let other = lit(m, r2, c + d, false);
+                    safe = m.and(safe, other);
+                }
+            }
+            let implied = m.implies(q, safe);
+            acc = m.and(acc, implied);
+        }
+    }
+    acc
+}
+
+const QUEENS_SOLUTIONS: [(usize, f64); 3] = [(4, 2.0), (5, 10.0), (6, 4.0)];
+
+fn bench_queens(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queens");
+    for &(n, solutions) in &QUEENS_SOLUTIONS {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = BddManager::new();
+                let f = queens(&mut m, n);
+                let count = m.sat_count(f, n * n);
+                assert_eq!(count, solutions);
+                black_box(m.stats().nodes_allocated)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantification(c: &mut Criterion) {
+    c.bench_function("exists_over_half_support", |b| {
+        b.iter(|| {
+            let mut m = BddManager::new();
+            let f = queens(&mut m, 5);
+            let qvars: Vec<Var> = (0..12).map(Var).collect();
+            let cube = m.cube(&qvars);
+            let ex = m.exists(f, cube);
+            black_box(m.node_count(ex))
+        })
+    });
+}
+
+fn bench_relational_product(c: &mut Criterion) {
+    c.bench_function("and_exists_vs_separate", |b| {
+        b.iter(|| {
+            let mut m = BddManager::new();
+            let f = queens(&mut m, 5);
+            let g = {
+                let v = m.var(Var(7));
+                let w = m.nvar(Var(13));
+                m.or(v, w)
+            };
+            let qvars: Vec<Var> = (5..20).map(Var).collect();
+            let cube = m.cube(&qvars);
+            let combined = m.and_exists(f, g, cube);
+            black_box(combined)
+        })
+    });
+}
+
+fn bench_model_counting(c: &mut Criterion) {
+    let mut m = BddManager::new();
+    let f = queens(&mut m, 6);
+    c.bench_function("sat_count_queens6", |b| {
+        b.iter(|| black_box(m.sat_count(f, 36)))
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(15);
+    targets = bench_queens, bench_quantification, bench_relational_product, bench_model_counting
+);
+criterion_main!(micro);

@@ -1,0 +1,151 @@
+//! One benchmark per evaluation figure of the paper.
+//!
+//! Before timing, each benchmark prints the row(s) the paper reports for
+//! that figure — the spec verdicts and the `resources used` trailer with
+//! BDD node counts — so the harness output can be compared side by side
+//! with Figures 7, 10, 15 and 17 (see EXPERIMENTS.md for the recorded
+//! comparison).
+
+use cmc_afs::{afs1, afs2};
+use cmc_bench::{figure1_components, figure2_system};
+use cmc_core::rules::rule5;
+use cmc_ctl::{parse, Checker, Formula};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINT_ONCE: Once = Once::new();
+
+fn print_paper_rows() {
+    PRINT_ONCE.call_once(|| {
+        println!("================ paper figure reproduction ================");
+        for (label, out) in [
+            ("Figure 7 (AFS-1 server)", afs1::verify_server()),
+            ("Figure 10 (AFS-1 client)", afs1::verify_client()),
+            ("Figure 15 (AFS-2 server)", afs2::verify_server()),
+            ("Figure 17 (AFS-2 client)", afs2::verify_client()),
+        ] {
+            println!("---- {label} ----");
+            println!("{}", out.report);
+        }
+        println!("===========================================================");
+    });
+}
+
+/// Figure 1: composition of the two toggling systems.
+fn fig01_composition(c: &mut Criterion) {
+    print_paper_rows();
+    let (m, mp) = figure1_components();
+    c.bench_function("fig01_composition", |b| {
+        b.iter(|| black_box(m.compose(black_box(&mp))))
+    });
+}
+
+/// Figure 2: the strong-fairness progress property via Rule 5.
+fn fig02_strong_fairness(c: &mut Criterion) {
+    let m = figure2_system();
+    let ps: Vec<Formula> = [
+        "!a & !b & !c",
+        "a & !b & !c",
+        "!a & b & !c",
+        "a & b & !c",
+        "!a & !b & c",
+        "a & !b & c",
+    ]
+    .iter()
+    .map(|t| parse(t).unwrap())
+    .collect();
+    let q = parse("!a & b & c").unwrap();
+    c.bench_function("fig02_rule5_guarantee", |b| {
+        b.iter(|| {
+            let g = rule5(&m, &ps, 5, &q).unwrap();
+            let checker = Checker::new(&m).unwrap();
+            let mut ok = true;
+            for (f, r) in g.lhs.iter().chain(g.rhs.iter()) {
+                ok &= checker.check(r, f).unwrap().holds;
+            }
+            assert!(ok);
+            black_box(ok)
+        })
+    });
+}
+
+/// Figure 7: model-check the AFS-1 server's five specs.
+fn fig07_afs1_server(c: &mut Criterion) {
+    c.bench_function("fig07_afs1_server_check", |b| {
+        b.iter(|| {
+            let out = afs1::verify_server();
+            assert!(out.all_true());
+            black_box(out.results.len())
+        })
+    });
+}
+
+/// Figure 10: model-check the AFS-1 client's six specs.
+fn fig10_afs1_client(c: &mut Criterion) {
+    c.bench_function("fig10_afs1_client_check", |b| {
+        b.iter(|| {
+            let out = afs1::verify_client();
+            assert!(out.all_true());
+            black_box(out.results.len())
+        })
+    });
+}
+
+/// Figure 15: model-check the AFS-2 server's two specs.
+fn fig15_afs2_server(c: &mut Criterion) {
+    c.bench_function("fig15_afs2_server_check", |b| {
+        b.iter(|| {
+            let out = afs2::verify_server();
+            assert!(out.all_true());
+            black_box(out.results.len())
+        })
+    });
+}
+
+/// Figure 17: model-check the AFS-2 client's spec.
+fn fig17_afs2_client(c: &mut Criterion) {
+    c.bench_function("fig17_afs2_client_check", |b| {
+        b.iter(|| {
+            let out = afs2::verify_client();
+            assert!(out.all_true());
+            black_box(out.results.len())
+        })
+    });
+}
+
+/// §4.2.3: the compositional (Afs1) safety deduction.
+fn afs1_safety_deduction(c: &mut Criterion) {
+    c.bench_function("afs1_safety_deduction", |b| {
+        b.iter(|| {
+            let cert = afs1::prove_afs1_safety();
+            assert!(cert.valid);
+            black_box(cert.steps.len())
+        })
+    });
+}
+
+/// §4.2.3: the (Afs2) liveness chain (Rule 4 × 7 + chaining).
+fn afs1_liveness_deduction(c: &mut Criterion) {
+    c.bench_function("afs1_liveness_deduction", |b| {
+        b.iter(|| {
+            let cert = afs1::prove_afs2_liveness();
+            assert!(cert.valid);
+            black_box(cert.steps.len())
+        })
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(20);
+    targets = fig01_composition,
+        fig02_strong_fairness,
+        fig07_afs1_server,
+        fig10_afs1_client,
+        fig15_afs2_server,
+        fig17_afs2_client,
+        afs1_safety_deduction,
+        afs1_liveness_deduction
+);
+criterion_main!(figures);

@@ -1,0 +1,147 @@
+//! The Discussion's complexity series (E12): verification cost of the
+//! AFS-2 invariant against the number of clients `n`, compositional versus
+//! monolithic, with both engines.
+//!
+//! The paper's claim: "it is easy to see that this complexity is reduced
+//! since we have a linear behavior (as opposed to exponential) in terms of
+//! the number of components."
+
+use cmc_afs::afs2;
+use cmc_ctl::{Checker, Restriction};
+use cmc_smv::compile_explicit;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Compositional, symbolic: n+1 expansion checks, each touching only one
+/// component's relation. Linear in n.
+fn compositional_symbolic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("afs2_compositional_symbolic");
+    for n in 1..=5usize {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let proof = afs2::prove_invariant_compositional(n).unwrap();
+                assert!(proof.valid());
+                black_box(proof.component_checks.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Monolithic, symbolic: one AG check on the full composition. BDDs absorb
+/// some of the blowup but the cost curve bends upward with n.
+fn monolithic_symbolic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("afs2_monolithic_symbolic");
+    for n in 1..=5usize {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let ok = afs2::prove_invariant_monolithic(n).unwrap();
+                assert!(ok);
+                black_box(ok)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Monolithic, explicit: the classic state explosion — 2^(1+9n) states.
+/// Only n = 1 is benchmarkable at all: at n = 2 merely *building* the
+/// explicit product relation (2^19 states, tens of millions of stored
+/// transitions) exhausts memory — which is the state-explosion data point
+/// itself; see EXPERIMENTS.md E12.
+fn monolithic_explicit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("afs2_monolithic_explicit");
+    group.sample_size(10);
+    for n in 1..=1usize {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            // Precompute the composed explicit system once; time the check.
+            let mods = afs2::modules(n);
+            let compiled: Vec<_> = mods
+                .iter()
+                .map(|m| compile_explicit(m).unwrap())
+                .collect();
+            let mut composed = compiled[0].system.clone();
+            for c2 in &compiled[1..] {
+                composed = composed.compose(&c2.system);
+            }
+            let inv = afs2::invariant_formula(n);
+            let init = afs2::initial_condition(n);
+            // Re-express over the composed alphabet via the symbolic prop
+            // names (shared bit names make this a no-op).
+            b.iter(|| {
+                let checker = Checker::new(&composed).unwrap();
+                let r = Restriction::with_init(init.clone());
+                let sat = checker.sat(&inv.clone().ag()).unwrap();
+                let init_set = checker.sat(&r.init).unwrap();
+                let ok = init_set.iter().all(|s| sat.contains(s));
+                assert!(ok);
+                black_box(ok)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Compositional, explicit, parallel: the per-component checks of the
+/// proof engine fan out over scoped threads.
+fn compositional_explicit_afs1(c: &mut Criterion) {
+    use cmc_afs::afs1;
+    c.bench_function("afs1_compositional_explicit", |b| {
+        b.iter(|| {
+            let cert = afs1::prove_afs1_safety();
+            assert!(cert.valid);
+            black_box(cert.steps.len())
+        })
+    });
+    c.bench_function("afs1_monolithic_explicit", |b| {
+        let engine = afs1::engine();
+        let r = Restriction::with_init(afs1::initial_condition());
+        let f = afs1::afs1_safety_formula();
+        b.iter(|| {
+            let ok = engine.monolithic_check(&r, &f).unwrap();
+            assert!(ok);
+            black_box(ok)
+        })
+    });
+}
+
+/// The token-ring series (E12's sharpest instance): compositional cost is
+/// polynomial in the station count, monolithic explicit cost is Θ(2ⁿ).
+fn token_ring_scaling(c: &mut Criterion) {
+    use cmc_bench::ring;
+    let mut comp_group = c.benchmark_group("ring_compositional");
+    comp_group.sample_size(10);
+    for &n in &[4usize, 8, 12, 16] {
+        comp_group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let engine = ring::ring_engine(n);
+            b.iter(|| {
+                ring::verify_ring_compositionally(n, &engine);
+                black_box(n)
+            })
+        });
+    }
+    comp_group.finish();
+    let mut mono_group = c.benchmark_group("ring_monolithic");
+    mono_group.sample_size(10);
+    for &n in &[4usize, 8, 12] {
+        mono_group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let engine = ring::ring_engine(n);
+            b.iter(|| {
+                ring::verify_ring_monolithically(n, &engine);
+                black_box(n)
+            })
+        });
+    }
+    mono_group.finish();
+}
+
+criterion_group!(
+    name = scaling;
+    config = Criterion::default().sample_size(10);
+    targets = compositional_symbolic,
+        monolithic_symbolic,
+        monolithic_explicit,
+        compositional_explicit_afs1,
+        token_ring_scaling
+);
+criterion_main!(scaling);

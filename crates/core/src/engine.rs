@@ -1,0 +1,697 @@
+//! The assume-guarantee proof engine.
+//!
+//! Reproduces, as an executable procedure, the deduction style of §4.2.3
+//! and §4.3.4 of the paper: component properties are established by model
+//! checking (on the component's *expansion* over the composed alphabet,
+//! justified by Lemmas 5, 8, 9), classified as universal or existential
+//! (Rules 1–3), and transferred to the composed system; guarantees
+//! properties (Rules 4, 5) are discharged by proving their left-hand
+//! obligations on the system, compositionally where possible.
+//!
+//! Every deduction produces a [`Certificate`] recording each step, so a
+//! component consumer can audit the proof — the paper's stated goal is
+//! exactly this workflow: "the developer of a component take\[s\] a greater
+//! part in proving correctness" and ships the proof with the component.
+
+use crate::property::{classify, PropertyClass};
+use crate::rules::{invariant_obligations, Guarantee, RuleError};
+use cmc_ctl::{Checker, Formula, Restriction};
+use cmc_kripke::{Alphabet, System};
+use std::fmt;
+
+/// A named component in a composition.
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// Display name (e.g. `"server"`).
+    pub name: String,
+    /// The component system.
+    pub system: System,
+}
+
+impl Component {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, system: System) -> Self {
+        Component { name: name.into(), system }
+    }
+}
+
+/// One step in a proof certificate.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// What was established (or attempted).
+    pub description: String,
+    /// Did the step succeed?
+    pub ok: bool,
+    /// Was this step compositional (component-local) or a whole-system
+    /// fallback check?
+    pub compositional: bool,
+}
+
+/// An auditable record of a deduction.
+#[derive(Debug, Clone)]
+pub struct Certificate {
+    /// The property being established, rendered.
+    pub goal: String,
+    /// The steps, in order.
+    pub steps: Vec<Step>,
+    /// Overall verdict.
+    pub valid: bool,
+}
+
+impl Certificate {
+    /// Append a step and fold its outcome into the verdict. Public so
+    /// that case studies can assemble composite certificates (e.g. a
+    /// Rule-4 chain plus a hand-chained conclusion).
+    pub fn step(&mut self, description: impl Into<String>, ok: bool, compositional: bool) {
+        self.steps.push(Step { description: description.into(), ok, compositional });
+        self.valid &= ok;
+    }
+
+    /// Were all steps component-local (no whole-system model checking)?
+    pub fn fully_compositional(&self) -> bool {
+        self.steps.iter().all(|s| s.compositional)
+    }
+}
+
+impl fmt::Display for Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "goal: {}", self.goal)?;
+        for s in &self.steps {
+            writeln!(
+                f,
+                "  [{}] {} {}",
+                if s.ok { "ok" } else { "FAIL" },
+                s.description,
+                if s.compositional { "" } else { "(whole-system check)" }
+            )?;
+        }
+        writeln!(f, "verdict: {}", if self.valid { "established" } else { "NOT established" })
+    }
+}
+
+/// Engine errors.
+#[derive(Debug, Clone)]
+pub enum EngineError {
+    /// Explicit model checking failed.
+    Check(String),
+    /// A rule application failed.
+    Rule(RuleError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Check(m) => write!(f, "{m}"),
+            EngineError::Rule(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<RuleError> for EngineError {
+    fn from(e: RuleError) -> Self {
+        EngineError::Rule(e)
+    }
+}
+
+/// The assume-guarantee engine for a fixed set of components.
+pub struct Engine {
+    components: Vec<Component>,
+    union: Alphabet,
+}
+
+impl Engine {
+    /// Build an engine over the given components.
+    pub fn new(components: Vec<Component>) -> Self {
+        let union = components
+            .iter()
+            .fold(Alphabet::empty(), |acc, c| acc.union(c.system.alphabet()));
+        Engine { components, union }
+    }
+
+    /// The union alphabet `Σ*` of all components.
+    pub fn union_alphabet(&self) -> &Alphabet {
+        &self.union
+    }
+
+    /// The components.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// The monolithic composition `M₁ ∘ M₂ ∘ …` (exponential; used for
+    /// cross-validation and as a fallback for unclassifiable properties).
+    pub fn composed(&self) -> System {
+        let mut it = self.components.iter();
+        let first = it.next().expect("engine needs at least one component");
+        it.fold(first.system.clone(), |acc, c| acc.compose(&c.system))
+    }
+
+    /// The *minimal expansion* of component `i` for checking a formula
+    /// with proposition set `props`: the component expanded over only the
+    /// propositions it is missing (Lemma 5 makes this equivalent to the
+    /// full-union expansion for formulas in `C(Σᵢ ∪ props)` — and it is
+    /// exponentially cheaper when obligations are local, which is what
+    /// makes the Discussion's linear-in-components claim real).
+    fn minimal_expansion(
+        &self,
+        i: usize,
+        props: &std::collections::BTreeSet<String>,
+    ) -> System {
+        let own = self.components[i].system.alphabet();
+        let extra: Vec<String> = props.iter().filter(|p| !own.contains(p)).cloned().collect();
+        for p in &extra {
+            assert!(
+                self.union.contains(p),
+                "formula proposition {p:?} unknown to every component"
+            );
+        }
+        if extra.is_empty() {
+            self.components[i].system.clone()
+        } else {
+            self.components[i].system.expand(&Alphabet::new(extra))
+        }
+    }
+
+    /// Flatten top-level conjunctions.
+    fn conjuncts(f: &Formula) -> Vec<Formula> {
+        match f {
+            Formula::And(a, b) => {
+                let mut out = Self::conjuncts(a);
+                out.extend(Self::conjuncts(b));
+                out
+            }
+            other => vec![other.clone()],
+        }
+    }
+
+    /// Check a universal obligation on every component, conjunct-wise with
+    /// minimal expansions, in parallel. Appends one step per (conjunct,
+    /// component) check.
+    fn check_universal(
+        &self,
+        f: &Formula,
+        cert: &mut Certificate,
+    ) -> Result<(), EngineError> {
+        let mut tasks: Vec<(String, System, Formula)> = Vec::new();
+        for conjunct in Self::conjuncts(f) {
+            let props = conjunct.atomic_props();
+            for (i, comp) in self.components.iter().enumerate() {
+                tasks.push((
+                    format!("minimal expansion of {} ⊨ {conjunct}", comp.name),
+                    self.minimal_expansion(i, &props),
+                    conjunct.clone(),
+                ));
+            }
+        }
+        for (name, ok) in crate::parallel::check_tasks_parallel(&tasks) {
+            let ok = ok.map_err(EngineError::Check)?;
+            cert.step(name, ok, true);
+        }
+        Ok(())
+    }
+
+    /// Prove `⊨_r f` of the composition, compositionally where the rules
+    /// allow, with a whole-system fallback otherwise.
+    pub fn prove(&self, r: &Restriction, f: &Formula) -> Result<Certificate, EngineError> {
+        let mut cert = Certificate { goal: format!("system ⊨_{r} {f}"), steps: vec![], valid: true };
+        match classify(f, r) {
+            Some(c) if c.class == PropertyClass::Universal => {
+                cert.step(
+                    format!("{f} classified universal by {:?}", c.rule),
+                    true,
+                    true,
+                );
+                self.check_universal(f, &mut cert)?;
+                if cert.valid {
+                    cert.step(
+                        "universal property transfers to the composition (Rule 2)",
+                        true,
+                        true,
+                    );
+                }
+            }
+            Some(c) => {
+                cert.step(
+                    format!("{f} classified existential by {:?}", c.rule),
+                    true,
+                    true,
+                );
+                // The expansion must also cover the restriction's
+                // propositions, or the component checker cannot evaluate
+                // `I` and `F`.
+                let mut props = f.atomic_props();
+                props.extend(r.init.atomic_props());
+                for c in &r.fairness {
+                    props.extend(c.atomic_props());
+                }
+                let mut found = false;
+                for (i, comp) in self.components.iter().enumerate() {
+                    let expansion = self.minimal_expansion(i, &props);
+                    let checker = Checker::new(&expansion)
+                        .map_err(|e| EngineError::Check(e.to_string()))?;
+                    let v = checker
+                        .check(r, f)
+                        .map_err(|e| EngineError::Check(e.to_string()))?;
+                    if v.holds {
+                        cert.step(
+                            format!("minimal expansion of {} ⊨_{r} {f}", comp.name),
+                            true,
+                            true,
+                        );
+                        cert.step(
+                            "existential property transfers to the composition (Rules 1/3)",
+                            true,
+                            true,
+                        );
+                        found = true;
+                        break;
+                    }
+                }
+                if !found {
+                    // Transfer-from-one-component is sufficient, not
+                    // necessary: the property may still hold through the
+                    // components' interaction. Fall back to the monolith.
+                    cert.step(
+                        "no single component establishes the existential property;                          falling back to whole-system check",
+                        true,
+                        false,
+                    );
+                    let composed = self.composed();
+                    let checker = Checker::new(&composed)
+                        .map_err(|e| EngineError::Check(e.to_string()))?;
+                    let v = checker
+                        .check(r, f)
+                        .map_err(|e| EngineError::Check(e.to_string()))?;
+                    cert.step(format!("composition ⊨_{r} {f}"), v.holds, false);
+                }
+            }
+            None => {
+                cert.step(
+                    format!("{f} not classifiable by Rules 1-3; falling back to whole-system check"),
+                    true,
+                    false,
+                );
+                let composed = self.composed();
+                let checker =
+                    Checker::new(&composed).map_err(|e| EngineError::Check(e.to_string()))?;
+                let v = checker
+                    .check(r, f)
+                    .map_err(|e| EngineError::Check(e.to_string()))?;
+                cert.step(format!("composition ⊨_{r} {f}"), v.holds, false);
+            }
+        }
+        Ok(cert)
+    }
+
+    /// Prove `⊨_(I,F) AG Inv` via the invariant rule of §4.2.3: `Inv` must
+    /// be propositional, `I ⇒ Inv` valid, and `Inv ⇒ AX Inv` universal.
+    ///
+    /// The invariant is split into prop-connected **clusters**, and each
+    /// cluster `K` is checked per component with an escalating hypothesis:
+    ///
+    /// 1. `K ⇒ AX K` over the component's minimal expansion (local
+    ///    induction — cost proportional to the cluster footprint),
+    /// 2. `H ⇒ AX K` where `H` adds the invariant conjuncts whose
+    ///    propositions touch the component's alphabet or the cluster
+    ///    (bounded mutual induction — still local),
+    /// 3. `Inv ⇒ AX K` (full mutual induction, the §4.2.3 form).
+    ///
+    /// Every level implies the universal property `Inv ⇒ AX K` on that
+    /// component (`Inv ⇒ K` and `Inv ⇒ H` propositionally), so Rule 2
+    /// transfers `Inv ⇒ AX Inv` to the composition whenever each
+    /// (cluster, component) pair passes at *some* level. The certificate
+    /// records the level used — linear verification cost in the number of
+    /// components is achieved exactly when level 3 is never needed.
+    pub fn prove_invariant(
+        &self,
+        inv: &Formula,
+        init: &Formula,
+        fairness: &[Formula],
+    ) -> Result<Certificate, EngineError> {
+        let (_universal, validity) = invariant_obligations(inv, init)?;
+        let r = Restriction::new(init.clone(), fairness.iter().cloned());
+        let mut cert = Certificate {
+            goal: format!("system ⊨_{r} AG ({inv})"),
+            steps: vec![],
+            valid: true,
+        };
+        // I ⇒ Inv: a propositional validity over the mentioned props.
+        let mut validity_props = validity.atomic_props();
+        if validity_props.is_empty() {
+            validity_props.insert(
+                self.union.names().first().cloned().unwrap_or_else(|| "p".into()),
+            );
+        }
+        let validity_alphabet = Alphabet::new(validity_props.into_iter().collect::<Vec<_>>());
+        let valid_init = crate::parallel::propositional_validity(&validity_alphabet, &validity);
+        cert.step(format!("validity of {validity}"), valid_init, true);
+
+        // Each conjunct is its own obligation unit `K`; the hypothesis
+        // escalation below supplies whatever neighbouring conjuncts the
+        // induction needs. (Grouping conjuncts into prop-connected
+        // clusters first would be sound too, but transitive sharing can
+        // chain every conjunct into one global cluster — e.g. the pairwise
+        // mutual-exclusion invariant of a token ring — destroying the
+        // locality this method exists to exploit.)
+        let conjuncts = Self::conjuncts(inv);
+        for k in &conjuncts {
+            let k_props = k.atomic_props();
+            for (i, comp) in self.components.iter().enumerate() {
+                let level = self.check_cluster_on_component(i, &conjuncts, inv, k, &k_props)?;
+                match level {
+                    Some(level) => cert.step(
+                        format!(
+                            "{}: Inv ⇒ AX ({k}) via {}",
+                            comp.name,
+                            match level {
+                                1 => "local induction (K ⇒ AX K)",
+                                2 => "neighbourhood mutual induction",
+                                _ => "full mutual induction (Inv ⇒ AX K)",
+                            }
+                        ),
+                        true,
+                        true,
+                    ),
+                    None => cert.step(
+                        format!("{}: Inv ⇒ AX ({k}) FAILS at every hypothesis level", comp.name),
+                        false,
+                        true,
+                    ),
+                }
+            }
+        }
+        if cert.valid {
+            cert.step(
+                "invariant rule: I ⇒ Inv and Inv ⇒ AX Inv (universal) give AG Inv under r",
+                true,
+                true,
+            );
+        }
+        Ok(cert)
+    }
+
+    /// Try the three hypothesis levels for cluster `k` on component `i`;
+    /// returns the first level that passes.
+    fn check_cluster_on_component(
+        &self,
+        i: usize,
+        conjuncts: &[Formula],
+        inv: &Formula,
+        k: &Formula,
+        k_props: &std::collections::BTreeSet<String>,
+    ) -> Result<Option<u8>, EngineError> {
+        let check = |sys: &System, f: &Formula| -> Result<bool, EngineError> {
+            Checker::new(sys)
+                .and_then(|c| c.holds_everywhere(f))
+                .map_err(|e| EngineError::Check(e.to_string()))
+        };
+        // Level 1: local induction.
+        let local = k.clone().implies(k.clone().ax());
+        let sys1 = self.minimal_expansion(i, k_props);
+        if check(&sys1, &local)? {
+            return Ok(Some(1));
+        }
+        // Level 2: neighbourhood hypothesis — the conjuncts that fit
+        // entirely inside the footprint Σᵢ ∪ props(K). Conjuncts merely
+        // *touching* the footprint would drag their remaining propositions
+        // in and blow the expansion back up to the union width.
+        let own = self.components[i].system.alphabet();
+        let relevant: Vec<Formula> = conjuncts
+            .iter()
+            .filter(|c| {
+                let ps = c.atomic_props();
+                ps.iter().all(|p| own.contains(p) || k_props.contains(p))
+            })
+            .cloned()
+            .collect();
+        let hyp = Formula::and_many(relevant);
+        let wide = hyp.clone().implies(k.clone().ax());
+        let mut props2 = wide.atomic_props();
+        props2.extend(k_props.iter().cloned());
+        let sys2 = self.minimal_expansion(i, &props2);
+        if check(&sys2, &wide)? {
+            return Ok(Some(2));
+        }
+        // Level 3: full mutual induction.
+        let full = inv.clone().implies(k.clone().ax());
+        let props3 = full.atomic_props();
+        let sys3 = self.minimal_expansion(i, &props3);
+        if check(&sys3, &full)? {
+            return Ok(Some(3));
+        }
+        Ok(None)
+    }
+
+    /// Discharge a guarantees property: prove each left-hand obligation of
+    /// `g` on the composition (compositionally where classifiable), then
+    /// conclude the right-hand sides.
+    pub fn discharge(&self, g: &Guarantee) -> Result<Certificate, EngineError> {
+        let mut cert = Certificate {
+            goal: format!("discharge {}", g.provenance),
+            steps: vec![],
+            valid: true,
+        };
+        for (f, r) in &g.lhs {
+            let sub = self.prove(r, f)?;
+            let compositional = sub.fully_compositional();
+            cert.step(
+                format!("obligation ⊨_{r} {f}"),
+                sub.valid,
+                compositional,
+            );
+        }
+        if cert.valid {
+            for (f, r) in &g.rhs {
+                cert.step(format!("concluded: system ⊨_{r} {f}"), true, true);
+            }
+        }
+        Ok(cert)
+    }
+
+    /// Cross-check a claim against the monolithic composition (used by the
+    /// test-suite to validate the engine's conclusions).
+    pub fn monolithic_check(&self, r: &Restriction, f: &Formula) -> Result<bool, EngineError> {
+        let composed = self.composed();
+        let checker = Checker::new(&composed).map_err(|e| EngineError::Check(e.to_string()))?;
+        Ok(checker
+            .check(r, f)
+            .map_err(|e| EngineError::Check(e.to_string()))?
+            .holds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmc_ctl::parse;
+
+    /// Two components over {x} and {y}: x only rises; y only rises.
+    fn rising_pair() -> Engine {
+        let mut mx = System::new(Alphabet::new(["x"]));
+        mx.add_transition_named(&[], &["x"]);
+        let mut my = System::new(Alphabet::new(["y"]));
+        my.add_transition_named(&[], &["y"]);
+        Engine::new(vec![Component::new("mx", mx), Component::new("my", my)])
+    }
+
+    #[test]
+    fn universal_property_proved_compositionally() {
+        let e = rising_pair();
+        // x ⇒ AX x holds in mx, and in my's expansion x is frame-preserved.
+        let cert = e.prove(&Restriction::trivial(), &parse("x -> AX x").unwrap()).unwrap();
+        assert!(cert.valid, "{cert}");
+        assert!(cert.fully_compositional());
+        // Cross-check against the monolith.
+        assert!(e.monolithic_check(&Restriction::trivial(), &parse("x -> AX x").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn universal_property_fails_when_a_component_breaks_it() {
+        // my2 can clear x! (shares the variable)
+        let mut mx = System::new(Alphabet::new(["x"]));
+        mx.add_transition_named(&[], &["x"]);
+        let mut my2 = System::new(Alphabet::new(["x", "y"]));
+        my2.add_transition_named(&["x"], &["y"]);
+        let e = Engine::new(vec![Component::new("mx", mx), Component::new("saboteur", my2)]);
+        let cert = e.prove(&Restriction::trivial(), &parse("x -> AX x").unwrap()).unwrap();
+        assert!(!cert.valid);
+        // The certificate pinpoints the failing component.
+        assert!(cert
+            .steps
+            .iter()
+            .any(|s| !s.ok && s.description.contains("saboteur")));
+        assert!(!e.monolithic_check(&Restriction::trivial(), &parse("x -> AX x").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn existential_property_from_one_component() {
+        let e = rising_pair();
+        // ¬x ⇒ EX x holds in mx; transfers existentially.
+        let cert = e.prove(&Restriction::trivial(), &parse("!x -> EX x").unwrap()).unwrap();
+        assert!(cert.valid, "{cert}");
+        assert!(cert.fully_compositional());
+        assert!(e.monolithic_check(&Restriction::trivial(), &parse("!x -> EX x").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn unclassifiable_falls_back_to_monolith() {
+        let e = rising_pair();
+        let cert = e.prove(&Restriction::trivial(), &parse("EF (x & y)").unwrap()).unwrap();
+        assert!(cert.valid, "{cert}");
+        assert!(!cert.fully_compositional());
+    }
+
+    #[test]
+    fn invariant_rule_end_to_end() {
+        // Components: x rises; a monitor that sets y when x (y over both).
+        let mut mx = System::new(Alphabet::new(["x"]));
+        mx.add_transition_named(&[], &["x"]);
+        let mut mon = System::new(Alphabet::new(["x", "y"]));
+        mon.add_transition_named(&["x"], &["x", "y"]);
+        let e = Engine::new(vec![Component::new("mx", mx), Component::new("mon", mon)]);
+        // Invariant: y ⇒ x. Initially ¬x ∧ ¬y.
+        let inv = parse("y -> x").unwrap();
+        let init = parse("!x & !y").unwrap();
+        let cert = e.prove_invariant(&inv, &init, &[]).unwrap();
+        assert!(cert.valid, "{cert}");
+        assert!(cert.fully_compositional());
+        // Cross-check AG(inv) monolithically under the same restriction.
+        let r = Restriction::with_init(init);
+        assert!(e.monolithic_check(&r, &inv.ag()).unwrap());
+    }
+
+    #[test]
+    fn invariant_rule_rejects_bad_invariant() {
+        let e = rising_pair();
+        // "x" is not inductive from ¬x init (init fails validity I ⇒ Inv).
+        let cert = e
+            .prove_invariant(&parse("x").unwrap(), &parse("!x").unwrap(), &[])
+            .unwrap();
+        assert!(!cert.valid);
+    }
+
+    #[test]
+    fn discharge_rule4_guarantee() {
+        // Component with an always-enabled helpful move p -> q (shared p,q
+        // alphabet); environment only stutters on these.
+        let mut helper = System::new(Alphabet::new(["p", "q"]));
+        helper.add_transition_named(&["p"], &["q"]);
+        helper.add_transition_named(&["p", "q"], &["q"]);
+        let idle = System::new(Alphabet::new(["p", "q"]));
+        let p = parse("p").unwrap();
+        let q = parse("q").unwrap();
+        let g = crate::rules::rule4(&helper, &p, &q).unwrap();
+        let e = Engine::new(vec![
+            Component::new("helper", helper),
+            Component::new("idle", idle),
+        ]);
+        let cert = e.discharge(&g).unwrap();
+        assert!(cert.valid, "{cert}");
+        // The conclusion is checkable monolithically too: under the
+        // fairness (¬p ∨ q), p ⇒ A(p U q).
+        let r = &g.rhs[0].1;
+        assert!(e.monolithic_check(r, &g.rhs[0].0).unwrap());
+        assert!(e.monolithic_check(&g.rhs[1].1, &g.rhs[1].0).unwrap());
+    }
+
+    #[test]
+    fn discharge_fails_with_disabling_environment() {
+        // Environment that can clear p∧... — wait, the obligation is
+        // p ⇒ AX(p∨q) on the system; a saboteur moving p-states to ¬p∧¬q
+        // states breaks it.
+        let mut helper = System::new(Alphabet::new(["p", "q"]));
+        helper.add_transition_named(&["p"], &["q"]);
+        helper.add_transition_named(&["p", "q"], &["q"]);
+        let mut saboteur = System::new(Alphabet::new(["p", "q"]));
+        saboteur.add_transition_named(&["p"], &[]);
+        let p = parse("p").unwrap();
+        let q = parse("q").unwrap();
+        let g = crate::rules::rule4(&helper, &p, &q).unwrap();
+        let e = Engine::new(vec![
+            Component::new("helper", helper),
+            Component::new("saboteur", saboteur),
+        ]);
+        let cert = e.discharge(&g).unwrap();
+        assert!(!cert.valid);
+        // And indeed the liveness conclusion fails monolithically.
+        assert!(!e.monolithic_check(&g.rhs[0].1, &g.rhs[0].0).unwrap());
+    }
+
+    /// The hypothesis-escalation ladder: a mutual-induction invariant
+    /// whose conjuncts are not inductive alone must pass at level >= 2 and
+    /// the certificate must say so.
+    #[test]
+    fn invariant_escalation_levels() {
+        // Ring of three stations passing a token (t0 -> t1 -> t2 -> t0).
+        let station = |i: usize| {
+            let j = (i + 1) % 3;
+            let names = [format!("t{i}"), format!("t{j}")];
+            let mut m = System::new(Alphabet::new(names));
+            let st = |b: bool, c: bool| {
+                let s = cmc_kripke::State::EMPTY;
+                s.with(0, b).with(1, c)
+            };
+            // token handoff: (t_i, *) -> (!t_i, t_j)
+            m.add_transition(st(true, false), st(false, true));
+            m.add_transition(st(true, true), st(false, true));
+            m
+        };
+        let e = Engine::new(vec![
+            Component::new("s0", station(0)),
+            Component::new("s1", station(1)),
+            Component::new("s2", station(2)),
+        ]);
+        // Pairwise mutual exclusion: each conjunct alone is NOT inductive
+        // (a handoff into t_j needs to know the source t_k was exclusive),
+        // so the engine must escalate.
+        let inv = parse("!(t0 & t1) & !(t0 & t2) & !(t1 & t2)").unwrap();
+        let init = parse("t0 & !t1 & !t2").unwrap();
+        let cert = e.prove_invariant(&inv, &init, &[]).unwrap();
+        assert!(cert.valid, "{cert}");
+        assert!(cert.fully_compositional());
+        assert!(
+            cert.steps.iter().any(|s| s.description.contains("mutual induction")),
+            "escalation expected: {cert}"
+        );
+        // Cross-check monolithically.
+        let r = Restriction::with_init(init);
+        assert!(e.monolithic_check(&r, &inv.ag()).unwrap());
+    }
+
+    /// Minimal expansions: obligations whose propositions live inside one
+    /// component never construct wide systems (observable through a large
+    /// union alphabet that would exceed the explicit checker's limit if
+    /// fully expanded).
+    #[test]
+    fn minimal_expansion_keeps_wide_unions_tractable() {
+        // 30 independent 1-bit components: union alphabet of 30 props is
+        // beyond MAX_EXPLICIT_PROPS, so full-union expansion would fail.
+        let comps: Vec<Component> = (0..30)
+            .map(|i| {
+                let name = format!("x{i}");
+                let mut m = System::new(Alphabet::new([name.clone()]));
+                m.add_transition_named(&[], &[name.as_str()]);
+                Component::new(format!("c{i}"), m)
+            })
+            .collect();
+        let e = Engine::new(comps);
+        assert_eq!(e.union_alphabet().len(), 30);
+        let cert = e
+            .prove(&Restriction::trivial(), &parse("x3 -> AX x3").unwrap())
+            .unwrap();
+        assert!(cert.valid, "{cert}");
+        assert!(cert.fully_compositional());
+    }
+
+    #[test]
+    fn certificate_display() {
+        let e = rising_pair();
+        let cert = e.prove(&Restriction::trivial(), &parse("x -> AX x").unwrap()).unwrap();
+        let text = cert.to_string();
+        assert!(text.contains("goal:"));
+        assert!(text.contains("[ok]"));
+        assert!(text.contains("established"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Executable forms of the CTL composition lemmas of §3.2 (Lemmas 5–11).
+//!
+//! Together with `cmc_kripke::lemmas` (Lemmas 1–4), these let the test
+//! suite — including property-based tests over random systems — confirm
+//! every algebraic step the paper's theory rests on, and let the proof
+//! engine double-check its own rewriting on concrete systems.
+
+use cmc_ctl::{CheckError, Checker, Formula, Restriction};
+use cmc_kripke::{Alphabet, State, System};
+
+/// Lemma 5: expansion preserves properties. For `f ∈ C(Σ)`:
+/// `M ⊨ f  ⇔  M ∘ (Σ', I) ⊨ f`.
+pub fn lemma5_expansion_preserves(
+    m: &System,
+    sigma_prime: &Alphabet,
+    f: &Formula,
+) -> Result<bool, CheckError> {
+    let lhs = Checker::new(m)?.holds_everywhere(f)?;
+    let expanded = m.expand(sigma_prime);
+    let rhs = Checker::new(&expanded)?.holds_everywhere(f)?;
+    Ok(lhs == rhs)
+}
+
+/// Lemma 6: `M ⊨ (f ⇒ AX g)  ⇔  ∀s ⊨ f: ∀t ∈ R(s): t ⊨ g`
+/// for propositional `f`, `g`.
+pub fn lemma6_ax_structural(m: &System, f: &Formula, g: &Formula) -> Result<bool, CheckError> {
+    let formula = f.clone().implies(g.clone().ax());
+    let semantic = Checker::new(m)?.holds_everywhere(&formula)?;
+    let structural = m.states().all(|s| {
+        !f.eval_in_state(m.alphabet(), s)
+            || m.successors(s)
+                .into_iter()
+                .all(|t| g.eval_in_state(m.alphabet(), t))
+    });
+    Ok(semantic == structural)
+}
+
+/// Lemma 7: `M ⊨ (f ⇒ EX g)  ⇔  ∀s ⊨ f: ∃t ∈ R(s): t ⊨ g`.
+pub fn lemma7_ex_structural(m: &System, f: &Formula, g: &Formula) -> Result<bool, CheckError> {
+    let formula = f.clone().implies(g.clone().ex());
+    let semantic = Checker::new(m)?.holds_everywhere(&formula)?;
+    let structural = m.states().all(|s| {
+        !f.eval_in_state(m.alphabet(), s)
+            || m.successors(s)
+                .into_iter()
+                .any(|t| g.eval_in_state(m.alphabet(), t))
+    });
+    Ok(semantic == structural)
+}
+
+/// Lemma 8: frame conjunction. For `p`, `q` over `Σ` and `p'` over
+/// `Σ' − Σ`:
+///
+/// ```text
+/// M ⊨ (p ⇒ AX q)  ⇒  M ∘ (Σ', I) ⊨ (p ∧ p' ⇒ AX (q ∧ p'))
+/// M ⊨ (p ⇒ EX q)  ⇒  M ∘ (Σ', I) ⊨ (p ∧ p' ⇒ EX (q ∧ p'))
+/// ```
+pub fn lemma8_frame_conjunction(
+    m: &System,
+    sigma_prime: &Alphabet,
+    p: &Formula,
+    q: &Formula,
+    p_prime: &Formula,
+) -> Result<bool, CheckError> {
+    let checker = Checker::new(m)?;
+    let expanded = m.expand(sigma_prime);
+    let echecker = Checker::new(&expanded)?;
+    let mut ok = true;
+    if checker.holds_everywhere(&p.clone().implies(q.clone().ax()))? {
+        let lifted = p
+            .clone()
+            .and(p_prime.clone())
+            .implies(q.clone().and(p_prime.clone()).ax());
+        ok &= echecker.holds_everywhere(&lifted)?;
+    }
+    if checker.holds_everywhere(&p.clone().implies(q.clone().ex()))? {
+        let lifted = p
+            .clone()
+            .and(p_prime.clone())
+            .implies(q.clone().and(p_prime.clone()).ex());
+        ok &= echecker.holds_everywhere(&lifted)?;
+    }
+    Ok(ok)
+}
+
+/// Lemma 9: frame disjunction. Under the same conditions:
+///
+/// ```text
+/// M ⊨ (p ⇒ AX q)  ⇒  M ∘ (Σ', I) ⊨ ((p ∨ p') ⇒ AX (q ∨ p'))
+/// M ⊨ (p ⇒ EX q)  ⇒  M ∘ (Σ', I) ⊨ ((p ∨ p') ⇒ EX (q ∨ p'))
+/// ```
+pub fn lemma9_frame_disjunction(
+    m: &System,
+    sigma_prime: &Alphabet,
+    p: &Formula,
+    q: &Formula,
+    p_prime: &Formula,
+) -> Result<bool, CheckError> {
+    let checker = Checker::new(m)?;
+    let expanded = m.expand(sigma_prime);
+    let echecker = Checker::new(&expanded)?;
+    let mut ok = true;
+    if checker.holds_everywhere(&p.clone().implies(q.clone().ax()))? {
+        let lifted = p
+            .clone()
+            .or(p_prime.clone())
+            .implies(q.clone().or(p_prime.clone()).ax());
+        ok &= echecker.holds_everywhere(&lifted)?;
+    }
+    if checker.holds_everywhere(&p.clone().implies(q.clone().ex()))? {
+        let lifted = p
+            .clone()
+            .or(p_prime.clone())
+            .implies(q.clone().or(p_prime.clone()).ex());
+        ok &= echecker.holds_everywhere(&lifted)?;
+    }
+    Ok(ok)
+}
+
+/// Lemma 10: propositional transfer. For `Σ ⊆ Σ'`, `p ∈ C(Σ)`, and states
+/// `s ∈ 2^Σ`, `s' ∈ 2^Σ'` with `s = s' ∩ Σ`: `M, s ⊨ p ⇔ M', s' ⊨ p`.
+pub fn lemma10_propositional_transfer(
+    sigma: &Alphabet,
+    sigma_big: &Alphabet,
+    p: &Formula,
+    s_big: State,
+) -> bool {
+    assert!(sigma.is_subset_of(sigma_big));
+    let s = s_big.project(sigma_big, sigma);
+    p.eval_in_state(sigma, s) == p.eval_in_state(sigma_big, s_big)
+}
+
+/// Lemma 11: strengthening fairness preserves `f ⇒ AX g`:
+/// `M ⊨ (f ⇒ AX g)  ⇒  M ⊨_{(true, F)} (f ⇒ AX g)`.
+pub fn lemma11_fairness_strengthening(
+    m: &System,
+    f: &Formula,
+    g: &Formula,
+    fairness: &[Formula],
+) -> Result<bool, CheckError> {
+    let checker = Checker::new(m)?;
+    let formula = f.clone().implies(g.clone().ax());
+    if !checker.holds_everywhere(&formula)? {
+        return Ok(true); // implication holds vacuously
+    }
+    let r = Restriction::with_fairness(fairness.iter().cloned());
+    Ok(checker.check(&r, &formula)?.holds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmc_ctl::parse;
+
+    fn chain() -> System {
+        // ∅ -> {a} -> {a,b}, over {a, b}.
+        let mut m = System::new(Alphabet::new(["a", "b"]));
+        m.add_transition_named(&[], &["a"]);
+        m.add_transition_named(&["a"], &["a", "b"]);
+        m
+    }
+
+    #[test]
+    fn lemma5_holds_for_corpus() {
+        let m = chain();
+        let extra = Alphabet::new(["z", "a"]); // overlapping expansion
+        for text in ["a -> AX (a | b)", "EF (a & b)", "AG (b -> a)", "E [a U b]"] {
+            assert!(
+                lemma5_expansion_preserves(&m, &extra, &parse(text).unwrap()).unwrap(),
+                "Lemma 5 failed for {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma6_lemma7_structural_equivalence() {
+        let m = chain();
+        for (f, g) in [("a", "a | b"), ("!a", "a"), ("a & b", "b"), ("b", "a")] {
+            assert!(lemma6_ax_structural(&m, &parse(f).unwrap(), &parse(g).unwrap()).unwrap());
+            assert!(lemma7_ex_structural(&m, &parse(f).unwrap(), &parse(g).unwrap()).unwrap());
+        }
+    }
+
+    #[test]
+    fn lemma8_and_9_frame_preservation() {
+        let m = chain();
+        let extra = Alphabet::new(["z"]);
+        let p = parse("a").unwrap();
+        let q = parse("a").unwrap(); // a ⇒ AX a holds in `chain`
+        let p_prime = parse("z").unwrap();
+        assert!(lemma8_frame_conjunction(&m, &extra, &p, &q, &p_prime).unwrap());
+        assert!(lemma9_frame_disjunction(&m, &extra, &p, &q, &p_prime).unwrap());
+        // Negated frame formula too.
+        let np = parse("!z").unwrap();
+        assert!(lemma8_frame_conjunction(&m, &extra, &p, &q, &np).unwrap());
+    }
+
+    #[test]
+    fn lemma10_transfer_all_states() {
+        let sigma = Alphabet::new(["a", "b"]);
+        let big = sigma.union(&Alphabet::new(["c"]));
+        let p = parse("a & !b").unwrap();
+        for bits in 0u128..8 {
+            assert!(lemma10_propositional_transfer(&sigma, &big, &p, State(bits)));
+        }
+    }
+
+    #[test]
+    fn lemma11_fairness_strengthening_holds() {
+        let m = chain();
+        let fairness = vec![parse("b").unwrap(), parse("a | b").unwrap()];
+        assert!(lemma11_fairness_strengthening(
+            &m,
+            &parse("a").unwrap(),
+            &parse("a").unwrap(),
+            &fairness
+        )
+        .unwrap());
+    }
+}

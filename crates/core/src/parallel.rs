@@ -1,0 +1,123 @@
+//! Parallel component verification.
+//!
+//! The compositional method's practical selling point (Discussion §5) is
+//! that verification cost is *linear* in the number of components — and the
+//! per-component checks are independent, so they parallelise perfectly.
+//! This module fans component checks out over scoped threads (crossbeam),
+//! aggregating results under a `parking_lot` mutex.
+
+use cmc_ctl::{Checker, Formula};
+use cmc_kripke::{Alphabet, System};
+use parking_lot::Mutex;
+
+/// Check `⊨ f` (all states) on each system concurrently. Returns
+/// `(name, verdict-or-error)` in input order.
+pub fn check_holds_everywhere_parallel(
+    names: &[String],
+    systems: &[System],
+    f: &Formula,
+) -> Vec<(String, Result<bool, String>)> {
+    assert_eq!(names.len(), systems.len());
+    let results: Mutex<Vec<Option<Result<bool, String>>>> =
+        Mutex::new(vec![None; systems.len()]);
+    crossbeam::scope(|scope| {
+        for (i, system) in systems.iter().enumerate() {
+            let results = &results;
+            let f = &*f;
+            scope.spawn(move |_| {
+                let outcome = Checker::new(system)
+                    .and_then(|c| c.holds_everywhere(f))
+                    .map_err(|e| e.to_string());
+                results.lock()[i] = Some(outcome);
+            });
+        }
+    })
+    .expect("component verification thread panicked");
+    let collected = results.into_inner();
+    names
+        .iter()
+        .cloned()
+        .zip(collected.into_iter().map(|r| r.expect("all slots filled")))
+        .collect()
+}
+
+/// Run heterogeneous check tasks concurrently: each task is a labelled
+/// `⊨ f` (all states) check of one formula on one system. Returns results
+/// in task order.
+pub fn check_tasks_parallel(
+    tasks: &[(String, System, Formula)],
+) -> Vec<(String, Result<bool, String>)> {
+    let results: Mutex<Vec<Option<Result<bool, String>>>> = Mutex::new(vec![None; tasks.len()]);
+    crossbeam::scope(|scope| {
+        for (i, (_, system, f)) in tasks.iter().enumerate() {
+            let results = &results;
+            scope.spawn(move |_| {
+                let outcome = Checker::new(system)
+                    .and_then(|c| c.holds_everywhere(f))
+                    .map_err(|e| e.to_string());
+                results.lock()[i] = Some(outcome);
+            });
+        }
+    })
+    .expect("check task thread panicked");
+    let collected = results.into_inner();
+    tasks
+        .iter()
+        .map(|(name, _, _)| name.clone())
+        .zip(collected.into_iter().map(|r| r.expect("all slots filled")))
+        .collect()
+}
+
+/// Decide propositional validity of `f` over all states of `alphabet`
+/// (used for the `I ⇒ Inv` obligation of the invariant rule).
+pub fn propositional_validity(alphabet: &Alphabet, f: &Formula) -> bool {
+    debug_assert!(f.is_propositional());
+    cmc_kripke::state::all_states(alphabet).all(|s| f.eval_in_state(alphabet, s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmc_ctl::parse;
+
+    fn rising(name: &str) -> System {
+        let mut m = System::new(Alphabet::new([name]));
+        m.add_transition_named(&[], &[name]);
+        m
+    }
+
+    #[test]
+    fn parallel_checks_match_sequential() {
+        let systems: Vec<System> = (0..8).map(|i| rising(&format!("v{i}"))).collect();
+        let names: Vec<String> = (0..8).map(|i| format!("c{i}")).collect();
+        // v0 ⇒ AX v0 — true for c0 (it owns v0 and never clears it) and
+        // errors for others (unknown proposition), proving per-component
+        // isolation of errors.
+        let f = parse("v0 -> AX v0").unwrap();
+        let results = check_holds_everywhere_parallel(&names, &systems, &f);
+        assert_eq!(results.len(), 8);
+        assert_eq!(results[0].1, Ok(true));
+        for (_, r) in &results[1..] {
+            assert!(r.is_err());
+        }
+    }
+
+    #[test]
+    fn parallel_order_is_stable() {
+        let systems: Vec<System> = (0..4).map(|_| rising("x")).collect();
+        let names: Vec<String> = (0..4).map(|i| format!("c{i}")).collect();
+        let f = parse("x -> AX x").unwrap();
+        let results = check_holds_everywhere_parallel(&names, &systems, &f);
+        let got: Vec<&str> = results.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(got, vec!["c0", "c1", "c2", "c3"]);
+        assert!(results.iter().all(|(_, r)| *r == Ok(true)));
+    }
+
+    #[test]
+    fn propositional_validity_decides_tautologies() {
+        let al = Alphabet::new(["a", "b"]);
+        assert!(propositional_validity(&al, &parse("a | !a").unwrap()));
+        assert!(propositional_validity(&al, &parse("a & b -> a").unwrap()));
+        assert!(!propositional_validity(&al, &parse("a -> b").unwrap()));
+    }
+}

@@ -1,0 +1,271 @@
+//! Property classification: universal, existential, and guarantees
+//! properties (§3.3 of the paper).
+//!
+//! * A property `f` is **existential** when `M ⊨_r f ⇒ M ∘ M' ⊨_r f` for
+//!   any `M'` — it transfers from *any one* component to the composition.
+//! * A property is **universal** when
+//!   `M ⊨_r f ∧ M' ⊨_r f ⇒ M ∘ M' ⊨_r f` — it transfers when *all*
+//!   components have it.
+//! * A **guarantees** property `f guarantees_r' g` of a component means:
+//!   for any composition containing the component, if the *composed system*
+//!   satisfies `f` then it satisfies `g` under `r'`. Guarantees properties
+//!   are themselves existential (inherited by any containing system).
+//!
+//! The classifier implements the paper's syntactic rules:
+//!
+//! * **Rule 1** — a propositional formula under `r = (I, {true})` is
+//!   existential.
+//! * **Rule 2** — `p ⇒ AX q` with `p`, `q` propositional is universal.
+//! * **Rule 3** — `p ⇒ EX q` with `p`, `q` propositional is existential.
+//!
+//! Conjunctions of universally classified formulas are universal (shown by
+//! applying Rule 2 conjunct-wise, as the paper does for (Cli3)/(Srv3));
+//! likewise the paper freely conjoins Rule-1/Rule-3 existentials checked on
+//! the *same* component, which is sound because both conjuncts transfer
+//! from that one component.
+
+use cmc_ctl::{Formula, Restriction};
+
+/// How a property transfers through composition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropertyClass {
+    /// Transfers when every component satisfies it (Rule 2 shapes).
+    Universal,
+    /// Transfers from any single component (Rule 1 / Rule 3 shapes).
+    Existential,
+}
+
+/// The syntactic rule that justified a classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassRule {
+    /// Rule 1: propositional formula, trivial fairness.
+    Rule1Propositional,
+    /// Rule 2: `p ⇒ AX q`.
+    Rule2NextUniversal,
+    /// Rule 3: `p ⇒ EX q`.
+    Rule3NextExistential,
+    /// Extension of Rules 1/3: positive-existential formula (closed under
+    /// ∧, ∨, EX, EF, EG, EU) — sound by relation monotonicity.
+    PositiveExistential,
+    /// Conjunction of like-classified conjuncts.
+    Conjunction,
+}
+
+/// A classification result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Classified {
+    /// Universal or existential.
+    pub class: PropertyClass,
+    /// The justifying rule (outermost).
+    pub rule: ClassRule,
+}
+
+/// Classify a formula under a restriction by the paper's rules.
+/// Returns `None` when no rule applies (the property may still be provable
+/// via a guarantees property — see [`crate::rules`]).
+pub fn classify(f: &Formula, r: &Restriction) -> Option<Classified> {
+    let trivially_fair = r.fairness.iter().all(|c| *c == Formula::True);
+
+    // Rule 2 / Rule 3: p ⇒ AX q / p ⇒ EX q. The paper proves these for
+    // plain ⊨; Lemma 11 extends p ⇒ AX q to stronger fairness, so Rule 2
+    // also applies under any fairness (the satisfaction we *assume* for the
+    // components uses the same restriction).
+    if let Some(c) = classify_next_shape(f) {
+        return Some(c);
+    }
+
+    // Rule 1: propositional under (I, {true}).
+    if trivially_fair && f.is_propositional() {
+        return Some(Classified {
+            class: PropertyClass::Existential,
+            rule: ClassRule::Rule1Propositional,
+        });
+    }
+
+    // Extension (Rule 3+): positive-existential formulas. The paper
+    // explicitly makes "no claim of completeness"; this generalisation is
+    // sound by relation monotonicity — see [`is_positive_existential`].
+    if is_positive_existential(f) {
+        return Some(Classified {
+            class: PropertyClass::Existential,
+            rule: ClassRule::PositiveExistential,
+        });
+    }
+
+    // Conjunctions: all conjuncts must classify to the same class.
+    if let Formula::And(a, b) = f {
+        let ca = classify(a, r)?;
+        let cb = classify(b, r)?;
+        if ca.class == cb.class {
+            return Some(Classified { class: ca.class, rule: ClassRule::Conjunction });
+        }
+        // A universal conjoined with an existential does not transfer by
+        // these rules.
+        return None;
+    }
+
+    None
+}
+
+/// Is `f` **positive-existential**: built from propositional formulas by
+/// `∧`, `∨`, `EX`, `EF`, `EG`, `EU`, and `prop ⇒ PE`?
+///
+/// Such formulas are preserved by *adding transitions*: every path of
+/// `M`'s expansion is a path of `M ∘ M'` (the composed relation is a
+/// superset), a fair path stays fair (fairness constrains the path
+/// itself), and propositional parts transfer by Lemma 10. Hence
+/// positive-existential properties are existential — a strict,
+/// soundness-preserving generalisation of the paper's Rules 1 and 3
+/// (tested against monolithic checking on random systems).
+pub fn is_positive_existential(f: &Formula) -> bool {
+    use Formula::*;
+    if f.is_propositional() {
+        return true;
+    }
+    match f {
+        And(a, b) | Or(a, b) => is_positive_existential(a) && is_positive_existential(b),
+        Implies(a, b) => a.is_propositional() && is_positive_existential(b),
+        Ex(a) | Ef(a) | Eg(a) => is_positive_existential(a),
+        Eu(a, b) => is_positive_existential(a) && is_positive_existential(b),
+        _ => false,
+    }
+}
+
+/// Match `p ⇒ AX q` (Rule 2) or `p ⇒ EX q` (Rule 3), `p`/`q` propositional.
+fn classify_next_shape(f: &Formula) -> Option<Classified> {
+    if let Formula::Implies(p, rest) = f {
+        if !p.is_propositional() {
+            return None;
+        }
+        match rest.as_ref() {
+            Formula::Ax(q) if q.is_propositional() => {
+                return Some(Classified {
+                    class: PropertyClass::Universal,
+                    rule: ClassRule::Rule2NextUniversal,
+                })
+            }
+            Formula::Ex(q) if q.is_propositional() => {
+                return Some(Classified {
+                    class: PropertyClass::Existential,
+                    rule: ClassRule::Rule3NextExistential,
+                })
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmc_ctl::parse;
+
+    fn trivial() -> Restriction {
+        Restriction::trivial()
+    }
+
+    #[test]
+    fn rule1_propositional_existential() {
+        let c = classify(&parse("p -> q | !s").unwrap(), &trivial()).unwrap();
+        assert_eq!(c.class, PropertyClass::Existential);
+        assert_eq!(c.rule, ClassRule::Rule1Propositional);
+    }
+
+    #[test]
+    fn propositional_under_fairness_via_extension() {
+        // The paper's Rule 1 requires trivial fairness; the
+        // positive-existential extension covers the fair case (fairness
+        // cannot affect a propositional formula's satisfaction set).
+        let r = Restriction::with_fairness([parse("p").unwrap()]);
+        let c = classify(&parse("p | q").unwrap(), &r).unwrap();
+        assert_eq!(c.class, PropertyClass::Existential);
+        assert_eq!(c.rule, ClassRule::PositiveExistential);
+    }
+
+    #[test]
+    fn rule2_ax_universal() {
+        let c = classify(&parse("p -> AX (p | q)").unwrap(), &trivial()).unwrap();
+        assert_eq!(c.class, PropertyClass::Universal);
+        assert_eq!(c.rule, ClassRule::Rule2NextUniversal);
+        // Also under fairness (Lemma 11).
+        let r = Restriction::with_fairness([parse("!p | q").unwrap()]);
+        assert!(classify(&parse("p -> AX (p | q)").unwrap(), &r).is_some());
+    }
+
+    #[test]
+    fn rule3_ex_existential() {
+        let c = classify(&parse("p -> EX q").unwrap(), &trivial()).unwrap();
+        assert_eq!(c.class, PropertyClass::Existential);
+        assert_eq!(c.rule, ClassRule::Rule3NextExistential);
+    }
+
+    #[test]
+    fn temporal_antecedent_rejected() {
+        assert_eq!(classify(&parse("EF p -> AX q").unwrap(), &trivial()), None);
+        assert_eq!(classify(&parse("p -> AX EF q").unwrap(), &trivial()), None);
+    }
+
+    #[test]
+    fn conjunction_of_universals() {
+        let f = parse("(p -> AX p) & (q -> AX (q | p))").unwrap();
+        let c = classify(&f, &trivial()).unwrap();
+        assert_eq!(c.class, PropertyClass::Universal);
+        assert_eq!(c.rule, ClassRule::Conjunction);
+    }
+
+    #[test]
+    fn conjunction_of_existentials() {
+        let f = parse("(p -> EX q) & (q -> EX p)").unwrap();
+        let c = classify(&f, &trivial()).unwrap();
+        assert_eq!(c.class, PropertyClass::Existential);
+    }
+
+    #[test]
+    fn mixed_conjunction_unclassified() {
+        let f = parse("(p -> AX p) & (q -> EX p)").unwrap();
+        assert_eq!(classify(&f, &trivial()), None);
+    }
+
+    #[test]
+    fn ag_and_liveness_unclassified() {
+        // AG/AF shapes are not covered by Rules 1–3; they are handled by
+        // the invariant/guarantee machinery instead.
+        assert_eq!(classify(&parse("AG (p -> q)").unwrap(), &trivial()), None);
+        assert_eq!(classify(&parse("p -> AF q").unwrap(), &trivial()), None);
+    }
+
+    #[test]
+    fn positive_existential_shapes() {
+        for text in [
+            "EF (p & q)",
+            "E [p U q | s]",
+            "p -> EF (q & EX s)",
+            "EG p | EF q",
+            "EX EX p",
+        ] {
+            let c = classify(&parse(text).unwrap(), &trivial()).unwrap();
+            assert_eq!(c.class, PropertyClass::Existential, "{text}");
+        }
+        // Negation over a temporal operator breaks positivity.
+        assert!(!is_positive_existential(&parse("!EF p").unwrap()));
+        assert!(!is_positive_existential(&parse("EF !EX p").unwrap()));
+        // A-operators are not existential.
+        assert!(!is_positive_existential(&parse("AF p").unwrap()));
+        // Temporal antecedents are not allowed.
+        assert!(!is_positive_existential(&parse("EF p -> EF q").unwrap()));
+        // But negation *inside* the propositional layer is fine.
+        assert!(is_positive_existential(&parse("EF (!p & q)").unwrap()));
+    }
+
+    #[test]
+    fn paper_cli3_srv3_shapes_are_universal() {
+        // Figure 6's Srv3: three conjoined p ⇒ AX q properties.
+        let srv3 = parse(
+            "(r=null -> AX r=null) & (r=val -> AX r=val) & (r=inval -> AX r=inval)",
+        )
+        .unwrap();
+        let c = classify(&srv3, &trivial()).unwrap();
+        assert_eq!(c.class, PropertyClass::Universal);
+    }
+}

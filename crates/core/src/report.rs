@@ -1,0 +1,135 @@
+//! Rendering proof certificates as shareable reports.
+//!
+//! The paper's proposed workflow has the *component developer* ship proofs
+//! alongside the component ("including theorems and proofs in the
+//! documentation", §5). This module renders [`crate::Certificate`]s as
+//! Markdown so certificates can be dropped into a component's docs, and
+//! aggregates several certificates into one verification report.
+
+use crate::engine::Certificate;
+use std::fmt::Write;
+
+impl Certificate {
+    /// Render as a Markdown section with a step table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}", self.goal);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| # | step | scope | result |");
+        let _ = writeln!(out, "|---|------|-------|--------|");
+        for (i, s) in self.steps.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} |",
+                i + 1,
+                s.description.replace('|', "\\|"),
+                if s.compositional { "component-local" } else { "whole-system" },
+                if s.ok { "ok" } else { "**FAIL**" }
+            );
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "**Verdict:** {}{}",
+            if self.valid { "established" } else { "NOT established" },
+            if self.valid && self.fully_compositional() {
+                " (fully compositional — no whole-system model checking needed)"
+            } else {
+                ""
+            }
+        );
+        out
+    }
+}
+
+/// A bundle of certificates rendered as one report.
+#[derive(Debug, Clone, Default)]
+pub struct VerificationReport {
+    /// Report title.
+    pub title: String,
+    /// The certificates, in presentation order.
+    pub certificates: Vec<Certificate>,
+}
+
+impl VerificationReport {
+    /// Create an empty report.
+    pub fn new(title: impl Into<String>) -> Self {
+        VerificationReport { title: title.into(), certificates: Vec::new() }
+    }
+
+    /// Append a certificate.
+    pub fn push(&mut self, cert: Certificate) {
+        self.certificates.push(cert);
+    }
+
+    /// Do all certificates hold?
+    pub fn all_valid(&self) -> bool {
+        self.certificates.iter().all(|c| c.valid)
+    }
+
+    /// Render the whole report as Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{} obligation(s); {}.",
+            self.certificates.len(),
+            if self.all_valid() { "all established" } else { "SOME FAILED" }
+        );
+        let _ = writeln!(out);
+        for c in &self.certificates {
+            out.push_str(&c.to_markdown());
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Component, Engine};
+    use cmc_ctl::{parse, Restriction};
+    use cmc_kripke::{Alphabet, System};
+
+    fn sample_cert(valid: bool) -> Certificate {
+        let mut m = System::new(Alphabet::new(["x"]));
+        m.add_transition_named(&[], &["x"]);
+        let e = Engine::new(vec![Component::new("mx", m)]);
+        let f = if valid { "x -> AX x" } else { "x -> AX !x" };
+        e.prove(&Restriction::trivial(), &parse(f).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn markdown_contains_table_and_verdict() {
+        let md = sample_cert(true).to_markdown();
+        assert!(md.starts_with("### system"));
+        assert!(md.contains("| # | step | scope | result |"));
+        assert!(md.contains("component-local"));
+        assert!(md.contains("**Verdict:** established"));
+        assert!(md.contains("fully compositional"));
+    }
+
+    #[test]
+    fn failing_certificate_marked() {
+        let md = sample_cert(false).to_markdown();
+        assert!(md.contains("**FAIL**"));
+        assert!(md.contains("NOT established"));
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let mut r = VerificationReport::new("AFS-1 verification");
+        r.push(sample_cert(true));
+        r.push(sample_cert(true));
+        assert!(r.all_valid());
+        let md = r.to_markdown();
+        assert!(md.starts_with("# AFS-1 verification"));
+        assert!(md.contains("2 obligation(s); all established."));
+        r.push(sample_cert(false));
+        assert!(!r.all_valid());
+        assert!(r.to_markdown().contains("SOME FAILED"));
+    }
+}

@@ -1,0 +1,280 @@
+//! Progress rules (Rules 4 and 5) and the safety/invariant rule — the
+//! machinery that produces *guarantees properties* from component-level
+//! model checking (§3.3, §4.2.3, §5 of the paper).
+
+use cmc_ctl::{Checker, Formula, Restriction};
+use cmc_kripke::System;
+use std::fmt;
+
+/// Errors from rule application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleError {
+    /// A rule side condition requires a propositional formula.
+    NotPropositional(String),
+    /// The rule's model-checking premise failed on the component.
+    PremiseFailed(String),
+    /// Explicit checking failed (alphabet/size).
+    Check(String),
+    /// Malformed cover for Rule 5.
+    BadCover(String),
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::NotPropositional(m) => write!(f, "not propositional: {m}"),
+            RuleError::PremiseFailed(m) => write!(f, "rule premise failed: {m}"),
+            RuleError::Check(m) => write!(f, "model checking error: {m}"),
+            RuleError::BadCover(m) => write!(f, "bad cover: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+/// A *guarantees* property of a component: if the **composed system**
+/// satisfies every left-hand obligation, it satisfies every right-hand
+/// conclusion. Guarantees properties are themselves existential, so they
+/// are inherited by any system containing the component (§3.3).
+#[derive(Debug, Clone)]
+pub struct Guarantee {
+    /// Obligations on the composed system: `(formula, restriction)`.
+    pub lhs: Vec<(Formula, Restriction)>,
+    /// Conclusions that then hold of the composed system.
+    pub rhs: Vec<(Formula, Restriction)>,
+    /// Human-readable provenance (which rule, which component, which
+    /// parameters).
+    pub provenance: String,
+}
+
+impl fmt::Display for Guarantee {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "guarantee [{}]:", self.provenance)?;
+        for (g, r) in &self.lhs {
+            writeln!(f, "  requires ⊨_{r} {g}")?;
+        }
+        for (g, r) in &self.rhs {
+            writeln!(f, "  ensures  ⊨_{r} {g}")?;
+        }
+        Ok(())
+    }
+}
+
+/// **Rule 4** (weak fairness). Let `M` be a component with
+/// `M ⊨ p ⇒ EX q` (the helpful transition is always enabled), and let
+/// `r = (true, {¬p ∨ q})`. Then `M` satisfies
+///
+/// ```text
+/// (p ⇒ AX (p ∨ q))  guarantees_r  ((p ⇒ A(p U q)) ∧ (p ⇒ E(p U q)))
+/// ```
+///
+/// The premise is model-checked on `M` here; the returned [`Guarantee`]
+/// carries the obligation and conclusions for the composed system.
+pub fn rule4(m: &System, p: &Formula, q: &Formula) -> Result<Guarantee, RuleError> {
+    require_propositional(p, "p")?;
+    require_propositional(q, "q")?;
+    let checker = Checker::new(m).map_err(|e| RuleError::Check(e.to_string()))?;
+    let premise = p.clone().implies(q.clone().ex());
+    let ok = checker
+        .holds_everywhere(&premise)
+        .map_err(|e| RuleError::Check(e.to_string()))?;
+    if !ok {
+        return Err(RuleError::PremiseFailed(format!("M ⊭ {premise}")));
+    }
+    let r = Restriction::with_fairness([p.clone().not().or(q.clone())]);
+    let p_or_q = p.clone().or(q.clone());
+    Ok(Guarantee {
+        lhs: vec![(p.clone().implies(p_or_q.clone().ax()), Restriction::trivial())],
+        rhs: vec![
+            (p.clone().implies(p.clone().au(q.clone())), r.clone()),
+            (p.clone().implies(p.clone().eu(q.clone())), r),
+        ],
+        provenance: format!("Rule 4 with p = {p}, q = {q}"),
+    })
+}
+
+/// **Rule 5** (strong fairness). Let `p = p₁ ∨ … ∨ pₙ` be a cover, and let
+/// `M ⊨ p_helpful ⇒ EX q` for a helpful disjunct. With
+/// `r = (true, {¬p ∨ q})`, `M` satisfies
+///
+/// ```text
+/// (p ⇒ AX (p ∨ q)) ∧ (∀j :: pⱼ ⇒ EF p_helpful)
+///   guarantees_r  ((p ⇒ A(p U q)) ∧ (p ⇒ E(p U q)))
+/// ```
+///
+/// Unlike Rule 4, the environment may disable the helpful transition as
+/// long as the system can always re-enable it (the `EF` obligations).
+pub fn rule5(
+    m: &System,
+    cover: &[Formula],
+    helpful: usize,
+    q: &Formula,
+) -> Result<Guarantee, RuleError> {
+    if cover.is_empty() {
+        return Err(RuleError::BadCover("empty cover".into()));
+    }
+    if helpful >= cover.len() {
+        return Err(RuleError::BadCover(format!(
+            "helpful index {helpful} out of range (cover has {} disjuncts)",
+            cover.len()
+        )));
+    }
+    for (j, pj) in cover.iter().enumerate() {
+        require_propositional(pj, &format!("p{}", j + 1))?;
+    }
+    require_propositional(q, "q")?;
+    let p = Formula::or_many(cover.iter().cloned());
+    let pi = cover[helpful].clone();
+    let checker = Checker::new(m).map_err(|e| RuleError::Check(e.to_string()))?;
+    let premise = pi.clone().implies(q.clone().ex());
+    let ok = checker
+        .holds_everywhere(&premise)
+        .map_err(|e| RuleError::Check(e.to_string()))?;
+    if !ok {
+        return Err(RuleError::PremiseFailed(format!("M ⊭ {premise}")));
+    }
+    let r = Restriction::with_fairness([p.clone().not().or(q.clone())]);
+    let p_or_q = p.clone().or(q.clone());
+    let mut lhs = vec![(p.clone().implies(p_or_q.ax()), Restriction::trivial())];
+    for pj in cover {
+        lhs.push((pj.clone().implies(pi.clone().ef()), Restriction::trivial()));
+    }
+    Ok(Guarantee {
+        lhs,
+        rhs: vec![
+            (p.clone().implies(p.clone().au(q.clone())), r.clone()),
+            (p.clone().implies(p.clone().eu(q.clone())), r),
+        ],
+        provenance: format!(
+            "Rule 5 with cover of {} disjuncts, helpful p{} = {pi}, q = {q}",
+            cover.len(),
+            helpful + 1
+        ),
+    })
+}
+
+/// The **invariant rule** used throughout §4.2.3/§4.3.4 and motivated in
+/// the Discussion: if `Inv` is propositional, `I ⇒ Inv` is valid, and
+/// `Inv ⇒ AX Inv` holds in every component (a *universal* property by
+/// Rule 2), then the composed system satisfies `AG Inv` under `r = (I, F)`.
+///
+/// This function only packages the obligations; discharging them is the
+/// engine's job ([`crate::engine`]).
+pub fn invariant_obligations(
+    inv: &Formula,
+    init: &Formula,
+) -> Result<(Formula, Formula), RuleError> {
+    require_propositional(inv, "Inv")?;
+    require_propositional(init, "I")?;
+    // (universal obligation, validity obligation I ⇒ Inv)
+    Ok((
+        inv.clone().implies(inv.clone().ax()),
+        init.clone().implies(inv.clone()),
+    ))
+}
+
+fn require_propositional(f: &Formula, what: &str) -> Result<(), RuleError> {
+    if f.is_propositional() {
+        Ok(())
+    } else {
+        Err(RuleError::NotPropositional(format!("{what} = {f}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmc_ctl::parse;
+    use cmc_kripke::Alphabet;
+
+    /// Helpful component: in p-states, a transition to q is always enabled.
+    fn helpful() -> System {
+        let mut m = System::new(Alphabet::new(["p", "q"]));
+        // p ∧ ¬q -> q (helpful move); also p∧q etc. handled by stutter.
+        m.add_transition_named(&["p"], &["q"]);
+        m.add_transition_named(&["p", "q"], &["q"]);
+        m
+    }
+
+    #[test]
+    fn rule4_constructs_guarantee() {
+        let m = helpful();
+        let g = rule4(&m, &parse("p").unwrap(), &parse("q").unwrap()).unwrap();
+        assert_eq!(g.lhs.len(), 1);
+        assert_eq!(g.rhs.len(), 2);
+        assert!(g.lhs[0].1.is_trivial());
+        assert_eq!(g.rhs[0].1.fairness, vec![parse("!p | q").unwrap()]);
+        assert!(g.provenance.contains("Rule 4"));
+        let shown = g.to_string();
+        assert!(shown.contains("requires"));
+        assert!(shown.contains("ensures"));
+    }
+
+    #[test]
+    fn rule4_premise_checked() {
+        // A system with NO p -> q move: premise p ⇒ EX q fails (state
+        // {p} has only the stutter successor).
+        let m = System::new(Alphabet::new(["p", "q"]));
+        let err = rule4(&m, &parse("p").unwrap(), &parse("q").unwrap()).unwrap_err();
+        assert!(matches!(err, RuleError::PremiseFailed(_)));
+    }
+
+    #[test]
+    fn rule4_requires_propositional() {
+        let m = helpful();
+        let err = rule4(&m, &parse("EF p").unwrap(), &parse("q").unwrap()).unwrap_err();
+        assert!(matches!(err, RuleError::NotPropositional(_)));
+    }
+
+    #[test]
+    fn rule5_constructs_guarantee_with_ef_obligations() {
+        let m = helpful();
+        let cover = vec![parse("p & !q").unwrap(), parse("p & q").unwrap()];
+        let g = rule5(&m, &cover, 1, &parse("q").unwrap()).unwrap();
+        // 1 AX obligation + 2 EF obligations.
+        assert_eq!(g.lhs.len(), 3);
+        assert!(g.lhs[1].0.to_string().contains("EF"));
+        assert_eq!(g.rhs.len(), 2);
+    }
+
+    #[test]
+    fn rule5_validates_cover() {
+        let m = helpful();
+        assert!(matches!(
+            rule5(&m, &[], 0, &parse("q").unwrap()),
+            Err(RuleError::BadCover(_))
+        ));
+        let cover = vec![parse("p").unwrap()];
+        assert!(matches!(
+            rule5(&m, &cover, 5, &parse("q").unwrap()),
+            Err(RuleError::BadCover(_))
+        ));
+    }
+
+    #[test]
+    fn rule5_premise_on_helpful_disjunct() {
+        let m = helpful();
+        // Helpful disjunct p∧¬q does have an EX q move in `helpful`.
+        let cover = vec![parse("p & !q").unwrap()];
+        assert!(rule5(&m, &cover, 0, &parse("q").unwrap()).is_ok());
+        // But a disjunct without the move fails.
+        let mut no_move = System::new(Alphabet::new(["p", "q"]));
+        no_move.add_transition_named(&["q"], &["p"]);
+        let err = rule5(&no_move, &cover, 0, &parse("q").unwrap()).unwrap_err();
+        assert!(matches!(err, RuleError::PremiseFailed(_)));
+    }
+
+    #[test]
+    fn invariant_obligations_shapes() {
+        let (uni, validity) =
+            invariant_obligations(&parse("a -> b").unwrap(), &parse("!a").unwrap()).unwrap();
+        assert_eq!(uni.to_string(), "(a -> b) -> AX (a -> b)");
+        // `->` is right-associative, so the nested implication needs no
+        // parentheses when printed.
+        assert_eq!(validity.to_string(), "!a -> a -> b");
+        assert!(matches!(
+            invariant_obligations(&parse("AG a").unwrap(), &Formula::True),
+            Err(RuleError::NotPropositional(_))
+        ));
+    }
+}

@@ -1,0 +1,444 @@
+//! Computation Tree Logic abstract syntax (§2.1 of the paper).
+//!
+//! CTL is generated from atomic propositions by the boolean connectives and
+//! the paired path quantifier/temporal operators `AX, EX, AF, EF, AG, EG,
+//! AU, EU`. Following the paper, `AF/EF/AG/EG` are viewed as derived from
+//! `U` — the checkers normalise to the existential core `{¬, ∧, EX, EU, EG}`.
+
+use cmc_kripke::{Alphabet, State};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A CTL state formula.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Formula {
+    /// Constant truth.
+    True,
+    /// Constant falsehood.
+    False,
+    /// Atomic proposition `p ∈ Σ`.
+    Ap(String),
+    /// Negation `¬f`.
+    Not(Box<Formula>),
+    /// Conjunction `f ∧ g`.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction `f ∨ g`.
+    Or(Box<Formula>, Box<Formula>),
+    /// Implication `f ⇒ g`.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Biconditional `f ⇔ g`.
+    Iff(Box<Formula>, Box<Formula>),
+    /// `EX f` — some successor satisfies `f`.
+    Ex(Box<Formula>),
+    /// `AX f` — every successor satisfies `f`.
+    Ax(Box<Formula>),
+    /// `EF f` = `E[true U f]`.
+    Ef(Box<Formula>),
+    /// `AF f` = `A[true U f]`.
+    Af(Box<Formula>),
+    /// `EG f` — some path along which `f` always holds.
+    Eg(Box<Formula>),
+    /// `AG f` — `f` holds along every path.
+    Ag(Box<Formula>),
+    /// `E[f U g]`.
+    Eu(Box<Formula>, Box<Formula>),
+    /// `A[f U g]`.
+    Au(Box<Formula>, Box<Formula>),
+}
+
+impl Formula {
+    /// Atomic proposition by name.
+    pub fn ap(name: impl Into<String>) -> Formula {
+        Formula::Ap(name.into())
+    }
+
+    /// `¬self`.
+    #[allow(clippy::should_implement_trait)] // DSL builder, mirrors ∧/∨ methods
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// `self ∧ rhs`.
+    pub fn and(self, rhs: Formula) -> Formula {
+        Formula::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self ∨ rhs`.
+    pub fn or(self, rhs: Formula) -> Formula {
+        Formula::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self ⇒ rhs`.
+    pub fn implies(self, rhs: Formula) -> Formula {
+        Formula::Implies(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self ⇔ rhs`.
+    pub fn iff(self, rhs: Formula) -> Formula {
+        Formula::Iff(Box::new(self), Box::new(rhs))
+    }
+
+    /// `EX self`.
+    pub fn ex(self) -> Formula {
+        Formula::Ex(Box::new(self))
+    }
+
+    /// `AX self`.
+    pub fn ax(self) -> Formula {
+        Formula::Ax(Box::new(self))
+    }
+
+    /// `EF self`.
+    pub fn ef(self) -> Formula {
+        Formula::Ef(Box::new(self))
+    }
+
+    /// `AF self`.
+    pub fn af(self) -> Formula {
+        Formula::Af(Box::new(self))
+    }
+
+    /// `EG self`.
+    pub fn eg(self) -> Formula {
+        Formula::Eg(Box::new(self))
+    }
+
+    /// `AG self`.
+    pub fn ag(self) -> Formula {
+        Formula::Ag(Box::new(self))
+    }
+
+    /// `E[self U rhs]`.
+    pub fn eu(self, rhs: Formula) -> Formula {
+        Formula::Eu(Box::new(self), Box::new(rhs))
+    }
+
+    /// `A[self U rhs]`.
+    pub fn au(self, rhs: Formula) -> Formula {
+        Formula::Au(Box::new(self), Box::new(rhs))
+    }
+
+    /// Conjunction of many formulas (TRUE when empty).
+    pub fn and_many(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut it = fs.into_iter();
+        match it.next() {
+            None => Formula::True,
+            Some(first) => it.fold(first, |acc, f| acc.and(f)),
+        }
+    }
+
+    /// Disjunction of many formulas (FALSE when empty).
+    pub fn or_many(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut it = fs.into_iter();
+        match it.next() {
+            None => Formula::False,
+            Some(first) => it.fold(first, |acc, f| acc.or(f)),
+        }
+    }
+
+    /// Is this a *propositional* formula (no temporal operator)? The
+    /// compositional rules of §3.3 require propositional `p`, `q`.
+    pub fn is_propositional(&self) -> bool {
+        use Formula::*;
+        match self {
+            True | False | Ap(_) => true,
+            Not(f) => f.is_propositional(),
+            And(f, g) | Or(f, g) | Implies(f, g) | Iff(f, g) => {
+                f.is_propositional() && g.is_propositional()
+            }
+            Ex(_) | Ax(_) | Ef(_) | Af(_) | Eg(_) | Ag(_) | Eu(..) | Au(..) => false,
+        }
+    }
+
+    /// The atomic propositions mentioned — the `Σ` of "`f ∈ C(Σ)`" (§2.1).
+    pub fn atomic_props(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_props(&mut out);
+        out
+    }
+
+    fn collect_props(&self, out: &mut BTreeSet<String>) {
+        use Formula::*;
+        match self {
+            True | False => {}
+            Ap(p) => {
+                out.insert(p.clone());
+            }
+            Not(f) | Ex(f) | Ax(f) | Ef(f) | Af(f) | Eg(f) | Ag(f) => f.collect_props(out),
+            And(f, g) | Or(f, g) | Implies(f, g) | Iff(f, g) | Eu(f, g) | Au(f, g) => {
+                f.collect_props(out);
+                g.collect_props(out);
+            }
+        }
+    }
+
+    /// Is `f ∈ C(Σ)` — does it mention only propositions of `alphabet`?
+    pub fn mentions_only(&self, alphabet: &Alphabet) -> bool {
+        self.atomic_props().iter().all(|p| alphabet.contains(p))
+    }
+
+    /// Evaluate a propositional formula in a single state.
+    /// Panics if the formula contains a temporal operator.
+    pub fn eval_in_state(&self, alphabet: &Alphabet, s: State) -> bool {
+        use Formula::*;
+        match self {
+            True => true,
+            False => false,
+            Ap(p) => s.contains_named(alphabet, p),
+            Not(f) => !f.eval_in_state(alphabet, s),
+            And(f, g) => f.eval_in_state(alphabet, s) && g.eval_in_state(alphabet, s),
+            Or(f, g) => f.eval_in_state(alphabet, s) || g.eval_in_state(alphabet, s),
+            Implies(f, g) => !f.eval_in_state(alphabet, s) || g.eval_in_state(alphabet, s),
+            Iff(f, g) => f.eval_in_state(alphabet, s) == g.eval_in_state(alphabet, s),
+            _ => panic!("eval_in_state on temporal formula {self}"),
+        }
+    }
+
+    /// Rewrite into the existential core `{True, Ap, ¬, ∧, EX, EU, EG}`
+    /// using the derivation rules of §2.1:
+    ///
+    /// ```text
+    /// AXf  = ¬EX¬f          AFg = A(true U g) = ¬EG¬g
+    /// EFg  = E(true U g)    AGf = ¬EF¬f
+    /// A(fUg) = ¬(E(¬g U ¬f∧¬g) ∨ EG¬g)
+    /// ```
+    pub fn to_existential_normal_form(&self) -> Formula {
+        use Formula::*;
+        match self {
+            True => True,
+            False => True.not(),
+            Ap(p) => Ap(p.clone()),
+            Not(f) => f.to_existential_normal_form().not(),
+            And(f, g) => f
+                .to_existential_normal_form()
+                .and(g.to_existential_normal_form()),
+            Or(f, g) => {
+                // f ∨ g = ¬(¬f ∧ ¬g)
+                let nf = f.to_existential_normal_form().not();
+                let ng = g.to_existential_normal_form().not();
+                nf.and(ng).not()
+            }
+            Implies(f, g) => {
+                // f ⇒ g = ¬(f ∧ ¬g)
+                let ef = f.to_existential_normal_form();
+                let ng = g.to_existential_normal_form().not();
+                ef.and(ng).not()
+            }
+            Iff(f, g) => {
+                // (f ⇒ g) ∧ (g ⇒ f)
+                let fg = Formula::Implies(f.clone(), g.clone()).to_existential_normal_form();
+                let gf = Formula::Implies(g.clone(), f.clone()).to_existential_normal_form();
+                fg.and(gf)
+            }
+            Ex(f) => f.to_existential_normal_form().ex(),
+            Ax(f) => f.to_existential_normal_form().not().ex().not(),
+            Ef(f) => True.eu(f.to_existential_normal_form()),
+            Af(f) => f.to_existential_normal_form().not().eg().not(),
+            Eg(f) => f.to_existential_normal_form().eg(),
+            Ag(f) => True.eu(f.to_existential_normal_form().not()).not(),
+            Eu(f, g) => f
+                .to_existential_normal_form()
+                .eu(g.to_existential_normal_form()),
+            Au(f, g) => {
+                // A(f U g) = ¬(E[¬g U (¬f ∧ ¬g)] ∨ EG ¬g)
+                let nf = f.to_existential_normal_form().not();
+                let ng = g.to_existential_normal_form().not();
+                let left = ng.clone().eu(nf.and(ng.clone()));
+                let right = ng.eg();
+                left.not().and(right.not())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+impl Formula {
+    /// Pretty-print with minimal parentheses. Precedence levels: `<->` (1),
+    /// `->` (2, right-assoc), `|` (3), `&` (4), unary (5).
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
+        use Formula::*;
+        let my_prec = match self {
+            Iff(..) => 1,
+            Implies(..) => 2,
+            Or(..) => 3,
+            And(..) => 4,
+            _ => 5,
+        };
+        let parens = my_prec < prec;
+        if parens {
+            write!(f, "(")?;
+        }
+        match self {
+            True => write!(f, "TRUE")?,
+            False => write!(f, "FALSE")?,
+            Ap(p) => write!(f, "{p}")?,
+            Not(x) => {
+                write!(f, "!")?;
+                x.fmt_prec(f, 5)?;
+            }
+            And(a, b) => {
+                a.fmt_prec(f, 4)?;
+                write!(f, " & ")?;
+                b.fmt_prec(f, 5)?;
+            }
+            Or(a, b) => {
+                a.fmt_prec(f, 3)?;
+                write!(f, " | ")?;
+                b.fmt_prec(f, 4)?;
+            }
+            Implies(a, b) => {
+                a.fmt_prec(f, 3)?;
+                write!(f, " -> ")?;
+                b.fmt_prec(f, 2)?;
+            }
+            Iff(a, b) => {
+                a.fmt_prec(f, 2)?;
+                write!(f, " <-> ")?;
+                b.fmt_prec(f, 2)?;
+            }
+            Ex(x) => {
+                write!(f, "EX ")?;
+                x.fmt_prec(f, 5)?;
+            }
+            Ax(x) => {
+                write!(f, "AX ")?;
+                x.fmt_prec(f, 5)?;
+            }
+            Ef(x) => {
+                write!(f, "EF ")?;
+                x.fmt_prec(f, 5)?;
+            }
+            Af(x) => {
+                write!(f, "AF ")?;
+                x.fmt_prec(f, 5)?;
+            }
+            Eg(x) => {
+                write!(f, "EG ")?;
+                x.fmt_prec(f, 5)?;
+            }
+            Ag(x) => {
+                write!(f, "AG ")?;
+                x.fmt_prec(f, 5)?;
+            }
+            Eu(a, b) => {
+                write!(f, "E [")?;
+                a.fmt_prec(f, 0)?;
+                write!(f, " U ")?;
+                b.fmt_prec(f, 0)?;
+                write!(f, "]")?;
+            }
+            Au(a, b) => {
+                write!(f, "A [")?;
+                a.fmt_prec(f, 0)?;
+                write!(f, " U ")?;
+                b.fmt_prec(f, 0)?;
+                write!(f, "]")?;
+            }
+        }
+        if parens {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let f = Formula::ap("p").implies(Formula::ap("q").ax());
+        assert_eq!(f.to_string(), "p -> AX q");
+    }
+
+    #[test]
+    fn propositional_classification() {
+        assert!(Formula::ap("p").and(Formula::ap("q").not()).is_propositional());
+        assert!(Formula::True.is_propositional());
+        assert!(!Formula::ap("p").ax().is_propositional());
+        assert!(!Formula::ap("p").implies(Formula::ap("q").ef()).is_propositional());
+    }
+
+    #[test]
+    fn atomic_props_collected() {
+        let f = Formula::ap("a").eu(Formula::ap("b").and(Formula::ap("a")));
+        let props = f.atomic_props();
+        assert_eq!(props.len(), 2);
+        assert!(props.contains("a") && props.contains("b"));
+    }
+
+    #[test]
+    fn mentions_only_checks_alphabet() {
+        let al = Alphabet::new(["a", "b"]);
+        assert!(Formula::ap("a").mentions_only(&al));
+        assert!(!Formula::ap("z").mentions_only(&al));
+    }
+
+    #[test]
+    fn eval_propositional() {
+        let al = Alphabet::new(["p", "q"]);
+        let s = State::from_names(&al, &["p"]);
+        let f = Formula::ap("p").and(Formula::ap("q").not());
+        assert!(f.eval_in_state(&al, s));
+        let g = Formula::ap("p").implies(Formula::ap("q"));
+        assert!(!g.eval_in_state(&al, s));
+        assert!(Formula::ap("p").iff(Formula::ap("q")).eval_in_state(&al, State::EMPTY));
+    }
+
+    #[test]
+    #[should_panic(expected = "temporal")]
+    fn eval_rejects_temporal() {
+        let al = Alphabet::new(["p"]);
+        Formula::ap("p").ef().eval_in_state(&al, State::EMPTY);
+    }
+
+    #[test]
+    fn enf_uses_only_core_operators() {
+        fn core_only(f: &Formula) -> bool {
+            use Formula::*;
+            match f {
+                True | Ap(_) => true,
+                Not(x) | Ex(x) | Eg(x) => core_only(x),
+                And(a, b) | Eu(a, b) => core_only(a) && core_only(b),
+                _ => false,
+            }
+        }
+        let formulas = [
+            Formula::ap("p").ag(),
+            Formula::ap("p").af(),
+            Formula::ap("p").au(Formula::ap("q")),
+            Formula::ap("p").iff(Formula::ap("q")).ef(),
+            Formula::ap("p").or(Formula::ap("q")).ax(),
+            Formula::False,
+        ];
+        for f in formulas {
+            assert!(core_only(&f.to_existential_normal_form()), "not core: {f}");
+        }
+    }
+
+    #[test]
+    fn display_parenthesisation() {
+        let f = Formula::ap("a").or(Formula::ap("b")).and(Formula::ap("c"));
+        assert_eq!(f.to_string(), "(a | b) & c");
+        let g = Formula::ap("a").and(Formula::ap("b")).or(Formula::ap("c"));
+        assert_eq!(g.to_string(), "a & b | c");
+        let h = Formula::ap("p").eu(Formula::ap("q"));
+        assert_eq!(h.to_string(), "E [p U q]");
+        let i = Formula::ap("p").implies(Formula::ap("q")).ag();
+        assert_eq!(i.to_string(), "AG (p -> q)");
+    }
+
+    #[test]
+    fn nary_builders() {
+        assert_eq!(Formula::and_many([]), Formula::True);
+        assert_eq!(Formula::or_many([]), Formula::False);
+        let f = Formula::and_many([Formula::ap("a"), Formula::ap("b"), Formula::ap("c")]);
+        assert_eq!(f.to_string(), "a & b & c");
+    }
+}

@@ -1,0 +1,490 @@
+//! Explicit-state fair-CTL model checker.
+//!
+//! Implements the classic labelling algorithm of Clarke–Emerson–Sistla over
+//! the paper's systems (`cmc_kripke::System`), extended with the fairness
+//! semantics of §2.2: path quantifiers range over *fair* paths only, where a
+//! path is fair iff every constraint in `F` holds infinitely often along it.
+//! Fair `EG` uses the Emerson–Lei fixpoint
+//! `EG_fair S = νZ. S ∧ ⋀_i EX (E[S U (Z ∧ Fᵢ)])`.
+//!
+//! The checker quantifies satisfaction over **all** states of `2^Σ` (not a
+//! reachable fragment), exactly as the paper defines `M ⊨ f`
+//! (`∀s ∈ 2^Σ : s ⊨ f`) and `M ⊨_r f` (`∀s : s ⊨ I ⇒ s ⊨ f`).
+
+use crate::ast::Formula;
+use crate::restriction::Restriction;
+use crate::stateset::StateSet;
+use cmc_kripke::{State, System};
+use std::fmt;
+
+/// Errors from the explicit checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// Formula mentions a proposition outside the system's alphabet. The
+    /// paper's `C(Σ)` notation makes this a specification error, not
+    /// falsehood.
+    UnknownProposition(String),
+    /// State space too large for explicit enumeration (use `cmc-symbolic`).
+    TooLarge(usize),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::UnknownProposition(p) => {
+                write!(f, "formula mentions proposition {p:?} outside the system alphabet")
+            }
+            CheckError::TooLarge(n) => write!(
+                f,
+                "alphabet of {n} propositions exceeds the explicit-state limit; \
+                 use the symbolic engine"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Outcome of checking `M ⊨_r f`.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// Does the property hold?
+    pub holds: bool,
+    /// Initial states (`⊨ I`) that violate `f` — counterexample seeds
+    /// (at most [`Verdict::MAX_WITNESSES`] retained).
+    pub violating: Vec<State>,
+    /// Number of states satisfying the formula (over the whole `2^Σ`).
+    pub sat_states: usize,
+}
+
+impl Verdict {
+    /// Cap on retained counterexample states.
+    pub const MAX_WITNESSES: usize = 16;
+}
+
+/// Maximum alphabet size for explicit checking (2^24 ≈ 16.7M states).
+pub const MAX_EXPLICIT_PROPS: usize = 24;
+
+/// An explicit-state fair-CTL checker for one system.
+pub struct Checker<'a> {
+    system: &'a System,
+    universe: usize,
+}
+
+impl<'a> Checker<'a> {
+    /// Create a checker; fails when the state space is too large.
+    pub fn new(system: &'a System) -> Result<Self, CheckError> {
+        let n = system.alphabet().len();
+        if n > MAX_EXPLICIT_PROPS {
+            return Err(CheckError::TooLarge(n));
+        }
+        Ok(Checker { system, universe: 1usize << n })
+    }
+
+    /// The system under analysis.
+    pub fn system(&self) -> &System {
+        self.system
+    }
+
+    /// States satisfying a *propositional* formula.
+    fn sat_propositional(&self, f: &Formula) -> Result<StateSet, CheckError> {
+        // Validate alphabet membership up front for a precise error.
+        for p in f.atomic_props() {
+            if !self.system.alphabet().contains(&p) {
+                return Err(CheckError::UnknownProposition(p));
+            }
+        }
+        let mut out = StateSet::empty(self.universe);
+        let alphabet = self.system.alphabet();
+        for i in 0..self.universe {
+            let s = State(i as u128);
+            if f.eval_in_state(alphabet, s) {
+                out.insert(s);
+            }
+        }
+        Ok(out)
+    }
+
+    /// `EX S`: states with an `R`-successor in `S`. Because `R` is
+    /// reflexive, `S ⊆ EX S` always holds.
+    fn pre_exists(&self, s: &StateSet) -> StateSet {
+        let mut out = s.clone(); // reflexive stutter successor
+        for (u, v) in self.system.proper_transitions() {
+            if s.contains(v) {
+                out.insert(u);
+            }
+        }
+        out
+    }
+
+    /// Least fixpoint `E[S1 U S2] = μZ. S2 ∨ (S1 ∧ EX Z)`.
+    fn until_exists(&self, s1: &StateSet, s2: &StateSet) -> StateSet {
+        let mut z = s2.clone();
+        loop {
+            let mut step = self.pre_exists(&z);
+            step.intersect_with(s1);
+            step.union_with(s2);
+            if step == z {
+                return z;
+            }
+            z = step;
+        }
+    }
+
+    /// Greatest fixpoint `EG S = νZ. S ∧ EX Z` (all paths fair).
+    fn global_exists(&self, s: &StateSet) -> StateSet {
+        let mut z = s.clone();
+        loop {
+            let mut step = self.pre_exists(&z);
+            step.intersect_with(s);
+            if step == z {
+                return z;
+            }
+            z = step;
+        }
+    }
+
+    /// Emerson–Lei fair `EG`: states with a fair path remaining in `S`.
+    fn global_exists_fair(&self, s: &StateSet, fair_sets: &[StateSet]) -> StateSet {
+        let mut z = s.clone();
+        loop {
+            let mut step = StateSet::full(self.universe);
+            for fi in fair_sets {
+                // EX ( E[S U (Z ∧ Fᵢ)] )
+                let mut target = z.clone();
+                target.intersect_with(fi);
+                let reach = self.until_exists(s, &target);
+                let pre = self.pre_exists(&reach);
+                step.intersect_with(&pre);
+            }
+            step.intersect_with(s);
+            if step == z {
+                return z;
+            }
+            z = step;
+        }
+    }
+
+    /// States from which at least one fair path starts.
+    fn fair_states(&self, fair_sets: &[StateSet]) -> StateSet {
+        self.global_exists_fair(&StateSet::full(self.universe), fair_sets)
+    }
+
+    /// Satisfaction set of `f` quantifying over all paths (trivial
+    /// fairness).
+    pub fn sat(&self, f: &Formula) -> Result<StateSet, CheckError> {
+        self.sat_fair(f, &[])
+    }
+
+    /// Satisfaction set of `f` quantifying over paths fair w.r.t.
+    /// `fairness` (the `F` of the restriction).
+    pub fn sat_fair(&self, f: &Formula, fairness: &[Formula]) -> Result<StateSet, CheckError> {
+        let fair_sets: Vec<StateSet> = fairness
+            .iter()
+            .filter(|c| **c != Formula::True) // `true` constrains nothing
+            .map(|c| self.sat_fair(c, &[]))
+            .collect::<Result<_, _>>()?;
+        let fair = if fair_sets.is_empty() {
+            StateSet::full(self.universe)
+        } else {
+            self.fair_states(&fair_sets)
+        };
+        self.sat_rec(f, &fair_sets, &fair)
+    }
+
+    fn sat_rec(
+        &self,
+        f: &Formula,
+        fair_sets: &[StateSet],
+        fair: &StateSet,
+    ) -> Result<StateSet, CheckError> {
+        use Formula::*;
+        Ok(match f {
+            True => StateSet::full(self.universe),
+            False => StateSet::empty(self.universe),
+            Ap(_) => self.sat_propositional(f)?,
+            Not(g) => self.sat_rec(g, fair_sets, fair)?.complement(),
+            And(a, b) => {
+                let mut sa = self.sat_rec(a, fair_sets, fair)?;
+                sa.intersect_with(&self.sat_rec(b, fair_sets, fair)?);
+                sa
+            }
+            Or(a, b) => {
+                let mut sa = self.sat_rec(a, fair_sets, fair)?;
+                sa.union_with(&self.sat_rec(b, fair_sets, fair)?);
+                sa
+            }
+            Implies(a, b) => {
+                let mut sa = self.sat_rec(a, fair_sets, fair)?.complement();
+                sa.union_with(&self.sat_rec(b, fair_sets, fair)?);
+                sa
+            }
+            Iff(a, b) => {
+                let sa = self.sat_rec(a, fair_sets, fair)?;
+                let sb = self.sat_rec(b, fair_sets, fair)?;
+                let mut both = sa.clone();
+                both.intersect_with(&sb);
+                let mut neither = sa.complement();
+                neither.intersect_with(&sb.complement());
+                both.union_with(&neither);
+                both
+            }
+            Ex(g) => {
+                // EX_fair g = EX (g ∧ fair)
+                let mut sg = self.sat_rec(g, fair_sets, fair)?;
+                sg.intersect_with(fair);
+                self.pre_exists(&sg)
+            }
+            Ax(g) => {
+                // AX g = ¬EX ¬g
+                let mut notg = self.sat_rec(g, fair_sets, fair)?.complement();
+                notg.intersect_with(fair);
+                self.pre_exists(&notg).complement()
+            }
+            Ef(g) => {
+                let mut sg = self.sat_rec(g, fair_sets, fair)?;
+                sg.intersect_with(fair);
+                self.until_exists(&StateSet::full(self.universe), &sg)
+            }
+            Af(g) => {
+                // AF g = ¬EG ¬g
+                let notg = self.sat_rec(g, fair_sets, fair)?.complement();
+                self.eg_maybe_fair(&notg, fair_sets).complement()
+            }
+            Eg(g) => {
+                let sg = self.sat_rec(g, fair_sets, fair)?;
+                self.eg_maybe_fair(&sg, fair_sets)
+            }
+            Ag(g) => {
+                // AG g = ¬EF ¬g
+                let mut notg = self.sat_rec(g, fair_sets, fair)?.complement();
+                notg.intersect_with(fair);
+                self.until_exists(&StateSet::full(self.universe), &notg)
+                    .complement()
+            }
+            Eu(a, b) => {
+                let sa = self.sat_rec(a, fair_sets, fair)?;
+                let mut sb = self.sat_rec(b, fair_sets, fair)?;
+                sb.intersect_with(fair);
+                self.until_exists(&sa, &sb)
+            }
+            Au(a, b) => {
+                // A[a U b] = ¬( E[¬b U (¬a ∧ ¬b)] ∨ EG ¬b )
+                let na = self.sat_rec(a, fair_sets, fair)?.complement();
+                let nb = self.sat_rec(b, fair_sets, fair)?.complement();
+                let mut nanb = na;
+                nanb.intersect_with(&nb);
+                let mut target = nanb;
+                target.intersect_with(fair);
+                let mut left = self.until_exists(&nb, &target);
+                let right = self.eg_maybe_fair(&nb, fair_sets);
+                left.union_with(&right);
+                left.complement()
+            }
+        })
+    }
+
+    fn eg_maybe_fair(&self, s: &StateSet, fair_sets: &[StateSet]) -> StateSet {
+        if fair_sets.is_empty() {
+            self.global_exists(s)
+        } else {
+            self.global_exists_fair(s, fair_sets)
+        }
+    }
+
+    /// `M ⊨ f` — `f` true in *every* state, over all paths.
+    pub fn holds_everywhere(&self, f: &Formula) -> Result<bool, CheckError> {
+        Ok(self.sat(f)?.len() == self.universe)
+    }
+
+    /// `M ⊨_r f` — `f` true in every state satisfying `r.init`,
+    /// quantifying over `r.fairness`-fair paths.
+    pub fn check(&self, r: &Restriction, f: &Formula) -> Result<Verdict, CheckError> {
+        let sat = self.sat_fair(f, &r.fairness)?;
+        let init = self.sat(&r.init)?;
+        let mut violating = Vec::new();
+        let mut holds = true;
+        for s in init.iter() {
+            if !sat.contains(s) {
+                holds = false;
+                if violating.len() < Verdict::MAX_WITNESSES {
+                    violating.push(s);
+                } else {
+                    break;
+                }
+            }
+        }
+        Ok(Verdict { holds, violating, sat_states: sat.len() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmc_kripke::Alphabet;
+
+    /// A 2-bit counter: 00 -> 01 -> 10 -> 11 -> 00 (plus stutter loops).
+    fn counter() -> System {
+        let mut m = System::new(Alphabet::new(["b0", "b1"]));
+        m.add_transition_named(&[], &["b0"]);
+        m.add_transition_named(&["b0"], &["b1"]);
+        m.add_transition_named(&["b1"], &["b0", "b1"]);
+        m.add_transition_named(&["b0", "b1"], &[]);
+        m
+    }
+
+    fn ap(p: &str) -> Formula {
+        Formula::ap(p)
+    }
+
+    #[test]
+    fn propositional_sat_sets() {
+        let m = counter();
+        let c = Checker::new(&m).unwrap();
+        assert_eq!(c.sat(&ap("b0")).unwrap().len(), 2);
+        assert_eq!(c.sat(&Formula::True).unwrap().len(), 4);
+        assert_eq!(c.sat(&ap("b0").and(ap("b1"))).unwrap().len(), 1);
+        assert_eq!(c.sat(&ap("b0").not()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unknown_proposition_is_an_error() {
+        let m = counter();
+        let c = Checker::new(&m).unwrap();
+        assert_eq!(
+            c.sat(&ap("zz")),
+            Err(CheckError::UnknownProposition("zz".into()))
+        );
+    }
+
+    #[test]
+    fn ex_includes_stutter() {
+        let m = counter();
+        let c = Checker::new(&m).unwrap();
+        // Reflexivity: s ⊨ EX f whenever s ⊨ f.
+        let f = ap("b0");
+        let sat_f = c.sat(&f).unwrap();
+        let sat_exf = c.sat(&f.clone().ex()).unwrap();
+        assert!(sat_f.is_subset_of(&sat_exf));
+        // 00 ⊨ EX b0 because 00 -> 01. In fact every state of the counter
+        // satisfies EX b0 (10 -> 11, and 01/11 stutter).
+        let al = m.alphabet().clone();
+        assert_eq!(sat_exf.len(), 4);
+        // EX (b0 ∧ b1) separates: only 10 (via 11) and 11 (stutter) satisfy.
+        let goal = f.and(ap("b1")).ex();
+        let sat_goal = c.sat(&goal).unwrap();
+        assert_eq!(sat_goal.len(), 2);
+        assert!(sat_goal.contains(State::from_names(&al, &["b1"])));
+        assert!(!sat_goal.contains(State::from_names(&al, &[])));
+    }
+
+    #[test]
+    fn ef_reaches_around_the_cycle() {
+        let m = counter();
+        let c = Checker::new(&m).unwrap();
+        // Every state eventually reaches b0 ∧ b1 along some path.
+        assert!(c.holds_everywhere(&ap("b0").and(ap("b1")).ef()).unwrap());
+    }
+
+    #[test]
+    fn af_fails_without_fairness_due_to_stuttering() {
+        let m = counter();
+        let c = Checker::new(&m).unwrap();
+        // Stuttering forever is a path, so AF (b0 ∧ b1) fails in states
+        // other than 11 itself.
+        let sat = c.sat(&ap("b0").and(ap("b1")).af()).unwrap();
+        assert_eq!(sat.len(), 1);
+    }
+
+    #[test]
+    fn fairness_discards_infinite_stuttering() {
+        let m = counter();
+        let c = Checker::new(&m).unwrap();
+        // Fairness: infinitely often leave each non-goal "phase".
+        // Constraint "b0∧b1 ∨ ¬(current)" is clumsy; the standard paper
+        // trick (§4): require ¬p ∨ q infinitely often for each step.
+        // Here a single constraint suffices: infinitely often b0∧b1
+        // — then every fair path must cycle and AF (b0∧b1) holds everywhere.
+        let fairness = [ap("b0").and(ap("b1"))];
+        let sat = c
+            .sat_fair(&ap("b0").and(ap("b1")).af(), &fairness)
+            .unwrap();
+        assert_eq!(sat.len(), 4);
+    }
+
+    #[test]
+    fn eg_detects_self_loops() {
+        let m = counter();
+        let c = Checker::new(&m).unwrap();
+        // EG b0: stutter forever in 01 or 11.
+        let sat = c.sat(&ap("b0").eg()).unwrap();
+        assert_eq!(sat.len(), 2);
+        // With fairness "infinitely often ¬b0", no fair path keeps b0.
+        let sat_fair = c.sat_fair(&ap("b0").eg(), &[ap("b0").not()]).unwrap();
+        assert!(sat_fair.is_empty());
+    }
+
+    #[test]
+    fn until_operators() {
+        let m = counter();
+        let c = Checker::new(&m).unwrap();
+        let al = m.alphabet().clone();
+        // E[¬b1 U b1]: from 00 and 01 (b1 false, can reach b1) and any
+        // state already satisfying b1.
+        let f = ap("b1").not().eu(ap("b1"));
+        let sat = c.sat(&f).unwrap();
+        assert_eq!(sat.len(), 4);
+        // A[¬b1 U b1] fails where stuttering avoids b1 forever.
+        let g = ap("b1").not().au(ap("b1"));
+        let sat_a = c.sat(&g).unwrap();
+        assert!(sat_a.contains(State::from_names(&al, &["b1"])));
+        assert!(!sat_a.contains(State::from_names(&al, &[])));
+    }
+
+    #[test]
+    fn au_holds_under_step_fairness() {
+        let m = counter();
+        let c = Checker::new(&m).unwrap();
+        // Rule 4 style fairness: infinitely often ¬(¬b1) ∨ b1 = b1.
+        let verdict = c
+            .check(
+                &Restriction::new(Formula::True, [ap("b1")]),
+                &ap("b1").not().au(ap("b1")),
+            )
+            .unwrap();
+        assert!(verdict.holds, "violating: {:?}", verdict.violating);
+    }
+
+    #[test]
+    fn restricted_check_reports_witnesses() {
+        let m = counter();
+        let c = Checker::new(&m).unwrap();
+        // Under init b0∧b1, AX(b0∧b1) is false (successor 00 exists).
+        let r = Restriction::with_init(ap("b0").and(ap("b1")));
+        let v = c.check(&r, &ap("b0").and(ap("b1")).ax()).unwrap();
+        assert!(!v.holds);
+        assert_eq!(v.violating.len(), 1);
+        // Under init FALSE everything holds vacuously.
+        let r2 = Restriction::with_init(Formula::False);
+        assert!(c.check(&r2, &Formula::False).unwrap().holds);
+    }
+
+    #[test]
+    fn ax_eu_duality_spotcheck() {
+        let m = counter();
+        let c = Checker::new(&m).unwrap();
+        // AX f == ¬EX¬f on every formula we try.
+        for f in [ap("b0"), ap("b1").not(), ap("b0").iff(ap("b1"))] {
+            let ax = c.sat(&f.clone().ax()).unwrap();
+            let dual = c.sat(&f.clone().not().ex().not()).unwrap();
+            assert_eq!(ax, dual, "AX duality failed for {f}");
+        }
+    }
+
+    #[test]
+    fn too_large_alphabet_rejected() {
+        let names: Vec<String> = (0..25).map(|i| format!("p{i}")).collect();
+        let m = System::new(Alphabet::new(names));
+        assert!(matches!(Checker::new(&m), Err(CheckError::TooLarge(25))));
+    }
+}

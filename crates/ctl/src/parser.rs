@@ -1,0 +1,352 @@
+//! A recursive-descent parser for CTL formulas in SMV `SPEC` syntax.
+//!
+//! Grammar (loosest binding first):
+//!
+//! ```text
+//! iff     := implies ( "<->" implies )*
+//! implies := or ( "->" implies )?              (right associative)
+//! or      := and ( "|" and )*
+//! and     := unary ( "&" unary )*
+//! unary   := "!" unary
+//!          | ("EX"|"AX"|"EF"|"AF"|"EG"|"AG") unary
+//!          | ("E"|"A") "[" iff "U" iff "]"
+//!          | "TRUE" | "FALSE" | ident | "(" iff ")"
+//! ident   := [A-Za-z_][A-Za-z0-9_.]*           (dots allow `Server.belief`)
+//! ```
+//!
+//! Identifiers may also be equality atoms like `belief = valid`; the parser
+//! folds `lhs = rhs` and `lhs != rhs` into atomic propositions named
+//! `lhs=rhs` (negated for `!=`), matching how `cmc-smv` boolean-encodes
+//! enumerated variables.
+
+use crate::ast::Formula;
+use std::fmt;
+
+/// A parse error with byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was noticed.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a CTL formula from SMV-style text.
+pub fn parse(input: &str) -> Result<Formula, ParseError> {
+    let mut p = Parser { input, pos: 0 };
+    p.skip_ws();
+    let f = p.iff()?;
+    p.skip_ws();
+    if p.pos != input.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(f)
+}
+
+impl std::str::FromStr for Formula {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse(s)
+    }
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { offset: self.pos, message: msg.into() }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.rest().chars().next() {
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume `kw` only when followed by a non-identifier character, so
+    /// that e.g. `EXtra` lexes as an identifier rather than `EX tra`.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let r = self.rest();
+        if let Some(rest) = r.strip_prefix(kw) {
+            if rest.chars().next().is_none_or(|c| !is_ident_char(c)) {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn iff(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.implies()?;
+        while self.eat("<->") {
+            let g = self.implies()?;
+            f = f.iff(g);
+        }
+        Ok(f)
+    }
+
+    fn implies(&mut self) -> Result<Formula, ParseError> {
+        let f = self.or()?;
+        if self.eat("->") {
+            let g = self.implies()?; // right associative
+            Ok(f.implies(g))
+        } else {
+            Ok(f)
+        }
+    }
+
+    fn or(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.and()?;
+        loop {
+            self.skip_ws();
+            // `|` but not `|something-weird`; single char is fine.
+            if self.rest().starts_with('|') {
+                self.pos += 1;
+                let g = self.and()?;
+                f = f.or(g);
+            } else {
+                break;
+            }
+        }
+        Ok(f)
+    }
+
+    fn and(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.unary()?;
+        while self.eat("&") {
+            let g = self.unary()?;
+            f = f.and(g);
+        }
+        Ok(f)
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        self.skip_ws();
+        if self.eat("!") {
+            return Ok(self.unary()?.not());
+        }
+        for (kw, make) in [
+            ("EX", Formula::ex as fn(Formula) -> Formula),
+            ("AX", Formula::ax),
+            ("EF", Formula::ef),
+            ("AF", Formula::af),
+            ("EG", Formula::eg),
+            ("AG", Formula::ag),
+        ] {
+            if self.eat_keyword(kw) {
+                return Ok(make(self.unary()?));
+            }
+        }
+        // E [ f U g ] / A [ f U g ]
+        for (kw, existential) in [("E", true), ("A", false)] {
+            let save = self.pos;
+            if self.eat_keyword(kw) {
+                self.skip_ws();
+                if self.eat("[") {
+                    let f = self.iff()?;
+                    if !self.eat_keyword("U") {
+                        return Err(self.err("expected `U` in until formula"));
+                    }
+                    let g = self.iff()?;
+                    if !self.eat("]") {
+                        return Err(self.err("expected `]` closing until formula"));
+                    }
+                    return Ok(if existential { f.eu(g) } else { f.au(g) });
+                }
+                self.pos = save; // bare E/A: treat as identifier
+            }
+        }
+        if self.eat("(") {
+            let f = self.iff()?;
+            if !self.eat(")") {
+                return Err(self.err("expected `)`"));
+            }
+            return Ok(f);
+        }
+        if self.eat_keyword("TRUE") {
+            return Ok(Formula::True);
+        }
+        if self.eat_keyword("FALSE") {
+            return Ok(Formula::False);
+        }
+        self.atom()
+    }
+
+    /// `ident` or `ident (=|!=) ident` equality atom.
+    fn atom(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.ident()?;
+        self.skip_ws();
+        let negated = if self.rest().starts_with("!=") {
+            self.pos += 2;
+            true
+        } else if self.rest().starts_with('=') && !self.rest().starts_with("==") {
+            self.pos += 1;
+            false
+        } else {
+            return Ok(Formula::ap(lhs));
+        };
+        let rhs = self.ident()?;
+        let ap = Formula::ap(format!("{lhs}={rhs}"));
+        Ok(if negated { ap.not() } else { ap })
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut len = 0usize;
+        for (i, c) in self.rest().char_indices() {
+            if i == 0 {
+                if !(c.is_ascii_alphabetic() || c == '_') {
+                    return Err(self.err("expected identifier"));
+                }
+                len = c.len_utf8();
+            } else if is_ident_char(c) {
+                len = i + c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if len == 0 {
+            return Err(self.err("expected identifier"));
+        }
+        self.pos = start + len;
+        Ok(self.input[start..start + len].to_string())
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(text: &str) -> Formula {
+        let f = parse(text).unwrap_or_else(|e| panic!("{e} in {text:?}"));
+        // Printing and reparsing must be stable.
+        let printed = f.to_string();
+        let again = parse(&printed).unwrap_or_else(|e| panic!("{e} reparsing {printed:?}"));
+        assert_eq!(f, again, "print/parse roundtrip failed for {text:?}");
+        f
+    }
+
+    #[test]
+    fn atoms_and_constants() {
+        assert_eq!(roundtrip("p"), Formula::ap("p"));
+        assert_eq!(roundtrip("TRUE"), Formula::True);
+        assert_eq!(roundtrip("FALSE"), Formula::False);
+        assert_eq!(roundtrip("Server.belief"), Formula::ap("Server.belief"));
+    }
+
+    #[test]
+    fn equality_atoms_fold_to_aps() {
+        assert_eq!(roundtrip("belief = valid"), Formula::ap("belief=valid"));
+        assert_eq!(parse("r != val").unwrap(), Formula::ap("r=val").not());
+    }
+
+    #[test]
+    fn precedence_and_associativity() {
+        assert_eq!(
+            roundtrip("a & b | c"),
+            Formula::ap("a").and(Formula::ap("b")).or(Formula::ap("c"))
+        );
+        assert_eq!(
+            roundtrip("a -> b -> c"),
+            Formula::ap("a").implies(Formula::ap("b").implies(Formula::ap("c")))
+        );
+        assert_eq!(
+            roundtrip("!a & b"),
+            Formula::ap("a").not().and(Formula::ap("b"))
+        );
+        assert_eq!(
+            roundtrip("a <-> b & c"),
+            Formula::ap("a").iff(Formula::ap("b").and(Formula::ap("c")))
+        );
+    }
+
+    #[test]
+    fn temporal_operators() {
+        assert_eq!(roundtrip("AG p"), Formula::ap("p").ag());
+        assert_eq!(roundtrip("EX AX p"), Formula::ap("p").ax().ex());
+        assert_eq!(
+            roundtrip("AG (p -> AX q)"),
+            Formula::ap("p").implies(Formula::ap("q").ax()).ag()
+        );
+        assert_eq!(
+            roundtrip("E [p U q]"),
+            Formula::ap("p").eu(Formula::ap("q"))
+        );
+        assert_eq!(
+            roundtrip("A [p & r U q]"),
+            Formula::ap("p").and(Formula::ap("r")).au(Formula::ap("q"))
+        );
+    }
+
+    #[test]
+    fn keyword_boundary() {
+        // EXtra is an identifier, not EX tra.
+        assert_eq!(roundtrip("EXtra"), Formula::ap("EXtra"));
+        assert_eq!(roundtrip("AGent"), Formula::ap("AGent"));
+        // Bare E and A are identifiers when not followed by '['.
+        assert_eq!(roundtrip("E & A"), Formula::ap("E").and(Formula::ap("A")));
+    }
+
+    #[test]
+    fn paper_specs_parse() {
+        // Specs from Figures 6 and 9 of the paper.
+        for spec in [
+            "(belief = valid) -> AX (belief = valid)",
+            "(r = val -> belief = valid) -> AX (r = val -> belief = valid)",
+            "(r = fetch -> AX (r = fetch | r = val)) & (r = validate & belief = none) -> \
+             AX ((belief = none & r = validate) | (belief = valid & r = val) | \
+             (belief = invalid & r = inval))",
+            "(belief != valid & r != val) -> AX (belief != valid & r != val)",
+            "(belief = suspect & r = null) -> EX (belief = suspect & r = validate)",
+            "AG ((Client.belief = valid) -> (Server.belief = valid | !time1))",
+        ] {
+            roundtrip(spec);
+        }
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = parse("p &").unwrap_err();
+        assert!(e.offset >= 3);
+        assert!(parse("(p").is_err());
+        assert!(parse("E [p q]").is_err());
+        assert!(parse("p q").unwrap_err().message.contains("trailing"));
+        assert!(parse("").is_err());
+    }
+}

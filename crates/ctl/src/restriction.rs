@@ -1,0 +1,126 @@
+//! Restriction indices `r = (I, F)` — initial condition plus fairness
+//! constraints (§2.2 of the paper).
+//!
+//! The paper folds initial conditions and fairness into the *property*
+//! rather than the system: `M ⊨_r f` holds iff `f` is true in every state
+//! satisfying `I`, with path quantifiers ranging over fair paths only. A
+//! path is fair iff every formula of `F` holds at infinitely many states
+//! along it.
+
+use crate::ast::Formula;
+use std::fmt;
+
+/// A restriction `r = (I, F)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Restriction {
+    /// Initial condition `I` (a CTL formula; propositional in practice).
+    pub init: Formula,
+    /// Fairness constraints `F`: each must hold infinitely often on fair
+    /// paths. The paper's trivial restriction carries `{true}`.
+    pub fairness: Vec<Formula>,
+}
+
+impl Restriction {
+    /// The trivial restriction `(true, {true})` — plain CTL satisfaction,
+    /// written `⊨` in the paper.
+    pub fn trivial() -> Self {
+        Restriction { init: Formula::True, fairness: vec![Formula::True] }
+    }
+
+    /// Restriction with an initial condition only: `(I, {true})`.
+    pub fn with_init(init: Formula) -> Self {
+        Restriction { init, fairness: vec![Formula::True] }
+    }
+
+    /// Restriction with fairness constraints only: `(true, F)`.
+    pub fn with_fairness(fairness: impl IntoIterator<Item = Formula>) -> Self {
+        let mut fairness: Vec<Formula> = fairness.into_iter().collect();
+        if fairness.is_empty() {
+            fairness.push(Formula::True);
+        }
+        Restriction { init: Formula::True, fairness }
+    }
+
+    /// Full restriction `(I, F)`.
+    pub fn new(init: Formula, fairness: impl IntoIterator<Item = Formula>) -> Self {
+        let mut r = Restriction::with_fairness(fairness);
+        r.init = init;
+        r
+    }
+
+    /// Is this the trivial restriction (no effect on satisfaction)?
+    pub fn is_trivial(&self) -> bool {
+        self.init == Formula::True
+            && self.fairness.iter().all(|f| *f == Formula::True)
+    }
+
+    /// Conjoin another initial condition (strengthening `I`).
+    pub fn strengthen_init(mut self, extra: Formula) -> Self {
+        self.init = if self.init == Formula::True { extra } else { self.init.and(extra) };
+        self
+    }
+
+    /// Add fairness constraints (strengthening `F`). Lemma 11 shows that
+    /// `p ⇒ AX q` properties are preserved under this strengthening.
+    pub fn strengthen_fairness(mut self, extra: impl IntoIterator<Item = Formula>) -> Self {
+        self.fairness.extend(extra);
+        self
+    }
+}
+
+impl Default for Restriction {
+    fn default() -> Self {
+        Restriction::trivial()
+    }
+}
+
+impl fmt::Display for Restriction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {{", self.init)?;
+        for (i, c) in self.fairness.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_restriction() {
+        let r = Restriction::trivial();
+        assert!(r.is_trivial());
+        assert_eq!(r.to_string(), "(TRUE, {TRUE})");
+    }
+
+    #[test]
+    fn with_init_not_trivial() {
+        let r = Restriction::with_init(Formula::ap("p"));
+        assert!(!r.is_trivial());
+        assert_eq!(r.fairness, vec![Formula::True]);
+    }
+
+    #[test]
+    fn empty_fairness_defaults_to_true() {
+        let r = Restriction::with_fairness([]);
+        assert_eq!(r.fairness, vec![Formula::True]);
+        assert!(r.is_trivial());
+    }
+
+    #[test]
+    fn strengthening() {
+        let r = Restriction::trivial()
+            .strengthen_init(Formula::ap("init_ok"))
+            .strengthen_fairness([Formula::ap("p").not().or(Formula::ap("q"))]);
+        assert_eq!(r.init, Formula::ap("init_ok"));
+        assert_eq!(r.fairness.len(), 2);
+        // Strengthening a non-trivial init conjoins.
+        let r2 = r.strengthen_init(Formula::ap("more"));
+        assert_eq!(r2.init, Formula::ap("init_ok").and(Formula::ap("more")));
+    }
+}

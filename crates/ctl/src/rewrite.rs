@@ -1,0 +1,212 @@
+//! Sound simplification of CTL formulas.
+//!
+//! Specs assembled programmatically (e.g. the generated obligations of the
+//! compositional rules) accumulate redundant structure — double negations,
+//! constant subformulas, idempotent conjuncts. This module normalises them
+//! with rewrite rules that are sound under **fair** semantics, i.e. for
+//! every restriction `(I, F)`, not just the trivial one.
+//!
+//! That last point is delicate: familiar identities like `EF true = true`
+//! or `AG false = false` are *unsound* under fairness (both reduce to "a
+//! fair path exists from here", which can be false). Every rule below is
+//! fairness-sound; the property-based tests check equivalence against the
+//! checker under randomly chosen fairness constraints.
+
+use crate::ast::Formula;
+
+/// Simplify a formula with fairness-sound rewrite rules until fixpoint.
+pub fn simplify(f: &Formula) -> Formula {
+    let mut cur = f.clone();
+    loop {
+        let next = simplify_once(&cur);
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+}
+
+fn simplify_once(f: &Formula) -> Formula {
+    use Formula::*;
+    // Bottom-up.
+    let f = match f {
+        True | False | Ap(_) => f.clone(),
+        Not(a) => simplify_once(a).not(),
+        And(a, b) => simplify_once(a).and(simplify_once(b)),
+        Or(a, b) => simplify_once(a).or(simplify_once(b)),
+        Implies(a, b) => simplify_once(a).implies(simplify_once(b)),
+        Iff(a, b) => simplify_once(a).iff(simplify_once(b)),
+        Ex(a) => simplify_once(a).ex(),
+        Ax(a) => simplify_once(a).ax(),
+        Ef(a) => simplify_once(a).ef(),
+        Af(a) => simplify_once(a).af(),
+        Eg(a) => simplify_once(a).eg(),
+        Ag(a) => simplify_once(a).ag(),
+        Eu(a, b) => simplify_once(a).eu(simplify_once(b)),
+        Au(a, b) => simplify_once(a).au(simplify_once(b)),
+    };
+    rewrite_root(f)
+}
+
+fn rewrite_root(f: Formula) -> Formula {
+    use Formula::*;
+    match f {
+        // Boolean constant folding.
+        Not(a) => match *a {
+            True => False,
+            False => True,
+            Not(inner) => *inner, // double negation
+            other => Not(Box::new(other)),
+        },
+        And(a, b) => match (*a, *b) {
+            (True, x) | (x, True) => x,
+            (False, _) | (_, False) => False,
+            (x, y) if x == y => x, // idempotence
+            // Absorption: x ∧ (x ∨ y) = x.
+            (x, Or(p, q)) if x == *p || x == *q => x,
+            (Or(p, q), x) if x == *p || x == *q => x,
+            (x, y) => x.and(y),
+        },
+        Or(a, b) => match (*a, *b) {
+            (False, x) | (x, False) => x,
+            (True, _) | (_, True) => True,
+            (x, y) if x == y => x,
+            // Absorption: x ∨ (x ∧ y) = x.
+            (x, And(p, q)) if x == *p || x == *q => x,
+            (And(p, q), x) if x == *p || x == *q => x,
+            (x, y) => x.or(y),
+        },
+        Implies(a, b) => match (*a, *b) {
+            (True, x) => x,
+            (False, _) => True,
+            (_, True) => True,
+            (x, False) => x.not(),
+            (x, y) if x == y => True,
+            (x, y) => x.implies(y),
+        },
+        Iff(a, b) => match (*a, *b) {
+            (True, x) | (x, True) => x,
+            (False, x) | (x, False) => x.not(),
+            (x, y) if x == y => True,
+            (x, y) => x.iff(y),
+        },
+        // Temporal rules — fairness-sound subset only.
+        Ex(a) => match *a {
+            False => False, // no fair successor in ∅
+            other => Ex(Box::new(other)),
+        },
+        Ax(a) => match *a {
+            True => True, // ¬EX false
+            other => Ax(Box::new(other)),
+        },
+        Ef(a) => match *a {
+            False => False,
+            Ef(inner) => Ef(inner), // idempotence
+            other => Ef(Box::new(other)),
+        },
+        Af(a) => match *a {
+            True => True, // ¬EG_fair false = ¬false
+            Af(inner) => Af(inner),
+            other => Af(Box::new(other)),
+        },
+        Eg(a) => match *a {
+            False => False,
+            Eg(inner) => Eg(inner),
+            other => Eg(Box::new(other)),
+        },
+        Ag(a) => match *a {
+            True => True, // ¬EF_fair false
+            Ag(inner) => Ag(inner),
+            other => Ag(Box::new(other)),
+        },
+        Eu(a, b) => match (*a, *b) {
+            (_, False) => False, // lfp with empty target
+            (x, y) => x.eu(y),
+        },
+        Au(a, b) => match (*a, *b) {
+            (_, True) => True, // target holds immediately on every path
+            (x, y) => x.au(y),
+        },
+        other => other,
+    }
+}
+
+/// Size of a formula (number of AST nodes) — used to report simplification
+/// gains and by tests.
+pub fn formula_size(f: &Formula) -> usize {
+    use Formula::*;
+    match f {
+        True | False | Ap(_) => 1,
+        Not(a) | Ex(a) | Ax(a) | Ef(a) | Af(a) | Eg(a) | Ag(a) => 1 + formula_size(a),
+        And(a, b) | Or(a, b) | Implies(a, b) | Iff(a, b) | Eu(a, b) | Au(a, b) => {
+            1 + formula_size(a) + formula_size(b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn s(text: &str) -> String {
+        simplify(&parse(text).unwrap()).to_string()
+    }
+
+    #[test]
+    fn boolean_folding() {
+        assert_eq!(s("p & TRUE"), "p");
+        assert_eq!(s("p & FALSE"), "FALSE");
+        assert_eq!(s("p | TRUE"), "TRUE");
+        assert_eq!(s("!!p"), "p");
+        assert_eq!(s("p & p"), "p");
+        assert_eq!(s("p | p & q"), "p");
+        assert_eq!(s("p & (p | q)"), "p");
+        assert_eq!(s("TRUE -> p"), "p");
+        assert_eq!(s("p -> p"), "TRUE");
+        assert_eq!(s("p <-> TRUE"), "p");
+        assert_eq!(s("p <-> FALSE"), "!p");
+    }
+
+    #[test]
+    fn temporal_folding() {
+        assert_eq!(s("EX FALSE"), "FALSE");
+        assert_eq!(s("AX TRUE"), "TRUE");
+        assert_eq!(s("EF FALSE"), "FALSE");
+        assert_eq!(s("AF TRUE"), "TRUE");
+        assert_eq!(s("EG FALSE"), "FALSE");
+        assert_eq!(s("AG TRUE"), "TRUE");
+        assert_eq!(s("EF EF p"), "EF p");
+        assert_eq!(s("AG AG p"), "AG p");
+        assert_eq!(s("E [p U FALSE]"), "FALSE");
+        assert_eq!(s("A [p U TRUE]"), "TRUE");
+    }
+
+    #[test]
+    fn fairness_unsound_rules_not_applied() {
+        // These must NOT fold (see module docs).
+        assert_eq!(s("EF TRUE"), "EF TRUE");
+        assert_eq!(s("EG TRUE"), "EG TRUE");
+        assert_eq!(s("AG FALSE"), "AG FALSE");
+        assert_eq!(s("AF FALSE"), "AF FALSE");
+        assert_eq!(s("E [p U TRUE]"), "E [p U TRUE]");
+        assert_eq!(s("A [p U FALSE]"), "A [p U FALSE]");
+    }
+
+    #[test]
+    fn nested_simplification_to_fixpoint() {
+        assert_eq!(s("!!(p & TRUE) | FALSE"), "p");
+        assert_eq!(s("AG (TRUE & (q -> q))"), "TRUE");
+        assert_eq!(s("EX (FALSE | EX FALSE)"), "FALSE");
+    }
+
+    #[test]
+    fn size_metric() {
+        assert_eq!(formula_size(&parse("p").unwrap()), 1);
+        assert_eq!(formula_size(&parse("p & q").unwrap()), 3);
+        assert_eq!(formula_size(&parse("AG (p -> AX q)").unwrap()), 5);
+        let before = parse("!!(p & TRUE)").unwrap();
+        let after = simplify(&before);
+        assert!(formula_size(&after) < formula_size(&before));
+    }
+}

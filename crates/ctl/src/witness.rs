@@ -1,0 +1,380 @@
+//! Witness and counterexample paths for the explicit-state checker.
+//!
+//! For a failed universal property the user needs to see *why*: a concrete
+//! execution. This module extracts
+//!
+//! * witness paths for `EF`/`EU` (a finite path reaching the target),
+//! * witness lassos for `EG` (a path into a cycle that stays in the set),
+//! * counterexamples for `AG` (an `EF ¬p` witness) and `AF` (an `EG ¬p`
+//!   lasso),
+//!
+//! mirroring what SMV prints under "as demonstrated by the following
+//! execution sequence".
+
+use crate::ast::Formula;
+use crate::checker::{CheckError, Checker};
+use crate::stateset::StateSet;
+use cmc_kripke::{State, System};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A finite witness: either a plain path or a lasso (path + cycle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WitnessPath {
+    /// The stem: consecutive states under the transition relation.
+    pub stem: Vec<State>,
+    /// For lassos, the cycle states (first cycle state repeats after the
+    /// last); empty for plain reachability witnesses.
+    pub cycle: Vec<State>,
+}
+
+impl WitnessPath {
+    /// Total number of distinct states listed.
+    pub fn len(&self) -> usize {
+        self.stem.len() + self.cycle.len()
+    }
+
+    /// Is the witness empty (should not happen for successful extraction)?
+    pub fn is_empty(&self) -> bool {
+        self.stem.is_empty() && self.cycle.is_empty()
+    }
+
+    /// Render with an alphabet, SMV-trace style.
+    pub fn display<'a>(&'a self, system: &'a System) -> WitnessDisplay<'a> {
+        WitnessDisplay { witness: self, system }
+    }
+
+    /// Validate that every consecutive pair is a transition of `system`
+    /// and the cycle closes. Used by tests; cheap enough to debug-assert.
+    pub fn is_valid(&self, system: &System) -> bool {
+        let all: Vec<State> = self.stem.iter().chain(self.cycle.iter()).copied().collect();
+        for w in all.windows(2) {
+            if !system.has_transition(w[0], w[1]) {
+                return false;
+            }
+        }
+        if let (Some(&last), Some(&first)) = (self.cycle.last(), self.cycle.first()) {
+            if !system.has_transition(last, first) {
+                return false;
+            }
+        }
+        !self.is_empty()
+    }
+}
+
+/// Pretty-printer for witnesses.
+pub struct WitnessDisplay<'a> {
+    witness: &'a WitnessPath,
+    system: &'a System,
+}
+
+impl fmt::Display for WitnessDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let al = self.system.alphabet();
+        for (i, s) in self.witness.stem.iter().enumerate() {
+            writeln!(f, "  state {}: {}", i + 1, s.display(al))?;
+        }
+        if !self.witness.cycle.is_empty() {
+            writeln!(f, "  -- loop starts here --")?;
+            for (i, s) in self.witness.cycle.iter().enumerate() {
+                writeln!(
+                    f,
+                    "  state {}: {}",
+                    self.witness.stem.len() + i + 1,
+                    s.display(al)
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Checker<'_> {
+    /// A shortest path from some state of `from` to some state of `to`
+    /// (both may include stutter steps). `None` if unreachable.
+    pub fn find_path(&self, from: &StateSet, to: &StateSet) -> Option<WitnessPath> {
+        // BFS over proper successors (stutter never helps a shortest path
+        // except the trivial one).
+        let mut parent: BTreeMap<State, State> = BTreeMap::new();
+        let mut queue: std::collections::VecDeque<State> = Default::default();
+        for s in from.iter() {
+            if to.contains(s) {
+                return Some(WitnessPath { stem: vec![s], cycle: vec![] });
+            }
+            parent.insert(s, s);
+            queue.push_back(s);
+        }
+        while let Some(s) = queue.pop_front() {
+            for t in self.system().proper_successors(s) {
+                if parent.contains_key(&t) {
+                    continue;
+                }
+                parent.insert(t, s);
+                if to.contains(t) {
+                    // Reconstruct.
+                    let mut path = vec![t];
+                    let mut cur = s;
+                    loop {
+                        path.push(cur);
+                        let p = parent[&cur];
+                        if p == cur {
+                            break;
+                        }
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(WitnessPath { stem: path, cycle: vec![] });
+                }
+                queue.push_back(t);
+            }
+        }
+        None
+    }
+
+    /// Witness for `s₀ ⊨ E[f U g]`: a finite `f`-path from a state in
+    /// `from` to a `g`-state.
+    pub fn witness_eu(
+        &self,
+        from: &StateSet,
+        f: &Formula,
+        g: &Formula,
+    ) -> Result<Option<WitnessPath>, CheckError> {
+        let sat_f = self.sat(f)?;
+        let sat_g = self.sat(g)?;
+        // Restrict the search to f-states (targets may leave f).
+        let mut sources = from.clone();
+        sources.intersect_with(&sat_f);
+        // Direct hit?
+        let mut direct = from.clone();
+        direct.intersect_with(&sat_g);
+        if let Some(s) = direct.iter().next() {
+            return Ok(Some(WitnessPath { stem: vec![s], cycle: vec![] }));
+        }
+        // BFS through f-states only.
+        let mut parent: BTreeMap<State, State> = BTreeMap::new();
+        let mut queue: std::collections::VecDeque<State> = Default::default();
+        for s in sources.iter() {
+            parent.insert(s, s);
+            queue.push_back(s);
+        }
+        while let Some(s) = queue.pop_front() {
+            for t in self.system().proper_successors(s) {
+                if parent.contains_key(&t) {
+                    continue;
+                }
+                if sat_g.contains(t) {
+                    let mut path = vec![t];
+                    let mut cur = s;
+                    loop {
+                        path.push(cur);
+                        let p = parent[&cur];
+                        if p == cur {
+                            break;
+                        }
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Ok(Some(WitnessPath { stem: path, cycle: vec![] }));
+                }
+                if sat_f.contains(t) {
+                    parent.insert(t, s);
+                    queue.push_back(t);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Witness for `EG f` from `from`: a lasso whose every state satisfies
+    /// `f`. Exploits reflexivity: any `f`-state inside `sat(EG f)` can
+    /// stutter, so the minimal lasso is a self-loop; we still prefer a
+    /// proper cycle when one exists within the EG set.
+    pub fn witness_eg(
+        &self,
+        from: &StateSet,
+        f: &Formula,
+    ) -> Result<Option<WitnessPath>, CheckError> {
+        let eg = self.sat(&f.clone().eg())?;
+        let mut sources = from.clone();
+        sources.intersect_with(&eg);
+        let Some(start) = sources.iter().next() else {
+            return Ok(None);
+        };
+        // Walk within the EG set until a state repeats.
+        let mut order: Vec<State> = vec![start];
+        let mut seen: BTreeMap<State, usize> = BTreeMap::new();
+        seen.insert(start, 0);
+        let mut cur = start;
+        loop {
+            // Prefer a proper successor inside EG; fall back to stutter.
+            let next = self
+                .system()
+                .proper_successors(cur)
+                .find(|t| eg.contains(*t))
+                .unwrap_or(cur);
+            if let Some(&idx) = seen.get(&next) {
+                let stem = order[..idx].to_vec();
+                let cycle = order[idx..].to_vec();
+                return Ok(Some(WitnessPath { stem, cycle }));
+            }
+            seen.insert(next, order.len());
+            order.push(next);
+            cur = next;
+        }
+    }
+
+    /// Counterexample for `AG p` from `from`: a path to a `¬p` state.
+    pub fn counterexample_ag(
+        &self,
+        from: &StateSet,
+        p: &Formula,
+    ) -> Result<Option<WitnessPath>, CheckError> {
+        self.witness_eu(from, &Formula::True, &p.clone().not())
+    }
+
+    /// Counterexample for `AF p` from `from`: a lasso avoiding `p` forever.
+    pub fn counterexample_af(
+        &self,
+        from: &StateSet,
+        p: &Formula,
+    ) -> Result<Option<WitnessPath>, CheckError> {
+        self.witness_eg(from, &p.clone().not())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use cmc_kripke::Alphabet;
+
+    fn counter() -> System {
+        let mut m = System::new(Alphabet::new(["b0", "b1"]));
+        m.add_transition_named(&[], &["b0"]);
+        m.add_transition_named(&["b0"], &["b1"]);
+        m.add_transition_named(&["b1"], &["b0", "b1"]);
+        m.add_transition_named(&["b0", "b1"], &[]);
+        m
+    }
+
+    fn set_of(checker: &Checker<'_>, text: &str) -> StateSet {
+        checker.sat(&parse(text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn shortest_path_on_cycle() {
+        let m = counter();
+        let c = Checker::new(&m).unwrap();
+        let from = set_of(&c, "!b0 & !b1");
+        let to = set_of(&c, "b0 & b1");
+        let w = c.find_path(&from, &to).unwrap();
+        assert_eq!(w.stem.len(), 4); // 00 01 10 11
+        assert!(w.cycle.is_empty());
+        assert!(w.is_valid(&m));
+    }
+
+    #[test]
+    fn trivial_path_when_source_in_target() {
+        let m = counter();
+        let c = Checker::new(&m).unwrap();
+        let s = set_of(&c, "b0");
+        let w = c.find_path(&s, &s).unwrap();
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        // One-way: x can only be set.
+        let mut m = System::new(Alphabet::new(["x"]));
+        m.add_transition_named(&[], &["x"]);
+        let c = Checker::new(&m).unwrap();
+        let from = set_of(&c, "x");
+        let to = set_of(&c, "!x");
+        assert!(c.find_path(&from, &to).is_none());
+    }
+
+    #[test]
+    fn eu_witness_stays_in_f() {
+        let m = counter();
+        let c = Checker::new(&m).unwrap();
+        let from = set_of(&c, "!b0 & !b1");
+        let f = parse("!(b0 & b1)").unwrap();
+        let g = parse("b0 & b1").unwrap();
+        let w = c.witness_eu(&from, &f, &g).unwrap().unwrap();
+        assert!(w.is_valid(&m));
+        // All but the last state satisfy f.
+        let al = m.alphabet();
+        for s in &w.stem[..w.stem.len() - 1] {
+            assert!(f.eval_in_state(al, *s));
+        }
+        assert!(g.eval_in_state(al, *w.stem.last().unwrap()));
+    }
+
+    #[test]
+    fn eu_witness_none_when_unreachable_through_f() {
+        let m = counter();
+        let c = Checker::new(&m).unwrap();
+        let from = set_of(&c, "!b0 & !b1");
+        // Must reach 11 while avoiding b0 — impossible on this counter.
+        let f = parse("!b0").unwrap();
+        let g = parse("b0 & b1").unwrap();
+        assert!(c.witness_eu(&from, &f, &g).unwrap().is_none());
+    }
+
+    #[test]
+    fn eg_witness_is_a_lasso() {
+        let m = counter();
+        let c = Checker::new(&m).unwrap();
+        let from = set_of(&c, "b0 & !b1");
+        let w = c.witness_eg(&from, &parse("b0").unwrap()).unwrap().unwrap();
+        assert!(!w.cycle.is_empty());
+        assert!(w.is_valid(&m));
+        let al = m.alphabet();
+        for s in w.stem.iter().chain(&w.cycle) {
+            assert!(s.contains_named(al, "b0"));
+        }
+    }
+
+    #[test]
+    fn ag_counterexample_reaches_violation() {
+        let m = counter();
+        let c = Checker::new(&m).unwrap();
+        let from = set_of(&c, "!b0 & !b1");
+        let w = c
+            .counterexample_ag(&from, &parse("!b1").unwrap())
+            .unwrap()
+            .unwrap();
+        let last = *w.stem.last().unwrap();
+        assert!(last.contains_named(m.alphabet(), "b1"));
+        assert!(w.is_valid(&m));
+    }
+
+    #[test]
+    fn af_counterexample_is_avoiding_lasso() {
+        let m = counter();
+        let c = Checker::new(&m).unwrap();
+        let from = set_of(&c, "!b0 & !b1");
+        // AF (b0 & b1) fails by stuttering; the lasso must avoid 11.
+        let w = c
+            .counterexample_af(&from, &parse("b0 & b1").unwrap())
+            .unwrap()
+            .unwrap();
+        assert!(w.is_valid(&m));
+        let al = m.alphabet();
+        for s in w.stem.iter().chain(&w.cycle) {
+            assert!(!(s.contains_named(al, "b0") && s.contains_named(al, "b1")));
+        }
+    }
+
+    #[test]
+    fn display_renders_states() {
+        let m = counter();
+        let c = Checker::new(&m).unwrap();
+        let from = set_of(&c, "!b0 & !b1");
+        let to = set_of(&c, "b1");
+        let w = c.find_path(&from, &to).unwrap();
+        let text = w.display(&m).to_string();
+        assert!(text.contains("state 1: {}"));
+        assert!(text.contains("{b1}"));
+    }
+}

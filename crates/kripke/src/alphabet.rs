@@ -1,0 +1,198 @@
+//! Alphabets of atomic propositions.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An ordered, duplicate-free set of atomic-proposition names — the `Σ` of a
+/// system `M = (Σ, R)`.
+///
+/// Order matters only for the bit layout of [`crate::State`]; set semantics
+/// (as used by the paper) are provided by [`Alphabet::union`] and
+/// [`Alphabet::is_subset_of`], which are order-insensitive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alphabet {
+    names: Vec<String>,
+    index: BTreeMap<String, usize>,
+}
+
+impl Alphabet {
+    /// Build an alphabet from proposition names. Panics on duplicates —
+    /// a duplicated proposition is always a modelling bug.
+    pub fn new<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        let mut index = BTreeMap::new();
+        for (i, n) in names.iter().enumerate() {
+            let prev = index.insert(n.clone(), i);
+            assert!(prev.is_none(), "duplicate atomic proposition {n:?}");
+        }
+        assert!(
+            names.len() <= crate::state::MAX_PROPS,
+            "explicit-state alphabets are limited to {} propositions; \
+             use the symbolic engine for larger systems",
+            crate::state::MAX_PROPS
+        );
+        Alphabet { names, index }
+    }
+
+    /// The empty alphabet.
+    pub fn empty() -> Self {
+        Alphabet::new(Vec::<String>::new())
+    }
+
+    /// Number of propositions.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Is the alphabet empty?
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name at position `i`.
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// All names in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Position of `name`, if present.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Does the alphabet contain `name`?
+    pub fn contains(&self, name: &str) -> bool {
+        self.index.contains_key(name)
+    }
+
+    /// Set inclusion `Σ ⊆ Σ'` (order-insensitive).
+    pub fn is_subset_of(&self, other: &Alphabet) -> bool {
+        self.names.iter().all(|n| other.contains(n))
+    }
+
+    /// Same proposition set (order-insensitive).
+    pub fn same_set(&self, other: &Alphabet) -> bool {
+        self.len() == other.len() && self.is_subset_of(other)
+    }
+
+    /// Union `Σ ∪ Σ'`: keeps `self`'s order, then appends `other`'s new
+    /// names in `other`'s order. Deterministic, so composition is
+    /// reproducible.
+    pub fn union(&self, other: &Alphabet) -> Alphabet {
+        let mut names = self.names.clone();
+        for n in &other.names {
+            if !self.contains(n) {
+                names.push(n.clone());
+            }
+        }
+        Alphabet::new(names)
+    }
+
+    /// Difference `Σ − Σ'` as a list of names (in `self` order).
+    pub fn difference(&self, other: &Alphabet) -> Vec<String> {
+        self.names
+            .iter()
+            .filter(|n| !other.contains(n))
+            .cloned()
+            .collect()
+    }
+
+    /// For each position in `self`, its position in `target`.
+    /// Panics if some name is missing from `target` — callers must union
+    /// alphabets first.
+    pub fn embedding(&self, target: &Alphabet) -> Vec<usize> {
+        self.names
+            .iter()
+            .map(|n| {
+                target
+                    .position(n)
+                    .unwrap_or_else(|| panic!("proposition {n:?} missing from target alphabet"))
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, n) in self.names.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_lookup() {
+        let a = Alphabet::new(["x", "y", "z"]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.position("y"), Some(1));
+        assert_eq!(a.position("w"), None);
+        assert!(a.contains("z"));
+        assert_eq!(a.name(0), "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicates_rejected() {
+        Alphabet::new(["x", "x"]);
+    }
+
+    #[test]
+    fn union_keeps_left_order_and_appends() {
+        let a = Alphabet::new(["x", "y"]);
+        let b = Alphabet::new(["y", "z"]);
+        let u = a.union(&b);
+        assert_eq!(u.names(), &["x", "y", "z"]);
+        // Union is idempotent on the set level.
+        assert!(u.same_set(&b.union(&a)));
+    }
+
+    #[test]
+    fn subset_and_difference() {
+        let a = Alphabet::new(["x", "y"]);
+        let b = Alphabet::new(["y", "x", "z"]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.same_set(&Alphabet::new(["y", "x"])));
+        assert_eq!(b.difference(&a), vec!["z".to_string()]);
+        assert!(a.difference(&b).is_empty());
+    }
+
+    #[test]
+    fn embedding_maps_positions() {
+        let a = Alphabet::new(["y", "x"]);
+        let big = Alphabet::new(["x", "y", "z"]);
+        assert_eq!(a.embedding(&big), vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from target")]
+    fn embedding_requires_inclusion() {
+        let a = Alphabet::new(["w"]);
+        let big = Alphabet::new(["x"]);
+        a.embedding(&big);
+    }
+
+    #[test]
+    fn display_renders_as_set() {
+        let a = Alphabet::new(["x", "y"]);
+        assert_eq!(a.to_string(), "{x, y}");
+        assert_eq!(Alphabet::empty().to_string(), "{}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Graphviz export of state-transition graphs — the rendering behind the
+//! paper's Figures 4 and 11.
+
+use crate::state::State;
+use crate::system::System;
+use std::collections::BTreeSet;
+use std::fmt::Write;
+
+impl System {
+    /// Render the system (or a reachable fragment) as a Graphviz digraph.
+    ///
+    /// * `roots` — seed states; when empty, every state with at least one
+    ///   proper transition is shown.
+    /// * Stutter self-loops are implicit in the semantics and omitted from
+    ///   the drawing, exactly as the paper's figures omit them.
+    pub fn to_dot(&self, roots: &[State]) -> String {
+        let shown: BTreeSet<State> = if roots.is_empty() {
+            self.proper_transitions()
+                .flat_map(|(s, t)| [s, t])
+                .collect()
+        } else {
+            self.reachable(roots.iter().copied())
+        };
+        let al = self.alphabet();
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph system {{");
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  node [shape=ellipse];");
+        for s in &shown {
+            let _ = writeln!(out, "  s{} [label=\"{}\"];", s.0, s.display(al));
+        }
+        for (s, t) in self.proper_transitions() {
+            if shown.contains(&s) && shown.contains(&t) {
+                let _ = writeln!(out, "  s{} -> s{};", s.0, t.0);
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn toggle() -> System {
+        let mut m = System::new(Alphabet::new(["x"]));
+        m.add_transition_named(&[], &["x"]);
+        m.add_transition_named(&["x"], &[]);
+        m
+    }
+
+    #[test]
+    fn dot_contains_states_and_edges() {
+        let m = toggle();
+        let dot = m.to_dot(&[]);
+        assert!(dot.starts_with("digraph system {"));
+        assert!(dot.contains("label=\"{}\""));
+        assert!(dot.contains("label=\"{x}\""));
+        assert!(dot.contains("s0 -> s1;"));
+        assert!(dot.contains("s1 -> s0;"));
+    }
+
+    #[test]
+    fn dot_restricted_to_reachable() {
+        // Two disconnected parts: only the rooted one is drawn.
+        let mut m = System::new(Alphabet::new(["a", "b"]));
+        m.add_transition_named(&[], &["a"]);
+        m.add_transition_named(&["b"], &["a", "b"]);
+        let root = State::from_names(m.alphabet(), &[]);
+        let dot = m.to_dot(&[root]);
+        assert!(dot.contains("s0 -> s1;"));
+        assert!(!dot.contains("s2 -> s3;"));
+    }
+
+    #[test]
+    fn stutter_loops_omitted() {
+        let m = toggle();
+        let dot = m.to_dot(&[]);
+        assert!(!dot.contains("s0 -> s0"));
+        assert!(!dot.contains("s1 -> s1"));
+    }
+}

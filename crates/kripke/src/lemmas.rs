@@ -1,0 +1,127 @@
+//! Executable forms of the structural composition lemmas of §3.2.
+//!
+//! The paper states Lemmas 1–4 without machine-checkable proofs; these
+//! functions *decide* each lemma instance on concrete finite systems. They
+//! are used by the test suite (including property-based tests over random
+//! systems) and by `cmc-core` to sanity-check algebraic rewriting steps in
+//! proof certificates.
+
+use crate::system::System;
+
+/// Lemma 1 (commutativity): `M ∘ M' = M' ∘ M`.
+pub fn lemma1_commutative(m: &System, mp: &System) -> bool {
+    m.compose(mp).equivalent(&mp.compose(m))
+}
+
+/// Lemma 1 (associativity): `(M₁ ∘ M₂) ∘ M₃ = M₁ ∘ (M₂ ∘ M₃)`.
+pub fn lemma1_associative(m1: &System, m2: &System, m3: &System) -> bool {
+    m1.compose(m2).compose(m3).equivalent(&m1.compose(&m2.compose(m3)))
+}
+
+/// Lemma 2: for a shared alphabet, `(Σ, R) ∘ (Σ, R') = (Σ, R ∪ R')`.
+///
+/// Returns `None` when the precondition (equal proposition sets) fails,
+/// `Some(verdict)` otherwise.
+pub fn lemma2_union(m: &System, mp: &System) -> Option<bool> {
+    if !m.alphabet().same_set(mp.alphabet()) {
+        return None;
+    }
+    let composed = m.compose(mp);
+    // Build R ∪ R' directly.
+    let mut union = System::new(m.alphabet().clone());
+    for (s, t) in m.proper_transitions() {
+        union.add_transition(s, t);
+    }
+    for (s, t) in mp.proper_transitions() {
+        let es = s.embed(mp.alphabet(), m.alphabet());
+        let et = t.embed(mp.alphabet(), m.alphabet());
+        union.add_transition(es, et);
+    }
+    Some(composed.equivalent(&union))
+}
+
+/// Lemma 3: `(Σ, R) ∘ (Σ, I) = (Σ, R)` — the identity system is the unit.
+pub fn lemma3_identity(m: &System) -> bool {
+    let id = System::identity(m.alphabet().clone());
+    m.compose(&id).equivalent(m) && id.compose(m).equivalent(m)
+}
+
+/// Lemma 4: composition equals the composition of the mutual expansions,
+/// `M ∘ M' = (M ∘ (Σ', I)) ∘ (M' ∘ (Σ, I))`.
+pub fn lemma4_expansion(m: &System, mp: &System) -> bool {
+    let lhs = m.compose(mp);
+    let me = m.expand(mp.alphabet());
+    let mpe = mp.expand(m.alphabet());
+    lhs.equivalent(&me.compose(&mpe))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn toggler(name: &str) -> System {
+        let mut m = System::new(Alphabet::new([name]));
+        m.add_transition_named(&[], &[name]);
+        m.add_transition_named(&[name], &[]);
+        m
+    }
+
+    fn chain_ab() -> System {
+        let mut m = System::new(Alphabet::new(["a", "b"]));
+        m.add_transition_named(&[], &["a"]);
+        m.add_transition_named(&["a"], &["a", "b"]);
+        m
+    }
+
+    #[test]
+    fn lemma1_holds_on_disjoint_alphabets() {
+        let (x, y) = (toggler("x"), toggler("y"));
+        assert!(lemma1_commutative(&x, &y));
+    }
+
+    #[test]
+    fn lemma1_holds_on_overlapping_alphabets() {
+        let mut shared = System::new(Alphabet::new(["a", "c"]));
+        shared.add_transition_named(&["a"], &["c"]);
+        assert!(lemma1_commutative(&chain_ab(), &shared));
+    }
+
+    #[test]
+    fn lemma1_associativity_three_ways() {
+        let (x, y, z) = (toggler("x"), toggler("y"), toggler("z"));
+        assert!(lemma1_associative(&x, &y, &z));
+        let mut shared = System::new(Alphabet::new(["x", "z"]));
+        shared.add_transition_named(&["x"], &["x", "z"]);
+        assert!(lemma1_associative(&x, &shared, &z));
+    }
+
+    #[test]
+    fn lemma2_requires_equal_alphabets() {
+        assert_eq!(lemma2_union(&toggler("x"), &toggler("y")), None);
+    }
+
+    #[test]
+    fn lemma2_union_of_relations() {
+        let mut m1 = System::new(Alphabet::new(["a", "b"]));
+        m1.add_transition_named(&[], &["a"]);
+        let mut m2 = System::new(Alphabet::new(["b", "a"])); // same set, other order
+        m2.add_transition_named(&["a"], &["b"]);
+        assert_eq!(lemma2_union(&m1, &m2), Some(true));
+    }
+
+    #[test]
+    fn lemma3_on_various_systems() {
+        assert!(lemma3_identity(&toggler("x")));
+        assert!(lemma3_identity(&chain_ab()));
+        assert!(lemma3_identity(&System::new(Alphabet::empty())));
+    }
+
+    #[test]
+    fn lemma4_expansion_equivalence() {
+        assert!(lemma4_expansion(&toggler("x"), &toggler("y")));
+        let mut shared = System::new(Alphabet::new(["b", "c"]));
+        shared.add_transition_named(&["b"], &["b", "c"]);
+        assert!(lemma4_expansion(&chain_ab(), &shared));
+    }
+}

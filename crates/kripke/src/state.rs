@@ -1,0 +1,228 @@
+//! States as sets of atomic propositions.
+
+use crate::alphabet::Alphabet;
+use std::fmt;
+
+/// Maximum propositions an explicit-state alphabet may carry. The state is a
+/// single `u128` bitset; the symbolic engine (`cmc-symbolic`) has no such
+/// limit and should be used for larger systems.
+pub const MAX_PROPS: usize = 128;
+
+/// A state of a system `M = (Σ, R)`: the set of atomic propositions true in
+/// it, stored as a bitset positioned by the owning [`Alphabet`].
+///
+/// Following §2.1 of the paper, a state is *identified* with this set — two
+/// states are equal iff they make the same propositions true.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct State(pub u128);
+
+impl State {
+    /// The state in which no proposition holds (`∅`).
+    pub const EMPTY: State = State(0);
+
+    /// State from proposition names, resolved against `alphabet`.
+    /// Panics on unknown names.
+    pub fn from_names(alphabet: &Alphabet, names: &[&str]) -> State {
+        let mut bits = 0u128;
+        for n in names {
+            let i = alphabet
+                .position(n)
+                .unwrap_or_else(|| panic!("unknown proposition {n:?} in alphabet {alphabet}"));
+            bits |= 1 << i;
+        }
+        State(bits)
+    }
+
+    /// Does proposition at `pos` hold?
+    #[inline]
+    pub fn contains(self, pos: usize) -> bool {
+        self.0 >> pos & 1 == 1
+    }
+
+    /// Does the named proposition hold in `alphabet`?
+    pub fn contains_named(self, alphabet: &Alphabet, name: &str) -> bool {
+        alphabet
+            .position(name)
+            .map(|p| self.contains(p))
+            .unwrap_or(false)
+    }
+
+    /// Set or clear the proposition at `pos`.
+    #[inline]
+    pub fn with(self, pos: usize, value: bool) -> State {
+        if value {
+            State(self.0 | 1 << pos)
+        } else {
+            State(self.0 & !(1 << pos))
+        }
+    }
+
+    /// Set union (`s ∪ r` in the composition definition).
+    #[inline]
+    pub fn union(self, other: State) -> State {
+        State(self.0 | other.0)
+    }
+
+    /// Set intersection (`s' ∩ Σ` in Lemma 10, after masking).
+    #[inline]
+    pub fn intersect(self, other: State) -> State {
+        State(self.0 & other.0)
+    }
+
+    /// Number of propositions that hold.
+    #[inline]
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Re-index this state from `from` into `to` (`from` must embed in
+    /// `to`). Used when a component's states are lifted into a composed
+    /// system's alphabet.
+    pub fn embed(self, from: &Alphabet, to: &Alphabet) -> State {
+        let map = from.embedding(to);
+        let mut bits = 0u128;
+        for (src, &dst) in map.iter().enumerate() {
+            if self.contains(src) {
+                bits |= 1 << dst;
+            }
+        }
+        State(bits)
+    }
+
+    /// Project this state (over `from`) onto the sub-alphabet `to`
+    /// (`s' ∩ Σ` of Lemma 10): propositions of `from` not in `to` are
+    /// dropped; positions are re-indexed into `to`.
+    pub fn project(self, from: &Alphabet, to: &Alphabet) -> State {
+        let mut bits = 0u128;
+        for (i, name) in from.names().iter().enumerate() {
+            if self.contains(i) {
+                if let Some(j) = to.position(name) {
+                    bits |= 1 << j;
+                }
+            }
+        }
+        State(bits)
+    }
+
+    /// Render as `{a, c}` against an alphabet.
+    pub fn display<'a>(&self, alphabet: &'a Alphabet) -> StateDisplay<'a> {
+        StateDisplay { state: *self, alphabet }
+    }
+}
+
+/// Helper carrying the alphabet needed to print a state by name.
+pub struct StateDisplay<'a> {
+    state: State,
+    alphabet: &'a Alphabet,
+}
+
+impl fmt::Display for StateDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (i, n) in self.alphabet.names().iter().enumerate() {
+            if self.state.contains(i) {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{n}")?;
+                first = false;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over the full state space `2^Σ` of an alphabet.
+pub fn all_states(alphabet: &Alphabet) -> impl Iterator<Item = State> {
+    let n = alphabet.len();
+    assert!(n <= MAX_PROPS);
+    // For n == 128 this would overflow; alphabets that large are rejected by
+    // Alphabet::new for explicit use anyway, and n < 64 in every case study.
+    assert!(n < 64, "explicit state-space enumeration limited to 2^63 states");
+    (0u128..(1u128 << n)).map(State)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Alphabet {
+        Alphabet::new(["a", "b", "c"])
+    }
+
+    #[test]
+    fn from_names_and_membership() {
+        let al = abc();
+        let s = State::from_names(&al, &["a", "c"]);
+        assert!(s.contains_named(&al, "a"));
+        assert!(!s.contains_named(&al, "b"));
+        assert!(s.contains_named(&al, "c"));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown proposition")]
+    fn unknown_name_panics() {
+        State::from_names(&abc(), &["zz"]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let al = abc();
+        let ab = State::from_names(&al, &["a", "b"]);
+        let bc = State::from_names(&al, &["b", "c"]);
+        assert_eq!(ab.union(bc), State::from_names(&al, &["a", "b", "c"]));
+        assert_eq!(ab.intersect(bc), State::from_names(&al, &["b"]));
+        assert_eq!(ab.with(2, true), State::from_names(&al, &["a", "b", "c"]));
+        assert_eq!(ab.with(0, false), State::from_names(&al, &["b"]));
+    }
+
+    #[test]
+    fn embed_reindexes() {
+        let small = Alphabet::new(["y"]);
+        let big = Alphabet::new(["x", "y"]);
+        let s = State::from_names(&small, &["y"]);
+        let e = s.embed(&small, &big);
+        assert!(e.contains_named(&big, "y"));
+        assert!(!e.contains_named(&big, "x"));
+    }
+
+    #[test]
+    fn project_drops_foreign_props() {
+        let big = Alphabet::new(["x", "y", "z"]);
+        let small = Alphabet::new(["z", "x"]);
+        let s = State::from_names(&big, &["x", "y"]);
+        let p = s.project(&big, &small);
+        assert!(p.contains_named(&small, "x"));
+        assert!(!p.contains_named(&small, "z"));
+        assert_eq!(p.count(), 1);
+    }
+
+    #[test]
+    fn embed_then_project_roundtrips() {
+        let small = Alphabet::new(["p", "q"]);
+        let big = small.union(&Alphabet::new(["r"]));
+        for bits in 0u128..4 {
+            let s = State(bits);
+            assert_eq!(s.embed(&small, &big).project(&big, &small), s);
+        }
+    }
+
+    #[test]
+    fn all_states_enumerates_powerset() {
+        let al = abc();
+        let states: Vec<State> = all_states(&al).collect();
+        assert_eq!(states.len(), 8);
+        let distinct: std::collections::BTreeSet<State> = states.iter().copied().collect();
+        assert_eq!(distinct.len(), 8);
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let al = abc();
+        let s = State::from_names(&al, &["a", "c"]);
+        assert_eq!(s.display(&al).to_string(), "{a, c}");
+        assert_eq!(State::EMPTY.display(&al).to_string(), "{}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the composition operator on random systems
+//! with randomly overlapping alphabets.
+
+use cmc_kripke::{lemmas, Alphabet, State, System};
+use proptest::prelude::*;
+
+/// A random system over a subset of the fixed name pool, so that pairs of
+/// systems overlap in arbitrary ways.
+fn arb_system() -> impl Strategy<Value = System> {
+    let pool = ["p", "q", "r", "s"];
+    (1usize..=3, proptest::collection::vec((0u32..8, 0u32..8), 0..10)).prop_map(
+        move |(k, pairs)| {
+            let names: Vec<&str> = pool[..k].to_vec();
+            let mask = (1u32 << k) - 1;
+            let mut m = System::new(Alphabet::new(names));
+            for (s, t) in pairs {
+                m.add_transition(State((s & mask) as u128), State((t & mask) as u128));
+            }
+            m
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Composition is commutative and associative for arbitrary overlap.
+    #[test]
+    fn algebra(a in arb_system(), b in arb_system(), c in arb_system()) {
+        prop_assert!(lemmas::lemma1_commutative(&a, &b));
+        prop_assert!(lemmas::lemma1_associative(&a, &b, &c));
+        prop_assert!(lemmas::lemma3_identity(&a));
+        prop_assert!(lemmas::lemma4_expansion(&a, &b));
+    }
+
+    /// Composition is idempotent on a single system: `M ∘ M = M`
+    /// (special case of Lemma 2 with `R ∪ R = R`).
+    #[test]
+    fn self_composition(a in arb_system()) {
+        prop_assert!(a.compose(&a).equivalent(&a));
+    }
+
+    /// The composed relation projects back onto the components: every
+    /// composed proper transition is *justified* by some component `j` —
+    /// its restriction to `Σⱼ` is a transition of `j`, and every
+    /// proposition outside `Σⱼ` is left unchanged (the `r ⊆ Σ* − Σⱼ`
+    /// padding of the §3.1 definition).
+    #[test]
+    fn projection_soundness(a in arb_system(), b in arb_system()) {
+        let c = a.compose(&b);
+        let justifies = |comp: &System, s: State, t: State| {
+            let sp = s.project(c.alphabet(), comp.alphabet());
+            let tp = t.project(c.alphabet(), comp.alphabet());
+            if !comp.has_transition(sp, tp) {
+                return false;
+            }
+            // Frame: propositions of Σ* − Σⱼ unchanged.
+            c.alphabet().names().iter().enumerate().all(|(i, name)| {
+                comp.alphabet().contains(name) || s.contains(i) == t.contains(i)
+            })
+        };
+        for (s, t) in c.proper_transitions() {
+            prop_assert!(
+                justifies(&a, s, t) || justifies(&b, s, t),
+                "composed move {s:?}->{t:?} not justified by either component"
+            );
+        }
+    }
+
+    /// Expansion never changes the projected behaviour: `M ∘ (Σ', I)`
+    /// projected back to `Σ` has exactly `M`'s transitions.
+    #[test]
+    fn expansion_projection(a in arb_system()) {
+        let extra = Alphabet::new(["zz1", "zz2"]);
+        let e = a.expand(&extra);
+        // Frame: expanded moves never change the new propositions.
+        for (s, t) in e.proper_transitions() {
+            let sz = s.project(e.alphabet(), &extra);
+            let tz = t.project(e.alphabet(), &extra);
+            prop_assert_eq!(sz, tz, "expansion changed a frame proposition");
+        }
+        // Projection recovers M's proper transitions (and nothing more,
+        // modulo stutters).
+        for (s, t) in e.proper_transitions() {
+            let sa = s.project(e.alphabet(), a.alphabet());
+            let ta = t.project(e.alphabet(), a.alphabet());
+            prop_assert!(a.has_transition(sa, ta));
+        }
+    }
+
+    /// Reachability is monotone under composition: anything reachable in
+    /// a component's expansion stays reachable in the composition
+    /// (composition only adds moves).
+    #[test]
+    fn reachability_monotone(a in arb_system(), b in arb_system()) {
+        let union = a.alphabet().union(b.alphabet());
+        let ea = a.expand(&union);
+        let c = a.compose(&b);
+        // Compare over the union alphabet: c's alphabet equals ea's as a
+        // set but may order differently.
+        let from = State::EMPTY;
+        let reach_ea = ea.reachable([from]);
+        let reach_c = c.reachable([from]);
+        for s in reach_ea {
+            let mapped = s.embed(ea.alphabet(), c.alphabet());
+            prop_assert!(reach_c.contains(&mapped));
+        }
+    }
+
+    /// State-count bookkeeping: `|2^Σ*| = 2^|Σ*|` and transitions include
+    /// the stutters.
+    #[test]
+    fn counting(a in arb_system(), b in arb_system()) {
+        let c = a.compose(&b);
+        prop_assert_eq!(c.state_count(), 1u128 << c.alphabet().len());
+        prop_assert!(c.transition_count() >= c.state_count());
+    }
+}

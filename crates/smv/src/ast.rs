@@ -1,0 +1,230 @@
+//! Abstract syntax for the mini-SMV language.
+
+use std::fmt;
+
+/// A variable type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// `boolean`.
+    Boolean,
+    /// Symbolic enumeration `{a, b, c}`.
+    Enum(Vec<String>),
+    /// Integer range `lo..hi` (inclusive); treated as an enumeration of its
+    /// values, boolean-encoded per Figure 3 of the paper.
+    Range(i64, i64),
+}
+
+impl Type {
+    /// The values of the type, as strings (the canonical atom spelling).
+    pub fn values(&self) -> Vec<String> {
+        match self {
+            Type::Boolean => vec!["0".into(), "1".into()],
+            Type::Enum(vs) => vs.clone(),
+            Type::Range(lo, hi) => (*lo..=*hi).map(|v| v.to_string()).collect(),
+        }
+    }
+
+    /// Number of values.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            Type::Boolean => 2,
+            Type::Enum(vs) => vs.len(),
+            Type::Range(lo, hi) => (hi - lo + 1) as usize,
+        }
+    }
+
+    /// Bits needed for the boolean encoding (Figure 3): `⌈log₂ k⌉`.
+    pub fn bits(&self) -> usize {
+        let k = self.cardinality();
+        assert!(k >= 1);
+        (usize::BITS - (k - 1).leading_zeros()) as usize
+    }
+}
+
+/// An expression (used for assignments, constraints, and — with the
+/// temporal forms — `SPEC` formulas).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Identifier: a variable, a `DEFINE`, or an enum literal.
+    Ident(String),
+    /// Numeric literal (`0`/`1` double as booleans).
+    Num(i64),
+    /// `next(x)` — next-state value, allowed in `TRANS` only.
+    Next(Box<Expr>),
+    /// `!e`.
+    Not(Box<Expr>),
+    /// `a & b`.
+    And(Box<Expr>, Box<Expr>),
+    /// `a | b`.
+    Or(Box<Expr>, Box<Expr>),
+    /// `a -> b`.
+    Implies(Box<Expr>, Box<Expr>),
+    /// `a <-> b`.
+    Iff(Box<Expr>, Box<Expr>),
+    /// `a = b`.
+    Eq(Box<Expr>, Box<Expr>),
+    /// `a != b`.
+    Neq(Box<Expr>, Box<Expr>),
+    /// `case c1 : e1; …; esac` — first matching arm wins.
+    Case(Vec<(Expr, Expr)>),
+    /// `{a, b, c}` — nondeterministic choice (assignment right-hand sides).
+    Set(Vec<Expr>),
+    /// CTL `EX e` (SPEC only).
+    Ex(Box<Expr>),
+    /// CTL `AX e` (SPEC only).
+    Ax(Box<Expr>),
+    /// CTL `EF e` (SPEC only).
+    Ef(Box<Expr>),
+    /// CTL `AF e` (SPEC only).
+    Af(Box<Expr>),
+    /// CTL `EG e` (SPEC only).
+    Eg(Box<Expr>),
+    /// CTL `AG e` (SPEC only).
+    Ag(Box<Expr>),
+    /// CTL `E [a U b]` (SPEC only).
+    Eu(Box<Expr>, Box<Expr>),
+    /// CTL `A [a U b]` (SPEC only).
+    Au(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Does the expression use a temporal operator?
+    pub fn is_temporal(&self) -> bool {
+        use Expr::*;
+        match self {
+            Ident(_) | Num(_) => false,
+            Next(e) | Not(e) => e.is_temporal(),
+            And(a, b) | Or(a, b) | Implies(a, b) | Iff(a, b) | Eq(a, b) | Neq(a, b) => {
+                a.is_temporal() || b.is_temporal()
+            }
+            Case(arms) => arms.iter().any(|(c, e)| c.is_temporal() || e.is_temporal()),
+            Set(es) => es.iter().any(|e| e.is_temporal()),
+            Ex(_) | Ax(_) | Ef(_) | Af(_) | Eg(_) | Ag(_) | Eu(..) | Au(..) => true,
+        }
+    }
+
+    /// Does the expression mention `next(..)`?
+    pub fn mentions_next(&self) -> bool {
+        use Expr::*;
+        match self {
+            Ident(_) | Num(_) => false,
+            Next(_) => true,
+            Not(e) => e.mentions_next(),
+            And(a, b) | Or(a, b) | Implies(a, b) | Iff(a, b) | Eq(a, b) | Neq(a, b) => {
+                a.mentions_next() || b.mentions_next()
+            }
+            Case(arms) => arms.iter().any(|(c, e)| c.mentions_next() || e.mentions_next()),
+            Set(es) => es.iter().any(|e| e.mentions_next()),
+            Ex(e) | Ax(e) | Ef(e) | Af(e) | Eg(e) | Ag(e) => e.mentions_next(),
+            Eu(a, b) | Au(a, b) => a.mentions_next() || b.mentions_next(),
+        }
+    }
+}
+
+/// One `MODULE` (only `main` is supported — the paper's models are all
+/// single-module; parameterised multi-component models are built
+/// programmatically, see `cmc-afs`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// `VAR` declarations, in order.
+    pub vars: Vec<(String, Type)>,
+    /// `DEFINE` macros.
+    pub defines: Vec<(String, Expr)>,
+    /// `ASSIGN init(x) := e`.
+    pub init_assigns: Vec<(String, Expr)>,
+    /// `ASSIGN next(x) := e`.
+    pub next_assigns: Vec<(String, Expr)>,
+    /// `INIT e` constraints.
+    pub init_constraints: Vec<Expr>,
+    /// `TRANS e` constraints (may mention `next(..)`).
+    pub trans_constraints: Vec<Expr>,
+    /// `INVAR e` constraints.
+    pub invar_constraints: Vec<Expr>,
+    /// `FAIRNESS e` constraints.
+    pub fairness: Vec<Expr>,
+    /// `SPEC f` CTL formulas, with source text for reporting.
+    pub specs: Vec<(String, Expr)>,
+}
+
+impl Module {
+    /// Look up a declared variable's type.
+    pub fn var_type(&self, name: &str) -> Option<&Type> {
+        self.vars.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Boolean => write!(f, "boolean"),
+            Type::Enum(vs) => {
+                write!(f, "{{")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            Type::Range(lo, hi) => write!(f, "{lo}..{hi}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_values_and_bits() {
+        assert_eq!(Type::Boolean.bits(), 1);
+        assert_eq!(Type::Boolean.cardinality(), 2);
+        let e3 = Type::Enum(vec!["a".into(), "b".into(), "c".into()]);
+        assert_eq!(e3.bits(), 2);
+        let e4 = Type::Enum(vec!["a".into(), "b".into(), "c".into(), "d".into()]);
+        assert_eq!(e4.bits(), 2);
+        let e5 = Type::Enum((0..5).map(|i| format!("v{i}")).collect());
+        assert_eq!(e5.bits(), 3);
+        let e1 = Type::Enum(vec!["only".into()]);
+        assert_eq!(e1.bits(), 0);
+        // Figure 3: x in 0..3 needs two bits.
+        assert_eq!(Type::Range(0, 3).bits(), 2);
+        assert_eq!(Type::Range(0, 3).values(), vec!["0", "1", "2", "3"]);
+    }
+
+    #[test]
+    fn temporal_detection() {
+        let e = Expr::Ag(Box::new(Expr::Ident("p".into())));
+        assert!(e.is_temporal());
+        let plain = Expr::And(
+            Box::new(Expr::Ident("p".into())),
+            Box::new(Expr::Num(1)),
+        );
+        assert!(!plain.is_temporal());
+        let nested = Expr::Case(vec![(Expr::Num(1), e)]);
+        assert!(nested.is_temporal());
+    }
+
+    #[test]
+    fn next_detection() {
+        let e = Expr::Eq(
+            Box::new(Expr::Next(Box::new(Expr::Ident("x".into())))),
+            Box::new(Expr::Ident("x".into())),
+        );
+        assert!(e.mentions_next());
+        assert!(!Expr::Ident("x".into()).mentions_next());
+    }
+
+    #[test]
+    fn type_display() {
+        assert_eq!(Type::Boolean.to_string(), "boolean");
+        assert_eq!(
+            Type::Enum(vec!["a".into(), "b".into()]).to_string(),
+            "{a, b}"
+        );
+        assert_eq!(Type::Range(0, 3).to_string(), "0..3");
+    }
+}

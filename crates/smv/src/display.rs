@@ -1,0 +1,180 @@
+//! Rendering of SMV expressions (used for spec atom names and reports).
+
+use crate::ast::Expr;
+use std::fmt;
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+impl Expr {
+    /// Precedence: `<->` 1, `->` 2, `|` 3, `&` 4, `=`/`!=` 5, unary 6.
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
+        use Expr::*;
+        let my = match self {
+            Iff(..) => 1,
+            Implies(..) => 2,
+            Or(..) => 3,
+            And(..) => 4,
+            Eq(..) | Neq(..) => 5,
+            _ => 6,
+        };
+        let parens = my < prec;
+        if parens {
+            write!(f, "(")?;
+        }
+        match self {
+            Ident(s) => write!(f, "{s}")?,
+            Num(n) => write!(f, "{n}")?,
+            Next(e) => {
+                write!(f, "next(")?;
+                e.fmt_prec(f, 0)?;
+                write!(f, ")")?;
+            }
+            Not(e) => {
+                write!(f, "!")?;
+                e.fmt_prec(f, 6)?;
+            }
+            And(a, b) => {
+                a.fmt_prec(f, 4)?;
+                write!(f, " & ")?;
+                b.fmt_prec(f, 5)?;
+            }
+            Or(a, b) => {
+                a.fmt_prec(f, 3)?;
+                write!(f, " | ")?;
+                b.fmt_prec(f, 4)?;
+            }
+            Implies(a, b) => {
+                a.fmt_prec(f, 3)?;
+                write!(f, " -> ")?;
+                b.fmt_prec(f, 2)?;
+            }
+            Iff(a, b) => {
+                a.fmt_prec(f, 2)?;
+                write!(f, " <-> ")?;
+                b.fmt_prec(f, 2)?;
+            }
+            Eq(a, b) => {
+                a.fmt_prec(f, 6)?;
+                write!(f, " = ")?;
+                b.fmt_prec(f, 6)?;
+            }
+            Neq(a, b) => {
+                a.fmt_prec(f, 6)?;
+                write!(f, " != ")?;
+                b.fmt_prec(f, 6)?;
+            }
+            Case(arms) => {
+                write!(f, "case ")?;
+                for (c, v) in arms {
+                    c.fmt_prec(f, 0)?;
+                    write!(f, " : ")?;
+                    v.fmt_prec(f, 0)?;
+                    write!(f, "; ")?;
+                }
+                write!(f, "esac")?;
+            }
+            Set(items) => {
+                write!(f, "{{")?;
+                for (i, e) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    e.fmt_prec(f, 0)?;
+                }
+                write!(f, "}}")?;
+            }
+            Ex(e) => {
+                write!(f, "EX ")?;
+                e.fmt_prec(f, 6)?;
+            }
+            Ax(e) => {
+                write!(f, "AX ")?;
+                e.fmt_prec(f, 6)?;
+            }
+            Ef(e) => {
+                write!(f, "EF ")?;
+                e.fmt_prec(f, 6)?;
+            }
+            Af(e) => {
+                write!(f, "AF ")?;
+                e.fmt_prec(f, 6)?;
+            }
+            Eg(e) => {
+                write!(f, "EG ")?;
+                e.fmt_prec(f, 6)?;
+            }
+            Ag(e) => {
+                write!(f, "AG ")?;
+                e.fmt_prec(f, 6)?;
+            }
+            Eu(a, b) => {
+                write!(f, "E [")?;
+                a.fmt_prec(f, 0)?;
+                write!(f, " U ")?;
+                b.fmt_prec(f, 0)?;
+                write!(f, "]")?;
+            }
+            Au(a, b) => {
+                write!(f, "A [")?;
+                a.fmt_prec(f, 0)?;
+                write!(f, " U ")?;
+                b.fmt_prec(f, 0)?;
+                write!(f, "]")?;
+            }
+        }
+        if parens {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_expressions() {
+        let e = Expr::Implies(
+            Box::new(Expr::Eq(
+                Box::new(Expr::Ident("r".into())),
+                Box::new(Expr::Ident("fetch".into())),
+            )),
+            Box::new(Expr::Ax(Box::new(Expr::Or(
+                Box::new(Expr::Eq(
+                    Box::new(Expr::Ident("r".into())),
+                    Box::new(Expr::Ident("fetch".into())),
+                )),
+                Box::new(Expr::Eq(
+                    Box::new(Expr::Ident("r".into())),
+                    Box::new(Expr::Ident("val".into())),
+                )),
+            )))),
+        );
+        assert_eq!(e.to_string(), "r = fetch -> AX (r = fetch | r = val)");
+    }
+
+    #[test]
+    fn renders_case_and_set() {
+        let e = Expr::Case(vec![
+            (Expr::Ident("c".into()), Expr::Ident("a".into())),
+            (Expr::Num(1), Expr::Set(vec![Expr::Ident("a".into()), Expr::Ident("b".into())])),
+        ]);
+        assert_eq!(e.to_string(), "case c : a; 1 : {a, b}; esac");
+    }
+
+    #[test]
+    fn roundtrip_via_parser() {
+        use crate::parse::parse_module;
+        let src = "MODULE main\nVAR p : boolean; q : boolean;\nSPEC AG (p -> AX (p | !q))";
+        let m = parse_module(src).unwrap();
+        let printed = m.specs[0].1.to_string();
+        let again = parse_module(&format!("MODULE main\nVAR p : boolean; q : boolean;\nSPEC {printed}"))
+            .unwrap();
+        assert_eq!(m.specs[0].1, again.specs[0].1);
+    }
+}

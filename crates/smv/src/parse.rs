@@ -1,0 +1,567 @@
+//! Parser for the mini-SMV language.
+
+use crate::ast::{Expr, Module, Type};
+use crate::token::{lex, Spanned, Token};
+use std::fmt;
+
+/// A parse error with source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmvParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for SmvParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SmvParseError {}
+
+/// Parse a complete SMV program (a single `MODULE main`).
+pub fn parse_module(src: &str) -> Result<Module, SmvParseError> {
+    let tokens = lex(src).map_err(|e| SmvParseError { line: e.line, message: e.message })?;
+    let mut p = P { toks: tokens, pos: 0 };
+    p.module()
+}
+
+struct P {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos].token
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].token.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SmvParseError {
+        SmvParseError { line: self.line(), message: msg.into() }
+    }
+
+    fn expect(&mut self, t: Token) -> Result<(), SmvParseError> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {t}, found {}", self.peek())))
+        }
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SmvParseError> {
+        match self.bump() {
+            Token::Ident(s) => Ok(s),
+            other => Err(SmvParseError {
+                line: self.toks[self.pos.saturating_sub(1)].line,
+                message: format!("expected identifier, found {other}"),
+            }),
+        }
+    }
+
+    fn module(&mut self) -> Result<Module, SmvParseError> {
+        self.expect(Token::Module)?;
+        let name = self.ident()?;
+        if name != "main" {
+            return Err(self.err(format!(
+                "only MODULE main is supported (found {name:?}); \
+                 build multi-component models programmatically"
+            )));
+        }
+        let mut m = Module { name, ..Module::default() };
+        loop {
+            match self.peek().clone() {
+                Token::Eof => break,
+                Token::Var => {
+                    self.bump();
+                    self.var_section(&mut m)?;
+                }
+                Token::Assign => {
+                    self.bump();
+                    self.assign_section(&mut m)?;
+                }
+                Token::Define => {
+                    self.bump();
+                    self.define_section(&mut m)?;
+                }
+                Token::Trans => {
+                    self.bump();
+                    let e = self.expr(true)?;
+                    m.trans_constraints.push(e);
+                    self.eat(&Token::Semi);
+                }
+                Token::Init => {
+                    self.bump();
+                    let e = self.expr(false)?;
+                    m.init_constraints.push(e);
+                    self.eat(&Token::Semi);
+                }
+                Token::Invar => {
+                    self.bump();
+                    let e = self.expr(false)?;
+                    m.invar_constraints.push(e);
+                    self.eat(&Token::Semi);
+                }
+                Token::Fairness => {
+                    self.bump();
+                    let e = self.expr(false)?;
+                    m.fairness.push(e);
+                    self.eat(&Token::Semi);
+                }
+                Token::Spec => {
+                    self.bump();
+                    let start = self.pos;
+                    let e = self.spec_expr()?;
+                    let text = self.render_span(start, self.pos);
+                    m.specs.push((text, e));
+                    self.eat(&Token::Semi);
+                }
+                other => return Err(self.err(format!("unexpected token {other}"))),
+            }
+        }
+        Ok(m)
+    }
+
+    /// Reconstruct source-ish text for a token span (for reports).
+    fn render_span(&self, start: usize, end: usize) -> String {
+        let mut out = String::new();
+        for s in &self.toks[start..end] {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            let t = match &s.token {
+                Token::Ident(id) => id.clone(),
+                Token::Number(n) => n.to_string(),
+                Token::LParen => "(".into(),
+                Token::RParen => ")".into(),
+                Token::LBracket => "[".into(),
+                Token::RBracket => "]".into(),
+                Token::Not => "!".into(),
+                Token::And => "&".into(),
+                Token::Or => "|".into(),
+                Token::Implies => "->".into(),
+                Token::Iff => "<->".into(),
+                Token::Eq => "=".into(),
+                Token::Neq => "!=".into(),
+                t => format!("{t}"),
+            };
+            out.push_str(&t);
+        }
+        out
+    }
+
+    fn var_section(&mut self, m: &mut Module) -> Result<(), SmvParseError> {
+        // var-decl*: ident ":" type ";"
+        while let Token::Ident(_) = self.peek() {
+            let name = self.ident()?;
+            self.expect(Token::Colon)?;
+            let ty = self.var_type()?;
+            self.expect(Token::Semi)?;
+            if m.vars.iter().any(|(n, _)| *n == name) {
+                return Err(self.err(format!("duplicate variable {name:?}")));
+            }
+            m.vars.push((name, ty));
+        }
+        Ok(())
+    }
+
+    fn var_type(&mut self) -> Result<Type, SmvParseError> {
+        match self.bump() {
+            Token::Boolean => Ok(Type::Boolean),
+            Token::LBrace => {
+                let mut values = Vec::new();
+                loop {
+                    match self.bump() {
+                        Token::Ident(v) => values.push(v),
+                        Token::Number(n) => values.push(n.to_string()),
+                        other => {
+                            return Err(self.err(format!("expected enum value, found {other}")))
+                        }
+                    }
+                    if self.eat(&Token::Comma) {
+                        continue;
+                    }
+                    self.expect(Token::RBrace)?;
+                    break;
+                }
+                if values.is_empty() {
+                    return Err(self.err("empty enumeration"));
+                }
+                Ok(Type::Enum(values))
+            }
+            Token::Number(lo) => {
+                self.expect(Token::DotDot)?;
+                match self.bump() {
+                    Token::Number(hi) if hi >= lo => Ok(Type::Range(lo, hi)),
+                    other => Err(self.err(format!("bad range bound {other}"))),
+                }
+            }
+            other => Err(self.err(format!("expected type, found {other}"))),
+        }
+    }
+
+    fn assign_section(&mut self, m: &mut Module) -> Result<(), SmvParseError> {
+        loop {
+            match self.peek().clone() {
+                Token::Init => {
+                    self.bump();
+                    self.expect(Token::LParen)?;
+                    let var = self.ident()?;
+                    self.expect(Token::RParen)?;
+                    self.expect(Token::Assign2)?;
+                    let e = self.expr(false)?;
+                    self.expect(Token::Semi)?;
+                    m.init_assigns.push((var, e));
+                }
+                Token::Next => {
+                    self.bump();
+                    self.expect(Token::LParen)?;
+                    let var = self.ident()?;
+                    self.expect(Token::RParen)?;
+                    self.expect(Token::Assign2)?;
+                    let e = self.expr(false)?;
+                    self.expect(Token::Semi)?;
+                    m.next_assigns.push((var, e));
+                }
+                _ => break,
+            }
+        }
+        Ok(())
+    }
+
+    fn define_section(&mut self, m: &mut Module) -> Result<(), SmvParseError> {
+        while let Token::Ident(_) = self.peek() {
+            let name = self.ident()?;
+            self.expect(Token::Assign2)?;
+            let e = self.expr(false)?;
+            self.expect(Token::Semi)?;
+            m.defines.push((name, e));
+        }
+        Ok(())
+    }
+
+    /// SPEC expression: full CTL (temporal operators allowed).
+    fn spec_expr(&mut self) -> Result<Expr, SmvParseError> {
+        self.iff(false, true)
+    }
+
+    /// Plain expression; `allow_next` permits `next(..)` (TRANS sections).
+    fn expr(&mut self, allow_next: bool) -> Result<Expr, SmvParseError> {
+        self.iff(allow_next, false)
+    }
+
+    fn iff(&mut self, nx: bool, tmp: bool) -> Result<Expr, SmvParseError> {
+        let mut e = self.implies(nx, tmp)?;
+        while self.eat(&Token::Iff) {
+            let r = self.implies(nx, tmp)?;
+            e = Expr::Iff(Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn implies(&mut self, nx: bool, tmp: bool) -> Result<Expr, SmvParseError> {
+        let e = self.or(nx, tmp)?;
+        if self.eat(&Token::Implies) {
+            let r = self.implies(nx, tmp)?; // right associative
+            Ok(Expr::Implies(Box::new(e), Box::new(r)))
+        } else {
+            Ok(e)
+        }
+    }
+
+    fn or(&mut self, nx: bool, tmp: bool) -> Result<Expr, SmvParseError> {
+        let mut e = self.and(nx, tmp)?;
+        while self.eat(&Token::Or) {
+            let r = self.and(nx, tmp)?;
+            e = Expr::Or(Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn and(&mut self, nx: bool, tmp: bool) -> Result<Expr, SmvParseError> {
+        let mut e = self.equality(nx, tmp)?;
+        while self.eat(&Token::And) {
+            let r = self.equality(nx, tmp)?;
+            e = Expr::And(Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn equality(&mut self, nx: bool, tmp: bool) -> Result<Expr, SmvParseError> {
+        let e = self.unary(nx, tmp)?;
+        if self.eat(&Token::Eq) {
+            let r = self.unary(nx, tmp)?;
+            Ok(Expr::Eq(Box::new(e), Box::new(r)))
+        } else if self.eat(&Token::Neq) {
+            let r = self.unary(nx, tmp)?;
+            Ok(Expr::Neq(Box::new(e), Box::new(r)))
+        } else {
+            Ok(e)
+        }
+    }
+
+    fn unary(&mut self, nx: bool, tmp: bool) -> Result<Expr, SmvParseError> {
+        if self.eat(&Token::Not) {
+            return Ok(Expr::Not(Box::new(self.unary(nx, tmp)?)));
+        }
+        if tmp {
+            // Temporal unary operators are identifiers at the lexer level.
+            if let Token::Ident(id) = self.peek().clone() {
+                let make: Option<fn(Box<Expr>) -> Expr> = match id.as_str() {
+                    "EX" => Some(Expr::Ex),
+                    "AX" => Some(Expr::Ax),
+                    "EF" => Some(Expr::Ef),
+                    "AF" => Some(Expr::Af),
+                    "EG" => Some(Expr::Eg),
+                    "AG" => Some(Expr::Ag),
+                    _ => None,
+                };
+                if let Some(make) = make {
+                    self.bump();
+                    // Temporal unary operators take an equality-level
+                    // operand so that `AX r = null` means `AX (r = null)`,
+                    // matching the paper's Figure 6 specs.
+                    return Ok(make(Box::new(self.equality(nx, tmp)?)));
+                }
+                if (id == "E" || id == "A")
+                    && self.toks.get(self.pos + 1).map(|s| &s.token) == Some(&Token::LBracket)
+                {
+                    self.bump(); // E / A
+                    self.bump(); // [
+                    let f = self.iff(nx, tmp)?;
+                    match self.bump() {
+                        Token::Ident(u) if u == "U" => {}
+                        other => return Err(self.err(format!("expected U, found {other}"))),
+                    }
+                    let g = self.iff(nx, tmp)?;
+                    self.expect(Token::RBracket)?;
+                    return Ok(if id == "E" {
+                        Expr::Eu(Box::new(f), Box::new(g))
+                    } else {
+                        Expr::Au(Box::new(f), Box::new(g))
+                    });
+                }
+            }
+        }
+        self.primary(nx, tmp)
+    }
+
+    fn primary(&mut self, nx: bool, tmp: bool) -> Result<Expr, SmvParseError> {
+        match self.bump() {
+            Token::LParen => {
+                let e = self.iff(nx, tmp)?;
+                self.expect(Token::RParen)?;
+                Ok(e)
+            }
+            Token::Number(n) => Ok(Expr::Num(n)),
+            Token::Ident(id) => Ok(Expr::Ident(id)),
+            Token::Next => {
+                if !nx {
+                    return Err(self.err("next(..) is only allowed in TRANS constraints"));
+                }
+                self.expect(Token::LParen)?;
+                let e = self.iff(nx, tmp)?;
+                self.expect(Token::RParen)?;
+                Ok(Expr::Next(Box::new(e)))
+            }
+            Token::Case => {
+                let mut arms = Vec::new();
+                while !self.eat(&Token::Esac) {
+                    let cond = self.iff(nx, tmp)?;
+                    self.expect(Token::Colon)?;
+                    let val = self.iff(nx, tmp)?;
+                    self.expect(Token::Semi)?;
+                    arms.push((cond, val));
+                }
+                if arms.is_empty() {
+                    return Err(self.err("empty case expression"));
+                }
+                Ok(Expr::Case(arms))
+            }
+            Token::LBrace => {
+                let mut items = Vec::new();
+                loop {
+                    items.push(self.iff(nx, tmp)?);
+                    if self.eat(&Token::Comma) {
+                        continue;
+                    }
+                    self.expect(Token::RBrace)?;
+                    break;
+                }
+                Ok(Expr::Set(items))
+            }
+            other => Err(SmvParseError {
+                line: self.toks[self.pos.saturating_sub(1)].line,
+                message: format!("unexpected token {other} in expression"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = "
+-- a comment
+MODULE main
+VAR
+  x : boolean;
+  s : {a, b, c};
+  n : 0..3;
+ASSIGN
+  init(x) := 0;
+  next(x) := case s = a : 1; 1 : x; esac;
+  next(s) := {a, b};
+DEFINE
+  both := x & s = b;
+FAIRNESS !x | s = c
+SPEC AG (x -> AX x)
+SPEC E [x U s = c]
+";
+
+    #[test]
+    fn parses_full_module() {
+        let m = parse_module(TINY).unwrap();
+        assert_eq!(m.name, "main");
+        assert_eq!(m.vars.len(), 3);
+        assert_eq!(m.vars[1].1, Type::Enum(vec!["a".into(), "b".into(), "c".into()]));
+        assert_eq!(m.vars[2].1, Type::Range(0, 3));
+        assert_eq!(m.init_assigns.len(), 1);
+        assert_eq!(m.next_assigns.len(), 2);
+        assert_eq!(m.defines.len(), 1);
+        assert_eq!(m.fairness.len(), 1);
+        assert_eq!(m.specs.len(), 2);
+        assert!(m.specs[0].1.is_temporal());
+    }
+
+    #[test]
+    fn case_arms_in_order() {
+        let m = parse_module(TINY).unwrap();
+        let (_, next_x) = &m.next_assigns[0];
+        match next_x {
+            Expr::Case(arms) => {
+                assert_eq!(arms.len(), 2);
+                assert_eq!(arms[1].0, Expr::Num(1));
+            }
+            other => panic!("expected case, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_literals() {
+        let m = parse_module(TINY).unwrap();
+        let (_, next_s) = &m.next_assigns[1];
+        assert_eq!(
+            *next_s,
+            Expr::Set(vec![Expr::Ident("a".into()), Expr::Ident("b".into())])
+        );
+    }
+
+    #[test]
+    fn trans_allows_next() {
+        let m = parse_module(
+            "MODULE main\nVAR x : boolean;\nTRANS next(x) = x | next(x) != x",
+        )
+        .unwrap();
+        assert_eq!(m.trans_constraints.len(), 1);
+        assert!(m.trans_constraints[0].mentions_next());
+    }
+
+    #[test]
+    fn next_rejected_outside_trans() {
+        let err =
+            parse_module("MODULE main\nVAR x : boolean;\nINIT next(x) = x").unwrap_err();
+        assert!(err.message.contains("next"));
+    }
+
+    #[test]
+    fn spec_until_operators() {
+        let m = parse_module("MODULE main\nVAR p : boolean;\nSPEC A [p U !p]").unwrap();
+        match &m.specs[0].1 {
+            Expr::Au(..) => {}
+            other => panic!("expected AU, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn only_main_module() {
+        let err = parse_module("MODULE server\n").unwrap_err();
+        assert!(err.message.contains("main"));
+    }
+
+    #[test]
+    fn duplicate_vars_rejected() {
+        let err = parse_module("MODULE main\nVAR x : boolean; x : boolean;").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_module("MODULE main\nVAR\n  x : ???;").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn spec_text_is_recorded() {
+        let m = parse_module("MODULE main\nVAR x : boolean;\nSPEC AG ( x -> AX x )").unwrap();
+        assert_eq!(m.specs[0].0, "AG ( x -> AX x )");
+    }
+
+    /// The paper's Figure 5 server model parses.
+    #[test]
+    fn parses_paper_server() {
+        let src = "
+MODULE main
+VAR
+  belief : {none,invalid,valid};
+  r : {null,fetch,validate,val,inval};
+  validFile : boolean;
+ASSIGN
+  next(validFile) := validFile;
+  next(belief) :=
+    case
+      (belief = none) & (r = fetch) : valid;
+      (belief = invalid) & (r = fetch) : valid;
+      (belief = none) & (r = validate) & validFile : valid;
+      (belief = none) & (r = validate) & !validFile : invalid;
+      1 : belief;
+    esac;
+  next(r) :=
+    case
+      (belief = none) & (r = fetch) : val;
+      (belief = invalid) & (r = fetch) : val;
+      (belief = none) & (r = validate) & validFile : val;
+      (belief = none) & (r = validate) & !validFile : inval;
+      (belief = valid) & (r = fetch) : val;
+      1 : r;
+    esac;
+";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.vars.len(), 3);
+        assert_eq!(m.next_assigns.len(), 3);
+    }
+}

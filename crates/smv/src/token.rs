@@ -1,0 +1,374 @@
+//! Lexer for the mini-SMV language.
+
+use std::fmt;
+
+/// A lexical token.
+#[allow(missing_docs)] // token kinds are self-describing
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    // Keywords
+    Module,
+    Var,
+    Assign,
+    Define,
+    /// Both `init(` and the `INIT` section keyword.
+    Init,
+    Next,
+    Trans,
+    Invar,
+    Fairness,
+    Spec,
+    Case,
+    Esac,
+    Boolean,
+    // Punctuation / operators
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Colon,
+    Semi,
+    Comma,
+    Dot,
+    /// `:=`
+    Assign2,
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `!`
+    Not,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `->`
+    Implies,
+    /// `<->`
+    Iff,
+    /// `..`
+    DotDot,
+    // Literals
+    Ident(String),
+    Number(i64),
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(n) => write!(f, "{n}"),
+            t => write!(f, "{t:?}"),
+        }
+    }
+}
+
+/// A token together with its line number (1-based) for error reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// A lexer error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenise SMV source. `--` starts a line comment.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '-' if bytes.get(i + 1) == Some(&b'>') => {
+                out.push(Spanned { token: Token::Implies, line });
+                i += 2;
+            }
+            '(' => {
+                out.push(Spanned { token: Token::LParen, line });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { token: Token::RParen, line });
+                i += 1;
+            }
+            '{' => {
+                out.push(Spanned { token: Token::LBrace, line });
+                i += 1;
+            }
+            '}' => {
+                out.push(Spanned { token: Token::RBrace, line });
+                i += 1;
+            }
+            '[' => {
+                out.push(Spanned { token: Token::LBracket, line });
+                i += 1;
+            }
+            ']' => {
+                out.push(Spanned { token: Token::RBracket, line });
+                i += 1;
+            }
+            ';' => {
+                out.push(Spanned { token: Token::Semi, line });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { token: Token::Comma, line });
+                i += 1;
+            }
+            ':' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Spanned { token: Token::Assign2, line });
+                i += 2;
+            }
+            ':' => {
+                out.push(Spanned { token: Token::Colon, line });
+                i += 1;
+            }
+            '=' => {
+                out.push(Spanned { token: Token::Eq, line });
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Spanned { token: Token::Neq, line });
+                i += 2;
+            }
+            '!' => {
+                out.push(Spanned { token: Token::Not, line });
+                i += 1;
+            }
+            '&' => {
+                out.push(Spanned { token: Token::And, line });
+                i += 1;
+            }
+            '|' => {
+                out.push(Spanned { token: Token::Or, line });
+                i += 1;
+            }
+            '<' if src[i..].starts_with("<->") => {
+                out.push(Spanned { token: Token::Iff, line });
+                i += 3;
+            }
+            '.' if bytes.get(i + 1) == Some(&b'.') => {
+                out.push(Spanned { token: Token::DotDot, line });
+                i += 2;
+            }
+            '.' => {
+                out.push(Spanned { token: Token::Dot, line });
+                i += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = src[start..i]
+                    .parse()
+                    .map_err(|_| LexError { line, message: "bad number".into() })?;
+                out.push(Spanned { token: Token::Number(n), line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &src[start..i];
+                let token = match word {
+                    "MODULE" => Token::Module,
+                    "VAR" => Token::Var,
+                    "ASSIGN" => Token::Assign,
+                    "DEFINE" => Token::Define,
+                    "INIT" | "init" => Token::Init,
+                    "next" => Token::Next,
+                    "TRANS" => Token::Trans,
+                    "INVAR" => Token::Invar,
+                    "FAIRNESS" => Token::Fairness,
+                    "SPEC" => Token::Spec,
+                    "case" => Token::Case,
+                    "esac" => Token::Esac,
+                    "boolean" => Token::Boolean,
+                    "TRUE" => Token::Number(1),
+                    "FALSE" => Token::Number(0),
+                    _ => Token::Ident(word.to_string()),
+                };
+                out.push(Spanned { token, line });
+            }
+            other => {
+                return Err(LexError {
+                    line,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    out.push(Spanned { token: Token::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("MODULE main VAR x : boolean;"),
+            vec![
+                Token::Module,
+                Token::Ident("main".into()),
+                Token::Var,
+                Token::Ident("x".into()),
+                Token::Colon,
+                Token::Boolean,
+                Token::Semi,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("a := b -> c <-> !d & e | f != g = 1"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Assign2,
+                Token::Ident("b".into()),
+                Token::Implies,
+                Token::Ident("c".into()),
+                Token::Iff,
+                Token::Not,
+                Token::Ident("d".into()),
+                Token::And,
+                Token::Ident("e".into()),
+                Token::Or,
+                Token::Ident("f".into()),
+                Token::Neq,
+                Token::Ident("g".into()),
+                Token::Eq,
+                Token::Number(1),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let spanned = lex("a -- comment & ignored\nb").unwrap();
+        assert_eq!(spanned[0].token, Token::Ident("a".into()));
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].token, Token::Ident("b".into()));
+        assert_eq!(spanned[1].line, 2);
+    }
+
+    #[test]
+    fn true_false_fold_to_numbers() {
+        assert_eq!(toks("TRUE FALSE"), vec![Token::Number(1), Token::Number(0), Token::Eof]);
+    }
+
+    #[test]
+    fn case_tokens() {
+        assert_eq!(
+            toks("case a : b; 1 : c; esac"),
+            vec![
+                Token::Case,
+                Token::Ident("a".into()),
+                Token::Colon,
+                Token::Ident("b".into()),
+                Token::Semi,
+                Token::Number(1),
+                Token::Colon,
+                Token::Ident("c".into()),
+                Token::Semi,
+                Token::Esac,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn init_and_next_calls() {
+        assert_eq!(
+            toks("init(x) := 0; next(x) := x;"),
+            vec![
+                Token::Init,
+                Token::LParen,
+                Token::Ident("x".into()),
+                Token::RParen,
+                Token::Assign2,
+                Token::Number(0),
+                Token::Semi,
+                Token::Next,
+                Token::LParen,
+                Token::Ident("x".into()),
+                Token::RParen,
+                Token::Assign2,
+                Token::Ident("x".into()),
+                Token::Semi,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_character_reports_line() {
+        let err = lex("a\nb @").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn ranges() {
+        assert_eq!(
+            toks("x : 0..3;"),
+            vec![
+                Token::Ident("x".into()),
+                Token::Colon,
+                Token::Number(0),
+                Token::DotDot,
+                Token::Number(3),
+                Token::Semi,
+                Token::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Robustness: the SMV front-end must never panic on malformed input —
+//! every byte soup yields `Ok` or a structured error.
+
+use cmc_smv::{check_module, parse_module, run_source};
+use proptest::prelude::*;
+
+/// Strings biased towards SMV-looking fragments so the fuzzer reaches
+/// deep into the parser, plus raw unicode noise.
+fn arb_source() -> impl Strategy<Value = String> {
+    let fragment = prop_oneof![
+        Just("MODULE main".to_string()),
+        Just("VAR".to_string()),
+        Just("x : boolean;".to_string()),
+        Just("s : {a, b, c};".to_string()),
+        Just("n : 0..3;".to_string()),
+        Just("ASSIGN".to_string()),
+        Just("next(x) :=".to_string()),
+        Just("init(s) :=".to_string()),
+        Just("case".to_string()),
+        Just("esac;".to_string()),
+        Just("1 : x;".to_string()),
+        Just("{a, b}".to_string()),
+        Just("SPEC".to_string()),
+        Just("AG (x -> AX x)".to_string()),
+        Just("E [ x U !x ]".to_string()),
+        Just("FAIRNESS x".to_string()),
+        Just("TRANS next(x) = x".to_string()),
+        Just("INVAR".to_string()),
+        Just("DEFINE d := x & x;".to_string()),
+        Just("-- comment".to_string()),
+        Just("&&&".to_string()),
+        Just("((((".to_string()),
+        Just(";;".to_string()),
+        Just("..".to_string()),
+        Just(":=".to_string()),
+        "[ -~]{0,12}".prop_map(|s| s),
+        ".{0,8}".prop_map(|s| s),
+    ];
+    proptest::collection::vec(fragment, 0..24).prop_map(|v| v.join("\n"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// parse_module never panics.
+    #[test]
+    fn parser_never_panics(src in arb_source()) {
+        let _ = parse_module(&src);
+    }
+
+    /// When parsing succeeds, the checker and the full driver never panic
+    /// either (they may reject with structured errors).
+    #[test]
+    fn pipeline_never_panics(src in arb_source()) {
+        if let Ok(module) = parse_module(&src) {
+            let _ = check_module(&module);
+            // Only run the expensive pipeline on small models.
+            let bits: usize = module.vars.iter().map(|(_, t)| t.bits()).sum();
+            if bits <= 8 {
+                let _ = run_source(&src);
+            }
+        }
+    }
+}
+
+/// Hand-picked pathological inputs that once looked risky.
+#[test]
+fn pathological_inputs() {
+    for src in [
+        "",
+        "MODULE",
+        "MODULE main MODULE main",
+        "MODULE main\nVAR x : {};",
+        "MODULE main\nVAR x : 3..0;",
+        "MODULE main\nVAR x : boolean;\nASSIGN next(x) := case esac;",
+        "MODULE main\nVAR x : boolean;\nSPEC E [x U",
+        "MODULE main\nVAR x : boolean;\nSPEC ((((x",
+        "MODULE main\nVAR x : boolean;\nASSIGN next(x) := {};",
+        "MODULE main\nVAR \u{1F980} : boolean;",
+        "MODULE main\nVAR x : boolean;\nTRANS next(next(x)) = x",
+    ] {
+        let _ = run_source(src); // must not panic
+    }
+}

@@ -1,0 +1,458 @@
+//! Symbolic fair-CTL model checking over [`SymbolicModel`]s.
+//!
+//! The same semantics as `cmc_ctl::Checker` (quantification over all states,
+//! reflexive relation, Emerson–Lei fair `EG`), computed with BDD fixpoints —
+//! this is the engine playing the role of SMV in the paper's case study.
+
+use crate::model::SymbolicModel;
+use cmc_bdd::stats::ResourceReport;
+use cmc_bdd::Bdd;
+use cmc_ctl::{Formula, Restriction};
+use std::fmt;
+use std::time::Instant;
+
+/// Errors from the symbolic checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymbolicError {
+    /// Formula mentions a proposition the model does not define.
+    UnknownProposition(String),
+}
+
+impl fmt::Display for SymbolicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymbolicError::UnknownProposition(p) => {
+                write!(f, "formula mentions undefined proposition {p:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SymbolicError {}
+
+/// Result of a symbolic `M ⊨_r f` check.
+#[derive(Debug, Clone)]
+pub struct SymbolicVerdict {
+    /// Does the property hold?
+    pub holds: bool,
+    /// BDD of the `I`-states violating `f` (FALSE when `holds`).
+    pub violating: Bdd,
+    /// One violating assignment (current-variable values in declaration
+    /// order), if any.
+    pub witness: Option<Vec<bool>>,
+}
+
+impl SymbolicModel {
+    /// Translate a *propositional* formula to a BDD over current variables.
+    pub fn prop_to_bdd(&mut self, f: &Formula) -> Result<Bdd, SymbolicError> {
+        use Formula::*;
+        Ok(match f {
+            True => Bdd::TRUE,
+            False => Bdd::FALSE,
+            Ap(p) => self
+                .prop(p)
+                .ok_or_else(|| SymbolicError::UnknownProposition(p.clone()))?,
+            Not(g) => {
+                let b = self.prop_to_bdd(g)?;
+                self.mgr().not(b)
+            }
+            And(a, b) => {
+                let (x, y) = (self.prop_to_bdd(a)?, self.prop_to_bdd(b)?);
+                self.mgr().and(x, y)
+            }
+            Or(a, b) => {
+                let (x, y) = (self.prop_to_bdd(a)?, self.prop_to_bdd(b)?);
+                self.mgr().or(x, y)
+            }
+            Implies(a, b) => {
+                let (x, y) = (self.prop_to_bdd(a)?, self.prop_to_bdd(b)?);
+                self.mgr().implies(x, y)
+            }
+            Iff(a, b) => {
+                let (x, y) = (self.prop_to_bdd(a)?, self.prop_to_bdd(b)?);
+                self.mgr().iff(x, y)
+            }
+            _ => panic!("prop_to_bdd on temporal formula {f}"),
+        })
+    }
+
+    /// Least fixpoint `E[S1 U S2]`.
+    pub fn until_exists(&mut self, s1: Bdd, s2: Bdd) -> Bdd {
+        let mut z = s2;
+        loop {
+            let pre = self.pre_exists(z);
+            let step0 = self.mgr().and(s1, pre);
+            let step = self.mgr().or(step0, s2);
+            if step == z {
+                return z;
+            }
+            z = step;
+        }
+    }
+
+    /// Greatest fixpoint `EG S` (unfair).
+    pub fn global_exists(&mut self, s: Bdd) -> Bdd {
+        let mut z = s;
+        loop {
+            let pre = self.pre_exists(z);
+            let step = self.mgr().and(s, pre);
+            if step == z {
+                return z;
+            }
+            z = step;
+        }
+    }
+
+    /// Emerson–Lei fair `EG`: `νZ. S ∧ ⋀ᵢ EX (E[S U (Z ∧ Fᵢ)])`.
+    pub fn global_exists_fair(&mut self, s: Bdd, fair_sets: &[Bdd]) -> Bdd {
+        if fair_sets.is_empty() {
+            return self.global_exists(s);
+        }
+        let mut z = s;
+        loop {
+            let mut step = Bdd::TRUE;
+            for &fi in fair_sets {
+                let target = self.mgr().and(z, fi);
+                let reach = self.until_exists(s, target);
+                let pre = self.pre_exists(reach);
+                step = self.mgr().and(step, pre);
+            }
+            step = self.mgr().and(step, s);
+            if step == z {
+                return z;
+            }
+            z = step;
+        }
+    }
+
+    /// States with at least one fair path.
+    pub fn fair_states(&mut self, fair_sets: &[Bdd]) -> Bdd {
+        self.global_exists_fair(Bdd::TRUE, fair_sets)
+    }
+
+    /// Satisfaction set of `f` with path quantifiers over all paths.
+    pub fn sat(&mut self, f: &Formula) -> Result<Bdd, SymbolicError> {
+        self.sat_under(f, &[])
+    }
+
+    /// Satisfaction set of `f` with path quantifiers over fair paths
+    /// (fairness given as CTL formulas, as in a restriction `r = (I, F)`).
+    pub fn sat_under(
+        &mut self,
+        f: &Formula,
+        fairness: &[Formula],
+    ) -> Result<Bdd, SymbolicError> {
+        let mut fair_sets = Vec::new();
+        for c in fairness {
+            if *c == Formula::True {
+                continue;
+            }
+            fair_sets.push(self.sat_under(c, &[])?);
+        }
+        let fair = if fair_sets.is_empty() {
+            Bdd::TRUE
+        } else {
+            self.fair_states(&fair_sets)
+        };
+        self.sat_rec(f, &fair_sets, fair)
+    }
+
+    fn sat_rec(
+        &mut self,
+        f: &Formula,
+        fair_sets: &[Bdd],
+        fair: Bdd,
+    ) -> Result<Bdd, SymbolicError> {
+        use Formula::*;
+        Ok(match f {
+            True => Bdd::TRUE,
+            False => Bdd::FALSE,
+            Ap(_) => self.prop_to_bdd(f)?,
+            Not(g) => {
+                let b = self.sat_rec(g, fair_sets, fair)?;
+                self.mgr().not(b)
+            }
+            And(a, b) => {
+                let (x, y) = (self.sat_rec(a, fair_sets, fair)?, self.sat_rec(b, fair_sets, fair)?);
+                self.mgr().and(x, y)
+            }
+            Or(a, b) => {
+                let (x, y) = (self.sat_rec(a, fair_sets, fair)?, self.sat_rec(b, fair_sets, fair)?);
+                self.mgr().or(x, y)
+            }
+            Implies(a, b) => {
+                let (x, y) = (self.sat_rec(a, fair_sets, fair)?, self.sat_rec(b, fair_sets, fair)?);
+                self.mgr().implies(x, y)
+            }
+            Iff(a, b) => {
+                let (x, y) = (self.sat_rec(a, fair_sets, fair)?, self.sat_rec(b, fair_sets, fair)?);
+                self.mgr().iff(x, y)
+            }
+            Ex(g) => {
+                let sg = self.sat_rec(g, fair_sets, fair)?;
+                let target = self.mgr().and(sg, fair);
+                self.pre_exists(target)
+            }
+            Ax(g) => {
+                let sg = self.sat_rec(g, fair_sets, fair)?;
+                let ng = self.mgr().not(sg);
+                let target = self.mgr().and(ng, fair);
+                let pre = self.pre_exists(target);
+                self.mgr().not(pre)
+            }
+            Ef(g) => {
+                let sg = self.sat_rec(g, fair_sets, fair)?;
+                let target = self.mgr().and(sg, fair);
+                self.until_exists(Bdd::TRUE, target)
+            }
+            Af(g) => {
+                let sg = self.sat_rec(g, fair_sets, fair)?;
+                let ng = self.mgr().not(sg);
+                let eg = self.global_exists_fair(ng, fair_sets);
+                self.mgr().not(eg)
+            }
+            Eg(g) => {
+                let sg = self.sat_rec(g, fair_sets, fair)?;
+                self.global_exists_fair(sg, fair_sets)
+            }
+            Ag(g) => {
+                let sg = self.sat_rec(g, fair_sets, fair)?;
+                let ng = self.mgr().not(sg);
+                let target = self.mgr().and(ng, fair);
+                let ef = self.until_exists(Bdd::TRUE, target);
+                self.mgr().not(ef)
+            }
+            Eu(a, b) => {
+                let sa = self.sat_rec(a, fair_sets, fair)?;
+                let sb = self.sat_rec(b, fair_sets, fair)?;
+                let target = self.mgr().and(sb, fair);
+                self.until_exists(sa, target)
+            }
+            Au(a, b) => {
+                // ¬( E[¬b U (¬a ∧ ¬b)] ∨ EG ¬b )
+                let sa = self.sat_rec(a, fair_sets, fair)?;
+                let sb = self.sat_rec(b, fair_sets, fair)?;
+                let na = self.mgr().not(sa);
+                let nb = self.mgr().not(sb);
+                let nanb = self.mgr().and(na, nb);
+                let target = self.mgr().and(nanb, fair);
+                let left = self.until_exists(nb, target);
+                let right = self.global_exists_fair(nb, fair_sets);
+                let bad = self.mgr().or(left, right);
+                self.mgr().not(bad)
+            }
+        })
+    }
+
+    /// `M ⊨_r f`: every state satisfying `r.init` (conjoined with the
+    /// model's own initial predicate if set) satisfies `f` under
+    /// `r.fairness` ∪ the model's own fairness formulas.
+    pub fn check(
+        &mut self,
+        r: &Restriction,
+        f: &Formula,
+    ) -> Result<SymbolicVerdict, SymbolicError> {
+        let mut fairness: Vec<Formula> = r.fairness.clone();
+        // Model-level fairness constraints (added as BDDs) participate too.
+        let model_fair = self.fairness().to_vec();
+        let sat = if model_fair.is_empty() {
+            self.sat_under(f, &fairness)?
+        } else {
+            // Mix formula-level and BDD-level fairness.
+            let mut fair_sets: Vec<Bdd> = model_fair;
+            fairness.retain(|c| *c != Formula::True);
+            for c in &fairness {
+                let s = self.sat_under(c, &[])?;
+                fair_sets.push(s);
+            }
+            let fair = self.fair_states(&fair_sets);
+            self.sat_rec(f, &fair_sets, fair)?
+        };
+        let init_r = self.prop_to_bdd(&r.init)?;
+        let model_init = self.init();
+        let init = self.mgr().and(init_r, model_init);
+        let nsat = self.mgr().not(sat);
+        let violating = self.mgr().and(init, nsat);
+        let nvars = self.num_state_vars();
+        let witness = self
+            .mgr_ref()
+            .any_sat(violating)
+            .map(|partial| decode_cur_assignment(self, &partial, nvars));
+        Ok(SymbolicVerdict { holds: violating.is_false(), violating, witness })
+    }
+
+    /// `M ⊨ f` — true in every state (trivial restriction).
+    pub fn holds_everywhere(&mut self, f: &Formula) -> Result<bool, SymbolicError> {
+        Ok(self.sat(f)?.is_true())
+    }
+
+    /// Check a list of specs and produce an SMV-style report (the shape of
+    /// the paper's Figures 7, 10, 15, 17).
+    pub fn check_report(
+        &mut self,
+        r: &Restriction,
+        specs: &[(&str, Formula)],
+    ) -> Result<(Vec<(String, bool)>, ResourceReport), SymbolicError> {
+        let start = Instant::now();
+        let mut results = Vec::new();
+        for (name, f) in specs {
+            let v = self.check(r, f)?;
+            results.push((name.to_string(), v.holds));
+        }
+        let user_time = start.elapsed();
+        let parts = self.trans_parts().to_vec();
+        let trans_nodes = self.mgr_ref().node_count_many(&parts);
+        let init = self.init();
+        let aux_nodes = self.mgr_ref().node_count(init) + self.num_state_vars();
+        let report = ResourceReport {
+            user_time,
+            stats: self.mgr_ref().stats(),
+            trans_nodes,
+            aux_nodes,
+        };
+        Ok((results, report))
+    }
+}
+
+/// Decode a partial satisfying assignment into current-variable values.
+fn decode_cur_assignment(
+    model: &SymbolicModel,
+    partial: &[(cmc_bdd::Var, bool)],
+    nvars: usize,
+) -> Vec<bool> {
+    let mut out = vec![false; nvars];
+    for (i, sv) in model.vars().iter().enumerate() {
+        if let Some(&(_, b)) = partial.iter().find(|(v, _)| *v == sv.cur) {
+            out[i] = b;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmc_ctl::parse;
+    use cmc_kripke::{Alphabet, System};
+
+    fn counter() -> SymbolicModel {
+        // 2-bit counter 00 -> 01 -> 10 -> 11 -> 00.
+        let mut sys = System::new(Alphabet::new(["b0", "b1"]));
+        sys.add_transition_named(&[], &["b0"]);
+        sys.add_transition_named(&["b0"], &["b1"]);
+        sys.add_transition_named(&["b1"], &["b0", "b1"]);
+        sys.add_transition_named(&["b0", "b1"], &[]);
+        SymbolicModel::from_explicit(&sys)
+    }
+
+    #[test]
+    fn ef_holds_everywhere_on_cycle() {
+        let mut m = counter();
+        assert!(m.holds_everywhere(&parse("EF (b0 & b1)").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn af_blocked_by_stuttering() {
+        let mut m = counter();
+        let sat = m.sat(&parse("AF (b0 & b1)").unwrap()).unwrap();
+        // Only state 11 itself.
+        assert_eq!(m.mgr_ref().sat_count(sat, 4) / 4.0, 1.0);
+    }
+
+    #[test]
+    fn fairness_enables_progress() {
+        let mut m = counter();
+        let r = Restriction::new(Formula::True, [parse("b0 & b1").unwrap()]);
+        let v = m.check(&r, &parse("AF (b0 & b1)").unwrap()).unwrap();
+        assert!(v.holds);
+        assert!(v.witness.is_none());
+    }
+
+    #[test]
+    fn failing_check_produces_witness() {
+        let mut m = counter();
+        let v = m
+            .check(&Restriction::trivial(), &parse("AF (b0 & b1)").unwrap())
+            .unwrap();
+        assert!(!v.holds);
+        let w = v.witness.unwrap();
+        // The witness must not be the goal state 11.
+        assert!(!(w[0] && w[1]));
+    }
+
+    #[test]
+    fn unknown_prop_is_error() {
+        let mut m = counter();
+        assert_eq!(
+            m.sat(&parse("nonexistent").unwrap()),
+            Err(SymbolicError::UnknownProposition("nonexistent".into()))
+        );
+    }
+
+    #[test]
+    fn check_report_shape() {
+        let mut m = counter();
+        let specs = [
+            ("cycle", parse("EF (b0 & b1)").unwrap()),
+            ("step", parse("b0 & !b1 -> EX (!b0 & b1)").unwrap()),
+        ];
+        let spec_refs: Vec<(&str, Formula)> =
+            specs.iter().map(|(n, f)| (*n, f.clone())).collect();
+        let (results, report) = m.check_report(&Restriction::trivial(), &spec_refs).unwrap();
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|(_, ok)| *ok), "{results:?}");
+        assert!(report.stats.nodes_allocated > 2);
+        assert!(report.trans_nodes > 0);
+        let text = report.to_string();
+        assert!(text.contains("BDD nodes allocated"));
+    }
+
+    /// Cross-validation: symbolic and explicit checkers agree on every
+    /// formula in a small corpus over the counter system.
+    #[test]
+    fn agrees_with_explicit_checker() {
+        let mut sys = System::new(Alphabet::new(["b0", "b1"]));
+        sys.add_transition_named(&[], &["b0"]);
+        sys.add_transition_named(&["b0"], &["b1"]);
+        sys.add_transition_named(&["b1"], &["b0", "b1"]);
+        sys.add_transition_named(&["b0", "b1"], &[]);
+        let explicit = cmc_ctl::Checker::new(&sys).unwrap();
+        let mut symbolic = SymbolicModel::from_explicit(&sys);
+        let corpus = [
+            "b0",
+            "EX b1",
+            "AX (b0 | b1)",
+            "EF (b0 & b1)",
+            "AF b0",
+            "EG !b1",
+            "AG (b0 -> EX b1)",
+            "E [!b1 U b1]",
+            "A [!b1 U b1]",
+            "AG (b0 & b1 -> AX (b0 | !b1))",
+        ];
+        for text in corpus {
+            let f = parse(text).unwrap();
+            let e = explicit.holds_everywhere(&f).unwrap();
+            let s = symbolic.holds_everywhere(&f).unwrap();
+            assert_eq!(e, s, "engines disagree on {text}");
+        }
+    }
+
+    /// Cross-validation under fairness.
+    #[test]
+    fn agrees_with_explicit_checker_under_fairness() {
+        let mut sys = System::new(Alphabet::new(["p", "q"]));
+        sys.add_transition_named(&["p"], &["p", "q"]); // helpful move p -> q
+        sys.add_transition_named(&["p", "q"], &["q"]);
+        let explicit = cmc_ctl::Checker::new(&sys).unwrap();
+        let mut symbolic = SymbolicModel::from_explicit(&sys);
+        let fair = [parse("!p | q").unwrap()];
+        for text in ["A [p U q]", "E [p U q]", "AF q", "EG p"] {
+            let f = parse(text).unwrap();
+            let r = Restriction::new(Formula::ap("p"), fair.clone());
+            let e = explicit.check(&r, &f).unwrap().holds;
+            let s = symbolic.check(&r, &f).unwrap().holds;
+            assert_eq!(e, s, "engines disagree on {text} under fairness");
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! Symbolic transition systems over interleaved current/next BDD frames.
+
+use cmc_bdd::{Bdd, BddManager, Var};
+use cmc_kripke::System;
+use std::collections::BTreeMap;
+
+/// One boolean state variable with its current- and next-state BDD
+/// variables. Current variables sit at even order positions and their next
+/// copies immediately below them (the classic SMV interleaving, which keeps
+/// transition-relation BDDs small).
+#[derive(Debug, Clone)]
+pub struct StateVar {
+    /// Source-level name.
+    pub name: String,
+    /// Current-state BDD variable.
+    pub cur: Var,
+    /// Next-state BDD variable.
+    pub next: Var,
+}
+
+/// A symbolic finite-state system: initial states, a transition relation in
+/// **disjunctive** partitions (interleaving composition is a union of
+/// per-component moves), fairness constraints, and a map of named
+/// propositions.
+///
+/// The transition relation always contains the identity (stutter) relation,
+/// mirroring the paper's standing assumption that `R` is reflexive.
+pub struct SymbolicModel {
+    mgr: BddManager,
+    vars: Vec<StateVar>,
+    /// Named propositions over current-state variables. For a boolean
+    /// variable this is its literal; front-ends (cmc-smv) also register
+    /// encoded atoms like `belief=valid`.
+    props: BTreeMap<String, Bdd>,
+    /// Disjunctive partitions of the transition relation (already including
+    /// frame conditions over foreign variables).
+    trans_parts: Vec<Bdd>,
+    /// Initial-state predicate over current variables.
+    init: Bdd,
+    /// Fairness constraints over current variables.
+    fairness: Vec<Bdd>,
+    cur_cube: Bdd,
+    next_cube: Bdd,
+    cur_to_next: Vec<(Var, Var)>,
+    next_to_cur: Vec<(Var, Var)>,
+}
+
+impl SymbolicModel {
+    /// Create a model with the given boolean state variables.
+    pub fn new(var_names: impl IntoIterator<Item = String>) -> Self {
+        let mut mgr = BddManager::new();
+        let mut vars = Vec::new();
+        let mut props = BTreeMap::new();
+        for name in var_names {
+            let cur = mgr.new_var();
+            let next = mgr.new_var();
+            let lit = mgr.var(cur);
+            assert!(
+                props.insert(name.clone(), lit).is_none(),
+                "duplicate state variable {name:?}"
+            );
+            vars.push(StateVar { name, cur, next });
+        }
+        let cur_vars: Vec<Var> = vars.iter().map(|v| v.cur).collect();
+        let next_vars: Vec<Var> = vars.iter().map(|v| v.next).collect();
+        let cur_cube = mgr.cube(&cur_vars);
+        let next_cube = mgr.cube(&next_vars);
+        let cur_to_next: Vec<(Var, Var)> = vars.iter().map(|v| (v.cur, v.next)).collect();
+        let next_to_cur: Vec<(Var, Var)> = vars.iter().map(|v| (v.next, v.cur)).collect();
+        SymbolicModel {
+            mgr,
+            vars,
+            props,
+            trans_parts: Vec::new(),
+            init: Bdd::TRUE,
+            fairness: Vec::new(),
+            cur_cube,
+            next_cube,
+            cur_to_next,
+            next_to_cur,
+        }
+    }
+
+    /// Mutable access to the manager, for building formulas.
+    pub fn mgr(&mut self) -> &mut BddManager {
+        &mut self.mgr
+    }
+
+    /// Read-only access to the manager.
+    pub fn mgr_ref(&self) -> &BddManager {
+        &self.mgr
+    }
+
+    /// Declared state variables.
+    pub fn vars(&self) -> &[StateVar] {
+        &self.vars
+    }
+
+    /// Number of boolean state variables.
+    pub fn num_state_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Look up a state variable by name.
+    pub fn state_var(&self, name: &str) -> Option<&StateVar> {
+        self.vars.iter().find(|v| v.name == name)
+    }
+
+    /// Register a named proposition (over current-state variables).
+    pub fn define_prop(&mut self, name: impl Into<String>, bdd: Bdd) {
+        self.props.insert(name.into(), bdd);
+    }
+
+    /// Look up a named proposition.
+    pub fn prop(&self, name: &str) -> Option<Bdd> {
+        self.props.get(name).copied()
+    }
+
+    /// All registered proposition names.
+    pub fn prop_names(&self) -> impl Iterator<Item = &str> {
+        self.props.keys().map(String::as_str)
+    }
+
+    /// Add a disjunctive transition partition. The partition must be a
+    /// relation over current ∪ next variables and should already contain
+    /// its frame conditions.
+    pub fn add_trans_part(&mut self, part: Bdd) {
+        self.trans_parts.push(part);
+    }
+
+    /// Set the initial-state predicate.
+    pub fn set_init(&mut self, init: Bdd) {
+        self.init = init;
+    }
+
+    /// The initial-state predicate.
+    pub fn init(&self) -> Bdd {
+        self.init
+    }
+
+    /// Add a fairness constraint (predicate over current variables that
+    /// must hold infinitely often along fair paths).
+    pub fn add_fairness(&mut self, constraint: Bdd) {
+        self.fairness.push(constraint);
+    }
+
+    /// The fairness constraints.
+    pub fn fairness(&self) -> &[Bdd] {
+        &self.fairness
+    }
+
+    /// The identity (stutter) relation `⋀ᵥ v' = v`.
+    pub fn identity_relation(&mut self) -> Bdd {
+        let pairs: Vec<(Bdd, Bdd)> = self
+            .vars
+            .iter()
+            .map(|v| (v.cur, v.next))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|(c, n)| {
+                let cb = self.mgr.var(c);
+                let nb = self.mgr.var(n);
+                (cb, nb)
+            })
+            .collect();
+        self.mgr.pairwise_iff(&pairs)
+    }
+
+    /// Frame condition `⋀_{v ∈ names} v' = v` for the given variables.
+    pub fn frame_condition(&mut self, names: &[&str]) -> Bdd {
+        let pairs: Vec<(Var, Var)> = names
+            .iter()
+            .map(|n| {
+                let v = self
+                    .state_var(n)
+                    .unwrap_or_else(|| panic!("unknown state variable {n:?}"));
+                (v.cur, v.next)
+            })
+            .collect();
+        let lit_pairs: Vec<(Bdd, Bdd)> = pairs
+            .into_iter()
+            .map(|(c, n)| {
+                let cb = self.mgr.var(c);
+                let nb = self.mgr.var(n);
+                (cb, nb)
+            })
+            .collect();
+        self.mgr.pairwise_iff(&lit_pairs)
+    }
+
+    /// The monolithic transition relation: the union of all partitions,
+    /// always including the identity relation (reflexivity).
+    pub fn full_trans(&mut self) -> Bdd {
+        let id = self.identity_relation();
+        let mut acc = id;
+        let parts = self.trans_parts.clone();
+        for p in parts {
+            acc = self.mgr.or(acc, p);
+        }
+        acc
+    }
+
+    /// Transition partitions (without the implicit identity).
+    pub fn trans_parts(&self) -> &[Bdd] {
+        &self.trans_parts
+    }
+
+    /// `EX S` — predecessors of `S` under the transition relation
+    /// (including the stutter move, so `S ⇒ EX S`).
+    ///
+    /// Computed per partition with the combined relational product
+    /// `∃ next. (Tᵢ ∧ S[cur→next])`, never building the monolithic
+    /// relation.
+    pub fn pre_exists(&mut self, s: Bdd) -> Bdd {
+        let s_next = self.mgr.rename(s, &self.cur_to_next);
+        let mut acc = s; // identity partition: S itself
+        let parts = self.trans_parts.clone();
+        for t in parts {
+            let img = self.mgr.and_exists(t, s_next, self.next_cube);
+            acc = self.mgr.or(acc, img);
+        }
+        acc
+    }
+
+    /// `EX S` computed against the **monolithic** transition relation
+    /// (the union of all partitions materialised as one BDD) instead of
+    /// per-partition relational products. Semantically identical to
+    /// [`SymbolicModel::pre_exists`]; exists for the partitioning ablation
+    /// benchmark.
+    pub fn pre_exists_monolithic(&mut self, s: Bdd) -> Bdd {
+        let trans = self.full_trans();
+        let s_next = self.mgr.rename(s, &self.cur_to_next);
+        self.mgr.and_exists(trans, s_next, self.next_cube)
+    }
+
+    /// Forward image: successors of `S` under the transition relation.
+    pub fn post_exists(&mut self, s: Bdd) -> Bdd {
+        let mut acc = s; // identity partition
+        let parts = self.trans_parts.clone();
+        for t in parts {
+            let img_next = self.mgr.and_exists(t, s, self.cur_cube);
+            let img = self.mgr.rename(img_next, &self.next_to_cur);
+            acc = self.mgr.or(acc, img);
+        }
+        acc
+    }
+
+    /// States reachable from `init` (forward fixpoint).
+    pub fn reachable(&mut self) -> Bdd {
+        let mut r = self.init;
+        loop {
+            let next = self.post_exists(r);
+            if next == r {
+                return r;
+            }
+            r = next;
+        }
+    }
+
+    /// Cube of all current-state variables.
+    pub fn cur_cube(&self) -> Bdd {
+        self.cur_cube
+    }
+
+    /// Cube of all next-state variables.
+    pub fn next_cube(&self) -> Bdd {
+        self.next_cube
+    }
+
+    /// Rename a predicate over current variables to next variables.
+    pub fn to_next_frame(&mut self, f: Bdd) -> Bdd {
+        self.mgr.rename(f, &self.cur_to_next)
+    }
+
+    /// Rename a predicate over next variables to current variables.
+    pub fn to_cur_frame(&mut self, f: Bdd) -> Bdd {
+        self.mgr.rename(f, &self.next_to_cur)
+    }
+
+    /// Build a symbolic model from an explicit system: one boolean variable
+    /// per atomic proposition, one transition partition containing the
+    /// union of the explicit proper transitions (stutter stays implicit).
+    pub fn from_explicit(system: &System) -> SymbolicModel {
+        let names: Vec<String> = system.alphabet().names().to_vec();
+        let mut m = SymbolicModel::new(names);
+        let mut part = Bdd::FALSE;
+        for (s, t) in system.proper_transitions() {
+            let mut pair = Bdd::TRUE;
+            for (i, sv) in m.vars.iter().enumerate() {
+                let (cur, next) = (sv.cur, sv.next);
+                let cl = if s.contains(i) { m.mgr.var(cur) } else { m.mgr.nvar(cur) };
+                let nl = if t.contains(i) { m.mgr.var(next) } else { m.mgr.nvar(next) };
+                let both = m.mgr.and(cl, nl);
+                pair = m.mgr.and(pair, both);
+            }
+            part = m.mgr.or(part, pair);
+        }
+        if !part.is_false() {
+            m.add_trans_part(part);
+        }
+        m
+    }
+
+    /// Enumerate the model back into an explicit system (for
+    /// cross-validation; exponential in the variable count).
+    pub fn to_explicit(&mut self) -> System {
+        use cmc_kripke::{Alphabet, State};
+        let names: Vec<String> = self.vars.iter().map(|v| v.name.clone()).collect();
+        let n = names.len();
+        assert!(n <= 20, "to_explicit limited to 20 variables");
+        let alphabet = Alphabet::new(names);
+        let mut out = System::new(alphabet);
+        let trans = self.full_trans();
+        let vars = self.vars.clone();
+        for s_bits in 0u128..(1 << n) {
+            for t_bits in 0u128..(1 << n) {
+                if s_bits == t_bits {
+                    continue; // stutter is implicit in System
+                }
+                let holds = self.mgr.eval(trans, |v| {
+                    // Decode: v is either some cur or next variable.
+                    for (i, sv) in vars.iter().enumerate() {
+                        if sv.cur == v {
+                            return s_bits >> i & 1 == 1;
+                        }
+                        if sv.next == v {
+                            return t_bits >> i & 1 == 1;
+                        }
+                    }
+                    false
+                });
+                if holds {
+                    out.add_transition(State(s_bits), State(t_bits));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmc_kripke::Alphabet;
+
+    fn toggle_system() -> System {
+        let mut m = System::new(Alphabet::new(["x"]));
+        m.add_transition_named(&[], &["x"]);
+        m.add_transition_named(&["x"], &[]);
+        m
+    }
+
+    #[test]
+    fn from_explicit_roundtrips() {
+        let sys = toggle_system();
+        let mut sm = SymbolicModel::from_explicit(&sys);
+        let back = sm.to_explicit();
+        assert!(sys.equivalent(&back));
+    }
+
+    #[test]
+    fn identity_relation_is_stutter() {
+        let mut m = SymbolicModel::new(vec!["a".into(), "b".into()]);
+        let id = m.identity_relation();
+        // 4 of 16 assignments satisfy a'=a ∧ b'=b.
+        assert_eq!(m.mgr_ref().sat_count(id, 4), 4.0);
+    }
+
+    #[test]
+    fn pre_exists_includes_stutter() {
+        let sys = toggle_system();
+        let mut sm = SymbolicModel::from_explicit(&sys);
+        let x = sm.prop("x").unwrap();
+        let pre = sm.pre_exists(x);
+        // Both states can reach x (0 -> {x}, and {x} stutters).
+        assert!(pre.is_true());
+    }
+
+    #[test]
+    fn post_exists_follows_transitions() {
+        // One-way system: 0 -> {x} only.
+        let mut sys = System::new(Alphabet::new(["x"]));
+        sys.add_transition_named(&[], &["x"]);
+        let mut sm = SymbolicModel::from_explicit(&sys);
+        let x = sm.prop("x").unwrap();
+        let nx = { let m = sm.mgr(); m.not(x) };
+        let post = sm.post_exists(nx);
+        // From ¬x we can stutter (stay ¬x) or move to x: both states.
+        assert!(post.is_true());
+        // From x we can only stutter.
+        let post_x = sm.post_exists(x);
+        assert_eq!(post_x, x);
+    }
+
+    #[test]
+    fn reachability_fixpoint() {
+        let mut sys = System::new(Alphabet::new(["a", "b"]));
+        sys.add_transition_named(&[], &["a"]);
+        sys.add_transition_named(&["a"], &["a", "b"]);
+        let mut sm = SymbolicModel::from_explicit(&sys);
+        // init = ∅ state: ¬a ∧ ¬b
+        let (a, b) = (sm.prop("a").unwrap(), sm.prop("b").unwrap());
+        let init = { let m = sm.mgr(); let na = m.not(a); let nb = m.not(b); m.and(na, nb) };
+        sm.set_init(init);
+        let reach = sm.reachable();
+        // Reachable: ∅, {a}, {a,b} — 3 of 4 states.
+        assert_eq!(sm.mgr_ref().sat_count(reach, 4) / 4.0, 3.0);
+    }
+
+    #[test]
+    fn frame_condition_selected_vars() {
+        let mut m = SymbolicModel::new(vec!["p".into(), "q".into()]);
+        let fr = m.frame_condition(&["q"]);
+        // q' = q: 8 of 16 assignments.
+        assert_eq!(m.mgr_ref().sat_count(fr, 4), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown state variable")]
+    fn frame_condition_validates_names() {
+        let mut m = SymbolicModel::new(vec!["p".into()]);
+        m.frame_condition(&["zz"]);
+    }
+
+    #[test]
+    fn props_registry() {
+        let mut m = SymbolicModel::new(vec!["p".into()]);
+        assert!(m.prop("p").is_some());
+        assert!(m.prop("derived").is_none());
+        let p = m.prop("p").unwrap();
+        let np = { let mg = m.mgr(); mg.not(p) };
+        m.define_prop("derived", np);
+        assert_eq!(m.prop("derived"), Some(np));
+        assert_eq!(m.prop_names().count(), 2);
+    }
+}
+
+#[cfg(test)]
+mod partition_tests {
+    use super::*;
+    use cmc_kripke::{Alphabet, State, System};
+
+    /// pre_exists (partitioned) and pre_exists_monolithic agree on random
+    /// seeded systems — the ablation pair is semantically identical.
+    #[test]
+    fn partitioned_and_monolithic_images_agree() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let mut sys = System::new(Alphabet::new(["a", "b", "c"]));
+            for _ in 0..rng.gen_range(0..12) {
+                let s = rng.gen_range(0u128..8);
+                let t = rng.gen_range(0u128..8);
+                sys.add_transition(State(s), State(t));
+            }
+            let mut m = SymbolicModel::from_explicit(&sys);
+            // A handful of target sets.
+            let a = m.prop("a").unwrap();
+            let b = m.prop("b").unwrap();
+            let sets = [
+                a,
+                { let g = m.mgr(); g.not(b) },
+                { let g = m.mgr(); g.and(a, b) },
+                cmc_bdd::Bdd::TRUE,
+                cmc_bdd::Bdd::FALSE,
+            ];
+            for s in sets {
+                let p = m.pre_exists(s);
+                let q = m.pre_exists_monolithic(s);
+                assert_eq!(p, q, "images disagree");
+            }
+        }
+    }
+}

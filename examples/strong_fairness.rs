@@ -1,0 +1,82 @@
+//! Figure 2 of the paper: a system that needs **strong fairness** (Rule 5)
+//! to establish its progress property `r ⊨ p ⇒ A(p U q)`.
+//!
+//! Six `p`-states form a cycle; the helpful transition to `q` is enabled
+//! only at `p₆`, so Rule 4's premise `M ⊨ p ⇒ EX q` fails — the
+//! environment (or the cycle itself) keeps disabling the helpful move.
+//! Rule 5 repairs this with the obligations `pⱼ ⇒ EF p₆`: the helpful
+//! state is always re-reachable, and strong fairness does the rest.
+//!
+//! Run with `cargo run --example strong_fairness`.
+
+use compositional_mc::core::rules::{rule4, rule5, RuleError};
+use compositional_mc::ctl::{parse, Checker, Formula, Restriction};
+use compositional_mc::kripke::{Alphabet, System};
+
+/// Build the Figure-2 system: states p₁…p₆ in a cycle, `q` reachable only
+/// from p₆. Encoded over propositions {a, b, c}.
+fn figure2() -> (System, Vec<Formula>, Formula) {
+    let mut m = System::new(Alphabet::new(["a", "b", "c"]));
+    // State encoding: p1=∅, p2={a}, p3={b}, p4={a,b}, p5={c}, p6={a,c},
+    // q={b,c}.
+    let cycle: [&[&str]; 6] = [&[], &["a"], &["b"], &["a", "b"], &["c"], &["a", "c"]];
+    for w in 0..6 {
+        m.add_transition_named(cycle[w], cycle[(w + 1) % 6]);
+    }
+    m.add_transition_named(&["a", "c"], &["b", "c"]); // p6 -> q
+    let ps: Vec<Formula> = [
+        "!a & !b & !c",
+        "a & !b & !c",
+        "!a & b & !c",
+        "a & b & !c",
+        "!a & !b & c",
+        "a & !b & c",
+    ]
+    .iter()
+    .map(|t| parse(t).unwrap())
+    .collect();
+    let q = parse("!a & b & c").unwrap();
+    (m, ps, q)
+}
+
+fn main() {
+    let (m, ps, q) = figure2();
+    let p = Formula::or_many(ps.iter().cloned());
+
+    // Rule 4 is inapplicable: the helpful move is not always enabled.
+    match rule4(&m, &p, &q) {
+        Err(RuleError::PremiseFailed(msg)) => {
+            println!("Rule 4 premise fails as expected:\n  {msg}\n")
+        }
+        other => panic!("Rule 4 should fail on Figure 2, got {other:?}"),
+    }
+
+    // Rule 5 applies with helpful disjunct p6.
+    let g = rule5(&m, &ps, 5, &q).expect("Rule 5 applies to Figure 2");
+    println!("{g}");
+
+    // Discharge the obligations on the system itself (closed system — the
+    // composition is M alone) and confirm the conclusion.
+    let checker = Checker::new(&m).unwrap();
+    for (f, r) in &g.lhs {
+        let v = checker.check(r, f).unwrap();
+        println!("obligation {f}: {}", v.holds);
+        assert!(v.holds);
+    }
+    for (f, r) in &g.rhs {
+        let v = checker.check(r, f).unwrap();
+        println!("conclusion under {r}: {f}: {}", v.holds);
+        assert!(v.holds);
+    }
+
+    // And the contrast: under *weak* fairness semantics without the
+    // EF-reachability structure — i.e. pretending Rule 4's conclusion held
+    // anyway — nothing would be wrong here; what fails is the premise.
+    // But the progress property genuinely needs the fairness constraint:
+    let unfair = checker
+        .check(&Restriction::trivial(), &p.clone().implies(p.clone().au(q.clone())))
+        .unwrap();
+    println!("\nwithout fairness, p ⇒ A(p U q): {}", unfair.holds);
+    assert!(!unfair.holds);
+    println!("Figure 2 reproduced: strong fairness is necessary and sufficient.");
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # compositional-mc — compositional CTL model checking
+//!
+//! A full Rust implementation of *An Approach to Compositional Model
+//! Checking* (Andrade & Sanders, 2002), including every substrate the
+//! paper builds on: an ROBDD package, explicit-state and symbolic fair-CTL
+//! model checkers, a mini-SMV modelling language, the compositional theory
+//! (universal / existential / guarantees properties, Rules 1–5, the
+//! assume-guarantee proof engine), and the AFS-1 / AFS-2 case study.
+//!
+//! This facade crate re-exports the workspace members under one roof; the
+//! runnable binaries in `examples/` and the cross-crate suites in `tests/`
+//! are built against it.
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`bdd`] | ROBDD manager, quantification, model counting, stats |
+//! | [`kripke`] | systems `M = (Σ, R)`, the composition operator `∘` |
+//! | [`ctl`] | CTL syntax/parser, restrictions `(I, F)`, explicit checker |
+//! | [`symbolic`] | BDD-based fair-CTL checker (the "SMV" engine) |
+//! | [`smv`] | mini-SMV language, Figure-3 boolean encoding, drivers |
+//! | [`core`] | property classes, Rules 1–5, proof engine, lemmas |
+//! | [`afs`] | the AFS-1 / AFS-2 case study and scaling experiments |
+
+pub use cmc_afs as afs;
+pub use cmc_bdd as bdd;
+pub use cmc_core as core;
+pub use cmc_ctl as ctl;
+pub use cmc_kripke as kripke;
+pub use cmc_smv as smv;
+pub use cmc_symbolic as symbolic;

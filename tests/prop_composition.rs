@@ -1,0 +1,258 @@
+//! Property-based tests over random systems: the composition algebra
+//! (Lemmas 1–4), the CTL lemmas (5–11), and the soundness of the
+//! universal/existential property classes, all validated against direct
+//! monolithic model checking.
+
+use compositional_mc::core::{classify, PropertyClass};
+use compositional_mc::ctl::{Checker, Formula, Restriction};
+use compositional_mc::kripke::{lemmas as klemmas, Alphabet, State, System};
+use compositional_mc::core::lemmas as clemmas;
+use proptest::prelude::*;
+
+/// A random system over a small alphabet, described by a list of
+/// transition pairs (bit patterns).
+fn arb_system(names: &'static [&'static str]) -> impl Strategy<Value = System> {
+    let n = names.len();
+    let max = 1u32 << n;
+    proptest::collection::vec((0..max, 0..max), 0..12).prop_map(move |pairs| {
+        let mut m = System::new(Alphabet::new(names.iter().copied()));
+        for (s, t) in pairs {
+            m.add_transition(State(s as u128), State(t as u128));
+        }
+        m
+    })
+}
+
+/// A random propositional formula over given names.
+fn arb_prop(names: &'static [&'static str]) -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        proptest::sample::select(names.to_vec()).prop_map(Formula::ap),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| f.not()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.or(b)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 1: composition is commutative and associative on random
+    /// systems with overlapping alphabets.
+    #[test]
+    fn lemma1_random(
+        a in arb_system(&["p", "q"]),
+        b in arb_system(&["q", "r"]),
+        c in arb_system(&["p", "r"]),
+    ) {
+        prop_assert!(klemmas::lemma1_commutative(&a, &b));
+        prop_assert!(klemmas::lemma1_associative(&a, &b, &c));
+    }
+
+    /// Lemma 2: equal-alphabet composition is relation union.
+    #[test]
+    fn lemma2_random(a in arb_system(&["p", "q"]), b in arb_system(&["p", "q"])) {
+        prop_assert_eq!(klemmas::lemma2_union(&a, &b), Some(true));
+    }
+
+    /// Lemmas 3 and 4 on random systems.
+    #[test]
+    fn lemma3_lemma4_random(a in arb_system(&["p", "q"]), b in arb_system(&["q", "r"])) {
+        prop_assert!(klemmas::lemma3_identity(&a));
+        prop_assert!(klemmas::lemma4_expansion(&a, &b));
+    }
+
+    /// Lemma 5: expansion preserves arbitrary CTL properties built from a
+    /// propositional core (we sample p ⇒ AX q, EF p, AG p and E[p U q]).
+    #[test]
+    fn lemma5_random(
+        m in arb_system(&["p", "q"]),
+        f in arb_prop(&["p", "q"]),
+        g in arb_prop(&["p", "q"]),
+    ) {
+        let extra = Alphabet::new(["z"]);
+        let candidates = [
+            f.clone().implies(g.clone().ax()),
+            f.clone().ef(),
+            g.clone().ag(),
+            f.clone().eu(g.clone()),
+            f.clone().implies(g.clone().ex()),
+        ];
+        for c in candidates {
+            prop_assert!(
+                clemmas::lemma5_expansion_preserves(&m, &extra, &c).unwrap(),
+                "Lemma 5 failed for {c}"
+            );
+        }
+    }
+
+    /// Lemmas 6 and 7: semantic/structural equivalence of next-step
+    /// properties on random systems and random propositional formulas.
+    #[test]
+    fn lemma6_lemma7_random(
+        m in arb_system(&["p", "q"]),
+        f in arb_prop(&["p", "q"]),
+        g in arb_prop(&["p", "q"]),
+    ) {
+        prop_assert!(clemmas::lemma6_ax_structural(&m, &f, &g).unwrap());
+        prop_assert!(clemmas::lemma7_ex_structural(&m, &f, &g).unwrap());
+    }
+
+    /// Lemmas 8 and 9: frame conjunction/disjunction on random systems.
+    #[test]
+    fn lemma8_lemma9_random(
+        m in arb_system(&["p", "q"]),
+        f in arb_prop(&["p", "q"]),
+        g in arb_prop(&["p", "q"]),
+        pp in arb_prop(&["z"]),
+    ) {
+        let extra = Alphabet::new(["z"]);
+        prop_assert!(clemmas::lemma8_frame_conjunction(&m, &extra, &f, &g, &pp).unwrap());
+        prop_assert!(clemmas::lemma9_frame_disjunction(&m, &extra, &f, &g, &pp).unwrap());
+    }
+
+    /// Lemma 10: propositional transfer between alphabets on all states.
+    #[test]
+    fn lemma10_random(p in arb_prop(&["p", "q"]), bits in 0u32..8) {
+        let small = Alphabet::new(["p", "q"]);
+        let big = small.union(&Alphabet::new(["z"]));
+        prop_assert!(clemmas::lemma10_propositional_transfer(
+            &small, &big, &p, State(bits as u128)
+        ));
+    }
+
+    /// Lemma 11: fairness strengthening preserves p ⇒ AX q.
+    #[test]
+    fn lemma11_random(
+        m in arb_system(&["p", "q"]),
+        f in arb_prop(&["p", "q"]),
+        g in arb_prop(&["p", "q"]),
+        fair in arb_prop(&["p", "q"]),
+    ) {
+        prop_assert!(clemmas::lemma11_fairness_strengthening(&m, &f, &g, &[fair]).unwrap());
+    }
+
+    /// SOUNDNESS of Rule 2 (universal): if `p ⇒ AX q` holds in two random
+    /// components, it holds in their composition — validated monolithically.
+    #[test]
+    fn rule2_sound_random(
+        a in arb_system(&["p", "q"]),
+        b in arb_system(&["q", "r"]),
+        p in arb_prop(&["q"]),
+        q in arb_prop(&["q"]),
+    ) {
+        // p, q over the SHARED variable so both components can evaluate
+        // them (the general case goes through expansions; the engine tests
+        // cover that path).
+        let f = p.clone().implies(q.clone().ax());
+        let ca = Checker::new(&a).unwrap().holds_everywhere(&f).unwrap();
+        let cb = Checker::new(&b).unwrap().holds_everywhere(&f).unwrap();
+        if ca && cb {
+            let composed = a.compose(&b);
+            prop_assert!(
+                Checker::new(&composed).unwrap().holds_everywhere(&f).unwrap(),
+                "Rule 2 unsound for {f}"
+            );
+        }
+    }
+
+    /// SOUNDNESS of Rule 3 (existential): `p ⇒ EX q` transfers from one
+    /// component.
+    #[test]
+    fn rule3_sound_random(
+        a in arb_system(&["p", "q"]),
+        b in arb_system(&["q", "r"]),
+        p in arb_prop(&["q"]),
+        q in arb_prop(&["q"]),
+    ) {
+        let f = p.clone().implies(q.clone().ex());
+        let ca = Checker::new(&a).unwrap().holds_everywhere(&f).unwrap();
+        if ca {
+            let composed = a.compose(&b);
+            prop_assert!(
+                Checker::new(&composed).unwrap().holds_everywhere(&f).unwrap(),
+                "Rule 3 unsound for {f}"
+            );
+        }
+    }
+
+    /// SOUNDNESS of Rule 1: a propositional property (trivial fairness)
+    /// transfers from one component when evaluated over shared variables.
+    #[test]
+    fn rule1_sound_random(
+        a in arb_system(&["p", "q"]),
+        b in arb_system(&["q", "r"]),
+        f in arb_prop(&["q"]),
+    ) {
+        let r = Restriction::trivial();
+        prop_assume!(classify(&f, &r).map(|c| c.class) == Some(PropertyClass::Existential));
+        let ca = Checker::new(&a).unwrap().check(&r, &f).unwrap().holds;
+        if ca {
+            let composed = a.compose(&b);
+            prop_assert!(
+                Checker::new(&composed).unwrap().check(&r, &f).unwrap().holds,
+                "Rule 1 unsound for {f}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SOUNDNESS of the positive-existential extension: any formula built
+    /// from propositional parts with ∧, ∨, EX, EF, EG, EU that holds in a
+    /// component (over shared variables) holds in the composition.
+    #[test]
+    fn positive_existential_sound_random(
+        a in arb_system(&["p", "q"]),
+        b in arb_system(&["q", "r"]),
+        p1 in arb_prop(&["q"]),
+        p2 in arb_prop(&["q"]),
+        shape in 0..6,
+    ) {
+        use compositional_mc::core::property::is_positive_existential;
+        let f = match shape {
+            0 => p1.clone().ef(),
+            1 => p1.clone().eu(p2.clone()),
+            2 => p1.clone().implies(p2.clone().ef()),
+            3 => p1.clone().eg(),
+            4 => p1.clone().ex().or(p2.clone().ex()),
+            _ => p1.clone().and(p2.clone().ef()).ef(),
+        };
+        prop_assert!(is_positive_existential(&f));
+        let holds_a = Checker::new(&a).unwrap().holds_everywhere(&f).unwrap();
+        if holds_a {
+            let composed = a.compose(&b);
+            prop_assert!(
+                Checker::new(&composed).unwrap().holds_everywhere(&f).unwrap(),
+                "positive-existential transfer unsound for {f}"
+            );
+        }
+    }
+
+    /// ... and under fairness constraints over shared variables.
+    #[test]
+    fn positive_existential_sound_under_fairness(
+        a in arb_system(&["p", "q"]),
+        b in arb_system(&["q", "r"]),
+        p1 in arb_prop(&["q"]),
+        fair in arb_prop(&["q"]),
+    ) {
+        let f = p1.clone().ef();
+        let r = Restriction::new(Formula::True, [fair]);
+        let holds_a = Checker::new(&a).unwrap().check(&r, &f).unwrap().holds;
+        if holds_a {
+            let composed = a.compose(&b);
+            prop_assert!(
+                Checker::new(&composed).unwrap().check(&r, &f).unwrap().holds,
+                "fair positive-existential transfer unsound for {f}"
+            );
+        }
+    }
+}
