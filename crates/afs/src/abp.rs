@@ -191,7 +191,7 @@ pub fn prove_liveness() -> Certificate {
         .parse_formula("!(msg = d0) & !rbit")
         .unwrap()
         .and(inv.clone());
-    let cover = vec![rest.clone(), helpful.clone()];
+    let cover = [rest.clone(), helpful.clone()];
 
     let mut cert = Certificate {
         goal: "system ⊨_(I, F) AF rbit  [ABP delivery]".into(),

@@ -1,0 +1,207 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This workspace builds with no crates.io access, so this shim implements
+//! the subset of proptest that the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]` headers,
+//! * [`strategy::Strategy`] with `prop_map`, `prop_filter`,
+//!   `prop_recursive`, `boxed`, plus [`strategy::Just`],
+//!   [`strategy::Union`] and [`strategy::BoxedStrategy`],
+//! * integer-range, tuple and `&str`-pattern strategies,
+//! * [`collection::vec`], [`sample::select`], [`arbitrary::any`],
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assume!`, `prop_oneof!`.
+//!
+//! Generation is deterministic (seeded per test name) and there is **no
+//! shrinking**: a failing case panics immediately with the generated
+//! inputs printed, which is enough to reproduce since the seed is fixed.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The conventional glob-import module, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Property-test harness macro. Expands each `fn name(x in strategy, ...)`
+/// item into a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expand the item list of a `proptest!` block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let mut cases_done: u32 = 0;
+            let mut attempts: u64 = 0;
+            while cases_done < config.cases {
+                attempts += 1;
+                if attempts > config.cases as u64 * 64 + 4096 {
+                    panic!(
+                        "proptest shim: too many rejected cases in `{}` \
+                         ({} accepted of {} wanted after {} attempts)",
+                        stringify!($name), cases_done, config.cases, attempts
+                    );
+                }
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                )+
+                // Snapshot inputs before the body can move them, so
+                // failures are reproducible reports.
+                let __inputs: ::std::string::String = {
+                    let mut s = ::std::string::String::new();
+                    $(
+                        s.push_str(&format!("  {} = {:?}\n", stringify!($arg), &$arg));
+                    )+
+                    s
+                };
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        }
+                    )
+                );
+                match __outcome {
+                    ::std::result::Result::Err(payload) => {
+                        eprintln!(
+                            "proptest shim: panic in `{}` (case {}) with inputs:\n{}",
+                            stringify!($name), cases_done + 1, __inputs
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {
+                        cases_done += 1;
+                    }
+                    ::std::result::Result::Ok(::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_)
+                    )) => { /* prop_assume! rejection: draw a fresh case */ }
+                    ::std::result::Result::Ok(::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg)
+                    )) => {
+                        panic!(
+                            "proptest shim: `{}` failed (case {}): {}\ninputs:\n{}",
+                            stringify!($name), cases_done + 1, msg, __inputs
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Assert inside a `proptest!` body; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+))
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                            stringify!($left), stringify!($right), __l, __r
+                        ))
+                    );
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(format!(
+                            "{}\n  left: {:?}\n right: {:?}",
+                            format!($($fmt)+), __l, __r
+                        ))
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(format!(
+                            "assertion failed: `{} != {}`\n  both: {:?}",
+                            stringify!($left), stringify!($right), __l
+                        ))
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Discard the current case (does not count towards `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Reject(
+                    stringify!($cond).to_string()
+                )
+            );
+        }
+    };
+}
+
+/// Uniform choice between heterogeneous strategies with one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}

@@ -1,0 +1,40 @@
+//! Sampling strategies (`proptest::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy drawing uniformly from a fixed list of values.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.items.len() as u64) as usize;
+        self.items[i].clone()
+    }
+}
+
+/// Uniform choice among `items`; panics if empty.
+pub fn select<T: Clone + 'static>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select() on an empty list");
+    Select { items }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_items() {
+        let s = select(vec!["a", "b", "c"]);
+        let mut rng = TestRng::from_seed(5);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

@@ -1,0 +1,481 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a
+/// strategy is just a deterministic-RNG-driven generator.
+pub trait Strategy: Clone {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, O>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        Map { source: self, f: Rc::new(f) }
+    }
+
+    /// Keep only values satisfying `pred` (regenerating otherwise).
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        Filter { source: self, reason: reason.into(), pred: Rc::new(pred) }
+    }
+
+    /// Build a recursive strategy: `self` generates leaves, and `recurse`
+    /// lifts a strategy for subterms into a strategy for compound terms.
+    /// Recursion depth is bounded by `depth`.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut strat = self.clone().boxed();
+        for _ in 0..depth {
+            let leaf = self.clone().boxed();
+            let deeper = recurse(strat).boxed();
+            strat = BoxedStrategy::from_fn(move |rng| {
+                // Mix leaves back in so generated terms have varied depth
+                // instead of always bottoming out at `depth`.
+                if rng.below(4) == 0 {
+                    leaf.generate(rng)
+                } else {
+                    deeper.generate(rng)
+                }
+            });
+        }
+        strat
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let source = self;
+        BoxedStrategy::from_fn(move |rng| source.generate(rng))
+    }
+}
+
+/// Strategy returning a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S: Strategy, O> {
+    source: S,
+    f: Rc<dyn Fn(S::Value) -> O>,
+}
+
+impl<S: Strategy, O> Clone for Map<S, O> {
+    fn clone(&self) -> Self {
+        Map { source: self.source.clone(), f: self.f.clone() }
+    }
+}
+
+impl<S: Strategy, O> Strategy for Map<S, O> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// A shared filtering predicate over generated values.
+type Pred<T> = Rc<dyn Fn(&T) -> bool>;
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S: Strategy> {
+    source: S,
+    reason: String,
+    pred: Pred<S::Value>,
+}
+
+impl<S: Strategy> Clone for Filter<S> {
+    fn clone(&self) -> Self {
+        Filter {
+            source: self.source.clone(),
+            reason: self.reason.clone(),
+            pred: self.pred.clone(),
+        }
+    }
+}
+
+impl<S: Strategy> Strategy for Filter<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..100_000 {
+            let v = self.source.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted 100000 draws: {}", self.reason);
+    }
+}
+
+/// A type-erased strategy (cheaply cloneable).
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wrap a generation function.
+    pub fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy { gen: Rc::new(f) }
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { gen: self.gen.clone() }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Uniform choice among several strategies of one value type.
+#[derive(Clone)]
+pub struct Union<S: Strategy> {
+    options: Vec<S>,
+}
+
+impl<S: Strategy> Union<S> {
+    /// Build from any non-empty collection of options.
+    pub fn new(options: impl IntoIterator<Item = S>) -> Self {
+        let options: Vec<S> = options.into_iter().collect();
+        assert!(!options.is_empty(), "Union of zero strategies");
+        Union { options }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+fn below_u128(rng: &mut TestRng, n: u128) -> u128 {
+    debug_assert!(n > 0);
+    let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+    wide % n
+}
+
+macro_rules! unsigned_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end as u128 - self.start as u128;
+                (self.start as u128 + below_u128(rng, span)) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = hi as u128 - lo as u128 + 1;
+                (lo as u128 + below_u128(rng, span)) as $t
+            }
+        }
+    )*};
+}
+
+unsigned_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + below_u128(rng, span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                (lo as i128 + below_u128(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// `&str` as a regex-ish string strategy, supporting the class-repeat
+/// patterns the workspace uses (`.{0,40}`, `[ -~]{0,12}`); anything else
+/// is generated as the literal string.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+/// One item of a character class.
+#[derive(Debug, Clone, Copy)]
+enum ClassItem {
+    Single(char),
+    Range(char, char),
+}
+
+fn random_char_from(items: &[ClassItem], rng: &mut TestRng) -> char {
+    let item = items[rng.below(items.len() as u64) as usize];
+    match item {
+        ClassItem::Single(c) => c,
+        ClassItem::Range(a, b) => {
+            let span = b as u32 - a as u32 + 1;
+            char::from_u32(a as u32 + below_u128(rng, span as u128) as u32).unwrap_or(a)
+        }
+    }
+}
+
+/// `.` — mostly printable ASCII, occasionally an arbitrary scalar, never
+/// a newline (regex `.` semantics).
+fn random_dot_char(rng: &mut TestRng) -> char {
+    if rng.below(10) == 0 {
+        loop {
+            if let Some(c) = char::from_u32(rng.below(0x11_0000) as u32) {
+                if c != '\n' {
+                    return c;
+                }
+            }
+        }
+    } else {
+        char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap()
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    // Grammar accepted: ( "." | "[" class "]" ) "{" min "," max "}"
+    let mut chars = pattern.chars().peekable();
+    let class: Option<Vec<ClassItem>> = match chars.peek() {
+        Some('.') => {
+            chars.next();
+            None // dot class
+        }
+        Some('[') => {
+            chars.next();
+            let mut items = Vec::new();
+            let mut buf: Vec<char> = Vec::new();
+            let mut closed = false;
+            for c in chars.by_ref() {
+                if c == ']' {
+                    closed = true;
+                    break;
+                }
+                buf.push(c);
+            }
+            if !closed {
+                return pattern.to_string();
+            }
+            let mut i = 0;
+            while i < buf.len() {
+                if i + 2 < buf.len() && buf[i + 1] == '-' {
+                    items.push(ClassItem::Range(buf[i], buf[i + 2]));
+                    i += 3;
+                } else if i + 2 == buf.len() && buf[i + 1] == '-' {
+                    // trailing "a-" at end: range to the last char
+                    items.push(ClassItem::Range(buf[i], buf[i + 1]));
+                    i += 2;
+                } else {
+                    items.push(ClassItem::Single(buf[i]));
+                    i += 1;
+                }
+            }
+            if items.is_empty() {
+                return pattern.to_string();
+            }
+            Some(items)
+        }
+        _ => return pattern.to_string(),
+    };
+    // Parse "{min,max}".
+    if chars.next() != Some('{') {
+        return pattern.to_string();
+    }
+    let rest: String = chars.collect();
+    let Some(body) = rest.strip_suffix('}') else {
+        return pattern.to_string();
+    };
+    let Some((lo, hi)) = body.split_once(',') else {
+        return pattern.to_string();
+    };
+    let (Ok(lo), Ok(hi)) = (lo.trim().parse::<usize>(), hi.trim().parse::<usize>()) else {
+        return pattern.to_string();
+    };
+    if lo > hi {
+        return pattern.to_string();
+    }
+    let len = rng.usize_in(lo, hi + 1);
+    (0..len)
+        .map(|_| match &class {
+            None => random_dot_char(rng),
+            Some(items) => random_char_from(items, rng),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(99)
+    }
+
+    #[test]
+    fn just_and_map() {
+        let s = Just(3).prop_map(|x| x * 2);
+        assert_eq!(s.generate(&mut rng()), 6);
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let a = (0u32..8).generate(&mut r);
+            assert!(a < 8);
+            let b = (1usize..=3).generate(&mut r);
+            assert!((1..=3).contains(&b));
+            let c = (0..6).generate(&mut r); // i32
+            assert!((0..6).contains(&c));
+        }
+    }
+
+    #[test]
+    fn union_draws_all_options() {
+        let u = Union::new(vec![Just(1).boxed(), Just(2).boxed(), Just(3).boxed()]);
+        let mut seen = [false; 4];
+        let mut r = rng();
+        for _ in 0..200 {
+            seen[u.generate(&mut r)] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn filter_respects_predicate() {
+        let s = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut r) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn recursive_bounded_depth() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum T {
+            Leaf,
+            Node(Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf => 0,
+                T::Node(x) => 1 + depth(x),
+            }
+        }
+        let s = Just(T::Leaf).prop_recursive(3, 8, 1, |inner| {
+            inner.prop_map(|t| T::Node(Box::new(t)))
+        });
+        let mut r = rng();
+        let mut max_seen = 0;
+        for _ in 0..300 {
+            max_seen = max_seen.max(depth(&s.generate(&mut r)));
+        }
+        assert!(max_seen > 0, "never recursed");
+        assert!(max_seen <= 3, "depth bound exceeded: {max_seen}");
+    }
+
+    #[test]
+    fn dot_pattern_lengths() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = ".{0,40}".generate(&mut r);
+            assert!(s.chars().count() <= 40);
+        }
+    }
+
+    #[test]
+    fn class_pattern_ascii_printable() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[ -~]{0,12}".generate(&mut r);
+            assert!(s.chars().count() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_pattern_is_literal() {
+        assert_eq!("MODULE main".generate(&mut rng()), "MODULE main");
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let ((a, b), c) = ((0u32..4, 0u32..4), 1usize..=1).generate(&mut rng());
+        assert!(a < 4 && b < 4);
+        assert_eq!(c, 1);
+    }
+}

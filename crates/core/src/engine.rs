@@ -17,7 +17,9 @@ use crate::property::{classify, PropertyClass};
 use crate::rules::{invariant_obligations, Guarantee, RuleError};
 use cmc_ctl::{Checker, Formula, Restriction};
 use cmc_kripke::{Alphabet, System};
+use cmc_store::{CertStore, Entry, ObligationKey, StoredCertificate, StoredStep};
 use std::fmt;
+use std::sync::Arc;
 
 /// A named component in a composition.
 #[derive(Debug, Clone)]
@@ -36,7 +38,7 @@ impl Component {
 }
 
 /// One step in a proof certificate.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Step {
     /// What was established (or attempted).
     pub description: String,
@@ -48,7 +50,7 @@ pub struct Step {
 }
 
 /// An auditable record of a deduction.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Certificate {
     /// The property being established, rendered.
     pub goal: String,
@@ -70,6 +72,42 @@ impl Certificate {
     /// Were all steps component-local (no whole-system model checking)?
     pub fn fully_compositional(&self) -> bool {
         self.steps.iter().all(|s| s.compositional)
+    }
+}
+
+impl From<&Certificate> for StoredCertificate {
+    fn from(cert: &Certificate) -> Self {
+        StoredCertificate {
+            goal: cert.goal.clone(),
+            steps: cert
+                .steps
+                .iter()
+                .map(|s| StoredStep {
+                    description: s.description.clone(),
+                    ok: s.ok,
+                    compositional: s.compositional,
+                })
+                .collect(),
+            valid: cert.valid,
+        }
+    }
+}
+
+impl From<StoredCertificate> for Certificate {
+    fn from(cert: StoredCertificate) -> Self {
+        Certificate {
+            goal: cert.goal,
+            steps: cert
+                .steps
+                .into_iter()
+                .map(|s| Step {
+                    description: s.description,
+                    ok: s.ok,
+                    compositional: s.compositional,
+                })
+                .collect(),
+            valid: cert.valid,
+        }
     }
 }
 
@@ -119,6 +157,7 @@ impl From<RuleError> for EngineError {
 pub struct Engine {
     components: Vec<Component>,
     union: Alphabet,
+    store: Option<Arc<CertStore>>,
 }
 
 impl Engine {
@@ -127,7 +166,28 @@ impl Engine {
         let union = components
             .iter()
             .fold(Alphabet::empty(), |acc, c| acc.union(c.system.alphabet()));
-        Engine { components, union }
+        Engine { components, union, store: None }
+    }
+
+    /// Attach a certificate store: every obligation is looked up before
+    /// being checked and memoized after, so components shared between
+    /// compositions (or repeated proofs over the same engine) are verified
+    /// once. The store is keyed structurally — see
+    /// [`cmc_store::ObligationKey`] — so it can safely be shared across
+    /// engines via `Arc`.
+    pub fn with_store(mut self, store: Arc<CertStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Attach or replace the certificate store (see [`Engine::with_store`]).
+    pub fn set_store(&mut self, store: Arc<CertStore>) {
+        self.store = Some(store);
+    }
+
+    /// The attached certificate store, if any.
+    pub fn store(&self) -> Option<&Arc<CertStore>> {
+        self.store.as_ref()
     }
 
     /// The union alphabet `Σ*` of all components.
@@ -188,33 +248,149 @@ impl Engine {
 
     /// Check a universal obligation on every component, conjunct-wise with
     /// minimal expansions, in parallel. Appends one step per (conjunct,
-    /// component) check.
+    /// component) check. With a store attached, obligations answered from
+    /// the store never reach the checker; only the misses are fanned out.
     fn check_universal(
         &self,
         f: &Formula,
         cert: &mut Certificate,
     ) -> Result<(), EngineError> {
-        let mut tasks: Vec<(String, System, Formula)> = Vec::new();
+        // One slot per (conjunct, component) obligation, in order; cache
+        // hits are resolved immediately, misses carry their store key.
+        let mut slots: Vec<(String, Option<ObligationKey>, Option<bool>)> = Vec::new();
+        let mut misses: Vec<(String, System, Formula)> = Vec::new();
         for conjunct in Self::conjuncts(f) {
             let props = conjunct.atomic_props();
             for (i, comp) in self.components.iter().enumerate() {
-                tasks.push((
-                    format!("minimal expansion of {} ⊨ {conjunct}", comp.name),
-                    self.minimal_expansion(i, &props),
-                    conjunct.clone(),
-                ));
+                let name = format!("minimal expansion of {} ⊨ {conjunct}", comp.name);
+                let system = self.minimal_expansion(i, &props);
+                let key = self
+                    .store
+                    .as_ref()
+                    .map(|_| ObligationKey::holds_everywhere(&system, &conjunct));
+                let cached = match (&self.store, key) {
+                    (Some(store), Some(key)) => store.lookup(&key).map(|e| e.verdict),
+                    _ => None,
+                };
+                if cached.is_none() {
+                    misses.push((name.clone(), system, conjunct.clone()));
+                }
+                slots.push((name, key, cached));
             }
         }
-        for (name, ok) in crate::parallel::check_tasks_parallel(&tasks) {
-            let ok = ok.map_err(EngineError::Check)?;
-            cert.step(name, ok, true);
+        let mut fresh = crate::parallel::check_tasks_parallel(&misses).into_iter();
+        for (name, key, cached) in slots {
+            match cached {
+                Some(ok) => cert.step(format!("{name} (cached)"), ok, true),
+                None => {
+                    let (_, outcome) = fresh.next().expect("one parallel result per miss");
+                    let ok = outcome.map_err(EngineError::Check)?;
+                    if let (Some(store), Some(key)) = (&self.store, key) {
+                        store.insert(key, Entry::verdict(ok));
+                    }
+                    cert.step(name, ok, true);
+                }
+            }
         }
         Ok(())
     }
 
+    /// `⊨ f` in every state of `sys`, answered from the store when
+    /// possible. Returns `(verdict, was_hit)`.
+    fn cached_holds_everywhere(&self, sys: &System, f: &Formula) -> Result<(bool, bool), EngineError> {
+        let run = || {
+            Checker::new(sys)
+                .and_then(|c| c.holds_everywhere(f))
+                .map_err(|e| EngineError::Check(e.to_string()))
+        };
+        match &self.store {
+            Some(store) => {
+                let key = ObligationKey::holds_everywhere(sys, f);
+                let (entry, hit) = store.get_or_check(key, || run().map(Entry::verdict))?;
+                Ok((entry.verdict, hit))
+            }
+            None => Ok((run()?, false)),
+        }
+    }
+
+    /// `sys ⊨_r f`, answered from the store when possible. Returns
+    /// `(verdict, was_hit)`.
+    fn cached_restricted_check(
+        &self,
+        sys: &System,
+        r: &Restriction,
+        f: &Formula,
+    ) -> Result<(bool, bool), EngineError> {
+        let run = || -> Result<bool, EngineError> {
+            let checker = Checker::new(sys).map_err(|e| EngineError::Check(e.to_string()))?;
+            Ok(checker
+                .check(r, f)
+                .map_err(|e| EngineError::Check(e.to_string()))?
+                .holds)
+        };
+        match &self.store {
+            Some(store) => {
+                let key = ObligationKey::restricted(sys, r, f);
+                let (entry, hit) = store.get_or_check(key, || run().map(Entry::verdict))?;
+                Ok((entry.verdict, hit))
+            }
+            None => Ok((run()?, false)),
+        }
+    }
+
+    /// Suffix a step description with the cache marker when `hit`.
+    fn mark(description: String, hit: bool) -> String {
+        if hit {
+            format!("{description} (cached)")
+        } else {
+            description
+        }
+    }
+
+    /// The store key for a whole-composition obligation under proof
+    /// `mode`, built from the component systems (never the exponential
+    /// composition itself).
+    fn composition_key(&self, mode: &str, r: &Restriction, f: &Formula) -> ObligationKey {
+        let systems: Vec<&System> = self.components.iter().map(|c| &c.system).collect();
+        ObligationKey::composed(mode, &systems, r, f)
+    }
+
+    /// Memoize a whole deduction: return the stored certificate for `key`
+    /// if present, otherwise run `deduce` and store its certificate. A
+    /// stored certificate is returned verbatim — byte-for-byte the
+    /// certificate the original deduction produced.
+    fn cached_deduction(
+        &self,
+        key: ObligationKey,
+        deduce: impl FnOnce() -> Result<Certificate, EngineError>,
+    ) -> Result<Certificate, EngineError> {
+        let Some(store) = &self.store else {
+            return deduce();
+        };
+        if let Some(entry) = store.lookup(&key) {
+            if let Some(cert) = entry.certificate {
+                return Ok(cert.into());
+            }
+        }
+        let cert = deduce()?;
+        store.insert(key, Entry::with_certificate(cert.valid, (&cert).into()));
+        Ok(cert)
+    }
+
     /// Prove `⊨_r f` of the composition, compositionally where the rules
     /// allow, with a whole-system fallback otherwise.
+    ///
+    /// With a store attached the memoization is two-level: the whole
+    /// deduction is keyed on (components, r, f) and replayed verbatim on a
+    /// repeat proof, and each component-level obligation inside a fresh
+    /// deduction is keyed individually — so a *different* composition
+    /// sharing a component still reuses that component's checks (its
+    /// steps are marked `(cached)`).
     pub fn prove(&self, r: &Restriction, f: &Formula) -> Result<Certificate, EngineError> {
+        self.cached_deduction(self.composition_key("prove", r, f), || self.prove_uncached(r, f))
+    }
+
+    fn prove_uncached(&self, r: &Restriction, f: &Formula) -> Result<Certificate, EngineError> {
         let mut cert = Certificate { goal: format!("system ⊨_{r} {f}"), steps: vec![], valid: true };
         match classify(f, r) {
             Some(c) if c.class == PropertyClass::Universal => {
@@ -249,14 +425,13 @@ impl Engine {
                 let mut found = false;
                 for (i, comp) in self.components.iter().enumerate() {
                     let expansion = self.minimal_expansion(i, &props);
-                    let checker = Checker::new(&expansion)
-                        .map_err(|e| EngineError::Check(e.to_string()))?;
-                    let v = checker
-                        .check(r, f)
-                        .map_err(|e| EngineError::Check(e.to_string()))?;
-                    if v.holds {
+                    let (holds, hit) = self.cached_restricted_check(&expansion, r, f)?;
+                    if holds {
                         cert.step(
-                            format!("minimal expansion of {} ⊨_{r} {f}", comp.name),
+                            Self::mark(
+                                format!("minimal expansion of {} ⊨_{r} {f}", comp.name),
+                                hit,
+                            ),
                             true,
                             true,
                         );
@@ -279,12 +454,8 @@ impl Engine {
                         false,
                     );
                     let composed = self.composed();
-                    let checker = Checker::new(&composed)
-                        .map_err(|e| EngineError::Check(e.to_string()))?;
-                    let v = checker
-                        .check(r, f)
-                        .map_err(|e| EngineError::Check(e.to_string()))?;
-                    cert.step(format!("composition ⊨_{r} {f}"), v.holds, false);
+                    let (holds, hit) = self.cached_restricted_check(&composed, r, f)?;
+                    cert.step(Self::mark(format!("composition ⊨_{r} {f}"), hit), holds, false);
                 }
             }
             None => {
@@ -294,12 +465,8 @@ impl Engine {
                     false,
                 );
                 let composed = self.composed();
-                let checker =
-                    Checker::new(&composed).map_err(|e| EngineError::Check(e.to_string()))?;
-                let v = checker
-                    .check(r, f)
-                    .map_err(|e| EngineError::Check(e.to_string()))?;
-                cert.step(format!("composition ⊨_{r} {f}"), v.holds, false);
+                let (holds, hit) = self.cached_restricted_check(&composed, r, f)?;
+                cert.step(Self::mark(format!("composition ⊨_{r} {f}"), hit), holds, false);
             }
         }
         Ok(cert)
@@ -325,6 +492,18 @@ impl Engine {
     /// records the level used — linear verification cost in the number of
     /// components is achieved exactly when level 3 is never needed.
     pub fn prove_invariant(
+        &self,
+        inv: &Formula,
+        init: &Formula,
+        fairness: &[Formula],
+    ) -> Result<Certificate, EngineError> {
+        let r = Restriction::new(init.clone(), fairness.iter().cloned());
+        self.cached_deduction(self.composition_key("invariant", &r, inv), || {
+            self.prove_invariant_uncached(inv, init, fairness)
+        })
+    }
+
+    fn prove_invariant_uncached(
         &self,
         inv: &Formula,
         init: &Formula,
@@ -403,9 +582,7 @@ impl Engine {
         k_props: &std::collections::BTreeSet<String>,
     ) -> Result<Option<u8>, EngineError> {
         let check = |sys: &System, f: &Formula| -> Result<bool, EngineError> {
-            Checker::new(sys)
-                .and_then(|c| c.holds_everywhere(f))
-                .map_err(|e| EngineError::Check(e.to_string()))
+            self.cached_holds_everywhere(sys, f).map(|(holds, _)| holds)
         };
         // Level 1: local induction.
         let local = k.clone().implies(k.clone().ax());
@@ -683,6 +860,65 @@ mod tests {
             .unwrap();
         assert!(cert.valid, "{cert}");
         assert!(cert.fully_compositional());
+    }
+
+    #[test]
+    fn store_replays_identical_certificates() {
+        let store = Arc::new(CertStore::new());
+        let e = rising_pair().with_store(Arc::clone(&store));
+        let f = parse("x -> AX x").unwrap();
+        let bare = rising_pair().prove(&Restriction::trivial(), &f).unwrap();
+        let cold = e.prove(&Restriction::trivial(), &f).unwrap();
+        let warm = e.prove(&Restriction::trivial(), &f).unwrap();
+        // The cold run (empty store) proves exactly what a store-less
+        // engine proves, and the warm run replays it verbatim.
+        assert_eq!(bare, cold);
+        assert_eq!(cold, warm);
+        assert!(store.stats().hits >= 1, "{}", store.stats());
+    }
+
+    #[test]
+    fn shared_component_hits_across_compositions() {
+        let store = Arc::new(CertStore::new());
+        let mut mx = System::new(Alphabet::new(["x"]));
+        mx.add_transition_named(&[], &["x"]);
+        let mut my = System::new(Alphabet::new(["y"]));
+        my.add_transition_named(&[], &["y"]);
+        let mut mz = System::new(Alphabet::new(["z"]));
+        mz.add_transition_named(&[], &["z"]);
+        let f = parse("x -> AX x").unwrap();
+
+        let e1 = Engine::new(vec![
+            Component::new("mx", mx.clone()),
+            Component::new("my", my),
+        ])
+        .with_store(Arc::clone(&store));
+        let c1 = e1.prove(&Restriction::trivial(), &f).unwrap();
+        assert!(c1.valid);
+        assert!(!c1.steps.iter().any(|s| s.description.contains("(cached)")));
+
+        // A different composition sharing mx: mx's obligation is answered
+        // from the store; mz's is fresh.
+        let e2 = Engine::new(vec![
+            Component::new("mx", mx),
+            Component::new("mz", mz),
+        ])
+        .with_store(Arc::clone(&store));
+        let c2 = e2.prove(&Restriction::trivial(), &f).unwrap();
+        assert!(c2.valid);
+        assert!(
+            c2.steps
+                .iter()
+                .any(|s| s.description.contains("mx") && s.description.contains("(cached)")),
+            "{c2}"
+        );
+        assert!(
+            c2.steps
+                .iter()
+                .any(|s| s.description.contains("mz") && !s.description.contains("(cached)")),
+            "{c2}"
+        );
+        assert!(store.stats().hits >= 1);
     }
 
     #[test]

@@ -3,12 +3,45 @@
 //! The compositional method's practical selling point (Discussion §5) is
 //! that verification cost is *linear* in the number of components — and the
 //! per-component checks are independent, so they parallelise perfectly.
-//! This module fans component checks out over scoped threads (crossbeam),
-//! aggregating results under a `parking_lot` mutex.
+//! This module fans component checks out over `std::thread::scope`. A panic
+//! inside one component's check is captured at join time and degrades to an
+//! `Err` for that component only; the sibling checks still report normally.
 
 use cmc_ctl::{Checker, Formula};
 use cmc_kripke::{Alphabet, System};
-use parking_lot::Mutex;
+use std::any::Any;
+
+/// Render a captured panic payload as a component-level error message.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("component check panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("component check panicked: {s}")
+    } else {
+        "component check panicked".to_string()
+    }
+}
+
+/// Spawn `count` scoped jobs and join them in index order, converting a
+/// panicked job into `Err(message)` rather than poisoning the whole batch.
+fn run_parallel<T, F>(count: usize, job: F) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..count)
+            .map(|i| {
+                let job = &job;
+                scope.spawn(move || job(i))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(|p| panic_message(p.as_ref())))
+            .collect()
+    })
+}
 
 /// Check `⊨ f` (all states) on each system concurrently. Returns
 /// `(name, verdict-or-error)` in input order.
@@ -18,26 +51,15 @@ pub fn check_holds_everywhere_parallel(
     f: &Formula,
 ) -> Vec<(String, Result<bool, String>)> {
     assert_eq!(names.len(), systems.len());
-    let results: Mutex<Vec<Option<Result<bool, String>>>> =
-        Mutex::new(vec![None; systems.len()]);
-    crossbeam::scope(|scope| {
-        for (i, system) in systems.iter().enumerate() {
-            let results = &results;
-            let f = &*f;
-            scope.spawn(move |_| {
-                let outcome = Checker::new(system)
-                    .and_then(|c| c.holds_everywhere(f))
-                    .map_err(|e| e.to_string());
-                results.lock()[i] = Some(outcome);
-            });
-        }
-    })
-    .expect("component verification thread panicked");
-    let collected = results.into_inner();
+    let outcomes = run_parallel(systems.len(), |i| {
+        Checker::new(&systems[i])
+            .and_then(|c| c.holds_everywhere(f))
+            .map_err(|e| e.to_string())
+    });
     names
         .iter()
         .cloned()
-        .zip(collected.into_iter().map(|r| r.expect("all slots filled")))
+        .zip(outcomes.into_iter().map(|r| r.and_then(|inner| inner)))
         .collect()
 }
 
@@ -47,24 +69,16 @@ pub fn check_holds_everywhere_parallel(
 pub fn check_tasks_parallel(
     tasks: &[(String, System, Formula)],
 ) -> Vec<(String, Result<bool, String>)> {
-    let results: Mutex<Vec<Option<Result<bool, String>>>> = Mutex::new(vec![None; tasks.len()]);
-    crossbeam::scope(|scope| {
-        for (i, (_, system, f)) in tasks.iter().enumerate() {
-            let results = &results;
-            scope.spawn(move |_| {
-                let outcome = Checker::new(system)
-                    .and_then(|c| c.holds_everywhere(f))
-                    .map_err(|e| e.to_string());
-                results.lock()[i] = Some(outcome);
-            });
-        }
-    })
-    .expect("check task thread panicked");
-    let collected = results.into_inner();
+    let outcomes = run_parallel(tasks.len(), |i| {
+        let (_, system, f) = &tasks[i];
+        Checker::new(system)
+            .and_then(|c| c.holds_everywhere(f))
+            .map_err(|e| e.to_string())
+    });
     tasks
         .iter()
         .map(|(name, _, _)| name.clone())
-        .zip(collected.into_iter().map(|r| r.expect("all slots filled")))
+        .zip(outcomes.into_iter().map(|r| r.and_then(|inner| inner)))
         .collect()
 }
 
@@ -111,6 +125,22 @@ mod tests {
         let got: Vec<&str> = results.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(got, vec!["c0", "c1", "c2", "c3"]);
         assert!(results.iter().all(|(_, r)| *r == Ok(true)));
+    }
+
+    #[test]
+    fn panicking_job_degrades_to_err_for_that_slot_only() {
+        let results = run_parallel(4, |i| {
+            if i == 2 {
+                panic!("injected fault in job {i}");
+            }
+            i * 10
+        });
+        assert_eq!(results[0], Ok(0));
+        assert_eq!(results[1], Ok(10));
+        assert_eq!(results[3], Ok(30));
+        let err = results[2].as_ref().unwrap_err();
+        assert!(err.contains("panicked"), "unexpected message: {err}");
+        assert!(err.contains("injected fault"), "payload lost: {err}");
     }
 
     #[test]

@@ -66,6 +66,7 @@ impl Verdict {
 pub const MAX_EXPLICIT_PROPS: usize = 24;
 
 /// An explicit-state fair-CTL checker for one system.
+#[derive(Debug)]
 pub struct Checker<'a> {
     system: &'a System,
     universe: usize,

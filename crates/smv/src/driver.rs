@@ -4,8 +4,9 @@
 use crate::compile::{compile, CompiledModel};
 use crate::parse::parse_module;
 use cmc_ctl::Restriction;
+use cmc_store::{CertStore, Entry, ObligationKey};
 use std::fmt;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Any error from the driver pipeline.
 #[derive(Debug, Clone)]
@@ -37,6 +38,11 @@ pub struct RunOutcome {
     pub results: Vec<(String, bool)>,
     /// The SMV-style textual report.
     pub report: String,
+    /// Specs answered from the certificate store (always 0 for the
+    /// store-less entry points).
+    pub cache_hits: usize,
+    /// Specs verified by actually running the checker.
+    pub cache_misses: usize,
 }
 
 impl RunOutcome {
@@ -59,50 +65,117 @@ pub fn run_compiled(mut compiled: CompiledModel) -> Result<RunOutcome, DriverErr
     let mut results = Vec::new();
     let mut lines = Vec::new();
     for (text, f) in compiled.specs.clone() {
-        let verdict = compiled
-            .model
-            .check(&Restriction::trivial(), &f)
-            .map_err(|e| DriverError::Check(e.to_string()))?;
-        lines.push(format!(
-            "-- specification {text} is {}",
-            if verdict.holds { "true" } else { "false" }
-        ));
-        if !verdict.holds {
-            lines.push("-- as demonstrated by the following execution sequence".into());
-            // For a failed AG over a propositional body, show the full
-            // path from an initial state to the violation (SMV style);
-            // otherwise show the violating initial state.
-            let trace = match &f {
-                cmc_ctl::Formula::Ag(body) if body.is_propositional() => {
-                    compiled
-                        .model
-                        .prop_to_bdd(body)
-                        .ok()
-                        .and_then(|p| compiled.model.counterexample_ag(p))
-                }
-                _ => None,
-            };
-            match trace {
-                Some(t) => {
-                    for (step, state) in t.states.iter().enumerate() {
-                        lines.push(format!("-- state {}:", step + 1));
-                        for (name, value) in compiled.decode_state(state) {
-                            lines.push(format!("   {name} = {value}"));
-                        }
+        let (holds, spec_lines) = check_one_spec(&mut compiled, &text, &f)?;
+        lines.extend(spec_lines);
+        results.push((text.clone(), holds));
+    }
+    let report = render_report(&compiled, lines, start.elapsed());
+    let cache_misses = results.len();
+    Ok(RunOutcome { results, report, cache_hits: 0, cache_misses })
+}
+
+/// Verify every `SPEC`, consulting `store` first: a spec whose
+/// `(normalised source, spec)` pair was verified before — in this process
+/// or loaded from disk — is answered from its stored verdict without
+/// running the checker. Fresh verdicts are memoized. Cached *failing*
+/// specs report the verdict only (the counterexample trace is not stored),
+/// and the report marks them `(verdict from certificate store)`; the
+/// `resources used:` trailer gains a hit-rate line.
+pub fn run_source_with_store(src: &str, store: &CertStore) -> Result<RunOutcome, DriverError> {
+    let module = parse_module(src).map_err(|e| DriverError::Parse(e.to_string()))?;
+    let mut compiled = compile(&module).map_err(|e| DriverError::Semantic(e.to_string()))?;
+    let start = Instant::now();
+    let mut results = Vec::new();
+    let mut lines = Vec::new();
+    let mut cache_hits = 0usize;
+    let mut cache_misses = 0usize;
+    for (text, f) in compiled.specs.clone() {
+        let key = ObligationKey::source_spec(src, &text);
+        match store.lookup(&key) {
+            Some(entry) => {
+                cache_hits += 1;
+                lines.push(format!(
+                    "-- specification {text} is {} (verdict from certificate store)",
+                    if entry.verdict { "true" } else { "false" }
+                ));
+                results.push((text.clone(), entry.verdict));
+            }
+            None => {
+                cache_misses += 1;
+                let (holds, spec_lines) = check_one_spec(&mut compiled, &text, &f)?;
+                store.insert(key, Entry::verdict(holds));
+                lines.extend(spec_lines);
+                results.push((text.clone(), holds));
+            }
+        }
+    }
+    let mut report = render_report(&compiled, lines, start.elapsed());
+    report.push_str(&format!(
+        "certificate store: {cache_hits} of {} specs answered from store ({:.1}% hit rate)\n",
+        cache_hits + cache_misses,
+        if cache_hits + cache_misses == 0 {
+            0.0
+        } else {
+            100.0 * cache_hits as f64 / (cache_hits + cache_misses) as f64
+        }
+    ));
+    Ok(RunOutcome { results, report, cache_hits, cache_misses })
+}
+
+/// Check one spec, returning its verdict and its report lines (including
+/// the counterexample trace for failures).
+fn check_one_spec(
+    compiled: &mut CompiledModel,
+    text: &str,
+    f: &cmc_ctl::Formula,
+) -> Result<(bool, Vec<String>), DriverError> {
+    let mut lines = Vec::new();
+    let verdict = compiled
+        .model
+        .check(&Restriction::trivial(), f)
+        .map_err(|e| DriverError::Check(e.to_string()))?;
+    lines.push(format!(
+        "-- specification {text} is {}",
+        if verdict.holds { "true" } else { "false" }
+    ));
+    if !verdict.holds {
+        lines.push("-- as demonstrated by the following execution sequence".into());
+        // For a failed AG over a propositional body, show the full
+        // path from an initial state to the violation (SMV style);
+        // otherwise show the violating initial state.
+        let trace = match f {
+            cmc_ctl::Formula::Ag(body) if body.is_propositional() => {
+                compiled
+                    .model
+                    .prop_to_bdd(body)
+                    .ok()
+                    .and_then(|p| compiled.model.counterexample_ag(p))
+            }
+            _ => None,
+        };
+        match trace {
+            Some(t) => {
+                for (step, state) in t.states.iter().enumerate() {
+                    lines.push(format!("-- state {}:", step + 1));
+                    for (name, value) in compiled.decode_state(state) {
+                        lines.push(format!("   {name} = {value}"));
                     }
                 }
-                None => {
-                    if let Some(w) = &verdict.witness {
-                        for (name, value) in compiled.decode_state(w) {
-                            lines.push(format!("   {name} = {value}"));
-                        }
+            }
+            None => {
+                if let Some(w) = &verdict.witness {
+                    for (name, value) in compiled.decode_state(w) {
+                        lines.push(format!("   {name} = {value}"));
                     }
                 }
             }
         }
-        results.push((text.clone(), verdict.holds));
     }
-    let user_time = start.elapsed();
+    Ok((verdict.holds, lines))
+}
+
+/// Assemble spec lines plus the SMV-style `resources used:` trailer.
+fn render_report(compiled: &CompiledModel, lines: Vec<String>, user_time: Duration) -> String {
     let stats = compiled.model.mgr_ref().stats();
     let parts = compiled.model.trans_parts().to_vec();
     let trans_nodes = compiled.model.mgr_ref().node_count_many(&parts);
@@ -118,7 +191,7 @@ pub fn run_compiled(mut compiled: CompiledModel) -> Result<RunOutcome, DriverErr
         trans_nodes,
         aux
     ));
-    Ok(RunOutcome { results, report })
+    report
 }
 
 /// Verify every `SPEC` with **both** engines — the symbolic (BDD) checker
@@ -201,6 +274,43 @@ mod tests {
         assert_eq!(out.results.len(), 3);
         // AF s=c fails (stuttering at a); both engines must agree on that.
         assert!(!out.all_true());
+    }
+
+    #[test]
+    fn store_backed_run_reuses_verdicts() {
+        let src = "MODULE main\nVAR x : boolean;\nASSIGN init(x) := 0; next(x) := 1;\n\
+                   SPEC AF x\nSPEC AG (x -> AX x)\nSPEC AG !x";
+        let store = CertStore::new();
+        let cold = run_source_with_store(src, &store).unwrap();
+        assert_eq!((cold.cache_hits, cold.cache_misses), (0, 3));
+        assert!(cold.report.contains("0 of 3 specs answered from store"));
+
+        let warm = run_source_with_store(src, &store).unwrap();
+        assert_eq!((warm.cache_hits, warm.cache_misses), (3, 0));
+        assert_eq!(warm.results, cold.results);
+        assert!(warm.report.contains("3 of 3 specs answered from store"));
+        assert!(warm.report.contains("(verdict from certificate store)"));
+        assert!(warm.report.contains("100.0% hit rate"));
+
+        // The store-backed verdicts agree with the plain driver.
+        let plain = run_source(src).unwrap();
+        assert_eq!(plain.results, warm.results);
+        assert_eq!((plain.cache_hits, plain.cache_misses), (0, 3));
+    }
+
+    #[test]
+    fn store_keys_are_formatting_insensitive_but_spec_sensitive() {
+        let store = CertStore::new();
+        let src1 = "MODULE main\nVAR x : boolean;\nASSIGN next(x) := 1; -- rise\nSPEC AF x";
+        // Same program modulo comments/whitespace: the spec hits.
+        let src2 = "MODULE main\n  VAR x : boolean;\nASSIGN next(x) := 1;\nSPEC AF x";
+        run_source_with_store(src1, &store).unwrap();
+        let again = run_source_with_store(src2, &store).unwrap();
+        assert_eq!((again.cache_hits, again.cache_misses), (1, 0));
+        // A different spec over the same program misses.
+        let src3 = "MODULE main\nVAR x : boolean;\nASSIGN next(x) := 1;\nSPEC AG x";
+        let other = run_source_with_store(src3, &store).unwrap();
+        assert_eq!((other.cache_hits, other.cache_misses), (0, 1));
     }
 
     #[test]

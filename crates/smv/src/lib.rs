@@ -46,6 +46,6 @@ pub use ast::{Expr, Module, Type};
 pub use check::{check_module, SemError, Symbols};
 pub use compile::{compile, CompiledModel, CompiledVar};
 pub use compose::{compile_composition, compile_expansion, union_variables};
-pub use driver::{run_source, run_source_validated, DriverError, RunOutcome};
+pub use driver::{run_source, run_source_validated, run_source_with_store, DriverError, RunOutcome};
 pub use explicit::{compile_explicit, ExplicitCompiled};
 pub use parse::{parse_module, SmvParseError};

@@ -1,0 +1,278 @@
+//! The on-disk layer: certificates persisted as hand-rolled JSON.
+//!
+//! Every entry carries a checksum over its canonical payload; entries whose
+//! checksum does not match (tampered, truncated, or written by a different
+//! format version) are *ignored, never trusted* — a corrupted store file
+//! degrades to a cold cache, it cannot inject wrong verdicts. Saving is
+//! deterministic (entries sorted by key, deterministic writer), so
+//! save → load → save round-trips bit-identically.
+
+use crate::entry::{Entry, StoredCertificate, StoredStep};
+use crate::hash::hash_bytes_seeded;
+use crate::json::Json;
+use crate::key::ObligationKey;
+use crate::store::CertStore;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Format marker and version written to every store file.
+const FORMAT: &str = "cmc-store";
+const VERSION: u64 = 1;
+
+/// Checksum domain seed ("cmc-sum1").
+const SEED_CHECKSUM: u64 = 0x636D_632D_7375_6D31;
+
+/// A certificate store file on disk.
+#[derive(Debug, Clone)]
+pub struct DiskStore {
+    path: PathBuf,
+}
+
+impl DiskStore {
+    /// Handle to the store file at `path` (need not exist yet).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        DiskStore { path: path.into() }
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Persist every resident entry of `store`.
+    pub fn save(&self, store: &CertStore) -> io::Result<()> {
+        let entries: Vec<Json> = store
+            .snapshot()
+            .into_iter()
+            .map(|(key, entry)| entry_to_json(key, &entry))
+            .collect();
+        let doc = Json::Obj(vec![
+            ("format".to_string(), Json::Str(FORMAT.to_string())),
+            ("version".to_string(), Json::int(VERSION)),
+            ("entries".to_string(), Json::Arr(entries)),
+        ]);
+        std::fs::write(&self.path, doc.to_pretty())
+    }
+
+    /// Load entries into `store`, skipping (and counting) any entry that
+    /// fails hash verification or does not parse. Returns the number of
+    /// entries accepted. A missing file is an empty store; a file that is
+    /// not valid JSON, or not a store file, counts one rejection and loads
+    /// nothing — in no case does corrupt input panic or inject entries.
+    pub fn load_into(&self, store: &CertStore) -> io::Result<usize> {
+        let text = match std::fs::read_to_string(&self.path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        let doc = match Json::parse(&text) {
+            Ok(doc) => doc,
+            Err(_) => {
+                store.count_disk_reject();
+                return Ok(0);
+            }
+        };
+        let header_ok = doc.get("format").and_then(Json::as_str) == Some(FORMAT)
+            && doc.get("version").and_then(Json::as_num) == Some(VERSION as f64);
+        if !header_ok {
+            store.count_disk_reject();
+            return Ok(0);
+        }
+        let Some(items) = doc.get("entries").and_then(Json::as_arr) else {
+            store.count_disk_reject();
+            return Ok(0);
+        };
+        let mut accepted = 0usize;
+        for item in items {
+            match entry_from_json(item) {
+                Some((key, entry)) => {
+                    store.install_from_disk(key, entry);
+                    accepted += 1;
+                }
+                None => store.count_disk_reject(),
+            }
+        }
+        Ok(accepted)
+    }
+}
+
+/// Canonical checksum payload: key, verdict, and the compact certificate
+/// rendering, with an unambiguous separator.
+fn checksum(key: ObligationKey, verdict: bool, certificate: &Json) -> String {
+    let payload = format!(
+        "{}\u{1F}{}\u{1F}{}",
+        key.to_hex(),
+        verdict,
+        certificate.to_compact()
+    );
+    format!("{:016x}", hash_bytes_seeded(SEED_CHECKSUM, payload.as_bytes()))
+}
+
+fn entry_to_json(key: ObligationKey, entry: &Entry) -> Json {
+    let certificate = match &entry.certificate {
+        Some(cert) => cert_to_json(cert),
+        None => Json::Null,
+    };
+    let sum = checksum(key, entry.verdict, &certificate);
+    Json::Obj(vec![
+        ("key".to_string(), Json::Str(key.to_hex())),
+        ("verdict".to_string(), Json::Bool(entry.verdict)),
+        ("certificate".to_string(), certificate),
+        ("checksum".to_string(), Json::Str(sum)),
+    ])
+}
+
+fn entry_from_json(item: &Json) -> Option<(ObligationKey, Entry)> {
+    let key = ObligationKey::from_hex(item.get("key")?.as_str()?)?;
+    let verdict = item.get("verdict")?.as_bool()?;
+    let certificate_json = item.get("certificate")?;
+    let sum = item.get("checksum")?.as_str()?;
+    if sum != checksum(key, verdict, certificate_json) {
+        return None;
+    }
+    let certificate = match certificate_json {
+        Json::Null => None,
+        cert => Some(cert_from_json(cert)?),
+    };
+    Some((key, Entry { verdict, certificate }))
+}
+
+fn cert_to_json(cert: &StoredCertificate) -> Json {
+    let steps: Vec<Json> = cert
+        .steps
+        .iter()
+        .map(|step| {
+            Json::Obj(vec![
+                ("description".to_string(), Json::Str(step.description.clone())),
+                ("ok".to_string(), Json::Bool(step.ok)),
+                ("compositional".to_string(), Json::Bool(step.compositional)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("goal".to_string(), Json::Str(cert.goal.clone())),
+        ("valid".to_string(), Json::Bool(cert.valid)),
+        ("steps".to_string(), Json::Arr(steps)),
+    ])
+}
+
+fn cert_from_json(json: &Json) -> Option<StoredCertificate> {
+    let goal = json.get("goal")?.as_str()?.to_string();
+    let valid = json.get("valid")?.as_bool()?;
+    let mut steps = Vec::new();
+    for step in json.get("steps")?.as_arr()? {
+        steps.push(StoredStep {
+            description: step.get("description")?.as_str()?.to_string(),
+            ok: step.get("ok")?.as_bool()?,
+            compositional: step.get("compositional")?.as_bool()?,
+        });
+    }
+    Some(StoredCertificate { goal, valid, steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> CertStore {
+        let store = CertStore::new();
+        store.insert(ObligationKey(42), Entry::verdict(true));
+        store.insert(
+            ObligationKey(7),
+            Entry::with_certificate(
+                false,
+                StoredCertificate {
+                    goal: "ring(3) ⊨ AG ¬(t0 ∧ t1)".to_string(),
+                    steps: vec![
+                        StoredStep {
+                            description: "component station0 ⊨ inv".to_string(),
+                            ok: true,
+                            compositional: true,
+                        },
+                        StoredStep {
+                            description: "monolithic fallback".to_string(),
+                            ok: false,
+                            compositional: false,
+                        },
+                    ],
+                    valid: false,
+                },
+            ),
+        );
+        store
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cmc-store-test-{}-{name}.json", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bit_identical() {
+        let path = tmp("roundtrip");
+        let store = sample_store();
+        let disk = DiskStore::new(&path);
+        disk.save(&store).unwrap();
+        let bytes1 = std::fs::read(&path).unwrap();
+
+        let reloaded = CertStore::new();
+        assert_eq!(disk.load_into(&reloaded).unwrap(), 2);
+        assert_eq!(reloaded.snapshot(), store.snapshot());
+        assert_eq!(reloaded.stats().disk_loads, 2);
+        assert_eq!(reloaded.stats().disk_rejects, 0);
+
+        disk.save(&reloaded).unwrap();
+        let bytes2 = std::fs::read(&path).unwrap();
+        assert_eq!(bytes1, bytes2, "save → load → save must be bit-identical");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let disk = DiskStore::new(tmp("missing-never-created"));
+        let store = CertStore::new();
+        assert_eq!(disk.load_into(&store).unwrap(), 0);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn tampered_verdict_is_rejected() {
+        let path = tmp("tamper");
+        let disk = DiskStore::new(&path);
+        disk.save(&sample_store()).unwrap();
+        // Flip the stored verdict of the certificate-free entry.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tampered = text.replacen("\"verdict\": true", "\"verdict\": false", 1);
+        assert_ne!(text, tampered, "test setup: nothing replaced");
+        std::fs::write(&path, tampered).unwrap();
+
+        let store = CertStore::new();
+        let accepted = disk.load_into(&store).unwrap();
+        assert_eq!(accepted, 1, "only the untouched entry survives");
+        assert_eq!(store.stats().disk_rejects, 1);
+        assert!(store.lookup(&ObligationKey(42)).is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_file_loads_nothing_without_panicking() {
+        let path = tmp("garbage");
+        std::fs::write(&path, "not json {{{").unwrap();
+        let store = CertStore::new();
+        assert_eq!(DiskStore::new(&path).load_into(&store).unwrap(), 0);
+        assert!(store.is_empty());
+        assert_eq!(store.stats().disk_rejects, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_format_header_is_rejected() {
+        let path = tmp("header");
+        std::fs::write(&path, "{\"format\":\"other\",\"version\":1,\"entries\":[]}").unwrap();
+        let store = CertStore::new();
+        assert_eq!(DiskStore::new(&path).load_into(&store).unwrap(), 0);
+        assert_eq!(store.stats().disk_rejects, 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,51 @@
+//! Stored verdicts and certificates.
+//!
+//! `cmc-store` sits *below* `cmc-core` in the dependency graph (the engine
+//! consults the store), so it cannot use the engine's `Certificate` type
+//! directly. [`StoredCertificate`] mirrors it field-for-field; `cmc-core`
+//! provides the `From` conversions in both directions.
+
+/// One step of a stored proof certificate (mirrors `cmc_core::Step`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredStep {
+    /// What was established (or attempted).
+    pub description: String,
+    /// Did the step succeed?
+    pub ok: bool,
+    /// Was this step compositional (component-local) or a whole-system
+    /// fallback check?
+    pub compositional: bool,
+}
+
+/// A stored proof certificate (mirrors `cmc_core::Certificate`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredCertificate {
+    /// The property being established, rendered.
+    pub goal: String,
+    /// The steps, in order.
+    pub steps: Vec<StoredStep>,
+    /// Overall verdict.
+    pub valid: bool,
+}
+
+/// The memoized outcome of one verification obligation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// The boolean verdict of the check.
+    pub verdict: bool,
+    /// The proof certificate, when the producing check built one
+    /// (component-level `holds_everywhere` checks store the bare verdict).
+    pub certificate: Option<StoredCertificate>,
+}
+
+impl Entry {
+    /// An entry carrying only a verdict.
+    pub fn verdict(verdict: bool) -> Self {
+        Entry { verdict, certificate: None }
+    }
+
+    /// An entry carrying a verdict and its certificate.
+    pub fn with_certificate(verdict: bool, certificate: StoredCertificate) -> Self {
+        Entry { verdict, certificate: Some(certificate) }
+    }
+}

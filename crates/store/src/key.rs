@@ -1,0 +1,290 @@
+//! Content-addressed obligation keys.
+//!
+//! A key identifies a verification obligation *structurally*: two systems
+//! that differ only in alphabet order or transition insertion order map to
+//! the same key, because the encoding canonicalises both before hashing
+//! (sorted proposition names, states re-indexed to sorted bit positions,
+//! transition pairs sorted). Formulas are keyed by their `Display`
+//! rendering, which is minimal-parenthesised and parses back unambiguously;
+//! fairness sets are sorted (the paper treats `F` as a set).
+
+use crate::hash::hash_bytes_seeded;
+use cmc_ctl::{Formula, Restriction};
+use cmc_kripke::System;
+use std::fmt;
+
+/// Field separator for the canonical encoding: a byte that cannot occur in
+/// proposition names or rendered formulas, so adjacent fields cannot blur.
+const SEP: u8 = 0x1F;
+
+/// Domain-separation seeds for the two 64-bit halves of a key.
+const SEED_HI: u64 = 0x636D_632D_7374_6F72; // "cmc-stor"
+const SEED_LO: u64 = 0x6520_6B65_7920_3031; // "e key 01"
+
+/// A 128-bit content hash identifying one verification obligation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObligationKey(pub u128);
+
+impl ObligationKey {
+    /// Key for "`f` holds in **every** state of `system`" — the obligation
+    /// shape discharged for each component by Rule 2 and the invariant rule.
+    pub fn holds_everywhere(system: &System, f: &Formula) -> Self {
+        let mut enc = Vec::with_capacity(256);
+        push_tag(&mut enc, "HE");
+        push_system(&mut enc, system);
+        push_str(&mut enc, &f.to_string());
+        ObligationKey::from_encoding(&enc)
+    }
+
+    /// Key for "`system ⊨_r f`" — a restricted check with initial condition
+    /// and fairness constraints.
+    pub fn restricted(system: &System, r: &Restriction, f: &Formula) -> Self {
+        let mut enc = Vec::with_capacity(256);
+        push_tag(&mut enc, "RC");
+        push_system(&mut enc, system);
+        push_str(&mut enc, &r.init.to_string());
+        // Fairness is a set: sort the rendered constraints.
+        let mut fair: Vec<String> = r.fairness.iter().map(|g| g.to_string()).collect();
+        fair.sort();
+        for g in &fair {
+            push_str(&mut enc, g);
+        }
+        push_tag(&mut enc, "/F");
+        push_str(&mut enc, &f.to_string());
+        ObligationKey::from_encoding(&enc)
+    }
+
+    /// Key for "the composition of `systems` ⊨_r f" under a caller-chosen
+    /// proof `mode` tag (different deduction procedures over the same
+    /// obligation must not share certificates). Component order is
+    /// canonicalised away — composition is commutative (Lemma 1).
+    pub fn composed(mode: &str, systems: &[&System], r: &Restriction, f: &Formula) -> Self {
+        let mut parts: Vec<Vec<u8>> = systems
+            .iter()
+            .map(|s| {
+                let mut part = Vec::with_capacity(128);
+                push_system(&mut part, s);
+                part
+            })
+            .collect();
+        parts.sort();
+        let mut enc = Vec::with_capacity(256);
+        push_tag(&mut enc, "CMP");
+        push_str(&mut enc, mode);
+        for part in &parts {
+            enc.extend_from_slice(part);
+            push_tag(&mut enc, "/C");
+        }
+        push_str(&mut enc, &r.init.to_string());
+        let mut fair: Vec<String> = r.fairness.iter().map(|g| g.to_string()).collect();
+        fair.sort();
+        for g in &fair {
+            push_str(&mut enc, g);
+        }
+        push_tag(&mut enc, "/F");
+        push_str(&mut enc, &f.to_string());
+        ObligationKey::from_encoding(&enc)
+    }
+
+    /// Key for "spec `spec` holds of the model described by SMV source
+    /// `source`". The source is normalised (comments and blank lines
+    /// dropped, lines trimmed) so formatting-only edits still hit.
+    pub fn source_spec(source: &str, spec: &str) -> Self {
+        let mut enc = Vec::with_capacity(256);
+        push_tag(&mut enc, "SMV");
+        for line in source.lines() {
+            let line = match line.find("--") {
+                Some(i) => &line[..i],
+                None => line,
+            };
+            let line = line.trim();
+            if !line.is_empty() {
+                push_str(&mut enc, line);
+            }
+        }
+        push_tag(&mut enc, "/SPEC");
+        push_str(&mut enc, spec.trim());
+        ObligationKey::from_encoding(&enc)
+    }
+
+    fn from_encoding(enc: &[u8]) -> Self {
+        let hi = hash_bytes_seeded(SEED_HI, enc) as u128;
+        let lo = hash_bytes_seeded(SEED_LO, enc) as u128;
+        ObligationKey((hi << 64) | lo)
+    }
+
+    /// Render as 32 lowercase hex digits (the on-disk form).
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parse the [`ObligationKey::to_hex`] form.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(ObligationKey)
+    }
+}
+
+impl fmt::Display for ObligationKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+fn push_tag(enc: &mut Vec<u8>, tag: &str) {
+    enc.extend_from_slice(tag.as_bytes());
+    enc.push(SEP);
+}
+
+fn push_str(enc: &mut Vec<u8>, s: &str) {
+    enc.extend_from_slice(s.as_bytes());
+    enc.push(SEP);
+}
+
+/// Append the canonical form of `system`: sorted proposition names, then
+/// the explicit transition pairs with every state re-indexed so that bit
+/// `i` is the `i`-th proposition *in sorted name order*, pairs sorted.
+fn push_system(enc: &mut Vec<u8>, system: &System) {
+    let names = system.alphabet().names();
+    let mut order: Vec<usize> = (0..names.len()).collect();
+    order.sort_by(|&a, &b| names[a].cmp(&names[b]));
+    // perm[old_bit] = new_bit (rank of the name in sorted order).
+    let mut perm = vec![0usize; names.len()];
+    for (rank, &old) in order.iter().enumerate() {
+        perm[old] = rank;
+    }
+    for &old in &order {
+        push_str(enc, &names[old]);
+    }
+    push_tag(enc, "/R");
+    let remap = |s: cmc_kripke::State| -> u128 {
+        let mut out = 0u128;
+        for (old, &new) in perm.iter().enumerate() {
+            if s.0 & (1u128 << old) != 0 {
+                out |= 1u128 << new;
+            }
+        }
+        out
+    };
+    let mut pairs: Vec<(u128, u128)> = system
+        .proper_transitions()
+        .map(|(s, t)| (remap(s), remap(t)))
+        .collect();
+    pairs.sort_unstable();
+    for (s, t) in pairs {
+        push_str(enc, &format!("{s:x}>{t:x}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmc_ctl::parse;
+    use cmc_kripke::Alphabet;
+
+    fn toggle(names: &[&str], lo: &[&str], hi: &[&str]) -> System {
+        let mut m = System::new(Alphabet::new(names.to_vec()));
+        m.add_transition_named(lo, hi);
+        m.add_transition_named(hi, lo);
+        m
+    }
+
+    #[test]
+    fn alphabet_order_is_canonicalised() {
+        let a = toggle(&["p", "q"], &[], &["p"]);
+        let b = toggle(&["q", "p"], &[], &["p"]);
+        let f = parse("p -> AX p").unwrap();
+        assert_eq!(
+            ObligationKey::holds_everywhere(&a, &f),
+            ObligationKey::holds_everywhere(&b, &f)
+        );
+    }
+
+    #[test]
+    fn different_relations_differ() {
+        let a = toggle(&["p", "q"], &[], &["p"]);
+        let c = toggle(&["p", "q"], &[], &["q"]);
+        let f = parse("p -> AX p").unwrap();
+        assert_ne!(
+            ObligationKey::holds_everywhere(&a, &f),
+            ObligationKey::holds_everywhere(&c, &f)
+        );
+    }
+
+    #[test]
+    fn formula_matters() {
+        let a = toggle(&["p"], &[], &["p"]);
+        let f = parse("AG p").unwrap();
+        let g = parse("EF p").unwrap();
+        assert_ne!(
+            ObligationKey::holds_everywhere(&a, &f),
+            ObligationKey::holds_everywhere(&a, &g)
+        );
+    }
+
+    #[test]
+    fn restriction_fairness_is_a_set() {
+        let a = toggle(&["p", "q"], &[], &["p"]);
+        let f = parse("AG p").unwrap();
+        let r1 = Restriction::new(parse("p").unwrap(), [parse("q").unwrap(), parse("p").unwrap()]);
+        let r2 = Restriction::new(parse("p").unwrap(), [parse("p").unwrap(), parse("q").unwrap()]);
+        assert_eq!(
+            ObligationKey::restricted(&a, &r1, &f),
+            ObligationKey::restricted(&a, &r2, &f)
+        );
+        let r3 = Restriction::new(parse("q").unwrap(), [parse("p").unwrap()]);
+        assert_ne!(
+            ObligationKey::restricted(&a, &r1, &f),
+            ObligationKey::restricted(&a, &r3, &f)
+        );
+    }
+
+    #[test]
+    fn kinds_are_domain_separated() {
+        let a = toggle(&["p"], &[], &["p"]);
+        let f = parse("AG p").unwrap();
+        let he = ObligationKey::holds_everywhere(&a, &f);
+        let rc = ObligationKey::restricted(&a, &Restriction::trivial(), &f);
+        assert_ne!(he, rc);
+    }
+
+    #[test]
+    fn smv_normalisation_ignores_comments_and_blanks() {
+        let src1 = "MODULE main\nVAR x : boolean; -- the bit\n\nTRANS x != next(x)\n";
+        let src2 = "MODULE main\n  VAR x : boolean;\nTRANS x != next(x)";
+        assert_eq!(
+            ObligationKey::source_spec(src1, "AG x"),
+            ObligationKey::source_spec(src2, " AG x ")
+        );
+        assert_ne!(
+            ObligationKey::source_spec(src1, "AG x"),
+            ObligationKey::source_spec(src2, "AG !x")
+        );
+    }
+
+    #[test]
+    fn composed_key_ignores_component_order_but_not_mode() {
+        let a = toggle(&["p"], &[], &["p"]);
+        let b = toggle(&["q"], &[], &["q"]);
+        let f = parse("AG (p | q)").unwrap();
+        let r = Restriction::trivial();
+        let k1 = ObligationKey::composed("prove", &[&a, &b], &r, &f);
+        let k2 = ObligationKey::composed("prove", &[&b, &a], &r, &f);
+        assert_eq!(k1, k2);
+        let k3 = ObligationKey::composed("invariant", &[&a, &b], &r, &f);
+        assert_ne!(k1, k3);
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let a = toggle(&["p"], &[], &["p"]);
+        let k = ObligationKey::holds_everywhere(&a, &parse("AG p").unwrap());
+        let hex = k.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(ObligationKey::from_hex(&hex), Some(k));
+        assert_eq!(ObligationKey::from_hex("zz"), None);
+        assert_eq!(ObligationKey::from_hex(&hex[..31]), None);
+    }
+}

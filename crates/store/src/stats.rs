@@ -1,0 +1,79 @@
+//! Store counters, shaped like `cmc-bdd`'s [`BddStats`] so benchmark and
+//! driver reports can print directly comparable rows.
+//!
+//! [`BddStats`]: https://docs.rs/cmc-bdd
+
+use std::fmt;
+
+/// Point-in-time counters for a [`crate::CertStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that fell through to a fresh check.
+    pub misses: u64,
+    /// Entries written (fresh results memoized).
+    pub insertions: u64,
+    /// Entries discarded to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries accepted from the on-disk layer.
+    pub disk_loads: u64,
+    /// On-disk entries rejected (stale format, checksum mismatch, parse
+    /// error) — rejected entries are ignored, never trusted.
+    pub disk_rejects: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl StoreStats {
+    /// Hit rate in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "certificate store:")?;
+        writeln!(f, "entries resident: {}", self.entries)?;
+        writeln!(
+            f,
+            "obligation lookups: {} ({} hits, {} misses, {:.1}% hit rate)",
+            self.hits + self.misses,
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0
+        )?;
+        writeln!(f, "insertions: {} (evictions: {})", self.insertions, self.evictions)?;
+        write!(f, "disk entries loaded: {} (rejected: {})", self.disk_loads, self.disk_rejects)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_bounds() {
+        let mut s = StoreStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.hits = 3;
+        s.misses = 1;
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_all_counters() {
+        let s = StoreStats { hits: 5, misses: 5, insertions: 5, evictions: 1, disk_loads: 2, disk_rejects: 1, entries: 4 };
+        let text = s.to_string();
+        assert!(text.contains("5 hits"));
+        assert!(text.contains("50.0% hit rate"));
+        assert!(text.contains("evictions: 1"));
+        assert!(text.contains("rejected: 1"));
+    }
+}

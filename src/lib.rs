@@ -21,6 +21,7 @@
 //! | [`symbolic`] | BDD-based fair-CTL checker (the "SMV" engine) |
 //! | [`smv`] | mini-SMV language, Figure-3 boolean encoding, drivers |
 //! | [`core`] | property classes, Rules 1–5, proof engine, lemmas |
+//! | [`store`] | content-addressed certificate store, memoized sessions |
 //! | [`afs`] | the AFS-1 / AFS-2 case study and scaling experiments |
 
 pub use cmc_afs as afs;
@@ -29,4 +30,5 @@ pub use cmc_core as core;
 pub use cmc_ctl as ctl;
 pub use cmc_kripke as kripke;
 pub use cmc_smv as smv;
+pub use cmc_store as store;
 pub use cmc_symbolic as symbolic;
