@@ -186,7 +186,10 @@ pub fn prove_liveness() -> Certificate {
     // Inv-states is sound.)
     let inv = invariant();
     let not_rbit = v.parse_formula("!rbit").unwrap();
-    let helpful = v.parse_formula("msg = d0 & !rbit").unwrap().and(inv.clone());
+    let helpful = v
+        .parse_formula("msg = d0 & !rbit")
+        .unwrap()
+        .and(inv.clone());
     let rest = v
         .parse_formula("!(msg = d0) & !rbit")
         .unwrap()
@@ -201,17 +204,17 @@ pub fn prove_liveness() -> Certificate {
 
     // Rule 4 must fail: the loss daemon disables the helpful transition.
     let p_all = not_rbit.clone().and(inv.clone());
-    match rule4(&receiver.system, &receiver_local(&p_all), &receiver_local(&q)) {
+    match rule4(
+        &receiver.system,
+        &receiver_local(&p_all),
+        &receiver_local(&q),
+    ) {
         Err(RuleError::PremiseFailed(_)) => cert.step(
             "Rule 4 inapplicable: helpful transition not always enabled (loss)",
             true,
             true,
         ),
-        other => cert.step(
-            format!("unexpected Rule 4 outcome: {other:?}"),
-            false,
-            true,
-        ),
+        other => cert.step(format!("unexpected Rule 4 outcome: {other:?}"), false, true),
     }
 
     // Rule 5 on the receiver: premise p_helpful ⇒ EX q holds on the

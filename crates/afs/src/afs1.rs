@@ -214,10 +214,8 @@ pub fn engine() -> Engine {
 /// `Server.belief = none ∧ (Client.belief = nofile ∨ suspect) ∧ r = null`.
 pub fn initial_condition() -> Formula {
     let v = union_vocabulary();
-    v.parse_formula(
-        "sbelief = none & (cbelief = nofile | cbelief = suspect) & r = null",
-    )
-    .unwrap()
+    v.parse_formula("sbelief = none & (cbelief = nofile | cbelief = suspect) & r = null")
+        .unwrap()
 }
 
 /// The invariant of §4.2.3:
@@ -233,7 +231,8 @@ pub fn invariant() -> Formula {
 /// `AG (Client.belief = valid ⇒ Server.belief = valid)` under `(I, {true})`.
 pub fn afs1_safety_formula() -> Formula {
     let v = union_vocabulary();
-    v.parse_formula("AG (cbelief = valid -> sbelief = valid)").unwrap()
+    v.parse_formula("AG (cbelief = valid -> sbelief = valid)")
+        .unwrap()
 }
 
 /// The liveness property (Afs2): `AF (Client.belief = valid)`.
@@ -254,16 +253,32 @@ pub fn prove_afs1_safety() -> Certificate {
 /// (the (Srv5) obligations of the paper).
 pub fn progress_pairs() -> Vec<(&'static str, String, String)> {
     vec![
-        ("client", "cbelief = nofile & r = null".into(), "r = fetch".into()),
+        (
+            "client",
+            "cbelief = nofile & r = null".into(),
+            "r = fetch".into(),
+        ),
         ("server", "r = fetch".into(), "r = val".into()),
-        ("client", "cbelief = nofile & r = val".into(), "cbelief = valid".into()),
-        ("client", "cbelief = suspect & r = null".into(), "r = validate".into()),
+        (
+            "client",
+            "cbelief = nofile & r = val".into(),
+            "cbelief = valid".into(),
+        ),
+        (
+            "client",
+            "cbelief = suspect & r = null".into(),
+            "r = validate".into(),
+        ),
         (
             "server",
             "sbelief = none & r = validate".into(),
             "r = val | r = inval".into(),
         ),
-        ("client", "cbelief = suspect & r = val".into(), "cbelief = valid".into()),
+        (
+            "client",
+            "cbelief = suspect & r = val".into(),
+            "cbelief = valid".into(),
+        ),
         (
             "client",
             "cbelief = suspect & r = inval".into(),
@@ -278,9 +293,7 @@ pub fn liveness_fairness() -> Vec<Formula> {
     let v = union_vocabulary();
     progress_pairs()
         .into_iter()
-        .map(|(_, p, q)| {
-            v.parse_formula(&format!("!({p}) | ({q})")).unwrap()
-        })
+        .map(|(_, p, q)| v.parse_formula(&format!("!({p}) | ({q})")).unwrap())
         .collect()
 }
 
@@ -305,7 +318,9 @@ pub fn prove_afs2_liveness() -> Certificate {
             .parse_formula(&p_text)
             .expect("pair formula over component alphabet")
             .and(comp.validity_formula());
-        let q = comp.parse_formula(&q_text).expect("pair formula over component alphabet");
+        let q = comp
+            .parse_formula(&q_text)
+            .expect("pair formula over component alphabet");
         match rule4(&comp.system, &p, &q) {
             Ok(g) => {
                 let sub = e.discharge(&g).expect("discharge runs");
@@ -315,6 +330,8 @@ pub fn prove_afs2_liveness() -> Certificate {
                     ),
                     ok: sub.valid,
                     compositional: sub.fully_compositional(),
+                    backend: None,
+                    duration: None,
                 });
                 cert.valid &= sub.valid;
             }
@@ -323,6 +340,8 @@ pub fn prove_afs2_liveness() -> Certificate {
                     description: format!("Rule 4 premise failed on {who}: {err}"),
                     ok: false,
                     compositional: true,
+                    backend: None,
+                    duration: None,
                 });
                 cert.valid = false;
             }
@@ -339,6 +358,8 @@ pub fn prove_afs2_liveness() -> Certificate {
         description: "chained conclusion AF (cbelief = valid) under (I, F)".into(),
         ok: holds,
         compositional: false,
+        backend: None,
+        duration: None,
     });
     cert.valid &= holds;
     cert
@@ -470,7 +491,7 @@ mod tests {
         let client = client_component();
         let r = Restriction::trivial();
         let universal_server = [
-            "sbelief = valid -> AX sbelief = valid",                        // Srv1
+            "sbelief = valid -> AX sbelief = valid", // Srv1
             "(r = val -> sbelief = valid) -> AX (r = val -> sbelief = valid)", // Srv2
             "(r = null -> AX r = null) & (r = val -> AX r = val) & (r = inval -> AX r = inval)", // Srv3
         ];

@@ -297,7 +297,11 @@ pub fn prove_invariant_compositional(n: usize) -> Result<InvariantProof, SemErro
             .model
             .holds_everywhere(&obligation)
             .map_err(|e| SemError(e.to_string()))?;
-        let name = if k == 0 { "server".to_string() } else { format!("client{k}") };
+        let name = if k == 0 {
+            "server".to_string()
+        } else {
+            format!("client{k}")
+        };
         component_checks.push((name, ok));
     }
     // I ⇒ Inv, decided on any expansion's BDD vocabulary.
@@ -311,7 +315,10 @@ pub fn prove_invariant_compositional(n: usize) -> Result<InvariantProof, SemErro
         .prop_to_bdd(&inv)
         .map_err(|e| SemError(e.to_string()))?;
     let init_implies_inv = vocab.model.mgr().implies_trivially(init_bdd, inv_bdd);
-    Ok(InvariantProof { component_checks, init_implies_inv })
+    Ok(InvariantProof {
+        component_checks,
+        init_implies_inv,
+    })
 }
 
 /// §4.3.4 monolithically: build the full composition and check
@@ -396,7 +403,10 @@ mod tests {
         let r = Restriction::with_init(initial_condition(n));
         let naive = parse("AG (cbelief1 = valid -> sbelief1 = valid)").unwrap();
         let v = system.model.check(&r, &naive).unwrap();
-        assert!(!v.holds, "transmission delay must break the naive invariant");
+        assert!(
+            !v.holds,
+            "transmission delay must break the naive invariant"
+        );
     }
 
     /// The update path is live: with two clients, client 2's update can
@@ -406,10 +416,7 @@ mod tests {
         let n = 2;
         let mut system = compile_system(n);
         let r = Restriction::with_init(initial_condition(n));
-        let f = parse(
-            "EF (cbelief1 = valid & sbelief1 = nocall & response1 = inval)",
-        )
-        .unwrap();
+        let f = parse("EF (cbelief1 = valid & sbelief1 = nocall & response1 = inval)").unwrap();
         // From every initial state there is a run where client 1 holds a
         // valid copy while the server has already invalidated it (the
         // transmission-delay window).
@@ -465,9 +472,7 @@ mod tests {
         let composed_al = composed.alphabet();
         let remap = |f: &Formula| -> Formula { remap_formula(f, composed_al) };
         let r = Restriction::with_init(remap(&init));
-        let sat = checker
-            .sat_fair(&remap(&inv).ag(), &r.fairness)
-            .unwrap();
+        let sat = checker.sat_fair(&remap(&inv).ag(), &r.fairness).unwrap();
         let init_set = checker.sat(&r.init).unwrap();
         for s in init_set.iter() {
             assert!(sat.contains(s), "explicit composition violates AG Inv");
@@ -478,7 +483,10 @@ mod tests {
     /// unchanged as long as every atom exists in the target alphabet.
     fn remap_formula(f: &Formula, target: &cmc_kripke::Alphabet) -> Formula {
         for ap in f.atomic_props() {
-            assert!(target.contains(&ap), "missing bit {ap} in composed alphabet");
+            assert!(
+                target.contains(&ap),
+                "missing bit {ap} in composed alphabet"
+            );
         }
         f.clone()
     }

@@ -43,8 +43,16 @@ impl BddManager {
     pub fn new() -> Self {
         let mut nodes = Vec::with_capacity(1 << 12);
         // Slot 0: FALSE terminal, slot 1: TRUE terminal.
-        nodes.push(Node { var: TERMINAL_VAR, low: 0, high: 0 });
-        nodes.push(Node { var: TERMINAL_VAR, low: 1, high: 1 });
+        nodes.push(Node {
+            var: TERMINAL_VAR,
+            low: 0,
+            high: 0,
+        });
+        nodes.push(Node {
+            var: TERMINAL_VAR,
+            low: 1,
+            high: 1,
+        });
         BddManager {
             nodes,
             unique: FxHashMap::default(),
@@ -280,7 +288,10 @@ impl BddManager {
         if f.is_const() || cube.is_true() {
             return f;
         }
-        debug_assert!(self.is_cube(cube), "quantifier argument must be a positive cube");
+        debug_assert!(
+            self.is_cube(cube),
+            "quantifier argument must be a positive cube"
+        );
         let key = (Op::Exists, f.0, cube.0, 0);
         if let Some(r) = self.cache_get(&key) {
             return Bdd(r);
@@ -496,7 +507,11 @@ impl BddManager {
         let mut cur = f;
         while !cur.is_const() {
             let n = self.node(cur);
-            cur = if assignment(Var(n.var)) { Bdd(n.high) } else { Bdd(n.low) };
+            cur = if assignment(Var(n.var)) {
+                Bdd(n.high)
+            } else {
+                Bdd(n.low)
+            };
         }
         cur.is_true()
     }

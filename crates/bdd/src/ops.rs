@@ -103,10 +103,8 @@ mod tests {
     fn pairwise_iff_is_frame_equality() {
         let mut m = BddManager::new();
         let vs = m.new_vars(4);
-        let pairs: Vec<(Bdd, Bdd)> = vec![
-            (m.var(vs[0]), m.var(vs[1])),
-            (m.var(vs[2]), m.var(vs[3])),
-        ];
+        let pairs: Vec<(Bdd, Bdd)> =
+            vec![(m.var(vs[0]), m.var(vs[1])), (m.var(vs[2]), m.var(vs[3]))];
         let eq = m.pairwise_iff(&pairs);
         // Models where v0==v1 and v2==v3: 4 of 16.
         assert_eq!(m.sat_count(eq, 4), 4.0);

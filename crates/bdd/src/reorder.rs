@@ -59,7 +59,10 @@ impl BddManager {
         if let Some(&r) = memo.get(&(f.raw(), level)) {
             return r;
         }
-        debug_assert!(level < order.len(), "non-constant diagram below the last level");
+        debug_assert!(
+            level < order.len(),
+            "non-constant diagram below the last level"
+        );
         let v = order[level];
         let f0 = self.restrict(f, v, false);
         let f1 = self.restrict(f, v, true);
@@ -150,7 +153,10 @@ mod tests {
         let lin = mi.node_count(fi);
         let exp = ms.node_count(fs);
         assert!(lin <= 3 * 5 + 2, "interleaved should be linear, got {lin}");
-        assert!(exp > 2 * lin, "separated should blow up, got {exp} vs {lin}");
+        assert!(
+            exp > 2 * lin,
+            "separated should blow up, got {exp} vs {lin}"
+        );
     }
 
     #[test]
@@ -171,7 +177,7 @@ mod tests {
     fn rebuild_to_interleaved_shrinks_comparator() {
         let k = 5;
         let (mut m, f) = comparator(k, true); // a0..a4 b0..b4
-        // Interleave: a0 b0 a1 b1 ... — old var a_i = Var(i), b_i = Var(k+i).
+                                              // Interleave: a0 b0 a1 b1 ... — old var a_i = Var(i), b_i = Var(k+i).
         let mut order = Vec::new();
         for i in 0..k {
             order.push(Var(i as u32));
@@ -180,7 +186,10 @@ mod tests {
         let before = m.node_count(f);
         let (new, roots) = m.rebuild_with_order(&[f], &order);
         let after = new.node_count(roots[0]);
-        assert!(after < before / 2, "reorder should shrink: {before} -> {after}");
+        assert!(
+            after < before / 2,
+            "reorder should shrink: {before} -> {after}"
+        );
         assert_eq!(new.sat_count(roots[0], 2 * k), (2u32.pow(k as u32)) as f64);
     }
 
@@ -244,9 +253,6 @@ mod tests {
         let identity: Vec<Var> = (0..n as u32).map(Var).collect();
         let (new, roots) = m.rebuild_with_order(&[f, extra], &identity);
         assert_eq!(roots.len(), 2);
-        assert_eq!(
-            new.node_count_many(&roots),
-            m.node_count_many(&[f, extra])
-        );
+        assert_eq!(new.node_count_many(&roots), m.node_count_many(&[f, extra]));
     }
 }

@@ -13,12 +13,7 @@ impl BddManager {
         let mut memo: FxHashMap<u32, f64> = FxHashMap::default();
         // count(f) over the variables strictly below f's root is cached;
         // scale at the end by 2^(root level).
-        fn go(
-            m: &BddManager,
-            f: Bdd,
-            num_vars: usize,
-            memo: &mut FxHashMap<u32, f64>,
-        ) -> f64 {
+        fn go(m: &BddManager, f: Bdd, num_vars: usize, memo: &mut FxHashMap<u32, f64>) -> f64 {
             // Returns models over variables in [level(f), num_vars).
             if f.is_false() {
                 return 0.0;

@@ -9,6 +9,7 @@
 use cmc_bdd::{Bdd, BddManager};
 use cmc_bench::counter_system;
 use cmc_core::parallel::check_holds_everywhere_parallel;
+use cmc_core::BackendChoice;
 use cmc_ctl::{parse, Checker, Formula};
 use cmc_kripke::{Alphabet, System};
 use cmc_symbolic::SymbolicModel;
@@ -112,7 +113,8 @@ fn parallel_components(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("parallel", |b| {
         b.iter(|| {
-            let results = check_holds_everywhere_parallel(&names, &systems, &f);
+            let results =
+                check_holds_everywhere_parallel(&names, &systems, &f, BackendChoice::Explicit);
             black_box(results.len())
         })
     });
@@ -141,7 +143,9 @@ fn engine_comparison(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("explicit", bits), &bits, |b, _| {
             b.iter(|| {
                 let checker = Checker::new(&sys).unwrap();
-                let sat = checker.sat_fair(&goal, std::slice::from_ref(&fair)).unwrap();
+                let sat = checker
+                    .sat_fair(&goal, std::slice::from_ref(&fair))
+                    .unwrap();
                 black_box(sat.len())
             })
         });
@@ -170,7 +174,11 @@ fn variable_ordering(c: &mut Criterion) {
         let vars = m.new_vars(2 * k);
         let mut acc = Bdd::TRUE;
         for i in 0..k {
-            let (a, b) = if separated { (vars[i], vars[k + i]) } else { (vars[2 * i], vars[2 * i + 1]) };
+            let (a, b) = if separated {
+                (vars[i], vars[k + i])
+            } else {
+                (vars[2 * i], vars[2 * i + 1])
+            };
             let (la, lb) = (m.var(a), m.var(b));
             let eq = m.iff(la, lb);
             acc = m.and(acc, eq);

@@ -1,0 +1,159 @@
+//! Explicit vs symbolic backend wall-time on the token ring as its
+//! alphabet grows past the explicit-state limit (`MAX_EXPLICIT_PROPS`).
+//!
+//! The point being measured is the `BackendChoice::Auto` crossover: the
+//! explicit engine's product construction pads frames exponentially in
+//! the number of stations, so its curve blows up and then hits the
+//! `TooLarge` ceiling outright, while the symbolic engine's partitioned
+//! build stays polynomial and keeps answering. Besides the criterion
+//! timings, a machine-readable summary goes to `BENCH_backend.json` at
+//! the workspace root.
+
+use cmc_bench::ring;
+use cmc_core::{Backend, BackendChoice, ExplicitBackend, SymbolicBackend, Target};
+use cmc_ctl::{parse, Formula, Restriction, MAX_EXPLICIT_PROPS};
+use cmc_kripke::System;
+use cmc_smv::compile_explicit;
+use cmc_store::json::Json;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Ring sizes (one proposition per station). The 26- and 30-station rings
+/// are past `MAX_EXPLICIT_PROPS = 24`.
+const SIZES: [usize; 6] = [4, 8, 12, 16, 26, 30];
+
+/// Explicit measurements stop here: past this many stations the product's
+/// frame padding is big enough that timing it is all the benchmark would
+/// do (and past `MAX_EXPLICIT_PROPS` the backend refuses outright).
+const EXPLICIT_MEASURED_MAX: usize = 16;
+
+/// The `n` station systems (2-proposition alphabets `{tᵢ, tᵢ₊₁}`).
+fn stations(n: usize) -> Vec<System> {
+    (0..n)
+        .map(|i| {
+            compile_explicit(&ring::station_module(i, n))
+                .unwrap()
+                .system
+        })
+        .collect()
+}
+
+/// The checked obligation: a token at station 0 is either kept or handed
+/// to station 1 — true in every state, with a depth-1 fixpoint, so the
+/// timing is dominated by each backend's model construction.
+fn handoff_formula() -> Formula {
+    parse("t0 -> AX (t0 | t1)").unwrap()
+}
+
+fn explicit_vs_symbolic(c: &mut Criterion) {
+    let f = handoff_formula();
+    let r = Restriction::trivial();
+    let mut group = c.benchmark_group("backend_crossover");
+    group.sample_size(10);
+    for &n in &SIZES {
+        let systems = stations(n);
+        if n <= EXPLICIT_MEASURED_MAX {
+            group.bench_with_input(BenchmarkId::new("explicit", n), &n, |b, _| {
+                b.iter(|| {
+                    let target = Target::composition(systems.clone());
+                    let v = ExplicitBackend::default().check(&target, &r, &f).unwrap();
+                    assert!(v.holds);
+                    black_box(v.sat_states)
+                })
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("symbolic", n), &n, |b, _| {
+            b.iter(|| {
+                let target = Target::composition(systems.clone());
+                let v = SymbolicBackend.check(&target, &r, &f).unwrap();
+                assert!(v.holds);
+                black_box(v.stats.bdd_nodes)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Measure mean wall time of `f` over `iters` runs, in nanoseconds.
+fn mean_ns(mut f: impl FnMut(), iters: u32) -> f64 {
+    f(); // warm caches / allocator before timing
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+/// Emit `BENCH_backend.json`: one series entry per ring size with the
+/// explicit and symbolic means (explicit becomes an error string at the
+/// `TooLarge` ceiling and is skipped in the projected-blowup band), plus
+/// the backend the `Auto` policy resolves to at that width.
+fn emit_summary(c: &mut Criterion) {
+    let f = handoff_formula();
+    let r = Restriction::trivial();
+    let mut series = Vec::new();
+    for &n in &SIZES {
+        let systems = stations(n);
+        let explicit = if n <= EXPLICIT_MEASURED_MAX {
+            let ns = mean_ns(
+                || {
+                    let target = Target::composition(systems.clone());
+                    assert!(
+                        ExplicitBackend::default()
+                            .check(&target, &r, &f)
+                            .unwrap()
+                            .holds
+                    );
+                },
+                3,
+            );
+            Json::Num(ns)
+        } else {
+            // Past the limit the backend errors immediately; record that.
+            let target = Target::composition(systems.clone());
+            match ExplicitBackend::default().check(&target, &r, &f) {
+                Err(e) => Json::Str(e.to_string()),
+                Ok(_) => Json::Str("skipped (projected frame-padding blowup)".into()),
+            }
+        };
+        let symbolic_ns = mean_ns(
+            || {
+                let target = Target::composition(systems.clone());
+                assert!(SymbolicBackend.check(&target, &r, &f).unwrap().holds);
+            },
+            3,
+        );
+        series.push(Json::Obj(vec![
+            ("stations".into(), Json::int(n as u64)),
+            ("explicit_ns".into(), explicit),
+            ("symbolic_ns".into(), Json::Num(symbolic_ns)),
+            (
+                "auto_selects".into(),
+                Json::Str(BackendChoice::Auto.select(n).name().into()),
+            ),
+        ]));
+    }
+    let doc = Json::Obj(vec![
+        ("benchmark".into(), Json::Str("backend_crossover".into())),
+        ("family".into(), Json::Str("token-ring".into())),
+        (
+            "explicit_limit".into(),
+            Json::int(MAX_EXPLICIT_PROPS as u64),
+        ),
+        ("unit".into(), Json::Str("ns/iter (mean of 3)".into())),
+        ("series".into(), Json::Arr(series)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_backend.json");
+    std::fs::write(path, doc.to_pretty() + "\n").expect("write BENCH_backend.json");
+    c.bench_function("backend_crossover_summary_emitted", |b| {
+        b.iter(|| black_box(&doc))
+    });
+}
+
+criterion_group!(
+    name = backend_crossover;
+    config = Criterion::default().sample_size(10);
+    targets = explicit_vs_symbolic, emit_summary
+);
+criterion_main!(backend_crossover);

@@ -56,10 +56,7 @@ fn monolithic_explicit(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             // Precompute the composed explicit system once; time the check.
             let mods = afs2::modules(n);
-            let compiled: Vec<_> = mods
-                .iter()
-                .map(|m| compile_explicit(m).unwrap())
-                .collect();
+            let compiled: Vec<_> = mods.iter().map(|m| compile_explicit(m).unwrap()).collect();
             let mut composed = compiled[0].system.clone();
             for c2 in &compiled[1..] {
                 composed = composed.compose(&c2.system);

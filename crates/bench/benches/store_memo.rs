@@ -93,7 +93,10 @@ fn emit_summary(c: &mut Criterion) {
             ("warm_ns".into(), Json::Num(warm_ns)),
             ("speedup".into(), Json::Num(cold_ns / warm_ns.max(1.0))),
             ("warm_hits".into(), Json::int(after.hits - before.hits)),
-            ("warm_misses".into(), Json::int(after.misses - before.misses)),
+            (
+                "warm_misses".into(),
+                Json::int(after.misses - before.misses),
+            ),
         ]));
     }
     let doc = Json::Obj(vec![

@@ -95,7 +95,9 @@ pub fn verify_ring_monolithically(n: usize, engine: &Engine) {
         .map(|i| parse(&format!("!t{i} | t{}", (i + 1) % n)).unwrap())
         .collect();
     let r = Restriction::new(exactly_one(n), fairness);
-    let ok = engine.monolithic_check(&r, &parse("AF t0").unwrap()).unwrap();
+    let ok = engine
+        .monolithic_check(&r, &parse("AF t0").unwrap())
+        .unwrap();
     assert!(ok);
 }
 

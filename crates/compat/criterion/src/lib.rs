@@ -21,12 +21,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `name/parameter` identifier.
     pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
-        BenchmarkId { text: format!("{name}/{parameter}") }
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
     }
 
     /// Identifier carrying only the parameter.
     pub fn from_parameter(parameter: impl fmt::Display) -> Self {
-        BenchmarkId { text: parameter.to_string() }
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
     }
 }
 
@@ -56,9 +60,15 @@ impl Bencher {
 }
 
 fn run_one(id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut b = Bencher { samples, last_mean: Duration::ZERO };
+    let mut b = Bencher {
+        samples,
+        last_mean: Duration::ZERO,
+    };
     f(&mut b);
-    println!("bench {id:<48} time: {:>12.3?} /iter  ({samples} samples)", b.last_mean);
+    println!(
+        "bench {id:<48} time: {:>12.3?} /iter  ({samples} samples)",
+        b.last_mean
+    );
 }
 
 /// Top-level benchmark driver.
@@ -88,7 +98,11 @@ impl Criterion {
 
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
     }
 }
 
@@ -115,7 +129,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmark parameterised by `input`.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {

@@ -36,7 +36,9 @@ pub struct Any<T> {
 // Manual impl: `derive(Clone)` would wrongly require `T: Clone`.
 impl<T> Clone for Any<T> {
     fn clone(&self) -> Self {
-        Any { _marker: PhantomData }
+        Any {
+            _marker: PhantomData,
+        }
     }
 }
 
@@ -49,7 +51,9 @@ impl<T: Arbitrary> Strategy for Any<T> {
 
 /// The `any::<T>()` strategy, mirroring `proptest::arbitrary::any`.
 pub fn any<T: Arbitrary>() -> Any<T> {
-    Any { _marker: PhantomData }
+    Any {
+        _marker: PhantomData,
+    }
 }
 
 #[cfg(test)]

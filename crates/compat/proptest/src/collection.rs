@@ -15,20 +15,29 @@ pub struct SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty collection size range");
-        SizeRange { min: r.start, max_incl: r.end - 1 }
+        SizeRange {
+            min: r.start,
+            max_incl: r.end - 1,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
         assert!(r.start() <= r.end(), "empty collection size range");
-        SizeRange { min: *r.start(), max_incl: *r.end() }
+        SizeRange {
+            min: *r.start(),
+            max_incl: *r.end(),
+        }
     }
 }
 
 impl From<usize> for SizeRange {
     fn from(n: usize) -> Self {
-        SizeRange { min: n, max_incl: n }
+        SizeRange {
+            min: n,
+            max_incl: n,
+        }
     }
 }
 
@@ -49,7 +58,10 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
 
 /// `Vec` strategy with lengths drawn from `size`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 #[cfg(test)]

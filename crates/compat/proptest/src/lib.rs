@@ -26,7 +26,9 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Property-test harness macro. Expands each `fn name(x in strategy, ...)`
@@ -170,12 +172,14 @@ macro_rules! prop_assert_ne {
         match (&$left, &$right) {
             (__l, __r) => {
                 if *__l == *__r {
-                    return ::std::result::Result::Err(
-                        $crate::test_runner::TestCaseError::Fail(format!(
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!(
                             "assertion failed: `{} != {}`\n  both: {:?}",
-                            stringify!($left), stringify!($right), __l
-                        ))
-                    );
+                            stringify!($left),
+                            stringify!($right),
+                            __l
+                        ),
+                    ));
                 }
             }
         }
@@ -187,11 +191,9 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !$cond {
-            return ::std::result::Result::Err(
-                $crate::test_runner::TestCaseError::Reject(
-                    stringify!($cond).to_string()
-                )
-            );
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
         }
     };
 }

@@ -21,7 +21,10 @@ pub trait Strategy: Clone {
         Self: Sized,
         F: Fn(Self::Value) -> O + 'static,
     {
-        Map { source: self, f: Rc::new(f) }
+        Map {
+            source: self,
+            f: Rc::new(f),
+        }
     }
 
     /// Keep only values satisfying `pred` (regenerating otherwise).
@@ -30,7 +33,11 @@ pub trait Strategy: Clone {
         Self: Sized,
         F: Fn(&Self::Value) -> bool + 'static,
     {
-        Filter { source: self, reason: reason.into(), pred: Rc::new(pred) }
+        Filter {
+            source: self,
+            reason: reason.into(),
+            pred: Rc::new(pred),
+        }
     }
 
     /// Build a recursive strategy: `self` generates leaves, and `recurse`
@@ -95,7 +102,10 @@ pub struct Map<S: Strategy, O> {
 
 impl<S: Strategy, O> Clone for Map<S, O> {
     fn clone(&self) -> Self {
-        Map { source: self.source.clone(), f: self.f.clone() }
+        Map {
+            source: self.source.clone(),
+            f: self.f.clone(),
+        }
     }
 }
 
@@ -153,7 +163,9 @@ impl<T> BoxedStrategy<T> {
 
 impl<T> Clone for BoxedStrategy<T> {
     fn clone(&self) -> Self {
-        BoxedStrategy { gen: self.gen.clone() }
+        BoxedStrategy {
+            gen: self.gen.clone(),
+        }
     }
 }
 
@@ -436,9 +448,8 @@ mod tests {
                 T::Node(x) => 1 + depth(x),
             }
         }
-        let s = Just(T::Leaf).prop_recursive(3, 8, 1, |inner| {
-            inner.prop_map(|t| T::Node(Box::new(t)))
-        });
+        let s =
+            Just(T::Leaf).prop_recursive(3, 8, 1, |inner| inner.prop_map(|t| T::Node(Box::new(t))));
         let mut r = rng();
         let mut max_seen = 0;
         for _ in 0..300 {

@@ -41,7 +41,9 @@ pub struct TestRng {
 impl TestRng {
     /// Seed from an explicit value.
     pub fn from_seed(seed: u64) -> Self {
-        TestRng { state: seed ^ 0x6A09_E667_F3BC_C908 }
+        TestRng {
+            state: seed ^ 0x6A09_E667_F3BC_C908,
+        }
     }
 
     /// Seed deterministically from a test name.

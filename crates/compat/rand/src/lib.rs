@@ -35,7 +35,10 @@ pub trait Rng: RngCore {
     where
         Self: Sized,
     {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
         // 53 uniform mantissa bits, exactly like rand's Bernoulli.
         let v = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
         v < p

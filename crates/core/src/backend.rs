@@ -1,0 +1,515 @@
+//! Pluggable checker backends.
+//!
+//! The paper keeps its deduction layer engine-agnostic — the case study
+//! discharges obligations with SMV while the compositional rules never
+//! care *how* a `⊨_r` query is answered. This module is that seam: a
+//! [`Backend`] trait with one [`Verdict`] shape, implemented by the
+//! explicit-state checker (`cmc_ctl::Checker`) and the symbolic BDD
+//! checker (`cmc_symbolic`), plus a [`BackendChoice`] selector whose
+//! `Auto` policy routes a check to the symbolic engine exactly when the
+//! target's alphabet exceeds the explicit-state limit.
+//!
+//! Checks are posed against a [`Target`] — a list of component systems
+//! plus an expansion alphabet, composed *lazily*. This matters: the
+//! explicit backend materialises the interleaving product (exponential
+//! frame padding), while the symbolic backend builds one disjunctive
+//! transition partition per component directly
+//! ([`SymbolicModel::from_components`]) and never pays for the product.
+//! That is what removes the `TooLarge` ceiling from compositional proofs.
+
+use cmc_ctl::{CheckError, Checker, Formula, Restriction, MAX_EXPLICIT_PROPS};
+use cmc_kripke::{Alphabet, State, System};
+use cmc_symbolic::{SymbolicError, SymbolicModel};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Maximum number of violating-state witnesses retained in a [`Verdict`]
+/// (matches the explicit checker's cap).
+pub const MAX_WITNESSES: usize = cmc_ctl::Verdict::MAX_WITNESSES;
+
+/// A concrete checking engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Explicit-state enumeration over `2^Σ` ([`cmc_ctl::Checker`]).
+    Explicit,
+    /// BDD fixpoints over partitioned relations ([`cmc_symbolic`]).
+    Symbolic,
+}
+
+impl BackendKind {
+    /// Stable identity string — used in store keys and certificates, so
+    /// it must never change for an existing kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Explicit => "explicit",
+            BackendKind::Symbolic => "symbolic",
+        }
+    }
+
+    /// Inverse of [`BackendKind::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "explicit" => Some(BackendKind::Explicit),
+            "symbolic" => Some(BackendKind::Symbolic),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The caller's backend policy for an engine or a driver run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendChoice {
+    /// Always the explicit-state checker (errors past its limit).
+    Explicit,
+    /// Always the symbolic checker.
+    Symbolic,
+    /// Explicit while the target fits under [`MAX_EXPLICIT_PROPS`],
+    /// symbolic beyond it.
+    #[default]
+    Auto,
+}
+
+impl BackendChoice {
+    /// Resolve the policy for a target of `width` propositions.
+    pub fn select(self, width: usize) -> BackendKind {
+        match self {
+            BackendChoice::Explicit => BackendKind::Explicit,
+            BackendChoice::Symbolic => BackendKind::Symbolic,
+            BackendChoice::Auto => {
+                if width > MAX_EXPLICIT_PROPS {
+                    BackendKind::Symbolic
+                } else {
+                    BackendKind::Explicit
+                }
+            }
+        }
+    }
+
+    /// Stable identity string for deduction-level store keys (the
+    /// *policy*, as opposed to the resolved [`BackendKind::name`] used for
+    /// per-obligation keys).
+    pub fn tag(self) -> &'static str {
+        match self {
+            BackendChoice::Explicit => "explicit",
+            BackendChoice::Symbolic => "symbolic",
+            BackendChoice::Auto => "auto",
+        }
+    }
+}
+
+/// A checking target: the interleaving composition of `systems`, expanded
+/// over the `extra` propositions (`M₁ ∘ … ∘ Mₙ ∘ (extra, I)`), represented
+/// lazily so each backend can realise it in its own way.
+#[derive(Debug, Clone)]
+pub struct Target {
+    systems: Vec<System>,
+    extra: Alphabet,
+}
+
+impl Target {
+    /// A single system, as-is.
+    pub fn system(system: System) -> Self {
+        Target {
+            systems: vec![system],
+            extra: Alphabet::empty(),
+        }
+    }
+
+    /// A single system expanded over `extra` (the paper's `M ∘ (Σ', I)`).
+    pub fn expansion(system: System, extra: Alphabet) -> Self {
+        Target {
+            systems: vec![system],
+            extra,
+        }
+    }
+
+    /// The composition of several systems. Panics on an empty list.
+    pub fn composition(systems: Vec<System>) -> Self {
+        assert!(!systems.is_empty(), "a Target needs at least one system");
+        Target {
+            systems,
+            extra: Alphabet::empty(),
+        }
+    }
+
+    /// The component systems.
+    pub fn systems(&self) -> &[System] {
+        &self.systems
+    }
+
+    /// The expansion alphabet (possibly empty).
+    pub fn extra(&self) -> &Alphabet {
+        &self.extra
+    }
+
+    /// The union alphabet `Σ*` of the composed-and-expanded target, in
+    /// first-seen order (matching both `System::compose` and
+    /// [`SymbolicModel::from_components`]).
+    pub fn union_alphabet(&self) -> Alphabet {
+        let base = self
+            .systems
+            .iter()
+            .fold(Alphabet::empty(), |acc, s| acc.union(s.alphabet()));
+        base.union(&self.extra)
+    }
+
+    /// Number of propositions in the union alphabet — the quantity the
+    /// `Auto` policy selects on.
+    pub fn width(&self) -> usize {
+        self.union_alphabet().len()
+    }
+
+    /// Materialise the explicit product (exponential frame padding; the
+    /// explicit backend checks the width *first* so this is only reached
+    /// when it is affordable).
+    pub fn materialize(&self) -> System {
+        let mut it = self.systems.iter();
+        let first = it.next().expect("a Target needs at least one system");
+        let composed = it.fold(first.clone(), |acc, s| acc.compose(s));
+        let missing: Vec<String> = self
+            .extra
+            .names()
+            .iter()
+            .filter(|n| !composed.alphabet().contains(n))
+            .cloned()
+            .collect();
+        if missing.is_empty() {
+            composed
+        } else {
+            composed.expand(&Alphabet::new(missing))
+        }
+    }
+}
+
+/// Per-check resource and timing statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckStats {
+    /// The engine that ran the check.
+    pub backend: BackendKind,
+    /// Wall-clock time of the check (model construction included).
+    pub duration: Duration,
+    /// BDD nodes allocated by the check's manager (symbolic only).
+    pub bdd_nodes: Option<usize>,
+}
+
+/// Unified result of a backend check — the shape shared by both engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// Does `target ⊨_r f` hold?
+    pub holds: bool,
+    /// Violating states over the target's union alphabet, capped at
+    /// [`MAX_WITNESSES`] (the symbolic backend lowers BDD witnesses to
+    /// the same named [`State`] representation the explicit checker
+    /// reports).
+    pub violating: Vec<State>,
+    /// Exact number of states satisfying `f` over the whole `2^Σ*`, where
+    /// the backend can count them ([`None`] when the count would not be
+    /// exact).
+    pub sat_states: Option<u128>,
+    /// Resource and timing statistics for this check.
+    pub stats: CheckStats,
+}
+
+/// Errors from a backend check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// The target exceeds the backend's state-space limit.
+    TooLarge {
+        /// Width of the target's union alphabet.
+        props: usize,
+        /// The backend's limit.
+        limit: usize,
+    },
+    /// The formula (or restriction) mentions an unknown proposition.
+    UnknownProposition(String),
+    /// Any other checker failure.
+    Other(String),
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::TooLarge { props, limit } => write!(
+                f,
+                "target alphabet of {props} propositions exceeds the backend limit of {limit}"
+            ),
+            BackendError::UnknownProposition(p) => {
+                write!(f, "formula mentions undefined proposition {p:?}")
+            }
+            BackendError::Other(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+impl From<CheckError> for BackendError {
+    fn from(e: CheckError) -> Self {
+        match e {
+            CheckError::TooLarge { props, limit } => BackendError::TooLarge { props, limit },
+            CheckError::UnknownProposition(p) => BackendError::UnknownProposition(p),
+        }
+    }
+}
+
+impl From<SymbolicError> for BackendError {
+    fn from(e: SymbolicError) -> Self {
+        match e {
+            SymbolicError::UnknownProposition(p) => BackendError::UnknownProposition(p),
+        }
+    }
+}
+
+/// A checking engine behind a uniform interface.
+pub trait Backend {
+    /// Which engine this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Decide `target ⊨_r f`.
+    fn check(&self, target: &Target, r: &Restriction, f: &Formula)
+        -> Result<Verdict, BackendError>;
+}
+
+/// The explicit-state backend: materialises the target and enumerates.
+#[derive(Debug, Clone, Copy)]
+pub struct ExplicitBackend {
+    /// Maximum alphabet width (default [`MAX_EXPLICIT_PROPS`]).
+    pub limit: usize,
+}
+
+impl Default for ExplicitBackend {
+    fn default() -> Self {
+        ExplicitBackend {
+            limit: MAX_EXPLICIT_PROPS,
+        }
+    }
+}
+
+impl Backend for ExplicitBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Explicit
+    }
+
+    fn check(
+        &self,
+        target: &Target,
+        r: &Restriction,
+        f: &Formula,
+    ) -> Result<Verdict, BackendError> {
+        // Width check BEFORE materialising: the product's frame padding is
+        // exponential in foreign propositions, so an over-wide target must
+        // fail fast instead of hanging inside `System::compose`.
+        let props = target.width();
+        if props > self.limit {
+            return Err(BackendError::TooLarge {
+                props,
+                limit: self.limit,
+            });
+        }
+        let start = Instant::now();
+        let system = target.materialize();
+        let checker = Checker::with_limit(&system, self.limit)?;
+        let v = checker.check(r, f)?;
+        Ok(Verdict {
+            holds: v.holds,
+            violating: v.violating,
+            sat_states: Some(v.sat_states as u128),
+            stats: CheckStats {
+                backend: BackendKind::Explicit,
+                duration: start.elapsed(),
+                bdd_nodes: None,
+            },
+        })
+    }
+}
+
+/// The symbolic backend: one disjunctive transition partition per
+/// component, never materialising the product.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SymbolicBackend;
+
+/// Widths up to this many propositions admit an exact `f64` satisfying
+/// count (integers are exact below `2^53`).
+const EXACT_COUNT_PROPS: usize = 52;
+
+impl Backend for SymbolicBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Symbolic
+    }
+
+    fn check(
+        &self,
+        target: &Target,
+        r: &Restriction,
+        f: &Formula,
+    ) -> Result<Verdict, BackendError> {
+        let start = Instant::now();
+        let refs: Vec<&System> = target.systems().iter().collect();
+        let mut model = SymbolicModel::from_components(&refs, target.extra());
+        let v = model.check(r, f)?;
+        let n = model.num_state_vars();
+        // Count the satisfying states while the sat-set BDD is still cheap
+        // to rebuild (the fixpoints are cached in the manager). Components
+        // built by `from_components` carry no model-level fairness, so
+        // `sat_under(f, r.fairness)` is exactly the set `check` used.
+        let sat_states = if n <= EXACT_COUNT_PROPS {
+            let sat = model.sat_under(f, &r.fairness)?;
+            let count = model.mgr_ref().sat_count(sat, 2 * n) / (1u64 << n) as f64;
+            Some(count as u128)
+        } else {
+            None
+        };
+        let alphabet = target.union_alphabet();
+        let violating = model
+            .enumerate_states(v.violating, MAX_WITNESSES)
+            .iter()
+            .filter_map(|ns| ns.to_state(&alphabet))
+            .collect();
+        Ok(Verdict {
+            holds: v.holds,
+            violating,
+            sat_states,
+            stats: CheckStats {
+                backend: BackendKind::Symbolic,
+                duration: start.elapsed(),
+                bdd_nodes: Some(model.mgr_ref().stats().nodes_allocated),
+            },
+        })
+    }
+}
+
+/// The backend implementing `kind`, with default configuration.
+pub fn backend_for(kind: BackendKind) -> Box<dyn Backend + Send + Sync> {
+    match kind {
+        BackendKind::Explicit => Box::new(ExplicitBackend::default()),
+        BackendKind::Symbolic => Box::new(SymbolicBackend),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmc_ctl::parse;
+
+    fn riser(name: &str) -> System {
+        let mut m = System::new(Alphabet::new([name]));
+        m.add_transition_named(&[], &[name]);
+        m
+    }
+
+    #[test]
+    fn auto_policy_crosses_at_the_explicit_limit() {
+        assert_eq!(BackendChoice::Auto.select(1), BackendKind::Explicit);
+        assert_eq!(
+            BackendChoice::Auto.select(MAX_EXPLICIT_PROPS),
+            BackendKind::Explicit
+        );
+        assert_eq!(
+            BackendChoice::Auto.select(MAX_EXPLICIT_PROPS + 1),
+            BackendKind::Symbolic
+        );
+        assert_eq!(BackendChoice::Explicit.select(1000), BackendKind::Explicit);
+        assert_eq!(BackendChoice::Symbolic.select(1), BackendKind::Symbolic);
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in [BackendKind::Explicit, BackendKind::Symbolic] {
+            assert_eq!(BackendKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(BackendKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn backends_agree_on_a_small_composition() {
+        let target = Target::composition(vec![riser("a"), riser("b")]);
+        let r = Restriction::trivial();
+        for text in ["a -> AX a", "EF (a & b)", "AF a", "AG (a -> EX a)"] {
+            let f = parse(text).unwrap();
+            let e = ExplicitBackend::default().check(&target, &r, &f).unwrap();
+            let s = SymbolicBackend.check(&target, &r, &f).unwrap();
+            assert_eq!(e.holds, s.holds, "backends disagree on {text}");
+            assert_eq!(e.sat_states, s.sat_states, "sat counts disagree on {text}");
+        }
+    }
+
+    #[test]
+    fn witnesses_agree_as_states() {
+        // AG !b fails exactly in the b-states; both backends must name the
+        // same violating set over the same alphabet.
+        let target = Target::composition(vec![riser("a"), riser("b")]);
+        let f = parse("AG !b").unwrap();
+        let r = Restriction::trivial();
+        let mut e = ExplicitBackend::default().check(&target, &r, &f).unwrap();
+        let mut s = SymbolicBackend.check(&target, &r, &f).unwrap();
+        assert!(!e.holds && !s.holds);
+        e.violating.sort();
+        s.violating.sort();
+        assert_eq!(e.violating, s.violating);
+    }
+
+    #[test]
+    fn explicit_rejects_wide_targets_without_materialising() {
+        let systems: Vec<System> = (0..30).map(|i| riser(&format!("p{i}"))).collect();
+        let target = Target::composition(systems);
+        let f = parse("p0 -> AX p0").unwrap();
+        let err = ExplicitBackend::default()
+            .check(&target, &Restriction::trivial(), &f)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BackendError::TooLarge {
+                props: 30,
+                limit: MAX_EXPLICIT_PROPS
+            }
+        );
+    }
+
+    #[test]
+    fn symbolic_handles_wide_targets() {
+        let systems: Vec<System> = (0..30).map(|i| riser(&format!("p{i}"))).collect();
+        let target = Target::composition(systems);
+        let f = parse("p7 -> AX p7").unwrap();
+        let v = SymbolicBackend
+            .check(&target, &Restriction::trivial(), &f)
+            .unwrap();
+        assert!(v.holds);
+        assert_eq!(v.stats.backend, BackendKind::Symbolic);
+        assert!(v.stats.bdd_nodes.unwrap() > 0);
+    }
+
+    #[test]
+    fn expansion_target_matches_materialised_expansion() {
+        let base = riser("x");
+        let extra = Alphabet::new(["y"]);
+        let target = Target::expansion(base.clone(), extra.clone());
+        assert_eq!(target.width(), 2);
+        let direct = base.expand(&extra);
+        assert!(target.materialize().equivalent(&direct));
+        // And both backends see the frozen `y` the same way.
+        let f = parse("y -> AX y").unwrap();
+        let r = Restriction::trivial();
+        let e = ExplicitBackend::default().check(&target, &r, &f).unwrap();
+        let s = SymbolicBackend.check(&target, &r, &f).unwrap();
+        assert!(e.holds && s.holds);
+    }
+
+    #[test]
+    fn unknown_proposition_is_uniform() {
+        let target = Target::system(riser("x"));
+        let f = parse("zz").unwrap();
+        let r = Restriction::trivial();
+        let e = ExplicitBackend::default()
+            .check(&target, &r, &f)
+            .unwrap_err();
+        let s = SymbolicBackend.check(&target, &r, &f).unwrap_err();
+        assert_eq!(e, BackendError::UnknownProposition("zz".into()));
+        assert_eq!(e, s);
+    }
+}

@@ -13,13 +13,15 @@
 //! exactly this workflow: "the developer of a component take\[s\] a greater
 //! part in proving correctness" and ships the proof with the component.
 
+use crate::backend::{backend_for, BackendChoice, BackendKind, Target};
 use crate::property::{classify, PropertyClass};
 use crate::rules::{invariant_obligations, Guarantee, RuleError};
-use cmc_ctl::{Checker, Formula, Restriction};
+use cmc_ctl::{Formula, Restriction};
 use cmc_kripke::{Alphabet, System};
 use cmc_store::{CertStore, Entry, ObligationKey, StoredCertificate, StoredStep};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A named component in a composition.
 #[derive(Debug, Clone)]
@@ -33,12 +35,15 @@ pub struct Component {
 impl Component {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, system: System) -> Self {
-        Component { name: name.into(), system }
+        Component {
+            name: name.into(),
+            system,
+        }
     }
 }
 
 /// One step in a proof certificate.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Step {
     /// What was established (or attempted).
     pub description: String,
@@ -47,7 +52,27 @@ pub struct Step {
     /// Was this step compositional (component-local) or a whole-system
     /// fallback check?
     pub compositional: bool,
+    /// The backend that discharged this step's obligation (`None` for
+    /// pure deduction steps that ran no checker).
+    pub backend: Option<BackendKind>,
+    /// Wall-clock time of the check behind this step (`None` for
+    /// deduction steps and store-replayed results).
+    pub duration: Option<Duration>,
 }
+
+/// Equality deliberately ignores `duration`: re-running a deduction must
+/// produce a certificate *equal* to the stored one even though timings
+/// differ run to run.
+impl PartialEq for Step {
+    fn eq(&self, other: &Self) -> bool {
+        self.description == other.description
+            && self.ok == other.ok
+            && self.compositional == other.compositional
+            && self.backend == other.backend
+    }
+}
+
+impl Eq for Step {}
 
 /// An auditable record of a deduction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,7 +90,33 @@ impl Certificate {
     /// that case studies can assemble composite certificates (e.g. a
     /// Rule-4 chain plus a hand-chained conclusion).
     pub fn step(&mut self, description: impl Into<String>, ok: bool, compositional: bool) {
-        self.steps.push(Step { description: description.into(), ok, compositional });
+        self.steps.push(Step {
+            description: description.into(),
+            ok,
+            compositional,
+            backend: None,
+            duration: None,
+        });
+        self.valid &= ok;
+    }
+
+    /// Append a step discharged by a checking backend, recording which
+    /// engine answered it and (for fresh checks) its wall-clock time.
+    pub fn step_checked(
+        &mut self,
+        description: impl Into<String>,
+        ok: bool,
+        compositional: bool,
+        backend: BackendKind,
+        duration: Option<Duration>,
+    ) {
+        self.steps.push(Step {
+            description: description.into(),
+            ok,
+            compositional,
+            backend: Some(backend),
+            duration,
+        });
         self.valid &= ok;
     }
 
@@ -86,6 +137,7 @@ impl From<&Certificate> for StoredCertificate {
                     description: s.description.clone(),
                     ok: s.ok,
                     compositional: s.compositional,
+                    backend: s.backend.map(|b| b.name().to_string()),
                 })
                 .collect(),
             valid: cert.valid,
@@ -104,6 +156,8 @@ impl From<StoredCertificate> for Certificate {
                     description: s.description,
                     ok: s.ok,
                     compositional: s.compositional,
+                    backend: s.backend.as_deref().and_then(BackendKind::from_name),
+                    duration: None,
                 })
                 .collect(),
             valid: cert.valid,
@@ -115,15 +169,33 @@ impl fmt::Display for Certificate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "goal: {}", self.goal)?;
         for s in &self.steps {
-            writeln!(
+            write!(
                 f,
-                "  [{}] {} {}",
+                "  [{}] {}",
                 if s.ok { "ok" } else { "FAIL" },
-                s.description,
-                if s.compositional { "" } else { "(whole-system check)" }
+                s.description
             )?;
+            if !s.compositional {
+                write!(f, " (whole-system check)")?;
+            }
+            if let Some(backend) = s.backend {
+                write!(f, " [{backend}")?;
+                if let Some(d) = s.duration {
+                    write!(f, " {d:.1?}")?;
+                }
+                write!(f, "]")?;
+            }
+            writeln!(f)?;
         }
-        writeln!(f, "verdict: {}", if self.valid { "established" } else { "NOT established" })
+        writeln!(
+            f,
+            "verdict: {}",
+            if self.valid {
+                "established"
+            } else {
+                "NOT established"
+            }
+        )
     }
 }
 
@@ -158,15 +230,39 @@ pub struct Engine {
     components: Vec<Component>,
     union: Alphabet,
     store: Option<Arc<CertStore>>,
+    backend: BackendChoice,
 }
 
 impl Engine {
-    /// Build an engine over the given components.
+    /// Build an engine over the given components. The backend policy
+    /// defaults to [`BackendChoice::Auto`]: explicit-state while a check's
+    /// target fits under the explicit limit, symbolic beyond it.
     pub fn new(components: Vec<Component>) -> Self {
         let union = components
             .iter()
             .fold(Alphabet::empty(), |acc, c| acc.union(c.system.alphabet()));
-        Engine { components, union, store: None }
+        Engine {
+            components,
+            union,
+            store: None,
+            backend: BackendChoice::Auto,
+        }
+    }
+
+    /// Select the backend policy for every check this engine runs.
+    pub fn with_backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Replace the backend policy (see [`Engine::with_backend`]).
+    pub fn set_backend(&mut self, backend: BackendChoice) {
+        self.backend = backend;
+    }
+
+    /// The engine's backend policy.
+    pub fn backend(&self) -> BackendChoice {
+        self.backend
     }
 
     /// Attach a certificate store: every obligation is looked up before
@@ -214,11 +310,11 @@ impl Engine {
     /// full-union expansion for formulas in `C(Σᵢ ∪ props)` — and it is
     /// exponentially cheaper when obligations are local, which is what
     /// makes the Discussion's linear-in-components claim real).
-    fn minimal_expansion(
-        &self,
-        i: usize,
-        props: &std::collections::BTreeSet<String>,
-    ) -> System {
+    ///
+    /// Returned as a lazy [`Target`] so the backend decides how to realise
+    /// the expansion: the explicit engine pads frames, the symbolic engine
+    /// just declares frozen variables.
+    fn minimal_target(&self, i: usize, props: &std::collections::BTreeSet<String>) -> Target {
         let own = self.components[i].system.alphabet();
         let extra: Vec<String> = props.iter().filter(|p| !own.contains(p)).cloned().collect();
         for p in &extra {
@@ -228,10 +324,36 @@ impl Engine {
             );
         }
         if extra.is_empty() {
-            self.components[i].system.clone()
+            Target::system(self.components[i].system.clone())
         } else {
-            self.components[i].system.expand(&Alphabet::new(extra))
+            Target::expansion(self.components[i].system.clone(), Alphabet::new(extra))
         }
+    }
+
+    /// The whole composition as a lazy [`Target`].
+    fn composition_target(&self) -> Target {
+        Target::composition(self.components.iter().map(|c| c.system.clone()).collect())
+    }
+
+    /// Store key for `target ⊨_r f` under proof `mode` and a resolved
+    /// backend, built from the component systems (never a materialised
+    /// product). An expansion's extra alphabet is keyed as the identity
+    /// system over it — which is exactly what the expansion *is* (§3.2).
+    fn target_key(
+        &self,
+        mode: &str,
+        target: &Target,
+        r: &Restriction,
+        f: &Formula,
+        kind: BackendKind,
+    ) -> ObligationKey {
+        let identity;
+        let mut refs: Vec<&System> = target.systems().iter().collect();
+        if !target.extra().is_empty() {
+            identity = System::identity(target.extra().clone());
+            refs.push(&identity);
+        }
+        ObligationKey::composed(mode, kind.name(), &refs, r, f)
     }
 
     /// Flatten top-level conjunctions.
@@ -250,92 +372,90 @@ impl Engine {
     /// minimal expansions, in parallel. Appends one step per (conjunct,
     /// component) check. With a store attached, obligations answered from
     /// the store never reach the checker; only the misses are fanned out.
-    fn check_universal(
-        &self,
-        f: &Formula,
-        cert: &mut Certificate,
-    ) -> Result<(), EngineError> {
+    fn check_universal(&self, f: &Formula, cert: &mut Certificate) -> Result<(), EngineError> {
         // One slot per (conjunct, component) obligation, in order; cache
         // hits are resolved immediately, misses carry their store key.
-        let mut slots: Vec<(String, Option<ObligationKey>, Option<bool>)> = Vec::new();
-        let mut misses: Vec<(String, System, Formula)> = Vec::new();
+        let trivial = Restriction::trivial();
+        let mut slots: Vec<(String, Option<ObligationKey>, BackendKind, Option<bool>)> = Vec::new();
+        let mut misses: Vec<(String, Target, Formula)> = Vec::new();
         for conjunct in Self::conjuncts(f) {
             let props = conjunct.atomic_props();
             for (i, comp) in self.components.iter().enumerate() {
                 let name = format!("minimal expansion of {} ⊨ {conjunct}", comp.name);
-                let system = self.minimal_expansion(i, &props);
+                let target = self.minimal_target(i, &props);
+                let kind = self.backend.select(target.width());
                 let key = self
                     .store
                     .as_ref()
-                    .map(|_| ObligationKey::holds_everywhere(&system, &conjunct));
+                    .map(|_| self.target_key("check", &target, &trivial, &conjunct, kind));
                 let cached = match (&self.store, key) {
                     (Some(store), Some(key)) => store.lookup(&key).map(|e| e.verdict),
                     _ => None,
                 };
                 if cached.is_none() {
-                    misses.push((name.clone(), system, conjunct.clone()));
+                    misses.push((name.clone(), target, conjunct.clone()));
                 }
-                slots.push((name, key, cached));
+                slots.push((name, key, kind, cached));
             }
         }
-        let mut fresh = crate::parallel::check_tasks_parallel(&misses).into_iter();
-        for (name, key, cached) in slots {
+        let mut fresh = crate::parallel::check_targets_parallel(&misses, self.backend).into_iter();
+        for (name, key, kind, cached) in slots {
             match cached {
-                Some(ok) => cert.step(format!("{name} (cached)"), ok, true),
+                Some(ok) => cert.step_checked(format!("{name} (cached)"), ok, true, kind, None),
                 None => {
                     let (_, outcome) = fresh.next().expect("one parallel result per miss");
-                    let ok = outcome.map_err(EngineError::Check)?;
+                    let verdict = outcome.map_err(EngineError::Check)?;
                     if let (Some(store), Some(key)) = (&self.store, key) {
-                        store.insert(key, Entry::verdict(ok));
+                        store.insert(key, Entry::verdict(verdict.holds));
                     }
-                    cert.step(name, ok, true);
+                    cert.step_checked(
+                        name,
+                        verdict.holds,
+                        true,
+                        kind,
+                        Some(verdict.stats.duration),
+                    );
                 }
             }
         }
         Ok(())
     }
 
-    /// `⊨ f` in every state of `sys`, answered from the store when
-    /// possible. Returns `(verdict, was_hit)`.
-    fn cached_holds_everywhere(&self, sys: &System, f: &Formula) -> Result<(bool, bool), EngineError> {
-        let run = || {
-            Checker::new(sys)
-                .and_then(|c| c.holds_everywhere(f))
-                .map_err(|e| EngineError::Check(e.to_string()))
+    /// `target ⊨_r f` through the selected backend, answered from the
+    /// store when possible. Returns `(verdict, was_hit, backend,
+    /// duration-of-fresh-check)`.
+    fn cached_target_check(
+        &self,
+        target: &Target,
+        r: &Restriction,
+        f: &Formula,
+    ) -> Result<(bool, bool, BackendKind, Option<Duration>), EngineError> {
+        let kind = self.backend.select(target.width());
+        let duration = std::cell::Cell::new(None);
+        let run = || -> Result<bool, EngineError> {
+            let v = backend_for(kind)
+                .check(target, r, f)
+                .map_err(|e| EngineError::Check(e.to_string()))?;
+            duration.set(Some(v.stats.duration));
+            Ok(v.holds)
         };
         match &self.store {
             Some(store) => {
-                let key = ObligationKey::holds_everywhere(sys, f);
+                let key = self.target_key("check", target, r, f, kind);
                 let (entry, hit) = store.get_or_check(key, || run().map(Entry::verdict))?;
-                Ok((entry.verdict, hit))
+                Ok((entry.verdict, hit, kind, duration.get()))
             }
-            None => Ok((run()?, false)),
+            None => Ok((run()?, false, kind, duration.get())),
         }
     }
 
-    /// `sys ⊨_r f`, answered from the store when possible. Returns
-    /// `(verdict, was_hit)`.
-    fn cached_restricted_check(
+    /// `⊨ f` in every state of `target` — a trivially restricted check.
+    fn cached_holds_everywhere(
         &self,
-        sys: &System,
-        r: &Restriction,
+        target: &Target,
         f: &Formula,
-    ) -> Result<(bool, bool), EngineError> {
-        let run = || -> Result<bool, EngineError> {
-            let checker = Checker::new(sys).map_err(|e| EngineError::Check(e.to_string()))?;
-            Ok(checker
-                .check(r, f)
-                .map_err(|e| EngineError::Check(e.to_string()))?
-                .holds)
-        };
-        match &self.store {
-            Some(store) => {
-                let key = ObligationKey::restricted(sys, r, f);
-                let (entry, hit) = store.get_or_check(key, || run().map(Entry::verdict))?;
-                Ok((entry.verdict, hit))
-            }
-            None => Ok((run()?, false)),
-        }
+    ) -> Result<(bool, bool, BackendKind, Option<Duration>), EngineError> {
+        self.cached_target_check(target, &Restriction::trivial(), f)
     }
 
     /// Suffix a step description with the cache marker when `hit`.
@@ -352,7 +472,7 @@ impl Engine {
     /// composition itself).
     fn composition_key(&self, mode: &str, r: &Restriction, f: &Formula) -> ObligationKey {
         let systems: Vec<&System> = self.components.iter().map(|c| &c.system).collect();
-        ObligationKey::composed(mode, &systems, r, f)
+        ObligationKey::composed(mode, self.backend.tag(), &systems, r, f)
     }
 
     /// Memoize a whole deduction: return the stored certificate for `key`
@@ -387,11 +507,17 @@ impl Engine {
     /// sharing a component still reuses that component's checks (its
     /// steps are marked `(cached)`).
     pub fn prove(&self, r: &Restriction, f: &Formula) -> Result<Certificate, EngineError> {
-        self.cached_deduction(self.composition_key("prove", r, f), || self.prove_uncached(r, f))
+        self.cached_deduction(self.composition_key("prove", r, f), || {
+            self.prove_uncached(r, f)
+        })
     }
 
     fn prove_uncached(&self, r: &Restriction, f: &Formula) -> Result<Certificate, EngineError> {
-        let mut cert = Certificate { goal: format!("system ⊨_{r} {f}"), steps: vec![], valid: true };
+        let mut cert = Certificate {
+            goal: format!("system ⊨_{r} {f}"),
+            steps: vec![],
+            valid: true,
+        };
         match classify(f, r) {
             Some(c) if c.class == PropertyClass::Universal => {
                 cert.step(
@@ -424,16 +550,18 @@ impl Engine {
                 }
                 let mut found = false;
                 for (i, comp) in self.components.iter().enumerate() {
-                    let expansion = self.minimal_expansion(i, &props);
-                    let (holds, hit) = self.cached_restricted_check(&expansion, r, f)?;
+                    let target = self.minimal_target(i, &props);
+                    let (holds, hit, kind, duration) = self.cached_target_check(&target, r, f)?;
                     if holds {
-                        cert.step(
+                        cert.step_checked(
                             Self::mark(
                                 format!("minimal expansion of {} ⊨_{r} {f}", comp.name),
                                 hit,
                             ),
                             true,
                             true,
+                            kind,
+                            duration,
                         );
                         cert.step(
                             "existential property transfers to the composition (Rules 1/3)",
@@ -453,20 +581,34 @@ impl Engine {
                         true,
                         false,
                     );
-                    let composed = self.composed();
-                    let (holds, hit) = self.cached_restricted_check(&composed, r, f)?;
-                    cert.step(Self::mark(format!("composition ⊨_{r} {f}"), hit), holds, false);
+                    let target = self.composition_target();
+                    let (holds, hit, kind, duration) = self.cached_target_check(&target, r, f)?;
+                    cert.step_checked(
+                        Self::mark(format!("composition ⊨_{r} {f}"), hit),
+                        holds,
+                        false,
+                        kind,
+                        duration,
+                    );
                 }
             }
             None => {
                 cert.step(
-                    format!("{f} not classifiable by Rules 1-3; falling back to whole-system check"),
+                    format!(
+                        "{f} not classifiable by Rules 1-3; falling back to whole-system check"
+                    ),
                     true,
                     false,
                 );
-                let composed = self.composed();
-                let (holds, hit) = self.cached_restricted_check(&composed, r, f)?;
-                cert.step(Self::mark(format!("composition ⊨_{r} {f}"), hit), holds, false);
+                let target = self.composition_target();
+                let (holds, hit, kind, duration) = self.cached_target_check(&target, r, f)?;
+                cert.step_checked(
+                    Self::mark(format!("composition ⊨_{r} {f}"), hit),
+                    holds,
+                    false,
+                    kind,
+                    duration,
+                );
             }
         }
         Ok(cert)
@@ -520,7 +662,11 @@ impl Engine {
         let mut validity_props = validity.atomic_props();
         if validity_props.is_empty() {
             validity_props.insert(
-                self.union.names().first().cloned().unwrap_or_else(|| "p".into()),
+                self.union
+                    .names()
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| "p".into()),
             );
         }
         let validity_alphabet = Alphabet::new(validity_props.into_iter().collect::<Vec<_>>());
@@ -540,7 +686,7 @@ impl Engine {
             for (i, comp) in self.components.iter().enumerate() {
                 let level = self.check_cluster_on_component(i, &conjuncts, inv, k, &k_props)?;
                 match level {
-                    Some(level) => cert.step(
+                    Some((level, kind)) => cert.step_checked(
                         format!(
                             "{}: Inv ⇒ AX ({k}) via {}",
                             comp.name,
@@ -552,9 +698,14 @@ impl Engine {
                         ),
                         true,
                         true,
+                        kind,
+                        None,
                     ),
                     None => cert.step(
-                        format!("{}: Inv ⇒ AX ({k}) FAILS at every hypothesis level", comp.name),
+                        format!(
+                            "{}: Inv ⇒ AX ({k}) FAILS at every hypothesis level",
+                            comp.name
+                        ),
                         false,
                         true,
                     ),
@@ -580,15 +731,16 @@ impl Engine {
         inv: &Formula,
         k: &Formula,
         k_props: &std::collections::BTreeSet<String>,
-    ) -> Result<Option<u8>, EngineError> {
-        let check = |sys: &System, f: &Formula| -> Result<bool, EngineError> {
-            self.cached_holds_everywhere(sys, f).map(|(holds, _)| holds)
+    ) -> Result<Option<(u8, BackendKind)>, EngineError> {
+        let check = |target: &Target, f: &Formula| -> Result<(bool, BackendKind), EngineError> {
+            self.cached_holds_everywhere(target, f)
+                .map(|(holds, _, kind, _)| (holds, kind))
         };
         // Level 1: local induction.
         let local = k.clone().implies(k.clone().ax());
-        let sys1 = self.minimal_expansion(i, k_props);
-        if check(&sys1, &local)? {
-            return Ok(Some(1));
+        let t1 = self.minimal_target(i, k_props);
+        if let (true, kind) = check(&t1, &local)? {
+            return Ok(Some((1, kind)));
         }
         // Level 2: neighbourhood hypothesis — the conjuncts that fit
         // entirely inside the footprint Σᵢ ∪ props(K). Conjuncts merely
@@ -607,16 +759,16 @@ impl Engine {
         let wide = hyp.clone().implies(k.clone().ax());
         let mut props2 = wide.atomic_props();
         props2.extend(k_props.iter().cloned());
-        let sys2 = self.minimal_expansion(i, &props2);
-        if check(&sys2, &wide)? {
-            return Ok(Some(2));
+        let t2 = self.minimal_target(i, &props2);
+        if let (true, kind) = check(&t2, &wide)? {
+            return Ok(Some((2, kind)));
         }
         // Level 3: full mutual induction.
         let full = inv.clone().implies(k.clone().ax());
         let props3 = full.atomic_props();
-        let sys3 = self.minimal_expansion(i, &props3);
-        if check(&sys3, &full)? {
-            return Ok(Some(3));
+        let t3 = self.minimal_target(i, &props3);
+        if let (true, kind) = check(&t3, &full)? {
+            return Ok(Some((3, kind)));
         }
         Ok(None)
     }
@@ -633,11 +785,7 @@ impl Engine {
         for (f, r) in &g.lhs {
             let sub = self.prove(r, f)?;
             let compositional = sub.fully_compositional();
-            cert.step(
-                format!("obligation ⊨_{r} {f}"),
-                sub.valid,
-                compositional,
-            );
+            cert.step(format!("obligation ⊨_{r} {f}"), sub.valid, compositional);
         }
         if cert.valid {
             for (f, r) in &g.rhs {
@@ -650,12 +798,12 @@ impl Engine {
     /// Cross-check a claim against the monolithic composition (used by the
     /// test-suite to validate the engine's conclusions).
     pub fn monolithic_check(&self, r: &Restriction, f: &Formula) -> Result<bool, EngineError> {
-        let composed = self.composed();
-        let checker = Checker::new(&composed).map_err(|e| EngineError::Check(e.to_string()))?;
-        Ok(checker
-            .check(r, f)
-            .map_err(|e| EngineError::Check(e.to_string()))?
-            .holds)
+        let target = self.composition_target();
+        let kind = self.backend.select(target.width());
+        backend_for(kind)
+            .check(&target, r, f)
+            .map(|v| v.holds)
+            .map_err(|e| EngineError::Check(e.to_string()))
     }
 }
 
@@ -677,11 +825,15 @@ mod tests {
     fn universal_property_proved_compositionally() {
         let e = rising_pair();
         // x ⇒ AX x holds in mx, and in my's expansion x is frame-preserved.
-        let cert = e.prove(&Restriction::trivial(), &parse("x -> AX x").unwrap()).unwrap();
+        let cert = e
+            .prove(&Restriction::trivial(), &parse("x -> AX x").unwrap())
+            .unwrap();
         assert!(cert.valid, "{cert}");
         assert!(cert.fully_compositional());
         // Cross-check against the monolith.
-        assert!(e.monolithic_check(&Restriction::trivial(), &parse("x -> AX x").unwrap()).unwrap());
+        assert!(e
+            .monolithic_check(&Restriction::trivial(), &parse("x -> AX x").unwrap())
+            .unwrap());
     }
 
     #[test]
@@ -691,31 +843,44 @@ mod tests {
         mx.add_transition_named(&[], &["x"]);
         let mut my2 = System::new(Alphabet::new(["x", "y"]));
         my2.add_transition_named(&["x"], &["y"]);
-        let e = Engine::new(vec![Component::new("mx", mx), Component::new("saboteur", my2)]);
-        let cert = e.prove(&Restriction::trivial(), &parse("x -> AX x").unwrap()).unwrap();
+        let e = Engine::new(vec![
+            Component::new("mx", mx),
+            Component::new("saboteur", my2),
+        ]);
+        let cert = e
+            .prove(&Restriction::trivial(), &parse("x -> AX x").unwrap())
+            .unwrap();
         assert!(!cert.valid);
         // The certificate pinpoints the failing component.
         assert!(cert
             .steps
             .iter()
             .any(|s| !s.ok && s.description.contains("saboteur")));
-        assert!(!e.monolithic_check(&Restriction::trivial(), &parse("x -> AX x").unwrap()).unwrap());
+        assert!(!e
+            .monolithic_check(&Restriction::trivial(), &parse("x -> AX x").unwrap())
+            .unwrap());
     }
 
     #[test]
     fn existential_property_from_one_component() {
         let e = rising_pair();
         // ¬x ⇒ EX x holds in mx; transfers existentially.
-        let cert = e.prove(&Restriction::trivial(), &parse("!x -> EX x").unwrap()).unwrap();
+        let cert = e
+            .prove(&Restriction::trivial(), &parse("!x -> EX x").unwrap())
+            .unwrap();
         assert!(cert.valid, "{cert}");
         assert!(cert.fully_compositional());
-        assert!(e.monolithic_check(&Restriction::trivial(), &parse("!x -> EX x").unwrap()).unwrap());
+        assert!(e
+            .monolithic_check(&Restriction::trivial(), &parse("!x -> EX x").unwrap())
+            .unwrap());
     }
 
     #[test]
     fn unclassifiable_falls_back_to_monolith() {
         let e = rising_pair();
-        let cert = e.prove(&Restriction::trivial(), &parse("EF (x & y)").unwrap()).unwrap();
+        let cert = e
+            .prove(&Restriction::trivial(), &parse("EF (x & y)").unwrap())
+            .unwrap();
         assert!(cert.valid, "{cert}");
         assert!(!cert.fully_compositional());
     }
@@ -829,7 +994,9 @@ mod tests {
         assert!(cert.valid, "{cert}");
         assert!(cert.fully_compositional());
         assert!(
-            cert.steps.iter().any(|s| s.description.contains("mutual induction")),
+            cert.steps
+                .iter()
+                .any(|s| s.description.contains("mutual induction")),
             "escalation expected: {cert}"
         );
         // Cross-check monolithically.
@@ -860,6 +1027,70 @@ mod tests {
             .unwrap();
         assert!(cert.valid, "{cert}");
         assert!(cert.fully_compositional());
+    }
+
+    /// The acceptance scenario for pluggable backends: an unclassifiable
+    /// property over a composition whose union alphabet exceeds
+    /// `MAX_EXPLICIT_PROPS` forces a whole-system check, which the old
+    /// explicit-only engine could never run (`TooLarge`). With the `Auto`
+    /// policy the fallback routes to the symbolic backend and succeeds.
+    #[test]
+    fn auto_backend_proves_wide_composition_monolithically() {
+        let width = cmc_ctl::MAX_EXPLICIT_PROPS + 2; // 26 > 24
+        let comps: Vec<Component> = (0..width)
+            .map(|i| {
+                let name = format!("x{i}");
+                let mut m = System::new(Alphabet::new([name.clone()]));
+                m.add_transition_named(&[], &[name.as_str()]);
+                Component::new(format!("c{i}"), m)
+            })
+            .collect();
+        // EF (x0 & x25) is not classifiable by Rules 1-3, so the proof
+        // must fall back to the whole 26-proposition composition.
+        let f = parse(&format!("EF (x0 & x{})", width - 1)).unwrap();
+
+        let auto = Engine::new(comps.clone());
+        let cert = auto.prove(&Restriction::trivial(), &f).unwrap();
+        assert!(cert.valid, "{cert}");
+        assert!(!cert.fully_compositional());
+        assert!(
+            cert.steps
+                .iter()
+                .any(|s| s.backend == Some(BackendKind::Symbolic)),
+            "the wide fallback must have run symbolically: {cert}"
+        );
+        assert!(auto.monolithic_check(&Restriction::trivial(), &f).unwrap());
+
+        // Forcing the explicit backend reproduces the old ceiling.
+        let explicit = Engine::new(comps).with_backend(BackendChoice::Explicit);
+        let err = explicit.prove(&Restriction::trivial(), &f).unwrap_err();
+        assert!(
+            err.to_string().contains("exceeds the backend limit"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn forced_backends_agree_with_auto() {
+        let e = rising_pair();
+        let f = parse("x -> AX x").unwrap();
+        for choice in [BackendChoice::Explicit, BackendChoice::Symbolic] {
+            let forced = rising_pair().with_backend(choice);
+            let cert = forced.prove(&Restriction::trivial(), &f).unwrap();
+            assert!(cert.valid, "{choice:?}: {cert}");
+            assert_eq!(
+                cert.valid,
+                e.prove(&Restriction::trivial(), &f).unwrap().valid
+            );
+            let expected = Some(choice.select(1));
+            assert!(
+                cert.steps
+                    .iter()
+                    .filter(|s| s.backend.is_some())
+                    .all(|s| s.backend == expected),
+                "{choice:?} must pin every checked step: {cert}"
+            );
+        }
     }
 
     #[test]
@@ -899,11 +1130,8 @@ mod tests {
 
         // A different composition sharing mx: mx's obligation is answered
         // from the store; mz's is fresh.
-        let e2 = Engine::new(vec![
-            Component::new("mx", mx),
-            Component::new("mz", mz),
-        ])
-        .with_store(Arc::clone(&store));
+        let e2 = Engine::new(vec![Component::new("mx", mx), Component::new("mz", mz)])
+            .with_store(Arc::clone(&store));
         let c2 = e2.prove(&Restriction::trivial(), &f).unwrap();
         assert!(c2.valid);
         assert!(
@@ -924,7 +1152,9 @@ mod tests {
     #[test]
     fn certificate_display() {
         let e = rising_pair();
-        let cert = e.prove(&Restriction::trivial(), &parse("x -> AX x").unwrap()).unwrap();
+        let cert = e
+            .prove(&Restriction::trivial(), &parse("x -> AX x").unwrap())
+            .unwrap();
         let text = cert.to_string();
         assert!(text.contains("goal:"));
         assert!(text.contains("[ok]"));

@@ -201,7 +201,12 @@ mod tests {
         let big = sigma.union(&Alphabet::new(["c"]));
         let p = parse("a & !b").unwrap();
         for bits in 0u128..8 {
-            assert!(lemma10_propositional_transfer(&sigma, &big, &p, State(bits)));
+            assert!(lemma10_propositional_transfer(
+                &sigma,
+                &big,
+                &p,
+                State(bits)
+            ));
         }
     }
 

@@ -48,6 +48,7 @@
 //! assert!(cert.fully_compositional());
 //! ```
 
+pub mod backend;
 pub mod engine;
 pub mod lemmas;
 pub mod parallel;
@@ -55,6 +56,10 @@ pub mod property;
 pub mod report;
 pub mod rules;
 
+pub use backend::{
+    Backend, BackendChoice, BackendError, BackendKind, CheckStats, ExplicitBackend,
+    SymbolicBackend, Target, Verdict, MAX_WITNESSES,
+};
 pub use engine::{Certificate, Component, Engine, EngineError, Step};
 pub use property::{classify, ClassRule, Classified, PropertyClass};
 pub use report::VerificationReport;

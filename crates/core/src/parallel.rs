@@ -7,7 +7,8 @@
 //! inside one component's check is captured at join time and degrades to an
 //! `Err` for that component only; the sibling checks still report normally.
 
-use cmc_ctl::{Checker, Formula};
+use crate::backend::{backend_for, BackendChoice, Target, Verdict};
+use cmc_ctl::{Formula, Restriction};
 use cmc_kripke::{Alphabet, System};
 use std::any::Any;
 
@@ -43,17 +44,22 @@ where
     })
 }
 
-/// Check `⊨ f` (all states) on each system concurrently. Returns
+/// Check `⊨ f` (all states) on each system concurrently, routing each
+/// check through the backend `choice` resolves for it. Returns
 /// `(name, verdict-or-error)` in input order.
 pub fn check_holds_everywhere_parallel(
     names: &[String],
     systems: &[System],
     f: &Formula,
+    choice: BackendChoice,
 ) -> Vec<(String, Result<bool, String>)> {
     assert_eq!(names.len(), systems.len());
+    let trivial = Restriction::trivial();
     let outcomes = run_parallel(systems.len(), |i| {
-        Checker::new(&systems[i])
-            .and_then(|c| c.holds_everywhere(f))
+        let target = Target::system(systems[i].clone());
+        backend_for(choice.select(target.width()))
+            .check(&target, &trivial, f)
+            .map(|v| v.holds)
             .map_err(|e| e.to_string())
     });
     names
@@ -64,15 +70,18 @@ pub fn check_holds_everywhere_parallel(
 }
 
 /// Run heterogeneous check tasks concurrently: each task is a labelled
-/// `⊨ f` (all states) check of one formula on one system. Returns results
-/// in task order.
-pub fn check_tasks_parallel(
-    tasks: &[(String, System, Formula)],
-) -> Vec<(String, Result<bool, String>)> {
+/// `⊨ f` (all states) check of one formula on one [`Target`], routed
+/// through the backend `choice` resolves for that target. Returns full
+/// [`Verdict`]s (or error messages) in task order.
+pub fn check_targets_parallel(
+    tasks: &[(String, Target, Formula)],
+    choice: BackendChoice,
+) -> Vec<(String, Result<Verdict, String>)> {
+    let trivial = Restriction::trivial();
     let outcomes = run_parallel(tasks.len(), |i| {
-        let (_, system, f) = &tasks[i];
-        Checker::new(system)
-            .and_then(|c| c.holds_everywhere(f))
+        let (_, target, f) = &tasks[i];
+        backend_for(choice.select(target.width()))
+            .check(target, &trivial, f)
             .map_err(|e| e.to_string())
     });
     tasks
@@ -108,7 +117,7 @@ mod tests {
         // errors for others (unknown proposition), proving per-component
         // isolation of errors.
         let f = parse("v0 -> AX v0").unwrap();
-        let results = check_holds_everywhere_parallel(&names, &systems, &f);
+        let results = check_holds_everywhere_parallel(&names, &systems, &f, BackendChoice::Auto);
         assert_eq!(results.len(), 8);
         assert_eq!(results[0].1, Ok(true));
         for (_, r) in &results[1..] {
@@ -121,7 +130,7 @@ mod tests {
         let systems: Vec<System> = (0..4).map(|_| rising("x")).collect();
         let names: Vec<String> = (0..4).map(|i| format!("c{i}")).collect();
         let f = parse("x -> AX x").unwrap();
-        let results = check_holds_everywhere_parallel(&names, &systems, &f);
+        let results = check_holds_everywhere_parallel(&names, &systems, &f, BackendChoice::Auto);
         let got: Vec<&str> = results.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(got, vec!["c0", "c1", "c2", "c3"]);
         assert!(results.iter().all(|(_, r)| *r == Ok(true)));

@@ -97,7 +97,10 @@ pub fn classify(f: &Formula, r: &Restriction) -> Option<Classified> {
         let ca = classify(a, r)?;
         let cb = classify(b, r)?;
         if ca.class == cb.class {
-            return Some(Classified { class: ca.class, rule: ClassRule::Conjunction });
+            return Some(Classified {
+                class: ca.class,
+                rule: ClassRule::Conjunction,
+            });
         }
         // A universal conjoined with an existential does not transfer by
         // these rules.
@@ -261,10 +264,8 @@ mod tests {
     #[test]
     fn paper_cli3_srv3_shapes_are_universal() {
         // Figure 6's Srv3: three conjoined p ⇒ AX q properties.
-        let srv3 = parse(
-            "(r=null -> AX r=null) & (r=val -> AX r=val) & (r=inval -> AX r=inval)",
-        )
-        .unwrap();
+        let srv3 =
+            parse("(r=null -> AX r=null) & (r=val -> AX r=val) & (r=inval -> AX r=inval)").unwrap();
         let c = classify(&srv3, &trivial()).unwrap();
         assert_eq!(c.class, PropertyClass::Universal);
     }

@@ -23,7 +23,11 @@ impl Certificate {
                 "| {} | {} | {} | {} |",
                 i + 1,
                 s.description.replace('|', "\\|"),
-                if s.compositional { "component-local" } else { "whole-system" },
+                if s.compositional {
+                    "component-local"
+                } else {
+                    "whole-system"
+                },
                 if s.ok { "ok" } else { "**FAIL**" }
             );
         }
@@ -31,7 +35,11 @@ impl Certificate {
         let _ = writeln!(
             out,
             "**Verdict:** {}{}",
-            if self.valid { "established" } else { "NOT established" },
+            if self.valid {
+                "established"
+            } else {
+                "NOT established"
+            },
             if self.valid && self.fully_compositional() {
                 " (fully compositional — no whole-system model checking needed)"
             } else {
@@ -54,7 +62,10 @@ pub struct VerificationReport {
 impl VerificationReport {
     /// Create an empty report.
     pub fn new(title: impl Into<String>) -> Self {
-        VerificationReport { title: title.into(), certificates: Vec::new() }
+        VerificationReport {
+            title: title.into(),
+            certificates: Vec::new(),
+        }
     }
 
     /// Append a certificate.
@@ -76,7 +87,11 @@ impl VerificationReport {
             out,
             "{} obligation(s); {}.",
             self.certificates.len(),
-            if self.all_valid() { "all established" } else { "SOME FAILED" }
+            if self.all_valid() {
+                "all established"
+            } else {
+                "SOME FAILED"
+            }
         );
         let _ = writeln!(out);
         for c in &self.certificates {
@@ -99,7 +114,8 @@ mod tests {
         m.add_transition_named(&[], &["x"]);
         let e = Engine::new(vec![Component::new("mx", m)]);
         let f = if valid { "x -> AX x" } else { "x -> AX !x" };
-        e.prove(&Restriction::trivial(), &parse(f).unwrap()).unwrap()
+        e.prove(&Restriction::trivial(), &parse(f).unwrap())
+            .unwrap()
     }
 
     #[test]

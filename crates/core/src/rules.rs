@@ -84,7 +84,10 @@ pub fn rule4(m: &System, p: &Formula, q: &Formula) -> Result<Guarantee, RuleErro
     let r = Restriction::with_fairness([p.clone().not().or(q.clone())]);
     let p_or_q = p.clone().or(q.clone());
     Ok(Guarantee {
-        lhs: vec![(p.clone().implies(p_or_q.clone().ax()), Restriction::trivial())],
+        lhs: vec![(
+            p.clone().implies(p_or_q.clone().ax()),
+            Restriction::trivial(),
+        )],
         rhs: vec![
             (p.clone().implies(p.clone().au(q.clone())), r.clone()),
             (p.clone().implies(p.clone().eu(q.clone())), r),

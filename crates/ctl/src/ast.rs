@@ -359,10 +359,14 @@ mod tests {
 
     #[test]
     fn propositional_classification() {
-        assert!(Formula::ap("p").and(Formula::ap("q").not()).is_propositional());
+        assert!(Formula::ap("p")
+            .and(Formula::ap("q").not())
+            .is_propositional());
         assert!(Formula::True.is_propositional());
         assert!(!Formula::ap("p").ax().is_propositional());
-        assert!(!Formula::ap("p").implies(Formula::ap("q").ef()).is_propositional());
+        assert!(!Formula::ap("p")
+            .implies(Formula::ap("q").ef())
+            .is_propositional());
     }
 
     #[test]
@@ -388,7 +392,9 @@ mod tests {
         assert!(f.eval_in_state(&al, s));
         let g = Formula::ap("p").implies(Formula::ap("q"));
         assert!(!g.eval_in_state(&al, s));
-        assert!(Formula::ap("p").iff(Formula::ap("q")).eval_in_state(&al, State::EMPTY));
+        assert!(Formula::ap("p")
+            .iff(Formula::ap("q"))
+            .eval_in_state(&al, State::EMPTY));
     }
 
     #[test]

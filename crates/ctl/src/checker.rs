@@ -25,19 +25,27 @@ pub enum CheckError {
     /// falsehood.
     UnknownProposition(String),
     /// State space too large for explicit enumeration (use `cmc-symbolic`).
-    TooLarge(usize),
+    TooLarge {
+        /// Alphabet size of the offending system.
+        props: usize,
+        /// The limit the checker was configured with.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for CheckError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CheckError::UnknownProposition(p) => {
-                write!(f, "formula mentions proposition {p:?} outside the system alphabet")
+                write!(
+                    f,
+                    "formula mentions proposition {p:?} outside the system alphabet"
+                )
             }
-            CheckError::TooLarge(n) => write!(
+            CheckError::TooLarge { props, limit } => write!(
                 f,
-                "alphabet of {n} propositions exceeds the explicit-state limit; \
-                 use the symbolic engine"
+                "alphabet of {props} propositions exceeds the explicit-state limit \
+                 of {limit}; use the symbolic engine"
             ),
         }
     }
@@ -62,7 +70,8 @@ impl Verdict {
     pub const MAX_WITNESSES: usize = 16;
 }
 
-/// Maximum alphabet size for explicit checking (2^24 ≈ 16.7M states).
+/// Default maximum alphabet size for explicit checking (2^24 ≈ 16.7M
+/// states). [`Checker::with_limit`] accepts a different ceiling.
 pub const MAX_EXPLICIT_PROPS: usize = 24;
 
 /// An explicit-state fair-CTL checker for one system.
@@ -73,13 +82,24 @@ pub struct Checker<'a> {
 }
 
 impl<'a> Checker<'a> {
-    /// Create a checker; fails when the state space is too large.
+    /// Create a checker with the default [`MAX_EXPLICIT_PROPS`] limit;
+    /// fails when the state space is too large.
     pub fn new(system: &'a System) -> Result<Self, CheckError> {
+        Checker::with_limit(system, MAX_EXPLICIT_PROPS)
+    }
+
+    /// Create a checker that refuses alphabets wider than `limit`
+    /// propositions (the state space is `2^|Σ|`, so the limit bounds
+    /// memory at `2^limit` bits per state set).
+    pub fn with_limit(system: &'a System, limit: usize) -> Result<Self, CheckError> {
         let n = system.alphabet().len();
-        if n > MAX_EXPLICIT_PROPS {
-            return Err(CheckError::TooLarge(n));
+        if n > limit {
+            return Err(CheckError::TooLarge { props: n, limit });
         }
-        Ok(Checker { system, universe: 1usize << n })
+        Ok(Checker {
+            system,
+            universe: 1usize << n,
+        })
     }
 
     /// The system under analysis.
@@ -315,7 +335,11 @@ impl<'a> Checker<'a> {
                 }
             }
         }
-        Ok(Verdict { holds, violating, sat_states: sat.len() })
+        Ok(Verdict {
+            holds,
+            violating,
+            sat_states: sat.len(),
+        })
     }
 }
 
@@ -407,9 +431,7 @@ mod tests {
         // Here a single constraint suffices: infinitely often b0∧b1
         // — then every fair path must cycle and AF (b0∧b1) holds everywhere.
         let fairness = [ap("b0").and(ap("b1"))];
-        let sat = c
-            .sat_fair(&ap("b0").and(ap("b1")).af(), &fairness)
-            .unwrap();
+        let sat = c.sat_fair(&ap("b0").and(ap("b1")).af(), &fairness).unwrap();
         assert_eq!(sat.len(), 4);
     }
 
@@ -486,6 +508,27 @@ mod tests {
     fn too_large_alphabet_rejected() {
         let names: Vec<String> = (0..25).map(|i| format!("p{i}")).collect();
         let m = System::new(Alphabet::new(names));
-        assert!(matches!(Checker::new(&m), Err(CheckError::TooLarge(25))));
+        let err = Checker::new(&m).unwrap_err();
+        assert_eq!(
+            err,
+            CheckError::TooLarge {
+                props: 25,
+                limit: MAX_EXPLICIT_PROPS
+            }
+        );
+        // The message names both the width and the configured limit.
+        let msg = err.to_string();
+        assert!(msg.contains("25"), "{msg}");
+        assert!(msg.contains(&MAX_EXPLICIT_PROPS.to_string()), "{msg}");
+    }
+
+    #[test]
+    fn limit_is_configurable() {
+        let m = counter(); // 2 propositions
+        assert!(Checker::with_limit(&m, 2).is_ok());
+        assert_eq!(
+            Checker::with_limit(&m, 1).unwrap_err(),
+            CheckError::TooLarge { props: 2, limit: 1 }
+        );
     }
 }

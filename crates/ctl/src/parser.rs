@@ -66,7 +66,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { offset: self.pos, message: msg.into() }
+        ParseError {
+            offset: self.pos,
+            message: msg.into(),
+        }
     }
 
     fn rest(&self) -> &'a str {

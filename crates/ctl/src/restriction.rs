@@ -24,12 +24,18 @@ impl Restriction {
     /// The trivial restriction `(true, {true})` — plain CTL satisfaction,
     /// written `⊨` in the paper.
     pub fn trivial() -> Self {
-        Restriction { init: Formula::True, fairness: vec![Formula::True] }
+        Restriction {
+            init: Formula::True,
+            fairness: vec![Formula::True],
+        }
     }
 
     /// Restriction with an initial condition only: `(I, {true})`.
     pub fn with_init(init: Formula) -> Self {
-        Restriction { init, fairness: vec![Formula::True] }
+        Restriction {
+            init,
+            fairness: vec![Formula::True],
+        }
     }
 
     /// Restriction with fairness constraints only: `(true, F)`.
@@ -38,7 +44,10 @@ impl Restriction {
         if fairness.is_empty() {
             fairness.push(Formula::True);
         }
-        Restriction { init: Formula::True, fairness }
+        Restriction {
+            init: Formula::True,
+            fairness,
+        }
     }
 
     /// Full restriction `(I, F)`.
@@ -50,13 +59,16 @@ impl Restriction {
 
     /// Is this the trivial restriction (no effect on satisfaction)?
     pub fn is_trivial(&self) -> bool {
-        self.init == Formula::True
-            && self.fairness.iter().all(|f| *f == Formula::True)
+        self.init == Formula::True && self.fairness.iter().all(|f| *f == Formula::True)
     }
 
     /// Conjoin another initial condition (strengthening `I`).
     pub fn strengthen_init(mut self, extra: Formula) -> Self {
-        self.init = if self.init == Formula::True { extra } else { self.init.and(extra) };
+        self.init = if self.init == Formula::True {
+            extra
+        } else {
+            self.init.and(extra)
+        };
         self
     }
 

@@ -18,7 +18,10 @@ pub struct StateSet {
 impl StateSet {
     /// The empty set over a state space of `universe` states.
     pub fn empty(universe: usize) -> Self {
-        StateSet { words: vec![0; universe.div_ceil(64)], universe }
+        StateSet {
+            words: vec![0; universe.div_ceil(64)],
+            universe,
+        }
     }
 
     /// The full set over a state space of `universe` states.
@@ -121,7 +124,10 @@ impl StateSet {
     /// `self ⊆ other`.
     pub fn is_subset_of(&self, other: &StateSet) -> bool {
         debug_assert_eq!(self.universe, other.universe);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterate the member states in increasing index order.

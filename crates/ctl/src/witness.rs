@@ -41,7 +41,10 @@ impl WitnessPath {
 
     /// Render with an alphabet, SMV-trace style.
     pub fn display<'a>(&'a self, system: &'a System) -> WitnessDisplay<'a> {
-        WitnessDisplay { witness: self, system }
+        WitnessDisplay {
+            witness: self,
+            system,
+        }
     }
 
     /// Validate that every consecutive pair is a transition of `system`
@@ -99,7 +102,10 @@ impl Checker<'_> {
         let mut queue: std::collections::VecDeque<State> = Default::default();
         for s in from.iter() {
             if to.contains(s) {
-                return Some(WitnessPath { stem: vec![s], cycle: vec![] });
+                return Some(WitnessPath {
+                    stem: vec![s],
+                    cycle: vec![],
+                });
             }
             parent.insert(s, s);
             queue.push_back(s);
@@ -123,7 +129,10 @@ impl Checker<'_> {
                         cur = p;
                     }
                     path.reverse();
-                    return Some(WitnessPath { stem: path, cycle: vec![] });
+                    return Some(WitnessPath {
+                        stem: path,
+                        cycle: vec![],
+                    });
                 }
                 queue.push_back(t);
             }
@@ -148,7 +157,10 @@ impl Checker<'_> {
         let mut direct = from.clone();
         direct.intersect_with(&sat_g);
         if let Some(s) = direct.iter().next() {
-            return Ok(Some(WitnessPath { stem: vec![s], cycle: vec![] }));
+            return Ok(Some(WitnessPath {
+                stem: vec![s],
+                cycle: vec![],
+            }));
         }
         // BFS through f-states only.
         let mut parent: BTreeMap<State, State> = BTreeMap::new();
@@ -174,7 +186,10 @@ impl Checker<'_> {
                         cur = p;
                     }
                     path.reverse();
-                    return Ok(Some(WitnessPath { stem: path, cycle: vec![] }));
+                    return Ok(Some(WitnessPath {
+                        stem: path,
+                        cycle: vec![],
+                    }));
                 }
                 if sat_f.contains(t) {
                     parent.insert(t, s);

@@ -15,7 +15,9 @@ pub fn lemma1_commutative(m: &System, mp: &System) -> bool {
 
 /// Lemma 1 (associativity): `(M₁ ∘ M₂) ∘ M₃ = M₁ ∘ (M₂ ∘ M₃)`.
 pub fn lemma1_associative(m1: &System, m2: &System, m3: &System) -> bool {
-    m1.compose(m2).compose(m3).equivalent(&m1.compose(&m2.compose(m3)))
+    m1.compose(m2)
+        .compose(m3)
+        .equivalent(&m1.compose(&m2.compose(m3)))
 }
 
 /// Lemma 2: for a shared alphabet, `(Σ, R) ∘ (Σ, R') = (Σ, R ∪ R')`.

@@ -106,7 +106,10 @@ impl State {
 
     /// Render as `{a, c}` against an alphabet.
     pub fn display<'a>(&self, alphabet: &'a Alphabet) -> StateDisplay<'a> {
-        StateDisplay { state: *self, alphabet }
+        StateDisplay {
+            state: *self,
+            alphabet,
+        }
     }
 }
 
@@ -139,7 +142,10 @@ pub fn all_states(alphabet: &Alphabet) -> impl Iterator<Item = State> {
     assert!(n <= MAX_PROPS);
     // For n == 128 this would overflow; alphabets that large are rejected by
     // Alphabet::new for explicit use anyway, and n < 64 in every case study.
-    assert!(n < 64, "explicit state-space enumeration limited to 2^63 states");
+    assert!(
+        n < 64,
+        "explicit state-space enumeration limited to 2^63 states"
+    );
     (0u128..(1u128 << n)).map(State)
 }
 

@@ -25,7 +25,11 @@ impl System {
     /// A system over `alphabet` with only the implicit stutter transitions —
     /// this is exactly the identity element `(Σ, I)` of Lemma 3.
     pub fn new(alphabet: Alphabet) -> Self {
-        System { alphabet, succ: BTreeMap::new(), pred: BTreeMap::new() }
+        System {
+            alphabet,
+            succ: BTreeMap::new(),
+            pred: BTreeMap::new(),
+        }
     }
 
     /// Alias for [`System::new`] making Lemma 3 intent explicit at call
@@ -44,7 +48,10 @@ impl System {
     pub fn add_transition(&mut self, s: State, t: State) {
         let n = self.alphabet.len();
         let mask = if n == 0 { 0 } else { (1u128 << n) - 1 };
-        assert!(s.0 & !mask == 0 && t.0 & !mask == 0, "state outside alphabet");
+        assert!(
+            s.0 & !mask == 0 && t.0 & !mask == 0,
+            "state outside alphabet"
+        );
         if s == t {
             return;
         }

@@ -8,8 +8,11 @@ use proptest::prelude::*;
 /// systems overlap in arbitrary ways.
 fn arb_system() -> impl Strategy<Value = System> {
     let pool = ["p", "q", "r", "s"];
-    (1usize..=3, proptest::collection::vec((0u32..8, 0u32..8), 0..10)).prop_map(
-        move |(k, pairs)| {
+    (
+        1usize..=3,
+        proptest::collection::vec((0u32..8, 0u32..8), 0..10),
+    )
+        .prop_map(move |(k, pairs)| {
             let names: Vec<&str> = pool[..k].to_vec();
             let mask = (1u32 << k) - 1;
             let mut m = System::new(Alphabet::new(names));
@@ -17,8 +20,7 @@ fn arb_system() -> impl Strategy<Value = System> {
                 m.add_transition(State((s & mask) as u128), State((t & mask) as u128));
             }
             m
-        },
-    )
+        })
 }
 
 proptest! {

@@ -113,7 +113,9 @@ impl Expr {
             And(a, b) | Or(a, b) | Implies(a, b) | Iff(a, b) | Eq(a, b) | Neq(a, b) => {
                 a.mentions_next() || b.mentions_next()
             }
-            Case(arms) => arms.iter().any(|(c, e)| c.mentions_next() || e.mentions_next()),
+            Case(arms) => arms
+                .iter()
+                .any(|(c, e)| c.mentions_next() || e.mentions_next()),
             Set(es) => es.iter().any(|e| e.mentions_next()),
             Ex(e) | Ax(e) | Ef(e) | Af(e) | Eg(e) | Ag(e) => e.mentions_next(),
             Eu(a, b) | Au(a, b) => a.mentions_next() || b.mentions_next(),
@@ -199,10 +201,7 @@ mod tests {
     fn temporal_detection() {
         let e = Expr::Ag(Box::new(Expr::Ident("p".into())));
         assert!(e.is_temporal());
-        let plain = Expr::And(
-            Box::new(Expr::Ident("p".into())),
-            Box::new(Expr::Num(1)),
-        );
+        let plain = Expr::And(Box::new(Expr::Ident("p".into())), Box::new(Expr::Num(1)));
         assert!(!plain.is_temporal());
         let nested = Expr::Case(vec![(Expr::Num(1), e)]);
         assert!(nested.is_temporal());

@@ -51,7 +51,10 @@ impl<'m> Symbols<'m> {
         for (name, ty) in &module.vars {
             if let Type::Enum(values) = ty {
                 for v in values {
-                    literal_owners.entry(v.clone()).or_default().push(name.clone());
+                    literal_owners
+                        .entry(v.clone())
+                        .or_default()
+                        .push(name.clone());
                 }
             }
         }
@@ -74,7 +77,11 @@ impl<'m> Symbols<'m> {
                 )));
             }
         }
-        Ok(Symbols { module, literal_owners, defines })
+        Ok(Symbols {
+            module,
+            literal_owners,
+            defines,
+        })
     }
 
     /// The module this table was built from.
@@ -140,7 +147,8 @@ impl<'m> Symbols<'m> {
                 let kb = self.infer(b, false, in_trans, false)?;
                 match (&ka, &kb) {
                     (ExprKind::Bool, ExprKind::Bool) => {}
-                    (ExprKind::Bool, ExprKind::Num01(_)) | (ExprKind::Num01(_), ExprKind::Bool) => {}
+                    (ExprKind::Bool, ExprKind::Num01(_)) | (ExprKind::Num01(_), ExprKind::Bool) => {
+                    }
                     (ExprKind::Num01(_), ExprKind::Num01(_)) => {}
                     (ExprKind::Values(va), ExprKind::Values(vb)) => {
                         if va.is_disjoint(vb) {
@@ -218,18 +226,16 @@ impl<'m> Symbols<'m> {
     fn expect_bool(&self, e: &Expr, in_spec: bool, in_trans: bool) -> Result<(), SemError> {
         match self.infer(e, in_spec, in_trans, false)? {
             ExprKind::Bool | ExprKind::Num01(_) => Ok(()),
-            ExprKind::Values(_) => {
-                Err(SemError(format!("expected boolean expression, found {e}")))
-            }
+            ExprKind::Values(_) => Err(SemError(format!("expected boolean expression, found {e}"))),
         }
     }
 
     fn expect_bool_spec(&self, e: &Expr) -> Result<(), SemError> {
         match self.infer(e, true, false, false)? {
             ExprKind::Bool | ExprKind::Num01(_) => Ok(()),
-            ExprKind::Values(_) => {
-                Err(SemError(format!("expected boolean spec sub-formula, found {e}")))
-            }
+            ExprKind::Values(_) => Err(SemError(format!(
+                "expected boolean spec sub-formula, found {e}"
+            ))),
         }
     }
 }
@@ -266,7 +272,10 @@ pub fn check_module(module: &Module) -> Result<(), SemError> {
 
     // Assignments: target must be declared; at most one init/next each;
     // the right-hand side must fit the target's type.
-    for (kind, assigns) in [("init", &module.init_assigns), ("next", &module.next_assigns)] {
+    for (kind, assigns) in [
+        ("init", &module.init_assigns),
+        ("next", &module.next_assigns),
+    ] {
         let mut seen = BTreeSet::new();
         for (var, rhs) in assigns {
             let ty = module
@@ -362,8 +371,8 @@ mod tests {
 
     #[test]
     fn duplicate_next_assignment() {
-        let e = check("MODULE main\nVAR x : boolean;\nASSIGN next(x) := 1; next(x) := 0;")
-            .unwrap_err();
+        let e =
+            check("MODULE main\nVAR x : boolean;\nASSIGN next(x) := 1; next(x) := 0;").unwrap_err();
         assert!(e.0.contains("duplicate"));
     }
 
@@ -374,8 +383,7 @@ mod tests {
         assert!(e.0.contains("unknown identifier"));
         // A literal from another variable's domain is rejected by the
         // domain check.
-        let e2 = check("MODULE main\nVAR s : {a, b}; t : {c};\nASSIGN next(s) := c;")
-            .unwrap_err();
+        let e2 = check("MODULE main\nVAR s : {a, b}; t : {c};\nASSIGN next(s) := c;").unwrap_err();
         assert!(e2.0.contains("outside the domain"));
     }
 
@@ -443,7 +451,6 @@ mod tests {
     #[test]
     fn shared_literals_across_domains_ok() {
         // `val` in both domains: equality between the variables is allowed.
-        check("MODULE main\nVAR a : {val, x}; b : {val, y};\nSPEC AG (a = b -> a = val)")
-            .unwrap();
+        check("MODULE main\nVAR a : {val, x}; b : {val, y};\nSPEC AG (a = b -> a = val)").unwrap();
     }
 }

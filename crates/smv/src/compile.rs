@@ -85,11 +85,15 @@ struct SValue {
 impl SValue {
     fn boolean(mgr: &mut cmc_bdd::BddManager, b: Bdd) -> SValue {
         let nb = mgr.not(b);
-        SValue { cases: vec![("1".into(), b), ("0".into(), nb)] }
+        SValue {
+            cases: vec![("1".into(), b), ("0".into(), nb)],
+        }
     }
 
     fn constant(name: String) -> SValue {
-        SValue { cases: vec![(name, Bdd::TRUE)] }
+        SValue {
+            cases: vec![(name, Bdd::TRUE)],
+        }
     }
 
     /// Condition under which the value is boolean-true.
@@ -99,11 +103,7 @@ impl SValue {
             match v.as_str() {
                 "1" => t = Some(*c),
                 "0" => {}
-                other => {
-                    return Err(SemError(format!(
-                        "value {other:?} used in boolean context"
-                    )))
-                }
+                other => return Err(SemError(format!("value {other:?} used in boolean context"))),
             }
         }
         Ok(t.unwrap_or(Bdd::FALSE))
@@ -150,11 +150,20 @@ pub(crate) fn compile_parts(
         };
         bit_names_flat.extend(bit_names.iter().cloned());
         var_index.insert(name.clone(), vars.len());
-        vars.push(CompiledVar { name: name.clone(), ty: ty.clone(), bit_names });
+        vars.push(CompiledVar {
+            name: name.clone(),
+            ty: ty.clone(),
+            bit_names,
+        });
     }
 
     let model = SymbolicModel::new(bit_names_flat);
-    let mut c = Compiler { syms: Symbols::new(&modules[0])?, model, vars, var_index };
+    let mut c = Compiler {
+        syms: Symbols::new(&modules[0])?,
+        model,
+        vars,
+        var_index,
+    };
     c.register_value_props()?;
 
     let valid_cur = c.validity(Frame::Current);
@@ -239,7 +248,11 @@ pub(crate) fn compile_parts(
         }
     }
 
-    Ok(CompiledModel { model: c.model, vars: c.vars, specs })
+    Ok(CompiledModel {
+        model: c.model,
+        vars: c.vars,
+        specs,
+    })
 }
 
 impl<'m> Compiler<'m> {
@@ -396,7 +409,9 @@ impl<'m> Compiler<'m> {
                     let nc = self.model.mgr().not(c);
                     none_before = self.model.mgr().and(none_before, nc);
                 }
-                SValue { cases: cases.into_iter().collect() }
+                SValue {
+                    cases: cases.into_iter().collect(),
+                }
             }
             Set(items) => {
                 // Nondeterministic choice: overlapping cases.
@@ -408,7 +423,9 @@ impl<'m> Compiler<'m> {
                         *entry = self.model.mgr().or(*entry, vc);
                     }
                 }
-                SValue { cases: cases.into_iter().collect() }
+                SValue {
+                    cases: cases.into_iter().collect(),
+                }
             }
             Ex(_) | Ax(_) | Ef(_) | Af(_) | Eg(_) | Ag(_) | Eu(..) | Au(..) => {
                 return Err(SemError(format!("temporal operator in expression: {e}")))
@@ -465,16 +482,14 @@ impl<'m> Compiler<'m> {
         target: &SValue,
         var: &str,
     ) -> Result<Bdd, SemError> {
-        let target_map: BTreeMap<&str, Bdd> = target
-            .cases
-            .iter()
-            .map(|(n, b)| (n.as_str(), *b))
-            .collect();
+        let target_map: BTreeMap<&str, Bdd> =
+            target.cases.iter().map(|(n, b)| (n.as_str(), *b)).collect();
         let mut acc = Bdd::FALSE;
         for (name, cond) in &value.cases {
-            let enc = target_map.get(name.as_str()).copied().ok_or_else(|| {
-                SemError(format!("value {name:?} outside the domain of {var}"))
-            })?;
+            let enc = target_map
+                .get(name.as_str())
+                .copied()
+                .ok_or_else(|| SemError(format!("value {name:?} outside the domain of {var}")))?;
             let both = self.model.mgr().and(*cond, enc);
             acc = self.model.mgr().or(acc, both);
         }
@@ -570,9 +585,8 @@ mod tests {
     #[test]
     fn figure3_range_encoding() {
         // Figure 3 of the paper: x : 0..3 modelled with two booleans.
-        let mut c = compiled(
-            "MODULE main\nVAR x : 0..3;\nASSIGN next(x) := case x = 3 : 0; 1 : x; esac;",
-        );
+        let mut c =
+            compiled("MODULE main\nVAR x : 0..3;\nASSIGN next(x) := case x = 3 : 0; 1 : x; esac;");
         assert_eq!(c.vars[0].bit_names, vec!["x#0", "x#1"]);
         // (x < 2) == (x=0 | x=1) == ¬x₁ in the paper's mapping (x#1 is the
         // high bit with LSB-first encoding).
@@ -600,9 +614,8 @@ mod tests {
     fn stutter_makes_ax_of_change_fail() {
         // next(x) := !x is deterministic in SMV, but our semantics keeps
         // the paper's reflexive stutter transition, so AX !x fails at x=0.
-        let mut c = compiled(
-            "MODULE main\nVAR x : boolean;\nASSIGN next(x) := !x;\nSPEC !x -> AX x",
-        );
+        let mut c =
+            compiled("MODULE main\nVAR x : boolean;\nASSIGN next(x) := !x;\nSPEC !x -> AX x");
         let f = c.specs[0].1.clone();
         let v = c.model.check(&Restriction::trivial(), &f).unwrap();
         assert!(!v.holds);
@@ -668,7 +681,11 @@ mod tests {
         let sa = c.model.prop("s=a").unwrap();
         let sb = c.model.prop("s=b").unwrap();
         let sc = c.model.prop("s=c").unwrap();
-        let any = { let m = c.model.mgr(); let ab = m.or(sa, sb); m.or(ab, sc) };
+        let any = {
+            let m = c.model.mgr();
+            let ab = m.or(sa, sb);
+            m.or(ab, sc)
+        };
         assert_eq!(any, init);
     }
 
@@ -696,9 +713,7 @@ mod tests {
 
     #[test]
     fn fairness_constraints_registered() {
-        let c = compiled(
-            "MODULE main\nVAR x : boolean;\nASSIGN next(x) := {0, 1};\nFAIRNESS x",
-        );
+        let c = compiled("MODULE main\nVAR x : boolean;\nASSIGN next(x) := {0, 1};\nFAIRNESS x");
         assert_eq!(c.model.fairness().len(), 1);
     }
 

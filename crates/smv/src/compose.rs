@@ -225,13 +225,16 @@ mod tests {
                         ("x".into(), Type::Boolean),
                         ("s".into(), Type::Enum(vec!["p".into(), "q".into()])),
                     ],
-                    specs: vec![(text.into(), crate::parse::parse_module(
-                        &format!("MODULE main\nVAR x : boolean; s : {{p, q}};\nSPEC {text}"),
-                    )
-                    .unwrap()
-                    .specs[0]
-                        .1
-                        .clone())],
+                    specs: vec![(
+                        text.into(),
+                        crate::parse::parse_module(&format!(
+                            "MODULE main\nVAR x : boolean; s : {{p, q}};\nSPEC {text}"
+                        ))
+                        .unwrap()
+                        .specs[0]
+                            .1
+                            .clone(),
+                    )],
                     ..Module::default()
                 };
                 let compiled = crate::compile::compile(&module_all).unwrap();
@@ -246,16 +249,13 @@ mod tests {
             // composed init (both components' inits, here just validity).
             let f_exp = ea.parse_formula(text).unwrap();
             let sat = checker.sat(&f_exp).unwrap();
-            let exp_holds = ea
-                .init_states
-                .iter()
-                .all(|s0| {
-                    // Embed component-a init into the composed alphabet and
-                    // pad with all b-private valuations — b has none beyond
-                    // shared x, so embedding suffices per shared layout.
-                    let embedded = s0.embed(ea.system.alphabet(), composed.alphabet());
-                    sat.contains(embedded)
-                });
+            let exp_holds = ea.init_states.iter().all(|s0| {
+                // Embed component-a init into the composed alphabet and
+                // pad with all b-private valuations — b has none beyond
+                // shared x, so embedding suffices per shared layout.
+                let embedded = s0.embed(ea.system.alphabet(), composed.alphabet());
+                sat.contains(embedded)
+            });
             assert_eq!(sym_holds, exp_holds, "disagreement on {text}");
         }
     }

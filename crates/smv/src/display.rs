@@ -162,7 +162,10 @@ mod tests {
     fn renders_case_and_set() {
         let e = Expr::Case(vec![
             (Expr::Ident("c".into()), Expr::Ident("a".into())),
-            (Expr::Num(1), Expr::Set(vec![Expr::Ident("a".into()), Expr::Ident("b".into())])),
+            (
+                Expr::Num(1),
+                Expr::Set(vec![Expr::Ident("a".into()), Expr::Ident("b".into())]),
+            ),
         ]);
         assert_eq!(e.to_string(), "case c : a; 1 : {a, b}; esac");
     }
@@ -173,8 +176,10 @@ mod tests {
         let src = "MODULE main\nVAR p : boolean; q : boolean;\nSPEC AG (p -> AX (p | !q))";
         let m = parse_module(src).unwrap();
         let printed = m.specs[0].1.to_string();
-        let again = parse_module(&format!("MODULE main\nVAR p : boolean; q : boolean;\nSPEC {printed}"))
-            .unwrap();
+        let again = parse_module(&format!(
+            "MODULE main\nVAR p : boolean; q : boolean;\nSPEC {printed}"
+        ))
+        .unwrap();
         assert_eq!(m.specs[0].1, again.specs[0].1);
     }
 }

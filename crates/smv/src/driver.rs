@@ -1,8 +1,11 @@
 //! The check driver: parse → check → compile → verify all `SPEC`s and print
 //! an SMV-style report, as in Figures 7, 10, 15 and 17 of the paper.
 
+use crate::ast::Module;
 use crate::compile::{compile, CompiledModel};
+use crate::explicit::{compile_explicit, EXPLICIT_BIT_LIMIT};
 use crate::parse::parse_module;
+use cmc_core::BackendChoice;
 use cmc_ctl::Restriction;
 use cmc_store::{CertStore, Entry, ObligationKey};
 use std::fmt;
@@ -71,7 +74,87 @@ pub fn run_compiled(mut compiled: CompiledModel) -> Result<RunOutcome, DriverErr
     }
     let report = render_report(&compiled, lines, start.elapsed());
     let cache_misses = results.len();
-    Ok(RunOutcome { results, report, cache_hits: 0, cache_misses })
+    Ok(RunOutcome {
+        results,
+        report,
+        cache_hits: 0,
+        cache_misses,
+    })
+}
+
+/// Verify every `SPEC` through the engine selected by `choice`.
+///
+/// `Symbolic` runs the BDD checker (same pipeline as [`run_source`]);
+/// `Explicit` runs the independent explicit-state compilation (and fails
+/// with a semantic error past its [`EXPLICIT_BIT_LIMIT`]-bit budget);
+/// `Auto` picks the explicit engine while the model's boolean encoding
+/// fits that budget and the symbolic engine beyond it — so wide models
+/// verify instead of erroring. The report's trailer names the engine
+/// that ran.
+pub fn run_source_with_backend(
+    src: &str,
+    choice: BackendChoice,
+) -> Result<RunOutcome, DriverError> {
+    let module = parse_module(src).map_err(|e| DriverError::Parse(e.to_string()))?;
+    let bits: usize = module.vars.iter().map(|(_, ty)| ty.bits()).sum();
+    let use_explicit = match choice {
+        BackendChoice::Explicit => true,
+        BackendChoice::Symbolic => false,
+        BackendChoice::Auto => bits <= EXPLICIT_BIT_LIMIT,
+    };
+    if use_explicit {
+        run_module_explicit(&module)
+    } else {
+        let compiled = compile(&module).map_err(|e| DriverError::Semantic(e.to_string()))?;
+        let mut out = run_compiled(compiled)?;
+        out.report.push_str("engine: symbolic (BDD)\n");
+        Ok(out)
+    }
+}
+
+/// Verify every `SPEC` of a parsed module with the explicit-state engine.
+fn run_module_explicit(module: &Module) -> Result<RunOutcome, DriverError> {
+    let start = Instant::now();
+    let explicit = compile_explicit(module).map_err(|e| DriverError::Semantic(e.to_string()))?;
+    let mut results = Vec::new();
+    let mut lines = Vec::new();
+    for (i, (text, _)) in explicit.specs.iter().enumerate() {
+        let holds = explicit
+            .check_spec(i)
+            .map_err(|e| DriverError::Check(e.to_string()))?;
+        lines.push(format!(
+            "-- specification {text} is {}",
+            if holds { "true" } else { "false" }
+        ));
+        if !holds {
+            let violating = explicit
+                .violating_init(i)
+                .map_err(|e| DriverError::Check(e.to_string()))?;
+            if let Some(s) = violating.first() {
+                lines.push("-- as demonstrated by the initial state".into());
+                for (name, value) in explicit.decode_state(*s) {
+                    lines.push(format!("   {name} = {value}"));
+                }
+            }
+        }
+        results.push((text.clone(), holds));
+    }
+    let mut report = lines.join("\n");
+    report.push_str(&format!(
+        "\n\nresources used:\nuser time: {:.7} s, system time: 0 s\n\
+         explicit states enumerated over {} propositions; {} proper transitions\n\
+         engine: explicit-state\n",
+        start.elapsed().as_secs_f64(),
+        explicit.system.alphabet().len(),
+        explicit.system.proper_transition_count(),
+    ));
+    let cache_misses = results.len();
+    Ok(RunOutcome {
+        results,
+        report,
+        cache_hits: 0,
+        cache_misses,
+    })
 }
 
 /// Verify every `SPEC`, consulting `store` first: a spec whose
@@ -119,7 +202,12 @@ pub fn run_source_with_store(src: &str, store: &CertStore) -> Result<RunOutcome,
             100.0 * cache_hits as f64 / (cache_hits + cache_misses) as f64
         }
     ));
-    Ok(RunOutcome { results, report, cache_hits, cache_misses })
+    Ok(RunOutcome {
+        results,
+        report,
+        cache_hits,
+        cache_misses,
+    })
 }
 
 /// Check one spec, returning its verdict and its report lines (including
@@ -144,13 +232,11 @@ fn check_one_spec(
         // path from an initial state to the violation (SMV style);
         // otherwise show the violating initial state.
         let trace = match f {
-            cmc_ctl::Formula::Ag(body) if body.is_propositional() => {
-                compiled
-                    .model
-                    .prop_to_bdd(body)
-                    .ok()
-                    .and_then(|p| compiled.model.counterexample_ag(p))
-            }
+            cmc_ctl::Formula::Ag(body) if body.is_propositional() => compiled
+                .model
+                .prop_to_bdd(body)
+                .ok()
+                .and_then(|p| compiled.model.counterexample_ag(p)),
             _ => None,
         };
         match trace {
@@ -164,7 +250,7 @@ fn check_one_spec(
             }
             None => {
                 if let Some(w) = &verdict.witness {
-                    for (name, value) in compiled.decode_state(w) {
+                    for (name, value) in compiled.decode_state(&w.values()) {
                         lines.push(format!("   {name} = {value}"));
                     }
                 }
@@ -201,7 +287,8 @@ fn render_report(compiled: &CompiledModel, lines: Vec<String>, user_time: Durati
 /// (explicit compilation is limited to 20 encoded bits).
 pub fn run_source_validated(src: &str) -> Result<RunOutcome, DriverError> {
     let module = parse_module(src).map_err(|e| DriverError::Parse(e.to_string()))?;
-    let compiled = crate::compile::compile(&module).map_err(|e| DriverError::Semantic(e.to_string()))?;
+    let compiled =
+        crate::compile::compile(&module).map_err(|e| DriverError::Semantic(e.to_string()))?;
     let explicit = crate::explicit::compile_explicit(&module)
         .map_err(|e| DriverError::Semantic(e.to_string()))?;
     let outcome = run_compiled(compiled)?;
@@ -239,10 +326,8 @@ mod tests {
 
     #[test]
     fn report_for_failing_spec_includes_witness() {
-        let out = run_source(
-            "MODULE main\nVAR x : boolean;\nASSIGN next(x) := x;\nSPEC AF x",
-        )
-        .unwrap();
+        let out =
+            run_source("MODULE main\nVAR x : boolean;\nASSIGN next(x) := x;\nSPEC AF x").unwrap();
         assert!(!out.all_true());
         assert!(out.report.contains("is false"));
         assert!(out.report.contains("x = 0"));
@@ -314,8 +399,55 @@ mod tests {
     }
 
     #[test]
+    fn backend_choices_agree_on_small_models() {
+        let src = "MODULE main\nVAR s : {a, b, c};\nASSIGN init(s) := a;\n\
+                   next(s) := case s = a : {a, b}; s = b : c; 1 : s; esac;\n\
+                   SPEC EF s = c\nSPEC AG (s = c -> AX s = c)\nSPEC AF s = c";
+        let symbolic = run_source_with_backend(src, BackendChoice::Symbolic).unwrap();
+        let explicit = run_source_with_backend(src, BackendChoice::Explicit).unwrap();
+        let auto = run_source_with_backend(src, BackendChoice::Auto).unwrap();
+        assert_eq!(symbolic.results, explicit.results);
+        assert_eq!(symbolic.results, auto.results);
+        assert!(symbolic.report.contains("engine: symbolic (BDD)"));
+        assert!(explicit.report.contains("engine: explicit-state"));
+        // Auto picks explicit for this 2-bit model.
+        assert!(auto.report.contains("engine: explicit-state"));
+    }
+
+    #[test]
+    fn auto_backend_handles_models_past_the_explicit_budget() {
+        // 25 boolean variables: over the 20-bit explicit budget.
+        let vars: String = (0..25).map(|i| format!("v{i} : boolean;\n")).collect();
+        let assigns: String = (0..25).map(|i| format!("next(v{i}) := 1;\n")).collect();
+        let src =
+            format!("MODULE main\nVAR {vars}ASSIGN {assigns}SPEC AG (v0 -> AX v0)\nSPEC EF v24");
+        assert!(matches!(
+            run_source_with_backend(&src, BackendChoice::Explicit),
+            Err(DriverError::Semantic(_))
+        ));
+        let auto = run_source_with_backend(&src, BackendChoice::Auto).unwrap();
+        assert!(auto.all_true(), "{}", auto.report);
+        assert!(auto.report.contains("engine: symbolic (BDD)"));
+    }
+
+    #[test]
+    fn explicit_backend_reports_failing_witness() {
+        let out = run_source_with_backend(
+            "MODULE main\nVAR x : boolean;\nASSIGN next(x) := x;\nSPEC AF x",
+            BackendChoice::Explicit,
+        )
+        .unwrap();
+        assert!(!out.all_true());
+        assert!(out.report.contains("is false"));
+        assert!(out.report.contains("x = 0"), "{}", out.report);
+    }
+
+    #[test]
     fn parse_errors_surface() {
-        assert!(matches!(run_source("MODUL main"), Err(DriverError::Parse(_))));
+        assert!(matches!(
+            run_source("MODUL main"),
+            Err(DriverError::Parse(_))
+        ));
         assert!(matches!(
             run_source("MODULE main\nVAR x : boolean;\nSPEC zz"),
             Err(DriverError::Semantic(_))

@@ -14,6 +14,11 @@ use crate::compile::CompiledVar;
 use cmc_ctl::{Checker, Formula, Restriction};
 use cmc_kripke::{Alphabet, State, System};
 
+/// Explicit compilation enumerates `2^bits` states, so it is limited to
+/// this many encoded bits (the driver's `Auto` backend policy switches to
+/// the symbolic engine beyond it).
+pub const EXPLICIT_BIT_LIMIT: usize = 20;
+
 /// An SMV module compiled to an explicit system.
 #[derive(Debug)]
 pub struct ExplicitCompiled {
@@ -87,16 +92,24 @@ pub fn compile_explicit(module: &Module) -> Result<ExplicitCompiled, SemError> {
         };
         bit_names.extend(names.iter().cloned());
         domains.push(ty.values());
-        vars.push(CompiledVar { name: name.clone(), ty: ty.clone(), bit_names: names });
+        vars.push(CompiledVar {
+            name: name.clone(),
+            ty: ty.clone(),
+            bit_names: names,
+        });
     }
     let total_bits: usize = vars.iter().map(|v| v.bit_names.len()).sum();
-    if total_bits > 20 {
+    if total_bits > EXPLICIT_BIT_LIMIT {
         return Err(SemError(format!(
-            "explicit compilation limited to 20 bits, model needs {total_bits}"
+            "explicit compilation limited to {EXPLICIT_BIT_LIMIT} bits, model needs {total_bits}"
         )));
     }
     let alphabet = Alphabet::new(bit_names);
-    let ctx = Ctx { syms, vars, domains };
+    let ctx = Ctx {
+        syms,
+        vars,
+        domains,
+    };
 
     // Enumerate concrete states (vectors of value indices).
     let all_states = enumerate(&ctx.domains);
@@ -104,7 +117,10 @@ pub fn compile_explicit(module: &Module) -> Result<ExplicitCompiled, SemError> {
     // INVAR filter.
     let mut valid = Vec::new();
     for st in &all_states {
-        let env = Env { cur: st, next: None };
+        let env = Env {
+            cur: st,
+            next: None,
+        };
         let mut ok = true;
         for inv in &module.invar_constraints {
             if !eval_single(&ctx, inv, &env)?.as_bool()? {
@@ -146,7 +162,10 @@ pub fn compile_explicit(module: &Module) -> Result<ExplicitCompiled, SemError> {
         }
         for t in product(&candidates) {
             // TRANS and INVAR-on-next filters.
-            let env = Env { cur: s, next: Some(&t) };
+            let env = Env {
+                cur: s,
+                next: Some(&t),
+            };
             let mut ok = true;
             for tr in &module.trans_constraints {
                 if !eval_single(&ctx, tr, &env)?.as_bool()? {
@@ -155,7 +174,10 @@ pub fn compile_explicit(module: &Module) -> Result<ExplicitCompiled, SemError> {
                 }
             }
             if ok {
-                let envn = Env { cur: &t, next: None };
+                let envn = Env {
+                    cur: &t,
+                    next: None,
+                };
                 for inv in &module.invar_constraints {
                     if !eval_single(&ctx, inv, &envn)?.as_bool()? {
                         ok = false;
@@ -225,7 +247,14 @@ pub fn compile_explicit(module: &Module) -> Result<ExplicitCompiled, SemError> {
         atoms.insert(name.clone(), expr_to_bit_formula(&ctx, body)?);
     }
 
-    Ok(ExplicitCompiled { system, init_states, fairness, specs, vars: ctx.vars, atoms })
+    Ok(ExplicitCompiled {
+        system,
+        init_states,
+        fairness,
+        specs,
+        vars: ctx.vars,
+        atoms,
+    })
 }
 
 impl ExplicitCompiled {
@@ -236,6 +265,42 @@ impl ExplicitCompiled {
         let f = &self.specs[idx].1;
         let sat = checker.sat_fair(f, &self.fairness)?;
         Ok(self.init_states.iter().all(|s| sat.contains(*s)))
+    }
+
+    /// The initial states violating spec `idx` (empty when it holds).
+    pub fn violating_init(&self, idx: usize) -> Result<Vec<State>, cmc_ctl::CheckError> {
+        let checker = Checker::new(&self.system)?;
+        let f = &self.specs[idx].1;
+        let sat = checker.sat_fair(f, &self.fairness)?;
+        Ok(self
+            .init_states
+            .iter()
+            .copied()
+            .filter(|s| !sat.contains(*s))
+            .collect())
+    }
+
+    /// Decode a bit-level state into `(variable, value)` pairs in
+    /// declaration order (the inverse of the Figure-3 encoding).
+    pub fn decode_state(&self, s: State) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        let mut offset = 0usize;
+        for v in &self.vars {
+            let width = v.bit_names.len();
+            let idx = ((s.0 >> offset) & ((1u128 << width) - 1)) as usize;
+            let value = match v.ty {
+                Type::Boolean => if idx == 1 { "1" } else { "0" }.to_string(),
+                _ => {
+                    v.ty.values()
+                        .get(idx)
+                        .cloned()
+                        .unwrap_or_else(|| format!("<invalid encoding {idx}>"))
+                }
+            };
+            out.push((v.name.clone(), value));
+            offset += width;
+        }
+        out
     }
 
     /// The domain-validity predicate of the Figure-3 encoding: every
@@ -302,11 +367,7 @@ impl ExplicitCompiled {
 
     /// Check an arbitrary bit-level formula under a restriction whose
     /// fairness is *added to* the module's own.
-    pub fn check_formula(
-        &self,
-        r: &Restriction,
-        f: &Formula,
-    ) -> Result<bool, cmc_ctl::CheckError> {
+    pub fn check_formula(&self, r: &Restriction, f: &Formula) -> Result<bool, cmc_ctl::CheckError> {
         let checker = Checker::new(&self.system)?;
         let mut fairness = self.fairness.clone();
         fairness.extend(r.fairness.iter().cloned());
@@ -357,7 +418,9 @@ fn encode(ctx: &Ctx<'_>, s: &[usize]) -> State {
 fn eval_single(ctx: &Ctx<'_>, e: &Expr, env: &Env<'_>) -> Result<CValue, SemError> {
     let mut vals = eval_multi(ctx, e, env)?;
     if vals.len() != 1 {
-        return Err(SemError(format!("nondeterministic value where one expected: {e}")));
+        return Err(SemError(format!(
+            "nondeterministic value where one expected: {e}"
+        )));
     }
     Ok(vals.pop().unwrap())
 }
@@ -545,13 +608,13 @@ fn equality_formula(ctx: &Ctx<'_>, a: &Expr, b: &Expr) -> Result<Formula, SemErr
             let shared: Vec<(usize, usize)> = ctx.domains[va]
                 .iter()
                 .enumerate()
-                .filter_map(|(i, v)| {
-                    ctx.domains[vb].iter().position(|w| w == v).map(|j| (i, j))
-                })
+                .filter_map(|(i, v)| ctx.domains[vb].iter().position(|w| w == v).map(|j| (i, j)))
                 .collect();
-            Formula::or_many(shared.into_iter().map(|(i, j)| {
-                var_equals_formula(ctx, va, i).and(var_equals_formula(ctx, vb, j))
-            }))
+            Formula::or_many(
+                shared.into_iter().map(|(i, j)| {
+                    var_equals_formula(ctx, va, i).and(var_equals_formula(ctx, vb, j))
+                }),
+            )
         }
         (Side::Const(x), Side::Const(y)) => {
             if x == y {
@@ -612,9 +675,7 @@ mod tests {
 
     #[test]
     fn trans_constraint_filters() {
-        let c = build(
-            "MODULE main\nVAR x : boolean; y : boolean;\nTRANS next(y) = y | x",
-        );
+        let c = build("MODULE main\nVAR x : boolean; y : boolean;\nTRANS next(y) = y | x");
         // y may change only when x holds.
         for (s, t) in c.system.proper_transitions() {
             let al = c.system.alphabet();

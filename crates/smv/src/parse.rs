@@ -23,8 +23,14 @@ impl std::error::Error for SmvParseError {}
 
 /// Parse a complete SMV program (a single `MODULE main`).
 pub fn parse_module(src: &str) -> Result<Module, SmvParseError> {
-    let tokens = lex(src).map_err(|e| SmvParseError { line: e.line, message: e.message })?;
-    let mut p = P { toks: tokens, pos: 0 };
+    let tokens = lex(src).map_err(|e| SmvParseError {
+        line: e.line,
+        message: e.message,
+    })?;
+    let mut p = P {
+        toks: tokens,
+        pos: 0,
+    };
     p.module()
 }
 
@@ -51,7 +57,10 @@ impl P {
     }
 
     fn err(&self, msg: impl Into<String>) -> SmvParseError {
-        SmvParseError { line: self.line(), message: msg.into() }
+        SmvParseError {
+            line: self.line(),
+            message: msg.into(),
+        }
     }
 
     fn expect(&mut self, t: Token) -> Result<(), SmvParseError> {
@@ -91,7 +100,10 @@ impl P {
                  build multi-component models programmatically"
             )));
         }
-        let mut m = Module { name, ..Module::default() };
+        let mut m = Module {
+            name,
+            ..Module::default()
+        };
         loop {
             match self.peek().clone() {
                 Token::Eof => break,
@@ -448,7 +460,10 @@ SPEC E [x U s = c]
         let m = parse_module(TINY).unwrap();
         assert_eq!(m.name, "main");
         assert_eq!(m.vars.len(), 3);
-        assert_eq!(m.vars[1].1, Type::Enum(vec!["a".into(), "b".into(), "c".into()]));
+        assert_eq!(
+            m.vars[1].1,
+            Type::Enum(vec!["a".into(), "b".into(), "c".into()])
+        );
         assert_eq!(m.vars[2].1, Type::Range(0, 3));
         assert_eq!(m.init_assigns.len(), 1);
         assert_eq!(m.next_assigns.len(), 2);
@@ -483,18 +498,15 @@ SPEC E [x U s = c]
 
     #[test]
     fn trans_allows_next() {
-        let m = parse_module(
-            "MODULE main\nVAR x : boolean;\nTRANS next(x) = x | next(x) != x",
-        )
-        .unwrap();
+        let m = parse_module("MODULE main\nVAR x : boolean;\nTRANS next(x) = x | next(x) != x")
+            .unwrap();
         assert_eq!(m.trans_constraints.len(), 1);
         assert!(m.trans_constraints[0].mentions_next());
     }
 
     #[test]
     fn next_rejected_outside_trans() {
-        let err =
-            parse_module("MODULE main\nVAR x : boolean;\nINIT next(x) = x").unwrap_err();
+        let err = parse_module("MODULE main\nVAR x : boolean;\nINIT next(x) = x").unwrap_err();
         assert!(err.message.contains("next"));
     }
 

@@ -113,79 +113,136 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 }
             }
             '-' if bytes.get(i + 1) == Some(&b'>') => {
-                out.push(Spanned { token: Token::Implies, line });
+                out.push(Spanned {
+                    token: Token::Implies,
+                    line,
+                });
                 i += 2;
             }
             '(' => {
-                out.push(Spanned { token: Token::LParen, line });
+                out.push(Spanned {
+                    token: Token::LParen,
+                    line,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { token: Token::RParen, line });
+                out.push(Spanned {
+                    token: Token::RParen,
+                    line,
+                });
                 i += 1;
             }
             '{' => {
-                out.push(Spanned { token: Token::LBrace, line });
+                out.push(Spanned {
+                    token: Token::LBrace,
+                    line,
+                });
                 i += 1;
             }
             '}' => {
-                out.push(Spanned { token: Token::RBrace, line });
+                out.push(Spanned {
+                    token: Token::RBrace,
+                    line,
+                });
                 i += 1;
             }
             '[' => {
-                out.push(Spanned { token: Token::LBracket, line });
+                out.push(Spanned {
+                    token: Token::LBracket,
+                    line,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(Spanned { token: Token::RBracket, line });
+                out.push(Spanned {
+                    token: Token::RBracket,
+                    line,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(Spanned { token: Token::Semi, line });
+                out.push(Spanned {
+                    token: Token::Semi,
+                    line,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Spanned { token: Token::Comma, line });
+                out.push(Spanned {
+                    token: Token::Comma,
+                    line,
+                });
                 i += 1;
             }
             ':' if bytes.get(i + 1) == Some(&b'=') => {
-                out.push(Spanned { token: Token::Assign2, line });
+                out.push(Spanned {
+                    token: Token::Assign2,
+                    line,
+                });
                 i += 2;
             }
             ':' => {
-                out.push(Spanned { token: Token::Colon, line });
+                out.push(Spanned {
+                    token: Token::Colon,
+                    line,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Spanned { token: Token::Eq, line });
+                out.push(Spanned {
+                    token: Token::Eq,
+                    line,
+                });
                 i += 1;
             }
             '!' if bytes.get(i + 1) == Some(&b'=') => {
-                out.push(Spanned { token: Token::Neq, line });
+                out.push(Spanned {
+                    token: Token::Neq,
+                    line,
+                });
                 i += 2;
             }
             '!' => {
-                out.push(Spanned { token: Token::Not, line });
+                out.push(Spanned {
+                    token: Token::Not,
+                    line,
+                });
                 i += 1;
             }
             '&' => {
-                out.push(Spanned { token: Token::And, line });
+                out.push(Spanned {
+                    token: Token::And,
+                    line,
+                });
                 i += 1;
             }
             '|' => {
-                out.push(Spanned { token: Token::Or, line });
+                out.push(Spanned {
+                    token: Token::Or,
+                    line,
+                });
                 i += 1;
             }
             '<' if src[i..].starts_with("<->") => {
-                out.push(Spanned { token: Token::Iff, line });
+                out.push(Spanned {
+                    token: Token::Iff,
+                    line,
+                });
                 i += 3;
             }
             '.' if bytes.get(i + 1) == Some(&b'.') => {
-                out.push(Spanned { token: Token::DotDot, line });
+                out.push(Spanned {
+                    token: Token::DotDot,
+                    line,
+                });
                 i += 2;
             }
             '.' => {
-                out.push(Spanned { token: Token::Dot, line });
+                out.push(Spanned {
+                    token: Token::Dot,
+                    line,
+                });
                 i += 1;
             }
             c if c.is_ascii_digit() => {
@@ -193,10 +250,14 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
                     i += 1;
                 }
-                let n: i64 = src[start..i]
-                    .parse()
-                    .map_err(|_| LexError { line, message: "bad number".into() })?;
-                out.push(Spanned { token: Token::Number(n), line });
+                let n: i64 = src[start..i].parse().map_err(|_| LexError {
+                    line,
+                    message: "bad number".into(),
+                })?;
+                out.push(Spanned {
+                    token: Token::Number(n),
+                    line,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -237,7 +298,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
         }
     }
-    out.push(Spanned { token: Token::Eof, line });
+    out.push(Spanned {
+        token: Token::Eof,
+        line,
+    });
     Ok(out)
 }
 
@@ -303,7 +367,10 @@ mod tests {
 
     #[test]
     fn true_false_fold_to_numbers() {
-        assert_eq!(toks("TRUE FALSE"), vec![Token::Number(1), Token::Number(0), Token::Eof]);
+        assert_eq!(
+            toks("TRUE FALSE"),
+            vec![Token::Number(1), Token::Number(0), Token::Eof]
+        );
     }
 
     #[test]

@@ -105,7 +105,10 @@ fn checksum(key: ObligationKey, verdict: bool, certificate: &Json) -> String {
         verdict,
         certificate.to_compact()
     );
-    format!("{:016x}", hash_bytes_seeded(SEED_CHECKSUM, payload.as_bytes()))
+    format!(
+        "{:016x}",
+        hash_bytes_seeded(SEED_CHECKSUM, payload.as_bytes())
+    )
 }
 
 fn entry_to_json(key: ObligationKey, entry: &Entry) -> Json {
@@ -134,7 +137,13 @@ fn entry_from_json(item: &Json) -> Option<(ObligationKey, Entry)> {
         Json::Null => None,
         cert => Some(cert_from_json(cert)?),
     };
-    Some((key, Entry { verdict, certificate }))
+    Some((
+        key,
+        Entry {
+            verdict,
+            certificate,
+        },
+    ))
 }
 
 fn cert_to_json(cert: &StoredCertificate) -> Json {
@@ -143,9 +152,19 @@ fn cert_to_json(cert: &StoredCertificate) -> Json {
         .iter()
         .map(|step| {
             Json::Obj(vec![
-                ("description".to_string(), Json::Str(step.description.clone())),
+                (
+                    "description".to_string(),
+                    Json::Str(step.description.clone()),
+                ),
                 ("ok".to_string(), Json::Bool(step.ok)),
                 ("compositional".to_string(), Json::Bool(step.compositional)),
+                (
+                    "backend".to_string(),
+                    match &step.backend {
+                        Some(b) => Json::Str(b.clone()),
+                        None => Json::Null,
+                    },
+                ),
             ])
         })
         .collect();
@@ -165,6 +184,10 @@ fn cert_from_json(json: &Json) -> Option<StoredCertificate> {
             description: step.get("description")?.as_str()?.to_string(),
             ok: step.get("ok")?.as_bool()?,
             compositional: step.get("compositional")?.as_bool()?,
+            backend: step
+                .get("backend")
+                .and_then(Json::as_str)
+                .map(str::to_string),
         });
     }
     Some(StoredCertificate { goal, valid, steps })
@@ -188,11 +211,13 @@ mod tests {
                             description: "component station0 ⊨ inv".to_string(),
                             ok: true,
                             compositional: true,
+                            backend: Some("explicit".to_string()),
                         },
                         StoredStep {
                             description: "monolithic fallback".to_string(),
                             ok: false,
                             compositional: false,
+                            backend: None,
                         },
                     ],
                     valid: false,

@@ -15,6 +15,9 @@ pub struct StoredStep {
     /// Was this step compositional (component-local) or a whole-system
     /// fallback check?
     pub compositional: bool,
+    /// Name of the backend that discharged the step's obligation
+    /// (`None` for pure deduction steps).
+    pub backend: Option<String>,
 }
 
 /// A stored proof certificate (mirrors `cmc_core::Certificate`).
@@ -41,11 +44,17 @@ pub struct Entry {
 impl Entry {
     /// An entry carrying only a verdict.
     pub fn verdict(verdict: bool) -> Self {
-        Entry { verdict, certificate: None }
+        Entry {
+            verdict,
+            certificate: None,
+        }
     }
 
     /// An entry carrying a verdict and its certificate.
     pub fn with_certificate(verdict: bool, certificate: StoredCertificate) -> Self {
-        Entry { verdict, certificate: Some(certificate) }
+        Entry {
+            verdict,
+            certificate: Some(certificate),
+        }
     }
 }

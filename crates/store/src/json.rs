@@ -332,8 +332,8 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                         }
                         let hex = std::str::from_utf8(&bytes[*pos..*pos + 4])
                             .map_err(|e| e.to_string())?;
-                        let code =
-                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_string())?;
                         *pos += 4;
                         // Surrogates are rejected rather than paired: the
                         // writer never emits them.
@@ -349,8 +349,8 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 if start + len > bytes.len() {
                     return Err("truncated UTF-8 sequence".to_string());
                 }
-                let s = std::str::from_utf8(&bytes[start..start + len])
-                    .map_err(|e| e.to_string())?;
+                let s =
+                    std::str::from_utf8(&bytes[start..start + len]).map_err(|e| e.to_string())?;
                 out.push_str(s);
                 *pos = start + len;
             }
@@ -376,8 +376,14 @@ mod tests {
         Json::Obj(vec![
             ("version".to_string(), Json::int(1)),
             ("ok".to_string(), Json::Bool(true)),
-            ("name".to_string(), Json::Str("a \"b\"\n\tc\\d — π".to_string())),
-            ("items".to_string(), Json::Arr(vec![Json::Null, Json::Num(-2.5), Json::int(7)])),
+            (
+                "name".to_string(),
+                Json::Str("a \"b\"\n\tc\\d — π".to_string()),
+            ),
+            (
+                "items".to_string(),
+                Json::Arr(vec![Json::Null, Json::Num(-2.5), Json::int(7)]),
+            ),
             ("empty".to_string(), Json::Obj(vec![])),
         ])
     }
@@ -410,15 +416,29 @@ mod tests {
         let v = sample();
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(v.get("version").and_then(Json::as_num), Some(1.0));
-        assert_eq!(v.get("items").and_then(Json::as_arr).map(|a| a.len()), Some(3));
+        assert_eq!(
+            v.get("items").and_then(Json::as_arr).map(|a| a.len()),
+            Some(3)
+        );
         assert!(v.get("missing").is_none());
     }
 
     #[test]
     fn malformed_inputs_error_without_panic() {
         for bad in [
-            "", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "\"\\x\"", "\"unterminated",
-            "1 2", "{\"a\":1}x", "[01e+]", "\"\\u12\"", "\"\\ud800\"",
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "\"\\x\"",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":1}x",
+            "[01e+]",
+            "\"\\u12\"",
+            "\"\\ud800\"",
         ] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }

@@ -28,19 +28,24 @@ pub struct ObligationKey(pub u128);
 impl ObligationKey {
     /// Key for "`f` holds in **every** state of `system`" — the obligation
     /// shape discharged for each component by Rule 2 and the invariant rule.
-    pub fn holds_everywhere(system: &System, f: &Formula) -> Self {
+    /// `backend` names the engine that produced (or would produce) the
+    /// verdict — explicit and symbolic runs of the same obligation must not
+    /// alias in the store.
+    pub fn holds_everywhere(system: &System, f: &Formula, backend: &str) -> Self {
         let mut enc = Vec::with_capacity(256);
         push_tag(&mut enc, "HE");
+        push_backend(&mut enc, backend);
         push_system(&mut enc, system);
         push_str(&mut enc, &f.to_string());
         ObligationKey::from_encoding(&enc)
     }
 
     /// Key for "`system ⊨_r f`" — a restricted check with initial condition
-    /// and fairness constraints.
-    pub fn restricted(system: &System, r: &Restriction, f: &Formula) -> Self {
+    /// and fairness constraints, discharged by `backend`.
+    pub fn restricted(system: &System, r: &Restriction, f: &Formula, backend: &str) -> Self {
         let mut enc = Vec::with_capacity(256);
         push_tag(&mut enc, "RC");
+        push_backend(&mut enc, backend);
         push_system(&mut enc, system);
         push_str(&mut enc, &r.init.to_string());
         // Fairness is a set: sort the rendered constraints.
@@ -56,9 +61,16 @@ impl ObligationKey {
 
     /// Key for "the composition of `systems` ⊨_r f" under a caller-chosen
     /// proof `mode` tag (different deduction procedures over the same
-    /// obligation must not share certificates). Component order is
-    /// canonicalised away — composition is commutative (Lemma 1).
-    pub fn composed(mode: &str, systems: &[&System], r: &Restriction, f: &Formula) -> Self {
+    /// obligation must not share certificates) and `backend` identity
+    /// (different engines likewise). Component order is canonicalised
+    /// away — composition is commutative (Lemma 1).
+    pub fn composed(
+        mode: &str,
+        backend: &str,
+        systems: &[&System],
+        r: &Restriction,
+        f: &Formula,
+    ) -> Self {
         let mut parts: Vec<Vec<u8>> = systems
             .iter()
             .map(|s| {
@@ -71,6 +83,7 @@ impl ObligationKey {
         let mut enc = Vec::with_capacity(256);
         push_tag(&mut enc, "CMP");
         push_str(&mut enc, mode);
+        push_backend(&mut enc, backend);
         for part in &parts {
             enc.extend_from_slice(part);
             push_tag(&mut enc, "/C");
@@ -143,6 +156,13 @@ fn push_str(enc: &mut Vec<u8>, s: &str) {
     enc.push(SEP);
 }
 
+/// Append the backend identity under its own `/B` marker so a backend name
+/// can never blur into an adjacent field.
+fn push_backend(enc: &mut Vec<u8>, backend: &str) {
+    push_tag(enc, "/B");
+    push_str(enc, backend);
+}
+
 /// Append the canonical form of `system`: sorted proposition names, then
 /// the explicit transition pairs with every state re-indexed so that bit
 /// `i` is the `i`-th proposition *in sorted name order*, pairs sorted.
@@ -197,8 +217,8 @@ mod tests {
         let b = toggle(&["q", "p"], &[], &["p"]);
         let f = parse("p -> AX p").unwrap();
         assert_eq!(
-            ObligationKey::holds_everywhere(&a, &f),
-            ObligationKey::holds_everywhere(&b, &f)
+            ObligationKey::holds_everywhere(&a, &f, "explicit"),
+            ObligationKey::holds_everywhere(&b, &f, "explicit")
         );
     }
 
@@ -208,8 +228,8 @@ mod tests {
         let c = toggle(&["p", "q"], &[], &["q"]);
         let f = parse("p -> AX p").unwrap();
         assert_ne!(
-            ObligationKey::holds_everywhere(&a, &f),
-            ObligationKey::holds_everywhere(&c, &f)
+            ObligationKey::holds_everywhere(&a, &f, "explicit"),
+            ObligationKey::holds_everywhere(&c, &f, "explicit")
         );
     }
 
@@ -219,8 +239,8 @@ mod tests {
         let f = parse("AG p").unwrap();
         let g = parse("EF p").unwrap();
         assert_ne!(
-            ObligationKey::holds_everywhere(&a, &f),
-            ObligationKey::holds_everywhere(&a, &g)
+            ObligationKey::holds_everywhere(&a, &f, "explicit"),
+            ObligationKey::holds_everywhere(&a, &g, "explicit")
         );
     }
 
@@ -228,16 +248,22 @@ mod tests {
     fn restriction_fairness_is_a_set() {
         let a = toggle(&["p", "q"], &[], &["p"]);
         let f = parse("AG p").unwrap();
-        let r1 = Restriction::new(parse("p").unwrap(), [parse("q").unwrap(), parse("p").unwrap()]);
-        let r2 = Restriction::new(parse("p").unwrap(), [parse("p").unwrap(), parse("q").unwrap()]);
+        let r1 = Restriction::new(
+            parse("p").unwrap(),
+            [parse("q").unwrap(), parse("p").unwrap()],
+        );
+        let r2 = Restriction::new(
+            parse("p").unwrap(),
+            [parse("p").unwrap(), parse("q").unwrap()],
+        );
         assert_eq!(
-            ObligationKey::restricted(&a, &r1, &f),
-            ObligationKey::restricted(&a, &r2, &f)
+            ObligationKey::restricted(&a, &r1, &f, "explicit"),
+            ObligationKey::restricted(&a, &r2, &f, "explicit")
         );
         let r3 = Restriction::new(parse("q").unwrap(), [parse("p").unwrap()]);
         assert_ne!(
-            ObligationKey::restricted(&a, &r1, &f),
-            ObligationKey::restricted(&a, &r3, &f)
+            ObligationKey::restricted(&a, &r1, &f, "explicit"),
+            ObligationKey::restricted(&a, &r3, &f, "explicit")
         );
     }
 
@@ -245,8 +271,8 @@ mod tests {
     fn kinds_are_domain_separated() {
         let a = toggle(&["p"], &[], &["p"]);
         let f = parse("AG p").unwrap();
-        let he = ObligationKey::holds_everywhere(&a, &f);
-        let rc = ObligationKey::restricted(&a, &Restriction::trivial(), &f);
+        let he = ObligationKey::holds_everywhere(&a, &f, "explicit");
+        let rc = ObligationKey::restricted(&a, &Restriction::trivial(), &f, "explicit");
         assert_ne!(he, rc);
     }
 
@@ -270,17 +296,41 @@ mod tests {
         let b = toggle(&["q"], &[], &["q"]);
         let f = parse("AG (p | q)").unwrap();
         let r = Restriction::trivial();
-        let k1 = ObligationKey::composed("prove", &[&a, &b], &r, &f);
-        let k2 = ObligationKey::composed("prove", &[&b, &a], &r, &f);
+        let k1 = ObligationKey::composed("prove", "explicit", &[&a, &b], &r, &f);
+        let k2 = ObligationKey::composed("prove", "explicit", &[&b, &a], &r, &f);
         assert_eq!(k1, k2);
-        let k3 = ObligationKey::composed("invariant", &[&a, &b], &r, &f);
+        let k3 = ObligationKey::composed("invariant", "explicit", &[&a, &b], &r, &f);
         assert_ne!(k1, k3);
+    }
+
+    #[test]
+    fn backend_identity_separates_keys() {
+        let a = toggle(&["p"], &[], &["p"]);
+        let f = parse("AG p").unwrap();
+        let r = Restriction::trivial();
+        assert_ne!(
+            ObligationKey::holds_everywhere(&a, &f, "explicit"),
+            ObligationKey::holds_everywhere(&a, &f, "symbolic")
+        );
+        assert_ne!(
+            ObligationKey::restricted(&a, &r, &f, "explicit"),
+            ObligationKey::restricted(&a, &r, &f, "symbolic")
+        );
+        assert_ne!(
+            ObligationKey::composed("prove", "explicit", &[&a], &r, &f),
+            ObligationKey::composed("prove", "symbolic", &[&a], &r, &f)
+        );
+        // The backend field cannot blur into the mode field.
+        assert_ne!(
+            ObligationKey::composed("prove", "x", &[&a], &r, &f),
+            ObligationKey::composed("provex", "", &[&a], &r, &f)
+        );
     }
 
     #[test]
     fn hex_round_trip() {
         let a = toggle(&["p"], &[], &["p"]);
-        let k = ObligationKey::holds_everywhere(&a, &parse("AG p").unwrap());
+        let k = ObligationKey::holds_everywhere(&a, &parse("AG p").unwrap(), "explicit");
         let hex = k.to_hex();
         assert_eq!(hex.len(), 32);
         assert_eq!(ObligationKey::from_hex(&hex), Some(k));

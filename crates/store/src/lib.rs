@@ -36,7 +36,7 @@
 //! let f = parse("t -> AX t").unwrap();
 //!
 //! let store = CertStore::new();
-//! let key = ObligationKey::holds_everywhere(&station, &f);
+//! let key = ObligationKey::holds_everywhere(&station, &f, "explicit");
 //! // First composition: miss — run the real check and memoize.
 //! let (_, hit) = store
 //!     .get_or_check::<std::convert::Infallible>(key, || Ok(Entry::verdict(false)))

@@ -49,8 +49,16 @@ impl fmt::Display for StoreStats {
             self.misses,
             self.hit_rate() * 100.0
         )?;
-        writeln!(f, "insertions: {} (evictions: {})", self.insertions, self.evictions)?;
-        write!(f, "disk entries loaded: {} (rejected: {})", self.disk_loads, self.disk_rejects)
+        writeln!(
+            f,
+            "insertions: {} (evictions: {})",
+            self.insertions, self.evictions
+        )?;
+        write!(
+            f,
+            "disk entries loaded: {} (rejected: {})",
+            self.disk_loads, self.disk_rejects
+        )
     }
 }
 
@@ -69,7 +77,15 @@ mod tests {
 
     #[test]
     fn display_mentions_all_counters() {
-        let s = StoreStats { hits: 5, misses: 5, insertions: 5, evictions: 1, disk_loads: 2, disk_rejects: 1, entries: 4 };
+        let s = StoreStats {
+            hits: 5,
+            misses: 5,
+            insertions: 5,
+            evictions: 1,
+            disk_loads: 2,
+            disk_rejects: 1,
+            entries: 4,
+        };
         let text = s.to_string();
         assert!(text.contains("5 hits"));
         assert!(text.contains("50.0% hit rate"));

@@ -90,7 +90,13 @@ impl CertStore {
                 inner.stats.evictions += 1;
             }
         }
-        inner.map.insert(key, Slot { entry, last_used: clock });
+        inner.map.insert(
+            key,
+            Slot {
+                entry,
+                last_used: clock,
+            },
+        );
         inner.stats.insertions += 1;
     }
 
@@ -152,7 +158,13 @@ impl CertStore {
         }
         inner.clock += 1;
         let clock = inner.clock;
-        inner.map.insert(key, Slot { entry, last_used: clock });
+        inner.map.insert(
+            key,
+            Slot {
+                entry,
+                last_used: clock,
+            },
+        );
         inner.stats.disk_loads += 1;
     }
 
@@ -228,7 +240,10 @@ mod tests {
         store.insert(key(3), Entry::verdict(false));
         assert_eq!(store.len(), 2);
         assert!(store.lookup(&key(1)).is_some());
-        assert!(store.lookup(&key(2)).is_none(), "LRU entry should be evicted");
+        assert!(
+            store.lookup(&key(2)).is_none(),
+            "LRU entry should be evicted"
+        );
         assert!(store.lookup(&key(3)).is_some());
         assert_eq!(store.stats().evictions, 1);
     }
@@ -242,6 +257,7 @@ mod tests {
                 description: "component C0 ⊨ AG p".to_string(),
                 ok: true,
                 compositional: true,
+                backend: Some("explicit".to_string()),
             }],
             valid: true,
         };

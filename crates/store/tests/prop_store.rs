@@ -17,7 +17,10 @@ const POOL: [&str; 4] = ["a", "b", "c", "d"];
 fn build(declared: &[&str], n: usize, pairs: &[(u8, u8)]) -> System {
     let mut m = System::new(Alphabet::new(declared.to_vec()));
     let set = |bits: u8| -> Vec<&str> {
-        (0..n).filter(|&i| bits & (1 << i) != 0).map(|i| POOL[i]).collect()
+        (0..n)
+            .filter(|&i| bits & (1 << i) != 0)
+            .map(|i| POOL[i])
+            .collect()
     };
     for &(s, t) in pairs {
         m.add_transition_named(&set(s), &set(t));
@@ -64,22 +67,22 @@ proptest! {
 
         let f = parse(FORMULAS[which]).unwrap();
         prop_assert_eq!(
-            ObligationKey::holds_everywhere(&canonical, &f),
-            ObligationKey::holds_everywhere(&scrambled, &f)
+            ObligationKey::holds_everywhere(&canonical, &f, "explicit"),
+            ObligationKey::holds_everywhere(&scrambled, &f, "explicit")
         );
 
         let r = Restriction::new(parse("a").unwrap(), [parse("b").unwrap(), parse("a").unwrap()]);
         prop_assert_eq!(
-            ObligationKey::restricted(&canonical, &r, &f),
-            ObligationKey::restricted(&scrambled, &r, &f)
+            ObligationKey::restricted(&canonical, &r, &f, "explicit"),
+            ObligationKey::restricted(&scrambled, &r, &f, "explicit")
         );
 
         // A composed obligation over the scrambled copy and a disjoint
         // partner matches the canonical one, in either component order.
         let partner = build(&["d"], 0, &[]);
         prop_assert_eq!(
-            ObligationKey::composed("prove", &[&canonical, &partner], &r, &f),
-            ObligationKey::composed("prove", &[&partner, &scrambled], &r, &f)
+            ObligationKey::composed("prove", "explicit", &[&canonical, &partner], &r, &f),
+            ObligationKey::composed("prove", "explicit", &[&partner, &scrambled], &r, &f)
         );
     }
 
@@ -106,8 +109,8 @@ proptest! {
 
         let f = parse("AG a").unwrap();
         prop_assert_ne!(
-            ObligationKey::holds_everywhere(&base, &f),
-            ObligationKey::holds_everywhere(&grown, &f)
+            ObligationKey::holds_everywhere(&base, &f, "explicit"),
+            ObligationKey::holds_everywhere(&grown, &f, "explicit")
         );
     }
 }

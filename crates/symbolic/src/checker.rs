@@ -5,6 +5,7 @@
 //! this is the engine playing the role of SMV in the paper's case study.
 
 use crate::model::SymbolicModel;
+use crate::witness::NamedState;
 use cmc_bdd::stats::ResourceReport;
 use cmc_bdd::Bdd;
 use cmc_ctl::{Formula, Restriction};
@@ -37,9 +38,9 @@ pub struct SymbolicVerdict {
     pub holds: bool,
     /// BDD of the `I`-states violating `f` (FALSE when `holds`).
     pub violating: Bdd,
-    /// One violating assignment (current-variable values in declaration
-    /// order), if any.
-    pub witness: Option<Vec<bool>>,
+    /// One violating state with proposition names attached, if any — the
+    /// same diagnostic shape as the explicit checker's `Vec<State>`.
+    pub witness: Option<NamedState>,
 }
 
 impl SymbolicModel {
@@ -137,11 +138,7 @@ impl SymbolicModel {
 
     /// Satisfaction set of `f` with path quantifiers over fair paths
     /// (fairness given as CTL formulas, as in a restriction `r = (I, F)`).
-    pub fn sat_under(
-        &mut self,
-        f: &Formula,
-        fairness: &[Formula],
-    ) -> Result<Bdd, SymbolicError> {
+    pub fn sat_under(&mut self, f: &Formula, fairness: &[Formula]) -> Result<Bdd, SymbolicError> {
         let mut fair_sets = Vec::new();
         for c in fairness {
             if *c == Formula::True {
@@ -157,12 +154,7 @@ impl SymbolicModel {
         self.sat_rec(f, &fair_sets, fair)
     }
 
-    fn sat_rec(
-        &mut self,
-        f: &Formula,
-        fair_sets: &[Bdd],
-        fair: Bdd,
-    ) -> Result<Bdd, SymbolicError> {
+    fn sat_rec(&mut self, f: &Formula, fair_sets: &[Bdd], fair: Bdd) -> Result<Bdd, SymbolicError> {
         use Formula::*;
         Ok(match f {
             True => Bdd::TRUE,
@@ -173,19 +165,31 @@ impl SymbolicModel {
                 self.mgr().not(b)
             }
             And(a, b) => {
-                let (x, y) = (self.sat_rec(a, fair_sets, fair)?, self.sat_rec(b, fair_sets, fair)?);
+                let (x, y) = (
+                    self.sat_rec(a, fair_sets, fair)?,
+                    self.sat_rec(b, fair_sets, fair)?,
+                );
                 self.mgr().and(x, y)
             }
             Or(a, b) => {
-                let (x, y) = (self.sat_rec(a, fair_sets, fair)?, self.sat_rec(b, fair_sets, fair)?);
+                let (x, y) = (
+                    self.sat_rec(a, fair_sets, fair)?,
+                    self.sat_rec(b, fair_sets, fair)?,
+                );
                 self.mgr().or(x, y)
             }
             Implies(a, b) => {
-                let (x, y) = (self.sat_rec(a, fair_sets, fair)?, self.sat_rec(b, fair_sets, fair)?);
+                let (x, y) = (
+                    self.sat_rec(a, fair_sets, fair)?,
+                    self.sat_rec(b, fair_sets, fair)?,
+                );
                 self.mgr().implies(x, y)
             }
             Iff(a, b) => {
-                let (x, y) = (self.sat_rec(a, fair_sets, fair)?, self.sat_rec(b, fair_sets, fair)?);
+                let (x, y) = (
+                    self.sat_rec(a, fair_sets, fair)?,
+                    self.sat_rec(b, fair_sets, fair)?,
+                );
                 self.mgr().iff(x, y)
             }
             Ex(g) => {
@@ -274,11 +278,15 @@ impl SymbolicModel {
         let nsat = self.mgr().not(sat);
         let violating = self.mgr().and(init, nsat);
         let nvars = self.num_state_vars();
-        let witness = self
-            .mgr_ref()
-            .any_sat(violating)
-            .map(|partial| decode_cur_assignment(self, &partial, nvars));
-        Ok(SymbolicVerdict { holds: violating.is_false(), violating, witness })
+        let witness = self.mgr_ref().any_sat(violating).map(|partial| {
+            let values = decode_cur_assignment(self, &partial, nvars);
+            self.named_state(&values)
+        });
+        Ok(SymbolicVerdict {
+            holds: violating.is_false(),
+            violating,
+            witness,
+        })
     }
 
     /// `M ⊨ f` — true in every state (trivial restriction).
@@ -376,8 +384,10 @@ mod tests {
             .unwrap();
         assert!(!v.holds);
         let w = v.witness.unwrap();
-        // The witness must not be the goal state 11.
-        assert!(!(w[0] && w[1]));
+        // The witness must not be the goal state 11, and it carries
+        // proposition names rather than positional booleans.
+        assert!(!(w.get("b0").unwrap() && w.get("b1").unwrap()));
+        assert_eq!(w.values().len(), 2);
     }
 
     #[test]
@@ -396,8 +406,7 @@ mod tests {
             ("cycle", parse("EF (b0 & b1)").unwrap()),
             ("step", parse("b0 & !b1 -> EX (!b0 & b1)").unwrap()),
         ];
-        let spec_refs: Vec<(&str, Formula)> =
-            specs.iter().map(|(n, f)| (*n, f.clone())).collect();
+        let spec_refs: Vec<(&str, Formula)> = specs.iter().map(|(n, f)| (*n, f.clone())).collect();
         let (results, report) = m.check_report(&Restriction::trivial(), &spec_refs).unwrap();
         assert_eq!(results.len(), 2);
         assert!(results.iter().all(|(_, ok)| *ok), "{results:?}");

@@ -38,4 +38,4 @@ pub mod witness;
 
 pub use checker::{SymbolicError, SymbolicVerdict};
 pub use model::{StateVar, SymbolicModel};
-pub use witness::Trace;
+pub use witness::{NamedState, Trace};

@@ -288,8 +288,16 @@ impl SymbolicModel {
             let mut pair = Bdd::TRUE;
             for (i, sv) in m.vars.iter().enumerate() {
                 let (cur, next) = (sv.cur, sv.next);
-                let cl = if s.contains(i) { m.mgr.var(cur) } else { m.mgr.nvar(cur) };
-                let nl = if t.contains(i) { m.mgr.var(next) } else { m.mgr.nvar(next) };
+                let cl = if s.contains(i) {
+                    m.mgr.var(cur)
+                } else {
+                    m.mgr.nvar(cur)
+                };
+                let nl = if t.contains(i) {
+                    m.mgr.var(next)
+                } else {
+                    m.mgr.nvar(next)
+                };
                 let both = m.mgr.and(cl, nl);
                 pair = m.mgr.and(pair, both);
             }
@@ -297,6 +305,77 @@ impl SymbolicModel {
         }
         if !part.is_false() {
             m.add_trans_part(part);
+        }
+        m
+    }
+
+    /// Build the symbolic model of the interleaving composition
+    /// `M₁ ∘ M₂ ∘ … ∘ (extra, I)` **without materialising the product**:
+    /// one disjunctive partition per component, each the union of that
+    /// component's proper transitions (as current/next cubes over its own
+    /// variables) conjoined with the frame condition over every foreign
+    /// variable. This is semantically identical to
+    /// [`System::compose`]/[`System::expand`] — whose explicit frame
+    /// padding enumerates all `2^|Σ*−Σ|` foreign valuations — but stays
+    /// polynomial in the component sizes, which is what lets the symbolic
+    /// backend take compositions past the explicit-state limit.
+    ///
+    /// The union alphabet keeps first-seen order across `systems`, with
+    /// any unseen `extra` propositions appended (matching
+    /// `Alphabet::union`); `extra` contributes no moves, only frozen
+    /// variables, exactly like the paper's expansion `M ∘ (Σ', I)`.
+    pub fn from_components(systems: &[&System], extra: &cmc_kripke::Alphabet) -> SymbolicModel {
+        let mut names: Vec<String> = Vec::new();
+        for sys in systems {
+            for n in sys.alphabet().names() {
+                if !names.iter().any(|seen| seen == n) {
+                    names.push(n.clone());
+                }
+            }
+        }
+        for n in extra.names() {
+            if !names.iter().any(|seen| seen == n) {
+                names.push(n.clone());
+            }
+        }
+        let mut m = SymbolicModel::new(names.clone());
+        for sys in systems {
+            let foreign: Vec<&str> = names
+                .iter()
+                .map(String::as_str)
+                .filter(|n| !sys.alphabet().contains(n))
+                .collect();
+            let frame = m.frame_condition(&foreign);
+            // Union-alphabet variable index of each component proposition.
+            let var_idx: Vec<usize> = sys
+                .alphabet()
+                .names()
+                .iter()
+                .map(|n| names.iter().position(|u| u == n).unwrap())
+                .collect();
+            let mut part = Bdd::FALSE;
+            for (s, t) in sys.proper_transitions() {
+                let mut pair = frame;
+                for (i, &vi) in var_idx.iter().enumerate() {
+                    let (cur, next) = (m.vars[vi].cur, m.vars[vi].next);
+                    let cl = if s.contains(i) {
+                        m.mgr.var(cur)
+                    } else {
+                        m.mgr.nvar(cur)
+                    };
+                    let nl = if t.contains(i) {
+                        m.mgr.var(next)
+                    } else {
+                        m.mgr.nvar(next)
+                    };
+                    let both = m.mgr.and(cl, nl);
+                    pair = m.mgr.and(pair, both);
+                }
+                part = m.mgr.or(part, pair);
+            }
+            if !part.is_false() {
+                m.add_trans_part(part);
+            }
         }
         m
     }
@@ -383,7 +462,10 @@ mod tests {
         sys.add_transition_named(&[], &["x"]);
         let mut sm = SymbolicModel::from_explicit(&sys);
         let x = sm.prop("x").unwrap();
-        let nx = { let m = sm.mgr(); m.not(x) };
+        let nx = {
+            let m = sm.mgr();
+            m.not(x)
+        };
         let post = sm.post_exists(nx);
         // From ¬x we can stutter (stay ¬x) or move to x: both states.
         assert!(post.is_true());
@@ -400,7 +482,12 @@ mod tests {
         let mut sm = SymbolicModel::from_explicit(&sys);
         // init = ∅ state: ¬a ∧ ¬b
         let (a, b) = (sm.prop("a").unwrap(), sm.prop("b").unwrap());
-        let init = { let m = sm.mgr(); let na = m.not(a); let nb = m.not(b); m.and(na, nb) };
+        let init = {
+            let m = sm.mgr();
+            let na = m.not(a);
+            let nb = m.not(b);
+            m.and(na, nb)
+        };
         sm.set_init(init);
         let reach = sm.reachable();
         // Reachable: ∅, {a}, {a,b} — 3 of 4 states.
@@ -428,10 +515,70 @@ mod tests {
         assert!(m.prop("p").is_some());
         assert!(m.prop("derived").is_none());
         let p = m.prop("p").unwrap();
-        let np = { let mg = m.mgr(); mg.not(p) };
+        let np = {
+            let mg = m.mgr();
+            mg.not(p)
+        };
         m.define_prop("derived", np);
         assert_eq!(m.prop("derived"), Some(np));
         assert_eq!(m.prop_names().count(), 2);
+    }
+}
+
+#[cfg(test)]
+mod from_components_tests {
+    use super::*;
+    use cmc_kripke::Alphabet;
+
+    fn riser(name: &str) -> System {
+        let mut m = System::new(Alphabet::new([name]));
+        m.add_transition_named(&[], &[name]);
+        m
+    }
+
+    /// The partitioned constructor agrees with the explicit product on a
+    /// composition small enough to materialise.
+    #[test]
+    fn matches_explicit_composition() {
+        let a = riser("a");
+        let mut b = System::new(Alphabet::new(["a", "b"]));
+        b.add_transition_named(&["a"], &["a", "b"]); // shares `a` with riser
+        b.add_transition_named(&["b"], &[]);
+        let composed = a.compose(&b);
+        let mut direct = SymbolicModel::from_components(&[&a, &b], &Alphabet::empty());
+        let back = direct.to_explicit();
+        assert!(composed.equivalent(&back), "partitioned ≠ explicit product");
+    }
+
+    /// Expansion semantics: `extra` propositions are frozen, exactly like
+    /// `System::expand`.
+    #[test]
+    fn extra_props_match_explicit_expansion() {
+        let a = riser("a");
+        let extra = Alphabet::new(["p", "q"]);
+        let expanded = a.expand(&extra);
+        let mut direct = SymbolicModel::from_components(&[&a], &extra);
+        let back = direct.to_explicit();
+        assert!(
+            expanded.equivalent(&back),
+            "partitioned ≠ explicit expansion"
+        );
+    }
+
+    /// The whole point: a composition whose union alphabet is far past the
+    /// explicit limit builds instantly and answers a reachability query.
+    #[test]
+    fn wide_composition_stays_tractable() {
+        let systems: Vec<System> = (0..40).map(|i| riser(&format!("p{i}"))).collect();
+        let refs: Vec<&System> = systems.iter().collect();
+        let mut m = SymbolicModel::from_components(&refs, &Alphabet::empty());
+        assert_eq!(m.num_state_vars(), 40);
+        assert_eq!(m.trans_parts().len(), 40);
+        // EF-style query: from the all-false state, every variable can rise.
+        let p39 = m.prop("p39").unwrap();
+        let pre = m.pre_exists(p39);
+        // p39's riser move is enabled everywhere p39 is false.
+        assert!(pre.is_true());
     }
 }
 
@@ -460,8 +607,14 @@ mod partition_tests {
             let b = m.prop("b").unwrap();
             let sets = [
                 a,
-                { let g = m.mgr(); g.not(b) },
-                { let g = m.mgr(); g.and(a, b) },
+                {
+                    let g = m.mgr();
+                    g.not(b)
+                },
+                {
+                    let g = m.mgr();
+                    g.and(a, b)
+                },
                 cmc_bdd::Bdd::TRUE,
                 cmc_bdd::Bdd::FALSE,
             ];

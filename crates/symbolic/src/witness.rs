@@ -9,6 +9,71 @@ use crate::model::SymbolicModel;
 use cmc_bdd::Bdd;
 use std::fmt;
 
+/// A total assignment to the model's state variables **with their names
+/// attached** — the symbolic counterpart of the explicit checker's
+/// `cmc_kripke::State` witnesses, so diagnostics from either engine read
+/// the same way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamedState {
+    /// `(variable name, value)` in declaration order.
+    assignments: Vec<(String, bool)>,
+}
+
+impl NamedState {
+    /// Build from `(name, value)` pairs in declaration order.
+    pub fn new(assignments: Vec<(String, bool)>) -> Self {
+        NamedState { assignments }
+    }
+
+    /// The `(name, value)` pairs in declaration order.
+    pub fn assignments(&self) -> &[(String, bool)] {
+        &self.assignments
+    }
+
+    /// The value of variable `name`, if declared.
+    pub fn get(&self, name: &str) -> Option<bool> {
+        self.assignments
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The raw values in declaration order (the pre-refactor
+    /// `Vec<bool>` witness shape).
+    pub fn values(&self) -> Vec<bool> {
+        self.assignments.iter().map(|&(_, v)| v).collect()
+    }
+
+    /// Lower to an explicit-engine [`cmc_kripke::State`] over `alphabet`.
+    /// Returns `None` when some true variable is missing from the alphabet.
+    pub fn to_state(&self, alphabet: &cmc_kripke::Alphabet) -> Option<cmc_kripke::State> {
+        let mut s = cmc_kripke::State::EMPTY;
+        for (name, value) in &self.assignments {
+            if *value {
+                s = s.with(alphabet.position(name)?, true);
+            }
+        }
+        Some(s)
+    }
+}
+
+impl fmt::Display for NamedState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (name, value) in &self.assignments {
+            if *value {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
 /// A finite execution trace: a list of total current-variable assignments.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trace {
@@ -137,6 +202,34 @@ impl SymbolicModel {
         }
     }
 
+    /// Attach variable names to a declaration-order assignment.
+    pub fn named_state(&self, values: &[bool]) -> NamedState {
+        NamedState::new(
+            self.vars()
+                .iter()
+                .zip(values)
+                .map(|(sv, &v)| (sv.name.clone(), v))
+                .collect(),
+        )
+    }
+
+    /// Enumerate up to `cap` distinct states (total current-variable
+    /// assignments) satisfying `set`, as named states. Used to lower a
+    /// violating-state BDD into the explicit engine's witness shape.
+    pub fn enumerate_states(&mut self, set: Bdd, cap: usize) -> Vec<NamedState> {
+        let mut out = Vec::new();
+        let mut rest = set;
+        while out.len() < cap {
+            let Some(values) = self.pick_state(rest) else {
+                break;
+            };
+            let cube = self.state_to_bdd(&values);
+            rest = self.mgr().diff(rest, cube);
+            out.push(self.named_state(&values));
+        }
+        out
+    }
+
     /// One total assignment (over current variables) satisfying `set`.
     fn pick_state(&mut self, set: Bdd) -> Option<Vec<bool>> {
         let partial = self.mgr_ref().any_sat(set)?;
@@ -183,7 +276,12 @@ mod tests {
         let mut m = SymbolicModel::from_explicit(&sys);
         let b0 = m.prop("b0").unwrap();
         let b1 = m.prop("b1").unwrap();
-        let init = { let g = m.mgr(); let n0 = g.not(b0); let n1 = g.not(b1); g.and(n0, n1) };
+        let init = {
+            let g = m.mgr();
+            let n0 = g.not(b0);
+            let n1 = g.not(b1);
+            g.and(n0, n1)
+        };
         m.set_init(init);
         m
     }

@@ -45,7 +45,7 @@ fn main() {
     println!("naive AFS-1 invariant under AFS-2 delay: {}", v.holds);
     assert!(!v.holds);
     if let Some(w) = &v.witness {
-        println!("counterexample state (bit assignment): {w:?}");
+        println!("counterexample state: {w}");
     }
     println!("\nAFS-2 reproduction complete.");
 }

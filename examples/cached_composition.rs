@@ -26,8 +26,13 @@ fn rising(name: &str) -> System {
 }
 
 fn engine(names: &[&str], store: &Arc<CertStore>) -> Engine {
-    Engine::new(names.iter().map(|n| Component::new(format!("m_{n}"), rising(n))).collect())
-        .with_store(Arc::clone(store))
+    Engine::new(
+        names
+            .iter()
+            .map(|n| Component::new(format!("m_{n}"), rising(n)))
+            .collect(),
+    )
+    .with_store(Arc::clone(store))
 }
 
 fn main() {
@@ -56,13 +61,22 @@ fn main() {
     let before = store.stats();
     let cert = engine(&["x", "z"], &store).prove(&r, &f).unwrap();
     let after = store.stats();
-    assert_eq!(after.misses, before.misses, "warm run re-verified something");
+    assert_eq!(
+        after.misses, before.misses,
+        "warm run re-verified something"
+    );
     assert!(cert.valid);
-    println!("verdict replayed from store, {} new checks", after.misses - before.misses);
+    println!(
+        "verdict replayed from store, {} new checks",
+        after.misses - before.misses
+    );
     println!("{}\n", after);
 
     println!("== 4. shipping the proofs: save, reload, verify in a 'new process' ==");
-    let path = std::env::temp_dir().join(format!("cmc-cached-composition-{}.json", std::process::id()));
+    let path = std::env::temp_dir().join(format!(
+        "cmc-cached-composition-{}.json",
+        std::process::id()
+    ));
     DiskStore::new(&path).save(&store).unwrap();
     let revived = Arc::new(CertStore::new());
     let loaded = DiskStore::new(&path).load_into(&revived).unwrap();

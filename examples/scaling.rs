@@ -22,7 +22,10 @@ use std::time::Instant;
 
 fn main() {
     println!("== AFS-2 invariant, symbolic engine ==");
-    println!("{:>3} | {:>13} | {:>12} | {:>8}", "n", "compositional", "monolithic", "bits");
+    println!(
+        "{:>3} | {:>13} | {:>12} | {:>8}",
+        "n", "compositional", "monolithic", "bits"
+    );
     println!("{}", "-".repeat(48));
     for n in 1..=4 {
         let t0 = Instant::now();
@@ -42,7 +45,10 @@ fn main() {
     }
 
     println!("\n== token ring, explicit engine ==");
-    println!("{:>3} | {:>13} | {:>12} | {:>10}", "n", "compositional", "monolithic", "states");
+    println!(
+        "{:>3} | {:>13} | {:>12} | {:>10}",
+        "n", "compositional", "monolithic", "states"
+    );
     println!("{}", "-".repeat(50));
     for n in [4usize, 6, 8, 10, 12, 14] {
         let station = |i: usize| {
@@ -69,13 +75,19 @@ fn main() {
         for i in 0..n {
             for j in i + 1..n {
                 pairs.push(
-                    Formula::ap(format!("t{i}")).and(Formula::ap(format!("t{j}"))).not(),
+                    Formula::ap(format!("t{i}"))
+                        .and(Formula::ap(format!("t{j}")))
+                        .not(),
                 );
             }
         }
         let at_most_one = Formula::and_many(pairs);
         let init = Formula::and_many((0..n).map(|k| {
-            if k == 0 { Formula::ap("t0") } else { Formula::ap(format!("t{k}")).not() }
+            if k == 0 {
+                Formula::ap("t0")
+            } else {
+                Formula::ap(format!("t{k}")).not()
+            }
         }));
         let t0 = Instant::now();
         let cert = engine.prove_invariant(&at_most_one, &init, &[]).unwrap();
@@ -93,7 +105,11 @@ fn main() {
         // Monolithic: AF t0 on the full product under ring fairness.
         let exactly_one = Formula::or_many((0..n).map(|i| {
             Formula::and_many((0..n).map(|k| {
-                if k == i { Formula::ap(format!("t{k}")) } else { Formula::ap(format!("t{k}")).not() }
+                if k == i {
+                    Formula::ap(format!("t{k}"))
+                } else {
+                    Formula::ap(format!("t{k}")).not()
+                }
             }))
         }));
         let fairness: Vec<Formula> = (0..n)
@@ -101,7 +117,9 @@ fn main() {
             .collect();
         let r = Restriction::new(exactly_one, fairness);
         let t1 = Instant::now();
-        assert!(engine.monolithic_check(&r, &parse("AF t0").unwrap()).unwrap());
+        assert!(engine
+            .monolithic_check(&r, &parse("AF t0").unwrap())
+            .unwrap());
         let mono_time = t1.elapsed();
 
         println!(

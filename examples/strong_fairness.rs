@@ -74,7 +74,10 @@ fn main() {
     // anyway — nothing would be wrong here; what fails is the premise.
     // But the progress property genuinely needs the fairness constraint:
     let unfair = checker
-        .check(&Restriction::trivial(), &p.clone().implies(p.clone().au(q.clone())))
+        .check(
+            &Restriction::trivial(),
+            &p.clone().implies(p.clone().au(q.clone())),
+        )
         .unwrap();
     println!("\nwithout fairness, p ⇒ A(p U q): {}", unfair.holds);
     assert!(!unfair.holds);

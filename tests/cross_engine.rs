@@ -2,6 +2,7 @@
 //! symbolic checker (`cmc-symbolic`), and the two SMV compilation paths
 //! must agree on randomly generated models and formulas.
 
+use compositional_mc::core::{BackendChoice, Component, Engine};
 use compositional_mc::ctl::{Checker, Formula, Restriction};
 use compositional_mc::kripke::{Alphabet, State, System};
 use compositional_mc::smv::{compile, compile_explicit, parse_module};
@@ -75,6 +76,75 @@ proptest! {
         let mut sym = SymbolicModel::from_explicit(&m);
         let back = sym.to_explicit();
         prop_assert!(m.equivalent(&back));
+    }
+}
+
+/// A random component over a fixed alphabet (so that two components can
+/// share a proposition through overlapping name sets).
+fn arb_component(names: &'static [&'static str]) -> impl Strategy<Value = System> {
+    let n = names.len();
+    let max = 1u32 << n;
+    proptest::collection::vec((0..max, 0..max), 0..12).prop_map(move |pairs| {
+        let mut m = System::new(Alphabet::new(names.iter().map(|s| s.to_string())));
+        for (s, t) in pairs {
+            m.add_transition(State(s as u128), State(t as u128));
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The Engine facade reaches the same verdict — and, when valid, a
+    /// monolithically confirmed one — whichever backend policy is forced.
+    /// The two components share `v1`, so the deduction exercises genuine
+    /// composition, not two independent proofs.
+    #[test]
+    fn engine_backends_agree(
+        a in arb_component(&["v0", "v1"]),
+        b in arb_component(&["v1", "v2"]),
+        f in arb_formula(3),
+    ) {
+        let r = Restriction::trivial();
+        let mk = |choice| {
+            Engine::new(vec![
+                Component::new("a", a.clone()),
+                Component::new("b", b.clone()),
+            ])
+            .with_backend(choice)
+        };
+        let auto = mk(BackendChoice::Auto).prove(&r, &f).unwrap();
+        let explicit = mk(BackendChoice::Explicit).prove(&r, &f).unwrap();
+        let symbolic = mk(BackendChoice::Symbolic).prove(&r, &f).unwrap();
+        prop_assert_eq!(auto.valid, explicit.valid, "auto vs explicit on {}", f);
+        prop_assert_eq!(auto.valid, symbolic.valid, "auto vs symbolic on {}", f);
+        // Soundness cross-check through each backend's monolith.
+        if auto.valid {
+            prop_assert!(mk(BackendChoice::Explicit).monolithic_check(&r, &f).unwrap());
+            prop_assert!(mk(BackendChoice::Symbolic).monolithic_check(&r, &f).unwrap());
+        }
+    }
+
+    /// ... and under a random fairness constraint.
+    #[test]
+    fn engine_backends_agree_fair(
+        a in arb_component(&["v0", "v1"]),
+        b in arb_component(&["v1", "v2"]),
+        f in arb_formula(3),
+        fair in arb_formula(3).prop_filter("propositional fairness", |g| g.is_propositional()),
+    ) {
+        let r = Restriction::new(Formula::True, [fair]);
+        let mk = |choice| {
+            Engine::new(vec![
+                Component::new("a", a.clone()),
+                Component::new("b", b.clone()),
+            ])
+            .with_backend(choice)
+        };
+        let explicit = mk(BackendChoice::Explicit).prove(&r, &f).unwrap();
+        let symbolic = mk(BackendChoice::Symbolic).prove(&r, &f).unwrap();
+        prop_assert_eq!(explicit.valid, symbolic.valid, "backends disagree on {} under fairness", f);
     }
 }
 

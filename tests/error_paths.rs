@@ -70,9 +70,15 @@ fn engine_surfaces_unknown_props() {
     // A formula over a proposition no component declares must panic with a
     // clear message (assert) rather than silently misclassify — catch it.
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        e.prove(&Restriction::trivial(), &parse("ghost -> AX ghost").unwrap())
+        e.prove(
+            &Restriction::trivial(),
+            &parse("ghost -> AX ghost").unwrap(),
+        )
     }));
-    assert!(result.is_err(), "unknown proposition must be rejected loudly");
+    assert!(
+        result.is_err(),
+        "unknown proposition must be rejected loudly"
+    );
 }
 
 #[test]
@@ -82,7 +88,9 @@ fn verdict_witnesses_are_bounded() {
     let names: Vec<String> = (0..8).map(|i| format!("b{i}")).collect();
     let m = System::new(Alphabet::new(names));
     let c = Checker::new(&m).unwrap();
-    let v = c.check(&Restriction::trivial(), &parse("FALSE").unwrap()).unwrap();
+    let v = c
+        .check(&Restriction::trivial(), &parse("FALSE").unwrap())
+        .unwrap();
     assert!(!v.holds);
     assert!(v.violating.len() <= compositional_mc::ctl::Verdict::MAX_WITNESSES);
 }

@@ -3,10 +3,10 @@
 //! universal/existential property classes, all validated against direct
 //! monolithic model checking.
 
+use compositional_mc::core::lemmas as clemmas;
 use compositional_mc::core::{classify, PropertyClass};
 use compositional_mc::ctl::{Checker, Formula, Restriction};
 use compositional_mc::kripke::{lemmas as klemmas, Alphabet, State, System};
-use compositional_mc::core::lemmas as clemmas;
 use proptest::prelude::*;
 
 /// A random system over a small alphabet, described by a list of

@@ -5,7 +5,7 @@
 //! composition), and must survive a disk round trip without being trusted
 //! blindly.
 
-use compositional_mc::core::{Component, Engine};
+use compositional_mc::core::{BackendChoice, Component, Engine};
 use compositional_mc::ctl::{parse, Restriction};
 use compositional_mc::kripke::{Alphabet, System};
 use compositional_mc::smv::{run_source, run_source_with_store};
@@ -20,7 +20,12 @@ fn rising(name: &str) -> System {
 }
 
 fn engine(names: &[&str]) -> Engine {
-    Engine::new(names.iter().map(|n| Component::new(format!("m_{n}"), rising(n))).collect())
+    Engine::new(
+        names
+            .iter()
+            .map(|n| Component::new(format!("m_{n}"), rising(n)))
+            .collect(),
+    )
 }
 
 #[test]
@@ -44,7 +49,11 @@ fn store_is_transparent_for_prove() {
     assert!(stats.hits >= 1, "{stats}");
     let misses_after_warm = stats.misses;
     backed.prove(&r, &f).unwrap();
-    assert_eq!(store.stats().misses, misses_after_warm, "warm run missed the store");
+    assert_eq!(
+        store.stats().misses,
+        misses_after_warm,
+        "warm run missed the store"
+    );
 }
 
 #[test]
@@ -53,7 +62,9 @@ fn store_is_transparent_for_invariants() {
     let inv = parse("x | !x").unwrap();
     let init = parse("!x & !y").unwrap();
 
-    let bare = engine(&["x", "y"]).prove_invariant(&inv, &init, &[]).unwrap();
+    let bare = engine(&["x", "y"])
+        .prove_invariant(&inv, &init, &[])
+        .unwrap();
     let backed = engine(&["x", "y"]).with_store(Arc::clone(&store));
     let cold = backed.prove_invariant(&inv, &init, &[]).unwrap();
     let warm = backed.prove_invariant(&inv, &init, &[]).unwrap();
@@ -81,7 +92,9 @@ fn shared_component_is_checked_once_across_compositions() {
     let cert = second.prove(&r, &f).unwrap();
     assert!(cert.valid);
     assert!(
-        cert.steps.iter().any(|s| s.description.contains("m_x") && s.description.contains("(cached)")),
+        cert.steps
+            .iter()
+            .any(|s| s.description.contains("m_x") && s.description.contains("(cached)")),
         "{cert}"
     );
     let after_second = store.stats();
@@ -91,12 +104,55 @@ fn shared_component_is_checked_once_across_compositions() {
     assert!(after_second.misses > after_first.misses);
 }
 
+/// The same obligation checked under different backends must live under
+/// *distinct* store keys: a symbolic verdict answering an explicit query
+/// (or vice versa) would let one engine's bug poison the other's cache.
+#[test]
+fn backend_identity_prevents_cross_backend_cache_aliasing() {
+    let store = Arc::new(CertStore::new());
+    let f = parse("x -> AX x").unwrap();
+    let r = Restriction::trivial();
+
+    let explicit = engine(&["x", "y"])
+        .with_backend(BackendChoice::Explicit)
+        .with_store(Arc::clone(&store));
+    assert!(explicit.prove(&r, &f).unwrap().valid);
+    let hits_after_explicit = store.stats().hits;
+
+    // Same components, same formula, symbolic backend: every lookup must
+    // miss — nothing of the explicit session may be reused.
+    let symbolic = engine(&["x", "y"])
+        .with_backend(BackendChoice::Symbolic)
+        .with_store(Arc::clone(&store));
+    let cert = symbolic.prove(&r, &f).unwrap();
+    assert!(cert.valid);
+    assert_eq!(
+        store.stats().hits,
+        hits_after_explicit,
+        "a symbolic check reused an explicit verdict"
+    );
+    assert!(
+        !cert
+            .steps
+            .iter()
+            .any(|s| s.description.contains("(cached)")),
+        "{cert}"
+    );
+
+    // A repeat symbolic run hits its own entries as usual.
+    assert!(symbolic.prove(&r, &f).unwrap().valid);
+    assert!(store.stats().hits > hits_after_explicit);
+}
+
 #[test]
 fn session_survives_a_disk_round_trip() {
     let store = Arc::new(CertStore::new());
     let f = parse("x -> AX x").unwrap();
     let r = Restriction::trivial();
-    let cold = engine(&["x", "y"]).with_store(Arc::clone(&store)).prove(&r, &f).unwrap();
+    let cold = engine(&["x", "y"])
+        .with_store(Arc::clone(&store))
+        .prove(&r, &f)
+        .unwrap();
 
     let path = std::env::temp_dir().join(format!("cmc-store-session-{}.json", std::process::id()));
     let disk = DiskStore::new(&path);
@@ -108,7 +164,10 @@ fn session_survives_a_disk_round_trip() {
     assert!(loaded >= 1);
     assert_eq!(revived.stats().disk_rejects, 0);
 
-    let warm = engine(&["x", "y"]).with_store(Arc::clone(&revived)).prove(&r, &f).unwrap();
+    let warm = engine(&["x", "y"])
+        .with_store(Arc::clone(&revived))
+        .prove(&r, &f)
+        .unwrap();
     assert_eq!(cold, warm, "certificate changed across the disk round trip");
     assert!(revived.stats().hits >= 1);
 
