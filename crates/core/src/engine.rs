@@ -74,6 +74,15 @@ impl PartialEq for Step {
 
 impl Eq for Step {}
 
+impl Step {
+    /// Was this step replayed from a certificate store rather than
+    /// checked fresh? Cached steps carry the engine's `"(cached)"` marker
+    /// and no timing.
+    pub fn cached(&self) -> bool {
+        self.duration.is_none() && self.description.ends_with("(cached)")
+    }
+}
+
 /// An auditable record of a deduction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Certificate {
@@ -123,6 +132,33 @@ impl Certificate {
     /// Were all steps component-local (no whole-system model checking)?
     pub fn fully_compositional(&self) -> bool {
         self.steps.iter().all(|s| s.compositional)
+    }
+
+    /// The steps that were discharged by a checking backend (as opposed
+    /// to pure deduction), for replay validators and audits.
+    pub fn checked_steps(&self) -> impl Iterator<Item = &Step> {
+        self.steps.iter().filter(|s| s.backend.is_some())
+    }
+
+    /// The distinct engines that contributed to this certificate, in
+    /// first-use order.
+    pub fn backends_used(&self) -> Vec<BackendKind> {
+        let mut out = Vec::new();
+        for s in &self.steps {
+            if let Some(b) = s.backend {
+                if !out.contains(&b) {
+                    out.push(b);
+                }
+            }
+        }
+        out
+    }
+
+    /// Does the `valid` flag agree with the conjunction of step outcomes?
+    /// The engine maintains this invariant; replay validators re-check it
+    /// on certificates that crossed a serialisation boundary.
+    pub fn is_consistent(&self) -> bool {
+        self.valid == self.steps.iter().all(|s| s.ok)
     }
 }
 
@@ -1159,5 +1195,44 @@ mod tests {
         assert!(text.contains("goal:"));
         assert!(text.contains("[ok]"));
         assert!(text.contains("established"));
+    }
+
+    #[test]
+    fn certificate_introspection_hooks() {
+        let mut cert = Certificate {
+            goal: "demo".into(),
+            steps: vec![],
+            valid: true,
+        };
+        cert.step("pure deduction", true, true);
+        cert.step_checked(
+            "fresh check",
+            true,
+            true,
+            BackendKind::Explicit,
+            Some(Duration::from_millis(1)),
+        );
+        cert.step_checked(
+            "shared obligation (cached)",
+            true,
+            true,
+            BackendKind::Symbolic,
+            None,
+        );
+
+        assert!(cert.is_consistent());
+        assert_eq!(cert.checked_steps().count(), 2);
+        assert_eq!(
+            cert.backends_used(),
+            vec![BackendKind::Explicit, BackendKind::Symbolic]
+        );
+        assert!(!cert.steps[0].cached());
+        assert!(!cert.steps[1].cached());
+        assert!(cert.steps[2].cached());
+
+        // A certificate whose flag contradicts its steps is inconsistent.
+        cert.valid = true;
+        cert.steps[1].ok = false;
+        assert!(!cert.is_consistent());
     }
 }

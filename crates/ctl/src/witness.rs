@@ -63,6 +63,33 @@ impl WitnessPath {
         }
         !self.is_empty()
     }
+
+    /// All listed states, stem then cycle, in path order.
+    pub fn states(&self) -> impl Iterator<Item = State> + '_ {
+        self.stem.iter().chain(self.cycle.iter()).copied()
+    }
+
+    /// The path's first state (the one that must satisfy `I`).
+    pub fn start(&self) -> Option<State> {
+        self.states().next()
+    }
+
+    /// Does every listed state satisfy the propositional formula `f`?
+    pub fn all_satisfy(&self, system: &System, f: &Formula) -> bool {
+        self.states().all(|s| f.eval_in_state(system.alphabet(), s))
+    }
+
+    /// Does some *cycle* state satisfy the propositional constraint `c`?
+    /// (On a lasso this is exactly "`c` holds infinitely often".) Plain
+    /// paths stutter their last state forever, so they are checked there.
+    pub fn cycle_satisfies(&self, system: &System, c: &Formula) -> bool {
+        let al = system.alphabet();
+        if self.cycle.is_empty() {
+            self.stem.last().is_some_and(|s| c.eval_in_state(al, *s))
+        } else {
+            self.cycle.iter().any(|s| c.eval_in_state(al, *s))
+        }
+    }
 }
 
 /// Pretty-printer for witnesses.
@@ -238,6 +265,109 @@ impl Checker<'_> {
         }
     }
 
+    /// Witness for fair `EG f` from `from`: a lasso whose every state
+    /// satisfies `f` *and* whose cycle visits every fairness constraint.
+    ///
+    /// Works entirely inside `W = sat_fair(EG f)`: by the Emerson–Lei
+    /// fixpoint, every state of `W` reaches (within `W`) a state of
+    /// `W ∩ Fᵢ` for each constraint, so chasing the constraints
+    /// round-robin must eventually revisit a `(state, phase)` pair — the
+    /// segment between the two visits passes every `Fᵢ` and closes a
+    /// genuinely fair cycle.
+    pub fn witness_eg_fair(
+        &self,
+        from: &StateSet,
+        f: &Formula,
+        fairness: &[Formula],
+    ) -> Result<Option<WitnessPath>, CheckError> {
+        let cons: Vec<&Formula> = fairness.iter().filter(|c| **c != Formula::True).collect();
+        if cons.is_empty() {
+            return self.witness_eg(from, f);
+        }
+        let w = self.sat_fair(&f.clone().eg(), fairness)?;
+        let mut sources = from.clone();
+        sources.intersect_with(&w);
+        let Some(start) = sources.iter().next() else {
+            return Ok(None);
+        };
+        // Targets per phase: fair-EG states satisfying the constraint.
+        let targets: Vec<StateSet> = cons
+            .iter()
+            .map(|c| {
+                self.sat(c).map(|mut s| {
+                    s.intersect_with(&w);
+                    s
+                })
+            })
+            .collect::<Result<_, _>>()?;
+
+        let mut order: Vec<State> = vec![start];
+        let mut visited: BTreeMap<(State, usize), usize> = BTreeMap::new();
+        let mut cur = start;
+        let mut phase = 0usize;
+        loop {
+            if let Some(&idx) = visited.get(&(cur, phase)) {
+                // order[idx] == cur == order.last(): drop the duplicate
+                // tail state so the cycle lists each state once.
+                let stem = order[..idx].to_vec();
+                let mut cycle = order[idx..order.len() - 1].to_vec();
+                if cycle.is_empty() {
+                    cycle.push(cur); // pure stutter lasso
+                }
+                return Ok(Some(WitnessPath { stem, cycle }));
+            }
+            visited.insert((cur, phase), order.len() - 1);
+            let segment = self
+                .path_within(&w, cur, &targets[phase])
+                .expect("fair-EG fixpoint guarantees every constraint is reachable in W");
+            order.extend_from_slice(&segment[1..]);
+            cur = *segment.last().expect("path_within returns non-empty");
+            phase = (phase + 1) % cons.len();
+        }
+    }
+
+    /// A shortest path from `from` to some state of `targets` moving only
+    /// through states of `within` (stutter-free BFS; `from` itself counts
+    /// if already a target). `None` if unreachable.
+    fn path_within(
+        &self,
+        within: &StateSet,
+        from: State,
+        targets: &StateSet,
+    ) -> Option<Vec<State>> {
+        if targets.contains(from) {
+            return Some(vec![from]);
+        }
+        let mut parent: BTreeMap<State, State> = BTreeMap::new();
+        let mut queue: std::collections::VecDeque<State> = Default::default();
+        parent.insert(from, from);
+        queue.push_back(from);
+        while let Some(s) = queue.pop_front() {
+            for t in self.system().proper_successors(s) {
+                if parent.contains_key(&t) || !within.contains(t) {
+                    continue;
+                }
+                parent.insert(t, s);
+                if targets.contains(t) {
+                    let mut path = vec![t];
+                    let mut cur = s;
+                    loop {
+                        path.push(cur);
+                        let p = parent[&cur];
+                        if p == cur {
+                            break;
+                        }
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(t);
+            }
+        }
+        None
+    }
+
     /// Counterexample for `AG p` from `from`: a path to a `¬p` state.
     pub fn counterexample_ag(
         &self,
@@ -379,6 +509,56 @@ mod tests {
         for s in w.stem.iter().chain(&w.cycle) {
             assert!(!(s.contains_named(al, "b0") && s.contains_named(al, "b1")));
         }
+    }
+
+    #[test]
+    fn fair_eg_witness_hits_every_constraint() {
+        let m = counter();
+        let c = Checker::new(&m).unwrap();
+        let from = set_of(&c, "!b0 & !b1");
+        // EG true under fairness {b0, b1}: the lasso's loop must visit a
+        // b0-state and a b1-state.
+        let fairness = [parse("b0").unwrap(), parse("b1").unwrap()];
+        let w = c
+            .witness_eg_fair(&from, &Formula::True, &fairness)
+            .unwrap()
+            .unwrap();
+        assert!(w.is_valid(&m));
+        for f in &fairness {
+            assert!(
+                w.cycle_satisfies(&m, f),
+                "cycle {:?} misses fairness constraint {f}",
+                w.cycle
+            );
+        }
+    }
+
+    #[test]
+    fn fair_eg_witness_none_when_fairness_unsatisfiable() {
+        // One-way switch: from x, the only run stutters on x forever, so
+        // fairness {!x} admits no fair path from x.
+        let mut m = System::new(Alphabet::new(["x"]));
+        m.add_transition_named(&[], &["x"]);
+        let c = Checker::new(&m).unwrap();
+        let from = set_of(&c, "x");
+        let fairness = [parse("!x").unwrap()];
+        assert!(c
+            .witness_eg_fair(&from, &Formula::True, &fairness)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn fair_eg_witness_without_constraints_is_plain_eg() {
+        let m = counter();
+        let c = Checker::new(&m).unwrap();
+        let from = set_of(&c, "b0 & !b1");
+        let w = c
+            .witness_eg_fair(&from, &parse("b0").unwrap(), &[Formula::True])
+            .unwrap()
+            .unwrap();
+        assert!(w.is_valid(&m));
+        assert!(w.all_satisfy(&m, &parse("b0").unwrap()));
     }
 
     #[test]

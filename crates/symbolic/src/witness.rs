@@ -81,6 +81,10 @@ pub struct Trace {
     pub var_names: Vec<String>,
     /// One assignment per step.
     pub states: Vec<Vec<bool>>,
+    /// For lasso traces, the index in `states` where the loop begins
+    /// (states from there to the end repeat forever); `None` for plain
+    /// finite paths.
+    pub loop_start: Option<usize>,
 }
 
 impl Trace {
@@ -93,11 +97,47 @@ impl Trace {
     pub fn is_empty(&self) -> bool {
         self.states.is_empty()
     }
+
+    /// The states as [`NamedState`]s, in trace order.
+    pub fn named_states(&self) -> Vec<NamedState> {
+        self.states
+            .iter()
+            .map(|values| {
+                NamedState::new(
+                    self.var_names
+                        .iter()
+                        .cloned()
+                        .zip(values.iter().copied())
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Lower this trace to the explicit engine's [`cmc_ctl::WitnessPath`]
+    /// over `alphabet`, splitting stem and cycle at [`Trace::loop_start`]
+    /// so either engine's evidence replays through the same validator.
+    /// Returns `None` when some trace variable is missing from `alphabet`.
+    pub fn to_witness_path(&self, alphabet: &cmc_kripke::Alphabet) -> Option<cmc_ctl::WitnessPath> {
+        let mut states = Vec::with_capacity(self.states.len());
+        for ns in self.named_states() {
+            states.push(ns.to_state(alphabet)?);
+        }
+        let split = self.loop_start.unwrap_or(states.len()).min(states.len());
+        let cycle = states.split_off(split);
+        Some(cmc_ctl::WitnessPath {
+            stem: states,
+            cycle,
+        })
+    }
 }
 
 impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, s) in self.states.iter().enumerate() {
+            if self.loop_start == Some(i) {
+                writeln!(f, "-- loop starts here --")?;
+            }
             write!(f, "-> State {}.{} <-", 1, i + 1)?;
             writeln!(f)?;
             for (name, &val) in self.var_names.iter().zip(s) {
@@ -151,6 +191,7 @@ impl SymbolicModel {
         Some(Trace {
             var_names: self.vars().iter().map(|v| v.name.clone()).collect(),
             states: rev,
+            loop_start: None,
         })
     }
 
@@ -187,14 +228,11 @@ impl SymbolicModel {
                 self.pick_state(proper)?
             };
             if let Some(idx) = order.iter().position(|s| *s == next) {
-                let stem = order[..idx].to_vec();
-                let cycle = order[idx..].to_vec();
                 let var_names = self.vars().iter().map(|v| v.name.clone()).collect();
-                // Reuse Trace: concatenate stem+cycle; mark loop start via
-                // the states vector split — callers get both pieces.
                 return Some(Trace {
                     var_names,
-                    states: stem.into_iter().chain(cycle).collect(),
+                    states: order,
+                    loop_start: Some(idx),
                 });
             }
             order.push(next.clone());
@@ -380,6 +418,42 @@ mod tests {
         // From 11 itself, the stutter lasso exists.
         let trace = m.witness_eg(goal, goal).unwrap();
         assert_eq!(trace.states.len(), 1);
+    }
+
+    #[test]
+    fn eg_witness_exposes_loop_start_and_lowers_to_witness_path() {
+        let mut m = counter_model();
+        let b1 = m.prop("b1").unwrap();
+        let nb1 = m.mgr().not(b1);
+        let init = m.init();
+        let trace = m.witness_eg(init, nb1).unwrap();
+        let split = trace.loop_start.expect("EG witnesses are lassos");
+        assert!(split < trace.len());
+
+        let alphabet = Alphabet::new(["b0", "b1"]);
+        let path = trace.to_witness_path(&alphabet).unwrap();
+        assert_eq!(path.stem.len(), split);
+        assert_eq!(path.stem.len() + path.cycle.len(), trace.len());
+        // The lowered path replays on the original explicit system.
+        let mut sys = System::new(Alphabet::new(["b0", "b1"]));
+        sys.add_transition_named(&[], &["b0"]);
+        sys.add_transition_named(&["b0"], &["b1"]);
+        sys.add_transition_named(&["b1"], &["b0", "b1"]);
+        sys.add_transition_named(&["b0", "b1"], &[]);
+        assert!(path.is_valid(&sys));
+    }
+
+    #[test]
+    fn finite_path_has_no_loop_start() {
+        let mut m = counter_model();
+        let b1 = m.prop("b1").unwrap();
+        let init = m.init();
+        let trace = m.find_path(init, b1).unwrap();
+        assert_eq!(trace.loop_start, None);
+        let alphabet = Alphabet::new(["b0", "b1"]);
+        let path = trace.to_witness_path(&alphabet).unwrap();
+        assert!(path.cycle.is_empty());
+        assert_eq!(path.stem.len(), trace.len());
     }
 
     #[test]

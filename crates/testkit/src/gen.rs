@@ -1,0 +1,315 @@
+//! Seeded, deterministic generators for the differential corpus.
+//!
+//! Everything is driven by one `u64` seed through the workspace's
+//! deterministic `StdRng` (splitmix64), so any failure is replayable with
+//! `cargo run -p cmc-testkit -- --seed N`. The generators cover the
+//! paper's ingredient list:
+//!
+//! * structures `M = (Σ, R)` — reflexive by construction (`System` ignores
+//!   self-pairs and stutters implicitly), with controllable alphabet width
+//!   and transition density,
+//! * CTL formulas stratified by the paper's property classes: universal
+//!   (§3.3 Rule 2 shapes), existential (Rules 1/3), guarantees-style
+//!   `p ⇒ A[p U q]` and the `p ⇒ AX q` shapes of Lemmas 6–7, plus
+//!   unconstrained formulas for the fallback paths,
+//! * restrictions `r = (I, F)` with 0–2 propositional fairness
+//!   constraints,
+//! * interleaving compositions `M ∘ M'` over overlapping alphabets.
+
+use cmc_ctl::{Formula, Restriction};
+use cmc_kripke::{Alphabet, State, System};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Tunable knobs for one generated obligation.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Union alphabet width (propositions across all components).
+    pub max_props: usize,
+    /// Expected proper transitions per system, as a fraction of the
+    /// `2^Σ × 2^Σ` pair space actually sampled.
+    pub max_transitions: usize,
+    /// Maximum formula nesting depth.
+    pub max_depth: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_props: 4,
+            max_transitions: 12,
+            max_depth: 3,
+        }
+    }
+}
+
+/// The property-class strata the formula generator draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stratum {
+    /// Universal properties (¬, ∧, ∨ over atoms; AX, AG, AU) — Rule 2.
+    Universal,
+    /// Existential properties (EX, EF, EG, EU) — Rules 1/3.
+    Existential,
+    /// Guarantee shapes: `p ⇒ A[p U q]` / `p ⇒ AF q` (Rules 4/5).
+    Guarantee,
+    /// The `p ⇒ AX q` progress shape of Lemmas 6–7.
+    AxStep,
+    /// Unconstrained CTL (exercises the monolithic fallback).
+    Free,
+}
+
+/// A generated checking obligation: component systems (interleaved on
+/// check), a restriction, and a formula.
+#[derive(Debug, Clone)]
+pub struct Obligation {
+    /// The seed that produced this obligation (for replay reports).
+    pub seed: u64,
+    /// One or more component systems; the check target is their
+    /// interleaving composition.
+    pub systems: Vec<System>,
+    /// The restriction `r = (I, F)`.
+    pub restriction: Restriction,
+    /// The formula to check.
+    pub formula: Formula,
+    /// Which stratum the formula was drawn from.
+    pub stratum: Stratum,
+}
+
+fn prop_names(offset: usize, n: usize) -> Vec<String> {
+    (offset..offset + n).map(|i| format!("v{i}")).collect()
+}
+
+/// A random reflexive structure over `names`: `max_transitions` sampled
+/// proper pairs (duplicates and self-pairs harmlessly collapse).
+pub fn gen_system(rng: &mut StdRng, names: &[String], max_transitions: usize) -> System {
+    let mut m = System::new(Alphabet::new(names.to_vec()));
+    let space = 1u128 << names.len();
+    let count = rng.gen_range(0..=max_transitions);
+    for _ in 0..count {
+        let s = State(rng.gen_range(0..space));
+        let t = State(rng.gen_range(0..space));
+        m.add_transition(s, t);
+    }
+    m
+}
+
+/// A random propositional formula over `names`.
+pub fn gen_propositional(rng: &mut StdRng, names: &[String], depth: usize) -> Formula {
+    if depth == 0 || rng.gen_bool(0.4) {
+        return match rng.gen_range(0..6) {
+            0 => Formula::True,
+            1 => Formula::ap(&names[rng.gen_range(0..names.len())]).not(),
+            _ => Formula::ap(&names[rng.gen_range(0..names.len())]),
+        };
+    }
+    let a = gen_propositional(rng, names, depth - 1);
+    let b = gen_propositional(rng, names, depth - 1);
+    match rng.gen_range(0..4) {
+        0 => a.and(b),
+        1 => a.or(b),
+        2 => a.not(),
+        _ => a.implies(b),
+    }
+}
+
+/// A universal-class formula (closed under ∧/∨; temporal operators AX, AG,
+/// AU only), per Rule 2's grammar.
+pub fn gen_universal(rng: &mut StdRng, names: &[String], depth: usize) -> Formula {
+    if depth == 0 {
+        return gen_propositional(rng, names, 1);
+    }
+    match rng.gen_range(0..6) {
+        0 => gen_universal(rng, names, depth - 1).and(gen_universal(rng, names, depth - 1)),
+        1 => gen_universal(rng, names, depth - 1).or(gen_universal(rng, names, depth - 1)),
+        2 => gen_universal(rng, names, depth - 1).ax(),
+        3 => gen_universal(rng, names, depth - 1).ag(),
+        4 => gen_universal(rng, names, depth - 1).au(gen_universal(rng, names, depth - 1)),
+        _ => gen_propositional(rng, names, depth),
+    }
+}
+
+/// An existential-class formula (EX, EF, EG, EU), per Rules 1/3.
+pub fn gen_existential(rng: &mut StdRng, names: &[String], depth: usize) -> Formula {
+    if depth == 0 {
+        return gen_propositional(rng, names, 1);
+    }
+    match rng.gen_range(0..6) {
+        0 => gen_existential(rng, names, depth - 1).and(gen_existential(rng, names, depth - 1)),
+        1 => gen_existential(rng, names, depth - 1).or(gen_existential(rng, names, depth - 1)),
+        2 => gen_existential(rng, names, depth - 1).ex(),
+        3 => gen_existential(rng, names, depth - 1).ef(),
+        4 => gen_existential(rng, names, depth - 1).eg(),
+        _ => gen_existential(rng, names, depth - 1).eu(gen_existential(rng, names, depth - 1)),
+    }
+}
+
+/// An unconstrained CTL formula.
+pub fn gen_free(rng: &mut StdRng, names: &[String], depth: usize) -> Formula {
+    if depth == 0 {
+        return gen_propositional(rng, names, 1);
+    }
+    let a = gen_free(rng, names, depth - 1);
+    match rng.gen_range(0..11) {
+        0 => a.not(),
+        1 => a.and(gen_free(rng, names, depth - 1)),
+        2 => a.or(gen_free(rng, names, depth - 1)),
+        3 => a.ex(),
+        4 => a.ax(),
+        5 => a.ef(),
+        6 => a.af(),
+        7 => a.eg(),
+        8 => a.ag(),
+        9 => a.eu(gen_free(rng, names, depth - 1)),
+        _ => a.au(gen_free(rng, names, depth - 1)),
+    }
+}
+
+/// Draw a formula from `stratum`.
+pub fn gen_formula(rng: &mut StdRng, names: &[String], depth: usize, stratum: Stratum) -> Formula {
+    match stratum {
+        Stratum::Universal => gen_universal(rng, names, depth),
+        Stratum::Existential => gen_existential(rng, names, depth),
+        Stratum::Guarantee => {
+            // p ⇒ A[p U q] (Rule 4's conclusion) or p ⇒ AF q (Rule 5's).
+            let p = gen_propositional(rng, names, 1);
+            let q = gen_propositional(rng, names, 1);
+            if rng.gen_bool(0.5) {
+                p.clone().implies(p.au(q))
+            } else {
+                p.implies(q.af())
+            }
+        }
+        Stratum::AxStep => {
+            // The Lemma 6/7 progress shape p ⇒ AX q.
+            let p = gen_propositional(rng, names, 1);
+            let q = gen_propositional(rng, names, 1);
+            p.implies(q.ax())
+        }
+        Stratum::Free => gen_free(rng, names, depth),
+    }
+}
+
+/// A restriction with a random propositional init and 0–2 propositional
+/// fairness constraints (a non-trivial fairness *set*, exercising the
+/// Emerson–Lei conjunction over multiple `Fᵢ`).
+pub fn gen_restriction(rng: &mut StdRng, names: &[String]) -> Restriction {
+    let init = if rng.gen_bool(0.4) {
+        Formula::True
+    } else {
+        gen_propositional(rng, names, 2)
+    };
+    let n_fair = rng.gen_range(0..=2);
+    let fairness: Vec<Formula> = (0..n_fair)
+        .map(|_| gen_propositional(rng, names, 1))
+        .collect();
+    Restriction::new(init, fairness)
+}
+
+/// Generate one full obligation from `seed`: either a single system over
+/// the whole alphabet, or an interleaving composition `M ∘ M'` of two
+/// components whose alphabets overlap in the middle.
+pub fn gen_obligation(seed: u64, cfg: &GenConfig) -> Obligation {
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(2..=cfg.max_props.max(2));
+    let names = prop_names(0, n);
+
+    let systems = if n >= 3 && rng.gen_bool(0.5) {
+        // Split into two overlapping components: [0..k+1) and [k..n).
+        let k = rng.gen_range(1..n - 1);
+        let left: Vec<String> = names[..=k].to_vec();
+        let right: Vec<String> = names[k..].to_vec();
+        vec![
+            gen_system(&mut rng, &left, cfg.max_transitions),
+            gen_system(&mut rng, &right, cfg.max_transitions),
+        ]
+    } else {
+        vec![gen_system(&mut rng, &names, cfg.max_transitions)]
+    };
+
+    let stratum = match rng.gen_range(0..8) {
+        0 | 1 => Stratum::Universal,
+        2 | 3 => Stratum::Existential,
+        4 => Stratum::Guarantee,
+        5 => Stratum::AxStep,
+        _ => Stratum::Free,
+    };
+    let formula = gen_formula(&mut rng, &names, cfg.max_depth, stratum);
+    let restriction = gen_restriction(&mut rng, &names);
+
+    Obligation {
+        seed,
+        systems,
+        restriction,
+        formula,
+        stratum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        for seed in 0..50 {
+            let a = gen_obligation(seed, &cfg);
+            let b = gen_obligation(seed, &cfg);
+            assert_eq!(a.formula, b.formula);
+            assert_eq!(a.restriction.init, b.restriction.init);
+            assert_eq!(a.restriction.fairness, b.restriction.fairness);
+            assert_eq!(a.systems.len(), b.systems.len());
+            for (x, y) in a.systems.iter().zip(&b.systems) {
+                assert!(x.equivalent(y));
+            }
+        }
+    }
+
+    #[test]
+    fn strata_respect_their_grammars() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let names = prop_names(0, 3);
+        for _ in 0..100 {
+            let u = gen_universal(&mut rng, &names, 3);
+            assert!(
+                no_existential(&u),
+                "universal stratum produced an E-operator: {u}"
+            );
+            let p = gen_propositional(&mut rng, &names, 3);
+            assert!(p.is_propositional(), "not propositional: {p}");
+        }
+    }
+
+    fn no_existential(f: &Formula) -> bool {
+        use Formula::*;
+        match f {
+            True | False | Ap(_) => true,
+            Not(g) | Ax(g) | Ag(g) | Af(g) => no_existential(g),
+            And(a, b) | Or(a, b) | Implies(a, b) | Iff(a, b) | Au(a, b) => {
+                no_existential(a) && no_existential(b)
+            }
+            Ex(_) | Ef(_) | Eg(_) | Eu(_, _) => false,
+        }
+    }
+
+    #[test]
+    fn compositions_share_a_proposition() {
+        let cfg = GenConfig::default();
+        let mut found_composed = false;
+        for seed in 0..200 {
+            let o = gen_obligation(seed, &cfg);
+            if o.systems.len() == 2 {
+                found_composed = true;
+                let a = o.systems[0].alphabet();
+                let b = o.systems[1].alphabet();
+                assert!(
+                    a.names().iter().any(|n| b.contains(n)),
+                    "components must overlap"
+                );
+            }
+        }
+        assert!(found_composed, "no composed obligation in 200 seeds");
+    }
+}

@@ -1,0 +1,105 @@
+//! `cmc-testkit` — the differential conformance harness.
+//!
+//! Three independent evaluators exist for the paper's restricted
+//! satisfaction relation `M ⊨_r f`: the explicit checker (`cmc-ctl`), the
+//! symbolic checker (`cmc-symbolic`), and this crate's deliberately naïve
+//! [`RefEvaluator`] written straight from §2.2's path semantics. This
+//! crate generates seeded obligations, runs all three, replays every
+//! witness and certificate against the transition relation, and shrinks
+//! any disagreement to a minimal replayable repro.
+//!
+//! Entry points:
+//!
+//! * [`gen_obligation`] — deterministic obligation from a `u64` seed;
+//! * [`run_obligation`] — the three-way differential check;
+//! * [`validate_witness`] / [`validate_verdict`] /
+//!   [`validate_certificate`] / [`replay_store`] — the replay validators;
+//! * `cargo run -p cmc-testkit --release -- --seed N --iters K` — the
+//!   fuzz binary ([`fuzz`]); `--corpus` replays `corpus/seeds.txt`.
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod oracle;
+pub mod reference;
+pub mod validate;
+
+pub use gen::{gen_obligation, GenConfig, Obligation, Stratum};
+pub use oracle::{run_obligation, shrink, Disagreement, OracleOutcome, TripleVerdict};
+pub use reference::{RefError, RefEvaluator, REFERENCE_MAX_PROPS};
+pub use validate::{
+    replay_store, validate_certificate, validate_stored, validate_verdict, validate_witness,
+    ValidationError, WitnessClaim,
+};
+
+/// The checked-in regression seed corpus, one seed per line (`#` comments
+/// allowed). Compiled in so the corpus replays identically from any
+/// working directory.
+pub const SEED_CORPUS: &str = include_str!("../corpus/seeds.txt");
+
+/// Parse [`SEED_CORPUS`] into seeds.
+pub fn corpus_seeds() -> Vec<u64> {
+    SEED_CORPUS
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| l.parse().ok())
+        .collect()
+}
+
+/// Result of a fuzzing run.
+#[derive(Debug)]
+pub struct FuzzReport {
+    /// Obligations whose three verdicts agreed (witnesses replayed).
+    pub agreed: usize,
+    /// Obligations skipped (backend limits).
+    pub skipped: usize,
+    /// The first disagreement found, if any.
+    pub failure: Option<Disagreement>,
+}
+
+/// Run `iters` seeded obligations starting at `seed0`, stopping at the
+/// first disagreement. Progress lines go through `progress` (pass a no-op
+/// closure for quiet runs).
+pub fn fuzz(seed0: u64, iters: u64, mut progress: impl FnMut(&str)) -> FuzzReport {
+    let cfg = GenConfig::default();
+    let mut report = FuzzReport {
+        agreed: 0,
+        skipped: 0,
+        failure: None,
+    };
+    for i in 0..iters {
+        let seed = seed0.wrapping_add(i);
+        let o = gen_obligation(seed, &cfg);
+        match run_obligation(&o) {
+            OracleOutcome::Agree(_) => report.agreed += 1,
+            OracleOutcome::Skipped(why) => {
+                report.skipped += 1;
+                progress(&format!("seed {seed}: skipped ({why})"));
+            }
+            OracleOutcome::Disagree(d) => {
+                report.failure = Some(*d);
+                return report;
+            }
+        }
+        if (i + 1) % 100 == 0 {
+            progress(&format!("{}/{iters} obligations checked", i + 1));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_parses_and_is_nonempty() {
+        let seeds = corpus_seeds();
+        assert!(
+            seeds.len() >= 50,
+            "seed corpus should carry at least 50 regression seeds, got {}",
+            seeds.len()
+        );
+    }
+}

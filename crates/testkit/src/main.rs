@@ -1,0 +1,91 @@
+//! The `cmc-testkit` fuzz binary.
+//!
+//! ```text
+//! cargo run -p cmc-testkit --release -- --seed N --iters K   # fresh seeds
+//! cargo run -p cmc-testkit --release -- --corpus             # regression corpus
+//! ```
+//!
+//! Exit status 0 means every obligation ran through the explicit backend,
+//! the symbolic backend, and the reference evaluator in full agreement
+//! with all witnesses replaying; status 1 means a disagreement was found
+//! and a shrunk repro (with its `--seed`) was printed; status 2 is a
+//! usage error.
+
+use cmc_testkit::{corpus_seeds, fuzz, gen_obligation, run_obligation, GenConfig, OracleOutcome};
+
+struct Args {
+    seed: u64,
+    iters: u64,
+    corpus: bool,
+}
+
+const USAGE: &str = "usage: cmc-testkit [--seed N] [--iters K] [--corpus]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 0,
+        iters: 200,
+        corpus: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad --seed value `{v}`"))?;
+            }
+            "--iters" => {
+                let v = it.next().ok_or("--iters needs a value")?;
+                args.iters = v.parse().map_err(|_| format!("bad --iters value `{v}`"))?;
+            }
+            "--corpus" => args.corpus = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    if args.corpus {
+        let seeds = corpus_seeds();
+        println!("replaying {} corpus seeds", seeds.len());
+        let cfg = GenConfig::default();
+        let mut agreed = 0usize;
+        for seed in seeds {
+            let o = gen_obligation(seed, &cfg);
+            match run_obligation(&o) {
+                OracleOutcome::Agree(_) => agreed += 1,
+                OracleOutcome::Skipped(why) => println!("seed {seed}: skipped ({why})"),
+                OracleOutcome::Disagree(d) => {
+                    eprintln!("{d}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!("corpus clean: {agreed} obligations, three-way agreement everywhere");
+        return;
+    }
+
+    println!("fuzzing {} obligations from seed {}", args.iters, args.seed);
+    let report = fuzz(args.seed, args.iters, |line| println!("{line}"));
+    if let Some(d) = report.failure {
+        eprintln!("{d}");
+        std::process::exit(1);
+    }
+    println!(
+        "done: {} agreed, {} skipped, no disagreements",
+        report.agreed, report.skipped
+    );
+}

@@ -1,0 +1,303 @@
+//! The three-way differential oracle.
+//!
+//! Every obligation runs through the explicit backend, the symbolic
+//! backend, and the independent [`RefEvaluator`](crate::RefEvaluator)
+//! written straight from the paper's restriction semantics. A 2-vs-1
+//! split is a bug in *somebody*; the oracle shrinks the obligation to a
+//! minimal disagreeing pair and reports it with a replayable seed.
+
+use crate::gen::Obligation;
+use crate::reference::RefEvaluator;
+use crate::validate::{validate_verdict, ValidationError};
+use cmc_core::{Backend, BackendError, ExplicitBackend, SymbolicBackend, Target};
+use cmc_ctl::{Formula, Restriction};
+use cmc_kripke::System;
+use std::fmt;
+
+/// The three verdicts for one obligation, in a fixed order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TripleVerdict {
+    /// The explicit backend's `holds`.
+    pub explicit: bool,
+    /// The symbolic backend's `holds`.
+    pub symbolic: bool,
+    /// The reference evaluator's `holds`.
+    pub reference: bool,
+}
+
+impl TripleVerdict {
+    /// Do all three evaluators agree?
+    pub fn agrees(&self) -> bool {
+        self.explicit == self.symbolic && self.symbolic == self.reference
+    }
+}
+
+/// A confirmed, shrunk disagreement between the evaluators.
+#[derive(Debug, Clone)]
+pub struct Disagreement {
+    /// Seed that produced the original obligation.
+    pub seed: u64,
+    /// The verdict split on the *shrunk* obligation.
+    pub verdicts: TripleVerdict,
+    /// The shrunk minimal obligation still exhibiting the split.
+    pub shrunk: Obligation,
+    /// Ancillary detail (witness-replay failures, count mismatches).
+    pub notes: Vec<String>,
+}
+
+impl fmt::Display for Disagreement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== DIFFERENTIAL DISAGREEMENT ===")?;
+        writeln!(
+            f,
+            "verdicts: explicit={} symbolic={} reference={}",
+            self.verdicts.explicit, self.verdicts.symbolic, self.verdicts.reference
+        )?;
+        writeln!(f, "formula:  {}", self.shrunk.formula)?;
+        writeln!(f, "init:     {}", self.shrunk.restriction.init)?;
+        for (i, c) in self.shrunk.restriction.fairness.iter().enumerate() {
+            writeln!(f, "fair[{i}]:  {c}")?;
+        }
+        for (i, m) in self.shrunk.systems.iter().enumerate() {
+            let alpha = m.alphabet().names().join(",");
+            writeln!(f, "system[{i}] over {{{alpha}}}:")?;
+            for (s, t) in m.proper_transitions() {
+                writeln!(
+                    f,
+                    "  {} -> {}",
+                    s.display(m.alphabet()),
+                    t.display(m.alphabet())
+                )?;
+            }
+        }
+        for n in &self.notes {
+            writeln!(f, "note: {n}")?;
+        }
+        writeln!(
+            f,
+            "replay:   cargo run -p cmc-testkit -- --seed {}",
+            self.seed
+        )
+    }
+}
+
+/// Outcome of running one obligation through the oracle.
+#[derive(Debug)]
+pub enum OracleOutcome {
+    /// All three evaluators agree (and every witness replayed cleanly).
+    Agree(TripleVerdict),
+    /// Somebody is wrong; here is the shrunk evidence.
+    Disagree(Box<Disagreement>),
+    /// The obligation could not be run (e.g. backend limit) — skipped.
+    Skipped(String),
+}
+
+fn check_three(
+    systems: &[System],
+    r: &Restriction,
+    f: &Formula,
+) -> Result<(TripleVerdict, Vec<String>), String> {
+    let target = Target::composition(systems.to_vec());
+    let explicit = ExplicitBackend::default()
+        .check(&target, r, f)
+        .map_err(|e: BackendError| e.to_string())?;
+    let symbolic = SymbolicBackend
+        .check(&target, r, f)
+        .map_err(|e| e.to_string())?;
+
+    let product = target.materialize();
+    let reference = RefEvaluator::new(&product).map_err(|e| e.to_string())?;
+    let (ref_holds, _ref_violating) = reference.check(r, f).map_err(|e| e.to_string())?;
+
+    let mut notes = Vec::new();
+
+    // Exact satisfying-state counts must match the reference wherever a
+    // backend offers one.
+    let ref_count = reference
+        .sat_count(f, &r.fairness)
+        .map_err(|e| e.to_string())?;
+    for v in [&explicit, &symbolic] {
+        if let Some(n) = v.sat_states {
+            if n != ref_count {
+                notes.push(format!(
+                    "{} reports {} satisfying states, reference counts {}",
+                    v.stats.backend.name(),
+                    n,
+                    ref_count
+                ));
+            }
+        }
+    }
+
+    // Replay each backend's violating witnesses against the reference
+    // semantics: a reported witness must be an I-state refuting f.
+    for v in [&explicit, &symbolic] {
+        if let Err(err) = validate_verdict(&product, r, f, v) {
+            notes.push(format!("{}: {}", v.stats.backend.name(), err));
+        }
+    }
+
+    Ok((
+        TripleVerdict {
+            explicit: explicit.holds,
+            symbolic: symbolic.holds,
+            reference: ref_holds,
+        },
+        notes,
+    ))
+}
+
+fn is_buggy(systems: &[System], r: &Restriction, f: &Formula) -> bool {
+    match check_three(systems, r, f) {
+        Ok((v, notes)) => !v.agrees() || !notes.is_empty(),
+        Err(_) => false,
+    }
+}
+
+/// Immediate subformulas of `f` (shrinking candidates).
+fn subformulas(f: &Formula) -> Vec<Formula> {
+    use Formula::*;
+    match f {
+        True | False | Ap(_) => vec![],
+        Not(g) | Ex(g) | Ax(g) | Ef(g) | Af(g) | Eg(g) | Ag(g) => vec![(**g).clone()],
+        And(a, b) | Or(a, b) | Implies(a, b) | Iff(a, b) | Eu(a, b) | Au(a, b) => {
+            vec![(**a).clone(), (**b).clone()]
+        }
+    }
+}
+
+fn without_transition(m: &System, skip: usize) -> System {
+    let mut out = System::new(m.alphabet().clone());
+    for (i, (s, t)) in m.proper_transitions().enumerate() {
+        if i != skip {
+            out.add_transition(s, t);
+        }
+    }
+    out
+}
+
+/// Greedily shrink `o` while the three-way split persists. Each pass
+/// tries, in order: replacing the formula by a subformula, dropping a
+/// fairness constraint, widening init to `True`, and deleting single
+/// transitions; passes repeat until a fixpoint.
+pub fn shrink(o: &Obligation) -> Obligation {
+    let mut cur = o.clone();
+    loop {
+        let mut progressed = false;
+
+        for sub in subformulas(&cur.formula) {
+            if is_buggy(&cur.systems, &cur.restriction, &sub) {
+                cur.formula = sub;
+                progressed = true;
+                break;
+            }
+        }
+
+        for i in 0..cur.restriction.fairness.len() {
+            let mut fair = cur.restriction.fairness.clone();
+            fair.remove(i);
+            let r = Restriction::new(cur.restriction.init.clone(), fair);
+            if is_buggy(&cur.systems, &r, &cur.formula) {
+                cur.restriction = r;
+                progressed = true;
+                break;
+            }
+        }
+
+        if cur.restriction.init != Formula::True {
+            let r = Restriction::new(Formula::True, cur.restriction.fairness.clone());
+            if is_buggy(&cur.systems, &r, &cur.formula) {
+                cur.restriction = r;
+                progressed = true;
+            }
+        }
+
+        'systems: for si in 0..cur.systems.len() {
+            let n_trans = cur.systems[si].proper_transitions().count();
+            for ti in 0..n_trans {
+                let mut systems = cur.systems.clone();
+                systems[si] = without_transition(&systems[si], ti);
+                if is_buggy(&systems, &cur.restriction, &cur.formula) {
+                    cur.systems = systems;
+                    progressed = true;
+                    break 'systems;
+                }
+            }
+        }
+
+        if !progressed {
+            return cur;
+        }
+    }
+}
+
+/// Run one obligation through all three evaluators, cross-validating
+/// witnesses, shrinking on any disagreement.
+pub fn run_obligation(o: &Obligation) -> OracleOutcome {
+    match check_three(&o.systems, &o.restriction, &o.formula) {
+        Err(e) => OracleOutcome::Skipped(e),
+        Ok((v, notes)) if v.agrees() && notes.is_empty() => OracleOutcome::Agree(v),
+        Ok(_) => {
+            let shrunk = shrink(o);
+            let (verdicts, notes) =
+                check_three(&shrunk.systems, &shrunk.restriction, &shrunk.formula).unwrap_or_else(
+                    |e| {
+                        (
+                            TripleVerdict {
+                                explicit: false,
+                                symbolic: false,
+                                reference: false,
+                            },
+                            vec![format!("shrunk obligation failed to re-run: {e}")],
+                        )
+                    },
+                );
+            OracleOutcome::Disagree(Box::new(Disagreement {
+                seed: o.seed,
+                verdicts,
+                shrunk,
+                notes,
+            }))
+        }
+    }
+}
+
+/// Convenience: re-validate a backend verdict against an independently
+/// materialised product (exposed for integration tests).
+pub fn revalidate(
+    systems: &[System],
+    r: &Restriction,
+    f: &Formula,
+    v: &cmc_core::Verdict,
+) -> Result<(), ValidationError> {
+    let product = Target::composition(systems.to_vec()).materialize();
+    validate_verdict(&product, r, f, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{gen_obligation, GenConfig};
+
+    #[test]
+    fn small_corpus_agrees() {
+        let cfg = GenConfig::default();
+        for seed in 0..40 {
+            let o = gen_obligation(seed, &cfg);
+            match run_obligation(&o) {
+                OracleOutcome::Agree(_) | OracleOutcome::Skipped(_) => {}
+                OracleOutcome::Disagree(d) => panic!("seed {seed} disagreed:\n{d}"),
+            }
+        }
+    }
+
+    #[test]
+    fn shrinking_prefers_subformulas() {
+        // A fabricated "always disagrees" predicate can't be injected
+        // without test seams, so just check shrink() is identity on an
+        // agreeing obligation.
+        let o = gen_obligation(3, &GenConfig::default());
+        let s = shrink(&o);
+        assert_eq!(s.formula, o.formula);
+    }
+}

@@ -1,0 +1,369 @@
+//! A naïve reference evaluator for fair CTL, written directly from the
+//! paper's semantics (§2.1–2.2 of Andrade & Sanders) and sharing **no
+//! algorithmic machinery** with either production engine.
+//!
+//! Where `cmc-ctl` labels `StateSet` bitsets with Emerson–Lei fixpoints and
+//! `cmc-symbolic` runs BDD fixpoints, this evaluator works on plain `u128`
+//! masks over the full `2^Σ` state space and decides fairness by **cycle
+//! analysis**: a path is fair iff it visits every constraint infinitely
+//! often, and an infinite path eventually stays inside one strongly
+//! connected component, so a state has a fair path within `S` iff it can
+//! reach (within `S`) a state whose mutual-reachability class inside `S`
+//! intersects every fairness set. Because every relation is reflexive
+//! (implicit stutter), every state lies on at least the trivial self-loop,
+//! so no "nontrivial SCC" caveat is needed.
+//!
+//! The evaluator is deliberately limited to [`REFERENCE_MAX_PROPS`]
+//! propositions — big enough for the differential corpus, small enough
+//! that the whole satisfaction set fits in one machine word pair.
+
+use cmc_ctl::{Formula, Restriction};
+use cmc_kripke::{State, System};
+
+/// Widest alphabet the reference evaluator accepts (`2^7 = 128` states —
+/// one `u128` mask).
+pub const REFERENCE_MAX_PROPS: usize = 7;
+
+/// Errors from the reference evaluator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefError {
+    /// Alphabet wider than [`REFERENCE_MAX_PROPS`].
+    TooWide(usize),
+    /// Formula mentions a proposition outside the system's alphabet.
+    UnknownProposition(String),
+}
+
+impl std::fmt::Display for RefError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefError::TooWide(n) => write!(
+                f,
+                "reference evaluator limited to {REFERENCE_MAX_PROPS} propositions, got {n}"
+            ),
+            RefError::UnknownProposition(p) => {
+                write!(f, "formula mentions proposition {p:?} outside the alphabet")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RefError {}
+
+/// The reference evaluator for one system: precomputed successor lists
+/// (stutter included) over the full `2^Σ` space.
+#[derive(Debug)]
+pub struct RefEvaluator<'a> {
+    system: &'a System,
+    n_states: usize,
+    /// succ[s] = all t with (s, t) ∈ R, self included (reflexivity).
+    succ: Vec<Vec<usize>>,
+}
+
+type Mask = u128;
+
+impl<'a> RefEvaluator<'a> {
+    /// Build the evaluator; fails on over-wide alphabets.
+    pub fn new(system: &'a System) -> Result<Self, RefError> {
+        let n = system.alphabet().len();
+        if n > REFERENCE_MAX_PROPS {
+            return Err(RefError::TooWide(n));
+        }
+        let n_states = 1usize << n;
+        let mut succ: Vec<Vec<usize>> = (0..n_states).map(|s| vec![s]).collect();
+        for (u, v) in system.proper_transitions() {
+            succ[u.0 as usize].push(v.0 as usize);
+        }
+        Ok(RefEvaluator {
+            system,
+            n_states,
+            succ,
+        })
+    }
+
+    fn full(&self) -> Mask {
+        if self.n_states == 128 {
+            !0
+        } else {
+            (1u128 << self.n_states) - 1
+        }
+    }
+
+    /// States reachable from `s` while staying inside `within`
+    /// (`s` itself included when it is inside).
+    fn reach_within(&self, s: usize, within: Mask) -> Mask {
+        if within >> s & 1 == 0 {
+            return 0;
+        }
+        let mut seen: Mask = 1u128 << s;
+        let mut stack = vec![s];
+        while let Some(u) = stack.pop() {
+            for &v in &self.succ[u] {
+                if within >> v & 1 == 1 && seen >> v & 1 == 0 {
+                    seen |= 1u128 << v;
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Fair `EG S`: states with an infinite `fair_sets`-fair path staying
+    /// in `S`. A state qualifies iff it reaches, within `S`, a state whose
+    /// mutual-reachability class (SCC of the `S`-induced subgraph)
+    /// intersects every fairness set — that class is the set of states the
+    /// path can visit infinitely often.
+    fn fair_eg(&self, s_mask: Mask, fair_sets: &[Mask]) -> Mask {
+        // Mutual-reachability classes, memoised per representative.
+        let mut recurrent: Mask = 0;
+        for t in 0..self.n_states {
+            if s_mask >> t & 1 == 0 {
+                continue;
+            }
+            let fwd = self.reach_within(t, s_mask);
+            // t's class = states u with t →* u and u →* t (all within S).
+            let mut class: Mask = 0;
+            for u in 0..self.n_states {
+                if fwd >> u & 1 == 1 && self.reach_within(u, s_mask) >> t & 1 == 1 {
+                    class |= 1u128 << u;
+                }
+            }
+            if fair_sets.iter().all(|f| class & f != 0) {
+                recurrent |= 1u128 << t;
+            }
+        }
+        // Fair-EG = states that can reach a fair-recurrent state within S.
+        let mut out: Mask = 0;
+        for t in 0..self.n_states {
+            if s_mask >> t & 1 == 1 && self.reach_within(t, s_mask) & recurrent != 0 {
+                out |= 1u128 << t;
+            }
+        }
+        out
+    }
+
+    /// `E[a U b]`-states: a finite path through `a`-states to a `b`-state
+    /// (the `b`-state must sit on a fair path, folded into `b` by callers).
+    fn until(&self, a: Mask, b: Mask) -> Mask {
+        let mut z = b;
+        loop {
+            let mut grew = z;
+            for s in 0..self.n_states {
+                if a >> s & 1 == 1 && self.succ[s].iter().any(|&t| z >> t & 1 == 1) {
+                    grew |= 1u128 << s;
+                }
+            }
+            if grew == z {
+                return z;
+            }
+            z = grew;
+        }
+    }
+
+    /// Satisfaction set of `f` under fairness constraints `fairness`, as a
+    /// mask over `2^Σ`.
+    pub fn sat_fair(&self, f: &Formula, fairness: &[Formula]) -> Result<Mask, RefError> {
+        let fair_sets: Vec<Mask> = fairness
+            .iter()
+            .filter(|c| **c != Formula::True)
+            .map(|c| self.sat_fair(c, &[]))
+            .collect::<Result<_, _>>()?;
+        // States from which at least one fair path starts.
+        let fair = self.fair_eg(self.full(), &fair_sets);
+        self.eval(f, &fair_sets, fair)
+    }
+
+    fn eval(&self, f: &Formula, fair_sets: &[Mask], fair: Mask) -> Result<Mask, RefError> {
+        use Formula::*;
+        Ok(match f {
+            True => self.full(),
+            False => 0,
+            Ap(p) => {
+                let pos = self
+                    .system
+                    .alphabet()
+                    .position(p)
+                    .ok_or_else(|| RefError::UnknownProposition(p.clone()))?;
+                let mut out: Mask = 0;
+                for s in 0..self.n_states {
+                    if State(s as u128).contains(pos) {
+                        out |= 1u128 << s;
+                    }
+                }
+                out
+            }
+            Not(g) => !self.eval(g, fair_sets, fair)? & self.full(),
+            And(a, b) => self.eval(a, fair_sets, fair)? & self.eval(b, fair_sets, fair)?,
+            Or(a, b) => self.eval(a, fair_sets, fair)? | self.eval(b, fair_sets, fair)?,
+            Implies(a, b) => {
+                (!self.eval(a, fair_sets, fair)? | self.eval(b, fair_sets, fair)?) & self.full()
+            }
+            Iff(a, b) => {
+                let (sa, sb) = (
+                    self.eval(a, fair_sets, fair)?,
+                    self.eval(b, fair_sets, fair)?,
+                );
+                !(sa ^ sb) & self.full()
+            }
+            // s ⊨ EX g iff some fair path from s has g at step 1: some
+            // successor both satisfies g and starts a fair path.
+            Ex(g) => {
+                let sg = self.eval(g, fair_sets, fair)? & fair;
+                let mut out: Mask = 0;
+                for s in 0..self.n_states {
+                    if self.succ[s].iter().any(|&t| sg >> t & 1 == 1) {
+                        out |= 1u128 << s;
+                    }
+                }
+                out
+            }
+            // s ⊨ AX g iff every fair path from s has g at step 1: every
+            // successor that starts a fair path satisfies g.
+            Ax(g) => {
+                let sg = self.eval(g, fair_sets, fair)?;
+                let mut out: Mask = 0;
+                for s in 0..self.n_states {
+                    if self.succ[s]
+                        .iter()
+                        .all(|&t| fair >> t & 1 == 0 || sg >> t & 1 == 1)
+                    {
+                        out |= 1u128 << s;
+                    }
+                }
+                out
+            }
+            Ef(g) => {
+                let sg = self.eval(g, fair_sets, fair)? & fair;
+                self.until(self.full(), sg)
+            }
+            Ag(g) => {
+                let ng = !self.eval(g, fair_sets, fair)? & self.full() & fair;
+                !self.until(self.full(), ng) & self.full()
+            }
+            Eg(g) => {
+                let sg = self.eval(g, fair_sets, fair)?;
+                self.fair_eg(sg, fair_sets)
+            }
+            Af(g) => {
+                let ng = !self.eval(g, fair_sets, fair)? & self.full();
+                !self.fair_eg(ng, fair_sets) & self.full()
+            }
+            Eu(a, b) => {
+                let sa = self.eval(a, fair_sets, fair)?;
+                let sb = self.eval(b, fair_sets, fair)? & fair;
+                self.until(sa, sb)
+            }
+            // A[a U b] = ¬( E[¬b U ¬a∧¬b] ∨ EG ¬b ).
+            Au(a, b) => {
+                let na = !self.eval(a, fair_sets, fair)? & self.full();
+                let nb = !self.eval(b, fair_sets, fair)? & self.full();
+                let left = self.until(nb, na & nb & fair);
+                let right = self.fair_eg(nb, fair_sets);
+                !(left | right) & self.full()
+            }
+        })
+    }
+
+    /// Does `state` satisfy `f` under `fairness`?
+    pub fn satisfies(
+        &self,
+        state: State,
+        f: &Formula,
+        fairness: &[Formula],
+    ) -> Result<bool, RefError> {
+        Ok(self.sat_fair(f, fairness)? >> (state.0 as usize) & 1 == 1)
+    }
+
+    /// `M ⊨_r f` per the paper: every state satisfying `I` (over all
+    /// paths) satisfies `f` over `F`-fair paths. Returns the verdict and
+    /// the violating `I`-states.
+    pub fn check(&self, r: &Restriction, f: &Formula) -> Result<(bool, Vec<State>), RefError> {
+        let sat = self.sat_fair(f, &r.fairness)?;
+        let init = self.sat_fair(&r.init, &[])?;
+        let bad = init & !sat;
+        let violating = (0..self.n_states)
+            .filter(|s| bad >> *s & 1 == 1)
+            .map(|s| State(s as u128))
+            .collect();
+        Ok((bad == 0, violating))
+    }
+
+    /// Number of states satisfying `f` under `fairness` (over all `2^Σ`).
+    pub fn sat_count(&self, f: &Formula, fairness: &[Formula]) -> Result<u128, RefError> {
+        Ok(self.sat_fair(f, fairness)?.count_ones() as u128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmc_ctl::{parse, Checker};
+    use cmc_kripke::Alphabet;
+
+    fn counter() -> System {
+        let mut m = System::new(Alphabet::new(["b0", "b1"]));
+        m.add_transition_named(&[], &["b0"]);
+        m.add_transition_named(&["b0"], &["b1"]);
+        m.add_transition_named(&["b1"], &["b0", "b1"]);
+        m.add_transition_named(&["b0", "b1"], &[]);
+        m
+    }
+
+    #[test]
+    fn matches_explicit_checker_on_the_counter() {
+        let m = counter();
+        let r = RefEvaluator::new(&m).unwrap();
+        let c = Checker::new(&m).unwrap();
+        for text in [
+            "b0",
+            "EX b0",
+            "AX (b0 | b1)",
+            "EF (b0 & b1)",
+            "AF (b0 & b1)",
+            "EG b0",
+            "AG EX b0",
+            "E [!b1 U b1]",
+            "A [!b1 U b1]",
+        ] {
+            let f = parse(text).unwrap();
+            assert_eq!(
+                r.sat_count(&f, &[]).unwrap(),
+                c.sat(&f).unwrap().len() as u128,
+                "disagreement on {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn fairness_discards_stuttering() {
+        let m = counter();
+        let r = RefEvaluator::new(&m).unwrap();
+        let af = parse("AF (b0 & b1)").unwrap();
+        // Unfair: stuttering defeats AF except in the goal state itself.
+        assert_eq!(r.sat_count(&af, &[]).unwrap(), 1);
+        // Fair (infinitely often the goal): holds everywhere.
+        let fair = [parse("b0 & b1").unwrap()];
+        assert_eq!(r.sat_count(&af, &fair).unwrap(), 4);
+        // EG b0 has no fair path under "infinitely often ¬b0".
+        let eg = parse("EG b0").unwrap();
+        assert_eq!(r.sat_count(&eg, &[parse("!b0").unwrap()]).unwrap(), 0);
+    }
+
+    #[test]
+    fn restricted_check_reports_violations() {
+        let m = counter();
+        let r = RefEvaluator::new(&m).unwrap();
+        let restriction = Restriction::with_init(parse("b0 & b1").unwrap());
+        let (holds, bad) = r
+            .check(&restriction, &parse("AX (b0 & b1)").unwrap())
+            .unwrap();
+        assert!(!holds);
+        assert_eq!(bad, vec![State(0b11)]);
+    }
+
+    #[test]
+    fn too_wide_is_rejected() {
+        let names: Vec<String> = (0..8).map(|i| format!("p{i}")).collect();
+        let m = System::new(Alphabet::new(names));
+        assert_eq!(RefEvaluator::new(&m).unwrap_err(), RefError::TooWide(8));
+    }
+}

@@ -70,6 +70,31 @@ proptest! {
         prop_assert_eq!(explicit, symbolic, "engines disagree on {} under fairness", f);
     }
 
+    /// ... and under a non-trivial fairness *set*: 1–3 independent
+    /// constraints, so the Emerson–Lei conjunction over several `Fᵢ` (not
+    /// just the single-constraint special case) is exercised on both
+    /// engines.
+    #[test]
+    fn engines_agree_fair_sets(
+        m in arb_system(3),
+        f in arb_formula(3),
+        fairness in proptest::collection::vec(
+            arb_formula(3).prop_filter("propositional fairness", |g| g.is_propositional()),
+            1..4,
+        ),
+        init in arb_formula(3).prop_filter("propositional init", |g| g.is_propositional()),
+    ) {
+        let r = Restriction::new(init, fairness.clone());
+        let explicit = Checker::new(&m).unwrap().check(&r, &f).unwrap().holds;
+        let mut sym = SymbolicModel::from_explicit(&m);
+        let symbolic = sym.check(&r, &f).unwrap().holds;
+        prop_assert_eq!(
+            explicit, symbolic,
+            "engines disagree on {} under fairness set {:?}",
+            f, fairness
+        );
+    }
+
     /// A random explicit system round-trips through the symbolic encoding.
     #[test]
     fn symbolic_roundtrip(m in arb_system(3)) {

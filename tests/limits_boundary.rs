@@ -1,0 +1,121 @@
+//! Boundary tests for the two explicit-engine size limits: a model *at*
+//! the limit must be accepted; one past it must be rejected. Guards
+//! against off-by-one regressions in `Checker::with_limit`, the
+//! `ExplicitBackend`, and the SMV driver's explicit compilation.
+
+use compositional_mc::core::{Backend, BackendChoice, BackendError, ExplicitBackend, Target};
+use compositional_mc::ctl::{CheckError, Checker, Formula, Restriction, MAX_EXPLICIT_PROPS};
+use compositional_mc::kripke::{Alphabet, System};
+use compositional_mc::smv::{
+    compile_explicit, parse_module, run_source_with_backend, EXPLICIT_BIT_LIMIT,
+};
+
+fn wide_system(n: usize) -> System {
+    let names: Vec<String> = (0..n).map(|i| format!("v{i}")).collect();
+    System::new(Alphabet::new(names))
+}
+
+#[test]
+fn checker_accepts_exactly_max_explicit_props() {
+    let at = wide_system(MAX_EXPLICIT_PROPS);
+    assert!(
+        Checker::new(&at).is_ok(),
+        "width == MAX_EXPLICIT_PROPS must be accepted"
+    );
+    assert!(Checker::with_limit(&at, MAX_EXPLICIT_PROPS).is_ok());
+
+    let past = wide_system(MAX_EXPLICIT_PROPS + 1);
+    let err = Checker::new(&past).unwrap_err();
+    assert!(matches!(
+        err,
+        CheckError::TooLarge { props, limit }
+            if props == MAX_EXPLICIT_PROPS + 1 && limit == MAX_EXPLICIT_PROPS
+    ));
+}
+
+#[test]
+fn checker_custom_limit_boundary_still_checks() {
+    // At a small limit the accepted checker must actually run, not just
+    // construct.
+    let m = wide_system(3);
+    let c = Checker::with_limit(&m, 3).unwrap();
+    let v = c
+        .check(
+            &Restriction::trivial(),
+            &Formula::ap("v0").ag().or(Formula::True),
+        )
+        .unwrap();
+    assert!(v.holds);
+    assert!(Checker::with_limit(&m, 2).is_err());
+}
+
+#[test]
+fn explicit_backend_accepts_exactly_its_limit() {
+    let backend = ExplicitBackend { limit: 3 };
+    let at = Target::system(wide_system(3));
+    let v = backend
+        .check(&at, &Restriction::trivial(), &Formula::True)
+        .unwrap();
+    assert!(v.holds);
+
+    let past = Target::system(wide_system(4));
+    let err = backend
+        .check(&past, &Restriction::trivial(), &Formula::True)
+        .unwrap_err();
+    assert!(matches!(err, BackendError::TooLarge { props: 4, .. }));
+}
+
+/// An SMV module with `enums` three-valued variables (2 encoded bits
+/// each) plus `bools` booleans, all stuttering.
+fn smv_module(enums: usize, bools: usize) -> String {
+    let mut src = String::from("MODULE main\nVAR\n");
+    for i in 0..enums {
+        src.push_str(&format!("  e{i} : {{a, b, c}};\n"));
+    }
+    for i in 0..bools {
+        src.push_str(&format!("  x{i} : boolean;\n"));
+    }
+    src.push_str("ASSIGN\n");
+    for i in 0..enums {
+        src.push_str(&format!("  next(e{i}) := e{i};\n"));
+    }
+    for i in 0..bools {
+        src.push_str(&format!("  next(x{i}) := x{i};\n"));
+    }
+    src.push_str("SPEC AG 1\n");
+    src
+}
+
+#[test]
+fn smv_explicit_accepts_exactly_the_bit_limit() {
+    // 10 three-valued enums = 20 encoded bits = EXPLICIT_BIT_LIMIT, but
+    // only 3^10 = 59049 concrete states to enumerate.
+    assert_eq!(EXPLICIT_BIT_LIMIT, 20, "update this test with the limit");
+    let at = parse_module(&smv_module(10, 0)).unwrap();
+    let compiled = compile_explicit(&at).expect("bits == EXPLICIT_BIT_LIMIT must compile");
+    assert_eq!(compiled.system.alphabet().len(), EXPLICIT_BIT_LIMIT);
+
+    let past = parse_module(&smv_module(10, 1)).unwrap();
+    let err = compile_explicit(&past).unwrap_err();
+    assert!(
+        err.to_string().contains("21"),
+        "error should name the offending bit count: {err}"
+    );
+}
+
+#[test]
+fn smv_driver_explicit_and_auto_accept_the_bit_limit() {
+    let src = smv_module(10, 0);
+    // Forced explicit: at the limit the driver must not reject.
+    let out = run_source_with_backend(&src, BackendChoice::Explicit)
+        .expect("explicit driver must accept a 20-bit model");
+    assert!(out.all_true());
+    // Auto at the limit also stays on the explicit engine.
+    let out = run_source_with_backend(&src, BackendChoice::Auto).unwrap();
+    assert!(out.all_true());
+    assert!(
+        out.report.contains("explicit"),
+        "auto at the bit limit should pick the explicit engine:\n{}",
+        out.report
+    );
+}

@@ -193,3 +193,50 @@ fn smv_sessions_agree_with_plain_runs() {
     assert_eq!(warm.cache_hits, 2);
     assert!(warm.report.contains("answered from store"));
 }
+
+#[test]
+fn backend_identity_doubles_entries_with_zero_cross_hits() {
+    // Regression for the PR-2 aliasing fix, measured at the entry level:
+    // the same obligation discharged under Explicit and then Symbolic
+    // must create two disjoint key populations — entry count doubles and
+    // the second session's lookups all miss.
+    let store = Arc::new(CertStore::new());
+    let f = parse("x -> AX x").unwrap();
+    let r = Restriction::trivial();
+
+    let explicit = engine(&["x", "y"])
+        .with_backend(BackendChoice::Explicit)
+        .with_store(Arc::clone(&store));
+    assert!(explicit.prove(&r, &f).unwrap().valid);
+    let entries_after_explicit = store.len();
+    let misses_after_explicit = store.stats().misses;
+    assert!(entries_after_explicit > 0);
+
+    let symbolic = engine(&["x", "y"])
+        .with_backend(BackendChoice::Symbolic)
+        .with_store(Arc::clone(&store));
+    assert!(symbolic.prove(&r, &f).unwrap().valid);
+
+    assert_eq!(
+        store.len(),
+        2 * entries_after_explicit,
+        "explicit and symbolic entries must not alias"
+    );
+    assert_eq!(store.stats().hits, 0, "no lookup may cross backends");
+    assert_eq!(
+        store.stats().misses,
+        2 * misses_after_explicit,
+        "the symbolic session must re-derive every obligation"
+    );
+
+    // The two verdicts live under distinct keys even for the *same*
+    // component obligation.
+    let m = rising("x");
+    let ke = compositional_mc::store::ObligationKey::holds_everywhere(&m, &f, "explicit");
+    let ks = compositional_mc::store::ObligationKey::holds_everywhere(&m, &f, "symbolic");
+    assert_ne!(ke, ks, "backend identity must separate key domains");
+
+    // And the whole session's certificates replay through the validator.
+    let replayed = cmc_testkit::replay_store(&store).unwrap();
+    assert_eq!(replayed, store.len());
+}
