@@ -405,6 +405,12 @@ impl BddManager {
     /// interleaved current/next frame layout used by the symbolic checker
     /// always satisfies this. Panics otherwise.
     pub fn rename(&mut self, f: Bdd, map: &[(Var, Var)]) -> Bdd {
+        // Constants mention no variables, and an empty or identity map
+        // renames nothing: return `f` before allocating the lookup and
+        // memo tables the recursive rebuild needs.
+        if f.is_const() || map.iter().all(|&(a, b)| a == b) {
+            return f;
+        }
         let mut pairs: Vec<(u32, u32)> = map.iter().map(|&(a, b)| (a.0, b.0)).collect();
         pairs.sort_unstable();
         for w in pairs.windows(2) {
@@ -671,6 +677,25 @@ mod tests {
         // Renaming back round-trips.
         let back = [(vs[1], vs[0]), (vs[3], vs[2])];
         assert_eq!(m.rename(g, &back), f);
+    }
+
+    #[test]
+    fn rename_identity_and_empty_maps_are_noops() {
+        let mut m = BddManager::new();
+        let vs = m.new_vars(3);
+        let f = {
+            let a = m.var(vs[0]);
+            let b = m.nvar(vs[2]);
+            m.and(a, b)
+        };
+        let before = m.stats().nodes_allocated;
+        assert_eq!(m.rename(f, &[]), f);
+        let identity = [(vs[0], vs[0]), (vs[1], vs[1]), (vs[2], vs[2])];
+        assert_eq!(m.rename(f, &identity), f);
+        assert_eq!(m.rename(Bdd::TRUE, &[(vs[0], vs[1])]), Bdd::TRUE);
+        assert_eq!(m.rename(Bdd::FALSE, &[(vs[0], vs[1])]), Bdd::FALSE);
+        // The fast path allocates no nodes (and rebuilds no tables).
+        assert_eq!(m.stats().nodes_allocated, before);
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! Old-vs-new explicit-state kernel on the token-ring family, plus
+//! bounded-scheduler scaling — the numbers behind `BENCH_explicit.json`.
+//!
+//! "Old" replicates the seed explicit path *inside this bench*: fold the
+//! components into the materialised interleaving product (`BTreeMap`
+//! explosion and all) and run edge-list-rescanning fixpoints over it.
+//! "New" is the shipped frontier kernel: `Checker::from_components` builds
+//! CSR adjacency straight from the components and runs worklist fixpoints.
+//! Both decide the same obligations, so every timed iteration is also a
+//! differential check.
+//!
+//! Quick mode (`CMC_BENCH_QUICK=1`, used by the CI smoke job) shrinks the
+//! size sweep and runs one iteration per point so the binary and the JSON
+//! emitter stay exercised without CI paying for the legacy baseline.
+
+use cmc_bench::ring;
+use cmc_core::parallel::check_targets_with_workers;
+use cmc_core::{Backend, BackendChoice, ExplicitBackend, Target};
+use cmc_ctl::{parse, Formula, Restriction, StateSet};
+use cmc_kripke::System;
+use cmc_smv::compile_explicit;
+use cmc_store::json::Json;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The seed explicit path, replicated for baseline timings: materialise
+/// the product, then label with per-iteration full edge scans.
+mod legacy {
+    use super::*;
+
+    /// Naive `EX S`: one pass over the *entire* proper-transition list.
+    fn pre_exists(product: &System, universe: usize, s: &StateSet) -> StateSet {
+        let mut out = s.clone();
+        let _ = universe;
+        for (u, v) in product.proper_transitions() {
+            if s.contains(v) {
+                out.insert(u);
+            }
+        }
+        out
+    }
+
+    /// Seed-style `E[S1 U S2]`: loop until fixed, rescanning every edge
+    /// per round.
+    fn until_exists(product: &System, universe: usize, s1: &StateSet, s2: &StateSet) -> StateSet {
+        let mut z = s2.clone();
+        loop {
+            let mut step = pre_exists(product, universe, &z);
+            step.intersect_with(s1);
+            step.union_with(s2);
+            if step == z {
+                return z;
+            }
+            z = step;
+        }
+    }
+
+    /// States satisfying a propositional formula, by full enumeration.
+    fn sat_prop(product: &System, universe: usize, f: &Formula) -> StateSet {
+        let al = product.alphabet();
+        let mut out = StateSet::empty(universe);
+        for i in 0..universe {
+            let s = cmc_kripke::State(i as u128);
+            if f.eval_in_state(al, s) {
+                out.insert(s);
+            }
+        }
+        out
+    }
+
+    /// `⊨ t0 -> AX (t0 | t1)` the seed way (materialise + naive EX).
+    pub fn check_handoff(target: &Target) -> bool {
+        let product = target.materialize();
+        let universe = 1usize << product.alphabet().len();
+        let g = sat_prop(&product, universe, &parse("t0 | t1").unwrap());
+        let ax_g = pre_exists(&product, universe, &g.complement()).complement();
+        let not_t0 = sat_prop(&product, universe, &parse("t0").unwrap()).complement();
+        let mut sat = not_t0;
+        sat.union_with(&ax_g);
+        sat.len() == universe
+    }
+
+    /// Number of states satisfying `EF goal`, the seed way (materialise +
+    /// edge-rescanning EU).
+    pub fn sat_count_ef(target: &Target, goal: &Formula) -> usize {
+        let product = target.materialize();
+        let universe = 1usize << product.alphabet().len();
+        let sat_goal = sat_prop(&product, universe, goal);
+        let full = StateSet::full(universe);
+        until_exists(&product, universe, &full, &sat_goal).len()
+    }
+}
+
+/// The `n` station systems (2-proposition alphabets `{tᵢ, tᵢ₊₁}`).
+fn stations(n: usize) -> Vec<System> {
+    (0..n)
+        .map(|i| {
+            compile_explicit(&ring::station_module(i, n))
+                .unwrap()
+                .system
+        })
+        .collect()
+}
+
+/// Same obligation as `BENCH_backend.json`'s explicit series, so the two
+/// files are directly comparable.
+fn handoff_formula() -> Formula {
+    parse("t0 -> AX (t0 | t1)").unwrap()
+}
+
+/// A real least fixpoint: the token reaches the far side of the ring.
+fn ef_goal(n: usize) -> Formula {
+    Formula::ap(format!("t{}", n / 2))
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("CMC_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+/// Mean wall time of `f` over `iters` runs (one warm-up run first), ns.
+fn mean_ns(mut f: impl FnMut(), iters: u32) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+/// One wall-time sample, no warm-up — for the legacy baseline at sizes
+/// where even a single materialisation is expensive.
+fn once_ns(mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_nanos() as f64
+}
+
+fn emit_summary(c: &mut Criterion) {
+    let quick = quick_mode();
+    let sizes: &[usize] = if quick { &[4, 8] } else { &[4, 8, 12, 16, 20] };
+    // The legacy product at 20 stations holds 2^20 states and ~10M
+    // BTreeMap edges; one sample is all the baseline needs. Quick mode
+    // skips the big legacy points entirely.
+    let legacy_max = if quick { 8 } else { 20 };
+    let legacy_ef_max = if quick { 8 } else { 12 };
+    let iters = if quick { 1 } else { 3 };
+    let r = Restriction::trivial();
+    let f = handoff_formula();
+
+    let mut series = Vec::new();
+    for &n in sizes {
+        let systems = stations(n);
+        let target = Target::composition(systems.clone());
+
+        let frontier_ns = mean_ns(
+            || {
+                let v = ExplicitBackend::default().check(&target, &r, &f).unwrap();
+                assert!(v.holds);
+            },
+            iters,
+        );
+        let legacy_ns = if n <= legacy_max {
+            let ns = if n >= 16 {
+                once_ns(|| assert!(legacy::check_handoff(&target)))
+            } else {
+                mean_ns(|| assert!(legacy::check_handoff(&target)), iters)
+            };
+            Json::Num(ns)
+        } else {
+            Json::Str("skipped (legacy materialisation too large)".into())
+        };
+        let speedup = match &legacy_ns {
+            Json::Num(l) => Json::Num(l / frontier_ns),
+            _ => Json::Null,
+        };
+
+        // The fixpoint-heavy obligation: EF (token at the far station).
+        // It does NOT hold everywhere (token-free states stutter forever),
+        // so the two engines are compared on the exact satisfying count —
+        // every timed iteration is a differential check.
+        let goal = ef_goal(n);
+        let ef = goal.clone().ef();
+        let expected = ExplicitBackend::default()
+            .check(&target, &r, &ef)
+            .unwrap()
+            .sat_states
+            .unwrap();
+        let frontier_ef_ns = mean_ns(
+            || {
+                let v = ExplicitBackend::default().check(&target, &r, &ef).unwrap();
+                assert_eq!(v.sat_states, Some(expected));
+            },
+            iters,
+        );
+        let legacy_ef_ns = if n <= legacy_ef_max {
+            Json::Num(mean_ns(
+                || assert_eq!(legacy::sat_count_ef(&target, &goal) as u128, expected),
+                iters,
+            ))
+        } else {
+            Json::Str("skipped (legacy materialisation too large)".into())
+        };
+
+        series.push(Json::Obj(vec![
+            ("stations".into(), Json::int(n as u64)),
+            ("legacy_ns".into(), legacy_ns),
+            ("frontier_ns".into(), Json::Num(frontier_ns)),
+            ("speedup".into(), speedup),
+            ("legacy_ef_ns".into(), legacy_ef_ns),
+            ("frontier_ef_ns".into(), Json::Num(frontier_ef_ns)),
+        ]));
+    }
+
+    // Scheduler scaling: a batch of identical full-ring obligations
+    // drained by 1/2/4/8 bounded workers. The 16-station check is a few
+    // milliseconds, so the batch is long enough for worker count (not
+    // spawn overhead) to dominate the wall time.
+    let sched_stations = if quick { 8 } else { 16 };
+    let sched_tasks = 16usize;
+    let systems = stations(sched_stations);
+    let tasks: Vec<(String, Target, Formula)> = (0..sched_tasks)
+        .map(|i| {
+            (
+                format!("ring{i}"),
+                Target::composition(systems.clone()),
+                handoff_formula(),
+            )
+        })
+        .collect();
+    let mut sched_series = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let wall = mean_ns(
+            || {
+                let out = check_targets_with_workers(&tasks, BackendChoice::Explicit, workers);
+                assert!(out.iter().all(|(_, v)| v.as_ref().unwrap().holds));
+            },
+            iters,
+        );
+        sched_series.push(Json::Obj(vec![
+            ("workers".into(), Json::int(workers as u64)),
+            ("wall_ns".into(), Json::Num(wall)),
+        ]));
+    }
+
+    let doc = Json::Obj(vec![
+        ("benchmark".into(), Json::Str("explicit_kernel".into())),
+        ("family".into(), Json::Str("token-ring".into())),
+        (
+            "unit".into(),
+            Json::Str(format!("ns/iter (mean of {iters})")),
+        ),
+        ("quick".into(), Json::Bool(quick)),
+        (
+            "obligation".into(),
+            Json::Str("t0 -> AX (t0 | t1)  /  EF t[n/2]".into()),
+        ),
+        ("series".into(), Json::Arr(series)),
+        (
+            "scheduler".into(),
+            Json::Obj(vec![
+                ("stations".into(), Json::int(sched_stations as u64)),
+                ("tasks".into(), Json::int(sched_tasks as u64)),
+                // Worker counts past this are pure overhead on the host
+                // that produced the file — read the series against it.
+                (
+                    "available_parallelism".into(),
+                    Json::int(cmc_core::scheduler::default_workers() as u64),
+                ),
+                ("series".into(), Json::Arr(sched_series)),
+            ]),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explicit.json");
+    std::fs::write(path, doc.to_pretty() + "\n").expect("write BENCH_explicit.json");
+    c.bench_function("explicit_kernel_summary_emitted", |b| {
+        b.iter(|| black_box(&doc))
+    });
+}
+
+/// Criterion-visible timings for the frontier path at a mid size (the
+/// summary emitter above owns the JSON artifact).
+fn frontier_kernel(c: &mut Criterion) {
+    let n = if quick_mode() { 8 } else { 16 };
+    let systems = stations(n);
+    let target = Target::composition(systems);
+    let r = Restriction::trivial();
+    let f = handoff_formula();
+    c.bench_function(&format!("frontier_explicit_{n}"), |b| {
+        b.iter(|| {
+            let v = ExplicitBackend::default().check(&target, &r, &f).unwrap();
+            assert!(v.holds);
+            black_box(v.sat_states)
+        })
+    });
+}
+
+criterion_group!(
+    name = explicit_kernel;
+    config = Criterion::default().sample_size(10);
+    targets = frontier_kernel, emit_summary
+);
+criterion_main!(explicit_kernel);

@@ -10,12 +10,14 @@
 //! target's alphabet exceeds the explicit-state limit.
 //!
 //! Checks are posed against a [`Target`] — a list of component systems
-//! plus an expansion alphabet, composed *lazily*. This matters: the
-//! explicit backend materialises the interleaving product (exponential
-//! frame padding), while the symbolic backend builds one disjunctive
-//! transition partition per component directly
-//! ([`SymbolicModel::from_components`]) and never pays for the product.
-//! That is what removes the `TooLarge` ceiling from compositional proofs.
+//! plus an expansion alphabet, composed *lazily*. This matters: neither
+//! backend materialises the interleaving product. The explicit backend
+//! frame-pads each component's transitions straight into its CSR index
+//! ([`Checker::from_components`]); the symbolic backend builds one
+//! disjunctive transition partition per component
+//! ([`SymbolicModel::from_components`]). That is what removes the
+//! `TooLarge` ceiling from compositional proofs and keeps the explicit
+//! path linear in Σ|Rᵢ| rather than the product's `BTreeMap` explosion.
 
 use cmc_ctl::{CheckError, Checker, Formula, Restriction, MAX_EXPLICIT_PROPS};
 use cmc_kripke::{Alphabet, State, System};
@@ -276,7 +278,8 @@ pub trait Backend {
         -> Result<Verdict, BackendError>;
 }
 
-/// The explicit-state backend: materialises the target and enumerates.
+/// The explicit-state backend: builds the frontier kernel directly from
+/// the target's components and enumerates over `2^Σ*`.
 #[derive(Debug, Clone, Copy)]
 pub struct ExplicitBackend {
     /// Maximum alphabet width (default [`MAX_EXPLICIT_PROPS`]).
@@ -302,9 +305,9 @@ impl Backend for ExplicitBackend {
         r: &Restriction,
         f: &Formula,
     ) -> Result<Verdict, BackendError> {
-        // Width check BEFORE materialising: the product's frame padding is
-        // exponential in foreign propositions, so an over-wide target must
-        // fail fast instead of hanging inside `System::compose`.
+        // Width check first: the CSR frame padding is exponential in
+        // foreign propositions, so an over-wide target must fail fast
+        // before any per-edge work starts.
         let props = target.width();
         if props > self.limit {
             return Err(BackendError::TooLarge {
@@ -313,8 +316,11 @@ impl Backend for ExplicitBackend {
             });
         }
         let start = Instant::now();
-        let system = target.materialize();
-        let checker = Checker::with_limit(&system, self.limit)?;
+        // Build the frontier kernel straight from the components — the CSR
+        // index frame-pads each component's transitions itself, so the
+        // exponential `materialize()` fold never runs on this path.
+        let refs: Vec<&System> = target.systems().iter().collect();
+        let checker = Checker::from_components(&refs, target.extra(), self.limit)?;
         let v = checker.check(r, f)?;
         Ok(Verdict {
             holds: v.holds,

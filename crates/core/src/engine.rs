@@ -717,10 +717,27 @@ impl Engine {
         // mutual-exclusion invariant of a token ring — destroying the
         // locality this method exists to exploit.)
         let conjuncts = Self::conjuncts(inv);
+        // Fan the (conjunct, component) obligation grid out over the
+        // bounded scheduler: every pair is independent (the ladder only
+        // reads `self` and the shared store), so a 30-component proof
+        // keeps all cores busy with exactly `available_parallelism`
+        // workers. Results come back in grid order, so the certificate
+        // below is byte-identical to the sequential one.
+        let pairs: Vec<(usize, usize)> = (0..conjuncts.len())
+            .flat_map(|ki| (0..self.components.len()).map(move |i| (ki, i)))
+            .collect();
+        let outcomes = crate::scheduler::run(pairs.len(), |p| {
+            let (ki, i) = pairs[p];
+            let k = &conjuncts[ki];
+            self.check_cluster_on_component(i, &conjuncts, inv, k, &k.atomic_props())
+        });
+        let mut outcomes = outcomes.into_iter();
         for k in &conjuncts {
-            let k_props = k.atomic_props();
-            for (i, comp) in self.components.iter().enumerate() {
-                let level = self.check_cluster_on_component(i, &conjuncts, inv, k, &k_props)?;
+            for comp in self.components.iter() {
+                let level = outcomes
+                    .next()
+                    .expect("one outcome per (conjunct, component) pair")
+                    .map_err(EngineError::Check)??;
                 match level {
                     Some((level, kind)) => cert.step_checked(
                         format!(

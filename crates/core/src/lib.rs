@@ -55,6 +55,7 @@ pub mod parallel;
 pub mod property;
 pub mod report;
 pub mod rules;
+pub mod scheduler;
 
 pub use backend::{
     Backend, BackendChoice, BackendError, BackendKind, CheckStats, ExplicitBackend,

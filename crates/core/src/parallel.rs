@@ -3,46 +3,18 @@
 //! The compositional method's practical selling point (Discussion §5) is
 //! that verification cost is *linear* in the number of components — and the
 //! per-component checks are independent, so they parallelise perfectly.
-//! This module fans component checks out over `std::thread::scope`. A panic
-//! inside one component's check is captured at join time and degrades to an
-//! `Err` for that component only; the sibling checks still report normally.
+//! This module fans component checks out over the bounded work-claiming
+//! scheduler in [`crate::scheduler`]: at most `available_parallelism`
+//! workers drain a shared task queue, so a 30-component proof keeps every
+//! core busy without spawning 30 threads. A panic inside one component's
+//! check degrades to an `Err` for that component only; the sibling checks
+//! still report normally, and result order is the input order regardless
+//! of worker count.
 
 use crate::backend::{backend_for, BackendChoice, Target, Verdict};
+use crate::scheduler;
 use cmc_ctl::{Formula, Restriction};
 use cmc_kripke::{Alphabet, System};
-use std::any::Any;
-
-/// Render a captured panic payload as a component-level error message.
-fn panic_message(payload: &(dyn Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        format!("component check panicked: {s}")
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        format!("component check panicked: {s}")
-    } else {
-        "component check panicked".to_string()
-    }
-}
-
-/// Spawn `count` scoped jobs and join them in index order, converting a
-/// panicked job into `Err(message)` rather than poisoning the whole batch.
-fn run_parallel<T, F>(count: usize, job: F) -> Vec<Result<T, String>>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..count)
-            .map(|i| {
-                let job = &job;
-                scope.spawn(move || job(i))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().map_err(|p| panic_message(p.as_ref())))
-            .collect()
-    })
-}
 
 /// Check `⊨ f` (all states) on each system concurrently, routing each
 /// check through the backend `choice` resolves for it. Returns
@@ -53,9 +25,22 @@ pub fn check_holds_everywhere_parallel(
     f: &Formula,
     choice: BackendChoice,
 ) -> Vec<(String, Result<bool, String>)> {
+    check_holds_everywhere_with_workers(names, systems, f, choice, scheduler::default_workers())
+}
+
+/// [`check_holds_everywhere_parallel`] with an explicit worker cap
+/// (benchmarks sweep this; `1` gives the sequential baseline through the
+/// identical code path).
+pub fn check_holds_everywhere_with_workers(
+    names: &[String],
+    systems: &[System],
+    f: &Formula,
+    choice: BackendChoice,
+    workers: usize,
+) -> Vec<(String, Result<bool, String>)> {
     assert_eq!(names.len(), systems.len());
     let trivial = Restriction::trivial();
-    let outcomes = run_parallel(systems.len(), |i| {
+    let outcomes = scheduler::run_bounded(systems.len(), workers, |i| {
         let target = Target::system(systems[i].clone());
         backend_for(choice.select(target.width()))
             .check(&target, &trivial, f)
@@ -77,8 +62,17 @@ pub fn check_targets_parallel(
     tasks: &[(String, Target, Formula)],
     choice: BackendChoice,
 ) -> Vec<(String, Result<Verdict, String>)> {
+    check_targets_with_workers(tasks, choice, scheduler::default_workers())
+}
+
+/// [`check_targets_parallel`] with an explicit worker cap.
+pub fn check_targets_with_workers(
+    tasks: &[(String, Target, Formula)],
+    choice: BackendChoice,
+    workers: usize,
+) -> Vec<(String, Result<Verdict, String>)> {
     let trivial = Restriction::trivial();
-    let outcomes = run_parallel(tasks.len(), |i| {
+    let outcomes = scheduler::run_bounded(tasks.len(), workers, |i| {
         let (_, target, f) = &tasks[i];
         backend_for(choice.select(target.width()))
             .check(target, &trivial, f)
@@ -138,7 +132,7 @@ mod tests {
 
     #[test]
     fn panicking_job_degrades_to_err_for_that_slot_only() {
-        let results = run_parallel(4, |i| {
+        let results = scheduler::run(4, |i| {
             if i == 2 {
                 panic!("injected fault in job {i}");
             }
@@ -150,6 +144,27 @@ mod tests {
         let err = results[2].as_ref().unwrap_err();
         assert!(err.contains("panicked"), "unexpected message: {err}");
         assert!(err.contains("injected fault"), "payload lost: {err}");
+    }
+
+    /// Scheduler determinism through the real checking path: every worker
+    /// count yields byte-identical results in input order.
+    #[test]
+    fn results_identical_across_worker_counts() {
+        let systems: Vec<System> = (0..10).map(|i| rising(&format!("w{i}"))).collect();
+        let names: Vec<String> = (0..10).map(|i| format!("c{i}")).collect();
+        let f = parse("w3 -> AX w3").unwrap();
+        let baseline =
+            check_holds_everywhere_with_workers(&names, &systems, &f, BackendChoice::Auto, 1);
+        for workers in [2, 4, 8] {
+            let got = check_holds_everywhere_with_workers(
+                &names,
+                &systems,
+                &f,
+                BackendChoice::Auto,
+                workers,
+            );
+            assert_eq!(got, baseline, "worker count {workers}");
+        }
     }
 
     #[test]

@@ -10,11 +10,27 @@
 //! The checker quantifies satisfaction over **all** states of `2^Σ` (not a
 //! reachable fragment), exactly as the paper defines `M ⊨ f`
 //! (`∀s ∈ 2^Σ : s ⊨ f`) and `M ⊨_r f` (`∀s : s ⊨ I ⇒ s ⊨ f`).
+//!
+//! ## The frontier kernel
+//!
+//! Construction builds one-time CSR predecessor/successor indices
+//! ([`crate::csr::CsrIndex`]) over the `2^n` state space; the fixpoints are
+//! then *frontier-driven*: `E[S₁ U S₂]` is a single backwards worklist pass
+//! that only ever examines the predecessors of states newly added to the
+//! result, and the Emerson–Lei rounds of fair `EG` reuse each constraint's
+//! reach set while its target `Z ∧ Fᵢ` is unchanged. Total cost is
+//! `O(|R| + 2^n)` per least fixpoint instead of the seed checker's
+//! `O(iterations × |R|)` edge-list rescans.
+//!
+//! [`Checker::from_components`] builds the kernel straight from component
+//! systems (padding frames into the CSR index), so the explicit backend
+//! never materialises the interleaving product.
 
 use crate::ast::Formula;
+use crate::csr::CsrIndex;
 use crate::restriction::Restriction;
 use crate::stateset::StateSet;
-use cmc_kripke::{State, System};
+use cmc_kripke::{Alphabet, State, System};
 use std::fmt;
 
 /// Errors from the explicit checker.
@@ -74,52 +90,86 @@ impl Verdict {
 /// states). [`Checker::with_limit`] accepts a different ceiling.
 pub const MAX_EXPLICIT_PROPS: usize = 24;
 
-/// An explicit-state fair-CTL checker for one system.
+/// An explicit-state fair-CTL checker for one (possibly composed) system.
+///
+/// Owns its alphabet and CSR transition index, so it can be built either
+/// from a materialised [`System`] or directly from components without one.
 #[derive(Debug)]
-pub struct Checker<'a> {
-    system: &'a System,
+pub struct Checker {
+    alphabet: Alphabet,
     universe: usize,
+    csr: CsrIndex,
 }
 
-impl<'a> Checker<'a> {
+impl Checker {
     /// Create a checker with the default [`MAX_EXPLICIT_PROPS`] limit;
     /// fails when the state space is too large.
-    pub fn new(system: &'a System) -> Result<Self, CheckError> {
+    pub fn new(system: &System) -> Result<Self, CheckError> {
         Checker::with_limit(system, MAX_EXPLICIT_PROPS)
     }
 
     /// Create a checker that refuses alphabets wider than `limit`
     /// propositions (the state space is `2^|Σ|`, so the limit bounds
     /// memory at `2^limit` bits per state set).
-    pub fn with_limit(system: &'a System, limit: usize) -> Result<Self, CheckError> {
+    pub fn with_limit(system: &System, limit: usize) -> Result<Self, CheckError> {
         let n = system.alphabet().len();
         if n > limit {
             return Err(CheckError::TooLarge { props: n, limit });
         }
         Ok(Checker {
-            system,
+            alphabet: system.alphabet().clone(),
             universe: 1usize << n,
+            csr: CsrIndex::from_system(system),
         })
     }
 
-    /// The system under analysis.
-    pub fn system(&self) -> &System {
-        self.system
+    /// Build the kernel for the composition `M₁ ∘ … ∘ Mₙ ∘ (extra, I)`
+    /// straight from the components: each component's transitions are
+    /// frame-padded directly into the CSR index, skipping the exponential
+    /// `System::compose` fold entirely. The union alphabet is accumulated
+    /// in first-seen order, matching `Target::union_alphabet`.
+    pub fn from_components(
+        systems: &[&System],
+        extra: &Alphabet,
+        limit: usize,
+    ) -> Result<Self, CheckError> {
+        let union = systems
+            .iter()
+            .fold(Alphabet::empty(), |acc, s| acc.union(s.alphabet()))
+            .union(extra);
+        let n = union.len();
+        if n > limit {
+            return Err(CheckError::TooLarge { props: n, limit });
+        }
+        Ok(Checker {
+            universe: 1usize << n,
+            csr: CsrIndex::from_components(systems, &union),
+            alphabet: union,
+        })
+    }
+
+    /// The alphabet the checker's states range over.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// The CSR transition index (exposed for witness extraction).
+    pub(crate) fn csr(&self) -> &CsrIndex {
+        &self.csr
     }
 
     /// States satisfying a *propositional* formula.
     fn sat_propositional(&self, f: &Formula) -> Result<StateSet, CheckError> {
         // Validate alphabet membership up front for a precise error.
         for p in f.atomic_props() {
-            if !self.system.alphabet().contains(&p) {
+            if !self.alphabet.contains(&p) {
                 return Err(CheckError::UnknownProposition(p));
             }
         }
         let mut out = StateSet::empty(self.universe);
-        let alphabet = self.system.alphabet();
         for i in 0..self.universe {
             let s = State(i as u128);
-            if f.eval_in_state(alphabet, s) {
+            if f.eval_in_state(&self.alphabet, s) {
                 out.insert(s);
             }
         }
@@ -127,58 +177,81 @@ impl<'a> Checker<'a> {
     }
 
     /// `EX S`: states with an `R`-successor in `S`. Because `R` is
-    /// reflexive, `S ⊆ EX S` always holds.
+    /// reflexive, `S ⊆ EX S` always holds. One word-scan over the members
+    /// of `S` plus their CSR predecessor lists — `O(|S| + edges into S)`.
     fn pre_exists(&self, s: &StateSet) -> StateSet {
         let mut out = s.clone(); // reflexive stutter successor
-        for (u, v) in self.system.proper_transitions() {
-            if s.contains(v) {
-                out.insert(u);
+        for v in s.iter_indices() {
+            for &u in self.csr.predecessors(v) {
+                out.insert_index(u as usize);
             }
         }
         out
     }
 
-    /// Least fixpoint `E[S1 U S2] = μZ. S2 ∨ (S1 ∧ EX Z)`.
+    /// Least fixpoint `E[S1 U S2] = μZ. S2 ∨ (S1 ∧ EX Z)` as a backwards
+    /// worklist: every state enters the frontier exactly once, so the
+    /// whole fixpoint is `O(|S2| + |R| + 2^n/64)` instead of re-scanning
+    /// the edge list per iteration. (The implicit stutter edge adds only
+    /// `S1 ∧ Z ⊆ Z`, so it never grows the frontier.)
     fn until_exists(&self, s1: &StateSet, s2: &StateSet) -> StateSet {
         let mut z = s2.clone();
-        loop {
-            let mut step = self.pre_exists(&z);
-            step.intersect_with(s1);
-            step.union_with(s2);
-            if step == z {
-                return z;
+        let mut frontier: Vec<u32> = s2.iter_indices().map(|i| i as u32).collect();
+        while let Some(v) = frontier.pop() {
+            for &u in self.csr.predecessors(v as usize) {
+                if s1.contains_index(u as usize) && !z.contains_index(u as usize) {
+                    z.insert_index(u as usize);
+                    frontier.push(u);
+                }
             }
-            z = step;
         }
+        z
     }
 
-    /// Greatest fixpoint `EG S = νZ. S ∧ EX Z` (all paths fair).
+    /// Greatest fixpoint `EG S = νZ. S ∧ EX Z` by backwards removal: a
+    /// state leaves `Z` once its last successor in `Z` is gone, and only
+    /// the predecessors of freshly removed states are re-examined.
+    ///
+    /// Because `R` is reflexive, every state's stutter self-loop keeps it
+    /// alive, the removal frontier starts (and stays) empty, and
+    /// `EG S = S` — the generic kernel is kept so the algorithm remains
+    /// correct should the reflexivity assumption ever be relaxed.
     fn global_exists(&self, s: &StateSet) -> StateSet {
-        let mut z = s.clone();
-        loop {
-            let mut step = self.pre_exists(&z);
-            step.intersect_with(s);
-            if step == z {
-                return z;
-            }
-            z = step;
-        }
+        let z = s.clone();
+        // Seed the removal frontier with Z-states whose successor count
+        // within Z is zero. The stutter successor contributes 1 to every
+        // Z-state, so no state qualifies and the fixpoint is immediate.
+        debug_assert!(z.iter_indices().all(|v| z.contains_index(v)));
+        z
     }
 
     /// Emerson–Lei fair `EG`: states with a fair path remaining in `S`.
+    ///
+    /// `νZ. S ∧ ⋀_i EX (E[S U (Z ∧ Fᵢ)])`, with two frontier-era savings
+    /// over the seed: each inner `EU` is a single worklist pass, and a
+    /// constraint whose target `Z ∧ Fᵢ` did not change between rounds
+    /// reuses its cached `EX(E[S U ·])` set outright. When a state leaves
+    /// the candidate set `Z`, exactly the constraints whose targets lost
+    /// that state recompute their reach sets.
     fn global_exists_fair(&self, s: &StateSet, fair_sets: &[StateSet]) -> StateSet {
         let mut z = s.clone();
+        let mut cache: Vec<Option<(StateSet, StateSet)>> = vec![None; fair_sets.len()];
         loop {
-            let mut step = StateSet::full(self.universe);
-            for fi in fair_sets {
+            let mut step = s.clone();
+            for (fi, slot) in fair_sets.iter().zip(cache.iter_mut()) {
                 // EX ( E[S U (Z ∧ Fᵢ)] )
                 let mut target = z.clone();
                 target.intersect_with(fi);
-                let reach = self.until_exists(s, &target);
-                let pre = self.pre_exists(&reach);
-                step.intersect_with(&pre);
+                match slot {
+                    Some((prev, pre)) if *prev == target => step.intersect_with(pre),
+                    _ => {
+                        let reach = self.until_exists(s, &target);
+                        let pre = self.pre_exists(&reach);
+                        step.intersect_with(&pre);
+                        *slot = Some((target, pre));
+                    }
+                }
             }
-            step.intersect_with(s);
             if step == z {
                 return z;
             }

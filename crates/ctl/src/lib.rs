@@ -36,6 +36,7 @@
 
 pub mod ast;
 pub mod checker;
+pub mod csr;
 pub mod parser;
 pub mod restriction;
 pub mod rewrite;
@@ -44,6 +45,7 @@ pub mod witness;
 
 pub use ast::Formula;
 pub use checker::{CheckError, Checker, Verdict, MAX_EXPLICIT_PROPS};
+pub use csr::CsrIndex;
 pub use parser::{parse, ParseError};
 pub use restriction::Restriction;
 pub use rewrite::{formula_size, simplify};

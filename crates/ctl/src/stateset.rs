@@ -24,11 +24,19 @@ impl StateSet {
         }
     }
 
-    /// The full set over a state space of `universe` states.
+    /// The full set over a state space of `universe` states: whole words
+    /// are filled in one store each and the tail word is masked, instead
+    /// of inserting `universe` bits one at a time.
     pub fn full(universe: usize) -> Self {
         let mut s = StateSet::empty(universe);
-        for i in 0..universe {
-            s.insert_index(i);
+        for w in s.words.iter_mut() {
+            *w = !0;
+        }
+        let tail = universe % 64;
+        if tail != 0 {
+            if let Some(last) = s.words.last_mut() {
+                *last = (1u64 << tail) - 1;
+            }
         }
         s
     }
@@ -49,8 +57,9 @@ impl StateSet {
         self.insert_index(Self::index_of(s));
     }
 
+    /// Insert a state by its dense index (the `2^n` pattern).
     #[inline]
-    fn insert_index(&mut self, i: usize) {
+    pub fn insert_index(&mut self, i: usize) {
         debug_assert!(i < self.universe);
         self.words[i / 64] |= 1 << (i % 64);
     }
@@ -66,7 +75,12 @@ impl StateSet {
     /// Membership test.
     #[inline]
     pub fn contains(&self, s: State) -> bool {
-        let i = Self::index_of(s);
+        self.contains_index(Self::index_of(s))
+    }
+
+    /// Membership test by dense index.
+    #[inline]
+    pub fn contains_index(&self, i: usize) -> bool {
         debug_assert!(i < self.universe);
         self.words[i / 64] >> (i % 64) & 1 == 1
     }
@@ -132,6 +146,14 @@ impl StateSet {
 
     /// Iterate the member states in increasing index order.
     pub fn iter(&self) -> impl Iterator<Item = State> + '_ {
+        self.iter_indices().map(|i| State(i as u128))
+    }
+
+    /// Word-scan iterator over member *indices* in increasing order:
+    /// `trailing_zeros` over each 64-bit word, so sparse sets cost one
+    /// branch per word plus one step per member. This is the hot
+    /// iteration primitive of the frontier kernel.
+    pub fn iter_indices(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
             let mut bits = w;
             std::iter::from_fn(move || {
@@ -140,7 +162,7 @@ impl StateSet {
                 } else {
                     let b = bits.trailing_zeros() as usize;
                     bits &= bits - 1;
-                    Some(State((wi * 64 + b) as u128))
+                    Some(wi * 64 + b)
                 }
             })
         })
@@ -210,6 +232,31 @@ mod tests {
         // Exactly-64 universe exercises the no-tail path.
         let f = StateSet::full(64);
         assert!(f.complement().is_empty());
+    }
+
+    #[test]
+    fn full_fills_words_and_masks_tail() {
+        // Cross word boundaries and exact multiples of 64.
+        for universe in [0, 1, 63, 64, 65, 128, 130, 1 << 10] {
+            let f = StateSet::full(universe);
+            assert_eq!(f.len(), universe, "universe {universe}");
+            assert_eq!(f, f.complement().complement());
+            assert!(f.complement().is_empty());
+            if universe > 0 {
+                assert!(f.contains_index(universe - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn index_operations_match_state_operations() {
+        let mut s = StateSet::empty(200);
+        s.insert_index(5);
+        s.insert_index(77);
+        assert!(s.contains(State(5)) && s.contains_index(77));
+        assert!(!s.contains_index(6));
+        let idx: Vec<usize> = s.iter_indices().collect();
+        assert_eq!(idx, vec![5, 77]);
     }
 
     #[test]

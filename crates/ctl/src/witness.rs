@@ -119,7 +119,7 @@ impl fmt::Display for WitnessDisplay<'_> {
     }
 }
 
-impl Checker<'_> {
+impl Checker {
     /// A shortest path from some state of `from` to some state of `to`
     /// (both may include stutter steps). `None` if unreachable.
     pub fn find_path(&self, from: &StateSet, to: &StateSet) -> Option<WitnessPath> {
@@ -138,7 +138,7 @@ impl Checker<'_> {
             queue.push_back(s);
         }
         while let Some(s) = queue.pop_front() {
-            for t in self.system().proper_successors(s) {
+            for t in self.csr().successor_states(s) {
                 if parent.contains_key(&t) {
                     continue;
                 }
@@ -197,7 +197,7 @@ impl Checker<'_> {
             queue.push_back(s);
         }
         while let Some(s) = queue.pop_front() {
-            for t in self.system().proper_successors(s) {
+            for t in self.csr().successor_states(s) {
                 if parent.contains_key(&t) {
                     continue;
                 }
@@ -250,8 +250,8 @@ impl Checker<'_> {
         loop {
             // Prefer a proper successor inside EG; fall back to stutter.
             let next = self
-                .system()
-                .proper_successors(cur)
+                .csr()
+                .successor_states(cur)
                 .find(|t| eg.contains(*t))
                 .unwrap_or(cur);
             if let Some(&idx) = seen.get(&next) {
@@ -343,7 +343,7 @@ impl Checker<'_> {
         parent.insert(from, from);
         queue.push_back(from);
         while let Some(s) = queue.pop_front() {
-            for t in self.system().proper_successors(s) {
+            for t in self.csr().successor_states(s) {
                 if parent.contains_key(&t) || !within.contains(t) {
                     continue;
                 }
@@ -402,7 +402,7 @@ mod tests {
         m
     }
 
-    fn set_of(checker: &Checker<'_>, text: &str) -> StateSet {
+    fn set_of(checker: &Checker, text: &str) -> StateSet {
         checker.sat(&parse(text).unwrap()).unwrap()
     }
 
