@@ -18,6 +18,11 @@
 //!   computations in symbolic model checking,
 //! * variable renaming ([`BddManager::rename`]) for current/next state
 //!   variable frames,
+//! * a memory kernel: mark-and-sweep garbage collection with compaction
+//!   over an explicit root registry ([`BddManager::protect`] /
+//!   [`BddManager::gc`]), a bounded generational computed table
+//!   ([`cache`]), and offline reorder-based rehosting
+//!   ([`BddManager::rebuild_rooted_with_order`]),
 //! * model counting and witness extraction ([`sat`] module),
 //! * resource statistics mirroring the `resources used:` trailer that SMV
 //!   prints in the paper's Figures 7, 10, 15 and 17 ([`stats`] module),
@@ -40,15 +45,19 @@
 //! assert_eq!(m.sat_count(disj, 2), 3.0);
 //! ```
 
+pub mod cache;
 pub mod dot;
 pub mod hash;
 pub mod manager;
 pub mod node;
 pub mod ops;
 pub mod reorder;
+pub mod roots;
 pub mod sat;
 pub mod stats;
 
-pub use manager::BddManager;
+pub use cache::DEFAULT_CACHE_CAPACITY;
+pub use manager::{BddManager, GcStats};
 pub use node::{Bdd, Var};
+pub use roots::RootId;
 pub use stats::BddStats;

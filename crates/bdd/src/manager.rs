@@ -1,35 +1,56 @@
 //! The BDD manager: arena, unique table, computed cache, and core algorithms.
 
+use crate::cache::{CacheKey, ComputedTable, Op, DEFAULT_CACHE_CAPACITY};
 use crate::hash::FxHashMap;
 use crate::node::{Bdd, Node, Var, TERMINAL_VAR};
+use crate::roots::{RootId, Roots};
 use crate::stats::BddStats;
 
-/// Opcode tags for the computed-table cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Op {
-    Ite,
-    Exists,
-    Forall,
-    AndExists,
+/// Outcome of one [`BddManager::gc`] collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcStats {
+    /// Arena size when the collection started.
+    pub nodes_before: usize,
+    /// Arena size after compaction (terminals included).
+    pub live_nodes: usize,
+    /// Nodes reclaimed (`nodes_before - live_nodes`).
+    pub reclaimed: usize,
 }
 
 /// An ROBDD manager.
 ///
-/// Owns every node ever created (an append-only arena — no garbage
-/// collection; the verification runs in this project allocate at most a few
-/// million nodes, and an append-only arena keeps handles stable and
-/// operations allocation-free on the hot path).
+/// Owns every *live* node in a compact arena. The arena is append-only
+/// between collections — handles stay stable and operations stay
+/// allocation-free on the hot path — and [`BddManager::gc`] mark-and-sweeps
+/// it from the explicit root registry ([`BddManager::protect`]), compacting
+/// live nodes and remapping every registered root in place.
 ///
 /// All diagrams produced by one manager share structure via the unique
 /// table, so semantic equality of functions is pointer equality of handles.
+///
+/// # GC safety
+///
+/// A collection invalidates every unregistered handle. The contract is the
+/// one CUDD clients know: any [`Bdd`] that must survive a potential
+/// collection point is registered with [`BddManager::protect`] and re-read
+/// with [`BddManager::root`] afterwards. The manager itself never collects
+/// behind the caller's back — [`BddManager::gc_due`] is advisory and the
+/// symbolic layer invokes [`BddManager::gc`] only at fixpoint iteration
+/// boundaries where its live set is fully registered.
 pub struct BddManager {
     nodes: Vec<Node>,
     unique: FxHashMap<Node, u32>,
-    cache: FxHashMap<(Op, u32, u32, u32), u32>,
+    cache: ComputedTable,
+    pub(crate) roots: Roots,
     num_vars: u32,
-    cache_hits: u64,
-    cache_misses: u64,
     cache_enabled: bool,
+    /// Monotone count of nodes ever created (SMV's "BDD nodes allocated").
+    total_allocated: usize,
+    /// High-water mark of the live arena.
+    peak_live: usize,
+    gc_runs: u64,
+    gc_reclaimed: u64,
+    gc_threshold: usize,
 }
 
 impl Default for BddManager {
@@ -39,6 +60,10 @@ impl Default for BddManager {
 }
 
 impl BddManager {
+    /// Arena size below which [`BddManager::gc_due`] never fires. Small
+    /// managers are cheaper to let grow than to collect.
+    pub const DEFAULT_GC_THRESHOLD: usize = 1 << 16;
+
     /// Create an empty manager with the two terminal nodes.
     pub fn new() -> Self {
         let mut nodes = Vec::with_capacity(1 << 12);
@@ -56,11 +81,15 @@ impl BddManager {
         BddManager {
             nodes,
             unique: FxHashMap::default(),
-            cache: FxHashMap::default(),
+            cache: ComputedTable::new(DEFAULT_CACHE_CAPACITY),
+            roots: Roots::default(),
             num_vars: 0,
-            cache_hits: 0,
-            cache_misses: 0,
             cache_enabled: true,
+            total_allocated: 2,
+            peak_live: 2,
+            gc_runs: 0,
+            gc_reclaimed: 0,
+            gc_threshold: Self::DEFAULT_GC_THRESHOLD,
         }
     }
 
@@ -73,26 +102,31 @@ impl BddManager {
         m
     }
 
-    fn cache_get(&mut self, key: &(Op, u32, u32, u32)) -> Option<u32> {
+    fn cache_get(&mut self, key: &CacheKey) -> Option<u32> {
+        // The disabled path returns before any key hashing or counter
+        // bumps: `new_without_cache` managers report zero lookups.
         if !self.cache_enabled {
             return None;
         }
-        match self.cache.get(key) {
-            Some(&r) => {
-                self.cache_hits += 1;
-                Some(r)
-            }
-            None => {
-                self.cache_misses += 1;
-                None
-            }
+        self.cache.get(key)
+    }
+
+    fn cache_put(&mut self, key: CacheKey, value: u32) {
+        if self.cache_enabled {
+            self.cache.put(key, value);
         }
     }
 
-    fn cache_put(&mut self, key: (Op, u32, u32, u32), value: u32) {
-        if self.cache_enabled {
-            self.cache.insert(key, value);
-        }
+    /// Bound the computed table at `entries` per generation (two
+    /// generations may be resident, so the table holds at most `2 ×
+    /// entries`). Takes effect on the next insert.
+    pub fn set_cache_capacity(&mut self, entries: usize) {
+        self.cache.set_segment_capacity(entries);
+    }
+
+    /// The configured per-generation computed-table bound.
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.segment_capacity()
     }
 
     /// Declare a fresh variable at the bottom of the current order.
@@ -148,12 +182,137 @@ impl BddManager {
         let id = self.nodes.len() as u32;
         self.nodes.push(node);
         self.unique.insert(node, id);
+        self.total_allocated += 1;
+        if self.nodes.len() > self.peak_live {
+            self.peak_live = self.nodes.len();
+        }
         Bdd(id)
     }
 
     #[inline]
     fn node(&self, f: Bdd) -> Node {
         self.nodes[f.0 as usize]
+    }
+
+    // ------------------------------------------------------------------
+    // Root registry
+    // ------------------------------------------------------------------
+
+    /// Register `f` as a GC root; the returned handle survives collections.
+    pub fn protect(&mut self, f: Bdd) -> RootId {
+        self.roots.protect(f)
+    }
+
+    /// Release a root slot (its diagram becomes collectable garbage unless
+    /// reachable from another root).
+    pub fn unprotect(&mut self, r: RootId) {
+        self.roots.unprotect(r);
+    }
+
+    /// Current diagram held by a root slot (remapped across collections).
+    pub fn root(&self, r: RootId) -> Bdd {
+        self.roots.get(r)
+    }
+
+    /// Overwrite a root slot in place — the idiom for fixpoint accumulators
+    /// that must stay protected while they evolve.
+    pub fn set_root(&mut self, r: RootId, f: Bdd) {
+        self.roots.set(r, f);
+    }
+
+    /// Number of live root slots (leak canary for tests).
+    pub fn protected_count(&self) -> usize {
+        self.roots.live()
+    }
+
+    /// Every diagram currently held by a live root slot — the working set
+    /// that reorder heuristics should optimise for.
+    pub fn protected_roots(&self) -> Vec<Bdd> {
+        self.roots.iter_ids().map(Bdd).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Garbage collection
+    // ------------------------------------------------------------------
+
+    /// Should the caller collect at its next safe point? True once the
+    /// arena crosses the adaptive threshold (reset to twice the live size
+    /// after each collection, i.e. roughly a 50% dead-node ratio).
+    pub fn gc_due(&self) -> bool {
+        self.nodes.len() >= self.gc_threshold
+    }
+
+    /// Override the arena size that makes [`BddManager::gc_due`] fire.
+    pub fn set_gc_threshold(&mut self, nodes: usize) {
+        self.gc_threshold = nodes.max(2);
+    }
+
+    /// Mark-and-sweep the arena from the root registry, compacting live
+    /// nodes and remapping every registered root in place.
+    ///
+    /// Every handle not reachable from the registry is invalidated; the
+    /// computed table (whose keys and values are node ids) is remapped so
+    /// entries over surviving nodes keep memoising across the collection,
+    /// and entries touching reclaimed nodes are dropped. The unique table
+    /// is rebuilt right-sized, so reclaimed memory is actually returned
+    /// rather than retained as capacity.
+    pub fn gc(&mut self) -> GcStats {
+        let before = self.nodes.len();
+        let mut mark = vec![false; before];
+        mark[0] = true;
+        mark[1] = true;
+        let mut stack: Vec<u32> = self.roots.iter_ids().collect();
+        while let Some(id) = stack.pop() {
+            let i = id as usize;
+            if mark[i] {
+                continue;
+            }
+            mark[i] = true;
+            let n = self.nodes[i];
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        let live = mark.iter().filter(|&&m| m).count();
+        // `mk` only ever points a node at already-existing children, so
+        // children precede parents in the arena and one ascending pass can
+        // both assign new ids and rewrite edges.
+        let mut remap = vec![u32::MAX; before];
+        let mut new_nodes: Vec<Node> = Vec::with_capacity(live + live / 4);
+        for old in 0..before {
+            if !mark[old] {
+                continue;
+            }
+            remap[old] = new_nodes.len() as u32;
+            let n = self.nodes[old];
+            if n.var == TERMINAL_VAR {
+                new_nodes.push(n);
+            } else {
+                new_nodes.push(Node {
+                    var: n.var,
+                    low: remap[n.low as usize],
+                    high: remap[n.high as usize],
+                });
+            }
+        }
+        let mut unique = FxHashMap::with_capacity_and_hasher(new_nodes.len(), Default::default());
+        for (id, n) in new_nodes.iter().enumerate().skip(2) {
+            unique.insert(*n, id as u32);
+        }
+        self.nodes = new_nodes;
+        self.unique = unique;
+        self.cache.remap(&remap);
+        self.roots.remap(&remap);
+        let reclaimed = before - self.nodes.len();
+        self.gc_runs += 1;
+        self.gc_reclaimed += reclaimed as u64;
+        // Adapt: don't re-trigger until the arena doubles again (but never
+        // drop below whatever floor the caller configured).
+        self.gc_threshold = self.gc_threshold.max(2 * self.nodes.len());
+        GcStats {
+            nodes_before: before,
+            live_nodes: self.nodes.len(),
+            reclaimed,
+        }
     }
 
     /// Decision variable of the root node (`None` for constants).
@@ -525,13 +684,19 @@ impl BddManager {
     /// Snapshot of resource statistics (mirrors SMV's `resources used:`).
     pub fn stats(&self) -> BddStats {
         BddStats {
-            nodes_allocated: self.nodes.len(),
-            bytes_allocated: self.nodes.len() * std::mem::size_of::<Node>()
+            nodes_allocated: self.total_allocated,
+            live_nodes: self.nodes.len(),
+            peak_live_nodes: self.peak_live,
+            bytes_allocated: self.nodes.capacity() * std::mem::size_of::<Node>()
                 + self.unique.capacity()
                     * (std::mem::size_of::<Node>() + std::mem::size_of::<u32>())
-                + self.cache.capacity() * (std::mem::size_of::<(Op, u32, u32, u32)>() + 4),
-            cache_hits: self.cache_hits,
-            cache_misses: self.cache_misses,
+                + self.cache.capacity_bytes()
+                + self.roots.capacity_bytes(),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_evictions: self.cache.evictions(),
+            gc_runs: self.gc_runs,
+            gc_reclaimed: self.gc_reclaimed,
             variables: self.num_vars as usize,
         }
     }
@@ -540,6 +705,23 @@ impl BddManager {
     /// bound memory between unrelated verification runs on one manager.
     pub fn clear_cache(&mut self) {
         self.cache.clear();
+    }
+
+    /// Carry session-cumulative counters and configuration from the manager
+    /// this one replaces (see `rebuild_rooted_with_order`).
+    pub(crate) fn inherit_session(&mut self, old: &BddManager) {
+        // The rebuild itself allocated `total_allocated - 2` nodes in this
+        // manager; the session total also includes everything the old
+        // manager ever made.
+        self.total_allocated += old.total_allocated - 2;
+        self.peak_live = self.peak_live.max(old.peak_live);
+        self.gc_runs = old.gc_runs;
+        self.gc_reclaimed = old.gc_reclaimed;
+        self.cache.absorb_counters(&old.cache);
+        self.cache
+            .set_segment_capacity(old.cache.segment_capacity());
+        self.cache_enabled = old.cache_enabled;
+        self.gc_threshold = old.gc_threshold.max(2 * self.nodes.len());
     }
 }
 
@@ -777,5 +959,226 @@ mod tests {
             let expect = ((x0 ^ x1) && (!x1 || x2)) || (x0 == x2);
             assert_eq!(m.eval(f, assign), expect, "bits={bits:03b}");
         }
+    }
+
+    /// A nest of functions plus a pile of garbage, for GC tests.
+    fn build_with_garbage(n: usize) -> (BddManager, Bdd) {
+        let (mut m, l) = setup(n);
+        let mut keep = Bdd::TRUE;
+        for i in 0..n - 1 {
+            let e = m.iff(l[i], l[i + 1]);
+            keep = m.and(keep, e);
+        }
+        // Garbage: xor chains that nothing will protect.
+        for i in 0..n {
+            let mut acc = l[i];
+            for &x in &l {
+                acc = m.xor(acc, x);
+                let _ = m.implies(acc, keep);
+            }
+        }
+        (m, keep)
+    }
+
+    #[test]
+    fn gc_collects_unrooted_nodes_and_preserves_roots() {
+        let (mut m, keep) = build_with_garbage(6);
+        let before = m.stats().live_nodes;
+        let truth: Vec<bool> = (0u32..64)
+            .map(|bits| m.eval(keep, |v| bits >> v.0 & 1 == 1))
+            .collect();
+        let r = m.protect(keep);
+        let gc = m.gc();
+        assert_eq!(gc.nodes_before, before);
+        assert!(gc.reclaimed > 0, "garbage should be reclaimed");
+        assert_eq!(gc.live_nodes, m.stats().live_nodes);
+        assert!(m.stats().live_nodes < before);
+        assert_eq!(m.stats().gc_runs, 1);
+        assert_eq!(m.stats().gc_reclaimed, gc.reclaimed as u64);
+        // The protected function survives with its semantics intact (its
+        // handle, read back through the registry, was remapped).
+        let keep = m.root(r);
+        for (bits, &expect) in truth.iter().enumerate() {
+            assert_eq!(m.eval(keep, |v| bits as u32 >> v.0 & 1 == 1), expect);
+        }
+        m.unprotect(r);
+    }
+
+    #[test]
+    fn gc_rebuilds_a_canonical_unique_table() {
+        let (mut m, keep) = build_with_garbage(5);
+        let r = m.protect(keep);
+        m.gc();
+        let keep = m.root(r);
+        // Hash consing still canonicalises: recomputing the kept function
+        // from scratch lands on the same compacted nodes.
+        let l: Vec<Bdd> = (0..5).map(|i| m.var(Var(i))).collect();
+        let mut again = Bdd::TRUE;
+        for i in 0..4 {
+            let e = m.iff(l[i], l[i + 1]);
+            again = m.and(again, e);
+        }
+        assert_eq!(again, keep);
+        m.unprotect(r);
+    }
+
+    #[test]
+    fn gc_with_no_roots_reclaims_everything() {
+        let (mut m, _) = build_with_garbage(6);
+        m.gc();
+        assert_eq!(m.stats().live_nodes, 2, "only terminals survive");
+        // The manager remains usable.
+        let v = m.var(Var(0));
+        let nv = m.nvar(Var(0));
+        assert_eq!(m.and(v, nv), Bdd::FALSE);
+    }
+
+    #[test]
+    fn gc_shrinks_bytes_and_monotone_counters_keep_counting() {
+        let (mut m, _) = build_with_garbage(8);
+        let s0 = m.stats();
+        m.gc();
+        let s1 = m.stats();
+        assert!(
+            s1.bytes_allocated < s0.bytes_allocated,
+            "right-sized tables must return memory: {} -> {}",
+            s0.bytes_allocated,
+            s1.bytes_allocated
+        );
+        // SMV's "BDD nodes allocated" is cumulative; peak tracks the
+        // high-water mark from before the collection.
+        assert_eq!(s1.nodes_allocated, s0.nodes_allocated);
+        assert_eq!(s1.peak_live_nodes, s0.peak_live_nodes);
+        assert!(s1.peak_live_nodes >= s0.live_nodes);
+    }
+
+    #[test]
+    fn gc_threshold_adapts() {
+        let mut m = BddManager::new();
+        m.set_gc_threshold(4);
+        let vs = m.new_vars(8);
+        for &v in &vs {
+            m.var(v);
+        }
+        assert!(m.gc_due());
+        let keep = {
+            let a = m.var(vs[0]);
+            let b = m.var(vs[1]);
+            m.and(a, b)
+        };
+        let r = m.protect(keep);
+        m.gc();
+        // Threshold ratchets to 2× live — not due immediately after.
+        assert!(!m.gc_due());
+        m.unprotect(r);
+    }
+
+    #[test]
+    fn set_root_protects_evolving_accumulator() {
+        let (mut m, l) = setup(4);
+        let r = m.protect(l[0]);
+        for i in 1..4u32 {
+            // Unprotected literal nodes may have been collected by the
+            // previous round's gc — always re-derive handles after one.
+            let acc = m.root(r);
+            let x = m.var(Var(i));
+            let acc = m.or(acc, x);
+            m.set_root(r, acc);
+            m.gc();
+        }
+        let acc = m.root(r);
+        assert!(m.eval(acc, |v| v == Var(3)));
+        assert!(!m.eval(acc, |_| false));
+        m.unprotect(r);
+        assert_eq!(m.protected_count(), 0);
+    }
+
+    /// Satellite: the disabled-cache path must not pay hashing or bump any
+    /// lookup counter.
+    #[test]
+    fn disabled_cache_reports_zero_lookups() {
+        let mut m = BddManager::new_without_cache();
+        let vs = m.new_vars(6);
+        let mut acc = Bdd::TRUE;
+        for w in vs.windows(2) {
+            let a = m.var(w[0]);
+            let b = m.var(w[1]);
+            let e = m.iff(a, b);
+            acc = m.and(acc, e);
+        }
+        let ex = {
+            let cube = m.cube(&[vs[0]]);
+            m.exists(acc, cube)
+        };
+        // ∃v₀. ⋀ (vᵢ ⇔ vᵢ₊₁) still constrains v₁..v₅.
+        assert!(!ex.is_const());
+        let s = m.stats();
+        assert_eq!(s.cache_hits, 0);
+        assert_eq!(s.cache_misses, 0);
+        assert_eq!(s.cache_evictions, 0);
+    }
+
+    /// Collection remaps the computed table instead of flushing it:
+    /// redoing an operation over surviving nodes must be pure hits.
+    #[test]
+    fn computed_table_survives_collection() {
+        let mut m = BddManager::new();
+        let vs = m.new_vars(8);
+        let mut acc = Bdd::TRUE;
+        for w in vs.windows(2) {
+            let a = m.var(w[0]);
+            let b = m.var(w[1]);
+            let e = m.iff(a, b);
+            acc = m.and(acc, e);
+        }
+        let ra = m.protect(acc);
+        let cube = m.cube(&[vs[0]]);
+        let rc = m.protect(cube);
+        let ex = m.exists(acc, cube);
+        let re = m.protect(ex);
+        // Unrooted garbage so the sweep actually moves node ids.
+        for w in vs.windows(3) {
+            let a = m.var(w[0]);
+            let c = m.var(w[2]);
+            let _ = m.xor(a, c);
+        }
+        let reclaimed = m.gc().reclaimed;
+        assert!(reclaimed > 0, "the sweep found nothing to move ids over");
+        let acc = m.root(ra);
+        let cube = m.root(rc);
+        let ex = m.root(re);
+        let misses_before = m.stats().cache_misses;
+        let again = m.exists(acc, cube);
+        assert_eq!(again, ex);
+        assert_eq!(
+            m.stats().cache_misses,
+            misses_before,
+            "the remapped top-level entry must answer without recomputation"
+        );
+        m.unprotect(ra);
+        m.unprotect(rc);
+        m.unprotect(re);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_but_stays_correct() {
+        let mut m = BddManager::new();
+        m.set_cache_capacity(64);
+        let vs = m.new_vars(10);
+        let mut acc = Bdd::TRUE;
+        for w in vs.windows(2) {
+            let a = m.var(w[0]);
+            let b = m.var(w[1]);
+            let e = m.iff(a, b);
+            acc = m.and(acc, e);
+        }
+        let nacc = m.not(acc);
+        assert_eq!(m.and(acc, nacc), Bdd::FALSE);
+        assert_eq!(m.or(acc, nacc), Bdd::TRUE);
+        let s = m.stats();
+        assert!(
+            s.cache_evictions > 0,
+            "a 64-entry cache must rotate under this load"
+        );
     }
 }

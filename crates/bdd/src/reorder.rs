@@ -19,6 +19,13 @@ use crate::hash::FxHashMap;
 use crate::manager::BddManager;
 use crate::node::{Bdd, Var};
 
+/// Swap adjacent variable *blocks* `b` and `b+1` of width `group`.
+fn swap_blocks(order: &mut [Var], b: usize, group: usize) {
+    for k in 0..group {
+        order.swap(b * group + k, (b + 1) * group + k);
+    }
+}
+
 impl BddManager {
     /// Rebuild `roots` into a fresh manager whose variable order is
     /// `order` (a permutation of all declared variables: `order[i]` is the
@@ -87,22 +94,46 @@ impl BddManager {
     /// Returns the discovered order (old variables in new positions). Use
     /// [`BddManager::rebuild_with_order`] to apply it.
     pub fn sift_order(&mut self, roots: &[Bdd], max_passes: usize) -> Vec<Var> {
+        self.sift_order_grouped(roots, 1, max_passes)
+    }
+
+    /// [`BddManager::sift_order`] generalised to swap adjacent *blocks* of
+    /// `group` consecutive variables instead of single variables.
+    ///
+    /// The symbolic checker's interleaved current/next frames need `group
+    /// = 2`: moving `(curᵢ, nextᵢ)` pairs as a unit keeps every
+    /// current-to-next rename map order-preserving, which
+    /// [`BddManager::rename`] requires. Requires `var_count` divisible by
+    /// `group` (trivially true for `group = 1`).
+    pub fn sift_order_grouped(
+        &mut self,
+        roots: &[Bdd],
+        group: usize,
+        max_passes: usize,
+    ) -> Vec<Var> {
+        assert!(group >= 1, "group width must be positive");
         let n = self.var_count();
         let mut order: Vec<Var> = (0..n as u32).map(Var).collect();
-        if n < 2 || roots.is_empty() {
+        if n < 2 * group || roots.is_empty() {
             return order;
         }
+        assert_eq!(
+            n % group,
+            0,
+            "variable count {n} not divisible by group width {group}"
+        );
+        let blocks = n / group;
         let mut best_size = self.size_under(roots, &order);
         for _ in 0..max_passes {
             let mut improved = false;
-            for i in 0..n - 1 {
-                order.swap(i, i + 1);
+            for b in 0..blocks - 1 {
+                swap_blocks(&mut order, b, group);
                 let size = self.size_under(roots, &order);
                 if size < best_size {
                     best_size = size;
                     improved = true;
                 } else {
-                    order.swap(i, i + 1); // undo
+                    swap_blocks(&mut order, b, group); // undo
                 }
             }
             if !improved {
@@ -110,6 +141,32 @@ impl BddManager {
             }
         }
         order
+    }
+
+    /// Rebuild every *protected* diagram into a fresh manager under
+    /// `order`, transplanting the root registry (slot handles stay valid,
+    /// pointing at the rebuilt diagrams) and carrying the session's
+    /// cumulative counters and cache configuration. The caller replaces
+    /// `self` with the returned manager; any [`crate::RootId`] it held
+    /// keeps working.
+    ///
+    /// This is the rehosting step of automatic maintenance: a GC that
+    /// leaves the live set too large hands the survivors to
+    /// [`BddManager::sift_order_grouped`] and rebuilds under the improved
+    /// order.
+    pub fn rebuild_rooted_with_order(&mut self, order: &[Var]) -> BddManager {
+        let slots = self.roots.slots.clone();
+        let live: Vec<Bdd> = slots.iter().filter_map(|s| s.map(Bdd)).collect();
+        let (mut new, new_roots) = self.rebuild_with_order(&live, order);
+        // Re-thread the registry: identical slot layout, rebuilt node ids.
+        let mut it = new_roots.iter();
+        new.roots.slots = slots
+            .iter()
+            .map(|s| s.map(|_| it.next().expect("one rebuilt root per live slot").raw()))
+            .collect();
+        new.roots.free = self.roots.free.clone();
+        new.inherit_session(self);
+        new
     }
 
     /// Shared node count of `roots` when rebuilt under `order`.
@@ -239,6 +296,60 @@ mod tests {
         let vs = m.new_vars(2);
         let f = m.var(vs[0]);
         let _ = m.rebuild_with_order(&[f], &[vs[0], vs[0]]);
+    }
+
+    #[test]
+    fn grouped_sift_moves_pairs_as_units() {
+        // Under group = 2 the adjacent pairs of the original order are
+        // rigid blocks: sifting may permute blocks but never tear one.
+        let k = 4;
+        let (mut m, f) = comparator(k, true);
+        let order = m.sift_order_grouped(&[f], 2, 8);
+        // Blocks keep their internal layout: positions (2j, 2j+1) hold the
+        // two variables of one original adjacent pair, in order.
+        for j in 0..k {
+            let a = order[2 * j].index();
+            let b = order[2 * j + 1].index();
+            assert_eq!(b, a + 1, "block {j} was torn apart: {order:?}");
+            assert_eq!(a % 2, 0, "block {j} starts mid-pair: {order:?}");
+        }
+        // And the rebuilt function is unchanged (model count invariant).
+        let (new, roots) = m.rebuild_with_order(&[f], &order);
+        assert_eq!(new.sat_count(roots[0], 2 * k), m.sat_count(f, 2 * k));
+    }
+
+    #[test]
+    fn rooted_rebuild_transplants_registry_and_counters() {
+        let (mut m, f) = comparator(5, true); // bad order: a0..a4 b0..b4
+        let g = {
+            let a = m.var(Var(0));
+            let b = m.var(Var(5));
+            m.and(a, b)
+        };
+        let rf = m.protect(f);
+        let rg = m.protect(g);
+        let dead = m.protect(g);
+        m.unprotect(dead); // leave a vacated slot in the registry
+        let n = m.var_count();
+        let nodes_before = m.stats().nodes_allocated;
+        let order = m.sift_order(&[f, g], 8);
+        let mut new = m.rebuild_rooted_with_order(&order);
+        // Slot handles survive the rehost and the functions are intact
+        // modulo the order permutation.
+        let nf = new.root(rf);
+        let ng = new.root(rg);
+        for bits in 0u32..(1 << n) {
+            let old_assign = |v: Var| bits >> v.index() & 1 == 1;
+            let new_assign = |v: Var| bits >> order[v.index()].index() & 1 == 1;
+            assert_eq!(m.eval(f, old_assign), new.eval(nf, new_assign));
+            assert_eq!(m.eval(g, old_assign), new.eval(ng, new_assign));
+        }
+        assert_eq!(new.protected_count(), 2);
+        // The freed slot is still reusable in the new manager.
+        let again = new.protect(ng);
+        assert_eq!(again, dead);
+        // Cumulative counters carried over and kept growing.
+        assert!(new.stats().nodes_allocated > nodes_before);
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! user/system time, `BDD nodes allocated`, `Bytes allocated`, and
 //! `BDD nodes representing transition relation: X + Y`. This module carries
 //! the same measurements so the benchmark harness can print directly
-//! comparable rows.
+//! comparable rows, extended with the memory-kernel counters (live/peak
+//! nodes, GC activity, cache evictions) the garbage collector introduces.
 
 use std::fmt;
 use std::time::Duration;
@@ -12,15 +13,28 @@ use std::time::Duration;
 /// Point-in-time resource counters for a [`crate::BddManager`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BddStats {
-    /// Total decision nodes ever allocated in the arena (including the two
-    /// terminals), matching SMV's monotone "BDD nodes allocated".
+    /// Total decision nodes ever allocated (including the two terminals),
+    /// matching SMV's monotone "BDD nodes allocated". Survives garbage
+    /// collection and rehosting.
     pub nodes_allocated: usize,
-    /// Estimated heap bytes held by the arena, unique table and cache.
+    /// Nodes currently resident in the arena (terminals included).
+    pub live_nodes: usize,
+    /// High-water mark of [`BddStats::live_nodes`] over the manager's life.
+    pub peak_live_nodes: usize,
+    /// Heap bytes held by the arena, unique table, computed table and root
+    /// registry — *capacity*, not element counts, so retained memory that
+    /// has not yet been returned is visible.
     pub bytes_allocated: usize,
     /// Computed-table hits since manager creation.
     pub cache_hits: u64,
     /// Computed-table misses since manager creation.
     pub cache_misses: u64,
+    /// Entries dropped by generational computed-table rotation.
+    pub cache_evictions: u64,
+    /// Mark-and-sweep collections run.
+    pub gc_runs: u64,
+    /// Total nodes reclaimed across all collections.
+    pub gc_reclaimed: u64,
     /// Declared BDD variables.
     pub variables: usize,
 }
@@ -58,6 +72,17 @@ impl fmt::Display for ResourceReport {
         writeln!(f, "user time: {:.7} s", self.user_time.as_secs_f64())?;
         writeln!(f, "BDD nodes allocated: {}", self.stats.nodes_allocated)?;
         writeln!(f, "Bytes allocated: {}", self.stats.bytes_allocated)?;
+        writeln!(
+            f,
+            "BDD nodes live: {} (peak {})",
+            self.stats.live_nodes, self.stats.peak_live_nodes
+        )?;
+        writeln!(
+            f,
+            "garbage collections: {} (reclaimed {} nodes)",
+            self.stats.gc_runs, self.stats.gc_reclaimed
+        )?;
+        writeln!(f, "cache evictions: {}", self.stats.cache_evictions)?;
         write!(
             f,
             "BDD nodes representing transition relation: {} + {}",
@@ -70,14 +95,27 @@ impl fmt::Display for ResourceReport {
 mod tests {
     use super::*;
 
+    fn zeroed() -> BddStats {
+        BddStats {
+            nodes_allocated: 0,
+            live_nodes: 0,
+            peak_live_nodes: 0,
+            bytes_allocated: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
+            gc_runs: 0,
+            gc_reclaimed: 0,
+            variables: 0,
+        }
+    }
+
     #[test]
     fn hit_rate_bounds() {
         let mut s = BddStats {
             nodes_allocated: 2,
             bytes_allocated: 24,
-            cache_hits: 0,
-            cache_misses: 0,
-            variables: 0,
+            ..zeroed()
         };
         assert_eq!(s.hit_rate(), 0.0);
         s.cache_hits = 3;
@@ -91,10 +129,13 @@ mod tests {
             user_time: Duration::from_millis(33),
             stats: BddStats {
                 nodes_allocated: 403,
+                live_nodes: 280,
+                peak_live_nodes: 390,
                 bytes_allocated: 1_245_134,
-                cache_hits: 0,
-                cache_misses: 0,
+                gc_runs: 2,
+                gc_reclaimed: 123,
                 variables: 7,
+                ..zeroed()
             },
             trans_nodes: 43,
             aux_nodes: 7,
@@ -102,6 +143,8 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("BDD nodes allocated: 403"));
         assert!(text.contains("Bytes allocated: 1245134"));
+        assert!(text.contains("BDD nodes live: 280 (peak 390)"));
+        assert!(text.contains("garbage collections: 2 (reclaimed 123 nodes)"));
         assert!(text.contains("transition relation: 43 + 7"));
     }
 }

@@ -66,9 +66,9 @@ fn explicit_vs_symbolic(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("symbolic", n), &n, |b, _| {
             b.iter(|| {
                 let target = Target::composition(systems.clone());
-                let v = SymbolicBackend.check(&target, &r, &f).unwrap();
+                let v = SymbolicBackend::default().check(&target, &r, &f).unwrap();
                 assert!(v.holds);
-                black_box(v.stats.bdd_nodes)
+                black_box(v.stats.bdd.map(|b| b.nodes_allocated))
             })
         });
     }
@@ -120,7 +120,12 @@ fn emit_summary(c: &mut Criterion) {
         let symbolic_ns = mean_ns(
             || {
                 let target = Target::composition(systems.clone());
-                assert!(SymbolicBackend.check(&target, &r, &f).unwrap().holds);
+                assert!(
+                    SymbolicBackend::default()
+                        .check(&target, &r, &f)
+                        .unwrap()
+                        .holds
+                );
             },
             3,
         );

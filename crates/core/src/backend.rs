@@ -19,9 +19,10 @@
 //! `TooLarge` ceiling from compositional proofs and keeps the explicit
 //! path linear in Σ|Rᵢ| rather than the product's `BTreeMap` explosion.
 
+use cmc_bdd::BddStats;
 use cmc_ctl::{CheckError, Checker, Formula, Restriction, MAX_EXPLICIT_PROPS};
 use cmc_kripke::{Alphabet, State, System};
-use cmc_symbolic::{SymbolicError, SymbolicModel};
+use cmc_symbolic::{MaintenanceConfig, SymbolicError, SymbolicModel};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -196,8 +197,9 @@ pub struct CheckStats {
     pub backend: BackendKind,
     /// Wall-clock time of the check (model construction included).
     pub duration: Duration,
-    /// BDD nodes allocated by the check's manager (symbolic only).
-    pub bdd_nodes: Option<usize>,
+    /// Full BDD-manager counters for the check — allocation, live/peak
+    /// nodes, bytes, cache and GC activity (symbolic only).
+    pub bdd: Option<BddStats>,
 }
 
 /// Unified result of a backend check — the shape shared by both engines.
@@ -329,7 +331,7 @@ impl Backend for ExplicitBackend {
             stats: CheckStats {
                 backend: BackendKind::Explicit,
                 duration: start.elapsed(),
-                bdd_nodes: None,
+                bdd: None,
             },
         })
     }
@@ -337,8 +339,33 @@ impl Backend for ExplicitBackend {
 
 /// The symbolic backend: one disjunctive transition partition per
 /// component, never materialising the product.
+///
+/// The memory kernel is configurable per backend instance: a maintenance
+/// policy (GC/rehost triggers) and a computed-table bound. `None` leaves
+/// the engine defaults in place.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct SymbolicBackend;
+pub struct SymbolicBackend {
+    /// Maintenance policy installed on the model before checking.
+    pub maintenance: Option<MaintenanceConfig>,
+    /// Computed-table segment capacity, in entries.
+    pub cache_capacity: Option<usize>,
+}
+
+impl SymbolicBackend {
+    /// Backend with a maintenance policy.
+    pub fn with_maintenance(cfg: MaintenanceConfig) -> Self {
+        SymbolicBackend {
+            maintenance: Some(cfg),
+            ..Self::default()
+        }
+    }
+
+    /// Override the computed-table bound (builder style).
+    pub fn cache_capacity(mut self, entries: usize) -> Self {
+        self.cache_capacity = Some(entries);
+        self
+    }
+}
 
 /// Widths up to this many propositions admit an exact `f64` satisfying
 /// count (integers are exact below `2^53`).
@@ -358,22 +385,40 @@ impl Backend for SymbolicBackend {
         let start = Instant::now();
         let refs: Vec<&System> = target.systems().iter().collect();
         let mut model = SymbolicModel::from_components(&refs, target.extra());
+        if let Some(entries) = self.cache_capacity {
+            model.mgr().set_cache_capacity(entries);
+        }
+        if let Some(cfg) = self.maintenance {
+            model.set_maintenance(cfg);
+        }
         let v = model.check(r, f)?;
         let n = model.num_state_vars();
         // Count the satisfying states while the sat-set BDD is still cheap
         // to rebuild (the fixpoints are cached in the manager). Components
         // built by `from_components` carry no model-level fairness, so
         // `sat_under(f, r.fairness)` is exactly the set `check` used.
+        // `sat_under` runs fixpoints and therefore maintenance, so the
+        // violating set rides in the root registry across it.
+        let rviol = model.mgr().protect(v.violating);
         let sat_states = if n <= EXACT_COUNT_PROPS {
-            let sat = model.sat_under(f, &r.fairness)?;
-            let count = model.mgr_ref().sat_count(sat, 2 * n) / (1u64 << n) as f64;
-            Some(count as u128)
+            match model.sat_under(f, &r.fairness) {
+                Ok(sat) => {
+                    let count = model.mgr_ref().sat_count(sat, 2 * n) / (1u64 << n) as f64;
+                    Some(count as u128)
+                }
+                Err(e) => {
+                    model.mgr().unprotect(rviol);
+                    return Err(e.into());
+                }
+            }
         } else {
             None
         };
+        let violating_bdd = model.mgr_ref().root(rviol);
+        model.mgr().unprotect(rviol);
         let alphabet = target.union_alphabet();
         let violating = model
-            .enumerate_states(v.violating, MAX_WITNESSES)
+            .enumerate_states(violating_bdd, MAX_WITNESSES)
             .iter()
             .filter_map(|ns| ns.to_state(&alphabet))
             .collect();
@@ -384,7 +429,7 @@ impl Backend for SymbolicBackend {
             stats: CheckStats {
                 backend: BackendKind::Symbolic,
                 duration: start.elapsed(),
-                bdd_nodes: Some(model.mgr_ref().stats().nodes_allocated),
+                bdd: Some(model.mgr_ref().stats()),
             },
         })
     }
@@ -394,7 +439,7 @@ impl Backend for SymbolicBackend {
 pub fn backend_for(kind: BackendKind) -> Box<dyn Backend + Send + Sync> {
     match kind {
         BackendKind::Explicit => Box::new(ExplicitBackend::default()),
-        BackendKind::Symbolic => Box::new(SymbolicBackend),
+        BackendKind::Symbolic => Box::new(SymbolicBackend::default()),
     }
 }
 
@@ -439,7 +484,7 @@ mod tests {
         for text in ["a -> AX a", "EF (a & b)", "AF a", "AG (a -> EX a)"] {
             let f = parse(text).unwrap();
             let e = ExplicitBackend::default().check(&target, &r, &f).unwrap();
-            let s = SymbolicBackend.check(&target, &r, &f).unwrap();
+            let s = SymbolicBackend::default().check(&target, &r, &f).unwrap();
             assert_eq!(e.holds, s.holds, "backends disagree on {text}");
             assert_eq!(e.sat_states, s.sat_states, "sat counts disagree on {text}");
         }
@@ -453,7 +498,7 @@ mod tests {
         let f = parse("AG !b").unwrap();
         let r = Restriction::trivial();
         let mut e = ExplicitBackend::default().check(&target, &r, &f).unwrap();
-        let mut s = SymbolicBackend.check(&target, &r, &f).unwrap();
+        let mut s = SymbolicBackend::default().check(&target, &r, &f).unwrap();
         assert!(!e.holds && !s.holds);
         e.violating.sort();
         s.violating.sort();
@@ -482,12 +527,69 @@ mod tests {
         let systems: Vec<System> = (0..30).map(|i| riser(&format!("p{i}"))).collect();
         let target = Target::composition(systems);
         let f = parse("p7 -> AX p7").unwrap();
-        let v = SymbolicBackend
+        let v = SymbolicBackend::default()
             .check(&target, &Restriction::trivial(), &f)
             .unwrap();
         assert!(v.holds);
         assert_eq!(v.stats.backend, BackendKind::Symbolic);
-        assert!(v.stats.bdd_nodes.unwrap() > 0);
+        let bdd = v.stats.bdd.unwrap();
+        assert!(bdd.nodes_allocated > 0);
+        assert!(bdd.live_nodes > 0 && bdd.peak_live_nodes >= bdd.live_nodes);
+    }
+
+    /// A GC-bounded backend (tight cache, low collection threshold, no
+    /// reordering) reaches the same verdicts as the unbounded default,
+    /// actually collects, and never holds more live nodes than the
+    /// unbounded run's peak.
+    #[test]
+    fn bounded_backend_agrees_and_collects() {
+        use cmc_symbolic::MaintenanceConfig;
+        let systems: Vec<System> = (0..12).map(|i| riser(&format!("p{i}"))).collect();
+        let target = Target::composition(systems);
+        let r = Restriction::trivial();
+        // GC-only policy: the rehost threshold is unreachable, so the
+        // variable order (and therefore every node count) is directly
+        // comparable against the unbounded baseline.
+        let bounded = SymbolicBackend::with_maintenance(MaintenanceConfig {
+            gc_threshold: 512,
+            ..MaintenanceConfig::default()
+        })
+        .cache_capacity(256);
+        for text in ["EF (p0 & p11)", "AG (p3 -> EX p3)", "AF p5"] {
+            let f = parse(text).unwrap();
+            let d = SymbolicBackend::default().check(&target, &r, &f).unwrap();
+            let b = bounded.check(&target, &r, &f).unwrap();
+            assert_eq!(d.holds, b.holds, "bounding changed the verdict on {text}");
+            assert_eq!(d.sat_states, b.sat_states, "sat counts differ on {text}");
+            let db = d.stats.bdd.unwrap();
+            let bb = b.stats.bdd.unwrap();
+            assert!(bb.gc_runs > 0, "low-threshold policy never collected");
+            assert!(
+                bb.peak_live_nodes <= db.peak_live_nodes,
+                "bounded run peaked above the unbounded baseline on {text}"
+            );
+        }
+    }
+
+    /// The adversarial forced schedule (collect at every safe point,
+    /// rehost every third collection) must keep every verdict and sat
+    /// count identical to the default engine.
+    #[test]
+    fn forced_maintenance_backend_agrees() {
+        use cmc_symbolic::MaintenanceConfig;
+        let systems: Vec<System> = (0..10).map(|i| riser(&format!("p{i}"))).collect();
+        let target = Target::composition(systems);
+        let r = Restriction::trivial();
+        let forced = SymbolicBackend::with_maintenance(MaintenanceConfig::forced_every(1))
+            .cache_capacity(128);
+        for text in ["EF (p0 & p9)", "AG (p3 -> EX p3)", "AF p5", "E [p0 U p9]"] {
+            let f = parse(text).unwrap();
+            let d = SymbolicBackend::default().check(&target, &r, &f).unwrap();
+            let b = forced.check(&target, &r, &f).unwrap();
+            assert_eq!(d.holds, b.holds, "forced maintenance changed {text}");
+            assert_eq!(d.sat_states, b.sat_states, "sat counts differ on {text}");
+            assert!(b.stats.bdd.unwrap().gc_runs > 0);
+        }
     }
 
     #[test]
@@ -502,7 +604,7 @@ mod tests {
         let f = parse("y -> AX y").unwrap();
         let r = Restriction::trivial();
         let e = ExplicitBackend::default().check(&target, &r, &f).unwrap();
-        let s = SymbolicBackend.check(&target, &r, &f).unwrap();
+        let s = SymbolicBackend::default().check(&target, &r, &f).unwrap();
         assert!(e.holds && s.holds);
     }
 
@@ -514,7 +616,9 @@ mod tests {
         let e = ExplicitBackend::default()
             .check(&target, &r, &f)
             .unwrap_err();
-        let s = SymbolicBackend.check(&target, &r, &f).unwrap_err();
+        let s = SymbolicBackend::default()
+            .check(&target, &r, &f)
+            .unwrap_err();
         assert_eq!(e, BackendError::UnknownProposition("zz".into()));
         assert_eq!(e, s);
     }

@@ -263,17 +263,25 @@ fn check_one_spec(
 /// Assemble spec lines plus the SMV-style `resources used:` trailer.
 fn render_report(compiled: &CompiledModel, lines: Vec<String>, user_time: Duration) -> String {
     let stats = compiled.model.mgr_ref().stats();
-    let parts = compiled.model.trans_parts().to_vec();
+    let parts = compiled.model.trans_parts();
     let trans_nodes = compiled.model.mgr_ref().node_count_many(&parts);
     let aux = compiled.model.num_state_vars();
     let mut report = lines.join("\n");
     report.push_str(&format!(
         "\n\nresources used:\nuser time: {:.7} s, system time: 0 s\n\
          BDD nodes allocated: {}\nBytes allocated: {}\n\
+         BDD nodes live: {} (peak {})\n\
+         garbage collections: {} (reclaimed {} nodes)\n\
+         cache evictions: {}\n\
          BDD nodes representing transition relation: {} + {}\n",
         user_time.as_secs_f64(),
         stats.nodes_allocated,
         stats.bytes_allocated,
+        stats.live_nodes,
+        stats.peak_live_nodes,
+        stats.gc_runs,
+        stats.gc_reclaimed,
+        stats.cache_evictions,
         trans_nodes,
         aux
     ));

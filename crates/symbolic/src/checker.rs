@@ -7,7 +7,7 @@
 use crate::model::SymbolicModel;
 use crate::witness::NamedState;
 use cmc_bdd::stats::ResourceReport;
-use cmc_bdd::Bdd;
+use cmc_bdd::{Bdd, RootId};
 use cmc_ctl::{Formula, Restriction};
 use std::fmt;
 use std::time::Instant;
@@ -77,58 +77,125 @@ impl SymbolicModel {
         })
     }
 
-    /// Least fixpoint `E[S1 U S2]`.
+    /// Least fixpoint `E[S1 U S2]`, computed frontier-seeded: each round
+    /// only takes predecessors of the states added in the previous round
+    /// (`pre` distributes over union, so accumulating `S1 ∧ EX frontier`
+    /// reaches the same fixpoint as re-imaging the whole set). Every
+    /// operand lives in the root registry, so the maintenance run between
+    /// iterations can collect or rehost freely.
     pub fn until_exists(&mut self, s1: Bdd, s2: Bdd) -> Bdd {
-        let mut z = s2;
+        let rs1 = self.mgr().protect(s1);
+        let total = self.mgr().protect(s2);
+        let front = self.mgr().protect(s2);
         loop {
-            let pre = self.pre_exists(z);
-            let step0 = self.mgr().and(s1, pre);
-            let step = self.mgr().or(step0, s2);
-            if step == z {
-                return z;
+            self.maybe_maintain();
+            let frontier = self.mgr().root(front);
+            if frontier.is_false() {
+                break;
             }
-            z = step;
+            let pre = self.pre_exists(frontier);
+            let s1b = self.mgr().root(rs1);
+            let step = self.mgr().and(s1b, pre);
+            let z = self.mgr().root(total);
+            let fresh = self.mgr().diff(step, z);
+            let z = self.mgr().or(z, fresh);
+            self.mgr().set_root(total, z);
+            self.mgr().set_root(front, fresh);
         }
+        let out = self.mgr().root(total);
+        self.mgr().unprotect(rs1);
+        self.mgr().unprotect(total);
+        self.mgr().unprotect(front);
+        out
     }
 
-    /// Greatest fixpoint `EG S` (unfair).
+    /// Greatest fixpoint `EG S` (unfair). Greatest fixpoints shrink, so
+    /// there is no frontier to seed — but the iterate is rooted and
+    /// maintenance still runs between rounds.
     pub fn global_exists(&mut self, s: Bdd) -> Bdd {
-        let mut z = s;
+        let rs = self.mgr().protect(s);
+        let rz = self.mgr().protect(s);
         loop {
+            self.maybe_maintain();
+            let z = self.mgr().root(rz);
             let pre = self.pre_exists(z);
-            let step = self.mgr().and(s, pre);
+            let sb = self.mgr().root(rs);
+            let step = self.mgr().and(sb, pre);
             if step == z {
-                return z;
+                break;
             }
-            z = step;
+            self.mgr().set_root(rz, step);
         }
+        let out = self.mgr().root(rz);
+        self.mgr().unprotect(rs);
+        self.mgr().unprotect(rz);
+        out
     }
 
     /// Emerson–Lei fair `EG`: `νZ. S ∧ ⋀ᵢ EX (E[S U (Z ∧ Fᵢ)])`.
+    ///
+    /// The inner [`SymbolicModel::until_exists`] calls hit maintenance
+    /// points, so every value carried around the loop (`S`, `Z`, the
+    /// fairness sets, the partial conjunction) is re-read from its root
+    /// after each one.
     pub fn global_exists_fair(&mut self, s: Bdd, fair_sets: &[Bdd]) -> Bdd {
         if fair_sets.is_empty() {
             return self.global_exists(s);
         }
-        let mut z = s;
+        let rs = self.mgr().protect(s);
+        let rfairs: Vec<RootId> = fair_sets.iter().map(|&f| self.mgr().protect(f)).collect();
+        let rz = self.mgr().protect(s);
         loop {
-            let mut step = Bdd::TRUE;
-            for &fi in fair_sets {
+            self.maybe_maintain();
+            let rstep = self.mgr().protect(Bdd::TRUE);
+            for &rfi in &rfairs {
+                let z = self.mgr().root(rz);
+                let fi = self.mgr().root(rfi);
                 let target = self.mgr().and(z, fi);
-                let reach = self.until_exists(s, target);
+                let sb = self.mgr().root(rs);
+                let reach = self.until_exists(sb, target);
                 let pre = self.pre_exists(reach);
-                step = self.mgr().and(step, pre);
+                let acc = self.mgr().root(rstep);
+                let acc = self.mgr().and(acc, pre);
+                self.mgr().set_root(rstep, acc);
             }
-            step = self.mgr().and(step, s);
+            let sb = self.mgr().root(rs);
+            let acc = self.mgr().root(rstep);
+            let step = self.mgr().and(acc, sb);
+            self.mgr().unprotect(rstep);
+            let z = self.mgr().root(rz);
             if step == z {
-                return z;
+                break;
             }
-            z = step;
+            self.mgr().set_root(rz, step);
         }
+        let out = self.mgr().root(rz);
+        self.mgr().unprotect(rs);
+        for r in rfairs {
+            self.mgr().unprotect(r);
+        }
+        self.mgr().unprotect(rz);
+        out
     }
 
-    /// States with at least one fair path.
+    /// States with at least one fair path, memoised per fairness-set list.
+    ///
+    /// `sat_under` recomputes the fairness sets for every nested call, but
+    /// hash-consing makes the recomputed BDDs hit identical node ids while
+    /// no GC has intervened — so a raw-id memo is exact. The memo is keyed
+    /// on the node ids and cleared on every epoch bump (GC or rehost), so
+    /// it can never serve a stale id.
     pub fn fair_states(&mut self, fair_sets: &[Bdd]) -> Bdd {
-        self.global_exists_fair(Bdd::TRUE, fair_sets)
+        let key: Vec<u32> = fair_sets.iter().map(|f| f.raw()).collect();
+        if let Some(hit) = self.fair_memo_get(&key) {
+            return hit;
+        }
+        let epoch = self.maintenance_epoch();
+        let result = self.global_exists_fair(Bdd::TRUE, fair_sets);
+        // Only memoise if no maintenance ran mid-computation (the key's
+        // ids would otherwise be stale).
+        self.fair_memo_put(key, result, epoch);
+        result
     }
 
     /// Satisfaction set of `f` with path quantifiers over all paths.
@@ -139,22 +206,88 @@ impl SymbolicModel {
     /// Satisfaction set of `f` with path quantifiers over fair paths
     /// (fairness given as CTL formulas, as in a restriction `r = (I, F)`).
     pub fn sat_under(&mut self, f: &Formula, fairness: &[Formula]) -> Result<Bdd, SymbolicError> {
-        let mut fair_sets = Vec::new();
+        let mut fair_roots: Vec<RootId> = Vec::new();
+        let mut err = None;
         for c in fairness {
             if *c == Formula::True {
                 continue;
             }
-            fair_sets.push(self.sat_under(c, &[])?);
+            match self.sat_under(c, &[]) {
+                Ok(s) => fair_roots.push(self.mgr().protect(s)),
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
         }
-        let fair = if fair_sets.is_empty() {
-            Bdd::TRUE
-        } else {
-            self.fair_states(&fair_sets)
+        let result = match err {
+            Some(e) => Err(e),
+            None => self.sat_with_fair_roots(f, &fair_roots),
         };
-        self.sat_rec(f, &fair_sets, fair)
+        for r in fair_roots {
+            self.mgr().unprotect(r);
+        }
+        result
     }
 
-    fn sat_rec(&mut self, f: &Formula, fair_sets: &[Bdd], fair: Bdd) -> Result<Bdd, SymbolicError> {
+    /// `sat_rec` entry point once the fairness sets are protected:
+    /// computes (or memo-reads) the fair-state set, roots it, and recurses.
+    fn sat_with_fair_roots(
+        &mut self,
+        f: &Formula,
+        fair_roots: &[RootId],
+    ) -> Result<Bdd, SymbolicError> {
+        let fair = if fair_roots.is_empty() {
+            Bdd::TRUE
+        } else {
+            let fs = self.resolve_fair(fair_roots);
+            self.fair_states(&fs)
+        };
+        let rfair = self.mgr().protect(fair);
+        let result = self.sat_rec(f, fair_roots, rfair);
+        self.mgr().unprotect(rfair);
+        result
+    }
+
+    fn resolve_fair(&self, roots: &[RootId]) -> Vec<Bdd> {
+        roots.iter().map(|&r| self.mgr_ref().root(r)).collect()
+    }
+
+    /// Recurse into both operands of a binary connective, keeping the
+    /// first result protected while the second (which may run fixpoints,
+    /// and therefore maintenance) computes.
+    fn sat_pair(
+        &mut self,
+        a: &Formula,
+        b: &Formula,
+        fair_sets: &[RootId],
+        fair: RootId,
+    ) -> Result<(Bdd, Bdd), SymbolicError> {
+        let sa = self.sat_rec(a, fair_sets, fair)?;
+        let ra = self.mgr().protect(sa);
+        let sb = match self.sat_rec(b, fair_sets, fair) {
+            Ok(sb) => sb,
+            Err(e) => {
+                self.mgr().unprotect(ra);
+                return Err(e);
+            }
+        };
+        let sa = self.mgr().root(ra);
+        self.mgr().unprotect(ra);
+        Ok((sa, sb))
+    }
+
+    /// The recursion works over [`RootId`]s for the fairness sets and the
+    /// fair-state set: subformula evaluation runs fixpoints, fixpoints run
+    /// maintenance, and maintenance invalidates plain [`Bdd`] handles.
+    /// Values produced *between* maintenance points (the `and`/`not`
+    /// plumbing below) are safe to hold as plain handles.
+    fn sat_rec(
+        &mut self,
+        f: &Formula,
+        fair_sets: &[RootId],
+        fair: RootId,
+    ) -> Result<Bdd, SymbolicError> {
         use Formula::*;
         Ok(match f {
             True => Bdd::TRUE,
@@ -165,83 +298,86 @@ impl SymbolicModel {
                 self.mgr().not(b)
             }
             And(a, b) => {
-                let (x, y) = (
-                    self.sat_rec(a, fair_sets, fair)?,
-                    self.sat_rec(b, fair_sets, fair)?,
-                );
+                let (x, y) = self.sat_pair(a, b, fair_sets, fair)?;
                 self.mgr().and(x, y)
             }
             Or(a, b) => {
-                let (x, y) = (
-                    self.sat_rec(a, fair_sets, fair)?,
-                    self.sat_rec(b, fair_sets, fair)?,
-                );
+                let (x, y) = self.sat_pair(a, b, fair_sets, fair)?;
                 self.mgr().or(x, y)
             }
             Implies(a, b) => {
-                let (x, y) = (
-                    self.sat_rec(a, fair_sets, fair)?,
-                    self.sat_rec(b, fair_sets, fair)?,
-                );
+                let (x, y) = self.sat_pair(a, b, fair_sets, fair)?;
                 self.mgr().implies(x, y)
             }
             Iff(a, b) => {
-                let (x, y) = (
-                    self.sat_rec(a, fair_sets, fair)?,
-                    self.sat_rec(b, fair_sets, fair)?,
-                );
+                let (x, y) = self.sat_pair(a, b, fair_sets, fair)?;
                 self.mgr().iff(x, y)
             }
             Ex(g) => {
                 let sg = self.sat_rec(g, fair_sets, fair)?;
-                let target = self.mgr().and(sg, fair);
+                let fair_b = self.mgr().root(fair);
+                let target = self.mgr().and(sg, fair_b);
                 self.pre_exists(target)
             }
             Ax(g) => {
                 let sg = self.sat_rec(g, fair_sets, fair)?;
                 let ng = self.mgr().not(sg);
-                let target = self.mgr().and(ng, fair);
+                let fair_b = self.mgr().root(fair);
+                let target = self.mgr().and(ng, fair_b);
                 let pre = self.pre_exists(target);
                 self.mgr().not(pre)
             }
             Ef(g) => {
                 let sg = self.sat_rec(g, fair_sets, fair)?;
-                let target = self.mgr().and(sg, fair);
+                let fair_b = self.mgr().root(fair);
+                let target = self.mgr().and(sg, fair_b);
                 self.until_exists(Bdd::TRUE, target)
             }
             Af(g) => {
                 let sg = self.sat_rec(g, fair_sets, fair)?;
                 let ng = self.mgr().not(sg);
-                let eg = self.global_exists_fair(ng, fair_sets);
+                let fairs = self.resolve_fair(fair_sets);
+                let eg = self.global_exists_fair(ng, &fairs);
                 self.mgr().not(eg)
             }
             Eg(g) => {
                 let sg = self.sat_rec(g, fair_sets, fair)?;
-                self.global_exists_fair(sg, fair_sets)
+                let fairs = self.resolve_fair(fair_sets);
+                self.global_exists_fair(sg, &fairs)
             }
             Ag(g) => {
                 let sg = self.sat_rec(g, fair_sets, fair)?;
                 let ng = self.mgr().not(sg);
-                let target = self.mgr().and(ng, fair);
+                let fair_b = self.mgr().root(fair);
+                let target = self.mgr().and(ng, fair_b);
                 let ef = self.until_exists(Bdd::TRUE, target);
                 self.mgr().not(ef)
             }
             Eu(a, b) => {
-                let sa = self.sat_rec(a, fair_sets, fair)?;
-                let sb = self.sat_rec(b, fair_sets, fair)?;
-                let target = self.mgr().and(sb, fair);
+                let (sa, sb) = self.sat_pair(a, b, fair_sets, fair)?;
+                let fair_b = self.mgr().root(fair);
+                let target = self.mgr().and(sb, fair_b);
                 self.until_exists(sa, target)
             }
             Au(a, b) => {
-                // ¬( E[¬b U (¬a ∧ ¬b)] ∨ EG ¬b )
-                let sa = self.sat_rec(a, fair_sets, fair)?;
-                let sb = self.sat_rec(b, fair_sets, fair)?;
+                // ¬( E[¬b U (¬a ∧ ¬b)] ∨ EG ¬b ); ¬b is needed on both
+                // sides of the disjunction, and `left` must survive the
+                // second fixpoint, so both ride in the registry.
+                let (sa, sb) = self.sat_pair(a, b, fair_sets, fair)?;
                 let na = self.mgr().not(sa);
                 let nb = self.mgr().not(sb);
                 let nanb = self.mgr().and(na, nb);
-                let target = self.mgr().and(nanb, fair);
+                let fair_b = self.mgr().root(fair);
+                let target = self.mgr().and(nanb, fair_b);
+                let rnb = self.mgr().protect(nb);
                 let left = self.until_exists(nb, target);
-                let right = self.global_exists_fair(nb, fair_sets);
+                let rleft = self.mgr().protect(left);
+                let nb = self.mgr().root(rnb);
+                self.mgr().unprotect(rnb);
+                let fairs = self.resolve_fair(fair_sets);
+                let right = self.global_exists_fair(nb, &fairs);
+                let left = self.mgr().root(rleft);
+                self.mgr().unprotect(rleft);
                 let bad = self.mgr().or(left, right);
                 self.mgr().not(bad)
             }
@@ -258,20 +394,41 @@ impl SymbolicModel {
     ) -> Result<SymbolicVerdict, SymbolicError> {
         let mut fairness: Vec<Formula> = r.fairness.clone();
         // Model-level fairness constraints (added as BDDs) participate too.
-        let model_fair = self.fairness().to_vec();
-        let sat = if model_fair.is_empty() {
+        // Their roots are owned by the model — borrowed here, never
+        // unprotected; only the roots for formula-level sets are temporary.
+        let model_fair_roots = self.fairness_root_ids();
+        let sat = if model_fair_roots.is_empty() {
             self.sat_under(f, &fairness)?
         } else {
             // Mix formula-level and BDD-level fairness.
-            let mut fair_sets: Vec<Bdd> = model_fair;
+            let mut fair_roots = model_fair_roots;
             fairness.retain(|c| *c != Formula::True);
+            let mut temp = Vec::new();
+            let mut err = None;
             for c in &fairness {
-                let s = self.sat_under(c, &[])?;
-                fair_sets.push(s);
+                match self.sat_under(c, &[]) {
+                    Ok(s) => {
+                        let root = self.mgr().protect(s);
+                        fair_roots.push(root);
+                        temp.push(root);
+                    }
+                    Err(e) => {
+                        err = Some(e);
+                        break;
+                    }
+                }
             }
-            let fair = self.fair_states(&fair_sets);
-            self.sat_rec(f, &fair_sets, fair)?
+            let result = match err {
+                Some(e) => Err(e),
+                None => self.sat_with_fair_roots(f, &fair_roots),
+            };
+            for t in temp {
+                self.mgr().unprotect(t);
+            }
+            result?
         };
+        // Everything below is maintenance-free (propositional ops and
+        // witness extraction only), so plain handles are safe to hold.
         let init_r = self.prop_to_bdd(&r.init)?;
         let model_init = self.init();
         let init = self.mgr().and(init_r, model_init);
@@ -308,7 +465,7 @@ impl SymbolicModel {
             results.push((name.to_string(), v.holds));
         }
         let user_time = start.elapsed();
-        let parts = self.trans_parts().to_vec();
+        let parts = self.trans_parts();
         let trans_nodes = self.mgr_ref().node_count_many(&parts);
         let init = self.init();
         let aux_nodes = self.mgr_ref().node_count(init) + self.num_state_vars();
@@ -445,6 +602,62 @@ mod tests {
             let s = symbolic.holds_everywhere(&f).unwrap();
             assert_eq!(e, s, "engines disagree on {text}");
         }
+    }
+
+    /// The adversarial maintenance schedule — collect at *every* safe
+    /// point, rehost every third collection — must not change a single
+    /// verdict, and must actually run collections.
+    #[test]
+    fn forced_maintenance_preserves_verdicts() {
+        use crate::model::MaintenanceConfig;
+        let corpus = [
+            "EF (b0 & b1)",
+            "AF b0",
+            "EG !b1",
+            "AG (b0 -> EX b1)",
+            "A [!b1 U b1]",
+            "E [!b1 U b1]",
+            "AG (b0 & b1 -> AX (b0 | !b1))",
+        ];
+        let fair = [parse("b0 & b1").unwrap()];
+        for text in corpus {
+            let f = parse(text).unwrap();
+            for fairness in [&[][..], &fair[..]] {
+                let r = Restriction::new(Formula::True, fairness.to_vec());
+                let mut plain = counter();
+                plain.set_maintenance(MaintenanceConfig::disabled());
+                let mut forced = counter();
+                forced.set_maintenance(MaintenanceConfig::forced_every(1));
+                let a = plain.check(&r, &f).unwrap().holds;
+                let b = forced.check(&r, &f).unwrap().holds;
+                assert_eq!(a, b, "maintenance changed the verdict on {text}");
+                assert!(
+                    forced.mgr_ref().stats().gc_runs > 0,
+                    "forced schedule never collected on {text}"
+                );
+            }
+        }
+    }
+
+    /// The `fair_states` memo returns the identical diagram on a repeat
+    /// query, is invalidated by collection (its keys are raw node ids),
+    /// and the recomputed answer after a GC is semantically unchanged.
+    #[test]
+    fn fair_states_memo_is_exact_and_gc_safe() {
+        let mut m = counter();
+        let goal = m.prop_to_bdd(&parse("b0 & b1").unwrap()).unwrap();
+        let f1 = m.fair_states(&[goal]);
+        let count = m.mgr_ref().sat_count(f1, 4);
+        let f2 = m.fair_states(&[goal]);
+        assert_eq!(f1, f2, "memo hit must return the identical node");
+        m.gc_now(); // clears the memo; node ids are remapped
+        let goal = m.prop_to_bdd(&parse("b0 & b1").unwrap()).unwrap();
+        let f3 = m.fair_states(&[goal]);
+        assert_eq!(
+            m.mgr_ref().sat_count(f3, 4),
+            count,
+            "fair-state set changed across a collection"
+        );
     }
 
     /// Cross-validation under fairness.

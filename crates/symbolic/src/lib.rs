@@ -13,6 +13,11 @@
 //! quantifies over *all* states satisfying `I`, over `F`-fair paths — and
 //! the two engines are cross-validated in the test-suites.
 //!
+//! Long-running checks stay memory-bounded: every long-lived BDD is held
+//! in the manager's root registry, fixpoints are frontier-seeded and run
+//! garbage collection (and, when profitable, reorder-based rehosting) at
+//! iteration boundaries, governed by a [`MaintenanceConfig`].
+//!
 //! ## Example
 //!
 //! ```
@@ -37,5 +42,5 @@ pub mod model;
 pub mod witness;
 
 pub use checker::{SymbolicError, SymbolicVerdict};
-pub use model::{StateVar, SymbolicModel};
+pub use model::{MaintenanceConfig, MaintenanceMode, StateVar, SymbolicModel};
 pub use witness::{NamedState, Trace};

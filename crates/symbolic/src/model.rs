@@ -1,6 +1,6 @@
 //! Symbolic transition systems over interleaved current/next BDD frames.
 
-use cmc_bdd::{Bdd, BddManager, Var};
+use cmc_bdd::{Bdd, BddManager, GcStats, RootId, Var};
 use cmc_kripke::System;
 use std::collections::BTreeMap;
 
@@ -18,6 +18,68 @@ pub struct StateVar {
     pub next: Var,
 }
 
+/// When the model runs BDD maintenance (GC, and rehosting reorders).
+///
+/// Maintenance only ever happens at fixpoint iteration boundaries — the
+/// model's *safe points*, where every live diagram is registered in the
+/// manager's root registry. Recursive BDD operations are never interrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenanceMode {
+    /// Collect when the manager says it's due (arena crossed the adaptive
+    /// threshold); rehost if the post-GC live set is still large.
+    Auto,
+    /// Never collect (the seed behaviour: an append-only arena).
+    Disabled,
+    /// Collect at every `k`-th safe point regardless of arena size, with a
+    /// rehosting reorder every third forced collection — for tests that
+    /// must prove maintenance preserves verdicts.
+    ForcedEvery(u32),
+}
+
+/// Maintenance policy knobs for a [`SymbolicModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaintenanceConfig {
+    /// Trigger discipline.
+    pub mode: MaintenanceMode,
+    /// Arena size (nodes) that makes an [`MaintenanceMode::Auto`] GC due.
+    pub gc_threshold: usize,
+    /// Post-GC live size that additionally triggers a sift + rehost.
+    pub rehost_threshold: usize,
+    /// Sifting passes per rehost (each pass is a full block sweep).
+    pub sift_passes: usize,
+}
+
+impl Default for MaintenanceConfig {
+    fn default() -> Self {
+        MaintenanceConfig {
+            mode: MaintenanceMode::Auto,
+            gc_threshold: BddManager::DEFAULT_GC_THRESHOLD,
+            rehost_threshold: 1 << 18,
+            sift_passes: 1,
+        }
+    }
+}
+
+impl MaintenanceConfig {
+    /// The seed behaviour: never collect, never rehost.
+    pub fn disabled() -> Self {
+        MaintenanceConfig {
+            mode: MaintenanceMode::Disabled,
+            ..Self::default()
+        }
+    }
+
+    /// Collect at every `k`-th safe point (rehost every third collection),
+    /// however small the arena — the adversarial schedule for conformance
+    /// tests.
+    pub fn forced_every(k: u32) -> Self {
+        MaintenanceConfig {
+            mode: MaintenanceMode::ForcedEvery(k),
+            ..Self::default()
+        }
+    }
+}
+
 /// A symbolic finite-state system: initial states, a transition relation in
 /// **disjunctive** partitions (interleaving composition is a union of
 /// per-component moves), fairness constraints, and a map of named
@@ -25,24 +87,37 @@ pub struct StateVar {
 ///
 /// The transition relation always contains the identity (stutter) relation,
 /// mirroring the paper's standing assumption that `R` is reflexive.
+///
+/// Every long-lived BDD (partitions, props, cubes, init, fairness) is held
+/// as a [`RootId`] into the manager's registry, so garbage collection and
+/// rehosting at the model's safe points can never invalidate them.
 pub struct SymbolicModel {
     mgr: BddManager,
     vars: Vec<StateVar>,
     /// Named propositions over current-state variables. For a boolean
     /// variable this is its literal; front-ends (cmc-smv) also register
     /// encoded atoms like `belief=valid`.
-    props: BTreeMap<String, Bdd>,
+    props: BTreeMap<String, RootId>,
     /// Disjunctive partitions of the transition relation (already including
     /// frame conditions over foreign variables).
-    trans_parts: Vec<Bdd>,
+    trans_parts: Vec<RootId>,
     /// Initial-state predicate over current variables.
-    init: Bdd,
+    init: RootId,
     /// Fairness constraints over current variables.
-    fairness: Vec<Bdd>,
-    cur_cube: Bdd,
-    next_cube: Bdd,
+    fairness: Vec<RootId>,
+    cur_cube: RootId,
+    next_cube: RootId,
     cur_to_next: Vec<(Var, Var)>,
     next_to_cur: Vec<(Var, Var)>,
+    maintenance: MaintenanceConfig,
+    /// Safe points visited (drives [`MaintenanceMode::ForcedEvery`]).
+    maint_ticks: u64,
+    /// Bumped on every GC/rehost; anything keyed on node ids (the
+    /// `fair_states` memo) is only valid within one epoch.
+    epoch: u64,
+    /// Memoised `fair_states` results: (fair-set node ids, result).
+    /// Cleared on every epoch bump, so stored ids are never stale.
+    fair_memo: Vec<(Vec<u32>, Bdd)>,
 }
 
 impl SymbolicModel {
@@ -55,8 +130,9 @@ impl SymbolicModel {
             let cur = mgr.new_var();
             let next = mgr.new_var();
             let lit = mgr.var(cur);
+            let root = mgr.protect(lit);
             assert!(
-                props.insert(name.clone(), lit).is_none(),
+                props.insert(name.clone(), root).is_none(),
                 "duplicate state variable {name:?}"
             );
             vars.push(StateVar { name, cur, next });
@@ -64,7 +140,10 @@ impl SymbolicModel {
         let cur_vars: Vec<Var> = vars.iter().map(|v| v.cur).collect();
         let next_vars: Vec<Var> = vars.iter().map(|v| v.next).collect();
         let cur_cube = mgr.cube(&cur_vars);
+        let cur_cube = mgr.protect(cur_cube);
         let next_cube = mgr.cube(&next_vars);
+        let next_cube = mgr.protect(next_cube);
+        let init = mgr.protect(Bdd::TRUE);
         let cur_to_next: Vec<(Var, Var)> = vars.iter().map(|v| (v.cur, v.next)).collect();
         let next_to_cur: Vec<(Var, Var)> = vars.iter().map(|v| (v.next, v.cur)).collect();
         SymbolicModel {
@@ -72,12 +151,16 @@ impl SymbolicModel {
             vars,
             props,
             trans_parts: Vec::new(),
-            init: Bdd::TRUE,
+            init,
             fairness: Vec::new(),
             cur_cube,
             next_cube,
             cur_to_next,
             next_to_cur,
+            maintenance: MaintenanceConfig::default(),
+            maint_ticks: 0,
+            epoch: 0,
+            fair_memo: Vec::new(),
         }
     }
 
@@ -108,12 +191,19 @@ impl SymbolicModel {
 
     /// Register a named proposition (over current-state variables).
     pub fn define_prop(&mut self, name: impl Into<String>, bdd: Bdd) {
-        self.props.insert(name.into(), bdd);
+        let name = name.into();
+        match self.props.get(&name) {
+            Some(&root) => self.mgr.set_root(root, bdd),
+            None => {
+                let root = self.mgr.protect(bdd);
+                self.props.insert(name, root);
+            }
+        }
     }
 
     /// Look up a named proposition.
     pub fn prop(&self, name: &str) -> Option<Bdd> {
-        self.props.get(name).copied()
+        self.props.get(name).map(|&r| self.mgr.root(r))
     }
 
     /// All registered proposition names.
@@ -125,37 +215,152 @@ impl SymbolicModel {
     /// relation over current ∪ next variables and should already contain
     /// its frame conditions.
     pub fn add_trans_part(&mut self, part: Bdd) {
-        self.trans_parts.push(part);
+        let root = self.mgr.protect(part);
+        self.trans_parts.push(root);
     }
 
     /// Set the initial-state predicate.
     pub fn set_init(&mut self, init: Bdd) {
-        self.init = init;
+        self.mgr.set_root(self.init, init);
     }
 
     /// The initial-state predicate.
     pub fn init(&self) -> Bdd {
-        self.init
+        self.mgr.root(self.init)
     }
 
     /// Add a fairness constraint (predicate over current variables that
     /// must hold infinitely often along fair paths).
     pub fn add_fairness(&mut self, constraint: Bdd) {
-        self.fairness.push(constraint);
+        let root = self.mgr.protect(constraint);
+        self.fairness.push(root);
     }
 
     /// The fairness constraints.
-    pub fn fairness(&self) -> &[Bdd] {
-        &self.fairness
+    pub fn fairness(&self) -> Vec<Bdd> {
+        self.resolve(&self.fairness)
+    }
+
+    /// Root handles of the model-level fairness constraints (already
+    /// protected; callers must **not** unprotect them).
+    pub(crate) fn fairness_root_ids(&self) -> Vec<RootId> {
+        self.fairness.clone()
+    }
+
+    fn resolve(&self, roots: &[RootId]) -> Vec<Bdd> {
+        roots.iter().map(|&r| self.mgr.root(r)).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance
+    // ------------------------------------------------------------------
+
+    /// Install a maintenance policy (also applies its GC threshold to the
+    /// manager).
+    pub fn set_maintenance(&mut self, cfg: MaintenanceConfig) {
+        self.mgr.set_gc_threshold(cfg.gc_threshold);
+        self.maintenance = cfg;
+    }
+
+    /// The active maintenance policy.
+    pub fn maintenance(&self) -> &MaintenanceConfig {
+        &self.maintenance
+    }
+
+    /// Epoch counter: bumped by every GC and rehost. Any value derived
+    /// from raw node ids is only comparable within one epoch.
+    pub fn maintenance_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Collect now, regardless of policy. All [`RootId`]-held state
+    /// survives; unregistered handles are invalidated.
+    pub fn gc_now(&mut self) -> GcStats {
+        let stats = self.mgr.gc();
+        self.fair_memo.clear();
+        self.epoch += 1;
+        stats
+    }
+
+    /// Sift (pair-grouped, so current/next interleaving is preserved) and
+    /// rebuild the manager under the improved order, transplanting the
+    /// root registry. All [`RootId`]s stay valid; `StateVar` identities
+    /// and the frame-rename maps are updated to the new positions.
+    pub fn rehost_now(&mut self) {
+        if self.vars.is_empty() {
+            return;
+        }
+        let roots = self.mgr.protected_roots();
+        // Block width 2 moves each (curᵢ, nextᵢ) pair as a unit, keeping
+        // every cur↔next rename map order-preserving.
+        let order = self
+            .mgr
+            .sift_order_grouped(&roots, 2, self.maintenance.sift_passes);
+        self.mgr = self.mgr.rebuild_rooted_with_order(&order);
+        // Old variable order[i] now sits at position i.
+        let mut pos = vec![0u32; order.len()];
+        for (i, v) in order.iter().enumerate() {
+            pos[v.index()] = i as u32;
+        }
+        for sv in &mut self.vars {
+            sv.cur = Var(pos[sv.cur.index()]);
+            sv.next = Var(pos[sv.next.index()]);
+        }
+        self.cur_to_next = self.vars.iter().map(|v| (v.cur, v.next)).collect();
+        self.next_to_cur = self.vars.iter().map(|v| (v.next, v.cur)).collect();
+        self.fair_memo.clear();
+        self.epoch += 1;
+    }
+
+    /// One safe point: run whatever maintenance the policy calls for.
+    /// Called by every fixpoint loop between iterations, when the live set
+    /// is exactly the registered roots.
+    pub fn maybe_maintain(&mut self) {
+        match self.maintenance.mode {
+            MaintenanceMode::Disabled => {}
+            MaintenanceMode::Auto => {
+                if self.mgr.gc_due() {
+                    let gc = self.gc_now();
+                    if gc.live_nodes >= self.maintenance.rehost_threshold {
+                        self.rehost_now();
+                    }
+                }
+            }
+            MaintenanceMode::ForcedEvery(k) => {
+                if k == 0 {
+                    return;
+                }
+                self.maint_ticks += 1;
+                if self.maint_ticks.is_multiple_of(u64::from(k)) {
+                    self.gc_now();
+                    if (self.maint_ticks / u64::from(k)).is_multiple_of(3) {
+                        self.rehost_now();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Look up a memoised `fair_states` result (valid: the memo is cleared
+    /// on every epoch bump, so stored ids are never stale).
+    pub(crate) fn fair_memo_get(&self, key: &[u32]) -> Option<Bdd> {
+        self.fair_memo
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+    }
+
+    /// Store a `fair_states` result computed entirely within `epoch`.
+    pub(crate) fn fair_memo_put(&mut self, key: Vec<u32>, value: Bdd, epoch: u64) {
+        if self.epoch == epoch {
+            self.fair_memo.push((key, value));
+        }
     }
 
     /// The identity (stutter) relation `⋀ᵥ v' = v`.
     pub fn identity_relation(&mut self) -> Bdd {
-        let pairs: Vec<(Bdd, Bdd)> = self
-            .vars
-            .iter()
-            .map(|v| (v.cur, v.next))
-            .collect::<Vec<_>>()
+        let pairs: Vec<(Var, Var)> = self.vars.iter().map(|v| (v.cur, v.next)).collect();
+        let lit_pairs: Vec<(Bdd, Bdd)> = pairs
             .into_iter()
             .map(|(c, n)| {
                 let cb = self.mgr.var(c);
@@ -163,7 +368,7 @@ impl SymbolicModel {
                 (cb, nb)
             })
             .collect();
-        self.mgr.pairwise_iff(&pairs)
+        self.mgr.pairwise_iff(&lit_pairs)
     }
 
     /// Frame condition `⋀_{v ∈ names} v' = v` for the given variables.
@@ -193,7 +398,7 @@ impl SymbolicModel {
     pub fn full_trans(&mut self) -> Bdd {
         let id = self.identity_relation();
         let mut acc = id;
-        let parts = self.trans_parts.clone();
+        let parts = self.trans_parts();
         for p in parts {
             acc = self.mgr.or(acc, p);
         }
@@ -201,8 +406,8 @@ impl SymbolicModel {
     }
 
     /// Transition partitions (without the implicit identity).
-    pub fn trans_parts(&self) -> &[Bdd] {
-        &self.trans_parts
+    pub fn trans_parts(&self) -> Vec<Bdd> {
+        self.resolve(&self.trans_parts)
     }
 
     /// `EX S` — predecessors of `S` under the transition relation
@@ -213,10 +418,11 @@ impl SymbolicModel {
     /// relation.
     pub fn pre_exists(&mut self, s: Bdd) -> Bdd {
         let s_next = self.mgr.rename(s, &self.cur_to_next);
+        let next_cube = self.next_cube();
         let mut acc = s; // identity partition: S itself
-        let parts = self.trans_parts.clone();
+        let parts = self.trans_parts();
         for t in parts {
-            let img = self.mgr.and_exists(t, s_next, self.next_cube);
+            let img = self.mgr.and_exists(t, s_next, next_cube);
             acc = self.mgr.or(acc, img);
         }
         acc
@@ -230,41 +436,57 @@ impl SymbolicModel {
     pub fn pre_exists_monolithic(&mut self, s: Bdd) -> Bdd {
         let trans = self.full_trans();
         let s_next = self.mgr.rename(s, &self.cur_to_next);
-        self.mgr.and_exists(trans, s_next, self.next_cube)
+        let next_cube = self.next_cube();
+        self.mgr.and_exists(trans, s_next, next_cube)
     }
 
     /// Forward image: successors of `S` under the transition relation.
     pub fn post_exists(&mut self, s: Bdd) -> Bdd {
+        let cur_cube = self.cur_cube();
         let mut acc = s; // identity partition
-        let parts = self.trans_parts.clone();
+        let parts = self.trans_parts();
         for t in parts {
-            let img_next = self.mgr.and_exists(t, s, self.cur_cube);
+            let img_next = self.mgr.and_exists(t, s, cur_cube);
             let img = self.mgr.rename(img_next, &self.next_to_cur);
             acc = self.mgr.or(acc, img);
         }
         acc
     }
 
-    /// States reachable from `init` (forward fixpoint).
+    /// States reachable from `init` — a frontier-seeded forward fixpoint:
+    /// each round images only the states discovered in the previous round,
+    /// not the whole accumulated set. Runs maintenance between rounds.
     pub fn reachable(&mut self) -> Bdd {
-        let mut r = self.init;
+        let init = self.init();
+        let total = self.mgr.protect(init);
+        let front = self.mgr.protect(init);
         loop {
-            let next = self.post_exists(r);
-            if next == r {
-                return r;
+            self.maybe_maintain();
+            let frontier = self.mgr.root(front);
+            if frontier.is_false() {
+                break;
             }
-            r = next;
+            let post = self.post_exists(frontier);
+            let r = self.mgr.root(total);
+            let fresh = self.mgr.diff(post, r);
+            let r = self.mgr.or(r, fresh);
+            self.mgr.set_root(total, r);
+            self.mgr.set_root(front, fresh);
         }
+        let out = self.mgr.root(total);
+        self.mgr.unprotect(total);
+        self.mgr.unprotect(front);
+        out
     }
 
     /// Cube of all current-state variables.
     pub fn cur_cube(&self) -> Bdd {
-        self.cur_cube
+        self.mgr.root(self.cur_cube)
     }
 
     /// Cube of all next-state variables.
     pub fn next_cube(&self) -> Bdd {
-        self.next_cube
+        self.mgr.root(self.next_cube)
     }
 
     /// Rename a predicate over current variables to next variables.
@@ -492,6 +714,61 @@ mod tests {
         let reach = sm.reachable();
         // Reachable: ∅, {a}, {a,b} — 3 of 4 states.
         assert_eq!(sm.mgr_ref().sat_count(reach, 4) / 4.0, 3.0);
+    }
+
+    #[test]
+    fn reachable_agrees_under_forced_maintenance() {
+        let mut sys = System::new(Alphabet::new(["a", "b", "c"]));
+        sys.add_transition_named(&[], &["a"]);
+        sys.add_transition_named(&["a"], &["a", "b"]);
+        sys.add_transition_named(&["a", "b"], &["a", "b", "c"]);
+        let build = |cfg: MaintenanceConfig| {
+            let mut sm = SymbolicModel::from_explicit(&sys);
+            let (a, b) = (sm.prop("a").unwrap(), sm.prop("b").unwrap());
+            let init = {
+                let m = sm.mgr();
+                let na = m.not(a);
+                let nb = m.not(b);
+                m.and(na, nb)
+            };
+            sm.set_init(init);
+            sm.set_maintenance(cfg);
+            let r = sm.reachable();
+            sm.mgr_ref().sat_count(r, 6)
+        };
+        let plain = build(MaintenanceConfig::disabled());
+        let forced = build(MaintenanceConfig::forced_every(1));
+        assert_eq!(plain, forced, "maintenance changed the reachable set");
+    }
+
+    #[test]
+    fn gc_now_preserves_registered_state() {
+        let sys = toggle_system();
+        let mut sm = SymbolicModel::from_explicit(&sys);
+        let epoch0 = sm.maintenance_epoch();
+        let before_parts = sm.trans_parts().len();
+        sm.gc_now();
+        assert_eq!(sm.maintenance_epoch(), epoch0 + 1);
+        assert_eq!(sm.trans_parts().len(), before_parts);
+        // Everything registered still works: the model round-trips.
+        let back = sm.to_explicit();
+        assert!(sys.equivalent(&back));
+        assert!(sm.prop("x").is_some());
+        assert!(sm.mgr_ref().is_cube(sm.cur_cube()));
+    }
+
+    #[test]
+    fn rehost_now_preserves_model_semantics() {
+        let sys = toggle_system();
+        let mut sm = SymbolicModel::from_explicit(&sys);
+        sm.rehost_now();
+        let back = sm.to_explicit();
+        assert!(sys.equivalent(&back), "rehosting changed the relation");
+        // Frames still rename cleanly after the variable permutation.
+        let x = sm.prop("x").unwrap();
+        let xn = sm.to_next_frame(x);
+        let x2 = sm.to_cur_frame(xn);
+        assert_eq!(x, x2);
     }
 
     #[test]

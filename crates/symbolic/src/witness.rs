@@ -211,7 +211,14 @@ impl SymbolicModel {
     /// at least the stutter loop; the walk below prefers proper moves so
     /// the witness shows real protocol steps when they exist.
     pub fn witness_eg(&mut self, from: cmc_bdd::Bdd, f: cmc_bdd::Bdd) -> Option<Trace> {
+        // `global_exists` runs fixpoint maintenance, so `from` must ride
+        // in the root registry across it. The walk below only uses
+        // maintenance-free image operations, so `eg` and the per-step
+        // sets are safe as plain handles.
+        let rfrom = self.mgr().protect(from);
         let eg = self.global_exists(f);
+        let from = self.mgr().root(rfrom);
+        self.mgr().unprotect(rfrom);
         let start_set = self.mgr().and(from, eg);
         let start = self.pick_state(start_set)?;
         let mut order: Vec<Vec<bool>> = vec![start.clone()];

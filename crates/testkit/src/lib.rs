@@ -25,7 +25,10 @@ pub mod reference;
 pub mod validate;
 
 pub use gen::{gen_obligation, GenConfig, Obligation, Stratum};
-pub use oracle::{run_obligation, shrink, Disagreement, OracleOutcome, TripleVerdict};
+pub use oracle::{
+    run_obligation, run_obligation_with, shrink, shrink_with, Disagreement, OracleOutcome,
+    TripleVerdict,
+};
 pub use reference::{RefError, RefEvaluator, REFERENCE_MAX_PROPS};
 pub use validate::{
     replay_store, validate_certificate, validate_stored, validate_verdict, validate_witness,
@@ -89,9 +92,124 @@ pub fn fuzz(seed0: u64, iters: u64, mut progress: impl FnMut(&str)) -> FuzzRepor
     report
 }
 
+/// Report from a `--soak` run: many seeded formulas through **one**
+/// shared symbolic session.
+#[derive(Debug)]
+pub struct SoakReport {
+    /// Formulas checked against the shared model.
+    pub checked: usize,
+    /// High-water mark of live BDD nodes over the whole session.
+    pub peak_live_nodes: usize,
+    /// Live nodes at session end.
+    pub final_live_nodes: usize,
+    /// Cumulative node allocations (monotone across collections).
+    pub nodes_allocated: usize,
+    /// Collections the session ran.
+    pub gc_runs: u64,
+    /// The live-node ceiling the session was held to.
+    pub live_bound: usize,
+}
+
+/// Arena ceiling a soak session must stay under. The maintenance policy
+/// collects at 1/8 of this, so the bound carries generous headroom for
+/// the allocation burst of a single check between safe points; without a
+/// working collector the arena grows linearly with seeds and crosses the
+/// ceiling within a few dozen checks.
+pub const SOAK_LIVE_BOUND: usize = 1 << 15;
+
+/// Run `iters` seeded formulas through one long-lived symbolic session —
+/// a fixed 8-variable coupled-pair model with garbage collection and a
+/// bounded computed table — and fail if the live-node high-water mark
+/// ever crosses [`SOAK_LIVE_BOUND`]. This is the leak check for the
+/// memory kernel: the session's live set must plateau, not grow with the
+/// number of checks.
+pub fn soak(seed0: u64, iters: u64, mut progress: impl FnMut(&str)) -> Result<SoakReport, String> {
+    use cmc_kripke::{Alphabet, System};
+    use cmc_symbolic::{MaintenanceConfig, SymbolicModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const NVARS: usize = 8;
+    let names: Vec<String> = (0..NVARS).map(|i| format!("p{i}")).collect();
+    // Component i cycles its pair (pᵢ, pᵢ₊₁): a ring of coupled 4-cycles,
+    // so formulas over any pair have non-trivial fixpoints.
+    let systems: Vec<System> = (0..NVARS)
+        .map(|i| {
+            let a = names[i].as_str();
+            let b = names[(i + 1) % NVARS].as_str();
+            let mut m = System::new(Alphabet::new([a, b]));
+            m.add_transition_named(&[], &[a]);
+            m.add_transition_named(&[a], &[a, b]);
+            m.add_transition_named(&[a, b], &[b]);
+            m.add_transition_named(&[b], &[]);
+            m
+        })
+        .collect();
+    let refs: Vec<&System> = systems.iter().collect();
+    let mut model = SymbolicModel::from_components(&refs, &Alphabet::empty());
+    model.set_maintenance(MaintenanceConfig {
+        gc_threshold: SOAK_LIVE_BOUND / 8,
+        ..MaintenanceConfig::default()
+    });
+    model.mgr().set_cache_capacity(1 << 14);
+
+    let mut checked = 0usize;
+    for i in 0..iters {
+        let seed = seed0.wrapping_add(i);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let f = gen::gen_formula(&mut rng, &names, 3, Stratum::Free);
+        let r = gen::gen_restriction(&mut rng, &names);
+        model
+            .check(&r, &f)
+            .map_err(|e| format!("seed {seed}: {e}"))?;
+        checked += 1;
+        let stats = model.mgr_ref().stats();
+        if stats.peak_live_nodes > SOAK_LIVE_BOUND {
+            return Err(format!(
+                "seed {seed}: peak live nodes {} crossed the soak bound {} \
+                 (gc runs: {}) — the session is leaking",
+                stats.peak_live_nodes, SOAK_LIVE_BOUND, stats.gc_runs
+            ));
+        }
+        if (i + 1) % 50 == 0 {
+            progress(&format!(
+                "{}/{iters} formulas; live {} / peak {} nodes, {} collections",
+                i + 1,
+                stats.live_nodes,
+                stats.peak_live_nodes,
+                stats.gc_runs
+            ));
+        }
+    }
+    let stats = model.mgr_ref().stats();
+    Ok(SoakReport {
+        checked,
+        peak_live_nodes: stats.peak_live_nodes,
+        final_live_nodes: stats.live_nodes,
+        nodes_allocated: stats.nodes_allocated,
+        gc_runs: stats.gc_runs,
+        live_bound: SOAK_LIVE_BOUND,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn soak_session_stays_bounded() {
+        let report = soak(7, 60, |_| {}).expect("soak session failed");
+        assert_eq!(report.checked, 60);
+        assert!(report.peak_live_nodes <= report.live_bound);
+        assert!(
+            report.gc_runs > 0,
+            "a 60-formula soak should have collected at least once"
+        );
+        assert!(
+            report.nodes_allocated > report.peak_live_nodes,
+            "cumulative allocation should exceed the bounded live peak"
+        );
+    }
 
     #[test]
     fn corpus_parses_and_is_nonempty() {

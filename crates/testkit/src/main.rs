@@ -3,29 +3,37 @@
 //! ```text
 //! cargo run -p cmc-testkit --release -- --seed N --iters K   # fresh seeds
 //! cargo run -p cmc-testkit --release -- --corpus             # regression corpus
+//! cargo run -p cmc-testkit --release -- --soak N             # one shared symbolic session
 //! ```
 //!
 //! Exit status 0 means every obligation ran through the explicit backend,
 //! the symbolic backend, and the reference evaluator in full agreement
 //! with all witnesses replaying; status 1 means a disagreement was found
 //! and a shrunk repro (with its `--seed`) was printed; status 2 is a
-//! usage error.
+//! usage error. `--soak N` instead drives N seeded formulas through one
+//! long-lived symbolic session and fails (status 1) if the BDD live-node
+//! high-water mark ever crosses the soak bound — the leak check for the
+//! memory kernel\'s garbage collector.
 
-use cmc_testkit::{corpus_seeds, fuzz, gen_obligation, run_obligation, GenConfig, OracleOutcome};
+use cmc_testkit::{
+    corpus_seeds, fuzz, gen_obligation, run_obligation, soak, GenConfig, OracleOutcome,
+};
 
 struct Args {
     seed: u64,
     iters: u64,
     corpus: bool,
+    soak: Option<u64>,
 }
 
-const USAGE: &str = "usage: cmc-testkit [--seed N] [--iters K] [--corpus]";
+const USAGE: &str = "usage: cmc-testkit [--seed N] [--iters K] [--corpus] [--soak N]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         seed: 0,
         iters: 200,
         corpus: false,
+        soak: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -39,6 +47,10 @@ fn parse_args() -> Result<Args, String> {
                 args.iters = v.parse().map_err(|_| format!("bad --iters value `{v}`"))?;
             }
             "--corpus" => args.corpus = true,
+            "--soak" => {
+                let v = it.next().ok_or("--soak needs a value")?;
+                args.soak = Some(v.parse().map_err(|_| format!("bad --soak value `{v}`"))?);
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -57,6 +69,29 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if let Some(n) = args.soak {
+        println!(
+            "soaking one shared symbolic session with {n} formulas from seed {}",
+            args.seed
+        );
+        match soak(args.seed, n, |line| println!("{line}")) {
+            Ok(report) => println!(
+                "soak clean: {} formulas; peak live {} nodes (bound {}), \
+                 {} allocated in total, {} collections",
+                report.checked,
+                report.peak_live_nodes,
+                report.live_bound,
+                report.nodes_allocated,
+                report.gc_runs
+            ),
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
 
     if args.corpus {
         let seeds = corpus_seeds();

@@ -96,14 +96,13 @@ fn check_three(
     systems: &[System],
     r: &Restriction,
     f: &Formula,
+    sym: SymbolicBackend,
 ) -> Result<(TripleVerdict, Vec<String>), String> {
     let target = Target::composition(systems.to_vec());
     let explicit = ExplicitBackend::default()
         .check(&target, r, f)
         .map_err(|e: BackendError| e.to_string())?;
-    let symbolic = SymbolicBackend
-        .check(&target, r, f)
-        .map_err(|e| e.to_string())?;
+    let symbolic = sym.check(&target, r, f).map_err(|e| e.to_string())?;
 
     let product = target.materialize();
     let reference = RefEvaluator::new(&product).map_err(|e| e.to_string())?;
@@ -147,8 +146,8 @@ fn check_three(
     ))
 }
 
-fn is_buggy(systems: &[System], r: &Restriction, f: &Formula) -> bool {
-    match check_three(systems, r, f) {
+fn is_buggy(systems: &[System], r: &Restriction, f: &Formula, sym: SymbolicBackend) -> bool {
+    match check_three(systems, r, f, sym) {
         Ok((v, notes)) => !v.agrees() || !notes.is_empty(),
         Err(_) => false,
     }
@@ -181,12 +180,20 @@ fn without_transition(m: &System, skip: usize) -> System {
 /// fairness constraint, widening init to `True`, and deleting single
 /// transitions; passes repeat until a fixpoint.
 pub fn shrink(o: &Obligation) -> Obligation {
+    shrink_with(o, SymbolicBackend::default())
+}
+
+/// [`shrink`] with a specific symbolic-backend configuration — the
+/// shrinking predicate re-checks with the same engine setup, so a split
+/// that only appears under e.g. forced maintenance keeps reproducing as
+/// the obligation shrinks.
+pub fn shrink_with(o: &Obligation, sym: SymbolicBackend) -> Obligation {
     let mut cur = o.clone();
     loop {
         let mut progressed = false;
 
         for sub in subformulas(&cur.formula) {
-            if is_buggy(&cur.systems, &cur.restriction, &sub) {
+            if is_buggy(&cur.systems, &cur.restriction, &sub, sym) {
                 cur.formula = sub;
                 progressed = true;
                 break;
@@ -197,7 +204,7 @@ pub fn shrink(o: &Obligation) -> Obligation {
             let mut fair = cur.restriction.fairness.clone();
             fair.remove(i);
             let r = Restriction::new(cur.restriction.init.clone(), fair);
-            if is_buggy(&cur.systems, &r, &cur.formula) {
+            if is_buggy(&cur.systems, &r, &cur.formula, sym) {
                 cur.restriction = r;
                 progressed = true;
                 break;
@@ -206,7 +213,7 @@ pub fn shrink(o: &Obligation) -> Obligation {
 
         if cur.restriction.init != Formula::True {
             let r = Restriction::new(Formula::True, cur.restriction.fairness.clone());
-            if is_buggy(&cur.systems, &r, &cur.formula) {
+            if is_buggy(&cur.systems, &r, &cur.formula, sym) {
                 cur.restriction = r;
                 progressed = true;
             }
@@ -217,7 +224,7 @@ pub fn shrink(o: &Obligation) -> Obligation {
             for ti in 0..n_trans {
                 let mut systems = cur.systems.clone();
                 systems[si] = without_transition(&systems[si], ti);
-                if is_buggy(&systems, &cur.restriction, &cur.formula) {
+                if is_buggy(&systems, &cur.restriction, &cur.formula, sym) {
                     cur.systems = systems;
                     progressed = true;
                     break 'systems;
@@ -234,14 +241,22 @@ pub fn shrink(o: &Obligation) -> Obligation {
 /// Run one obligation through all three evaluators, cross-validating
 /// witnesses, shrinking on any disagreement.
 pub fn run_obligation(o: &Obligation) -> OracleOutcome {
-    match check_three(&o.systems, &o.restriction, &o.formula) {
+    run_obligation_with(o, SymbolicBackend::default())
+}
+
+/// [`run_obligation`] with a specific symbolic-backend configuration
+/// (maintenance policy, cache bound) — the lever the memory-kernel
+/// conformance suite uses to prove GC/rehost schedules are
+/// verdict-invariant.
+pub fn run_obligation_with(o: &Obligation, sym: SymbolicBackend) -> OracleOutcome {
+    match check_three(&o.systems, &o.restriction, &o.formula, sym) {
         Err(e) => OracleOutcome::Skipped(e),
         Ok((v, notes)) if v.agrees() && notes.is_empty() => OracleOutcome::Agree(v),
         Ok(_) => {
-            let shrunk = shrink(o);
+            let shrunk = shrink_with(o, sym);
             let (verdicts, notes) =
-                check_three(&shrunk.systems, &shrunk.restriction, &shrunk.formula).unwrap_or_else(
-                    |e| {
+                check_three(&shrunk.systems, &shrunk.restriction, &shrunk.formula, sym)
+                    .unwrap_or_else(|e| {
                         (
                             TripleVerdict {
                                 explicit: false,
@@ -250,8 +265,7 @@ pub fn run_obligation(o: &Obligation) -> OracleOutcome {
                             },
                             vec![format!("shrunk obligation failed to re-run: {e}")],
                         )
-                    },
-                );
+                    });
             OracleOutcome::Disagree(Box::new(Disagreement {
                 seed: o.seed,
                 verdicts,

@@ -1,0 +1,206 @@
+//! Conformance of the symbolic engine's memory kernel: garbage
+//! collection, reorder-based rehosting, and the bounded computed table
+//! must be *invisible* to verdicts.
+//!
+//! * the three-way oracle (explicit vs symbolic vs reference) re-runs the
+//!   same seeds with maintenance disabled and forced at every `k`-th safe
+//!   point — every outcome must match class-for-class and verdict-for-
+//!   verdict,
+//! * proptests drive random systems/formulas through a model with
+//!   `gc_now`/`rehost_now` injected mid-run and pin the sat-state counts
+//!   to the untouched engine,
+//! * a bounded computed table (with evictions observed) must leave sat
+//!   sets untouched.
+
+use cmc_testkit::{gen_obligation, run_obligation_with, GenConfig, OracleOutcome};
+use compositional_mc::core::SymbolicBackend;
+use compositional_mc::ctl::{parse, Formula, Restriction};
+use compositional_mc::kripke::{Alphabet, State, System};
+use compositional_mc::symbolic::{MaintenanceConfig, SymbolicModel};
+use proptest::prelude::*;
+
+/// The three-way oracle over a fresh seed range, once per maintenance
+/// schedule: disabled, and forced at every 1st/2nd/5th safe point. For
+/// each seed all four runs must land in the same outcome class with the
+/// same triple verdict — GC and rehost schedules are semantics-free.
+#[test]
+fn oracle_verdicts_invariant_under_forced_maintenance() {
+    let cfg = GenConfig::default();
+    let schedules: Vec<(String, SymbolicBackend)> = std::iter::once((
+        "disabled".to_string(),
+        SymbolicBackend::with_maintenance(MaintenanceConfig::disabled()),
+    ))
+    .chain([1u32, 2, 5].iter().map(|&k| {
+        (
+            format!("forced-every-{k}"),
+            SymbolicBackend::with_maintenance(MaintenanceConfig::forced_every(k))
+                .cache_capacity(512),
+        )
+    }))
+    .collect();
+    let seeds: Vec<u64> = (20_000..20_060u64).collect();
+    let mut skipped = 0usize;
+    for &seed in &seeds {
+        let o = gen_obligation(seed, &cfg);
+        let mut baseline = None;
+        for (name, backend) in &schedules {
+            match run_obligation_with(&o, *backend) {
+                OracleOutcome::Agree(v) => match &baseline {
+                    None => baseline = Some(v),
+                    Some(b) => assert_eq!(
+                        *b, v,
+                        "seed {seed}: schedule {name} changed the agreed verdict"
+                    ),
+                },
+                OracleOutcome::Skipped(why) => {
+                    assert!(
+                        baseline.is_none(),
+                        "seed {seed}: schedule {name} skipped ({why}) after another agreed"
+                    );
+                    skipped += 1;
+                    break; // skip reasons are schedule-independent (width)
+                }
+                OracleOutcome::Disagree(d) => {
+                    panic!("seed {seed}: schedule {name} disagreed:\n{d}")
+                }
+            }
+        }
+    }
+    assert!(
+        skipped <= seeds.len() / 10,
+        "too many skipped obligations ({skipped})"
+    );
+}
+
+/// A random system over a fixed small alphabet.
+fn arb_system(names: &'static [&'static str]) -> impl Strategy<Value = System> {
+    let max = 1u32 << names.len();
+    proptest::collection::vec((0..max, 0..max), 0..14).prop_map(move |pairs| {
+        let mut m = System::new(Alphabet::new(names.iter().copied()));
+        for (s, t) in pairs {
+            m.add_transition(State(s as u128), State(t as u128));
+        }
+        m
+    })
+}
+
+/// A random CTL formula (temporal operators included) over given names.
+fn arb_formula(names: &'static [&'static str]) -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::True),
+        proptest::sample::select(names.to_vec()).prop_map(Formula::ap),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| f.not()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            inner.clone().prop_map(|f| f.ex()),
+            inner.clone().prop_map(|f| f.ef()),
+            inner.clone().prop_map(|f| f.af()),
+            inner.clone().prop_map(|f| f.eg()),
+            inner.clone().prop_map(|f| f.ag()),
+            (inner.clone(), inner).prop_map(|(a, b)| a.eu(b)),
+        ]
+    })
+}
+
+/// Satisfying-state count of `f` over the model's `2^n` state space.
+fn sat_states(model: &mut SymbolicModel, f: &Formula, fairness: &[Formula]) -> f64 {
+    let n = model.num_state_vars();
+    let sat = model.sat_under(f, fairness).unwrap();
+    model.mgr_ref().sat_count(sat, 2 * n) / (1u64 << n) as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Forced GC + rehost at every safe point gives the same sat-state
+    /// count as the untouched engine, on arbitrary systems and formulas.
+    #[test]
+    fn forced_maintenance_preserves_sat_counts(
+        m in arb_system(&["p", "q", "r"]),
+        f in arb_formula(&["p", "q", "r"]),
+    ) {
+        let mut plain = SymbolicModel::from_explicit(&m);
+        plain.set_maintenance(MaintenanceConfig::disabled());
+        let mut forced = SymbolicModel::from_explicit(&m);
+        forced.set_maintenance(MaintenanceConfig::forced_every(1));
+        let want = sat_states(&mut plain, &f, &[]);
+        let got = sat_states(&mut forced, &f, &[]);
+        prop_assert_eq!(want, got, "maintenance changed sat set of {}", f);
+    }
+
+    /// Same invariance under a fairness constraint (the Emerson–Lei loop
+    /// nests fixpoints, so it crosses many more maintenance points).
+    #[test]
+    fn forced_maintenance_preserves_fair_sat_counts(
+        m in arb_system(&["p", "q"]),
+        f in arb_formula(&["p", "q"]),
+        c in arb_formula(&["p", "q"]),
+    ) {
+        let fairness = vec![c];
+        let mut plain = SymbolicModel::from_explicit(&m);
+        plain.set_maintenance(MaintenanceConfig::disabled());
+        let mut forced = SymbolicModel::from_explicit(&m);
+        forced.set_maintenance(MaintenanceConfig::forced_every(2));
+        let want = sat_states(&mut plain, &f, &fairness);
+        let got = sat_states(&mut forced, &f, &fairness);
+        prop_assert_eq!(want, got, "fair maintenance changed sat set of {}", f);
+    }
+
+    /// Explicit `gc_now` + `rehost_now` *between* queries: results
+    /// computed after the kernel has collected and changed variable order
+    /// must match results computed before.
+    #[test]
+    fn explicit_gc_and_rehost_between_queries(
+        m in arb_system(&["p", "q", "r"]),
+        f in arb_formula(&["p", "q", "r"]),
+    ) {
+        let mut model = SymbolicModel::from_explicit(&m);
+        let before = sat_states(&mut model, &f, &[]);
+        model.gc_now();
+        let after_gc = sat_states(&mut model, &f, &[]);
+        prop_assert_eq!(before, after_gc, "gc_now changed sat set of {}", f);
+        model.rehost_now();
+        let after_rehost = sat_states(&mut model, &f, &[]);
+        prop_assert_eq!(before, after_rehost, "rehost_now changed sat set of {}", f);
+    }
+}
+
+/// A severely bounded computed table (capacity 16, evicting constantly)
+/// must not change any verdict on a model big enough to overflow it.
+#[test]
+fn tiny_cache_preserves_verdicts() {
+    let mut sys = System::new(Alphabet::new(["a", "b", "c", "d"]));
+    // A 4-bit Gray-code-ish walk with some chords.
+    let states: Vec<u128> = vec![
+        0b0000, 0b0001, 0b0011, 0b0010, 0b0110, 0b0111, 0b0101, 0b0100,
+    ];
+    for w in states.windows(2) {
+        sys.add_transition(State(w[0]), State(w[1]));
+    }
+    sys.add_transition(State(0b0100), State(0b0000));
+    sys.add_transition(State(0b0011), State(0b1011));
+    sys.add_transition(State(0b1011), State(0b0000));
+    let corpus = [
+        "EF (a & b)",
+        "AG (a -> EX (a | b))",
+        "AF !d",
+        "E [!c U (c & a)]",
+        "A [!d U (a | d)]",
+    ];
+    let r = Restriction::trivial();
+    for text in corpus {
+        let f = parse(text).unwrap();
+        let mut plain = SymbolicModel::from_explicit(&sys);
+        let mut bounded = SymbolicModel::from_explicit(&sys);
+        bounded.mgr().set_cache_capacity(16);
+        let want = plain.check(&r, &f).unwrap().holds;
+        let got = bounded.check(&r, &f).unwrap().holds;
+        assert_eq!(want, got, "bounded cache changed the verdict on {text}");
+        assert!(
+            bounded.mgr_ref().stats().cache_evictions > 0,
+            "capacity-16 cache never rotated on {text}"
+        );
+    }
+}
