@@ -1,0 +1,180 @@
+//! Warm-store throughput of the `cmc-serve` daemon under concurrent
+//! clients: 1/4/8/16 clients each fire the same mixed token-ring + AFS
+//! workload at an in-process daemon, once against a cold store and once
+//! against a warm one. The cold run pays for every obligation; the warm
+//! run answers from the shared certificate store, so the ratio is the
+//! daemon-shaped version of the §5 proof-reuse claim — the speedup the
+//! *second* client ever to ask a question gets because the first one
+//! already paid.
+//!
+//! Besides the criterion timings, the bench writes a machine-readable
+//! summary to `BENCH_serve.json` at the workspace root.
+//!
+//! Quick mode (`CMC_BENCH_QUICK=1`, used by the CI serve-smoke job)
+//! shrinks the workload and the client grid so the whole file runs in
+//! seconds.
+
+use cmc_serve::workload::{afs_source, ring_source};
+use cmc_serve::{Client, ServeConfig, Server};
+use cmc_store::json::Json;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+fn quick_mode() -> bool {
+    std::env::var_os("CMC_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+fn client_grid() -> Vec<usize> {
+    if quick_mode() {
+        vec![1, 8]
+    } else {
+        vec![1, 4, 8, 16]
+    }
+}
+
+/// Rings big enough that verification, not connection overhead,
+/// dominates the wall time — otherwise the cold/warm ratio measures the
+/// TCP stack instead of the store.
+fn workload() -> Vec<String> {
+    let (rings, afs): (&[usize], &[usize]) = if quick_mode() {
+        (&[12, 16], &[4])
+    } else {
+        (&[10, 12, 14, 16], &[3, 4, 5])
+    };
+    rings
+        .iter()
+        .map(|&n| ring_source(n))
+        .chain(afs.iter().map(|&c| afs_source(c)))
+        .collect()
+}
+
+/// `clients` concurrent sessions each verify the full workload as one
+/// batch; returns total wall time. Panics on any job error — a bench
+/// that silently verifies nothing would report a great throughput.
+fn drive(addr: SocketAddr, sources: &[String], clients: usize) -> std::time::Duration {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| {
+                let mut client = Client::connect(addr).expect("connect");
+                let reports = client.check_sources(sources).expect("batch");
+                for report in reports {
+                    report.expect("job failed during bench");
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+fn fresh_server() -> Server {
+    Server::start(ServeConfig {
+        max_sessions: 64,
+        ..ServeConfig::default()
+    })
+    .expect("daemon starts")
+}
+
+/// Criterion view: warm-store batches at each client count against one
+/// long-lived daemon.
+fn warm_throughput(c: &mut Criterion) {
+    let sources = workload();
+    let mut server = fresh_server();
+    let addr = server.local_addr();
+    drive(addr, &sources, 1); // pre-warm the shared store
+
+    let mut group = c.benchmark_group("serve_warm");
+    group.sample_size(10);
+    for clients in client_grid() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(clients),
+            &clients,
+            |b, &clients| b.iter(|| black_box(drive(addr, &sources, clients))),
+        );
+    }
+    group.finish();
+    server.shutdown();
+}
+
+/// Emit `BENCH_serve.json`: per client count, cold and warm wall time
+/// (mean over `iters`), throughput in jobs/sec, and the warm speedup.
+fn emit_summary(c: &mut Criterion) {
+    let sources = workload();
+    let iters = if quick_mode() { 2 } else { 3 };
+    let mut series = Vec::new();
+
+    for clients in client_grid() {
+        // Cold: a fresh daemon (empty store) per sample.
+        let mut cold_total = 0.0;
+        for _ in 0..iters {
+            let mut server = fresh_server();
+            cold_total += drive(server.local_addr(), &sources, clients).as_nanos() as f64;
+            server.shutdown();
+        }
+        let cold_ns = cold_total / f64::from(iters);
+
+        // Warm: one daemon, store pre-warmed, then timed runs.
+        let mut server = fresh_server();
+        let addr = server.local_addr();
+        drive(addr, &sources, 1);
+        let before = server.store().stats();
+        let mut warm_total = 0.0;
+        for _ in 0..iters {
+            warm_total += drive(addr, &sources, clients).as_nanos() as f64;
+        }
+        let warm_ns = warm_total / f64::from(iters);
+        let after = server.store().stats();
+        server.shutdown();
+
+        let jobs = (clients * sources.len()) as f64;
+        series.push(Json::Obj(vec![
+            ("clients".into(), Json::int(clients as u64)),
+            ("jobs_per_batch".into(), Json::int(sources.len() as u64)),
+            ("cold_ns".into(), Json::Num(cold_ns)),
+            ("warm_ns".into(), Json::Num(warm_ns)),
+            ("speedup".into(), Json::Num(cold_ns / warm_ns.max(1.0))),
+            (
+                "cold_jobs_per_sec".into(),
+                Json::Num(jobs / (cold_ns / 1e9)),
+            ),
+            (
+                "warm_jobs_per_sec".into(),
+                Json::Num(jobs / (warm_ns / 1e9)),
+            ),
+            (
+                "warm_hits".into(),
+                Json::int(after.hits.saturating_sub(before.hits)),
+            ),
+            (
+                "warm_misses".into(),
+                Json::int(after.misses.saturating_sub(before.misses)),
+            ),
+        ]));
+    }
+
+    let doc = Json::Obj(vec![
+        ("benchmark".into(), Json::Str("serve_throughput".into())),
+        (
+            "family".into(),
+            Json::Str("token-ring + AFS mixed batch".into()),
+        ),
+        (
+            "unit".into(),
+            Json::Str(format!("wall ns (mean of {iters})")),
+        ),
+        ("quick".into(), Json::Bool(quick_mode())),
+        ("series".into(), Json::Arr(series)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, doc.to_pretty() + "\n").expect("write BENCH_serve.json");
+    c.bench_function("serve_summary_emitted", |b| b.iter(|| black_box(&doc)));
+}
+
+criterion_group!(
+    name = serve_throughput;
+    config = Criterion::default().sample_size(10);
+    targets = warm_throughput, emit_summary
+);
+criterion_main!(serve_throughput);

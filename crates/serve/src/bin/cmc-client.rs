@@ -1,0 +1,128 @@
+//! The client binary.
+//!
+//! ```text
+//! cmc-client ADDR check FILE.smv [FILE.smv ...]   # verify a batch
+//! cmc-client ADDR ping                            # liveness probe
+//! cmc-client ADDR stats                           # store + server counters
+//! cmc-client ADDR shutdown                        # drain and stop the daemon
+//! ```
+//!
+//! `check` exits 0 when every spec of every file holds, 1 otherwise.
+
+use cmc_serve::Client;
+use std::net::ToSocketAddrs;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cmc-client ADDR check FILE.smv [FILE.smv ...]\n\
+         \x20      cmc-client ADDR ping | stats | shutdown"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr_text, cmd, rest) = match args.split_first() {
+        Some((addr, rest)) => match rest.split_first() {
+            Some((cmd, rest)) => (addr.clone(), cmd.clone(), rest.to_vec()),
+            None => usage(),
+        },
+        None => usage(),
+    };
+    let Some(addr) = addr_text
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut addrs| addrs.next())
+    else {
+        eprintln!("cmc-client: cannot resolve {addr_text:?}");
+        return ExitCode::from(2);
+    };
+    let mut client = match Client::connect(addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("cmc-client: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut run = || -> std::io::Result<ExitCode> {
+        match cmd.as_str() {
+            "ping" => {
+                client.ping()?;
+                println!("pong from {addr}");
+                Ok(ExitCode::SUCCESS)
+            }
+            "shutdown" => {
+                client.shutdown_server()?;
+                println!("daemon at {addr} draining");
+                Ok(ExitCode::SUCCESS)
+            }
+            "stats" => {
+                let stats = client.stats()?;
+                println!("{}", stats.store);
+                let s = stats.server;
+                println!(
+                    "server: {} connections, {} batches, {} jobs ({} errors), \
+                     {} protocol errors, {} disconnects, {} in flight",
+                    s.connections,
+                    s.batches,
+                    s.jobs,
+                    s.job_errors,
+                    s.protocol_errors,
+                    s.disconnects,
+                    s.in_flight
+                );
+                Ok(ExitCode::SUCCESS)
+            }
+            "check" => {
+                if rest.is_empty() {
+                    usage();
+                }
+                let mut sources = Vec::new();
+                for path in &rest {
+                    sources.push(std::fs::read_to_string(path)?);
+                }
+                let reports = client.check_sources(&sources)?;
+                let mut all_true = true;
+                for (path, report) in rest.iter().zip(&reports) {
+                    match report {
+                        Ok(report) => {
+                            for (spec, holds) in &report.specs {
+                                println!(
+                                    "{path}: specification {spec} is {}",
+                                    if *holds { "true" } else { "false" }
+                                );
+                                all_true &= holds;
+                            }
+                            println!(
+                                "{path}: {} from store, {} checked",
+                                report.cache_hits, report.cache_misses
+                            );
+                        }
+                        Err(message) => {
+                            eprintln!("{path}: error: {message}");
+                            all_true = false;
+                        }
+                    }
+                }
+                Ok(if all_true {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                })
+            }
+            other => {
+                eprintln!("unknown command {other:?}");
+                usage();
+            }
+        }
+    };
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("cmc-client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

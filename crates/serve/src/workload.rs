@@ -1,0 +1,125 @@
+//! SMV workload generators for the daemon's tests and benches: the
+//! token-ring and AFS-style cache families, as self-contained `MODULE
+//! main` sources. Each `(n)` instance is a distinct program, so each
+//! fills distinct `(source, spec)` slots in the shared store — a warm
+//! store answers repeats of the *same* instance, which is exactly the
+//! production shape (many clients re-verifying shared components).
+
+/// An `n`-station token ring (`n ≥ 2`): one boolean token bit per
+/// station, deterministic rotation, token starting at station 0.
+///
+/// Specs: pairwise exclusion between neighbouring stations (true),
+/// reachability of the token at station 1 (true), hand-off possibility
+/// (true), and `AG t0` (false — the token moves), so both verdict
+/// polarities are exercised. The semantics keeps the paper's reflexive
+/// stutter transition, so the true specs use `EF`/`EX` forms that
+/// survive self-loops.
+pub fn ring_source(n: usize) -> String {
+    assert!(n >= 2, "a ring needs at least 2 stations");
+    let mut src = String::from("MODULE main\nVAR\n");
+    for i in 0..n {
+        src.push_str(&format!("  t{i} : boolean;\n"));
+    }
+    src.push_str("ASSIGN\n");
+    for i in 0..n {
+        src.push_str(&format!("  init(t{i}) := {};\n", u8::from(i == 0)));
+    }
+    for i in 0..n {
+        let prev = (i + n - 1) % n;
+        src.push_str(&format!("  next(t{i}) := t{prev};\n"));
+    }
+    for i in 0..n {
+        let j = (i + 1) % n;
+        src.push_str(&format!("SPEC AG !(t{i} & t{j})\n"));
+    }
+    src.push_str("SPEC EF t1\nSPEC AG (t0 -> EX t1)\nSPEC AG t0\n");
+    src
+}
+
+/// An AFS-style cache family with `clients` caching clients (`1..=6`)
+/// talking to one server: clients fetch when the server is idle and may
+/// invalidate spontaneously.
+///
+/// Specs: a fetched value is reachable (true), fetch and valid exclude
+/// each other (true), validity can always be given up (true), and
+/// `AF valid` (false — a client may never fetch).
+pub fn afs_source(clients: usize) -> String {
+    assert!((1..=6).contains(&clients), "1..=6 clients supported");
+    let mut src = String::from("MODULE main\nVAR\n  srv : {idle, busy};\n");
+    for c in 0..clients {
+        src.push_str(&format!("  c{c} : {{invalid, fetch, valid}};\n"));
+    }
+    src.push_str("ASSIGN\n  init(srv) := idle;\n  next(srv) := {idle, busy};\n");
+    for c in 0..clients {
+        src.push_str(&format!(
+            "  init(c{c}) := invalid;\n  next(c{c}) :=\n    case\n      \
+             c{c} = invalid : {{invalid, fetch}};\n      \
+             c{c} = fetch & srv = idle : valid;\n      \
+             c{c} = valid : {{valid, invalid}};\n      \
+             1 : c{c};\n    esac;\n"
+        ));
+    }
+    src.push_str("SPEC EF c0 = valid\n");
+    src.push_str("SPEC AG !(c0 = fetch & c0 = valid)\n");
+    src.push_str("SPEC AG (c0 = valid -> EF c0 = invalid)\n");
+    src.push_str("SPEC AF c0 = valid\n");
+    src
+}
+
+/// The standard mixed workload the bench and the smoke tests hammer:
+/// rings of `4..=4+ring_sizes` stations and AFS instances of
+/// `1..=afs_sizes` clients.
+pub fn mixed_workload(ring_sizes: usize, afs_sizes: usize) -> Vec<String> {
+    let mut sources = Vec::new();
+    for n in 0..ring_sizes {
+        sources.push(ring_source(4 + n));
+    }
+    for c in 0..afs_sizes {
+        sources.push(afs_source(1 + c));
+    }
+    sources
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmc_smv::run_source;
+
+    #[test]
+    fn ring_sources_verify_with_expected_verdicts() {
+        for n in [2, 4, 7] {
+            let out = run_source(&ring_source(n)).unwrap();
+            let (text, holds) = out.results.last().unwrap();
+            assert_eq!(text, "AG t0");
+            assert!(!holds, "the token must move in a {n}-ring");
+            // Everything but the deliberately-false spec holds.
+            assert!(out.results[..out.results.len() - 1]
+                .iter()
+                .all(|(_, ok)| *ok));
+        }
+    }
+
+    #[test]
+    fn afs_sources_verify_with_expected_verdicts() {
+        for clients in [1, 2, 3] {
+            let out = run_source(&afs_source(clients)).unwrap();
+            let verdicts: Vec<bool> = out.results.iter().map(|(_, ok)| *ok).collect();
+            assert_eq!(
+                verdicts,
+                vec![true, true, true, false],
+                "{clients} clients: {:?}",
+                out.results
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_workload_is_distinct_sources() {
+        let sources = mixed_workload(4, 3);
+        assert_eq!(sources.len(), 7);
+        let mut unique = sources.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), sources.len());
+    }
+}

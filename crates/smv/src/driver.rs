@@ -166,7 +166,21 @@ fn run_module_explicit(module: &Module) -> Result<RunOutcome, DriverError> {
 /// `resources used:` trailer gains a hit-rate line.
 pub fn run_source_with_store(src: &str, store: &CertStore) -> Result<RunOutcome, DriverError> {
     let module = parse_module(src).map_err(|e| DriverError::Parse(e.to_string()))?;
-    let mut compiled = compile(&module).map_err(|e| DriverError::Semantic(e.to_string()))?;
+    run_module_symbolic_with_store(src, &module, store)
+}
+
+/// Symbolic store-backed run over a parsed module (shared by
+/// [`run_source_with_store`] and [`run_source_with_store_and_backend`]).
+fn run_module_symbolic_with_store(
+    src: &str,
+    module: &Module,
+    store: &CertStore,
+) -> Result<RunOutcome, DriverError> {
+    let warm_start = Instant::now();
+    if let Some(out) = fully_warm_outcome(src, module, store, warm_start) {
+        return Ok(out);
+    }
+    let mut compiled = compile(module).map_err(|e| DriverError::Semantic(e.to_string()))?;
     let start = Instant::now();
     let mut results = Vec::new();
     let mut lines = Vec::new();
@@ -193,15 +207,178 @@ pub fn run_source_with_store(src: &str, store: &CertStore) -> Result<RunOutcome,
         }
     }
     let mut report = render_report(&compiled, lines, start.elapsed());
+    report.push_str(&store_trailer(store, cache_hits, cache_misses));
+    Ok(RunOutcome {
+        results,
+        report,
+        cache_hits,
+        cache_misses,
+    })
+}
+
+/// Fully-warm fast path: when **every** spec of the module is already
+/// memoized, answer without compiling a model at all — a warm run costs
+/// hash lookups, not state-space construction. Spec texts come straight
+/// from the parsed module (both compilers carry them verbatim), so the
+/// keys match what a cold run stored. Returns `None` — falling back to
+/// the compiling path — on the first miss, or when the module has no
+/// specs (so semantic errors still surface).
+fn fully_warm_outcome(
+    src: &str,
+    module: &Module,
+    store: &CertStore,
+    start: Instant,
+) -> Option<RunOutcome> {
+    if module.specs.is_empty() {
+        return None;
+    }
+    let mut results = Vec::new();
+    let mut lines = Vec::new();
+    for (text, _) in &module.specs {
+        let entry = store.lookup(&ObligationKey::source_spec(src, text))?;
+        lines.push(format!(
+            "-- specification {text} is {} (verdict from certificate store)",
+            if entry.verdict { "true" } else { "false" }
+        ));
+        results.push((text.clone(), entry.verdict));
+    }
+    let cache_hits = results.len();
+    let mut report = lines.join("\n");
     report.push_str(&format!(
-        "certificate store: {cache_hits} of {} specs answered from store ({:.1}% hit rate)\n",
+        "\n\nresources used:\nuser time: {:.7} s, system time: 0 s\n\
+         model construction skipped: every spec answered from the certificate store\n",
+        start.elapsed().as_secs_f64(),
+    ));
+    report.push_str(&store_trailer(store, cache_hits, 0));
+    Some(RunOutcome {
+        results,
+        report,
+        cache_hits,
+        cache_misses: 0,
+    })
+}
+
+/// The store block of the `resources used:` trailer: the per-run hit
+/// line plus the shared tier's eviction/budget telemetry, printed
+/// alongside the BDD live/peak/GC lines so a `-r` report shows both
+/// memory kernels at once.
+fn store_trailer(store: &CertStore, cache_hits: usize, cache_misses: usize) -> String {
+    let stats = store.stats();
+    format!(
+        "certificate store: {cache_hits} of {} specs answered from store ({:.1}% hit rate)\n\
+         store entries resident: {} (insertions: {}, lru evictions: {})\n\
+         store disk tier: {} bytes in segments ({} segments skipped, \
+         {} compactions, {} budget evictions)\n",
         cache_hits + cache_misses,
         if cache_hits + cache_misses == 0 {
             0.0
         } else {
             100.0 * cache_hits as f64 / (cache_hits + cache_misses) as f64
+        },
+        stats.entries,
+        stats.insertions,
+        stats.evictions,
+        stats.disk_bytes,
+        stats.segments_skipped,
+        stats.compactions,
+        stats.budget_evictions,
+    )
+}
+
+/// Verify every `SPEC`, consulting `store` first (as
+/// [`run_source_with_store`]) **and** routing the fresh checks through
+/// the engine selected by `choice` (as [`run_source_with_backend`]).
+/// This is the daemon's entry point: all `cmc-serve` worker sessions
+/// funnel through here against one shared store.
+///
+/// Store keys are `(normalised source, spec)` pairs with no backend tag:
+/// both engines are sound over the same semantics (the testkit oracle
+/// enforces it), so a verdict computed by either engine answers both —
+/// deliberately unlike engine-level obligation keys, which stay
+/// backend-tagged because their certificates differ.
+pub fn run_source_with_store_and_backend(
+    src: &str,
+    store: &CertStore,
+    choice: BackendChoice,
+) -> Result<RunOutcome, DriverError> {
+    let module = parse_module(src).map_err(|e| DriverError::Parse(e.to_string()))?;
+    let bits: usize = module.vars.iter().map(|(_, ty)| ty.bits()).sum();
+    let use_explicit = match choice {
+        BackendChoice::Explicit => true,
+        BackendChoice::Symbolic => false,
+        BackendChoice::Auto => bits <= EXPLICIT_BIT_LIMIT,
+    };
+    if use_explicit {
+        run_module_explicit_with_store(src, &module, store)
+    } else {
+        let mut out = run_module_symbolic_with_store(src, &module, store)?;
+        out.report.push_str("engine: symbolic (BDD)\n");
+        Ok(out)
+    }
+}
+
+/// Explicit-state store-backed run over a parsed module.
+fn run_module_explicit_with_store(
+    src: &str,
+    module: &Module,
+    store: &CertStore,
+) -> Result<RunOutcome, DriverError> {
+    let start = Instant::now();
+    if let Some(mut out) = fully_warm_outcome(src, module, store, start) {
+        out.report.push_str("engine: explicit-state\n");
+        return Ok(out);
+    }
+    let explicit = compile_explicit(module).map_err(|e| DriverError::Semantic(e.to_string()))?;
+    let mut results = Vec::new();
+    let mut lines = Vec::new();
+    let mut cache_hits = 0usize;
+    let mut cache_misses = 0usize;
+    for (i, (text, _)) in explicit.specs.iter().enumerate() {
+        let key = ObligationKey::source_spec(src, text);
+        match store.lookup(&key) {
+            Some(entry) => {
+                cache_hits += 1;
+                lines.push(format!(
+                    "-- specification {text} is {} (verdict from certificate store)",
+                    if entry.verdict { "true" } else { "false" }
+                ));
+                results.push((text.clone(), entry.verdict));
+            }
+            None => {
+                cache_misses += 1;
+                let holds = explicit
+                    .check_spec(i)
+                    .map_err(|e| DriverError::Check(e.to_string()))?;
+                store.insert(key, Entry::verdict(holds));
+                lines.push(format!(
+                    "-- specification {text} is {}",
+                    if holds { "true" } else { "false" }
+                ));
+                if !holds {
+                    let violating = explicit
+                        .violating_init(i)
+                        .map_err(|e| DriverError::Check(e.to_string()))?;
+                    if let Some(s) = violating.first() {
+                        lines.push("-- as demonstrated by the initial state".into());
+                        for (name, value) in explicit.decode_state(*s) {
+                            lines.push(format!("   {name} = {value}"));
+                        }
+                    }
+                }
+                results.push((text.clone(), holds));
+            }
         }
+    }
+    let mut report = lines.join("\n");
+    report.push_str(&format!(
+        "\n\nresources used:\nuser time: {:.7} s, system time: 0 s\n\
+         explicit states enumerated over {} propositions; {} proper transitions\n",
+        start.elapsed().as_secs_f64(),
+        explicit.system.alphabet().len(),
+        explicit.system.proper_transition_count(),
     ));
+    report.push_str(&store_trailer(store, cache_hits, cache_misses));
+    report.push_str("engine: explicit-state\n");
     Ok(RunOutcome {
         results,
         report,
@@ -389,6 +566,55 @@ mod tests {
         let plain = run_source(src).unwrap();
         assert_eq!(plain.results, warm.results);
         assert_eq!((plain.cache_hits, plain.cache_misses), (0, 3));
+    }
+
+    #[test]
+    fn store_backed_report_surfaces_store_telemetry() {
+        let src = "MODULE main\nVAR x : boolean;\nASSIGN next(x) := 1;\nSPEC AF x";
+        let store = CertStore::new();
+        let out = run_source_with_store(src, &store).unwrap();
+        assert!(out.report.contains("store entries resident: 1"));
+        assert!(out.report.contains("lru evictions: 0"));
+        assert!(out.report.contains("store disk tier:"));
+        assert!(out.report.contains("budget evictions"));
+        // The BDD memory-kernel lines still precede the store block.
+        assert!(out.report.contains("BDD nodes live:"));
+    }
+
+    #[test]
+    fn store_and_backend_runs_share_one_store_across_engines() {
+        let src = "MODULE main\nVAR s : {a, b, c};\nASSIGN init(s) := a;\n\
+                   next(s) := case s = a : {a, b}; s = b : c; 1 : s; esac;\n\
+                   SPEC EF s = c\nSPEC AG (s = c -> AX s = c)\nSPEC AF s = c";
+        let store = CertStore::new();
+        let cold = run_source_with_store_and_backend(src, &store, BackendChoice::Explicit).unwrap();
+        assert_eq!((cold.cache_hits, cold.cache_misses), (0, 3));
+        assert!(cold.report.contains("engine: explicit-state"));
+        assert!(cold.report.contains("store entries resident: 3"));
+
+        // The symbolic engine answers from the same (untagged) keys.
+        let warm = run_source_with_store_and_backend(src, &store, BackendChoice::Symbolic).unwrap();
+        assert_eq!((warm.cache_hits, warm.cache_misses), (3, 0));
+        assert_eq!(warm.results, cold.results);
+        assert!(warm.report.contains("engine: symbolic (BDD)"));
+        assert!(warm.report.contains("(verdict from certificate store)"));
+
+        // Auto agrees with both and with the store-less drivers.
+        let auto = run_source_with_store_and_backend(src, &store, BackendChoice::Auto).unwrap();
+        assert_eq!(auto.results, run_source(src).unwrap().results);
+    }
+
+    #[test]
+    fn store_and_backend_reports_explicit_witness_on_fresh_failures() {
+        let store = CertStore::new();
+        let out = run_source_with_store_and_backend(
+            "MODULE main\nVAR x : boolean;\nASSIGN next(x) := x;\nSPEC AF x",
+            &store,
+            BackendChoice::Explicit,
+        )
+        .unwrap();
+        assert!(!out.all_true());
+        assert!(out.report.contains("x = 0"), "{}", out.report);
     }
 
     #[test]

@@ -40,6 +40,11 @@ impl DiskStore {
     }
 
     /// Persist every resident entry of `store`.
+    ///
+    /// The write is atomic: the document is written to a temporary
+    /// sibling file and renamed into place, so a crash mid-write leaves
+    /// either the previous store file or the new one — never a torn,
+    /// checksum-failing hybrid.
     pub fn save(&self, store: &CertStore) -> io::Result<()> {
         let entries: Vec<Json> = store
             .snapshot()
@@ -51,7 +56,7 @@ impl DiskStore {
             ("version".to_string(), Json::int(VERSION)),
             ("entries".to_string(), Json::Arr(entries)),
         ]);
-        std::fs::write(&self.path, doc.to_pretty())
+        write_atomic(&self.path, doc.to_pretty().as_bytes())
     }
 
     /// Load entries into `store`, skipping (and counting) any entry that
@@ -96,6 +101,24 @@ impl DiskStore {
     }
 }
 
+/// Write `bytes` to `path` atomically: write a temporary sibling, then
+/// rename it into place. Readers see either the old file or the new one.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "store".to_string());
+    let tmp = path.with_file_name(format!(".tmp-{}-{file_name}", std::process::id()));
+    std::fs::write(&tmp, bytes)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            std::fs::remove_file(&tmp).ok();
+            Err(e)
+        }
+    }
+}
+
 /// Canonical checksum payload: key, verdict, and the compact certificate
 /// rendering, with an unambiguous separator.
 fn checksum(key: ObligationKey, verdict: bool, certificate: &Json) -> String {
@@ -111,7 +134,7 @@ fn checksum(key: ObligationKey, verdict: bool, certificate: &Json) -> String {
     )
 }
 
-fn entry_to_json(key: ObligationKey, entry: &Entry) -> Json {
+pub(crate) fn entry_to_json(key: ObligationKey, entry: &Entry) -> Json {
     let certificate = match &entry.certificate {
         Some(cert) => cert_to_json(cert),
         None => Json::Null,
@@ -125,7 +148,7 @@ fn entry_to_json(key: ObligationKey, entry: &Entry) -> Json {
     ])
 }
 
-fn entry_from_json(item: &Json) -> Option<(ObligationKey, Entry)> {
+pub(crate) fn entry_from_json(item: &Json) -> Option<(ObligationKey, Entry)> {
     let key = ObligationKey::from_hex(item.get("key")?.as_str()?)?;
     let verdict = item.get("verdict")?.as_bool()?;
     let certificate_json = item.get("certificate")?;

@@ -23,6 +23,12 @@
 //! * [`DiskStore`] — an optional on-disk layer writing hand-rolled,
 //!   checksummed JSON ([`json::Json`]): loads are hash-verified, and
 //!   stale or tampered entries are ignored, never trusted.
+//! * [`SegmentedDiskStore`] — the multi-session grown-up of `DiskStore`:
+//!   an append-only directory of atomically-written segments with
+//!   concurrent lock-free readers, a single-writer [`Compactor`] thread,
+//!   and an on-disk byte budget whose evictions are surfaced through
+//!   [`StoreStats`]. This is the tier the `cmc-serve` daemon shares
+//!   across all client sessions.
 //!
 //! ## Example
 //!
@@ -55,6 +61,7 @@ pub mod entry;
 pub mod hash;
 pub mod json;
 pub mod key;
+pub mod segment;
 pub mod stats;
 pub mod store;
 
@@ -62,5 +69,6 @@ pub use disk::DiskStore;
 pub use entry::{Entry, StoredCertificate, StoredStep};
 pub use hash::StableHasher;
 pub use key::ObligationKey;
+pub use segment::{CompactReport, Compactor, SegmentedDiskStore};
 pub use stats::StoreStats;
 pub use store::CertStore;

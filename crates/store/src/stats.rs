@@ -21,6 +21,18 @@ pub struct StoreStats {
     /// On-disk entries rejected (stale format, checksum mismatch, parse
     /// error) — rejected entries are ignored, never trusted.
     pub disk_rejects: u64,
+    /// Whole on-disk segments skipped because they were torn, truncated
+    /// or otherwise unreadable (each skip is a counted warning, never an
+    /// error — a damaged segment degrades to a cold slice of the cache).
+    pub segments_skipped: u64,
+    /// Compaction passes run over the segmented disk tier.
+    pub compactions: u64,
+    /// Entries dropped by compaction to respect the on-disk byte budget
+    /// (distinct from in-memory LRU `evictions`).
+    pub budget_evictions: u64,
+    /// Bytes resident in the segmented disk tier after the most recent
+    /// append/compaction (0 when no disk tier is attached).
+    pub disk_bytes: u64,
     /// Entries currently resident.
     pub entries: usize,
 }
@@ -54,10 +66,16 @@ impl fmt::Display for StoreStats {
             "insertions: {} (evictions: {})",
             self.insertions, self.evictions
         )?;
-        write!(
+        writeln!(
             f,
             "disk entries loaded: {} (rejected: {})",
             self.disk_loads, self.disk_rejects
+        )?;
+        write!(
+            f,
+            "disk tier: {} bytes in segments ({} segments skipped, \
+             {} compactions, {} budget evictions)",
+            self.disk_bytes, self.segments_skipped, self.compactions, self.budget_evictions
         )
     }
 }
@@ -84,6 +102,10 @@ mod tests {
             evictions: 1,
             disk_loads: 2,
             disk_rejects: 1,
+            segments_skipped: 1,
+            compactions: 2,
+            budget_evictions: 3,
+            disk_bytes: 4096,
             entries: 4,
         };
         let text = s.to_string();
@@ -91,5 +113,9 @@ mod tests {
         assert!(text.contains("50.0% hit rate"));
         assert!(text.contains("evictions: 1"));
         assert!(text.contains("rejected: 1"));
+        assert!(text.contains("1 segments skipped"));
+        assert!(text.contains("2 compactions"));
+        assert!(text.contains("3 budget evictions"));
+        assert!(text.contains("4096 bytes"));
     }
 }

@@ -172,6 +172,25 @@ impl CertStore {
     pub(crate) fn count_disk_reject(&self) {
         self.inner.write().stats.disk_rejects += 1;
     }
+
+    /// Count a skipped (torn/truncated/unreadable) on-disk segment.
+    pub(crate) fn count_segment_skip(&self) {
+        self.inner.write().stats.segments_skipped += 1;
+    }
+
+    /// Record one compaction pass over the segmented disk tier: how many
+    /// entries the byte budget evicted and the resulting disk footprint.
+    pub(crate) fn count_compaction(&self, budget_evicted: u64, disk_bytes: u64) {
+        let mut inner = self.inner.write();
+        inner.stats.compactions += 1;
+        inner.stats.budget_evictions += budget_evicted;
+        inner.stats.disk_bytes = disk_bytes;
+    }
+
+    /// Record the disk tier's current byte footprint (after an append).
+    pub(crate) fn note_disk_bytes(&self, disk_bytes: u64) {
+        self.inner.write().stats.disk_bytes = disk_bytes;
+    }
 }
 
 impl Default for CertStore {
