@@ -196,11 +196,7 @@ pub fn prove_liveness() -> Certificate {
         .and(inv.clone());
     let cover = [rest.clone(), helpful.clone()];
 
-    let mut cert = Certificate {
-        goal: "system ⊨_(I, F) AF rbit  [ABP delivery]".into(),
-        steps: vec![],
-        valid: true,
-    };
+    let mut cert = Certificate::new("system ⊨_(I, F) AF rbit  [ABP delivery]");
 
     // Rule 4 must fail: the loss daemon disables the helpful transition.
     let p_all = not_rbit.clone().and(inv.clone());

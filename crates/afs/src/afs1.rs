@@ -305,11 +305,7 @@ pub fn prove_afs2_liveness() -> Certificate {
     let e = engine();
     let server = server_component();
     let client = client_component();
-    let mut cert = Certificate {
-        goal: "system ⊨_(I, F) AF (Client.belief = valid)  [Afs2]".into(),
-        steps: vec![],
-        valid: true,
-    };
+    let mut cert = Certificate::new("system ⊨_(I, F) AF (Client.belief = valid)  [Afs2]");
     for (who, p_text, q_text) in progress_pairs() {
         let comp = if who == "server" { &server } else { &client };
         // Relativise p to the helpful component's domain-validity predicate:

@@ -10,6 +10,9 @@
 //!   6, 8, 9), the model-checking outputs (Figures 7, 10), and the
 //!   compositional deduction of the safety property (Afs1) and liveness
 //!   property (Afs2) from §4.2.3.
+//! * [`ideal`] — the IdealisedServer abstraction of the AFS-1 server and
+//!   the substitution proof that discharges (Afs1) without ever building
+//!   the concrete composition (the refinement layer's case study).
 //! * [`afs2`] — the AFS-2 models with callbacks, updates, failures and
 //!   transmission delay (Figures 11–17), parameterised by the number of
 //!   clients `n`, with the invariant proof of §4.3.4 and the scaling
@@ -18,3 +21,4 @@
 pub mod abp;
 pub mod afs1;
 pub mod afs2;
+pub mod ideal;

@@ -216,6 +216,13 @@ fn emit_summary(c: &mut Criterion) {
     // drained by 1/2/4/8 bounded workers. The 16-station check is a few
     // milliseconds, so the batch is long enough for worker count (not
     // spawn overhead) to dominate the wall time.
+    //
+    // On a single-hardware-thread host the sweep is REFUSED: multi-worker
+    // rows there time scheduling overhead, not parallel speedup, and an
+    // earlier artifact silently recorded exactly that. Only the
+    // one-worker row is measured and the refusal is recorded in the
+    // JSON; every emitted row carries the thread count that actually ran.
+    let avail = cmc_core::scheduler::default_workers();
     let sched_stations = if quick { 8 } else { 16 };
     let sched_tasks = 16usize;
     let systems = stations(sched_stations);
@@ -228,8 +235,11 @@ fn emit_summary(c: &mut Criterion) {
             )
         })
         .collect();
+    let worker_sweep: &[usize] = if avail == 1 { &[1] } else { &[1, 2, 4, 8] };
     let mut sched_series = Vec::new();
-    for workers in [1usize, 2, 4, 8] {
+    for &workers in worker_sweep {
+        // `run_bounded` clamps to the task count: the threads that ran.
+        let threads = workers.clamp(1, sched_tasks);
         let wall = mean_ns(
             || {
                 let out = check_targets_with_workers(&tasks, BackendChoice::Explicit, workers);
@@ -239,9 +249,28 @@ fn emit_summary(c: &mut Criterion) {
         );
         sched_series.push(Json::Obj(vec![
             ("workers".into(), Json::int(workers as u64)),
+            ("threads".into(), Json::int(threads as u64)),
+            ("oversubscribed".into(), Json::Bool(threads > avail)),
             ("wall_ns".into(), Json::Num(wall)),
         ]));
     }
+    let mut scheduler = vec![
+        ("stations".into(), Json::int(sched_stations as u64)),
+        ("tasks".into(), Json::int(sched_tasks as u64)),
+        ("available_parallelism".into(), Json::int(avail as u64)),
+    ];
+    if avail == 1 {
+        scheduler.push((
+            "refused".into(),
+            Json::Str(
+                "scaling sweep refused: available_parallelism() == 1, so multi-worker \
+                 rows would measure scheduling overhead, not parallel speedup; only \
+                 the one-worker row was recorded"
+                    .into(),
+            ),
+        ));
+    }
+    scheduler.push(("series".into(), Json::Arr(sched_series)));
 
     let doc = Json::Obj(vec![
         ("benchmark".into(), Json::Str("explicit_kernel".into())),
@@ -256,20 +285,7 @@ fn emit_summary(c: &mut Criterion) {
             Json::Str("t0 -> AX (t0 | t1)  /  EF t[n/2]".into()),
         ),
         ("series".into(), Json::Arr(series)),
-        (
-            "scheduler".into(),
-            Json::Obj(vec![
-                ("stations".into(), Json::int(sched_stations as u64)),
-                ("tasks".into(), Json::int(sched_tasks as u64)),
-                // Worker counts past this are pure overhead on the host
-                // that produced the file — read the series against it.
-                (
-                    "available_parallelism".into(),
-                    Json::int(cmc_core::scheduler::default_workers() as u64),
-                ),
-                ("series".into(), Json::Arr(sched_series)),
-            ]),
-        ),
+        ("scheduler".into(), Json::Obj(scheduler)),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explicit.json");
     std::fs::write(path, doc.to_pretty() + "\n").expect("write BENCH_explicit.json");

@@ -1,0 +1,243 @@
+//! Monolithic vs substituted verification on the scratch-ring family —
+//! the numbers behind `BENCH_refine.json`.
+//!
+//! The workload is the token ring with each station carrying `SCRATCH`
+//! private bits of churning local state: the *observable* protocol (the
+//! token bits) is unchanged, but the monolithic composition grows by
+//! `2^(SCRATCH·n)` states. The refinement layer sidesteps the blow-up:
+//! each concrete station is checked once against its two-proposition
+//! idealisation (`Cᵢ ⊑ Aᵢ`, a station-local simulation), and the safety
+//! property is proved on the all-ideal ring — `n` propositions total,
+//! independent of `SCRATCH`.
+//!
+//! The monolithic column is *refused* past a width budget: materialising
+//! the interleaving product is exponential in the total proposition
+//! count, and a row that cannot finish is recorded as over-budget rather
+//! than silently skipped. That refusal is the point of the bench — the
+//! substituted check keeps succeeding at sizes where the monolithic one
+//! cannot run at all.
+//!
+//! Every substitution certificate produced by the timed runs is replayed
+//! through `cmc_testkit::replay_substitution` (simulation premise +
+//! abstract-side property, from the certificate alone) before the JSON
+//! is written.
+
+use cmc_bench::ring::{at_most_one, station_module, token_at_zero};
+use cmc_core::engine::{Certificate, Component, Engine, Substitution};
+use cmc_ctl::{Formula, Restriction};
+use cmc_kripke::System;
+use cmc_smv::{compile_explicit, parse_module};
+use cmc_store::json::Json;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Private scratch bits per station.
+const SCRATCH: usize = 2;
+
+/// Widest composition the monolithic path will attempt: past this the
+/// materialised product (2^width states) stops being a measurement and
+/// becomes a memory bomb, so the row is refused and annotated instead.
+const MONOLITHIC_BUDGET_PROPS: usize = 16;
+
+/// Station `i` with `SCRATCH` private flip-flopping scratch bits: same
+/// token protocol as `ring::station_module`, `2^SCRATCH` times the local
+/// state.
+fn scratch_station(i: usize, n: usize) -> System {
+    let j = (i + 1) % n;
+    let scratch_vars: String = (0..SCRATCH)
+        .map(|b| format!("s{i}_{b} : boolean; "))
+        .collect();
+    let scratch_assigns: String = (0..SCRATCH)
+        .map(|b| format!("  next(s{i}_{b}) := !s{i}_{b};\n"))
+        .collect();
+    let src = format!(
+        "MODULE main\nVAR t{i} : boolean; t{j} : boolean; {scratch_vars}\nASSIGN\n  \
+         next(t{i}) := case t{i} : 0; 1 : t{i}; esac;\n  \
+         next(t{j}) := case t{i} : 1; 1 : t{j}; esac;\n{scratch_assigns}"
+    );
+    compile_explicit(&parse_module(&src).expect("scratch station parses"))
+        .expect("scratch station compiles")
+        .system
+}
+
+/// The idealisation of station `i`: the plain two-proposition station —
+/// exactly the projection of [`scratch_station`] onto its token bits.
+fn ideal_station(i: usize, n: usize) -> System {
+    compile_explicit(&station_module(i, n)).unwrap().system
+}
+
+/// The ring obligation: at most one token, from a token-at-zero start.
+fn obligation(n: usize) -> (Restriction, Formula) {
+    (
+        Restriction::with_init(token_at_zero(n)),
+        at_most_one(n).ag(),
+    )
+}
+
+/// Prove the obligation by per-station substitution: station `i` is
+/// checked concrete against its idealisation with every *other* station
+/// already idealised, so each deduction's property check runs on the
+/// `n`-proposition all-ideal ring. Returns one certificate per station.
+fn prove_substituted(n: usize) -> Vec<Certificate> {
+    let (r, f) = obligation(n);
+    let ideals: Vec<System> = (0..n).map(|i| ideal_station(i, n)).collect();
+    (0..n)
+        .map(|i| {
+            let comps = (0..n)
+                .map(|j| {
+                    let sys = if j == i {
+                        scratch_station(j, n)
+                    } else {
+                        ideals[j].clone()
+                    };
+                    Component::new(format!("station{j}"), sys)
+                })
+                .collect();
+            let cert = Engine::new(comps)
+                .prove_substituted(&Substitution::new(i, ideals[i].clone()), &r, &f)
+                .expect("ring substitution satisfies every side condition");
+            assert!(cert.valid, "station {i} substitution failed:\n{cert}");
+            cert
+        })
+        .collect()
+}
+
+/// The monolithic check over the all-concrete ring.
+fn prove_monolithic(n: usize) {
+    let (r, f) = obligation(n);
+    let comps = (0..n)
+        .map(|i| Component::new(format!("station{i}"), scratch_station(i, n)))
+        .collect();
+    let ok = Engine::new(comps)
+        .monolithic_check(&r, &f)
+        .expect("monolithic check runs");
+    assert!(ok, "ring safety fails monolithically at n = {n}");
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("CMC_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+/// Mean wall time of `f` over `iters` runs (one warm-up run first), ns.
+fn mean_ns(mut f: impl FnMut(), iters: u32) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+fn emit_summary(c: &mut Criterion) {
+    let quick = quick_mode();
+    let sizes: &[usize] = if quick { &[3, 4] } else { &[3, 4, 5, 6, 8] };
+    let iters = if quick { 1 } else { 3 };
+
+    let mut series = Vec::new();
+    let mut replayed_total = 0usize;
+    for &n in sizes {
+        let width_monolithic = n * (1 + SCRATCH);
+        let substituted_ns = mean_ns(
+            || {
+                black_box(prove_substituted(n));
+            },
+            iters,
+        );
+
+        // Replay every substitution certificate from this size before
+        // recording it: simulation premise + abstract-side property,
+        // re-established from the certificate alone.
+        let certs = prove_substituted(n);
+        for cert in &certs {
+            for record in &cert.abstractions {
+                assert!(
+                    cmc_testkit::replay_substitution(record).expect("substitution record replays"),
+                    "stored substitution failed replay at n = {n}"
+                );
+                replayed_total += 1;
+            }
+        }
+
+        let monolithic_ns = if width_monolithic <= MONOLITHIC_BUDGET_PROPS {
+            Json::Num(mean_ns(|| prove_monolithic(n), iters))
+        } else {
+            Json::Str(format!(
+                "refused: {width_monolithic}-proposition product exceeds the \
+                 {MONOLITHIC_BUDGET_PROPS}-proposition monolithic budget"
+            ))
+        };
+        let speedup = match &monolithic_ns {
+            Json::Num(m) => Json::Num(m / substituted_ns),
+            _ => Json::Null,
+        };
+        series.push(Json::Obj(vec![
+            ("stations".into(), Json::int(n as u64)),
+            (
+                "width_monolithic".into(),
+                Json::int(width_monolithic as u64),
+            ),
+            ("width_substituted".into(), Json::int(n as u64)),
+            ("monolithic_ns".into(), monolithic_ns),
+            ("substituted_ns".into(), Json::Num(substituted_ns)),
+            ("speedup".into(), speedup),
+            (
+                "certificates_replayed".into(),
+                Json::int(certs.iter().map(|c| c.abstractions.len()).sum::<usize>() as u64),
+            ),
+        ]));
+    }
+
+    let doc = Json::Obj(vec![
+        (
+            "benchmark".into(),
+            Json::Str("refinement_substitution".into()),
+        ),
+        (
+            "family".into(),
+            Json::Str(format!(
+                "token-ring, {SCRATCH} private scratch bits/station"
+            )),
+        ),
+        (
+            "unit".into(),
+            Json::Str(format!("ns/iter (mean of {iters})")),
+        ),
+        ("quick".into(), Json::Bool(quick)),
+        (
+            "obligation".into(),
+            Json::Str("AG at-most-one-token under token-at-zero init".into()),
+        ),
+        (
+            "monolithic_budget_props".into(),
+            Json::int(MONOLITHIC_BUDGET_PROPS as u64),
+        ),
+        (
+            "certificates_replayed".into(),
+            Json::int(replayed_total as u64),
+        ),
+        ("series".into(), Json::Arr(series)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_refine.json");
+    std::fs::write(path, doc.to_pretty() + "\n").expect("write BENCH_refine.json");
+    c.bench_function("refinement_substitution_summary_emitted", |b| {
+        b.iter(|| black_box(&doc))
+    });
+}
+
+/// Criterion-visible timing for the substituted path at a size the
+/// monolithic check already cannot attempt.
+fn substituted_past_budget(c: &mut Criterion) {
+    let n = if quick_mode() { 6 } else { 8 };
+    assert!(n * (1 + SCRATCH) > MONOLITHIC_BUDGET_PROPS);
+    c.bench_function(&format!("substituted_ring_{n}"), |b| {
+        b.iter(|| black_box(prove_substituted(n)).len())
+    });
+}
+
+criterion_group!(
+    name = refinement_substitution;
+    config = Criterion::default().sample_size(10);
+    targets = substituted_past_budget, emit_summary
+);
+criterion_main!(refinement_substitution);

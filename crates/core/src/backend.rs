@@ -20,9 +20,12 @@
 //! path linear in Σ|Rᵢ| rather than the product's `BTreeMap` explosion.
 
 use cmc_bdd::BddStats;
-use cmc_ctl::{CheckError, Checker, Formula, Restriction, MAX_EXPLICIT_PROPS};
-use cmc_kripke::{Alphabet, State, System};
-use cmc_symbolic::{MaintenanceConfig, SymbolicError, SymbolicModel};
+use cmc_ctl::{
+    simulates_explicit, CheckError, Checker, Formula, Restriction, SimError, MAX_EXPLICIT_PROPS,
+    MAX_SIM_PAIR_PROPS,
+};
+use cmc_kripke::{Alphabet, SimulationOutcome, State, System};
+use cmc_symbolic::{simulates_symbolic, MaintenanceConfig, SymbolicError, SymbolicModel};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -443,6 +446,159 @@ pub fn backend_for(kind: BackendKind) -> Box<dyn Backend + Send + Sync> {
     }
 }
 
+/// Decide `concrete ⊑ abstraction` under the backend policy.
+///
+/// The simulation fixpoint has its own routing width — the *pair*
+/// universe is `2^(|Σ_C|+|Σ_A|)`, so `Auto` crosses to the BDD checker at
+/// [`MAX_SIM_PAIR_PROPS`] combined propositions rather than at the
+/// property-checking limit. A forced `Explicit` policy past the limit
+/// fails fast with [`BackendError::TooLarge`] before any per-pair work.
+/// Returns the outcome together with the engine that produced it (the
+/// resolved kind goes into store keys, so equal obligations routed the
+/// same way collide).
+pub fn check_refines(
+    choice: BackendChoice,
+    concrete: &System,
+    abstraction: &System,
+) -> Result<(SimulationOutcome, BackendKind), BackendError> {
+    let props = concrete.alphabet().len() + abstraction.alphabet().len();
+    let kind = match choice {
+        BackendChoice::Explicit => BackendKind::Explicit,
+        BackendChoice::Symbolic => BackendKind::Symbolic,
+        BackendChoice::Auto => {
+            if props > MAX_SIM_PAIR_PROPS {
+                BackendKind::Symbolic
+            } else {
+                BackendKind::Explicit
+            }
+        }
+    };
+    match kind {
+        BackendKind::Explicit => match simulates_explicit(concrete, abstraction) {
+            Ok(out) => Ok((out, kind)),
+            Err(SimError::TooLarge { props, limit }) => {
+                Err(BackendError::TooLarge { props, limit })
+            }
+        },
+        BackendKind::Symbolic => Ok((simulates_symbolic(concrete, abstraction), kind)),
+    }
+}
+
+/// One dischargeable proof obligation — the vocabulary the engine's
+/// refinement layer deals in. `Check` is the classic `⊨_r` query both
+/// [`Backend`]s answer; `Refines` and `Substituted` are the two new kinds
+/// introduced by the abstraction-substitution rule.
+#[derive(Debug, Clone)]
+pub enum Obligation {
+    /// `target ⊨_r f`.
+    Check {
+        /// The (lazily composed) system under check.
+        target: Target,
+        /// The restriction `r = (I, F)`.
+        r: Restriction,
+        /// The property.
+        f: Formula,
+    },
+    /// `concrete ⊑ abstraction` — a simulation premise.
+    Refines {
+        /// The concrete component.
+        concrete: System,
+        /// Its candidate abstraction.
+        abstraction: System,
+    },
+    /// Prove `concrete ∘ rest ⊨_r f` by `concrete ⊑ abstraction` plus
+    /// `abstraction ∘ rest ⊨_r f` (side conditions are the *caller's*
+    /// duty — `cmc_core::rules::substitution_side_conditions` — this is
+    /// the mechanical discharge only).
+    Substituted {
+        /// The component being abstracted.
+        concrete: System,
+        /// The abstraction substituted for it.
+        abstraction: System,
+        /// The unchanged context components.
+        rest: Vec<System>,
+        /// The restriction.
+        r: Restriction,
+        /// The property.
+        f: Formula,
+    },
+}
+
+/// The outcome of discharging an [`Obligation`].
+#[derive(Debug, Clone)]
+pub enum ObligationOutcome {
+    /// Outcome of a `Check` obligation.
+    Verdict(Verdict),
+    /// Outcome of a `Refines` obligation, with the engine that ran it.
+    Simulation(SimulationOutcome, BackendKind),
+    /// Outcome of a `Substituted` obligation: the simulation premise, and
+    /// the abstract-side property verdict — [`None`] when the simulation
+    /// already failed (the property is then never posed).
+    Substitution {
+        /// `concrete ⊑ abstraction`, with the engine that decided it.
+        simulation: (SimulationOutcome, BackendKind),
+        /// `abstraction ∘ rest ⊨_r f`, if the simulation held.
+        verdict: Option<Verdict>,
+    },
+}
+
+impl ObligationOutcome {
+    /// Did the obligation discharge positively?
+    pub fn holds(&self) -> bool {
+        match self {
+            ObligationOutcome::Verdict(v) => v.holds,
+            ObligationOutcome::Simulation(out, _) => out.holds(),
+            ObligationOutcome::Substitution {
+                simulation,
+                verdict,
+            } => simulation.0.holds() && verdict.as_ref().is_some_and(|v| v.holds),
+        }
+    }
+}
+
+impl Obligation {
+    /// Discharge this obligation under `choice`. Purely mechanical: no
+    /// soundness side conditions are enforced here.
+    pub fn discharge(&self, choice: BackendChoice) -> Result<ObligationOutcome, BackendError> {
+        match self {
+            Obligation::Check { target, r, f } => {
+                let kind = choice.select(target.width());
+                let verdict = backend_for(kind).check(target, r, f)?;
+                Ok(ObligationOutcome::Verdict(verdict))
+            }
+            Obligation::Refines {
+                concrete,
+                abstraction,
+            } => {
+                let (out, kind) = check_refines(choice, concrete, abstraction)?;
+                Ok(ObligationOutcome::Simulation(out, kind))
+            }
+            Obligation::Substituted {
+                concrete,
+                abstraction,
+                rest,
+                r,
+                f,
+            } => {
+                let simulation = check_refines(choice, concrete, abstraction)?;
+                let verdict = if simulation.0.holds() {
+                    let mut systems = vec![abstraction.clone()];
+                    systems.extend(rest.iter().cloned());
+                    let target = Target::composition(systems);
+                    let kind = choice.select(target.width());
+                    Some(backend_for(kind).check(&target, r, f)?)
+                } else {
+                    None
+                };
+                Ok(ObligationOutcome::Substitution {
+                    simulation,
+                    verdict,
+                })
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -606,6 +762,91 @@ mod tests {
         let e = ExplicitBackend::default().check(&target, &r, &f).unwrap();
         let s = SymbolicBackend::default().check(&target, &r, &f).unwrap();
         assert!(e.holds && s.holds);
+    }
+
+    #[test]
+    fn refines_routes_by_pair_width_and_agrees_across_engines() {
+        // Narrow pair: Auto stays explicit.
+        let c = riser("x");
+        let mut a = System::new(Alphabet::new(["x"]));
+        a.add_transition_named(&[], &["x"]);
+        a.add_transition_named(&["x"], &[]);
+        let (out, kind) = check_refines(BackendChoice::Auto, &c, &a).unwrap();
+        assert!(out.holds());
+        assert_eq!(kind, BackendKind::Explicit);
+        let (sym, kind) = check_refines(BackendChoice::Symbolic, &c, &a).unwrap();
+        assert_eq!(sym, out);
+        assert_eq!(kind, BackendKind::Symbolic);
+        // Wide pair: Auto crosses to symbolic; forced explicit fails fast.
+        let names: Vec<String> = (0..MAX_SIM_PAIR_PROPS).map(|i| format!("p{i}")).collect();
+        let wide = System::new(Alphabet::new(names));
+        let (_, kind) = check_refines(BackendChoice::Auto, &wide, &wide).unwrap();
+        assert_eq!(kind, BackendKind::Symbolic);
+        let err = check_refines(BackendChoice::Explicit, &wide, &wide).unwrap_err();
+        assert!(matches!(err, BackendError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn substituted_obligation_discharges_both_halves() {
+        // Concrete toggler over {x, scratch}; abstraction = its projection
+        // onto {x}; context riser over {y}. The substituted check must
+        // verify the simulation and then pose the property on A ∘ rest.
+        let mut c = System::new(Alphabet::new(["x", "scratch"]));
+        c.add_transition_named(&[], &["scratch"]);
+        c.add_transition_named(&["scratch"], &["scratch", "x"]);
+        c.add_transition_named(&["scratch", "x"], &["x"]);
+        c.add_transition_named(&["x"], &[]);
+        let a = c.project(&Alphabet::new(["x"]));
+        let ob = Obligation::Substituted {
+            concrete: c,
+            abstraction: a,
+            rest: vec![riser("y")],
+            r: Restriction::trivial(),
+            f: parse("AG (y -> AX y)").unwrap(),
+        };
+        let out = ob.discharge(BackendChoice::Auto).unwrap();
+        assert!(out.holds());
+        match out {
+            ObligationOutcome::Substitution {
+                simulation,
+                verdict,
+            } => {
+                assert!(simulation.0.holds());
+                assert!(verdict.unwrap().holds);
+            }
+            other => panic!("expected a substitution outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_simulation_short_circuits_the_property() {
+        // A riser does not simulate back down, so the abstract property is
+        // never posed.
+        let mut c = System::new(Alphabet::new(["x"]));
+        c.add_transition_named(&[], &["x"]);
+        c.add_transition_named(&["x"], &[]);
+        let mut a = System::new(Alphabet::new(["x"]));
+        a.add_transition_named(&[], &["x"]);
+        let ob = Obligation::Substituted {
+            concrete: c,
+            abstraction: a,
+            rest: vec![],
+            r: Restriction::trivial(),
+            f: parse("AG x").unwrap(),
+        };
+        match ob.discharge(BackendChoice::Auto).unwrap() {
+            ObligationOutcome::Substitution {
+                simulation,
+                verdict,
+            } => {
+                assert!(!simulation.0.holds());
+                assert!(
+                    verdict.is_none(),
+                    "property must not run after a failed premise"
+                );
+            }
+            other => panic!("expected a substitution outcome, got {other:?}"),
+        }
     }
 
     #[test]

@@ -13,12 +13,17 @@
 //! exactly this workflow: "the developer of a component take\[s\] a greater
 //! part in proving correctness" and ships the proof with the component.
 
-use crate::backend::{backend_for, BackendChoice, BackendKind, Target};
+use crate::backend::{backend_for, check_refines, BackendChoice, BackendKind, Target};
 use crate::property::{classify, PropertyClass};
-use crate::rules::{invariant_obligations, Guarantee, RuleError};
+use crate::rules::{
+    circular_refines, invariant_obligations, substitution_side_conditions, Guarantee,
+    RefinementError, RuleError,
+};
 use cmc_ctl::{Formula, Restriction};
 use cmc_kripke::{Alphabet, System};
-use cmc_store::{CertStore, Entry, ObligationKey, StoredCertificate, StoredStep};
+use cmc_store::{
+    CertStore, Entry, ObligationKey, StoredCertificate, StoredStep, StoredSubstitution,
+};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
@@ -92,9 +97,24 @@ pub struct Certificate {
     pub steps: Vec<Step>,
     /// Overall verdict.
     pub valid: bool,
+    /// Abstraction substitutions this deduction leaned on — everything a
+    /// replay validator needs to re-establish each substitution from the
+    /// certificate alone (empty for ordinary deductions).
+    pub abstractions: Vec<StoredSubstitution>,
 }
 
 impl Certificate {
+    /// An empty valid certificate for `goal` — steps fold into the
+    /// verdict as they are appended.
+    pub fn new(goal: impl Into<String>) -> Self {
+        Certificate {
+            goal: goal.into(),
+            steps: vec![],
+            valid: true,
+            abstractions: vec![],
+        }
+    }
+
     /// Append a step and fold its outcome into the verdict. Public so
     /// that case studies can assemble composite certificates (e.g. a
     /// Rule-4 chain plus a hand-chained conclusion).
@@ -177,6 +197,7 @@ impl From<&Certificate> for StoredCertificate {
                 })
                 .collect(),
             valid: cert.valid,
+            abstractions: cert.abstractions.clone(),
         }
     }
 }
@@ -197,6 +218,7 @@ impl From<StoredCertificate> for Certificate {
                 })
                 .collect(),
             valid: cert.valid,
+            abstractions: cert.abstractions,
         }
     }
 }
@@ -223,6 +245,16 @@ impl fmt::Display for Certificate {
             }
             writeln!(f)?;
         }
+        for sub in &self.abstractions {
+            writeln!(
+                f,
+                "  [abstraction] {} ⊑ {} ({} → {} propositions)",
+                sub.component,
+                &sub.abstraction_key[..8],
+                sub.concrete.alphabet().len(),
+                sub.abstraction.alphabet().len(),
+            )?;
+        }
         writeln!(
             f,
             "verdict: {}",
@@ -242,6 +274,10 @@ pub enum EngineError {
     Check(String),
     /// A rule application failed.
     Rule(RuleError),
+    /// A refinement side condition was violated — the requested
+    /// substitution or circular discharge would be unsound, so the engine
+    /// refuses it outright rather than produce a wrong verdict.
+    Refinement(RefinementError),
 }
 
 impl fmt::Display for EngineError {
@@ -249,6 +285,7 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Check(m) => write!(f, "{m}"),
             EngineError::Rule(e) => write!(f, "{e}"),
+            EngineError::Refinement(e) => write!(f, "{e}"),
         }
     }
 }
@@ -258,6 +295,33 @@ impl std::error::Error for EngineError {}
 impl From<RuleError> for EngineError {
     fn from(e: RuleError) -> Self {
         EngineError::Rule(e)
+    }
+}
+
+impl From<RefinementError> for EngineError {
+    fn from(e: RefinementError) -> Self {
+        EngineError::Refinement(e)
+    }
+}
+
+/// A request to stand an abstraction in for one component of the
+/// engine's composition.
+#[derive(Debug, Clone)]
+pub struct Substitution {
+    /// Index of the component being abstracted.
+    pub component: usize,
+    /// The abstract system to substitute (its alphabet must be a subset
+    /// of the concrete component's).
+    pub abstraction: System,
+}
+
+impl Substitution {
+    /// Convenience constructor.
+    pub fn new(component: usize, abstraction: System) -> Self {
+        Substitution {
+            component,
+            abstraction,
+        }
     }
 }
 
@@ -549,11 +613,7 @@ impl Engine {
     }
 
     fn prove_uncached(&self, r: &Restriction, f: &Formula) -> Result<Certificate, EngineError> {
-        let mut cert = Certificate {
-            goal: format!("system ⊨_{r} {f}"),
-            steps: vec![],
-            valid: true,
-        };
+        let mut cert = Certificate::new(format!("system ⊨_{r} {f}"));
         match classify(f, r) {
             Some(c) if c.class == PropertyClass::Universal => {
                 cert.step(
@@ -689,11 +749,7 @@ impl Engine {
     ) -> Result<Certificate, EngineError> {
         let (_universal, validity) = invariant_obligations(inv, init)?;
         let r = Restriction::new(init.clone(), fairness.iter().cloned());
-        let mut cert = Certificate {
-            goal: format!("system ⊨_{r} AG ({inv})"),
-            steps: vec![],
-            valid: true,
-        };
+        let mut cert = Certificate::new(format!("system ⊨_{r} AG ({inv})"));
         // I ⇒ Inv: a propositional validity over the mentioned props.
         let mut validity_props = validity.atomic_props();
         if validity_props.is_empty() {
@@ -830,11 +886,7 @@ impl Engine {
     /// `g` on the composition (compositionally where classifiable), then
     /// conclude the right-hand sides.
     pub fn discharge(&self, g: &Guarantee) -> Result<Certificate, EngineError> {
-        let mut cert = Certificate {
-            goal: format!("discharge {}", g.provenance),
-            steps: vec![],
-            valid: true,
-        };
+        let mut cert = Certificate::new(format!("discharge {}", g.provenance));
         for (f, r) in &g.lhs {
             let sub = self.prove(r, f)?;
             let compositional = sub.fully_compositional();
@@ -846,6 +898,262 @@ impl Engine {
             }
         }
         Ok(cert)
+    }
+
+    /// Prove `⊨_r f` of the composition by **abstraction substitution**:
+    /// discharge `Cᵢ ⊑ A` once, then check the property on the (usually
+    /// far smaller) composition with `A` standing in for `Cᵢ`.
+    ///
+    /// Soundness is enforced *before* anything is checked
+    /// ([`substitution_side_conditions`]): a violated side condition is a
+    /// typed [`EngineError::Refinement`], never a verdict. A *failed*
+    /// simulation premise, by contrast, is an honest negative outcome: the
+    /// returned certificate records the counterexample and is invalid.
+    ///
+    /// With a store attached, the whole deduction is memoized under a
+    /// substitution-shaped key, and the simulation premise is memoized on
+    /// its own so other substitutions reusing the same `(C, A)` pair skip
+    /// the fixpoint. The certificate carries a [`StoredSubstitution`]
+    /// record with the content-addressed key of the abstraction, so
+    /// `cmc-testkit` can replay the deduction from the certificate alone.
+    pub fn prove_substituted(
+        &self,
+        sub: &Substitution,
+        r: &Restriction,
+        f: &Formula,
+    ) -> Result<Certificate, EngineError> {
+        let i = sub.component;
+        if i >= self.components.len() {
+            return Err(EngineError::Check(format!(
+                "substitution component index {i} out of range ({} components)",
+                self.components.len()
+            )));
+        }
+        let comp = &self.components[i];
+        let concrete = &comp.system;
+        let abstraction = &sub.abstraction;
+        let rest: Vec<&System> = self
+            .components
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, c)| &c.system)
+            .collect();
+        substitution_side_conditions(&comp.name, concrete, abstraction, &rest, r, f)?;
+        let key =
+            ObligationKey::substituted(self.backend.tag(), concrete, abstraction, &rest, r, f);
+        self.cached_deduction(key, || {
+            let mut cert =
+                Certificate::new(format!("system ⊨_{r} {f} via abstraction of {}", comp.name));
+            cert.step(
+                format!(
+                    "substitution side conditions hold for {} (Σ_A ⊆ Σ_C, shared \
+                     propositions retained, {f} universal)",
+                    comp.name
+                ),
+                true,
+                true,
+            );
+            // Premise: C ⊑ A, memoized on its own key so any deduction
+            // reusing this (concrete, abstraction) pair skips the fixpoint.
+            let sim_key = ObligationKey::refines(concrete, abstraction, self.backend.tag());
+            let fresh = std::cell::RefCell::new(None);
+            let run_sim = || -> Result<Entry, EngineError> {
+                let (out, kind) = check_refines(self.backend, concrete, abstraction)
+                    .map_err(|e| EngineError::Check(e.to_string()))?;
+                let holds = out.holds();
+                *fresh.borrow_mut() = Some((out, kind));
+                Ok(Entry::verdict(holds))
+            };
+            let (sim_holds, sim_hit) = match &self.store {
+                Some(store) => {
+                    let (entry, hit) = store.get_or_check(sim_key, run_sim)?;
+                    (entry.verdict, hit)
+                }
+                None => (run_sim()?.verdict, false),
+            };
+            let premise = format!("{} ⊑ abstraction", comp.name);
+            match fresh.into_inner() {
+                Some((out, kind)) => {
+                    let detail = match out.counterexample() {
+                        Some(cx) => format!("{premise} FAILS: {}", cx.display(concrete.alphabet())),
+                        None => format!("{premise} ({out})"),
+                    };
+                    cert.step_checked(detail, sim_holds, true, kind, None);
+                }
+                None => cert.step(Self::mark(premise, sim_hit), sim_holds, true),
+            }
+            if !sim_holds {
+                return Ok(cert);
+            }
+            // Conclusion side: the property on the substituted composition,
+            // proved by the ordinary compositional machinery.
+            let mut comps = self.components.clone();
+            comps[i] = Component::new(format!("A[{}]", comp.name), abstraction.clone());
+            let mut inner = Engine::new(comps).with_backend(self.backend);
+            if let Some(store) = &self.store {
+                inner.set_store(Arc::clone(store));
+            }
+            let inner_cert = inner.prove(r, f)?;
+            let inner_valid = inner_cert.valid;
+            cert.steps.extend(inner_cert.steps);
+            cert.abstractions.extend(inner_cert.abstractions);
+            cert.valid &= inner_valid;
+            if cert.valid {
+                cert.step(
+                    format!(
+                        "{} ⊑ A and A ∘ rest ⊨_r {f} (universal) give the conclusion \
+                         on the concrete composition",
+                        comp.name
+                    ),
+                    true,
+                    true,
+                );
+            }
+            cert.abstractions.push(StoredSubstitution {
+                component: comp.name.clone(),
+                abstraction_key: ObligationKey::system(abstraction).to_hex(),
+                concrete: concrete.clone(),
+                abstraction: abstraction.clone(),
+                rest: rest.iter().map(|s| (*s).clone()).collect(),
+                init: r.init.to_string(),
+                fairness: r.fairness.iter().map(|g| g.to_string()).collect(),
+                formula: f.to_string(),
+            });
+            Ok(cert)
+        })
+    }
+
+    /// Prove `⊨_r f` of a **two-component** composition by the circular
+    /// assume-guarantee rule: discharge the cross premises
+    /// `C₁ ∘ A₂ ⊑ A₁ ∘ A₂` and `A₁ ∘ C₂ ⊑ A₁ ∘ A₂`
+    /// ([`circular_refines`], with the base case taken from `r`'s initial
+    /// condition), then check the property once on the joint abstraction
+    /// `A₁ ∘ A₂`. Every way the circle could be unsound — a vacuous or
+    /// out-of-scope base case, a non-universal property, an abstraction
+    /// inventing state — is a typed [`EngineError::Refinement`].
+    pub fn prove_circular(
+        &self,
+        a1: &System,
+        a2: &System,
+        r: &Restriction,
+        f: &Formula,
+    ) -> Result<Certificate, EngineError> {
+        if self.components.len() != 2 {
+            return Err(EngineError::Check(format!(
+                "circular discharge needs exactly two components (engine has {})",
+                self.components.len()
+            )));
+        }
+        let (comp1, comp2) = (&self.components[0], &self.components[1]);
+        let (c1, c2) = (&comp1.system, &comp2.system);
+        // Scope and fragment side conditions; the alphabet-subset and
+        // base-case conditions are enforced inside `circular_refines`.
+        let surviving = a1.alphabet().union(a2.alphabet());
+        let mut out_of_scope: Vec<String> = f
+            .atomic_props()
+            .into_iter()
+            .chain(r.init.atomic_props())
+            .chain(r.fairness.iter().flat_map(|g| g.atomic_props()))
+            .filter(|p| !surviving.contains(p))
+            .collect();
+        out_of_scope.sort();
+        out_of_scope.dedup();
+        if !out_of_scope.is_empty() {
+            return Err(RefinementError::PropertyOutsideAbstraction {
+                props: out_of_scope,
+            }
+            .into());
+        }
+        crate::rules::require_universal(f)?;
+        for (what, g) in
+            std::iter::once(("I", &r.init)).chain(r.fairness.iter().map(|g| ("fairness", g)))
+        {
+            if !g.is_propositional() {
+                return Err(RefinementError::RestrictionNotPropositional {
+                    what: format!("{what} = {g}"),
+                }
+                .into());
+            }
+        }
+        // Memo key: both oriented premises, combined asymmetrically.
+        let k1 = ObligationKey::substituted(self.backend.tag(), c1, a1, &[a2], r, f);
+        let k2 = ObligationKey::substituted(self.backend.tag(), c2, a2, &[a1], r, f);
+        let key = ObligationKey(k1.0 ^ k2.0.rotate_left(1));
+        self.cached_deduction(key, || {
+            let discharge = circular_refines(self.backend, c1, a1, c2, a2, &r.init)?;
+            let mut cert = Certificate::new(format!(
+                "system ⊨_{r} {f} via circular abstraction of {} and {}",
+                comp1.name, comp2.name
+            ));
+            cert.step(
+                format!(
+                    "circular base case {} is propositional, in scope, and inhabited \
+                     ({} assignments)",
+                    r.init, discharge.base_states
+                ),
+                true,
+                true,
+            );
+            cert.step_checked(
+                format!("premise C1 ∘ A2 ⊑ A1 ∘ A2 ({})", discharge.h1.0),
+                true,
+                true,
+                discharge.h1.1,
+                None,
+            );
+            cert.step_checked(
+                format!("premise A1 ∘ C2 ⊑ A1 ∘ A2 ({})", discharge.h2.0),
+                true,
+                true,
+                discharge.h2.1,
+                None,
+            );
+            let mut inner = Engine::new(vec![
+                Component::new(format!("A[{}]", comp1.name), a1.clone()),
+                Component::new(format!("A[{}]", comp2.name), a2.clone()),
+            ])
+            .with_backend(self.backend);
+            if let Some(store) = &self.store {
+                inner.set_store(Arc::clone(store));
+            }
+            let inner_cert = inner.prove(r, f)?;
+            let inner_valid = inner_cert.valid;
+            cert.steps.extend(inner_cert.steps);
+            cert.valid &= inner_valid;
+            if cert.valid {
+                cert.step(
+                    "circular rule: both cross premises and the abstract property \
+                     give the conclusion on the concrete composition",
+                    true,
+                    true,
+                );
+            }
+            let spec = a1.compose(a2);
+            let spec_key = ObligationKey::system(&spec).to_hex();
+            for (name, concrete) in [
+                (
+                    format!("{} (circular premise C1 ∘ A2)", comp1.name),
+                    c1.compose(a2),
+                ),
+                (
+                    format!("{} (circular premise A1 ∘ C2)", comp2.name),
+                    a1.compose(c2),
+                ),
+            ] {
+                cert.abstractions.push(StoredSubstitution {
+                    component: name,
+                    abstraction_key: spec_key.clone(),
+                    concrete,
+                    abstraction: spec.clone(),
+                    rest: vec![],
+                    init: r.init.to_string(),
+                    fairness: r.fairness.iter().map(|g| g.to_string()).collect(),
+                    formula: f.to_string(),
+                });
+            }
+            Ok(cert)
+        })
     }
 
     /// Cross-check a claim against the monolithic composition (used by the
@@ -1202,6 +1510,213 @@ mod tests {
         assert!(store.stats().hits >= 1);
     }
 
+    /// Toggler on `name` with `k` private scratch bits cycled before the
+    /// observable flips.
+    fn scratch_toggler(name: &str, scratch: &[&str]) -> System {
+        let mut names = vec![name.to_string()];
+        names.extend(scratch.iter().map(|s| s.to_string()));
+        let mut m = System::new(Alphabet::new(names.clone()));
+        // Walk up through the scratch bits, flip the observable, walk down.
+        let mut cur: Vec<&str> = vec![];
+        for s in scratch {
+            let mut next = cur.clone();
+            next.push(s);
+            m.add_transition_named(&cur, &next);
+            cur = next;
+        }
+        let mut with_obs = cur.clone();
+        with_obs.insert(0, name);
+        m.add_transition_named(&cur, &with_obs);
+        m.add_transition_named(&with_obs, &[name]);
+        m.add_transition_named(&[name], &[]);
+        m
+    }
+
+    #[test]
+    fn substituted_proof_is_sound_and_recorded() {
+        let c = scratch_toggler("x", &["s1", "s2"]);
+        let a = c.project(&Alphabet::new(["x"]));
+        let ctx = scratch_toggler("y", &[]);
+        let e = Engine::new(vec![
+            Component::new("worker", c.clone()),
+            Component::new("ctx", ctx),
+        ]);
+        let f = parse("AG (x | !x)").unwrap();
+        let r = Restriction::trivial();
+        let sub = Substitution::new(0, a.clone());
+        let cert = e.prove_substituted(&sub, &r, &f).unwrap();
+        assert!(cert.valid, "{cert}");
+        assert_eq!(cert.abstractions.len(), 1);
+        let rec = &cert.abstractions[0];
+        assert_eq!(rec.component, "worker");
+        assert_eq!(rec.concrete, c);
+        assert_eq!(rec.abstraction, a);
+        assert_eq!(rec.abstraction_key, ObligationKey::system(&a).to_hex());
+        assert_eq!(rec.formula, f.to_string());
+        // Verdict agrees with the monolith.
+        assert!(e.monolithic_check(&r, &f).unwrap());
+    }
+
+    #[test]
+    fn substituted_proof_replays_verbatim_from_the_store() {
+        let c = scratch_toggler("x", &["s1"]);
+        let a = c.project(&Alphabet::new(["x"]));
+        let ctx = scratch_toggler("y", &[]);
+        let store = Arc::new(CertStore::new());
+        let mk = |store: &Arc<CertStore>| {
+            Engine::new(vec![
+                Component::new("worker", c.clone()),
+                Component::new("ctx", ctx.clone()),
+            ])
+            .with_store(Arc::clone(store))
+        };
+        let f = parse("AG (y -> AX (y | x))").unwrap();
+        let r = Restriction::trivial();
+        let sub = Substitution::new(0, a);
+        let cold = mk(&store).prove_substituted(&sub, &r, &f).unwrap();
+        let warm = mk(&store).prove_substituted(&sub, &r, &f).unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(cold.abstractions, warm.abstractions);
+        assert!(store.stats().hits >= 1);
+    }
+
+    #[test]
+    fn unsound_substitutions_are_typed_errors_not_verdicts() {
+        let c = scratch_toggler("x", &["s1"]);
+        let a = c.project(&Alphabet::new(["x"]));
+        // Context sharing the scratch bit the abstraction drops.
+        let mut ctx = System::new(Alphabet::new(["s1"]));
+        ctx.add_transition_named(&[], &["s1"]);
+        let e = Engine::new(vec![
+            Component::new("worker", c),
+            Component::new("peeker", ctx),
+        ]);
+        let err = e
+            .prove_substituted(
+                &Substitution::new(0, a.clone()),
+                &Restriction::trivial(),
+                &parse("AG (x | !x)").unwrap(),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Refinement(RefinementError::SharedPropositionDropped { .. })
+        ));
+        // An existential property is likewise refused up front (clean
+        // context, so the dropped-proposition check cannot mask it).
+        let e = Engine::new(vec![
+            Component::new("worker", scratch_toggler("x", &["s1"])),
+            Component::new("ctx", scratch_toggler("y", &[])),
+        ]);
+        let err = e
+            .prove_substituted(
+                &Substitution::new(0, a),
+                &Restriction::trivial(),
+                &parse("EF x").unwrap(),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Refinement(RefinementError::NotUniversal { .. })
+        ));
+    }
+
+    #[test]
+    fn failed_simulation_premise_yields_an_invalid_certificate() {
+        // The "abstraction" forgets the toggler's descent, so C ⋢ A.
+        let c = scratch_toggler("x", &[]);
+        let mut a = System::new(Alphabet::new(["x"]));
+        a.add_transition_named(&[], &["x"]);
+        let ctx = scratch_toggler("y", &[]);
+        let e = Engine::new(vec![
+            Component::new("worker", c),
+            Component::new("ctx", ctx),
+        ]);
+        let cert = e
+            .prove_substituted(
+                &Substitution::new(0, a),
+                &Restriction::trivial(),
+                &parse("AG (x | !x)").unwrap(),
+            )
+            .unwrap();
+        assert!(!cert.valid);
+        assert!(
+            cert.steps
+                .iter()
+                .any(|s| !s.ok && s.description.contains("FAILS")),
+            "{cert}"
+        );
+        // Nothing was substituted, so nothing is recorded for replay.
+        assert!(cert.abstractions.is_empty());
+    }
+
+    #[test]
+    fn circular_discharge_proves_a_cross_property() {
+        let c1 = scratch_toggler("x", &["s1"]);
+        let a1 = c1.project(&Alphabet::new(["x"]));
+        let c2 = scratch_toggler("y", &["s2"]);
+        let a2 = c2.project(&Alphabet::new(["y"]));
+        let e = Engine::new(vec![
+            Component::new("left", c1),
+            Component::new("right", c2),
+        ]);
+        let r = Restriction::trivial();
+        let f = parse("AG ((x & y) -> (x | y))").unwrap();
+        let cert = e.prove_circular(&a1, &a2, &r, &f).unwrap();
+        assert!(cert.valid, "{cert}");
+        assert_eq!(cert.abstractions.len(), 2);
+        assert!(cert
+            .steps
+            .iter()
+            .any(|s| s.description.contains("premise C1 ∘ A2")));
+        assert!(e.monolithic_check(&r, &f).unwrap());
+    }
+
+    #[test]
+    fn unsound_circular_discharges_are_rejected() {
+        let c1 = scratch_toggler("x", &["s1"]);
+        let a1 = c1.project(&Alphabet::new(["x"]));
+        let c2 = scratch_toggler("y", &["s2"]);
+        let a2 = c2.project(&Alphabet::new(["y"]));
+        let e = Engine::new(vec![
+            Component::new("left", c1.clone()),
+            Component::new("right", c2.clone()),
+        ]);
+        let f = parse("AG (x | !x)").unwrap();
+        // Vacuous base case.
+        let err = e
+            .prove_circular(
+                &a1,
+                &a2,
+                &Restriction::with_init(parse("x & !x").unwrap()),
+                &f,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Refinement(RefinementError::CircularBaseCaseFailed { .. })
+        ));
+        // A premise that does not hold names itself.
+        let mut riser = System::new(Alphabet::new(["x"]));
+        riser.add_transition_named(&[], &["x"]);
+        let err = e
+            .prove_circular(&riser, &a2, &Restriction::trivial(), &f)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Refinement(RefinementError::SimulationFailed { .. })
+        ));
+        // Wrong arity engine.
+        let three = Engine::new(vec![
+            Component::new("a", c1.clone()),
+            Component::new("b", c2.clone()),
+            Component::new("c", scratch_toggler("z", &[])),
+        ]);
+        assert!(three
+            .prove_circular(&a1, &a2, &Restriction::trivial(), &f)
+            .is_err());
+    }
+
     #[test]
     fn certificate_display() {
         let e = rising_pair();
@@ -1216,11 +1731,7 @@ mod tests {
 
     #[test]
     fn certificate_introspection_hooks() {
-        let mut cert = Certificate {
-            goal: "demo".into(),
-            steps: vec![],
-            valid: true,
-        };
+        let mut cert = Certificate::new("demo");
         cert.step("pure deduction", true, true);
         cert.step_checked(
             "fresh check",

@@ -58,10 +58,13 @@ pub mod rules;
 pub mod scheduler;
 
 pub use backend::{
-    Backend, BackendChoice, BackendError, BackendKind, CheckStats, ExplicitBackend,
-    SymbolicBackend, Target, Verdict, MAX_WITNESSES,
+    check_refines, Backend, BackendChoice, BackendError, BackendKind, CheckStats, ExplicitBackend,
+    Obligation, ObligationOutcome, SymbolicBackend, Target, Verdict, MAX_WITNESSES,
 };
-pub use engine::{Certificate, Component, Engine, EngineError, Step};
+pub use engine::{Certificate, Component, Engine, EngineError, Step, Substitution};
 pub use property::{classify, ClassRule, Classified, PropertyClass};
 pub use report::VerificationReport;
-pub use rules::{invariant_obligations, rule4, rule5, Guarantee, RuleError};
+pub use rules::{
+    circular_refines, invariant_obligations, require_universal, rule4, rule5,
+    substitution_side_conditions, CircularDischarge, Guarantee, RefinementError, RuleError,
+};

@@ -40,6 +40,7 @@ pub mod csr;
 pub mod parser;
 pub mod restriction;
 pub mod rewrite;
+pub mod simulation;
 pub mod stateset;
 pub mod witness;
 
@@ -49,5 +50,6 @@ pub use csr::CsrIndex;
 pub use parser::{parse, ParseError};
 pub use restriction::Restriction;
 pub use rewrite::{formula_size, simplify};
+pub use simulation::{simulates_explicit, SimError, MAX_SIM_PAIR_PROPS};
 pub use stateset::StateSet;
 pub use witness::WitnessPath;

@@ -11,7 +11,9 @@
 //!          | ("EX"|"AX"|"EF"|"AF"|"EG"|"AG") unary
 //!          | ("E"|"A") "[" iff "U" iff "]"
 //!          | "TRUE" | "FALSE" | ident | "(" iff ")"
-//! ident   := [A-Za-z_][A-Za-z0-9_.]*           (dots allow `Server.belief`)
+//! ident   := [A-Za-z_][A-Za-z0-9_.#]*          (dots allow `Server.belief`;
+//!                                               `#` allows `cmc-smv` bit
+//!                                               names like `belief#0`)
 //! ```
 //!
 //! Identifiers may also be equality atoms like `belief = valid`; the parser
@@ -249,7 +251,7 @@ impl<'a> Parser<'a> {
 }
 
 fn is_ident_char(c: char) -> bool {
-    c.is_ascii_alphanumeric() || c == '_' || c == '.'
+    c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '#'
 }
 
 #[cfg(test)]
@@ -324,6 +326,20 @@ mod tests {
         assert_eq!(roundtrip("AGent"), Formula::ap("AGent"));
         // Bare E and A are identifiers when not followed by '['.
         assert_eq!(roundtrip("E & A"), Formula::ap("E").and(Formula::ap("A")));
+    }
+
+    #[test]
+    fn bit_atoms_roundtrip() {
+        // `cmc-smv` boolean-encodes enum variables as `name#j` bits;
+        // stored certificates render and re-parse formulas over them.
+        assert_eq!(
+            roundtrip("!sbelief#0 & sbelief#1"),
+            Formula::ap("sbelief#0").not().and(Formula::ap("sbelief#1"))
+        );
+        assert_eq!(
+            roundtrip("AG (r#2 -> AX r#2)").to_string(),
+            "AG (r#2 -> AX r#2)"
+        );
     }
 
     #[test]

@@ -43,9 +43,11 @@
 pub mod alphabet;
 pub mod dot;
 pub mod lemmas;
+pub mod simulation;
 pub mod state;
 pub mod system;
 
 pub use alphabet::Alphabet;
+pub use simulation::{simulates, SharedObs, SimulationCx, SimulationOutcome};
 pub use state::State;
 pub use system::System;

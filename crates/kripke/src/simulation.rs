@@ -1,0 +1,315 @@
+//! Simulation between named-state systems: the refinement layer's core
+//! relation `C ⊑ A` ("the concrete system refines the abstract one").
+//!
+//! States are proposition sets, so the labelling of a state *is* the
+//! state. Simulation is therefore taken with respect to the **shared
+//! observables** `O = Σ_C ∩ Σ_A`: the greatest relation
+//! `H ⊆ 2^Σ_C × 2^Σ_A` such that
+//!
+//! 1. `(s, a) ∈ H` implies `s|O = a|O` (agreement on observables), and
+//! 2. every proper concrete move `s → t` is matched by some abstract
+//!    `R*`-move `a → b` (stutter included) with `(t, b) ∈ H`.
+//!
+//! `C ⊑ A` holds iff *every* concrete state has an `H`-partner — the
+//! paper's satisfaction relations quantify over all of `2^Σ`, and so does
+//! refinement. Concrete stutters are matched by abstract stutters for
+//! free, so only proper concrete transitions constrain `H`.
+//!
+//! When the abstraction's alphabet is a subset of the concrete one
+//! (`Σ_A ⊆ Σ_C` — the shape the substitution rule in `cmc-core` demands),
+//! `H` collapses to the graph of the projection `s ↦ s|Σ_A`, and `C ⊑ A`
+//! says exactly that every projected concrete move is an abstract
+//! `R*`-move, recursively. With abstract-private propositions the greatest
+//! fixpoint is genuinely relational; the checkers handle both.
+//!
+//! This module holds the *shared vocabulary* — verdicts, counterexamples,
+//! observables — plus a small definitional checker used by the structural
+//! lemmas and as a cross-check. The production checkers live in
+//! `cmc-ctl` (explicit, CSR-based) and `cmc-symbolic` (BDD relational
+//! iteration).
+
+use crate::alphabet::Alphabet;
+use crate::state::State;
+use crate::system::System;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The shared-observable vocabulary of a simulation query: positions of
+/// `O = Σ_C ∩ Σ_A` in each alphabet, in the concrete alphabet's order.
+#[derive(Debug, Clone)]
+pub struct SharedObs {
+    /// Shared proposition names, in concrete-alphabet order.
+    pub names: Vec<String>,
+    /// Position of each shared proposition in the concrete alphabet.
+    pub concrete_pos: Vec<usize>,
+    /// Position of each shared proposition in the abstract alphabet.
+    pub abstract_pos: Vec<usize>,
+}
+
+impl SharedObs {
+    /// The observables shared by `concrete` and `abstraction`.
+    pub fn new(concrete: &Alphabet, abstraction: &Alphabet) -> Self {
+        let mut names = Vec::new();
+        let mut concrete_pos = Vec::new();
+        let mut abstract_pos = Vec::new();
+        for (i, name) in concrete.names().iter().enumerate() {
+            if let Some(j) = abstraction.position(name) {
+                names.push(name.clone());
+                concrete_pos.push(i);
+                abstract_pos.push(j);
+            }
+        }
+        SharedObs {
+            names,
+            concrete_pos,
+            abstract_pos,
+        }
+    }
+
+    /// The observation `s|O` of a concrete state, as a canonical bitmask
+    /// in shared-name order.
+    pub fn observe_concrete(&self, s: State) -> u128 {
+        let mut bits = 0u128;
+        for (k, &pos) in self.concrete_pos.iter().enumerate() {
+            if s.contains(pos) {
+                bits |= 1 << k;
+            }
+        }
+        bits
+    }
+
+    /// The observation `a|O` of an abstract state, in the same canonical
+    /// order as [`SharedObs::observe_concrete`].
+    pub fn observe_abstract(&self, a: State) -> u128 {
+        let mut bits = 0u128;
+        for (k, &pos) in self.abstract_pos.iter().enumerate() {
+            if a.contains(pos) {
+                bits |= 1 << k;
+            }
+        }
+        bits
+    }
+
+    /// Do `s` and `a` agree on every shared observable?
+    pub fn agree(&self, s: State, a: State) -> bool {
+        self.observe_concrete(s) == self.observe_abstract(a)
+    }
+}
+
+/// Why `C ⊑ A` failed: a concrete state with no abstract partner in the
+/// greatest simulation, and (when the failure is behavioural rather than
+/// a label mismatch) the proper concrete transition no abstract move can
+/// track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimulationCx {
+    /// The concrete state left without a partner.
+    pub state: State,
+    /// A proper concrete transition from a related ancestor that the
+    /// abstraction could not match (`None` when `state` already disagrees
+    /// with every abstract state on the observables).
+    pub transition: Option<(State, State)>,
+}
+
+impl SimulationCx {
+    /// Render the counterexample against the concrete alphabet.
+    pub fn display(&self, alphabet: &Alphabet) -> String {
+        match &self.transition {
+            Some((s, t)) => format!(
+                "state {} has no simulating abstract partner: move {} -> {} cannot be matched",
+                self.state.display(alphabet),
+                s.display(alphabet),
+                t.display(alphabet)
+            ),
+            None => format!(
+                "state {} agrees with no abstract state on the shared observables",
+                self.state.display(alphabet)
+            ),
+        }
+    }
+}
+
+/// Outcome of a simulation check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimulationOutcome {
+    /// `C ⊑ A`: every concrete state has a partner in the greatest
+    /// simulation; `pairs` is the size of that relation.
+    Holds {
+        /// Number of pairs in the greatest simulation relation.
+        pairs: u64,
+    },
+    /// `C ⋢ A`, with a counterexample.
+    Fails(SimulationCx),
+}
+
+impl SimulationOutcome {
+    /// Does the refinement hold?
+    pub fn holds(&self) -> bool {
+        matches!(self, SimulationOutcome::Holds { .. })
+    }
+
+    /// The counterexample, if the refinement failed.
+    pub fn counterexample(&self) -> Option<&SimulationCx> {
+        match self {
+            SimulationOutcome::Holds { .. } => None,
+            SimulationOutcome::Fails(cx) => Some(cx),
+        }
+    }
+}
+
+impl fmt::Display for SimulationOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulationOutcome::Holds { pairs } => {
+                write!(f, "refinement holds ({pairs} simulation pairs)")
+            }
+            SimulationOutcome::Fails(cx) => match &cx.transition {
+                Some((s, t)) => write!(
+                    f,
+                    "refinement fails at state {:?} (unmatched move {:?} -> {:?})",
+                    cx.state, s, t
+                ),
+                None => write!(
+                    f,
+                    "refinement fails at state {:?} (label mismatch)",
+                    cx.state
+                ),
+            },
+        }
+    }
+}
+
+/// Decide `concrete ⊑ abstraction` by the definitional greatest-fixpoint
+/// computation: start from the label-agreement relation `H₀` and strike
+/// pairs whose concrete moves the abstraction cannot track, until stable.
+///
+/// This is the small, obviously-faithful rendering of the definition —
+/// `BTreeSet` pairs, no indexing — kept as the semantic anchor for the
+/// production checkers in `cmc-ctl` and `cmc-symbolic`. Cost is
+/// `O(iterations · |H| · out-degree)` over the full `2^Σ_C × 2^Σ_A` pair
+/// space, so callers should keep the combined width small.
+pub fn simulates(concrete: &System, abstraction: &System) -> SimulationOutcome {
+    let obs = SharedObs::new(concrete.alphabet(), abstraction.alphabet());
+    let mut rel: BTreeSet<(State, State)> = BTreeSet::new();
+    for s in concrete.states() {
+        for a in abstraction.states() {
+            if obs.agree(s, a) {
+                rel.insert((s, a));
+            }
+        }
+    }
+    // Offending transition recorded for the most recent strike of each
+    // concrete state, so a partnerless state can explain itself.
+    let mut blame: std::collections::BTreeMap<State, (State, State)> =
+        std::collections::BTreeMap::new();
+    loop {
+        let mut struck = Vec::new();
+        for &(s, a) in &rel {
+            let bad = concrete.proper_successors(s).find(|&t| {
+                !abstraction
+                    .successors(a)
+                    .iter()
+                    .any(|&b| rel.contains(&(t, b)))
+            });
+            if let Some(t) = bad {
+                struck.push((s, a));
+                blame.insert(s, (s, t));
+            }
+        }
+        if struck.is_empty() {
+            break;
+        }
+        for p in &struck {
+            rel.remove(p);
+        }
+    }
+    let related: BTreeSet<State> = rel.iter().map(|&(s, _)| s).collect();
+    for s in concrete.states() {
+        if !related.contains(&s) {
+            return SimulationOutcome::Fails(SimulationCx {
+                state: s,
+                transition: blame.get(&s).copied(),
+            });
+        }
+    }
+    SimulationOutcome::Holds {
+        pairs: rel.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toggler(name: &str) -> System {
+        let mut m = System::new(Alphabet::new([name]));
+        m.add_transition_named(&[], &[name]);
+        m.add_transition_named(&[name], &[]);
+        m
+    }
+
+    #[test]
+    fn every_system_simulates_itself() {
+        let m = toggler("x");
+        assert!(simulates(&m, &m).holds());
+    }
+
+    #[test]
+    fn projection_always_simulates() {
+        // Two-bit gray-code walker: dropping the scratch bit must yield a
+        // valid abstraction.
+        let mut m = System::new(Alphabet::new(["t", "scratch"]));
+        m.add_transition_named(&[], &["scratch"]);
+        m.add_transition_named(&["scratch"], &["t", "scratch"]);
+        m.add_transition_named(&["t", "scratch"], &["t"]);
+        m.add_transition_named(&["t"], &[]);
+        let a = m.project(&Alphabet::new(["t"]));
+        assert_eq!(a.alphabet().len(), 1);
+        assert!(simulates(&m, &a).holds());
+    }
+
+    #[test]
+    fn missing_abstract_move_fails_with_the_offending_transition() {
+        let c = toggler("x");
+        // Abstraction that can set x but never clear it.
+        let mut a = System::new(Alphabet::new(["x"]));
+        a.add_transition_named(&[], &["x"]);
+        let out = simulates(&c, &a);
+        let cx = out.counterexample().expect("must fail");
+        // First partnerless state in ascending order is ∅: its pair (∅, ∅)
+        // dies because ∅ → {x} can only be tracked into ({x}, {x}), which
+        // the abstraction's inability to clear x already struck.
+        let x = State::from_names(c.alphabet(), &["x"]);
+        assert_eq!(cx.state, State(0));
+        assert_eq!(cx.transition, Some((State(0), x)));
+    }
+
+    #[test]
+    fn abstract_private_props_keep_the_fixpoint_relational() {
+        // Concrete: one-way riser on x. Abstraction carries a private mode
+        // bit m; it may clear x only when m holds — states (x, ¬m) cannot
+        // clear, so simulation still holds via partners with ¬m.
+        let c = toggler("x");
+        let mut a = System::new(Alphabet::new(["x", "m"]));
+        a.add_transition_named(&[], &["x"]);
+        a.add_transition_named(&["m"], &["x", "m"]);
+        a.add_transition_named(&["x", "m"], &["m"]);
+        a.add_transition_named(&["x"], &["x", "m"]);
+        a.add_transition_named(&[], &["m"]);
+        let out = simulates(&c, &a);
+        assert!(out.holds(), "{out}");
+        // And the greatest relation is a strict subset of label agreement:
+        // (x, {x}) pairs with {x,m} but x-clearing also needs recursion.
+        if let SimulationOutcome::Holds { pairs } = out {
+            assert!(pairs < 8, "fixpoint should prune some label-agreeing pairs");
+        }
+    }
+
+    #[test]
+    fn disjoint_alphabets_relate_everything() {
+        // No shared observables: H₀ is the full relation and nothing is
+        // ever struck (any abstract stutter matches every move).
+        let c = toggler("x");
+        let a = System::new(Alphabet::new(["y"]));
+        assert_eq!(simulates(&c, &a), SimulationOutcome::Holds { pairs: 4 });
+    }
+}

@@ -175,6 +175,32 @@ impl System {
         })
     }
 
+    /// Project the system onto the propositions of `onto` that it owns:
+    /// the alphabet becomes `Σ ∩ onto` (in `Σ`'s order), every transition
+    /// `(s, t)` becomes `(s|, t|)`, and pairs that collapse onto the
+    /// diagonal fold into the implicit stutter. The result is the
+    /// canonical abstraction of `M` that forgets the dropped
+    /// propositions — `M` is always simulated by `M.project(onto)`
+    /// (the refinement layer checks this rather than assuming it).
+    pub fn project(&self, onto: &Alphabet) -> System {
+        let keep: Vec<String> = self
+            .alphabet
+            .names()
+            .iter()
+            .filter(|n| onto.contains(n))
+            .cloned()
+            .collect();
+        let target = Alphabet::new(keep);
+        let mut out = System::new(target.clone());
+        for (s, t) in self.proper_transitions() {
+            out.add_transition(
+                s.project(&self.alphabet, &target),
+                t.project(&self.alphabet, &target),
+            );
+        }
+        out
+    }
+
     /// States reachable from `init` (by any number of `R` steps).
     pub fn reachable(&self, init: impl IntoIterator<Item = State>) -> BTreeSet<State> {
         let mut seen: BTreeSet<State> = BTreeSet::new();

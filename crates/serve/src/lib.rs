@@ -20,6 +20,9 @@
 //!   worker sessions, one shared [`cmc_store::CertStore`] backed by the
 //!   segmented disk tier ([`cmc_store::SegmentedDiskStore`]) with a
 //!   single background [`cmc_store::Compactor`];
+//! * [`flight`] — the single-flight pending map: identical in-flight
+//!   obligations are checked once, concurrent duplicates wait and
+//!   answer from the warm store;
 //! * [`client`] — a blocking client used by the `cmc-client` binary,
 //!   the conformance tests and the `serve_throughput` bench;
 //! * [`workload`] — the token-ring and AFS SMV families the tests and
@@ -40,10 +43,12 @@
 //! ```
 
 pub mod client;
+pub mod flight;
 pub mod protocol;
 pub mod server;
 pub mod workload;
 
 pub use client::{Client, DaemonStats};
+pub use flight::SingleFlight;
 pub use protocol::{ErrorCode, Job, JobReport, Request, Response, ServerStatsSnapshot};
 pub use server::{ServeConfig, Server};

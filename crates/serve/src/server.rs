@@ -21,13 +21,14 @@
 //! the compactor runs one final flush + compaction before the process
 //! lets go of the directory.
 
+use crate::flight::SingleFlight;
 use crate::protocol::{
     read_bounded_line, ErrorCode, JobReport, LineRead, Request, Response, ServerStatsSnapshot,
     DEFAULT_MAX_REQUEST_BYTES,
 };
 use cmc_core::scheduler::run_bounded;
-use cmc_smv::run_source_with_store_and_backend;
-use cmc_store::{CertStore, Compactor, SegmentedDiskStore};
+use cmc_smv::{parse_module, run_source_with_store_and_backend};
+use cmc_store::{CertStore, Compactor, ObligationKey, SegmentedDiskStore};
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -93,6 +94,7 @@ struct Shared {
     cfg: ServeConfig,
     addr: SocketAddr,
     store: Arc<CertStore>,
+    flights: SingleFlight,
     counters: Counters,
     draining: AtomicBool,
     active_sessions: AtomicUsize,
@@ -147,6 +149,7 @@ impl Server {
         let shared = Arc::new(Shared {
             addr,
             store: Arc::clone(&store),
+            flights: SingleFlight::new(),
             counters: Counters::default(),
             draining: AtomicBool::new(false),
             active_sessions: AtomicUsize::new(0),
@@ -377,13 +380,31 @@ fn session(stream: TcpStream, shared: &Shared) {
     }
 }
 
+/// The store obligation keys a job will check: one per `SPEC` of its
+/// source. A source that does not parse claims nothing — the driver will
+/// report the parse error without touching the store.
+fn job_keys(source: &str) -> Vec<ObligationKey> {
+    match parse_module(source) {
+        Ok(module) => module
+            .specs
+            .iter()
+            .map(|(text, _)| ObligationKey::source_spec(source, text))
+            .collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
 /// Dispatch a batch across the bounded worker pool. Job order is
 /// preserved; a panicking or erroring job degrades to `Err` for its slot
-/// only.
+/// only. Each job flies single-file per obligation key: a job whose
+/// specs are already being checked — by another session or another slot
+/// of this batch — waits for that flight to land, then answers from the
+/// warm store instead of re-running the checker.
 fn run_batch(shared: &Shared, jobs: &[crate::protocol::Job]) -> Vec<Result<JobReport, String>> {
     let workers = shared.cfg.workers.clamp(1, jobs.len().max(1));
     run_bounded(jobs.len(), workers, |i| {
         let job = &jobs[i];
+        let _flight = shared.flights.acquire(job_keys(&job.source));
         run_source_with_store_and_backend(&job.source, &shared.store, job.backend)
             .map(|outcome| JobReport {
                 specs: outcome.results,

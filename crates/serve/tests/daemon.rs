@@ -87,6 +87,47 @@ fn eight_concurrent_clients_match_single_shot_verdicts() {
     server.shutdown();
 }
 
+/// Two *simultaneous* cold clients asking for the same obligation: the
+/// single-flight pending map must collapse them into one store miss —
+/// the second flight waits for the first to land and answers from the
+/// warm store instead of re-running the checker.
+#[test]
+fn simultaneous_cold_clients_share_one_store_miss() {
+    let src = ring_source(5);
+    let mut server = start_default();
+    let addr = server.local_addr();
+
+    let barrier = std::sync::Barrier::new(2);
+    let reports: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let (src, barrier) = (&src, &barrier);
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    barrier.wait(); // release both batches together
+                    let mut reports = client.check_sources(std::slice::from_ref(src)).unwrap();
+                    reports.remove(0).expect("job verdicts")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let specs = reports[0].specs.len() as u64;
+    assert!(specs > 0);
+    assert_eq!(reports[0].specs, reports[1].specs);
+    // Exactly one client paid for each obligation; the other answered
+    // entirely from the store the first one warmed.
+    let (misses, hits): (u64, u64) = reports
+        .iter()
+        .fold((0, 0), |(m, h), r| (m + r.cache_misses, h + r.cache_hits));
+    assert_eq!(misses, specs, "duplicate cold batch re-ran the checker");
+    assert_eq!(hits, specs);
+    // One checker run (and so one store insertion) per obligation.
+    assert_eq!(server.store().stats().insertions, specs);
+    server.shutdown();
+}
+
 #[test]
 fn explicit_and_symbolic_backends_agree_over_the_daemon() {
     let mut server = start_default();

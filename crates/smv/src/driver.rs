@@ -3,8 +3,9 @@
 
 use crate::ast::Module;
 use crate::compile::{compile, CompiledModel};
-use crate::explicit::{compile_explicit, EXPLICIT_BIT_LIMIT};
+use crate::explicit::{compile_explicit, ExplicitCompiled, EXPLICIT_BIT_LIMIT};
 use crate::parse::parse_module;
+use cmc_core::engine::{Component, Engine, EngineError, Substitution};
 use cmc_core::BackendChoice;
 use cmc_ctl::Restriction;
 use cmc_store::{CertStore, Entry, ObligationKey};
@@ -491,6 +492,137 @@ pub fn run_source_validated(src: &str) -> Result<RunOutcome, DriverError> {
     Ok(outcome)
 }
 
+/// Parse and explicitly compile one refinement role, prefixing errors
+/// with the role name so a four-module `-refine` run pinpoints which
+/// source failed.
+fn compile_role(src: &str, role: &str) -> Result<(Module, ExplicitCompiled), DriverError> {
+    let module = parse_module(src).map_err(|e| DriverError::Parse(format!("{role}: {e}")))?;
+    let explicit =
+        compile_explicit(&module).map_err(|e| DriverError::Semantic(format!("{role}: {e}")))?;
+    Ok((module, explicit))
+}
+
+/// The `-refine` driver path: verify every `SPEC` of `property_src` on
+/// the composition `concrete ∘ contexts` **by abstraction substitution**
+/// — never building the concrete composition.
+///
+/// Four roles, each an ordinary single-module SMV source:
+///
+/// * `concrete_src` — the component being abstracted;
+/// * `abstract_src` — its idealisation (its variables must be a subset
+///   of the concrete component's, with more behaviours allowed);
+/// * `context_srcs` — the remaining components of the composition;
+/// * `property_src` — declares the union vocabulary and carries the
+///   `SPEC`s to verify, plus optional `INIT`/`FAIRNESS` sections that
+///   become the restriction `(I, F)` (use `INIT`, not `ASSIGN init`,
+///   so the condition stays a formula).
+///
+/// Each spec is discharged by [`Engine::prove_substituted`]: the
+/// simulation premise `concrete ⊑ abstraction` is checked once (and
+/// memoized across specs), the soundness side conditions are enforced —
+/// an unsound substitution is a loud [`DriverError::Semantic`], never a
+/// verdict — and the property is checked on `abstraction ∘ contexts`.
+pub fn run_refine(
+    concrete_src: &str,
+    abstract_src: &str,
+    context_srcs: &[&str],
+    property_src: &str,
+) -> Result<RunOutcome, DriverError> {
+    let start = Instant::now();
+    let (_, concrete) = compile_role(concrete_src, "concrete module")?;
+    let (_, abstraction) = compile_role(abstract_src, "abstract module")?;
+    let mut contexts = Vec::new();
+    for (i, src) in context_srcs.iter().enumerate() {
+        contexts.push(compile_role(src, &format!("context module {}", i + 1))?.1);
+    }
+    let (prop_module, property) = compile_role(property_src, "property module")?;
+    if !prop_module.init_assigns.is_empty() {
+        return Err(DriverError::Semantic(
+            "property module: use an INIT section (not ASSIGN init) so the \
+             initial condition is a formula the refinement rule can carry"
+                .into(),
+        ));
+    }
+    let mut init = None;
+    for e in &prop_module.init_constraints {
+        let f = property
+            .parse_formula(&e.to_string())
+            .map_err(|e| DriverError::Semantic(format!("property module INIT: {e}")))?;
+        init = Some(match init {
+            None => f,
+            Some(acc) => cmc_ctl::Formula::and(acc, f),
+        });
+    }
+    let mut fairness = Vec::new();
+    for e in &prop_module.fairness {
+        fairness.push(
+            property
+                .parse_formula(&e.to_string())
+                .map_err(|e| DriverError::Semantic(format!("property module FAIRNESS: {e}")))?,
+        );
+    }
+    let r = match init {
+        Some(i) => Restriction::new(i, fairness),
+        None => Restriction::with_fairness(fairness),
+    };
+
+    let mut components = vec![Component::new("concrete", concrete.system.clone())];
+    for (i, ctx) in contexts.iter().enumerate() {
+        components.push(Component::new(
+            format!("context{}", i + 1),
+            ctx.system.clone(),
+        ));
+    }
+    let engine = Engine::new(components);
+    let sub = Substitution::new(0, abstraction.system.clone());
+
+    let mut results = Vec::new();
+    let mut lines = Vec::new();
+    for (text, f) in &property.specs {
+        let cert = engine.prove_substituted(&sub, &r, f).map_err(|e| match e {
+            EngineError::Refinement(e) => DriverError::Semantic(format!(
+                "substitution for spec {text} rejected as unsound: {e}"
+            )),
+            other => DriverError::Check(other.to_string()),
+        })?;
+        lines.push(format!(
+            "-- specification {text} is {}{}",
+            if cert.valid { "true" } else { "false" },
+            if cert.valid {
+                " (by substitution: concrete \u{2291} abstraction, checked on the abstraction)"
+            } else {
+                ""
+            }
+        ));
+        if !cert.valid {
+            for step in cert.steps.iter().filter(|s| !s.ok) {
+                lines.push(format!("--   failed premise: {}", step.description));
+            }
+        }
+        results.push((text.clone(), cert.valid));
+    }
+    let mut report = lines.join("\n");
+    report.push_str(&format!(
+        "\n\nresources used:\nuser time: {:.7} s, system time: 0 s\n\
+         refinement: {}-proposition concrete component \u{2291} {}-proposition \
+         abstraction; property checked over {} propositions instead of {}\n\
+         engine: refinement substitution\n",
+        start.elapsed().as_secs_f64(),
+        concrete.system.alphabet().len(),
+        abstraction.system.alphabet().len(),
+        engine.union_alphabet().len() + abstraction.system.alphabet().len()
+            - concrete.system.alphabet().len(),
+        engine.union_alphabet().len(),
+    ));
+    let cache_misses = results.len();
+    Ok(RunOutcome {
+        results,
+        report,
+        cache_hits: 0,
+        cache_misses,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -674,6 +806,79 @@ mod tests {
         assert!(!out.all_true());
         assert!(out.report.contains("is false"));
         assert!(out.report.contains("x = 0"), "{}", out.report);
+    }
+
+    /// A req/ack handshake component with a private `hidden` bit, its
+    /// idealisation (the projection forgetting `hidden`), a consumer
+    /// context, and the property module over the union vocabulary.
+    const REFINE_CONCRETE: &str = "MODULE main\n\
+         VAR req : boolean; ack : boolean; hidden : boolean;\n\
+         ASSIGN next(hidden) := !hidden;\n\
+         next(ack) := case req : 1; 1 : ack; esac;";
+    const REFINE_ABSTRACT: &str = "MODULE main\n\
+         VAR req : boolean; ack : boolean;\n\
+         ASSIGN next(ack) := case req : 1; 1 : ack; esac;";
+    const REFINE_CONTEXT: &str = "MODULE main\n\
+         VAR ack : boolean; done : boolean;\n\
+         ASSIGN next(ack) := ack;\n\
+         next(done) := case ack : 1; 1 : done; esac;";
+
+    #[test]
+    fn refine_path_discharges_specs_by_substitution() {
+        let property = "MODULE main\n\
+             VAR req : boolean; ack : boolean; done : boolean;\n\
+             INIT !ack & !done\n\
+             SPEC AG (done -> ack)\n\
+             SPEC AG !done";
+        let out = run_refine(
+            REFINE_CONCRETE,
+            REFINE_ABSTRACT,
+            &[REFINE_CONTEXT],
+            property,
+        )
+        .unwrap();
+        assert_eq!(out.results.len(), 2);
+        // done only rises after ack, and ack never falls.
+        assert!(out.results[0].1, "{}", out.report);
+        // ack *can* rise, so done eventually can too: AG !done fails.
+        assert!(!out.results[1].1, "{}", out.report);
+        assert!(out.report.contains("by substitution"));
+        assert!(out.report.contains("engine: refinement substitution"));
+        // The 4-proposition union loses `hidden` on the abstract side.
+        assert!(out
+            .report
+            .contains("property checked over 3 propositions instead of 4"));
+    }
+
+    #[test]
+    fn refine_path_rejects_unsound_substitutions_loudly() {
+        // An abstraction dropping the *shared* `ack` bit is unsound
+        // (the context could observe behaviours the premise never
+        // checked) — a typed semantic error, never a verdict.
+        let bad_abstract = "MODULE main\nVAR req : boolean;\nASSIGN next(req) := req;";
+        let property = "MODULE main\n\
+             VAR req : boolean; ack : boolean; done : boolean;\n\
+             SPEC AG (done -> ack)";
+        assert!(matches!(
+            run_refine(REFINE_CONCRETE, bad_abstract, &[REFINE_CONTEXT], property),
+            Err(DriverError::Semantic(_))
+        ));
+        // So is an existential property: simulation only preserves the
+        // universal fragment.
+        let existential = "MODULE main\n\
+             VAR req : boolean; ack : boolean; done : boolean;\n\
+             SPEC EF done";
+        let err = run_refine(
+            REFINE_CONCRETE,
+            REFINE_ABSTRACT,
+            &[REFINE_CONTEXT],
+            existential,
+        )
+        .unwrap_err();
+        match err {
+            DriverError::Semantic(m) => assert!(m.contains("rejected as unsound"), "{m}"),
+            other => panic!("expected a semantic rejection, got {other:?}"),
+        }
     }
 
     #[test]

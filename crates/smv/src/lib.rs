@@ -48,7 +48,7 @@ pub use cmc_core::BackendChoice;
 pub use compile::{compile, CompiledModel, CompiledVar};
 pub use compose::{compile_composition, compile_expansion, union_variables};
 pub use driver::{
-    run_source, run_source_validated, run_source_with_backend, run_source_with_store,
+    run_refine, run_source, run_source_validated, run_source_with_backend, run_source_with_store,
     run_source_with_store_and_backend, DriverError, RunOutcome,
 };
 pub use explicit::{compile_explicit, ExplicitCompiled, EXPLICIT_BIT_LIMIT};

@@ -7,17 +7,30 @@
 //! deterministic (entries sorted by key, deterministic writer), so
 //! save → load → save round-trips bit-identically.
 
-use crate::entry::{Entry, StoredCertificate, StoredStep};
+use crate::entry::{Entry, StoredCertificate, StoredStep, StoredSubstitution};
 use crate::hash::hash_bytes_seeded;
 use crate::json::Json;
 use crate::key::ObligationKey;
 use crate::store::CertStore;
+use cmc_kripke::{Alphabet, State, System};
 use std::io;
 use std::path::{Path, PathBuf};
 
 /// Format marker and version written to every store file.
+///
+/// Version history:
+/// * **1** — verdicts and step certificates.
+/// * **2** — adds the optional `"abstractions"` certificate field
+///   recording refinement substitutions. Certificates without
+///   substitutions serialise exactly as in version 1 (the field is only
+///   emitted when non-empty), so version-1 files load unchanged and
+///   substitution-free stores round-trip bit-identically with v1 readers'
+///   checksums.
 const FORMAT: &str = "cmc-store";
-const VERSION: u64 = 1;
+const VERSION: u64 = 2;
+
+/// Versions this reader accepts.
+const ACCEPTED_VERSIONS: [u64; 2] = [1, 2];
 
 /// Checksum domain seed ("cmc-sum1").
 const SEED_CHECKSUM: u64 = 0x636D_632D_7375_6D31;
@@ -78,7 +91,10 @@ impl DiskStore {
             }
         };
         let header_ok = doc.get("format").and_then(Json::as_str) == Some(FORMAT)
-            && doc.get("version").and_then(Json::as_num) == Some(VERSION as f64);
+            && doc
+                .get("version")
+                .and_then(Json::as_num)
+                .is_some_and(|v| ACCEPTED_VERSIONS.iter().any(|&a| v == a as f64));
         if !header_ok {
             store.count_disk_reject();
             return Ok(0);
@@ -191,11 +207,20 @@ fn cert_to_json(cert: &StoredCertificate) -> Json {
             ])
         })
         .collect();
-    Json::Obj(vec![
+    let mut fields = vec![
         ("goal".to_string(), Json::Str(cert.goal.clone())),
         ("valid".to_string(), Json::Bool(cert.valid)),
         ("steps".to_string(), Json::Arr(steps)),
-    ])
+    ];
+    // Only emitted when present: substitution-free certificates keep their
+    // exact version-1 rendering (and therefore their checksums).
+    if !cert.abstractions.is_empty() {
+        fields.push((
+            "abstractions".to_string(),
+            Json::Arr(cert.abstractions.iter().map(substitution_to_json).collect()),
+        ));
+    }
+    Json::Obj(fields)
 }
 
 fn cert_from_json(json: &Json) -> Option<StoredCertificate> {
@@ -213,7 +238,118 @@ fn cert_from_json(json: &Json) -> Option<StoredCertificate> {
                 .map(str::to_string),
         });
     }
-    Some(StoredCertificate { goal, valid, steps })
+    let mut abstractions = Vec::new();
+    if let Some(subs) = json.get("abstractions").and_then(Json::as_arr) {
+        for sub in subs {
+            abstractions.push(substitution_from_json(sub)?);
+        }
+    }
+    Some(StoredCertificate {
+        goal,
+        valid,
+        steps,
+        abstractions,
+    })
+}
+
+/// Faithful JSON form of a system: proposition names in alphabet order
+/// and the proper transitions as `"s>t"` hex pairs over that bit order.
+/// Deliberately *not* canonicalised — a loaded system must compare equal
+/// to the saved one (keys canonicalise separately). States are hex
+/// *strings*, never numbers: JSON numbers are `f64` and states are `u128`.
+fn system_to_json(system: &System) -> Json {
+    Json::Obj(vec![
+        (
+            "props".to_string(),
+            Json::Arr(
+                system
+                    .alphabet()
+                    .names()
+                    .iter()
+                    .map(|n| Json::Str(n.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "trans".to_string(),
+            Json::Arr(
+                system
+                    .proper_transitions()
+                    .map(|(s, t)| Json::Str(format!("{:x}>{:x}", s.0, t.0)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn system_from_json(json: &Json) -> Option<System> {
+    let mut names = Vec::new();
+    for p in json.get("props")?.as_arr()? {
+        names.push(p.as_str()?.to_string());
+    }
+    let mut system = System::new(Alphabet::new(names));
+    for pair in json.get("trans")?.as_arr()? {
+        let text = pair.as_str()?;
+        let (s, t) = text.split_once('>')?;
+        let s = u128::from_str_radix(s, 16).ok()?;
+        let t = u128::from_str_radix(t, 16).ok()?;
+        let width = system.alphabet().len();
+        let mask = if width >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << width) - 1
+        };
+        if s & !mask != 0 || t & !mask != 0 {
+            return None;
+        }
+        if s != t {
+            system.add_transition(State(s), State(t));
+        }
+    }
+    Some(system)
+}
+
+fn substitution_to_json(sub: &StoredSubstitution) -> Json {
+    Json::Obj(vec![
+        ("component".to_string(), Json::Str(sub.component.clone())),
+        (
+            "abstraction_key".to_string(),
+            Json::Str(sub.abstraction_key.clone()),
+        ),
+        ("concrete".to_string(), system_to_json(&sub.concrete)),
+        ("abstraction".to_string(), system_to_json(&sub.abstraction)),
+        (
+            "rest".to_string(),
+            Json::Arr(sub.rest.iter().map(system_to_json).collect()),
+        ),
+        ("init".to_string(), Json::Str(sub.init.clone())),
+        (
+            "fairness".to_string(),
+            Json::Arr(sub.fairness.iter().map(|g| Json::Str(g.clone())).collect()),
+        ),
+        ("formula".to_string(), Json::Str(sub.formula.clone())),
+    ])
+}
+
+fn substitution_from_json(json: &Json) -> Option<StoredSubstitution> {
+    let mut rest = Vec::new();
+    for sys in json.get("rest")?.as_arr()? {
+        rest.push(system_from_json(sys)?);
+    }
+    let mut fairness = Vec::new();
+    for g in json.get("fairness")?.as_arr()? {
+        fairness.push(g.as_str()?.to_string());
+    }
+    Some(StoredSubstitution {
+        component: json.get("component")?.as_str()?.to_string(),
+        abstraction_key: json.get("abstraction_key")?.as_str()?.to_string(),
+        concrete: system_from_json(json.get("concrete")?)?,
+        abstraction: system_from_json(json.get("abstraction")?)?,
+        rest,
+        init: json.get("init")?.as_str()?.to_string(),
+        fairness,
+        formula: json.get("formula")?.as_str()?.to_string(),
+    })
 }
 
 #[cfg(test)]
@@ -244,6 +380,53 @@ mod tests {
                         },
                     ],
                     valid: false,
+                    abstractions: vec![],
+                },
+            ),
+        );
+        store
+    }
+
+    fn toggler(name: &str) -> System {
+        let mut m = System::new(Alphabet::new([name]));
+        m.add_transition_named(&[], &[name]);
+        m.add_transition_named(&[name], &[]);
+        m
+    }
+
+    fn substituted_store() -> CertStore {
+        let mut concrete = System::new(Alphabet::new(["x", "scratch"]));
+        concrete.add_transition_named(&[], &["scratch"]);
+        concrete.add_transition_named(&["scratch"], &["x"]);
+        let abstraction = {
+            let mut m = System::new(Alphabet::new(["x"]));
+            m.add_transition_named(&[], &["x"]);
+            m
+        };
+        let store = CertStore::new();
+        store.insert(
+            ObligationKey(9),
+            Entry::with_certificate(
+                true,
+                StoredCertificate {
+                    goal: "system ⊨ AG x via abstraction".to_string(),
+                    steps: vec![StoredStep {
+                        description: "server ⊑ idealised server".to_string(),
+                        ok: true,
+                        compositional: true,
+                        backend: Some("explicit".to_string()),
+                    }],
+                    valid: true,
+                    abstractions: vec![StoredSubstitution {
+                        component: "server".to_string(),
+                        abstraction_key: ObligationKey::system(&abstraction).to_hex(),
+                        concrete,
+                        abstraction,
+                        rest: vec![toggler("y")],
+                        init: "!x".to_string(),
+                        fairness: vec!["x | !x".to_string()],
+                        formula: "AG (x -> AX x)".to_string(),
+                    }],
                 },
             ),
         );
@@ -310,6 +493,86 @@ mod tests {
         let store = CertStore::new();
         assert_eq!(DiskStore::new(&path).load_into(&store).unwrap(), 0);
         assert!(store.is_empty());
+        assert_eq!(store.stats().disk_rejects, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn substituted_certificate_round_trips() {
+        let path = tmp("substituted");
+        let store = substituted_store();
+        let disk = DiskStore::new(&path);
+        disk.save(&store).unwrap();
+        let bytes1 = std::fs::read(&path).unwrap();
+
+        let reloaded = CertStore::new();
+        assert_eq!(disk.load_into(&reloaded).unwrap(), 1);
+        assert_eq!(reloaded.snapshot(), store.snapshot());
+
+        disk.save(&reloaded).unwrap();
+        let bytes2 = std::fs::read(&path).unwrap();
+        assert_eq!(bytes1, bytes2, "save → load → save must be bit-identical");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn substitution_free_certificates_keep_the_version1_shape() {
+        let path = tmp("v1-shape");
+        DiskStore::new(&path).save(&sample_store()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            !text.contains("abstractions"),
+            "the v2 field must only appear when non-empty"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version1_files_still_load() {
+        // A v1 file is exactly a v2 file without substitutions and with the
+        // old version header; entry checksums are over the same payloads.
+        let path = tmp("v1-compat");
+        let disk = DiskStore::new(&path);
+        disk.save(&sample_store()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v1 = text.replacen("\"version\": 2", "\"version\": 1", 1);
+        assert_ne!(text, v1, "test setup: header not rewritten");
+        std::fs::write(&path, v1).unwrap();
+
+        let store = CertStore::new();
+        assert_eq!(disk.load_into(&store).unwrap(), 2);
+        assert_eq!(store.stats().disk_rejects, 0);
+        assert_eq!(store.snapshot(), sample_store().snapshot());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn future_version_is_rejected_wholesale() {
+        let path = tmp("v3");
+        let disk = DiskStore::new(&path);
+        disk.save(&sample_store()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replacen("\"version\": 2", "\"version\": 3", 1)).unwrap();
+        let store = CertStore::new();
+        assert_eq!(disk.load_into(&store).unwrap(), 0);
+        assert_eq!(store.stats().disk_rejects, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tampered_abstraction_is_rejected() {
+        let path = tmp("tamper-abs");
+        let disk = DiskStore::new(&path);
+        disk.save(&substituted_store()).unwrap();
+        // Rewrite the recorded abstract transition 0 -> 1 ("0>1") to point
+        // somewhere else: the checksum must catch the swap.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tampered = text.replacen("\"0>1\"", "\"1>0\"", 1);
+        assert_ne!(text, tampered, "test setup: nothing replaced");
+        std::fs::write(&path, tampered).unwrap();
+
+        let store = CertStore::new();
+        assert_eq!(disk.load_into(&store).unwrap(), 0);
         assert_eq!(store.stats().disk_rejects, 1);
         std::fs::remove_file(&path).ok();
     }

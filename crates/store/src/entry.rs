@@ -5,6 +5,8 @@
 //! directly. [`StoredCertificate`] mirrors it field-for-field; `cmc-core`
 //! provides the `From` conversions in both directions.
 
+use cmc_kripke::System;
+
 /// One step of a stored proof certificate (mirrors `cmc_core::Step`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoredStep {
@@ -20,6 +22,34 @@ pub struct StoredStep {
     pub backend: Option<String>,
 }
 
+/// One abstraction substitution a certificate leaned on (mirrors
+/// `cmc_core::SubstitutionRecord`): everything a replay validator needs to
+/// re-establish the deduction *from the certificate alone* — re-run the
+/// simulation premise `concrete ⊑ abstraction` and re-check the property
+/// on `abstraction ∘ rest` under the recorded restriction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredSubstitution {
+    /// Display name of the component that was substituted.
+    pub component: String,
+    /// Content-addressed identity of the abstract system
+    /// ([`crate::ObligationKey::system`] in hex): a replay verifies the
+    /// recorded `abstraction` still hashes to this key.
+    pub abstraction_key: String,
+    /// The concrete system of the simulation premise.
+    pub concrete: System,
+    /// The abstract system that stood in for it.
+    pub abstraction: System,
+    /// The unsubstituted context: the property was checked on
+    /// `abstraction ∘ rest`.
+    pub rest: Vec<System>,
+    /// The initial-condition formula, rendered.
+    pub init: String,
+    /// The fairness constraints, rendered.
+    pub fairness: Vec<String>,
+    /// The transferred property, rendered.
+    pub formula: String,
+}
+
 /// A stored proof certificate (mirrors `cmc_core::Certificate`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoredCertificate {
@@ -29,6 +59,9 @@ pub struct StoredCertificate {
     pub steps: Vec<StoredStep>,
     /// Overall verdict.
     pub valid: bool,
+    /// Abstraction substitutions the deduction leaned on (empty for
+    /// certificates that never substituted — the format-v1 shape).
+    pub abstractions: Vec<StoredSubstitution>,
 }
 
 /// The memoized outcome of one verification obligation.

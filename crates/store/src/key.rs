@@ -99,6 +99,72 @@ impl ObligationKey {
         ObligationKey::from_encoding(&enc)
     }
 
+    /// Key for the refinement obligation "`concrete ⊑ abstraction`" (the
+    /// greatest shared-observable simulation), discharged by `backend`.
+    pub fn refines(concrete: &System, abstraction: &System, backend: &str) -> Self {
+        let mut enc = Vec::with_capacity(256);
+        push_tag(&mut enc, "SIM");
+        push_backend(&mut enc, backend);
+        push_system(&mut enc, concrete);
+        push_tag(&mut enc, "/A");
+        push_system(&mut enc, abstraction);
+        ObligationKey::from_encoding(&enc)
+    }
+
+    /// Content-addressed identity of one system — the key a substitution
+    /// certificate records for the abstract component it leaned on, so a
+    /// replay can verify it is re-checking the *same* abstraction.
+    pub fn system(system: &System) -> Self {
+        let mut enc = Vec::with_capacity(128);
+        push_tag(&mut enc, "ABS");
+        push_system(&mut enc, system);
+        ObligationKey::from_encoding(&enc)
+    }
+
+    /// Key for a substituted proof: "`concrete ∘ rest ⊨_r f`, discharged
+    /// by proving `concrete ⊑ abstraction` and checking `f` on
+    /// `abstraction ∘ rest`". Both sides of the substitution are part of
+    /// the obligation's identity — proofs through different abstractions
+    /// must not share certificates. `rest` order is canonicalised away
+    /// like [`ObligationKey::composed`].
+    pub fn substituted(
+        backend: &str,
+        concrete: &System,
+        abstraction: &System,
+        rest: &[&System],
+        r: &Restriction,
+        f: &Formula,
+    ) -> Self {
+        let mut parts: Vec<Vec<u8>> = rest
+            .iter()
+            .map(|s| {
+                let mut part = Vec::with_capacity(128);
+                push_system(&mut part, s);
+                part
+            })
+            .collect();
+        parts.sort();
+        let mut enc = Vec::with_capacity(512);
+        push_tag(&mut enc, "SUB");
+        push_backend(&mut enc, backend);
+        push_system(&mut enc, concrete);
+        push_tag(&mut enc, "/A");
+        push_system(&mut enc, abstraction);
+        for part in &parts {
+            enc.extend_from_slice(part);
+            push_tag(&mut enc, "/C");
+        }
+        push_str(&mut enc, &r.init.to_string());
+        let mut fair: Vec<String> = r.fairness.iter().map(|g| g.to_string()).collect();
+        fair.sort();
+        for g in &fair {
+            push_str(&mut enc, g);
+        }
+        push_tag(&mut enc, "/F");
+        push_str(&mut enc, &f.to_string());
+        ObligationKey::from_encoding(&enc)
+    }
+
     /// Key for "spec `spec` holds of the model described by SMV source
     /// `source`". The source is normalised (comments and blank lines
     /// dropped, lines trimmed) so formatting-only edits still hit.
@@ -325,6 +391,50 @@ mod tests {
             ObligationKey::composed("prove", "x", &[&a], &r, &f),
             ObligationKey::composed("provex", "", &[&a], &r, &f)
         );
+    }
+
+    #[test]
+    fn refinement_keys_are_directional_and_domain_separated() {
+        let a = toggle(&["p"], &[], &["p"]);
+        let b = toggle(&["p", "q"], &[], &["q"]);
+        // C ⊑ A and A ⊑ C are different obligations.
+        assert_ne!(
+            ObligationKey::refines(&b, &a, "explicit"),
+            ObligationKey::refines(&a, &b, "explicit")
+        );
+        assert_ne!(
+            ObligationKey::refines(&a, &a, "explicit"),
+            ObligationKey::refines(&a, &a, "symbolic")
+        );
+        // A system's content key differs from any check key over it.
+        assert_ne!(
+            ObligationKey::system(&a),
+            ObligationKey::refines(&a, &a, "explicit")
+        );
+        // Structural canonicalisation applies to content keys too.
+        let a2 = toggle(&["p"], &[], &["p"]);
+        assert_eq!(ObligationKey::system(&a), ObligationKey::system(&a2));
+    }
+
+    #[test]
+    fn substituted_key_tracks_both_sides_and_canonicalises_rest() {
+        let c = toggle(&["p", "q"], &[], &["p"]);
+        let abs = toggle(&["p"], &[], &["p"]);
+        let r1 = toggle(&["x"], &[], &["x"]);
+        let r2 = toggle(&["y"], &[], &["y"]);
+        let f = parse("AG p").unwrap();
+        let r = Restriction::trivial();
+        let k1 = ObligationKey::substituted("auto", &c, &abs, &[&r1, &r2], &r, &f);
+        let k2 = ObligationKey::substituted("auto", &c, &abs, &[&r2, &r1], &r, &f);
+        assert_eq!(k1, k2, "rest order must not matter");
+        // A different abstraction is a different obligation.
+        let mut abs2 = System::new(Alphabet::new(["p"]));
+        abs2.add_transition_named(&[], &["p"]);
+        let k3 = ObligationKey::substituted("auto", &c, &abs2, &[&r1, &r2], &r, &f);
+        assert_ne!(k1, k3);
+        // Swapping concrete and abstraction matters.
+        let k4 = ObligationKey::substituted("auto", &abs, &c, &[&r1, &r2], &r, &f);
+        assert_ne!(k1, k4);
     }
 
     #[test]

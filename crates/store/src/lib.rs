@@ -66,7 +66,7 @@ pub mod stats;
 pub mod store;
 
 pub use disk::DiskStore;
-pub use entry::{Entry, StoredCertificate, StoredStep};
+pub use entry::{Entry, StoredCertificate, StoredStep, StoredSubstitution};
 pub use hash::StableHasher;
 pub use key::ObligationKey;
 pub use segment::{CompactReport, Compactor, SegmentedDiskStore};

@@ -279,6 +279,7 @@ mod tests {
                 backend: Some("explicit".to_string()),
             }],
             valid: true,
+            abstractions: vec![],
         };
         store.insert(key(4), Entry::with_certificate(true, cert.clone()));
         let got = store.lookup(&key(4)).unwrap();

@@ -39,8 +39,10 @@
 
 pub mod checker;
 pub mod model;
+pub mod simulation;
 pub mod witness;
 
 pub use checker::{SymbolicError, SymbolicVerdict};
 pub use model::{MaintenanceConfig, MaintenanceMode, StateVar, SymbolicModel};
+pub use simulation::simulates_symbolic;
 pub use witness::{NamedState, Trace};

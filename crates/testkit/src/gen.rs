@@ -246,6 +246,121 @@ pub fn gen_obligation(seed: u64, cfg: &GenConfig) -> Obligation {
     }
 }
 
+/// How a generated simulation pair was constructed (and hence what, if
+/// anything, is known about its verdict a priori).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimPairKind {
+    /// `A = C`: reflexivity, holds by construction.
+    Identity,
+    /// `A = C|Σ'`: projection, holds by construction (the substitution
+    /// rule's canonical shape).
+    Projection,
+    /// Projection plus extra abstract moves: still holds (adding abstract
+    /// behaviour only makes matching easier).
+    WeakenedProjection,
+    /// Projection minus one abstract move: verdict unknown — usually
+    /// fails, occasionally the dropped move was redundant.
+    MutatedProjection,
+    /// An independent random abstraction over an overlapping (sometimes
+    /// abstract-private-extended) alphabet: verdict unknown.
+    Random,
+}
+
+/// A generated `(concrete, abstraction)` simulation pair.
+#[derive(Debug, Clone)]
+pub struct SimPair {
+    /// Seed that produced the pair (for replay reports).
+    pub seed: u64,
+    /// The concrete system.
+    pub concrete: System,
+    /// The candidate abstraction.
+    pub abstraction: System,
+    /// The verdict known by construction, when there is one.
+    pub expected: Option<bool>,
+    /// Construction recipe.
+    pub kind: SimPairKind,
+}
+
+/// Generate one `(concrete, abstraction)` pair from `seed`. Roughly
+/// two-thirds of pairs carry a known verdict (identity, projection,
+/// weakened projection — all `holds` by construction); the rest exercise
+/// the failure paths and the relational fixpoint with abstract-private
+/// propositions.
+pub fn gen_sim_pair(seed: u64, cfg: &GenConfig) -> SimPair {
+    use rand::SeedableRng;
+    // Decorrelate from the obligation stream so the two corpora differ.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xd1f7_5e0d_beef_cafe);
+    let n = rng.gen_range(2..=cfg.max_props.max(2));
+    let names = prop_names(0, n);
+    let concrete = gen_system(&mut rng, &names, cfg.max_transitions);
+
+    // A random non-empty kept subset, in alphabet order.
+    let k = rng.gen_range(1..=n);
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    let mut kept = idx[..k].to_vec();
+    kept.sort_unstable();
+    let keep: Vec<String> = kept.iter().map(|&i| names[i].clone()).collect();
+    let keep_alpha = Alphabet::new(keep.clone());
+
+    let (kind, abstraction, expected) = match rng.gen_range(0..6) {
+        0 => (SimPairKind::Identity, concrete.clone(), Some(true)),
+        1 | 2 => (
+            SimPairKind::Projection,
+            concrete.project(&keep_alpha),
+            Some(true),
+        ),
+        3 => {
+            let mut a = concrete.project(&keep_alpha);
+            let space = 1u128 << keep.len();
+            for _ in 0..rng.gen_range(1..=3) {
+                a.add_transition(
+                    State(rng.gen_range(0..space)),
+                    State(rng.gen_range(0..space)),
+                );
+            }
+            (SimPairKind::WeakenedProjection, a, Some(true))
+        }
+        4 => {
+            let a = concrete.project(&keep_alpha);
+            let count = a.proper_transitions().count();
+            if count == 0 {
+                (SimPairKind::Projection, a, Some(true))
+            } else {
+                let skip = rng.gen_range(0..count);
+                let mut out = System::new(a.alphabet().clone());
+                for (i, (s, t)) in a.proper_transitions().enumerate() {
+                    if i != skip {
+                        out.add_transition(s, t);
+                    }
+                }
+                (SimPairKind::MutatedProjection, out, None)
+            }
+        }
+        _ => {
+            let mut anames = keep.clone();
+            if rng.gen_bool(0.5) {
+                // An abstract-private proposition keeps the greatest
+                // fixpoint genuinely relational.
+                anames.push("hidden".to_string());
+            }
+            let a = gen_system(&mut rng, &anames, cfg.max_transitions);
+            (SimPairKind::Random, a, None)
+        }
+    };
+
+    SimPair {
+        seed,
+        concrete,
+        abstraction,
+        expected,
+        kind,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +407,33 @@ mod tests {
             }
             Ex(_) | Ef(_) | Eg(_) | Eu(_, _) => false,
         }
+    }
+
+    #[test]
+    fn sim_pairs_are_deterministic_and_overlapping() {
+        let cfg = GenConfig::default();
+        let mut kinds = std::collections::BTreeSet::new();
+        for seed in 0..120 {
+            let a = gen_sim_pair(seed, &cfg);
+            let b = gen_sim_pair(seed, &cfg);
+            assert!(a.concrete.equivalent(&b.concrete));
+            assert!(a.abstraction.equivalent(&b.abstraction));
+            assert_eq!(a.kind, b.kind);
+            kinds.insert(format!("{:?}", a.kind));
+            // Every pair shares at least one observable: the kept subset
+            // is non-empty by construction.
+            let shared = a
+                .concrete
+                .alphabet()
+                .names()
+                .iter()
+                .any(|n| a.abstraction.alphabet().contains(n));
+            assert!(shared, "seed {seed}: no shared observable");
+        }
+        assert!(
+            kinds.len() >= 4,
+            "120 seeds should exercise most pair kinds, got {kinds:?}"
+        );
     }
 
     #[test]

@@ -24,15 +24,18 @@ pub mod oracle;
 pub mod reference;
 pub mod validate;
 
-pub use gen::{gen_obligation, GenConfig, Obligation, Stratum};
+pub use gen::{gen_obligation, gen_sim_pair, GenConfig, Obligation, SimPair, SimPairKind, Stratum};
 pub use oracle::{
-    run_obligation, run_obligation_with, shrink, shrink_with, Disagreement, OracleOutcome,
-    TripleVerdict,
+    run_obligation, run_obligation_with, run_sim_pair, shrink, shrink_with, Disagreement,
+    OracleOutcome, SimOracleOutcome, TripleVerdict,
 };
-pub use reference::{RefError, RefEvaluator, REFERENCE_MAX_PROPS};
+pub use reference::{
+    naive_simulates, NaiveSimulation, RefError, RefEvaluator, NAIVE_SIM_MAX_PROPS,
+    REFERENCE_MAX_PROPS,
+};
 pub use validate::{
-    replay_store, validate_certificate, validate_stored, validate_verdict, validate_witness,
-    ValidationError, WitnessClaim,
+    replay_store, replay_substitution, validate_certificate, validate_stored, validate_verdict,
+    validate_witness, ValidationError, WitnessClaim,
 };
 
 /// The checked-in regression seed corpus, one seed per line (`#` comments
@@ -87,6 +90,56 @@ pub fn fuzz(seed0: u64, iters: u64, mut progress: impl FnMut(&str)) -> FuzzRepor
         }
         if (i + 1) % 100 == 0 {
             progress(&format!("{}/{iters} obligations checked", i + 1));
+        }
+    }
+    report
+}
+
+/// Result of a simulation-pair fuzzing run.
+#[derive(Debug)]
+pub struct SimFuzzReport {
+    /// Pairs where all three checkers agreed.
+    pub agreed: usize,
+    /// Agreed pairs whose verdict was `holds`.
+    pub holding: usize,
+    /// Pairs skipped (width limits).
+    pub skipped: usize,
+    /// The first disagreement report, if any.
+    pub failure: Option<String>,
+}
+
+/// Run `iters` seeded `(concrete, abstraction)` pairs through the
+/// three-way simulation oracle ([`run_sim_pair`]), stopping at the first
+/// disagreement.
+pub fn sim_fuzz(seed0: u64, iters: u64, mut progress: impl FnMut(&str)) -> SimFuzzReport {
+    let cfg = GenConfig::default();
+    let mut report = SimFuzzReport {
+        agreed: 0,
+        holding: 0,
+        skipped: 0,
+        failure: None,
+    };
+    for i in 0..iters {
+        let seed = seed0.wrapping_add(i);
+        let p = gen_sim_pair(seed, &cfg);
+        match run_sim_pair(&p) {
+            SimOracleOutcome::Agree { holds } => {
+                report.agreed += 1;
+                if holds {
+                    report.holding += 1;
+                }
+            }
+            SimOracleOutcome::Skipped(why) => {
+                report.skipped += 1;
+                progress(&format!("seed {seed}: skipped ({why})"));
+            }
+            SimOracleOutcome::Disagree(d) => {
+                report.failure = Some(d);
+                return report;
+            }
+        }
+        if (i + 1) % 100 == 0 {
+            progress(&format!("{}/{iters} simulation pairs checked", i + 1));
         }
     }
     report

@@ -4,6 +4,7 @@
 //! cargo run -p cmc-testkit --release -- --seed N --iters K   # fresh seeds
 //! cargo run -p cmc-testkit --release -- --corpus             # regression corpus
 //! cargo run -p cmc-testkit --release -- --soak N             # one shared symbolic session
+//! cargo run -p cmc-testkit --release -- --sim N              # simulation-pair differential
 //! ```
 //!
 //! Exit status 0 means every obligation ran through the explicit backend,
@@ -16,7 +17,7 @@
 //! memory kernel\'s garbage collector.
 
 use cmc_testkit::{
-    corpus_seeds, fuzz, gen_obligation, run_obligation, soak, GenConfig, OracleOutcome,
+    corpus_seeds, fuzz, gen_obligation, run_obligation, sim_fuzz, soak, GenConfig, OracleOutcome,
 };
 
 struct Args {
@@ -24,9 +25,10 @@ struct Args {
     iters: u64,
     corpus: bool,
     soak: Option<u64>,
+    sim: Option<u64>,
 }
 
-const USAGE: &str = "usage: cmc-testkit [--seed N] [--iters K] [--corpus] [--soak N]";
+const USAGE: &str = "usage: cmc-testkit [--seed N] [--iters K] [--corpus] [--soak N] [--sim N]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -34,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
         iters: 200,
         corpus: false,
         soak: None,
+        sim: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -50,6 +53,10 @@ fn parse_args() -> Result<Args, String> {
             "--soak" => {
                 let v = it.next().ok_or("--soak needs a value")?;
                 args.soak = Some(v.parse().map_err(|_| format!("bad --soak value `{v}`"))?);
+            }
+            "--sim" => {
+                let v = it.next().ok_or("--sim needs a value")?;
+                args.sim = Some(v.parse().map_err(|_| format!("bad --sim value `{v}`"))?);
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -90,6 +97,26 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        return;
+    }
+
+    if let Some(n) = args.sim {
+        println!(
+            "differential simulation check: {n} (concrete, abstraction) pairs from seed {}",
+            args.seed
+        );
+        let report = sim_fuzz(args.seed, n, |line| println!("{line}"));
+        if let Some(d) = report.failure {
+            eprintln!("{d}");
+            std::process::exit(1);
+        }
+        println!(
+            "done: {} agreed ({} holding, {} failing), {} skipped, three-way agreement everywhere",
+            report.agreed,
+            report.holding,
+            report.agreed - report.holding,
+            report.skipped
+        );
         return;
     }
 

@@ -6,12 +6,13 @@
 //! split is a bug in *somebody*; the oracle shrinks the obligation to a
 //! minimal disagreeing pair and reports it with a replayable seed.
 
-use crate::gen::Obligation;
-use crate::reference::RefEvaluator;
+use crate::gen::{Obligation, SimPair};
+use crate::reference::{naive_simulates, RefEvaluator};
 use crate::validate::{validate_verdict, ValidationError};
 use cmc_core::{Backend, BackendError, ExplicitBackend, SymbolicBackend, Target};
-use cmc_ctl::{Formula, Restriction};
-use cmc_kripke::System;
+use cmc_ctl::{simulates_explicit, Formula, Restriction};
+use cmc_kripke::{SimulationOutcome, System};
+use cmc_symbolic::simulates_symbolic;
 use std::fmt;
 
 /// The three verdicts for one obligation, in a fixed order.
@@ -276,6 +277,104 @@ pub fn run_obligation_with(o: &Obligation, sym: SymbolicBackend) -> OracleOutcom
     }
 }
 
+/// Outcome of running one simulation pair through the three checkers.
+#[derive(Debug)]
+pub enum SimOracleOutcome {
+    /// All three checkers agree (verdict, pair counts, counterexamples
+    /// all cross-validated).
+    Agree {
+        /// The agreed verdict.
+        holds: bool,
+    },
+    /// Somebody is wrong; a rendered report with the replay seed.
+    Disagree(String),
+    /// The pair was too wide for some checker — skipped.
+    Skipped(String),
+}
+
+/// Run one `(concrete, abstraction)` pair through the explicit worklist
+/// checker, the symbolic BDD checker, and the naïve quadratic reference.
+///
+/// Agreement demands more than matching booleans: on `Holds` all three
+/// must report the same greatest-simulation size; on `Fails` each
+/// production counterexample state must be genuinely partnerless in the
+/// reference relation; and a verdict known by construction
+/// ([`SimPair::expected`]) must match.
+pub fn run_sim_pair(p: &SimPair) -> SimOracleOutcome {
+    let naive = match naive_simulates(&p.concrete, &p.abstraction) {
+        Ok(n) => n,
+        Err(e) => return SimOracleOutcome::Skipped(e.to_string()),
+    };
+    let explicit = match simulates_explicit(&p.concrete, &p.abstraction) {
+        Ok(o) => o,
+        Err(e) => return SimOracleOutcome::Skipped(e.to_string()),
+    };
+    let symbolic = simulates_symbolic(&p.concrete, &p.abstraction);
+
+    let mut problems = Vec::new();
+    if let Some(expected) = p.expected {
+        if naive.holds != expected {
+            problems.push(format!(
+                "pair holds by construction ({:?}) but the reference says {}",
+                p.kind, naive.holds
+            ));
+        }
+    }
+    for (name, out) in [("explicit", &explicit), ("symbolic", &symbolic)] {
+        if out.holds() != naive.holds {
+            problems.push(format!(
+                "{name} says {}, reference says {}",
+                out.holds(),
+                naive.holds
+            ));
+            continue;
+        }
+        match out {
+            SimulationOutcome::Holds { pairs } => {
+                if *pairs != naive.pairs {
+                    problems.push(format!(
+                        "{name} counts {pairs} simulation pairs, reference counts {}",
+                        naive.pairs
+                    ));
+                }
+            }
+            SimulationOutcome::Fails(cx) => {
+                if naive.has_partner(cx.state) {
+                    problems.push(format!(
+                        "{name} blames {}, but that state has a partner in the reference relation",
+                        cx.state.display(p.concrete.alphabet())
+                    ));
+                }
+            }
+        }
+    }
+
+    if problems.is_empty() {
+        return SimOracleOutcome::Agree { holds: naive.holds };
+    }
+    let mut report = String::new();
+    use std::fmt::Write;
+    let _ = writeln!(report, "=== SIMULATION DISAGREEMENT ===");
+    let _ = writeln!(report, "kind: {:?}", p.kind);
+    for pr in &problems {
+        let _ = writeln!(report, "problem: {pr}");
+    }
+    for (label, m) in [("concrete", &p.concrete), ("abstraction", &p.abstraction)] {
+        let alpha = m.alphabet().names().join(",");
+        let _ = writeln!(report, "{label} over {{{alpha}}}:");
+        for (s, t) in m.proper_transitions() {
+            let _ = writeln!(
+                report,
+                "  {} -> {}",
+                s.display(m.alphabet()),
+                t.display(m.alphabet())
+            );
+        }
+    }
+    let _ = writeln!(report, "replay: cmc-testkit -- --sim 1 --seed {}", p.seed);
+    SimOracleOutcome::Disagree(report)
+}
+
 /// Convenience: re-validate a backend verdict against an independently
 /// materialised product (exposed for integration tests).
 pub fn revalidate(
@@ -291,7 +390,39 @@ pub fn revalidate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gen::{gen_obligation, GenConfig};
+    use crate::gen::{gen_obligation, gen_sim_pair, GenConfig};
+
+    #[test]
+    fn three_way_simulation_agreement_on_two_hundred_pairs() {
+        let cfg = GenConfig::default();
+        let mut agreed = 0usize;
+        let mut holds = 0usize;
+        let mut fails = 0usize;
+        let mut seed = 0u64;
+        while agreed < 200 {
+            assert!(
+                seed < 400,
+                "too many skips: only {agreed} agreements in 400 seeds"
+            );
+            let p = gen_sim_pair(seed, &cfg);
+            match run_sim_pair(&p) {
+                SimOracleOutcome::Agree { holds: h } => {
+                    agreed += 1;
+                    if h {
+                        holds += 1;
+                    } else {
+                        fails += 1;
+                    }
+                }
+                SimOracleOutcome::Skipped(_) => {}
+                SimOracleOutcome::Disagree(d) => panic!("seed {seed} disagreed:\n{d}"),
+            }
+            seed += 1;
+        }
+        // The corpus must exercise both verdicts, not just the easy one.
+        assert!(holds >= 50, "only {holds} holding pairs in {agreed}");
+        assert!(fails >= 20, "only {fails} failing pairs in {agreed}");
+    }
 
     #[test]
     fn small_corpus_agrees() {

@@ -18,7 +18,7 @@
 //! that the whole satisfaction set fits in one machine word pair.
 
 use cmc_ctl::{Formula, Restriction};
-use cmc_kripke::{State, System};
+use cmc_kripke::{SharedObs, State, System};
 
 /// Widest alphabet the reference evaluator accepts (`2^7 = 128` states —
 /// one `u128` mask).
@@ -293,6 +293,101 @@ impl<'a> RefEvaluator<'a> {
     }
 }
 
+/// Widest *combined* pair alphabet (`|Σ_C| + |Σ_A|`) the naïve simulation
+/// reference accepts: `2^14` pairs fit a dense matrix comfortably.
+pub const NAIVE_SIM_MAX_PROPS: usize = 14;
+
+/// The greatest shared-observable simulation computed the slow, obvious
+/// way, plus everything the differential oracle wants to interrogate.
+#[derive(Debug)]
+pub struct NaiveSimulation {
+    /// Does `C ⊑ A` — every concrete state has a partner?
+    pub holds: bool,
+    /// Size of the greatest simulation relation.
+    pub pairs: u64,
+    /// All partnerless concrete states, ascending.
+    pub unrelated: Vec<State>,
+    rel: Vec<bool>,
+    na_states: usize,
+}
+
+impl NaiveSimulation {
+    /// Is `(s, a)` in the greatest simulation?
+    pub fn related(&self, s: State, a: State) -> bool {
+        self.rel[s.0 as usize * self.na_states + a.0 as usize]
+    }
+
+    /// Does `s` have at least one abstract partner?
+    pub fn has_partner(&self, s: State) -> bool {
+        let row = s.0 as usize * self.na_states;
+        self.rel[row..row + self.na_states].iter().any(|&b| b)
+    }
+}
+
+/// Decide `concrete ⊑ abstraction` by the quadratic textbook sweep: a
+/// dense boolean matrix over the full `2^Σ_C × 2^Σ_A` pair space seeded
+/// with label agreement, rescanned whole until no pair is struck. Shares
+/// no worklist, no CSR index, and no BDD with the production checkers —
+/// its only job is to be too simple to be wrong.
+pub fn naive_simulates(
+    concrete: &System,
+    abstraction: &System,
+) -> Result<NaiveSimulation, RefError> {
+    let nc = concrete.alphabet().len();
+    let na = abstraction.alphabet().len();
+    if nc + na > NAIVE_SIM_MAX_PROPS {
+        return Err(RefError::TooWide(nc + na));
+    }
+    let (cs, as_) = (1usize << nc, 1usize << na);
+    let obs = SharedObs::new(concrete.alphabet(), abstraction.alphabet());
+    let mut rel = vec![false; cs * as_];
+    for s in 0..cs {
+        for a in 0..as_ {
+            rel[s * as_ + a] = obs.agree(State(s as u128), State(a as u128));
+        }
+    }
+    loop {
+        let mut changed = false;
+        for s in 0..cs {
+            for a in 0..as_ {
+                if !rel[s * as_ + a] {
+                    continue;
+                }
+                let bad = concrete.proper_successors(State(s as u128)).any(|t| {
+                    !abstraction
+                        .successors(State(a as u128))
+                        .iter()
+                        .any(|&b| rel[t.0 as usize * as_ + b.0 as usize])
+                });
+                if bad {
+                    rel[s * as_ + a] = false;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut unrelated = Vec::new();
+    let mut pairs = 0u64;
+    for s in 0..cs {
+        let row = &rel[s * as_..(s + 1) * as_];
+        let here = row.iter().filter(|&&b| b).count() as u64;
+        pairs += here;
+        if here == 0 {
+            unrelated.push(State(s as u128));
+        }
+    }
+    Ok(NaiveSimulation {
+        holds: unrelated.is_empty(),
+        pairs,
+        unrelated,
+        rel,
+        na_states: as_,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,5 +460,32 @@ mod tests {
         let names: Vec<String> = (0..8).map(|i| format!("p{i}")).collect();
         let m = System::new(Alphabet::new(names));
         assert_eq!(RefEvaluator::new(&m).unwrap_err(), RefError::TooWide(8));
+    }
+
+    #[test]
+    fn naive_simulation_matches_the_definitional_checker() {
+        let m = counter();
+        let proj = m.project(&Alphabet::new(["b0"]));
+        let mut riser = System::new(Alphabet::new(["b0"]));
+        riser.add_transition_named(&[], &["b0"]);
+        for (c, a) in [(&m, &m), (&m, &proj), (&proj, &m), (&proj, &riser)] {
+            let naive = naive_simulates(c, a).unwrap();
+            let def = cmc_kripke::simulation::simulates(c, a);
+            assert_eq!(naive.holds, def.holds(), "split on {c:?} vs {a:?}");
+            if let cmc_kripke::SimulationOutcome::Holds { pairs } = def {
+                assert_eq!(naive.pairs, pairs);
+            } else {
+                let cx = def.counterexample().unwrap();
+                assert!(!naive.has_partner(cx.state));
+                assert!(naive.unrelated.contains(&cx.state));
+            }
+        }
+    }
+
+    #[test]
+    fn naive_simulation_rejects_wide_pairs() {
+        let names: Vec<String> = (0..8).map(|i| format!("p{i}")).collect();
+        let m = System::new(Alphabet::new(names));
+        assert_eq!(naive_simulates(&m, &m).unwrap_err(), RefError::TooWide(16));
     }
 }

@@ -16,13 +16,18 @@
 //! * [`validate_certificate`] / [`validate_stored`] / [`replay_store`] —
 //!   proof certificates (live or cached) must be internally consistent:
 //!   `valid` agrees with the step outcomes, cached entries agree with
-//!   their certificates.
+//!   their certificates;
+//! * [`replay_substitution`] — an abstraction recorded by the refinement
+//!   layer must re-verify from the certificate alone: its
+//!   content-addressed key re-derives, the substitution side-conditions
+//!   still hold, the simulation premise re-checks, and the abstract
+//!   obligation re-evaluates to the certified verdict.
 
 use crate::reference::{RefEvaluator, REFERENCE_MAX_PROPS};
-use cmc_core::{Certificate, Verdict};
-use cmc_ctl::{Formula, Restriction, WitnessPath};
+use cmc_core::{check_refines, Backend, BackendChoice, Certificate, Target, Verdict};
+use cmc_ctl::{parse, Formula, Restriction, WitnessPath};
 use cmc_kripke::{State, System};
-use cmc_store::{CertStore, StoredCertificate};
+use cmc_store::{CertStore, ObligationKey, StoredCertificate, StoredSubstitution};
 use std::fmt;
 
 /// What a witness path claims to demonstrate.
@@ -82,6 +87,10 @@ pub enum ValidationError {
     },
     /// A certificate's `valid` flag disagrees with its step outcomes.
     InconsistentCertificate(String),
+    /// A recorded abstraction substitution failed to replay: bad
+    /// content-addressed key, unparseable recorded obligation, violated
+    /// side-condition, or a simulation premise that no longer holds.
+    BadSubstitution(String),
     /// The reference evaluator could not run (width, unknown atom).
     Reference(String),
 }
@@ -108,6 +117,9 @@ impl fmt::Display for ValidationError {
             ),
             ValidationError::InconsistentCertificate(s) => {
                 write!(f, "inconsistent certificate: {s}")
+            }
+            ValidationError::BadSubstitution(s) => {
+                write!(f, "substitution record failed replay: {s}")
             }
             ValidationError::Reference(s) => write!(f, "reference evaluator: {s}"),
         }
@@ -336,9 +348,106 @@ pub fn validate_certificate(cert: &Certificate) -> Result<(), ValidationError> {
     Ok(())
 }
 
-/// [`validate_certificate`] for the serialised store form.
+/// Replay one recorded abstraction substitution **from the certificate
+/// alone** — no engine state, no store:
+///
+/// 1. the content-addressed `abstraction_key` must re-derive from the
+///    recorded abstraction system;
+/// 2. the recorded obligation (`init`, `fairness`, `formula`) must parse
+///    back from its rendered form;
+/// 3. the substitution side-conditions must still hold for the recorded
+///    `(concrete, abstraction, rest)` triple;
+/// 4. the simulation premise `concrete ⊑ abstraction` must re-check
+///    (routed by pair width exactly like the engine);
+/// 5. the property is re-checked on `abstraction ∘ rest` and its verdict
+///    returned, so callers can compare against the certificate's `valid`.
+pub fn replay_substitution(record: &StoredSubstitution) -> Result<bool, ValidationError> {
+    let derived = ObligationKey::system(&record.abstraction).to_hex();
+    if derived != record.abstraction_key {
+        return Err(ValidationError::BadSubstitution(format!(
+            "component {}: abstraction key {} does not re-derive (expected {derived})",
+            record.component, record.abstraction_key
+        )));
+    }
+
+    let bad_parse = |what: &str, text: &str, e: &dyn fmt::Display| {
+        ValidationError::BadSubstitution(format!(
+            "component {}: recorded {what} `{text}` does not parse: {e}",
+            record.component
+        ))
+    };
+    let init = parse(&record.init).map_err(|e| bad_parse("init", &record.init, &e))?;
+    let fairness: Vec<Formula> = record
+        .fairness
+        .iter()
+        .map(|g| parse(g).map_err(|e| bad_parse("fairness constraint", g, &e)))
+        .collect::<Result<_, _>>()?;
+    let f = parse(&record.formula).map_err(|e| bad_parse("formula", &record.formula, &e))?;
+    let r = Restriction::new(init, fairness);
+
+    let rest: Vec<&System> = record.rest.iter().collect();
+    cmc_core::substitution_side_conditions(
+        &record.component,
+        &record.concrete,
+        &record.abstraction,
+        &rest,
+        &r,
+        &f,
+    )
+    .map_err(|e| {
+        ValidationError::BadSubstitution(format!(
+            "component {}: side-condition violated on replay: {e}",
+            record.component
+        ))
+    })?;
+
+    let (sim, _) = check_refines(BackendChoice::Auto, &record.concrete, &record.abstraction)
+        .map_err(|e| {
+            ValidationError::BadSubstitution(format!(
+                "component {}: simulation premise could not re-run: {e}",
+                record.component
+            ))
+        })?;
+    if let Some(cx) = sim.counterexample() {
+        return Err(ValidationError::BadSubstitution(format!(
+            "component {}: simulation premise fails on replay: {}",
+            record.component,
+            cx.display(record.concrete.alphabet())
+        )));
+    }
+
+    let mut systems = vec![record.abstraction.clone()];
+    systems.extend(record.rest.iter().cloned());
+    let target = Target::composition(systems);
+    let verdict = cmc_core::ExplicitBackend::default()
+        .check(&target, &r, &f)
+        .or_else(|_| cmc_core::SymbolicBackend::default().check(&target, &r, &f))
+        .map_err(|e| {
+            ValidationError::BadSubstitution(format!(
+                "component {}: abstract obligation could not re-check: {e}",
+                record.component
+            ))
+        })?;
+    Ok(verdict.holds)
+}
+
+/// [`validate_certificate`] for the serialised store form, additionally
+/// replaying every recorded abstraction substitution: a *valid*
+/// certificate's substitutions must all re-verify — key, side-conditions,
+/// simulation premise, and the abstract property itself.
 pub fn validate_stored(cert: &StoredCertificate) -> Result<(), ValidationError> {
-    validate_certificate(&Certificate::from(cert.clone()))
+    validate_certificate(&Certificate::from(cert.clone()))?;
+    for record in &cert.abstractions {
+        let holds = replay_substitution(record)?;
+        if cert.valid && !holds {
+            return Err(ValidationError::InconsistentCertificate(format!(
+                "goal `{}`: certificate is valid but the substituted obligation for {} \
+                 re-checks false",
+                cert.goal, record.component
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Replay every cached entry of a [`CertStore`] through the certificate
@@ -438,6 +547,55 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, ValidationError::UnfairCycle(_)));
+    }
+
+    #[test]
+    fn substitution_certificates_replay_from_the_certificate_alone() {
+        use cmc_core::{Component, Engine, Substitution};
+        use std::sync::Arc;
+
+        // Concrete worker with a private scratch bit; abstraction drops it.
+        let mut c = System::new(Alphabet::new(["x", "s1"]));
+        c.add_transition_named(&[], &["s1"]);
+        c.add_transition_named(&["s1"], &["s1", "x"]);
+        c.add_transition_named(&["s1", "x"], &["x"]);
+        c.add_transition_named(&["x"], &[]);
+        let a = c.project(&Alphabet::new(["x"]));
+        let mut ctx = System::new(Alphabet::new(["y"]));
+        ctx.add_transition_named(&[], &["y"]);
+        ctx.add_transition_named(&["y"], &[]);
+
+        let store = Arc::new(CertStore::new());
+        let e = Engine::new(vec![
+            Component::new("worker", c),
+            Component::new("ctx", ctx),
+        ])
+        .with_store(Arc::clone(&store));
+        let cert = e
+            .prove_substituted(
+                &Substitution::new(0, a),
+                &Restriction::trivial(),
+                &cmc_ctl::parse("AG (x | !x)").unwrap(),
+            )
+            .unwrap();
+        assert!(cert.valid);
+        assert_eq!(cert.abstractions.len(), 1);
+
+        // The live record replays green and re-derives the verdict.
+        assert_eq!(replay_substitution(&cert.abstractions[0]), Ok(true));
+
+        // The cached copy replays through the store path too.
+        assert!(replay_store(&store).unwrap() >= 1);
+
+        // Tampering with the recorded abstraction breaks the key check.
+        let mut forged = cert.abstractions[0].clone();
+        let mut weaker = System::new(forged.abstraction.alphabet().clone());
+        weaker.add_transition_named(&[], &["x"]);
+        forged.abstraction = weaker;
+        assert!(matches!(
+            replay_substitution(&forged),
+            Err(ValidationError::BadSubstitution(_))
+        ));
     }
 
     #[test]
