@@ -545,6 +545,66 @@ impl BddManager {
         r
     }
 
+    /// The variables of a positive cube, in order.
+    pub fn cube_vars(&self, mut cube: Bdd) -> Vec<Var> {
+        debug_assert!(self.is_cube(cube), "cube_vars argument must be a cube");
+        let mut vars = Vec::new();
+        while !cube.is_const() {
+            let n = self.node(cube);
+            vars.push(Var(n.var));
+            cube = Bdd(n.high);
+        }
+        vars
+    }
+
+    /// Clustered relational product `∃ cube. (f₁ ∧ f₂ ∧ … ∧ fₖ)` under an
+    /// **early-quantification schedule**: conjuncts are folded in the order
+    /// given, and each cube variable is existentially quantified at the
+    /// *last* conjunct whose support mentions it — after that point no
+    /// remaining conjunct can constrain it, so hoisting the quantifier is
+    /// sound (`∃x.(f ∧ g) = (∃x.f) ∧ g` when `x ∉ support(g)`). The product
+    /// relation `f₁ ∧ … ∧ fₖ` is never materialised; each fold step is one
+    /// [`BddManager::and_exists`]. Any schedule (any permutation of
+    /// `parts`) computes the same function — the partition-conformance
+    /// suite pins exactly this.
+    ///
+    /// Cube variables mentioned by no conjunct quantify to a no-op and are
+    /// dropped up front. An empty `parts` slice denotes the empty
+    /// conjunction, i.e. `TRUE`.
+    pub fn and_exists_multi(&mut self, parts: &[Bdd], cube: Bdd) -> Bdd {
+        if parts.is_empty() {
+            return Bdd::TRUE;
+        }
+        debug_assert!(
+            self.is_cube(cube),
+            "quantifier argument must be a positive cube"
+        );
+        // Last conjunct index mentioning each cube variable.
+        let cube_vars = self.cube_vars(cube);
+        let mut last: FxHashMap<u32, usize> = FxHashMap::default();
+        for (i, &p) in parts.iter().enumerate() {
+            for v in self.support(p) {
+                last.insert(v.0, i);
+            }
+        }
+        // Per-step quantification cubes.
+        let mut step_vars: Vec<Vec<Var>> = vec![Vec::new(); parts.len()];
+        for v in cube_vars {
+            if let Some(&i) = last.get(&v.0) {
+                step_vars[i].push(v);
+            }
+        }
+        let mut acc = Bdd::TRUE;
+        for (i, &p) in parts.iter().enumerate() {
+            let step_cube = self.cube(&step_vars[i]);
+            acc = self.and_exists(acc, p, step_cube);
+            if acc.is_false() {
+                return Bdd::FALSE;
+            }
+        }
+        acc
+    }
+
     /// Is `f` a positive cube (a conjunction of positive literals)?
     pub fn is_cube(&self, mut f: Bdd) -> bool {
         while !f.is_const() {
@@ -778,6 +838,53 @@ mod tests {
         let e = m.iff(l[0], l[1]);
         let ne = m.not(e);
         assert_eq!(x, ne);
+    }
+
+    #[test]
+    fn and_exists_multi_matches_monolithic_product() {
+        let (mut m, l) = setup(4);
+        // parts: (x0 ∨ x1), (x1 ⇔ x2), (¬x2 ∨ x3)
+        let p0 = m.or(l[0], l[1]);
+        let p1 = m.iff(l[1], l[2]);
+        let p2 = {
+            let n2 = m.not(l[2]);
+            m.or(n2, l[3])
+        };
+        let cube = m.cube(&[Var(1), Var(2)]);
+        let mono = {
+            let a = m.and(p0, p1);
+            let all = m.and(a, p2);
+            m.exists(all, cube)
+        };
+        let multi = m.and_exists_multi(&[p0, p1, p2], cube);
+        assert_eq!(multi, mono);
+        // Any schedule computes the same function.
+        for perm in [[p1, p0, p2], [p2, p1, p0], [p1, p2, p0], [p2, p0, p1]] {
+            assert_eq!(m.and_exists_multi(&perm, cube), mono, "schedule varies");
+        }
+    }
+
+    #[test]
+    fn and_exists_multi_edge_cases() {
+        let (mut m, l) = setup(3);
+        let cube = m.cube(&[Var(0), Var(1), Var(2)]);
+        // Empty conjunction is TRUE.
+        assert_eq!(m.and_exists_multi(&[], cube), Bdd::TRUE);
+        // A cube variable no conjunct mentions quantifies to a no-op.
+        let p = m.and(l[0], l[1]);
+        let wide = m.cube(&[Var(2)]);
+        assert_eq!(m.and_exists_multi(&[p], wide), p);
+        // Contradictory conjuncts short-circuit to FALSE.
+        let np = m.not(l[0]);
+        assert_eq!(m.and_exists_multi(&[l[0], np, l[1]], Bdd::TRUE), Bdd::FALSE);
+    }
+
+    #[test]
+    fn cube_vars_reads_back_cube() {
+        let (mut m, _) = setup(4);
+        let c = m.cube(&[Var(3), Var(0), Var(2)]);
+        assert_eq!(m.cube_vars(c), vec![Var(0), Var(2), Var(3)]);
+        assert!(m.cube_vars(Bdd::TRUE).is_empty());
     }
 
     #[test]

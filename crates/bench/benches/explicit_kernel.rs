@@ -262,12 +262,11 @@ fn emit_summary(c: &mut Criterion) {
     if avail == 1 {
         scheduler.push((
             "refused".into(),
-            Json::Str(
-                "scaling sweep refused: available_parallelism() == 1, so multi-worker \
-                 rows would measure scheduling overhead, not parallel speedup; only \
-                 the one-worker row was recorded"
-                    .into(),
-            ),
+            Json::Str(format!(
+                "scaling sweep refused: available_parallelism() reports {avail} hardware \
+                 thread(s), so multi-worker rows would measure scheduling overhead, not \
+                 parallel speedup; only the one-worker row was recorded"
+            )),
         ));
     }
     scheduler.push(("series".into(), Json::Arr(sched_series)));

@@ -1,0 +1,337 @@
+//! Partitioned vs monolithic transition relations on the token-ring
+//! family — the numbers behind `BENCH_partition.json`.
+//!
+//! Two comparisons, both on obligations other artifacts already price:
+//!
+//! * **Symbolic:** the same `EF t[n/2]` obligation as
+//!   `BENCH_symbolic.json`, checked once with the partitioned relation
+//!   (per-component conjuncts, early quantification — the default) and
+//!   once with the memoised monolithic relation. The product relation is
+//!   never built on the partitioned path; the monolithic leg is the
+//!   measurable baseline it replaces.
+//! * **Explicit:** the same `t0 -> AX (t0 | t1)` and `EF t[n/2]`
+//!   obligations as `BENCH_explicit.json`, swept over 1/2/4/8 workers on
+//!   the block-partitioned CSR kernels. Both paths decide the same sets,
+//!   so every timed iteration is also a differential check.
+//!
+//! On a single-hardware-thread host the explicit worker sweep is REFUSED
+//! (multi-worker rows there time scheduling overhead, not parallel
+//! speedup): only the one-worker row is measured and the refusal —
+//! carrying the host count `available_parallelism()` reported — is
+//! recorded in the JSON. Every emitted row records the thread count that
+//! actually ran.
+//!
+//! Quick mode (`CMC_BENCH_QUICK=1`, the CI smoke job) shrinks the sizes
+//! and runs one iteration per point so the binary and the JSON emitter
+//! stay exercised cheaply.
+
+use cmc_bench::ring;
+use cmc_core::{Backend, ExplicitBackend, SymbolicBackend, Target};
+use cmc_ctl::{parse, Formula, Restriction};
+use cmc_kripke::System;
+use cmc_smv::compile_explicit;
+use cmc_store::json::Json;
+use cmc_symbolic::ImageMode;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The `n` station systems (2-proposition alphabets `{tᵢ, tᵢ₊₁}`).
+fn stations(n: usize) -> Vec<System> {
+    (0..n)
+        .map(|i| {
+            compile_explicit(&ring::station_module(i, n))
+                .unwrap()
+                .system
+        })
+        .collect()
+}
+
+/// Same least fixpoint as `BENCH_symbolic.json`: the token reaches the
+/// far station.
+fn ef_goal(n: usize) -> Formula {
+    parse(&format!("EF t{}", n / 2)).unwrap()
+}
+
+/// Same safety obligation as `BENCH_explicit.json`'s main series.
+fn handoff_formula() -> Formula {
+    parse("t0 -> AX (t0 | t1)").unwrap()
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("CMC_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+/// A wall-time baseline recorded by a sibling artifact: the `field` of
+/// the `series_key` row at `stations` in `file` (repo root). `None` when
+/// the artifact is absent or shaped differently — acceptance rows then
+/// say so instead of guessing.
+fn recorded_baseline(file: &str, series_key: &str, stations: usize, path: &[&str]) -> Option<f64> {
+    let file_path = format!("{}/../../{file}", env!("CARGO_MANIFEST_DIR"));
+    let doc = Json::parse(&std::fs::read_to_string(file_path).ok()?).ok()?;
+    let mut v = doc
+        .get(series_key)?
+        .as_arr()?
+        .iter()
+        .find(|row| row.get("stations").and_then(Json::as_num) == Some(stations as f64))?;
+    for key in path {
+        v = v.get(key)?;
+    }
+    v.as_num()
+}
+
+/// Mean wall time of `f` over `iters` runs (one warm-up run first), ns.
+fn mean_ns(mut f: impl FnMut(), iters: u32) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+fn emit_summary(c: &mut Criterion) {
+    let quick = quick_mode();
+    let iters = if quick { 1 } else { 10 };
+    let r = Restriction::trivial();
+    let avail = cmc_core::scheduler::default_workers();
+
+    // ------------------------------------------------------------------
+    // Symbolic: partitioned early quantification vs the memoised
+    // monolithic relation, same obligation as BENCH_symbolic so the two
+    // files are directly comparable.
+    // ------------------------------------------------------------------
+    let sym_sizes: &[usize] = if quick { &[8, 12] } else { &[20, 30] };
+    let mut sym_series = Vec::new();
+    let mut sym_acceptance = Json::Null;
+    for &n in sym_sizes {
+        let target = Target::composition(stations(n));
+        let f = ef_goal(n);
+
+        let part_backend = SymbolicBackend::default().with_image_mode(ImageMode::Partitioned);
+        let mono_backend = SymbolicBackend::default().with_image_mode(ImageMode::Monolithic);
+
+        let v = part_backend.check(&target, &r, &f).unwrap();
+        let expected = v.sat_states;
+        let partitions = v.stats.partitions;
+        let threads = v.stats.threads;
+        let part_ns = mean_ns(
+            || {
+                let v = part_backend.check(&target, &r, &f).unwrap();
+                assert_eq!(v.sat_states, expected);
+            },
+            iters,
+        );
+        let mono_ns = mean_ns(
+            || {
+                let v = mono_backend.check(&target, &r, &f).unwrap();
+                assert_eq!(v.sat_states, expected);
+            },
+            iters,
+        );
+
+        sym_series.push(Json::Obj(vec![
+            ("stations".into(), Json::int(n as u64)),
+            ("partitions".into(), Json::int(partitions as u64)),
+            ("threads".into(), Json::int(threads as u64)),
+            ("partitioned_ns".into(), Json::Num(part_ns)),
+            ("monolithic_ns".into(), Json::Num(mono_ns)),
+            ("speedup".into(), Json::Num(mono_ns / part_ns)),
+        ]));
+        // The acceptance row is the largest ring in the sweep (30
+        // stations in a full run): the partitioned image — which never
+        // materialises the product relation — must beat the wall the
+        // pre-partition engine recorded in BENCH_symbolic.json (its
+        // `unbounded` policy rebuilt the full relation per check).
+        if n == *sym_sizes.last().unwrap() {
+            let recorded =
+                recorded_baseline("BENCH_symbolic.json", "ring", n, &["unbounded", "wall_ns"]);
+            let beats = match recorded {
+                Some(base) => Json::Bool(part_ns < base),
+                None => Json::Null,
+            };
+            sym_acceptance = Json::Obj(vec![
+                ("stations".into(), Json::int(n as u64)),
+                ("partitioned_ns".into(), Json::Num(part_ns)),
+                ("monolithic_ns".into(), Json::Num(mono_ns)),
+                (
+                    "recorded_symbolic_baseline_ns".into(),
+                    recorded.map_or(Json::Null, Json::Num),
+                ),
+                ("beats_recorded_baseline".into(), beats),
+            ]);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Explicit: block-partitioned CSR frontier passes over 1/2/4/8
+    // workers, same obligations as BENCH_explicit. Refused on a
+    // single-hardware-thread host (only the serial row is honest there).
+    // ------------------------------------------------------------------
+    let exp_stations = if quick { 12 } else { 20 };
+    let exp_iters = if quick { 1 } else { 3 };
+    let target = Target::composition(stations(exp_stations));
+    let handoff = handoff_formula();
+    let ef = ef_goal(exp_stations).clone();
+
+    let baseline = ExplicitBackend::default().check(&target, &r, &ef).unwrap();
+    let expected_ef = baseline.sat_states.unwrap();
+
+    let worker_sweep: &[usize] = if avail == 1 { &[1] } else { &[1, 2, 4, 8] };
+    let mut exp_series = Vec::new();
+    for &workers in worker_sweep {
+        let backend = ExplicitBackend::default().with_workers(workers);
+
+        let probe = backend.check(&target, &r, &ef).unwrap();
+        assert_eq!(probe.sat_states, Some(expected_ef));
+        let blocks = probe.stats.partitions;
+        let threads = probe.stats.threads;
+
+        let handoff_ns = mean_ns(
+            || {
+                let v = backend.check(&target, &r, &handoff).unwrap();
+                assert!(v.holds);
+            },
+            exp_iters,
+        );
+        let ef_ns = mean_ns(
+            || {
+                let v = backend.check(&target, &r, &ef).unwrap();
+                assert_eq!(v.sat_states, Some(expected_ef));
+            },
+            exp_iters,
+        );
+
+        exp_series.push(Json::Obj(vec![
+            ("workers".into(), Json::int(workers as u64)),
+            ("threads".into(), Json::int(threads as u64)),
+            ("blocks".into(), Json::int(blocks as u64)),
+            ("oversubscribed".into(), Json::Bool(threads > avail)),
+            ("handoff_ns".into(), Json::Num(handoff_ns)),
+            ("ef_ns".into(), Json::Num(ef_ns)),
+        ]));
+    }
+    // Acceptance for the blocked kernels: the best multi-worker handoff
+    // wall against the serial frontier wall BENCH_explicit.json recorded
+    // at the same size. Null (not a guess) when the sweep was refused or
+    // the sibling artifact is absent.
+    let recorded_explicit = recorded_baseline(
+        "BENCH_explicit.json",
+        "series",
+        exp_stations,
+        &["frontier_ns"],
+    );
+    let best_blocked = exp_series
+        .iter()
+        .filter(|row| row.get("workers").and_then(Json::as_num) != Some(1.0))
+        .filter_map(|row| row.get("handoff_ns").and_then(Json::as_num))
+        .fold(None::<f64>, |best, ns| Some(best.map_or(ns, |b| b.min(ns))));
+    let exp_acceptance = Json::Obj(vec![
+        ("stations".into(), Json::int(exp_stations as u64)),
+        (
+            "best_blocked_handoff_ns".into(),
+            best_blocked.map_or(Json::Null, Json::Num),
+        ),
+        (
+            "recorded_explicit_baseline_ns".into(),
+            recorded_explicit.map_or(Json::Null, Json::Num),
+        ),
+        (
+            "beats_recorded_baseline".into(),
+            match (best_blocked, recorded_explicit) {
+                (Some(blocked), Some(base)) => Json::Bool(blocked < base),
+                _ => Json::Null,
+            },
+        ),
+    ]);
+
+    let mut explicit = vec![
+        ("stations".into(), Json::int(exp_stations as u64)),
+        ("available_parallelism".into(), Json::int(avail as u64)),
+    ];
+    if avail == 1 {
+        explicit.push((
+            "refused".into(),
+            Json::Str(format!(
+                "worker sweep refused: available_parallelism() reports {avail} hardware \
+                 thread(s), so multi-worker rows would measure scheduling overhead, not \
+                 parallel speedup; only the one-worker row was recorded"
+            )),
+        ));
+    }
+    explicit.push(("series".into(), Json::Arr(exp_series)));
+    explicit.push(("acceptance".into(), exp_acceptance));
+
+    let doc = Json::Obj(vec![
+        ("benchmark".into(), Json::Str("partition_kernel".into())),
+        ("family".into(), Json::Str("token-ring".into())),
+        (
+            "unit".into(),
+            Json::Str(format!(
+                "ns/iter (mean of {iters} symbolic / {exp_iters} explicit)"
+            )),
+        ),
+        ("quick".into(), Json::Bool(quick)),
+        ("available_parallelism".into(), Json::int(avail as u64)),
+        (
+            "obligation".into(),
+            Json::Str("EF t[n/2]  /  t0 -> AX (t0 | t1)  over the n-station ring".into()),
+        ),
+        (
+            "modes".into(),
+            Json::Obj(vec![
+                (
+                    "partitioned".into(),
+                    Json::Str(
+                        "per-component conjunctive partition, early quantification \
+                         (and_exists per cluster); the product relation is never built"
+                            .into(),
+                    ),
+                ),
+                (
+                    "monolithic".into(),
+                    Json::Str("root-memoised full transition relation (the seed strategy)".into()),
+                ),
+                (
+                    "blocked".into(),
+                    Json::Str(
+                        "word-aligned CSR state blocks fanned over run_bounded workers, \
+                         merged by union (bit-identical to the serial kernels)"
+                            .into(),
+                    ),
+                ),
+            ]),
+        ),
+        ("symbolic".into(), Json::Arr(sym_series)),
+        ("symbolic_acceptance".into(), sym_acceptance),
+        ("explicit".into(), Json::Obj(explicit)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_partition.json");
+    std::fs::write(path, doc.to_pretty() + "\n").expect("write BENCH_partition.json");
+    c.bench_function("partition_kernel_summary_emitted", |b| {
+        b.iter(|| black_box(&doc))
+    });
+}
+
+/// Criterion-visible timing for the partitioned image at a mid size (the
+/// summary emitter above owns the JSON artifact).
+fn partitioned_image(c: &mut Criterion) {
+    let n = if quick_mode() { 8 } else { 16 };
+    let target = Target::composition(stations(n));
+    let r = Restriction::trivial();
+    let f = ef_goal(n);
+    let backend = SymbolicBackend::default().with_image_mode(ImageMode::Partitioned);
+    c.bench_function(&format!("partitioned_symbolic_{n}"), |b| {
+        b.iter(|| {
+            let v = backend.check(&target, &r, &f).unwrap();
+            black_box(v.sat_states)
+        })
+    });
+}
+
+criterion_group!(
+    name = partition_kernel;
+    config = Criterion::default().sample_size(10);
+    targets = partitioned_image, emit_summary
+);
+criterion_main!(partition_kernel);

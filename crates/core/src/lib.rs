@@ -55,7 +55,11 @@ pub mod parallel;
 pub mod property;
 pub mod report;
 pub mod rules;
-pub mod scheduler;
+/// Bounded work-claiming scheduler (re-exported from `cmc-sched`, which
+/// also backs the explicit kernel's block-parallel frontier passes).
+pub mod scheduler {
+    pub use cmc_sched::*;
+}
 
 pub use backend::{
     check_refines, Backend, BackendChoice, BackendError, BackendKind, CheckStats, ExplicitBackend,

@@ -1,4 +1,11 @@
-//! Bounded work-claiming scheduler for obligation fan-out.
+//! Bounded work-claiming scheduler for obligation fan-out and
+//! block-parallel frontier passes.
+//!
+//! Lives in its own crate so both ends of the dependency chain can use
+//! it: `cmc-core` re-exports it as `cmc_core::scheduler` for the proof
+//! engine's obligation fan-out, and `cmc-ctl` drives its block-parallel
+//! explicit fixpoints through the same claim loop (a `cmc-ctl` →
+//! `cmc-core` dependency would be cyclic).
 //!
 //! The seed's `parallel.rs` spawned one OS thread per component — fine
 //! for the paper's three-process AFS case study, pathological for a
@@ -19,7 +26,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Render a captured panic payload as a task-level error message.
-pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         format!("component check panicked: {s}")
     } else if let Some(s) = payload.downcast_ref::<String>() {

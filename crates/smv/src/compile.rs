@@ -167,8 +167,20 @@ pub(crate) fn compile_parts(
     c.register_value_props()?;
 
     let valid_cur = c.validity(Frame::Current);
-    let valid_next = c.validity(Frame::NextState);
     let mut init = valid_cur;
+
+    // Bit offset of each source variable in the flat StateVar layout.
+    let bit_offsets: Vec<usize> = {
+        let mut off = 0usize;
+        c.vars
+            .iter()
+            .map(|v| {
+                let o = off;
+                off += v.bit_names.len();
+                o
+            })
+            .collect()
+    };
 
     for module in modules {
         c.syms = Symbols::new(module)?;
@@ -184,25 +196,29 @@ pub(crate) fn compile_parts(
             part = c.model.mgr().and(part, constraint);
         }
 
-        // Frame conditions: variables this module does not declare stay
-        // unchanged during its moves (the `r ⊆ Σ* − Σ` padding of §3.1).
-        let foreign_bits: Vec<String> = union_vars
+        // Variables this module declares; everything else keeps an
+        // *implicit* frame condition in the partition (the `r ⊆ Σ* − Σ`
+        // padding of §3.1, carried as owned-variable metadata instead of
+        // a materialised `⋀ v' = v` BDD).
+        let own_vars: Vec<usize> = union_vars
             .iter()
-            .filter(|(n, _)| module.var_type(n).is_none())
-            .flat_map(|(n, _)| {
-                let vi = c.var_index[n];
-                c.vars[vi].bit_names.clone()
+            .enumerate()
+            .filter(|(_, (n, _))| module.var_type(n).is_some())
+            .map(|(vi, _)| vi)
+            .collect();
+        let owned_bits: Vec<usize> = own_vars
+            .iter()
+            .flat_map(|&vi| {
+                let o = bit_offsets[vi];
+                o..o + c.vars[vi].bit_names.len()
             })
             .collect();
-        if !foreign_bits.is_empty() {
-            let refs: Vec<&str> = foreign_bits.iter().map(String::as_str).collect();
-            let frame = c.model.frame_condition(&refs);
-            part = c.model.mgr().and(part, frame);
-        }
 
-        // Domain validity on both frames.
+        // Domain validity: current frame over every variable (foreign
+        // reads are frame-free), next frame over owned variables only.
+        let valid_next_own = c.validity_for(Frame::NextState, &own_vars);
         part = c.model.mgr().and(part, valid_cur);
-        part = c.model.mgr().and(part, valid_next);
+        part = c.model.mgr().and(part, valid_next_own);
 
         // INVAR: constrain both frames of this part and the initial states.
         let mut invar_cur = Bdd::TRUE;
@@ -217,7 +233,7 @@ pub(crate) fn compile_parts(
             part = c.model.mgr().and(part, invar_cur);
             part = c.model.mgr().and(part, invar_next);
         }
-        c.model.add_trans_part(part);
+        c.model.add_trans_part_owned(part, owned_bits);
 
         // Initial states.
         for (var, rhs) in module.init_assigns.clone() {
@@ -335,8 +351,18 @@ impl<'m> Compiler<'m> {
     /// Domain-validity predicate for all variables in a frame: every
     /// multi-bit encoding must denote a real value (`idx < k`).
     fn validity(&mut self, frame: Frame) -> Bdd {
+        let all: Vec<usize> = (0..self.vars.len()).collect();
+        self.validity_for(frame, &all)
+    }
+
+    /// Domain validity of the variables at `vis` only — the next-frame
+    /// validity each transition partition carries is restricted to the
+    /// variables the module owns, so partitions never mention foreign
+    /// next-state bits (their frames stay implicit; foreign next-validity
+    /// follows from current-frame validity through the frame condition).
+    fn validity_for(&mut self, frame: Frame, vis: &[usize]) -> Bdd {
         let mut acc = Bdd::TRUE;
-        for vi in 0..self.vars.len() {
+        for &vi in vis {
             let k = self.vars[vi].ty.cardinality();
             let width = self.vars[vi].ty.bits();
             if k == 1usize << width {

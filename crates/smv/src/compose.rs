@@ -116,16 +116,32 @@ mod tests {
         let mx = module("MODULE main\nVAR x : boolean;\nASSIGN next(x) := !x;");
         let my = module("MODULE main\nVAR y : boolean;\nASSIGN next(y) := !y;");
         let mut c = compile_composition(&[mx, my]).unwrap();
-        // The x-component's partition must keep y fixed: check that the
-        // partition implies y' = y.
-        let part_x = c.model.trans_parts()[0];
-        let yv = c.model.state_var("y").unwrap().clone();
-        let (ycur, ynext) = {
+        // The x-component's partition must keep y fixed. The frame is
+        // implicit now: y is not owned by partition 0, the stored
+        // relation never mentions y's next-state bit, and the image
+        // through partition 0 alone cannot move y.
+        let y_idx = c.model.vars().iter().position(|v| v.name == "y").unwrap();
+        assert!(
+            !c.model.part_owned_vars(0).contains(&y_idx),
+            "x-partition must not own y"
+        );
+        let x = c.model.prop("x").unwrap();
+        let y = c.model.prop("y").unwrap();
+        let start = {
             let m = c.model.mgr();
-            (m.var(yv.cur), m.var(yv.next))
+            let nx = m.not(x);
+            let ny = m.not(y);
+            m.and(nx, ny)
         };
-        let frame = c.model.mgr().iff(ycur, ynext);
-        assert!(c.model.mgr().implies_trivially(part_x, frame));
+        let post = c.model.post_image_part(0, start);
+        let ny = {
+            let m = c.model.mgr();
+            m.not(y)
+        };
+        assert!(
+            c.model.mgr().implies_trivially(post, ny),
+            "foreign y moved during x's partition"
+        );
     }
 
     #[test]

@@ -451,6 +451,7 @@ fn render_report(compiled: &CompiledModel, lines: Vec<String>, user_time: Durati
          BDD nodes live: {} (peak {})\n\
          garbage collections: {} (reclaimed {} nodes)\n\
          cache evictions: {}\n\
+         transition relation: {} conjunctive partition(s), early quantification\n\
          BDD nodes representing transition relation: {} + {}\n",
         user_time.as_secs_f64(),
         stats.nodes_allocated,
@@ -460,6 +461,7 @@ fn render_report(compiled: &CompiledModel, lines: Vec<String>, user_time: Durati
         stats.gc_runs,
         stats.gc_reclaimed,
         stats.cache_evictions,
+        parts.len(),
         trans_nodes,
         aux
     ));

@@ -43,6 +43,6 @@ pub mod simulation;
 pub mod witness;
 
 pub use checker::{SymbolicError, SymbolicVerdict};
-pub use model::{MaintenanceConfig, MaintenanceMode, StateVar, SymbolicModel};
+pub use model::{ImageMode, MaintenanceConfig, MaintenanceMode, StateVar, SymbolicModel};
 pub use simulation::simulates_symbolic;
 pub use witness::{NamedState, Trace};

@@ -80,6 +80,37 @@ impl MaintenanceConfig {
     }
 }
 
+/// Which relational-product strategy the image operators use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ImageMode {
+    /// Per-partition early-quantified products over the local move
+    /// relations; frame conditions stay implicit and the product relation
+    /// is never built. The default.
+    #[default]
+    Partitioned,
+    /// One materialised monolithic relation (union of all partitions with
+    /// their frames, memoised in a registry root) — the ablation baseline
+    /// and one leg of the partition-conformance oracle.
+    Monolithic,
+}
+
+/// One disjunctive transition partition: a component's **local move
+/// relation** plus the indices of the state variables it owns. The frame
+/// condition `⋀_{j ∉ owned} vⱼ' = vⱼ` is *implicit* — never conjoined into
+/// the stored BDD. The image operators exploit this algebraically: the
+/// foreign next-state variables of `∃next.(rel ∧ frame ∧ S[cur→next])`
+/// quantify away into a rename of `S`'s owned variables only, so the
+/// per-partition relational product touches just the owned frame
+/// (`O(component)` instead of `O(union alphabet)` nodes per partition).
+struct TransPart {
+    /// Local move relation: may read any current variable, but mentions
+    /// only owned next-state variables.
+    rel: RootId,
+    /// Ascending indices into `SymbolicModel::vars` of the owned variables
+    /// (those whose next-state value the partition constrains).
+    owned: Vec<usize>,
+}
+
 /// A symbolic finite-state system: initial states, a transition relation in
 /// **disjunctive** partitions (interleaving composition is a union of
 /// per-component moves), fairness constraints, and a map of named
@@ -98,9 +129,15 @@ pub struct SymbolicModel {
     /// variable this is its literal; front-ends (cmc-smv) also register
     /// encoded atoms like `belief=valid`.
     props: BTreeMap<String, RootId>,
-    /// Disjunctive partitions of the transition relation (already including
-    /// frame conditions over foreign variables).
-    trans_parts: Vec<RootId>,
+    /// Disjunctive partitions of the transition relation, each a local
+    /// move relation with implicit frame conditions (see [`TransPart`]).
+    trans_parts: Vec<TransPart>,
+    /// Memoised monolithic relation (built on first use by
+    /// [`ImageMode::Monolithic`] images; invalidated when a partition is
+    /// added).
+    full_trans_memo: Option<RootId>,
+    /// Image strategy for `pre_exists`/`post_exists`.
+    image_mode: ImageMode,
     /// Initial-state predicate over current variables.
     init: RootId,
     /// Fairness constraints over current variables.
@@ -151,6 +188,8 @@ impl SymbolicModel {
             vars,
             props,
             trans_parts: Vec::new(),
+            full_trans_memo: None,
+            image_mode: ImageMode::default(),
             init,
             fairness: Vec::new(),
             cur_cube,
@@ -211,12 +250,66 @@ impl SymbolicModel {
         self.props.keys().map(String::as_str)
     }
 
-    /// Add a disjunctive transition partition. The partition must be a
-    /// relation over current ∪ next variables and should already contain
-    /// its frame conditions.
+    /// Add a disjunctive transition partition that owns **every** state
+    /// variable: a general relation over current ∪ next variables with no
+    /// implicit frame. Front-ends that build their own frame conditions
+    /// (or have none to build) use this unchanged.
     pub fn add_trans_part(&mut self, part: Bdd) {
-        let root = self.mgr.protect(part);
-        self.trans_parts.push(root);
+        let owned = (0..self.vars.len()).collect();
+        self.add_trans_part_owned(part, owned);
+    }
+
+    /// Add a disjunctive transition partition owning only the state
+    /// variables at `owned` (indices into [`SymbolicModel::vars`]). The
+    /// frame condition over the remaining variables is implicit: the
+    /// stored relation must not mention any foreign next-state variable
+    /// (it may freely *read* foreign current-state variables).
+    pub fn add_trans_part_owned(&mut self, part: Bdd, mut owned: Vec<usize>) {
+        owned.sort_unstable();
+        owned.dedup();
+        debug_assert!(
+            owned.iter().all(|&vi| vi < self.vars.len()),
+            "owned index out of range"
+        );
+        debug_assert!(
+            {
+                let support = self.mgr.support(part);
+                support.iter().all(|&v| {
+                    self.vars
+                        .iter()
+                        .enumerate()
+                        .all(|(vi, sv)| sv.next != v || owned.binary_search(&vi).is_ok())
+                })
+            },
+            "partition mentions a foreign next-state variable; its frame \
+             must stay implicit"
+        );
+        let rel = self.mgr.protect(part);
+        self.trans_parts.push(TransPart { rel, owned });
+        if let Some(root) = self.full_trans_memo.take() {
+            self.mgr.unprotect(root);
+        }
+    }
+
+    /// Number of disjunctive transition partitions.
+    pub fn num_trans_parts(&self) -> usize {
+        self.trans_parts.len()
+    }
+
+    /// Indices (into [`SymbolicModel::vars`]) of the variables partition
+    /// `i` owns.
+    pub fn part_owned_vars(&self, i: usize) -> &[usize] {
+        &self.trans_parts[i].owned
+    }
+
+    /// Select the relational-product strategy for subsequent images.
+    pub fn set_image_mode(&mut self, mode: ImageMode) {
+        self.image_mode = mode;
+    }
+
+    /// The active image strategy.
+    pub fn image_mode(&self) -> ImageMode {
+        self.image_mode
     }
 
     /// Set the initial-state predicate.
@@ -393,48 +486,132 @@ impl SymbolicModel {
         self.mgr.pairwise_iff(&lit_pairs)
     }
 
-    /// The monolithic transition relation: the union of all partitions,
-    /// always including the identity relation (reflexivity).
+    /// Partition `i`'s relation with its frame condition materialised —
+    /// `relᵢ ∧ ⋀_{j ∉ ownedᵢ} vⱼ' = vⱼ`. Only the monolithic paths
+    /// ([`SymbolicModel::full_trans`], [`SymbolicModel::to_explicit`])
+    /// ever build this.
+    fn part_with_frame(&mut self, i: usize) -> Bdd {
+        let rel = self.mgr.root(self.trans_parts[i].rel);
+        let owned = &self.trans_parts[i].owned;
+        let lit_pairs: Vec<(Bdd, Bdd)> = self
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(vi, _)| owned.binary_search(vi).is_err())
+            .map(|(_, sv)| (sv.cur, sv.next))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|(c, n)| {
+                let cb = self.mgr.var(c);
+                let nb = self.mgr.var(n);
+                (cb, nb)
+            })
+            .collect();
+        let frame = self.mgr.pairwise_iff(&lit_pairs);
+        self.mgr.and(rel, frame)
+    }
+
+    /// The monolithic transition relation: the union of all partitions
+    /// (frames materialised), always including the identity relation
+    /// (reflexivity).
     pub fn full_trans(&mut self) -> Bdd {
         let id = self.identity_relation();
         let mut acc = id;
-        let parts = self.trans_parts();
-        for p in parts {
-            acc = self.mgr.or(acc, p);
+        for i in 0..self.trans_parts.len() {
+            let t = self.part_with_frame(i);
+            acc = self.mgr.or(acc, t);
         }
         acc
     }
 
-    /// Transition partitions (without the implicit identity).
+    /// [`SymbolicModel::full_trans`] memoised in a registry root, so
+    /// monolithic-mode fixpoints build the product relation once per
+    /// model instead of once per image.
+    fn full_trans_rooted(&mut self) -> Bdd {
+        if let Some(root) = self.full_trans_memo {
+            return self.mgr.root(root);
+        }
+        let t = self.full_trans();
+        self.full_trans_memo = Some(self.mgr.protect(t));
+        t
+    }
+
+    /// Local move relations of the transition partitions (without the
+    /// implicit identity, and without the implicit frame conditions —
+    /// see [`SymbolicModel::full_trans`] for the materialised relation).
     pub fn trans_parts(&self) -> Vec<Bdd> {
-        self.resolve(&self.trans_parts)
+        self.trans_parts
+            .iter()
+            .map(|p| self.mgr.root(p.rel))
+            .collect()
+    }
+
+    /// Backward image through partition `i` alone:
+    /// `∃nextᵢ. (relᵢ ∧ S[curᵢ→nextᵢ])`, renaming and quantifying **only
+    /// the owned variables**. This is the early-quantification schedule in
+    /// closed form: in `∃next.(relᵢ ∧ ⋀_{j foreign} vⱼ'=vⱼ ∧ S[cur→next])`
+    /// every frame conjunct `vⱼ'=vⱼ` is the sole constraint on `vⱼ'`, so
+    /// quantifying `vⱼ'` first collapses it to the substitution
+    /// `vⱼ' := vⱼ` in `S` — i.e. foreign variables of `S` simply stay in
+    /// the current frame and never materialise in the product.
+    pub fn pre_image_part(&mut self, i: usize, s: Bdd) -> Bdd {
+        let rel = self.mgr.root(self.trans_parts[i].rel);
+        let owned = self.trans_parts[i].owned.clone();
+        let rename: Vec<(Var, Var)> = owned
+            .iter()
+            .map(|&vi| (self.vars[vi].cur, self.vars[vi].next))
+            .collect();
+        let next_vars: Vec<Var> = owned.iter().map(|&vi| self.vars[vi].next).collect();
+        let s_next = self.mgr.rename(s, &rename);
+        let next_cube = self.mgr.cube(&next_vars);
+        self.mgr.and_exists(rel, s_next, next_cube)
+    }
+
+    /// Forward image through partition `i` alone:
+    /// `(∃curᵢ. relᵢ ∧ S)[nextᵢ→curᵢ]` — again only owned variables are
+    /// quantified and renamed; foreign variables of `S` pass through in
+    /// the current frame.
+    pub fn post_image_part(&mut self, i: usize, s: Bdd) -> Bdd {
+        let rel = self.mgr.root(self.trans_parts[i].rel);
+        let owned = self.trans_parts[i].owned.clone();
+        let cur_vars: Vec<Var> = owned.iter().map(|&vi| self.vars[vi].cur).collect();
+        let rename: Vec<(Var, Var)> = owned
+            .iter()
+            .map(|&vi| (self.vars[vi].next, self.vars[vi].cur))
+            .collect();
+        let cur_cube = self.mgr.cube(&cur_vars);
+        let img_next = self.mgr.and_exists(rel, s, cur_cube);
+        self.mgr.rename(img_next, &rename)
     }
 
     /// `EX S` — predecessors of `S` under the transition relation
     /// (including the stutter move, so `S ⇒ EX S`).
     ///
-    /// Computed per partition with the combined relational product
-    /// `∃ next. (Tᵢ ∧ S[cur→next])`, never building the monolithic
-    /// relation.
+    /// In [`ImageMode::Partitioned`] (the default) this is the union of
+    /// the per-partition early-quantified products
+    /// ([`SymbolicModel::pre_image_part`]); the monolithic relation is
+    /// never built. [`ImageMode::Monolithic`] computes the same set
+    /// against the memoised product relation instead.
     pub fn pre_exists(&mut self, s: Bdd) -> Bdd {
-        let s_next = self.mgr.rename(s, &self.cur_to_next);
-        let next_cube = self.next_cube();
+        if self.image_mode == ImageMode::Monolithic {
+            return self.pre_exists_monolithic(s);
+        }
         let mut acc = s; // identity partition: S itself
-        let parts = self.trans_parts();
-        for t in parts {
-            let img = self.mgr.and_exists(t, s_next, next_cube);
+        for i in 0..self.trans_parts.len() {
+            let img = self.pre_image_part(i, s);
             acc = self.mgr.or(acc, img);
         }
         acc
     }
 
     /// `EX S` computed against the **monolithic** transition relation
-    /// (the union of all partitions materialised as one BDD) instead of
-    /// per-partition relational products. Semantically identical to
-    /// [`SymbolicModel::pre_exists`]; exists for the partitioning ablation
-    /// benchmark.
+    /// (the union of all partitions with frames materialised as one BDD,
+    /// memoised across calls) instead of per-partition relational
+    /// products. Semantically identical to [`SymbolicModel::pre_exists`];
+    /// exists as the partitioning ablation and the monolithic leg of the
+    /// conformance oracle.
     pub fn pre_exists_monolithic(&mut self, s: Bdd) -> Bdd {
-        let trans = self.full_trans();
+        let trans = self.full_trans_rooted();
         let s_next = self.mgr.rename(s, &self.cur_to_next);
         let next_cube = self.next_cube();
         self.mgr.and_exists(trans, s_next, next_cube)
@@ -442,15 +619,41 @@ impl SymbolicModel {
 
     /// Forward image: successors of `S` under the transition relation.
     pub fn post_exists(&mut self, s: Bdd) -> Bdd {
-        let cur_cube = self.cur_cube();
+        if self.image_mode == ImageMode::Monolithic {
+            // The memoised relation contains the identity, so the result
+            // already includes the stutter successors `S` itself.
+            let trans = self.full_trans_rooted();
+            let cur_cube = self.cur_cube();
+            let img_next = self.mgr.and_exists(trans, s, cur_cube);
+            return self.mgr.rename(img_next, &self.next_to_cur);
+        }
         let mut acc = s; // identity partition
-        let parts = self.trans_parts();
-        for t in parts {
-            let img_next = self.mgr.and_exists(t, s, cur_cube);
-            let img = self.mgr.rename(img_next, &self.next_to_cur);
+        for i in 0..self.trans_parts.len() {
+            let img = self.post_image_part(i, s);
             acc = self.mgr.or(acc, img);
         }
         acc
+    }
+
+    /// The conjunctive-cluster view of partition `i`: its local move
+    /// relation followed by one `vⱼ' = vⱼ` frame conjunct per foreign
+    /// variable. Conjoining every cluster and quantifying the full next
+    /// cube recovers `pre` through partition `i` exactly — under **any**
+    /// cluster order (see [`cmc_bdd::BddManager::and_exists_multi`]);
+    /// [`SymbolicModel::pre_image_part`] is the closed form of the
+    /// best schedule. Exposed for the partition-conformance suite.
+    pub fn conjunctive_clusters(&mut self, i: usize) -> Vec<Bdd> {
+        let rel = self.mgr.root(self.trans_parts[i].rel);
+        let owned = self.trans_parts[i].owned.clone();
+        let mut out = vec![rel];
+        for vi in 0..self.vars.len() {
+            if owned.binary_search(&vi).is_err() {
+                let cb = self.mgr.var(self.vars[vi].cur);
+                let nb = self.mgr.var(self.vars[vi].next);
+                out.push(self.mgr.iff(cb, nb));
+            }
+        }
+        out
     }
 
     /// States reachable from `init` — a frontier-seeded forward fixpoint:
@@ -535,8 +738,10 @@ impl SymbolicModel {
     /// `M₁ ∘ M₂ ∘ … ∘ (extra, I)` **without materialising the product**:
     /// one disjunctive partition per component, each the union of that
     /// component's proper transitions (as current/next cubes over its own
-    /// variables) conjoined with the frame condition over every foreign
-    /// variable. This is semantically identical to
+    /// variables) with the frame condition over every foreign variable
+    /// left **implicit** in the partition's owned-variable set — the
+    /// partition BDDs are `O(component)`, independent of how many foreign
+    /// variables the union adds. This is semantically identical to
     /// [`System::compose`]/[`System::expand`] — whose explicit frame
     /// padding enumerates all `2^|Σ*−Σ|` foreign valuations — but stays
     /// polynomial in the component sizes, which is what lets the symbolic
@@ -562,13 +767,9 @@ impl SymbolicModel {
         }
         let mut m = SymbolicModel::new(names.clone());
         for sys in systems {
-            let foreign: Vec<&str> = names
-                .iter()
-                .map(String::as_str)
-                .filter(|n| !sys.alphabet().contains(n))
-                .collect();
-            let frame = m.frame_condition(&foreign);
             // Union-alphabet variable index of each component proposition.
+            // The frame over the complement stays implicit in the
+            // partition ([`TransPart`]); only `owned` records it.
             let var_idx: Vec<usize> = sys
                 .alphabet()
                 .names()
@@ -577,7 +778,7 @@ impl SymbolicModel {
                 .collect();
             let mut part = Bdd::FALSE;
             for (s, t) in sys.proper_transitions() {
-                let mut pair = frame;
+                let mut pair = Bdd::TRUE;
                 for (i, &vi) in var_idx.iter().enumerate() {
                     let (cur, next) = (m.vars[vi].cur, m.vars[vi].next);
                     let cl = if s.contains(i) {
@@ -596,7 +797,7 @@ impl SymbolicModel {
                 part = m.mgr.or(part, pair);
             }
             if !part.is_false() {
-                m.add_trans_part(part);
+                m.add_trans_part_owned(part, var_idx.clone());
             }
         }
         m
@@ -901,5 +1102,104 @@ mod partition_tests {
                 assert_eq!(p, q, "images disagree");
             }
         }
+    }
+
+    /// With owned-variable partitions (implicit frames), partitioned and
+    /// monolithic images agree in both directions, and the Monolithic
+    /// image mode routes through the memoised product relation.
+    #[test]
+    fn owned_partition_images_agree_with_monolithic() {
+        let mut ring = Vec::new();
+        for i in 0..4 {
+            let this = format!("t{i}");
+            let next = format!("t{}", (i + 1) % 4);
+            let mut sys = System::new(Alphabet::new([this.clone(), next.clone()]));
+            sys.add_transition_named(&[&this], &[&next]);
+            ring.push(sys);
+        }
+        let refs: Vec<&System> = ring.iter().collect();
+        let mut m = SymbolicModel::from_components(&refs, &Alphabet::empty());
+        assert_eq!(m.num_trans_parts(), 4);
+        for i in 0..4 {
+            assert_eq!(m.part_owned_vars(i).len(), 2, "each station owns 2 vars");
+        }
+        let t0 = m.prop("t0").unwrap();
+        let t2 = m.prop("t2").unwrap();
+        let sets = [t0, t2, {
+            let g = m.mgr();
+            g.or(t0, t2)
+        }];
+        for s in sets {
+            let pre_part = m.pre_exists(s);
+            let post_part = m.post_exists(s);
+            m.set_image_mode(ImageMode::Monolithic);
+            assert_eq!(m.pre_exists(s), pre_part, "pre images disagree");
+            assert_eq!(m.post_exists(s), post_part, "post images disagree");
+            m.set_image_mode(ImageMode::Partitioned);
+        }
+    }
+
+    /// Any quantification schedule over the conjunctive clusters computes
+    /// the same per-partition pre-image as the closed-form
+    /// `pre_image_part`.
+    #[test]
+    fn cluster_schedules_agree_with_closed_form() {
+        let a = {
+            let mut s = System::new(Alphabet::new(["a", "b"]));
+            s.add_transition_named(&["a"], &["a", "b"]);
+            s.add_transition_named(&[], &["a"]);
+            s
+        };
+        let c = {
+            let mut s = System::new(Alphabet::new(["b", "c"]));
+            s.add_transition_named(&["b"], &["b", "c"]);
+            s
+        };
+        let mut m = SymbolicModel::from_components(&[&a, &c], &Alphabet::empty());
+        let b = m.prop("b").unwrap();
+        let cc = m.prop("c").unwrap();
+        let target = m.mgr().or(b, cc);
+        let s_next = m.to_next_frame(target);
+        let next_cube = m.next_cube();
+        for i in 0..m.num_trans_parts() {
+            let want = m.pre_image_part(i, target);
+            let mut clusters = m.conjunctive_clusters(i);
+            clusters.push(s_next);
+            // Walk a few distinct schedules (rotations and a reversal).
+            for rot in 0..clusters.len() {
+                clusters.rotate_left(1);
+                let got = m.mgr().and_exists_multi(&clusters, next_cube);
+                assert_eq!(got, want, "partition {i} schedule rotation {rot}");
+            }
+            clusters.reverse();
+            let got = m.mgr().and_exists_multi(&clusters, next_cube);
+            assert_eq!(got, want, "partition {i} reversed schedule");
+        }
+    }
+
+    /// Adding a partition invalidates the memoised monolithic relation.
+    #[test]
+    fn full_trans_memo_invalidated_by_new_partition() {
+        let mut m = SymbolicModel::new(vec!["p".into(), "q".into()]);
+        m.set_image_mode(ImageMode::Monolithic);
+        let p = m.prop("p").unwrap();
+        // No partitions: only the stutter move, pre = S.
+        assert_eq!(m.pre_exists(p), p);
+        // Add a riser p -> q; its pre-image must show up afterwards.
+        let rise = {
+            let pv = m.state_var("p").unwrap().clone();
+            let qv = m.state_var("q").unwrap().clone();
+            let g = m.mgr();
+            let pc = g.var(pv.cur);
+            let qn = g.var(qv.next);
+            let pn = g.nvar(pv.next);
+            let both = g.and(qn, pn);
+            g.and(pc, both)
+        };
+        m.add_trans_part_owned(rise, vec![0, 1]);
+        let q = m.prop("q").unwrap();
+        let pre_q = m.pre_exists(q);
+        let covers_p = m.mgr().implies_trivially(p, pre_q);
+        assert!(covers_p, "memoised relation went stale");
     }
 }

@@ -246,6 +246,61 @@ pub fn gen_obligation(seed: u64, cfg: &GenConfig) -> Obligation {
     }
 }
 
+/// Generate one **partitioned** obligation from `seed`: always a
+/// composition of 2–4 components whose alphabets form an overlapping
+/// chain over the union (component `i` shares at least one proposition
+/// with component `i+1`), so the symbolic engine gets a genuinely
+/// disjunctive multi-partition relation and the explicit engine gets
+/// real frame padding. This is the disagreement-seeking corpus for the
+/// partitioned/monolithic/blocked/reference quad oracle.
+pub fn gen_partitioned_obligation(seed: u64, cfg: &GenConfig) -> Obligation {
+    use rand::SeedableRng;
+    // Decorrelate from the plain obligation stream.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xa5a5_5a5a_c3c3_3c3c);
+    let n = rng.gen_range(3..=cfg.max_props.max(3));
+    let names = prop_names(0, n);
+    let k = rng.gen_range(2..=n.min(4));
+
+    // Split [0, n) into k contiguous non-empty segments, then widen each
+    // by one proposition into its neighbours so consecutive alphabets
+    // overlap.
+    let mut cuts: Vec<usize> = (1..n).collect();
+    for i in (1..cuts.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        cuts.swap(i, j);
+    }
+    let mut cuts: Vec<usize> = cuts[..k - 1].to_vec();
+    cuts.sort_unstable();
+    cuts.insert(0, 0);
+    cuts.push(n);
+
+    let systems: Vec<System> = (0..k)
+        .map(|i| {
+            let lo = cuts[i].saturating_sub(1);
+            let hi = (cuts[i + 1] + 1).min(n);
+            gen_system(&mut rng, &names[lo..hi], cfg.max_transitions)
+        })
+        .collect();
+
+    let stratum = match rng.gen_range(0..8) {
+        0 | 1 => Stratum::Universal,
+        2 | 3 => Stratum::Existential,
+        4 => Stratum::Guarantee,
+        5 => Stratum::AxStep,
+        _ => Stratum::Free,
+    };
+    let formula = gen_formula(&mut rng, &names, cfg.max_depth, stratum);
+    let restriction = gen_restriction(&mut rng, &names);
+
+    Obligation {
+        seed,
+        systems,
+        restriction,
+        formula,
+        stratum,
+    }
+}
+
 /// How a generated simulation pair was constructed (and hence what, if
 /// anything, is known about its verdict a priori).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -433,6 +488,36 @@ mod tests {
         assert!(
             kinds.len() >= 4,
             "120 seeds should exercise most pair kinds, got {kinds:?}"
+        );
+    }
+
+    #[test]
+    fn partitioned_obligations_form_overlapping_chains() {
+        let cfg = GenConfig::default();
+        let mut sizes = std::collections::BTreeSet::new();
+        for seed in 0..150 {
+            let a = gen_partitioned_obligation(seed, &cfg);
+            let b = gen_partitioned_obligation(seed, &cfg);
+            assert_eq!(a.formula, b.formula, "seed {seed} not deterministic");
+            assert_eq!(a.systems.len(), b.systems.len());
+            assert!(
+                (2..=4).contains(&a.systems.len()),
+                "seed {seed}: {} components",
+                a.systems.len()
+            );
+            sizes.insert(a.systems.len());
+            for w in a.systems.windows(2) {
+                let l = w[0].alphabet();
+                let r = w[1].alphabet();
+                assert!(
+                    l.names().iter().any(|n| r.contains(n)),
+                    "seed {seed}: consecutive components do not overlap"
+                );
+            }
+        }
+        assert!(
+            sizes.len() >= 2,
+            "150 seeds should vary the component count, got {sizes:?}"
         );
     }
 

@@ -24,10 +24,14 @@ pub mod oracle;
 pub mod reference;
 pub mod validate;
 
-pub use gen::{gen_obligation, gen_sim_pair, GenConfig, Obligation, SimPair, SimPairKind, Stratum};
+pub use gen::{
+    gen_obligation, gen_partitioned_obligation, gen_sim_pair, GenConfig, Obligation, SimPair,
+    SimPairKind, Stratum,
+};
 pub use oracle::{
-    run_obligation, run_obligation_with, run_sim_pair, shrink, shrink_with, Disagreement,
-    OracleOutcome, SimOracleOutcome, TripleVerdict,
+    run_obligation, run_obligation_with, run_quad_obligation, run_sim_pair, shrink, shrink_quad,
+    shrink_with, Disagreement, OracleOutcome, QuadDisagreement, QuadOutcome, QuadVerdict,
+    SimOracleOutcome, TripleVerdict,
 };
 pub use reference::{
     naive_simulates, NaiveSimulation, RefError, RefEvaluator, NAIVE_SIM_MAX_PROPS,
@@ -51,6 +55,71 @@ pub fn corpus_seeds() -> Vec<u64> {
         .filter(|l| !l.is_empty() && !l.starts_with('#'))
         .filter_map(|l| l.parse().ok())
         .collect()
+}
+
+/// The partitioned-obligation regression corpus (seeds for
+/// [`gen_partitioned_obligation`]), one seed per line, `#` comments
+/// allowed. A separate file from [`SEED_CORPUS`]: these seeds drive the
+/// *four-way* oracle over multi-component partitions.
+pub const PARTITION_SEED_CORPUS: &str = include_str!("../corpus/partition_seeds.txt");
+
+/// Parse [`PARTITION_SEED_CORPUS`] into seeds.
+pub fn partition_corpus_seeds() -> Vec<u64> {
+    PARTITION_SEED_CORPUS
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| l.parse().ok())
+        .collect()
+}
+
+/// Result of a partition-conformance fuzzing run.
+#[derive(Debug)]
+pub struct PartitionFuzzReport {
+    /// Obligations whose four verdicts agreed (witnesses replayed).
+    pub agreed: usize,
+    /// Obligations skipped (backend limits).
+    pub skipped: usize,
+    /// The first four-way disagreement found, if any.
+    pub failure: Option<QuadDisagreement>,
+}
+
+/// Run `iters` seeded **partitioned** obligations (overlapping-alphabet
+/// component sets from [`gen_partitioned_obligation`]) through the
+/// four-way oracle, stopping at the first disagreement.
+pub fn partition_fuzz(
+    seed0: u64,
+    iters: u64,
+    mut progress: impl FnMut(&str),
+) -> PartitionFuzzReport {
+    let cfg = GenConfig::default();
+    let mut report = PartitionFuzzReport {
+        agreed: 0,
+        skipped: 0,
+        failure: None,
+    };
+    for i in 0..iters {
+        let seed = seed0.wrapping_add(i);
+        let o = gen_partitioned_obligation(seed, &cfg);
+        match run_quad_obligation(&o) {
+            QuadOutcome::Agree(_) => report.agreed += 1,
+            QuadOutcome::Skipped(why) => {
+                report.skipped += 1;
+                progress(&format!("seed {seed}: skipped ({why})"));
+            }
+            QuadOutcome::Disagree(d) => {
+                report.failure = Some(*d);
+                return report;
+            }
+        }
+        if (i + 1) % 100 == 0 {
+            progress(&format!(
+                "{}/{iters} partitioned obligations checked",
+                i + 1
+            ));
+        }
+    }
+    report
 }
 
 /// Result of a fuzzing run.

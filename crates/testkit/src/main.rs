@@ -5,6 +5,7 @@
 //! cargo run -p cmc-testkit --release -- --corpus             # regression corpus
 //! cargo run -p cmc-testkit --release -- --soak N             # one shared symbolic session
 //! cargo run -p cmc-testkit --release -- --sim N              # simulation-pair differential
+//! cargo run -p cmc-testkit --release -- --partition          # four-way partition oracle
 //! ```
 //!
 //! Exit status 0 means every obligation ran through the explicit backend,
@@ -17,7 +18,9 @@
 //! memory kernel\'s garbage collector.
 
 use cmc_testkit::{
-    corpus_seeds, fuzz, gen_obligation, run_obligation, sim_fuzz, soak, GenConfig, OracleOutcome,
+    corpus_seeds, fuzz, gen_obligation, gen_partitioned_obligation, partition_corpus_seeds,
+    partition_fuzz, run_obligation, run_quad_obligation, sim_fuzz, soak, GenConfig, OracleOutcome,
+    QuadOutcome,
 };
 
 struct Args {
@@ -26,9 +29,11 @@ struct Args {
     corpus: bool,
     soak: Option<u64>,
     sim: Option<u64>,
+    partition: bool,
 }
 
-const USAGE: &str = "usage: cmc-testkit [--seed N] [--iters K] [--corpus] [--soak N] [--sim N]";
+const USAGE: &str =
+    "usage: cmc-testkit [--seed N] [--iters K] [--corpus] [--soak N] [--sim N] [--partition]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -37,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
         corpus: false,
         soak: None,
         sim: None,
+        partition: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -50,6 +56,7 @@ fn parse_args() -> Result<Args, String> {
                 args.iters = v.parse().map_err(|_| format!("bad --iters value `{v}`"))?;
             }
             "--corpus" => args.corpus = true,
+            "--partition" => args.partition = true,
             "--soak" => {
                 let v = it.next().ok_or("--soak needs a value")?;
                 args.soak = Some(v.parse().map_err(|_| format!("bad --soak value `{v}`"))?);
@@ -116,6 +123,43 @@ fn main() {
             report.holding,
             report.agreed - report.holding,
             report.skipped
+        );
+        return;
+    }
+
+    if args.partition && args.corpus {
+        let seeds = partition_corpus_seeds();
+        println!("replaying {} partition corpus seeds", seeds.len());
+        let cfg = GenConfig::default();
+        let mut agreed = 0usize;
+        for seed in seeds {
+            let o = gen_partitioned_obligation(seed, &cfg);
+            match run_quad_obligation(&o) {
+                QuadOutcome::Agree(_) => agreed += 1,
+                QuadOutcome::Skipped(why) => println!("seed {seed}: skipped ({why})"),
+                QuadOutcome::Disagree(d) => {
+                    eprintln!("{d}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!("partition corpus clean: {agreed} obligations, four-way agreement everywhere");
+        return;
+    }
+
+    if args.partition {
+        println!(
+            "fuzzing {} partitioned obligations from seed {} (four-way oracle)",
+            args.iters, args.seed
+        );
+        let report = partition_fuzz(args.seed, args.iters, |line| println!("{line}"));
+        if let Some(d) = report.failure {
+            eprintln!("{d}");
+            std::process::exit(1);
+        }
+        println!(
+            "done: {} agreed, {} skipped, four-way agreement everywhere",
+            report.agreed, report.skipped
         );
         return;
     }

@@ -12,7 +12,7 @@ use crate::validate::{validate_verdict, ValidationError};
 use cmc_core::{Backend, BackendError, ExplicitBackend, SymbolicBackend, Target};
 use cmc_ctl::{simulates_explicit, Formula, Restriction};
 use cmc_kripke::{SimulationOutcome, System};
-use cmc_symbolic::simulates_symbolic;
+use cmc_symbolic::{simulates_symbolic, ImageMode};
 use std::fmt;
 
 /// The three verdicts for one obligation, in a fixed order.
@@ -268,6 +268,270 @@ pub fn run_obligation_with(o: &Obligation, sym: SymbolicBackend) -> OracleOutcom
                         )
                     });
             OracleOutcome::Disagree(Box::new(Disagreement {
+                seed: o.seed,
+                verdicts,
+                shrunk,
+                notes,
+            }))
+        }
+    }
+}
+
+/// The four verdicts of the partition-conformance oracle, in a fixed
+/// order: partitioned symbolic (early quantification over the
+/// disjunctive parts), monolithic symbolic (the memoised product
+/// relation), blocked explicit (block-parallel frontier kernels), and
+/// the naïve reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuadVerdict {
+    /// Partitioned-image symbolic backend's `holds`.
+    pub partitioned: bool,
+    /// Monolithic-image symbolic backend's `holds`.
+    pub monolithic: bool,
+    /// Block-parallel explicit backend's `holds`.
+    pub blocked: bool,
+    /// The reference evaluator's `holds`.
+    pub reference: bool,
+}
+
+impl QuadVerdict {
+    /// Do all four evaluators agree?
+    pub fn agrees(&self) -> bool {
+        self.partitioned == self.monolithic
+            && self.monolithic == self.blocked
+            && self.blocked == self.reference
+    }
+}
+
+/// A confirmed, shrunk four-way disagreement.
+#[derive(Debug, Clone)]
+pub struct QuadDisagreement {
+    /// Seed that produced the original obligation.
+    pub seed: u64,
+    /// The verdict split on the *shrunk* obligation.
+    pub verdicts: QuadVerdict,
+    /// The shrunk minimal obligation still exhibiting the split — the
+    /// shrinker also *coarsens the partition* (merging adjacent
+    /// components), so the report shows the fewest components that still
+    /// disagree.
+    pub shrunk: Obligation,
+    /// Ancillary detail (witness-replay failures, count mismatches).
+    pub notes: Vec<String>,
+}
+
+impl fmt::Display for QuadDisagreement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== PARTITION-CONFORMANCE DISAGREEMENT ===")?;
+        writeln!(
+            f,
+            "verdicts: partitioned={} monolithic={} blocked={} reference={}",
+            self.verdicts.partitioned,
+            self.verdicts.monolithic,
+            self.verdicts.blocked,
+            self.verdicts.reference
+        )?;
+        writeln!(f, "formula:  {}", self.shrunk.formula)?;
+        writeln!(f, "init:     {}", self.shrunk.restriction.init)?;
+        for (i, c) in self.shrunk.restriction.fairness.iter().enumerate() {
+            writeln!(f, "fair[{i}]:  {c}")?;
+        }
+        for (i, m) in self.shrunk.systems.iter().enumerate() {
+            let alpha = m.alphabet().names().join(",");
+            writeln!(f, "component[{i}] over {{{alpha}}}:")?;
+            for (s, t) in m.proper_transitions() {
+                writeln!(
+                    f,
+                    "  {} -> {}",
+                    s.display(m.alphabet()),
+                    t.display(m.alphabet())
+                )?;
+            }
+        }
+        for n in &self.notes {
+            writeln!(f, "note: {n}")?;
+        }
+        writeln!(
+            f,
+            "replay:   cargo run -p cmc-testkit -- --partition --seed {}",
+            self.seed
+        )
+    }
+}
+
+/// Outcome of running one obligation through the four-way oracle.
+#[derive(Debug)]
+pub enum QuadOutcome {
+    /// All four evaluators agree (counts and witnesses cross-validated).
+    Agree(QuadVerdict),
+    /// Somebody is wrong; here is the shrunk evidence.
+    Disagree(Box<QuadDisagreement>),
+    /// The obligation could not be run (e.g. backend limit) — skipped.
+    Skipped(String),
+}
+
+/// Worker cap for the blocked-explicit leg of the quad oracle. The
+/// blocked kernels only engage above the parallel-universe threshold;
+/// below it this is exercised-but-serial, which is exactly the production
+/// routing.
+const QUAD_EXPLICIT_WORKERS: usize = 4;
+
+fn check_four(
+    systems: &[System],
+    r: &Restriction,
+    f: &Formula,
+) -> Result<(QuadVerdict, Vec<String>), String> {
+    let target = Target::composition(systems.to_vec());
+    let partitioned = SymbolicBackend::default()
+        .with_image_mode(ImageMode::Partitioned)
+        .check(&target, r, f)
+        .map_err(|e| e.to_string())?;
+    let monolithic = SymbolicBackend::default()
+        .with_image_mode(ImageMode::Monolithic)
+        .check(&target, r, f)
+        .map_err(|e| e.to_string())?;
+    let blocked = ExplicitBackend::default()
+        .with_workers(QUAD_EXPLICIT_WORKERS)
+        .check(&target, r, f)
+        .map_err(|e: BackendError| e.to_string())?;
+
+    let product = target.materialize();
+    let reference = RefEvaluator::new(&product).map_err(|e| e.to_string())?;
+    let (ref_holds, _) = reference.check(r, f).map_err(|e| e.to_string())?;
+
+    let mut notes = Vec::new();
+    let ref_count = reference
+        .sat_count(f, &r.fairness)
+        .map_err(|e| e.to_string())?;
+    for (name, v) in [
+        ("partitioned", &partitioned),
+        ("monolithic", &monolithic),
+        ("blocked", &blocked),
+    ] {
+        if let Some(n) = v.sat_states {
+            if n != ref_count {
+                notes.push(format!(
+                    "{name} reports {n} satisfying states, reference counts {ref_count}"
+                ));
+            }
+        }
+        if let Err(err) = validate_verdict(&product, r, f, v) {
+            notes.push(format!("{name}: {err}"));
+        }
+    }
+
+    Ok((
+        QuadVerdict {
+            partitioned: partitioned.holds,
+            monolithic: monolithic.holds,
+            blocked: blocked.holds,
+            reference: ref_holds,
+        },
+        notes,
+    ))
+}
+
+fn is_buggy_quad(systems: &[System], r: &Restriction, f: &Formula) -> bool {
+    match check_four(systems, r, f) {
+        Ok((v, notes)) => !v.agrees() || !notes.is_empty(),
+        Err(_) => false,
+    }
+}
+
+/// Greedily shrink a quad-oracle failure. On top of the passes of
+/// [`shrink`] (subformulas, fairness, init, single transitions) this adds
+/// **partition coarsening**: merging two adjacent components into their
+/// interleaving product. A split that survives coarsening down to one
+/// component is an engine bug independent of the partitioning; one that
+/// vanishes pinpoints the partition handling itself.
+pub fn shrink_quad(o: &Obligation) -> Obligation {
+    let mut cur = o.clone();
+    loop {
+        let mut progressed = false;
+
+        // Coarsen first: fewer components shrink every later pass's
+        // search space.
+        for i in 0..cur.systems.len().saturating_sub(1) {
+            let mut systems = cur.systems.clone();
+            let merged = systems[i].compose(&systems[i + 1]);
+            systems[i] = merged;
+            systems.remove(i + 1);
+            if is_buggy_quad(&systems, &cur.restriction, &cur.formula) {
+                cur.systems = systems;
+                progressed = true;
+                break;
+            }
+        }
+
+        for sub in subformulas(&cur.formula) {
+            if is_buggy_quad(&cur.systems, &cur.restriction, &sub) {
+                cur.formula = sub;
+                progressed = true;
+                break;
+            }
+        }
+
+        for i in 0..cur.restriction.fairness.len() {
+            let mut fair = cur.restriction.fairness.clone();
+            fair.remove(i);
+            let r = Restriction::new(cur.restriction.init.clone(), fair);
+            if is_buggy_quad(&cur.systems, &r, &cur.formula) {
+                cur.restriction = r;
+                progressed = true;
+                break;
+            }
+        }
+
+        if cur.restriction.init != Formula::True {
+            let r = Restriction::new(Formula::True, cur.restriction.fairness.clone());
+            if is_buggy_quad(&cur.systems, &r, &cur.formula) {
+                cur.restriction = r;
+                progressed = true;
+            }
+        }
+
+        'systems: for si in 0..cur.systems.len() {
+            let n_trans = cur.systems[si].proper_transitions().count();
+            for ti in 0..n_trans {
+                let mut systems = cur.systems.clone();
+                systems[si] = without_transition(&systems[si], ti);
+                if is_buggy_quad(&systems, &cur.restriction, &cur.formula) {
+                    cur.systems = systems;
+                    progressed = true;
+                    break 'systems;
+                }
+            }
+        }
+
+        if !progressed {
+            return cur;
+        }
+    }
+}
+
+/// Run one obligation through the four-way partition-conformance oracle,
+/// cross-validating counts and witnesses, shrinking (with partition
+/// coarsening) on any disagreement.
+pub fn run_quad_obligation(o: &Obligation) -> QuadOutcome {
+    match check_four(&o.systems, &o.restriction, &o.formula) {
+        Err(e) => QuadOutcome::Skipped(e),
+        Ok((v, notes)) if v.agrees() && notes.is_empty() => QuadOutcome::Agree(v),
+        Ok(_) => {
+            let shrunk = shrink_quad(o);
+            let (verdicts, notes) =
+                check_four(&shrunk.systems, &shrunk.restriction, &shrunk.formula).unwrap_or_else(
+                    |e| {
+                        (
+                            QuadVerdict {
+                                partitioned: false,
+                                monolithic: false,
+                                blocked: false,
+                                reference: false,
+                            },
+                            vec![format!("shrunk obligation failed to re-run: {e}")],
+                        )
+                    },
+                );
+            QuadOutcome::Disagree(Box::new(QuadDisagreement {
                 seed: o.seed,
                 verdicts,
                 shrunk,

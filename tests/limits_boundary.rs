@@ -51,7 +51,10 @@ fn checker_custom_limit_boundary_still_checks() {
 
 #[test]
 fn explicit_backend_accepts_exactly_its_limit() {
-    let backend = ExplicitBackend { limit: 3 };
+    let backend = ExplicitBackend {
+        limit: 3,
+        ..ExplicitBackend::default()
+    };
     let at = Target::system(wide_system(3));
     let v = backend
         .check(&at, &Restriction::trivial(), &Formula::True)

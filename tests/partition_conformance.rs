@@ -1,0 +1,359 @@
+//! Partition-conformance suite — the test layer locking in the
+//! partitioned transition representation and the block-parallel explicit
+//! kernels.
+//!
+//! Three pillars:
+//!
+//! 1. a 250-seed sweep of multi-component obligations through the
+//!    **four-way** oracle (partitioned symbolic / monolithic symbolic /
+//!    blocked explicit / naïve reference), with sat counts and witnesses
+//!    cross-validated and partition-coarsening shrinking on failure;
+//! 2. property tests that **any** early-quantification schedule over a
+//!    conjunctive partition computes the same pre-image as the monolithic
+//!    relation, and that block-parallel frontiers agree with the serial
+//!    worklist on transitions engineered to straddle CSR block edges;
+//! 3. scheduler determinism: verdicts, sat-state counts and certificate
+//!    steps are identical for 1/2/4/8 workers, including runs where every
+//!    worker drives its own BDD manager under `ForcedEvery(1)`
+//!    maintenance.
+
+use cmc_testkit::{
+    gen_partitioned_obligation, partition_corpus_seeds, run_obligation_with, run_quad_obligation,
+    GenConfig, OracleOutcome, QuadOutcome,
+};
+use compositional_mc::core::parallel::check_targets_with_workers;
+use compositional_mc::core::{
+    Backend, BackendChoice, Component, Engine, ExplicitBackend, SymbolicBackend, Target,
+};
+use compositional_mc::ctl::{Checker, Formula, Restriction};
+use compositional_mc::kripke::{Alphabet, State, System};
+use compositional_mc::symbolic::{ImageMode, MaintenanceConfig, SymbolicModel};
+use proptest::prelude::*;
+
+/// The tentpole acceptance gate: ≥ 250 deterministic multi-component
+/// obligations through the four-way oracle, in full agreement, every
+/// backend witness replayed and every exact sat count checked against
+/// the reference (both happen inside the oracle — a bogus witness or
+/// count is reported as a disagreement note).
+#[test]
+fn two_hundred_fifty_partitioned_obligations_agree_four_ways() {
+    let cfg = GenConfig::default();
+    let mut seeds: Vec<u64> = partition_corpus_seeds();
+    let fresh = 250usize.saturating_sub(seeds.len());
+    seeds.extend(2_000..2_000 + fresh as u64);
+    assert!(seeds.len() >= 250, "corpus too small: {}", seeds.len());
+
+    let mut agreed = 0usize;
+    let mut skipped = 0usize;
+    for &seed in &seeds {
+        let o = gen_partitioned_obligation(seed, &cfg);
+        match run_quad_obligation(&o) {
+            QuadOutcome::Agree(_) => agreed += 1,
+            QuadOutcome::Skipped(why) => {
+                skipped += 1;
+                assert!(
+                    skipped <= seeds.len() / 50,
+                    "too many skipped obligations (last: seed {seed}: {why})"
+                );
+            }
+            QuadOutcome::Disagree(d) => panic!("{d}"),
+        }
+    }
+    assert!(
+        agreed >= 245,
+        "only {agreed} obligations ran to agreement ({skipped} skipped)"
+    );
+}
+
+/// A random reflexive system over `names` from a list of transition
+/// pairs.
+fn system_from_pairs(names: &[&str], pairs: &[(u32, u32)]) -> System {
+    let mut m = System::new(Alphabet::new(names.iter().copied()));
+    let mask = (1u128 << names.len()) - 1;
+    for &(s, t) in pairs {
+        m.add_transition(State(s as u128 & mask), State(t as u128 & mask));
+    }
+    m
+}
+
+fn arb_pairs(max: u32) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0..max, 0..max), 0..14)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any early-quantification schedule over the conjunctive clusters of
+    /// any partition agrees with the closed-form partition pre-image, and
+    /// the partitioned `pre_exists` agrees with the monolithic one — on
+    /// random three-component chains and random state sets.
+    #[test]
+    fn quantification_schedules_match_monolithic_pre_image(
+        pa in arb_pairs(8),
+        pb in arb_pairs(8),
+        pc in arb_pairs(8),
+        set_bits in 0u32..256,
+        rot in 0usize..6,
+    ) {
+        let a = system_from_pairs(&["p", "q", "r"], &pa);
+        let b = system_from_pairs(&["q", "r", "s"], &pb);
+        let c = system_from_pairs(&["r", "s", "t"], &pc);
+        let refs = [&a, &b, &c];
+        let mut m = SymbolicModel::from_components(&refs, &Alphabet::empty());
+        // One partition per component with at least one proper move
+        // (transition-free components contribute only the implicit
+        // stutter and get no partition).
+        prop_assert!(m.num_trans_parts() <= 3);
+
+        // A pseudo-random state set: the union of minterms selected by
+        // `set_bits` over the low three variables.
+        let props: Vec<_> = ["p", "q", "r", "s", "t"]
+            .iter()
+            .map(|n| m.prop(n).unwrap())
+            .collect();
+        let mut s = {
+            let mgr = m.mgr();
+            let mut acc = compositional_mc::bdd::Bdd::FALSE;
+            for k in 0..8 {
+                if set_bits & (1 << k) != 0 {
+                    let mut term = compositional_mc::bdd::Bdd::TRUE;
+                    for (j, &p) in props.iter().take(3).enumerate() {
+                        let lit = if k & (1 << j) != 0 { p } else { mgr.not(p) };
+                        term = mgr.and(term, lit);
+                    }
+                    acc = mgr.or(acc, term);
+                }
+            }
+            acc
+        };
+        if set_bits % 3 == 0 {
+            let extra = m.mgr().and(props[3], props[4]);
+            s = m.mgr().or(s, extra);
+        }
+
+        // Partitioned vs monolithic pre-image of the same set.
+        m.set_image_mode(ImageMode::Partitioned);
+        let part = m.pre_exists(s);
+        m.set_image_mode(ImageMode::Monolithic);
+        let mono = m.pre_exists(s);
+        prop_assert_eq!(part, mono, "image modes disagree on pre_exists");
+
+        // Every rotation of every partition's conjunctive clusters
+        // computes the closed-form per-partition pre-image.
+        m.set_image_mode(ImageMode::Partitioned);
+        let s_next = m.to_next_frame(s);
+        let next_cube = m.next_cube();
+        for i in 0..m.num_trans_parts() {
+            let closed = m.pre_image_part(i, s);
+            let mut clusters = m.conjunctive_clusters(i);
+            let turn = rot % clusters.len().max(1);
+            clusters.rotate_left(turn);
+            clusters.push(s_next);
+            let scheduled = m.mgr().and_exists_multi(&clusters, next_cube);
+            prop_assert_eq!(
+                scheduled, closed,
+                "cluster schedule (rotation {rot}) disagrees on partition {i}"
+            );
+        }
+    }
+
+    /// Block-parallel frontier passes agree with the serial worklist on a
+    /// 12-proposition universe whose transitions are engineered to cross
+    /// CSR block boundaries (neighbouring states in different 64-state
+    /// words and different scheduler blocks), for every worker count.
+    #[test]
+    fn block_boundary_frontiers_match_serial(
+        pairs in proptest::collection::vec((0u32..4096, 0u32..4096), 1..24),
+        hops in proptest::collection::vec(0u32..4095, 1..12),
+    ) {
+        let names: Vec<String> = (0..12).map(|i| format!("b{i}")).collect();
+        let mut m = System::new(Alphabet::new(names));
+        for &(s, t) in &pairs {
+            m.add_transition(State(s as u128), State(t as u128));
+        }
+        // Boundary stress: edges that step across word boundaries (edge
+        // endpoints in adjacent words, hence often adjacent blocks).
+        for &h in &hops {
+            let s = (h | 63).min(4094); // last state of its word
+            m.add_transition(State(s as u128), State(s as u128 + 1));
+            m.add_transition(State(s as u128 + 1), State(s as u128));
+        }
+        let f1 = Formula::ap("b0").and(Formula::ap("b6")).ef();
+        let f2 = Formula::eu(
+            Formula::ap("b11").not(),
+            Formula::ap("b11").and(Formula::ap("b1")),
+        );
+        let f3 = Formula::ap("b3").not().eg();
+        let serial = Checker::new(&m).unwrap();
+        for f in [&f1, &f2, &f3] {
+            let want = serial.sat(f).unwrap();
+            for workers in [2usize, 4, 8] {
+                let par = Checker::new(&m).unwrap().with_workers(workers);
+                prop_assert_eq!(
+                    &par.sat(f).unwrap(),
+                    &want,
+                    "{workers} workers disagree on {f}"
+                );
+            }
+        }
+    }
+}
+
+/// A small fleet of mixed-width targets used by the determinism tests:
+/// some route explicit, the 22-prop chain routes symbolic under `Auto`.
+fn determinism_tasks() -> Vec<(String, Target, Formula)> {
+    let mut tasks = Vec::new();
+    for w in [3usize, 4, 22] {
+        let names: Vec<String> = (0..w).map(|i| format!("x{i}")).collect();
+        let systems: Vec<System> = (0..w - 1)
+            .map(|i| {
+                let a = names[i].as_str();
+                let b = names[i + 1].as_str();
+                let mut m = System::new(Alphabet::new([a, b]));
+                m.add_transition_named(&[], &[a]);
+                m.add_transition_named(&[a], &[a, b]);
+                m
+            })
+            .collect();
+        let f = Formula::ap("x0").implies(Formula::ap(format!("x{}", w - 1)).ef());
+        tasks.push((format!("chain{w}"), Target::composition(systems), f));
+    }
+    tasks
+}
+
+/// Verdicts and sat-state counts are identical across 1/2/4/8 workers for
+/// a mixed explicit/symbolic fleet of fixpoint obligations.
+#[test]
+fn fanout_verdicts_identical_across_worker_counts() {
+    type Fingerprint = Vec<(String, Result<(bool, Vec<State>, Option<u128>), String>)>;
+    let tasks = determinism_tasks();
+    let fingerprint = |workers: usize| -> Fingerprint {
+        check_targets_with_workers(&tasks, BackendChoice::Auto, workers)
+            .into_iter()
+            .map(|(n, r)| (n, r.map(|v| (v.holds, v.violating, v.sat_states))))
+            .collect()
+    };
+    let baseline = fingerprint(1);
+    assert!(
+        baseline.iter().all(|(_, r)| r.is_ok()),
+        "baseline fleet failed: {baseline:?}"
+    );
+    for workers in [2, 4, 8] {
+        assert_eq!(fingerprint(workers), baseline, "worker count {workers}");
+    }
+}
+
+/// Per-worker BDD managers under the most aggressive maintenance policy
+/// (`ForcedEvery(1)`: GC + rehost at every safe point) still produce
+/// verdicts identical to the default policy, for every worker count —
+/// each scheduler job builds its own `SymbolicModel`, so managers are
+/// never shared across threads.
+#[test]
+fn forced_maintenance_per_worker_managers_are_verdict_invariant() {
+    let cfg = GenConfig::default();
+    let obligations: Vec<_> = (400..412u64)
+        .map(|seed| gen_partitioned_obligation(seed, &cfg))
+        .collect();
+    let run = |workers: usize, backend: SymbolicBackend| -> Vec<String> {
+        compositional_mc::core::scheduler::run_bounded(obligations.len(), workers, |i| {
+            match run_obligation_with(&obligations[i], backend) {
+                OracleOutcome::Agree(v) => format!("agree:{}", v.symbolic),
+                OracleOutcome::Skipped(why) => format!("skip:{why}"),
+                OracleOutcome::Disagree(d) => format!("disagree:{d}"),
+            }
+        })
+        .into_iter()
+        .map(|r| r.expect("oracle job panicked"))
+        .collect()
+    };
+    let baseline = run(1, SymbolicBackend::default());
+    assert!(
+        baseline.iter().all(|s| s.starts_with("agree:")),
+        "baseline corpus must agree: {baseline:?}"
+    );
+    let forced = SymbolicBackend::with_maintenance(MaintenanceConfig::forced_every(1));
+    for workers in [1usize, 2, 4, 8] {
+        assert_eq!(
+            run(workers, forced),
+            baseline,
+            "ForcedEvery(1) with {workers} workers changed a verdict"
+        );
+    }
+}
+
+/// Proof-engine certificates — every step description, outcome and
+/// compositionality flag — are identical however wide the fan-out that
+/// produced them.
+#[test]
+fn certificate_steps_identical_across_worker_counts() {
+    let mk_components = || -> Vec<Component> {
+        (0..4usize)
+            .map(|i| {
+                let a = format!("v{i}");
+                let b = format!("v{}", i + 1);
+                let mut m = System::new(Alphabet::new([a.as_str(), b.as_str()]));
+                m.add_transition_named(&[], &[&a]);
+                m.add_transition_named(&[&a], &[&a, &b]);
+                Component::new(format!("c{i}"), m)
+            })
+            .collect()
+    };
+    let goals: Vec<Formula> = (0..5usize)
+        .map(|i| Formula::ap(format!("v{i}")).implies(Formula::ap("v4").ef()))
+        .collect();
+    let run = |workers: usize| -> Vec<Vec<(String, bool, bool)>> {
+        compositional_mc::core::scheduler::run_bounded(goals.len(), workers, |i| {
+            let engine = Engine::new(mk_components());
+            let cert = engine
+                .prove(&Restriction::trivial(), &goals[i])
+                .expect("prove failed");
+            cert.steps
+                .iter()
+                .map(|s| (s.description.clone(), s.ok, s.compositional))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .map(|r| r.expect("prove job panicked"))
+        .collect()
+    };
+    let baseline = run(1);
+    assert!(!baseline.is_empty() && baseline.iter().all(|c| !c.is_empty()));
+    for workers in [2, 4, 8] {
+        assert_eq!(run(workers), baseline, "worker count {workers}");
+    }
+}
+
+/// The two symbolic image modes and the blocked explicit backend agree on
+/// a deterministic spot-check fleet, as full verdicts (holds, witnesses,
+/// counts) — the direct four-way assertion without the oracle plumbing.
+#[test]
+fn image_modes_and_blocked_explicit_agree_on_fleet() {
+    let cfg = GenConfig::default();
+    for seed in 300..320u64 {
+        let o = gen_partitioned_obligation(seed, &cfg);
+        let target = Target::composition(o.systems.clone());
+        let part = SymbolicBackend::default()
+            .with_image_mode(ImageMode::Partitioned)
+            .check(&target, &o.restriction, &o.formula);
+        let mono = SymbolicBackend::default()
+            .with_image_mode(ImageMode::Monolithic)
+            .check(&target, &o.restriction, &o.formula);
+        let blocked =
+            ExplicitBackend::default()
+                .with_workers(4)
+                .check(&target, &o.restriction, &o.formula);
+        let (part, mono, blocked) = match (part, mono, blocked) {
+            (Ok(a), Ok(b), Ok(c)) => (a, b, c),
+            other => panic!("seed {seed}: a backend failed: {other:?}"),
+        };
+        assert_eq!(part.holds, mono.holds, "seed {seed}: image modes split");
+        assert_eq!(part.holds, blocked.holds, "seed {seed}: explicit split");
+        assert_eq!(part.sat_states, mono.sat_states, "seed {seed}");
+        assert_eq!(part.sat_states, blocked.sat_states, "seed {seed}");
+        assert_eq!(part.violating, mono.violating, "seed {seed}");
+        // Partition bookkeeping flows into the stats: one partition per
+        // component that has proper transitions.
+        assert!(part.stats.partitions <= o.systems.len(), "seed {seed}");
+        assert_eq!(blocked.stats.threads, 4, "seed {seed}");
+    }
+}
