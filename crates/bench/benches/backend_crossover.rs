@@ -1,32 +1,60 @@
-//! Explicit vs symbolic backend wall-time on the token ring as its
-//! alphabet grows past the explicit-state limit (`MAX_EXPLICIT_PROPS`).
+//! Explicit vs symbolic backend wall-time on the token ring across the
+//! full 4..34-station sweep — the calibration data behind the
+//! `BackendChoice::Auto` cost model.
 //!
-//! The point being measured is the `BackendChoice::Auto` crossover: the
-//! explicit engine's product construction pads frames exponentially in
-//! the number of stations, so its curve blows up and then hits the
-//! `TooLarge` ceiling outright, while the symbolic engine's partitioned
-//! build stays polynomial and keeps answering. Besides the criterion
-//! timings, a machine-readable summary goes to `BENCH_backend.json` at
-//! the workspace root.
+//! Two families are measured at every width:
+//!
+//! * **pinned** — the one-hot `token_at_zero` initial condition. The
+//!   reachable fragment is exactly the `n` token positions, so the
+//!   hash-compacted explicit kernel stays microsecond-fast at *any*
+//!   width while the symbolic engine pays its BDD-construction floor.
+//! * **free** — the trivial restriction. Every one of the `2^n` valuations
+//!   is a start state, so explicit cost tracks the dense universe and the
+//!   symbolic engine wins past the crossover.
+//!
+//! Each row records `{props, family, reachable_states, estimated_states,
+//! auto_choice, explicit_ms, symbolic_ms}` into `BENCH_backend.json` at
+//! the workspace root. `reachable_states` is what the explicit engine
+//! actually labelled (dense universe or interned fragment);
+//! `estimated_states` is the cost model's prediction for the same row, so
+//! the two columns audit the estimator. A leg that exceeds the 60-second
+//! per-row budget is *refused* — the row records why, and the leg is
+//! skipped at every larger width rather than fabricated (monotone-cost
+//! families only get slower).
+//!
+//! Quick mode (`CMC_BENCH_QUICK=1`, the CI width-smoke job) shrinks the
+//! sweep to a handful of widths spanning both sides of the old 24-prop
+//! cliff so the JSON shape and the Auto audit still exercise end to end.
 
 use cmc_bench::ring;
-use cmc_core::{Backend, BackendChoice, ExplicitBackend, SymbolicBackend, Target};
-use cmc_ctl::{parse, Formula, Restriction, MAX_EXPLICIT_PROPS};
+use cmc_core::{
+    estimate_reachable_states, Backend, BackendChoice, ExplicitBackend, SymbolicBackend, Target,
+    AUTO_CROSSOVER_STATES, AUTO_DENSE_BITS,
+};
+use cmc_ctl::{parse, ExplicitLimits, Formula, Restriction};
 use cmc_kripke::System;
 use cmc_smv::compile_explicit;
 use cmc_store::json::Json;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use std::time::Instant;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
 
-/// Ring sizes (one proposition per station). The 26- and 30-station rings
-/// are past `MAX_EXPLICIT_PROPS = 24`.
-const SIZES: [usize; 6] = [4, 8, 12, 16, 26, 30];
+/// Per-leg wall-time budget. A leg that blows it is refused, not guessed.
+const ROW_BUDGET: Duration = Duration::from_secs(60);
 
-/// Explicit measurements stop here: past this many stations the product's
-/// frame padding is big enough that timing it is all the benchmark would
-/// do (and past `MAX_EXPLICIT_PROPS` the backend refuses outright).
-const EXPLICIT_MEASURED_MAX: usize = 16;
+fn quick() -> bool {
+    std::env::var_os("CMC_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+/// Ring widths for the summary sweep (one proposition per station).
+fn sizes() -> Vec<usize> {
+    if quick() {
+        vec![4, 12, 20, 26, 30, 34]
+    } else {
+        (4..=34).step_by(2).collect()
+    }
+}
 
 /// The `n` station systems (2-proposition alphabets `{tᵢ, tᵢ₊₁}`).
 fn stations(n: usize) -> Vec<System> {
@@ -39,31 +67,153 @@ fn stations(n: usize) -> Vec<System> {
         .collect()
 }
 
-/// The checked obligation: a token at station 0 is either kept or handed
-/// to station 1 — true in every state, with a depth-1 fixpoint, so the
-/// timing is dominated by each backend's model construction.
+/// The free family's obligation: a token at station 0 is either kept or
+/// handed to station 1 — true in every state, with a depth-1 fixpoint, so
+/// the timing is dominated by each backend's model construction over the
+/// dense universe.
 fn handoff_formula() -> Formula {
     parse("t0 -> AX (t0 | t1)").unwrap()
 }
 
+/// The pinned family's obligation: the token always returns to station 0.
+/// A nested `AG EF` fixpoint — trivial over the `n`-state reachable
+/// fragment, but a genuine iterated relational product for the BDD engine.
+/// (It fails in the free family, whose tokenless valuations deadlock.)
+fn liveness_formula() -> Formula {
+    parse("AG EF t0").unwrap()
+}
+
+/// The explicit engine configured the way `Auto` actually runs it
+/// (dense up to [`AUTO_DENSE_BITS`], hash-compacted reachable beyond,
+/// default state budget) — the configuration this sweep calibrates.
+fn auto_explicit() -> ExplicitBackend {
+    ExplicitBackend::with_limits(ExplicitLimits {
+        dense_bits: AUTO_DENSE_BITS,
+        ..ExplicitLimits::default()
+    })
+}
+
+/// One measured leg of a row.
+enum Leg {
+    /// Wall time of a single check, plus the state count the explicit
+    /// engine labelled (None for the symbolic leg / dense runs).
+    Measured { ms: f64, labelled: Option<u64> },
+    /// The backend refused the obligation (e.g. the reachable kernel's
+    /// state budget) — recorded verbatim.
+    Errored(String),
+    /// The leg exceeded [`ROW_BUDGET`]; larger widths are skipped.
+    TimedOut,
+}
+
+/// Run `work` on a helper thread and give up after [`ROW_BUDGET`]. The
+/// abandoned thread finishes (or not) in the background; its family/leg is
+/// never timed again, so it cannot pollute later rows' measurements.
+fn run_leg<F>(work: F) -> Leg
+where
+    F: FnOnce() -> Result<(f64, Option<u64>), String> + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(work());
+    });
+    match rx.recv_timeout(ROW_BUDGET) {
+        Ok(Ok((ms, labelled))) => Leg::Measured { ms, labelled },
+        Ok(Err(e)) => Leg::Errored(e),
+        Err(mpsc::RecvTimeoutError::Timeout) => Leg::TimedOut,
+        Err(mpsc::RecvTimeoutError::Disconnected) => Leg::Errored("leg panicked".into()),
+    }
+}
+
+/// One `{props, …}` summary row for `family` at width `n`. `dead` marks a
+/// leg that already timed out at a smaller width this run.
+fn summary_row(family: &str, n: usize, r: &Restriction, f: &Formula, dead: &mut [bool; 2]) -> Json {
+    let systems = stations(n);
+    let target = Target::composition(systems.clone());
+    let estimate = estimate_reachable_states(&target, r);
+    let auto_choice = BackendChoice::Auto.route(&target, r).planned;
+
+    let legs: [Leg; 2] = std::array::from_fn(|leg| {
+        if dead[leg] {
+            return Leg::TimedOut;
+        }
+        let systems = systems.clone();
+        let r = r.clone();
+        let f = f.clone();
+        let out = run_leg(move || {
+            let target = Target::composition(systems);
+            let start = Instant::now();
+            let v = if leg == 0 {
+                auto_explicit().check(&target, &r, &f)
+            } else {
+                SymbolicBackend::default().check(&target, &r, &f)
+            }
+            .map_err(|e| e.to_string())?;
+            assert!(v.holds, "the handoff invariant holds in every family");
+            Ok((
+                start.elapsed().as_secs_f64() * 1e3,
+                v.stats.reachable_states,
+            ))
+        });
+        if matches!(out, Leg::TimedOut) {
+            dead[leg] = true;
+        }
+        out
+    });
+
+    // What the explicit engine actually labelled: the interned reachable
+    // fragment when it reported one, the dense `2^n` universe otherwise.
+    let labelled = match &legs[0] {
+        Leg::Measured { labelled, .. } => Json::int(labelled.unwrap_or(1u64 << n)),
+        _ => Json::Null,
+    };
+    let ms_of = |leg: &Leg| match leg {
+        Leg::Measured { ms, .. } => Json::Num(*ms),
+        Leg::Errored(e) => Json::Str(format!("refused: {e}")),
+        Leg::TimedOut => Json::Str(format!(
+            "refused: exceeded the {}s per-row budget",
+            ROW_BUDGET.as_secs()
+        )),
+    };
+    // Audit field: where both legs were measured, did the Auto plan pick
+    // the engine that actually won the row?
+    let matches_faster = match (&legs[0], &legs[1]) {
+        (Leg::Measured { ms: e, .. }, Leg::Measured { ms: s, .. }) => {
+            let faster = if e <= s { "explicit" } else { "symbolic" };
+            Json::Bool(auto_choice.name() == faster)
+        }
+        _ => Json::Null,
+    };
+    Json::Obj(vec![
+        ("props".into(), Json::int(n as u64)),
+        ("family".into(), Json::Str(family.into())),
+        ("reachable_states".into(), labelled),
+        ("estimated_states".into(), Json::Num(estimate as f64)),
+        ("auto_choice".into(), Json::Str(auto_choice.name().into())),
+        ("explicit_ms".into(), ms_of(&legs[0])),
+        ("symbolic_ms".into(), ms_of(&legs[1])),
+        ("auto_matches_faster".into(), matches_faster),
+    ])
+}
+
+/// Criterion timings on the pinned family, where both engines answer at
+/// every width — including past the old 24-proposition cliff.
 fn explicit_vs_symbolic(c: &mut Criterion) {
-    let f = handoff_formula();
-    let r = Restriction::trivial();
+    let f = liveness_formula();
     let mut group = c.benchmark_group("backend_crossover");
     group.sample_size(10);
-    for &n in &SIZES {
+    let widths: &[usize] = if quick() { &[8, 26] } else { &[8, 16, 26, 34] };
+    for &n in widths {
         let systems = stations(n);
-        if n <= EXPLICIT_MEASURED_MAX {
-            group.bench_with_input(BenchmarkId::new("explicit", n), &n, |b, _| {
-                b.iter(|| {
-                    let target = Target::composition(systems.clone());
-                    let v = ExplicitBackend::default().check(&target, &r, &f).unwrap();
-                    assert!(v.holds);
-                    black_box(v.sat_states)
-                })
-            });
-        }
-        group.bench_with_input(BenchmarkId::new("symbolic", n), &n, |b, _| {
+        let r = Restriction::with_init(ring::token_at_zero(n));
+        group.bench_with_input(BenchmarkId::new("explicit-pinned", n), &n, |b, _| {
+            b.iter(|| {
+                let target = Target::composition(systems.clone());
+                let v = auto_explicit().check(&target, &r, &f).unwrap();
+                assert!(v.holds);
+                black_box(v.stats.reachable_states)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("symbolic-pinned", n), &n, |b, _| {
             b.iter(|| {
                 let target = Target::composition(systems.clone());
                 let v = SymbolicBackend::default().check(&target, &r, &f).unwrap();
@@ -75,78 +225,34 @@ fn explicit_vs_symbolic(c: &mut Criterion) {
     group.finish();
 }
 
-/// Measure mean wall time of `f` over `iters` runs, in nanoseconds.
-fn mean_ns(mut f: impl FnMut(), iters: u32) -> f64 {
-    f(); // warm caches / allocator before timing
-    let start = Instant::now();
-    for _ in 0..iters {
-        f();
-    }
-    start.elapsed().as_nanos() as f64 / f64::from(iters)
-}
-
-/// Emit `BENCH_backend.json`: one series entry per ring size with the
-/// explicit and symbolic means (explicit becomes an error string at the
-/// `TooLarge` ceiling and is skipped in the projected-blowup band), plus
-/// the backend the `Auto` policy resolves to at that width.
+/// Emit `BENCH_backend.json`: the full two-family sweep.
 fn emit_summary(c: &mut Criterion) {
-    let f = handoff_formula();
-    let r = Restriction::trivial();
     let mut series = Vec::new();
-    for &n in &SIZES {
-        let systems = stations(n);
-        let explicit = if n <= EXPLICIT_MEASURED_MAX {
-            let ns = mean_ns(
-                || {
-                    let target = Target::composition(systems.clone());
-                    assert!(
-                        ExplicitBackend::default()
-                            .check(&target, &r, &f)
-                            .unwrap()
-                            .holds
-                    );
-                },
-                3,
-            );
-            Json::Num(ns)
-        } else {
-            // Past the limit the backend errors immediately; record that.
-            let target = Target::composition(systems.clone());
-            match ExplicitBackend::default().check(&target, &r, &f) {
-                Err(e) => Json::Str(e.to_string()),
-                Ok(_) => Json::Str("skipped (projected frame-padding blowup)".into()),
-            }
-        };
-        let symbolic_ns = mean_ns(
-            || {
-                let target = Target::composition(systems.clone());
-                assert!(
-                    SymbolicBackend::default()
-                        .check(&target, &r, &f)
-                        .unwrap()
-                        .holds
-                );
-            },
-            3,
-        );
-        series.push(Json::Obj(vec![
-            ("stations".into(), Json::int(n as u64)),
-            ("explicit_ns".into(), explicit),
-            ("symbolic_ns".into(), Json::Num(symbolic_ns)),
-            (
-                "auto_selects".into(),
-                Json::Str(BackendChoice::Auto.select(n).name().into()),
-            ),
-        ]));
+    for family in ["pinned", "free"] {
+        // Per-family leg health: once a leg times out, larger widths of
+        // the same family skip it (the cost curves are monotone in `n`).
+        let mut dead = [false, false];
+        for n in sizes() {
+            let (r, f) = match family {
+                "pinned" => (
+                    Restriction::with_init(ring::token_at_zero(n)),
+                    liveness_formula(),
+                ),
+                _ => (Restriction::trivial(), handoff_formula()),
+            };
+            series.push(summary_row(family, n, &r, &f, &mut dead));
+        }
     }
     let doc = Json::Obj(vec![
         ("benchmark".into(), Json::Str("backend_crossover".into())),
         ("family".into(), Json::Str("token-ring".into())),
         (
-            "explicit_limit".into(),
-            Json::int(MAX_EXPLICIT_PROPS as u64),
+            "auto_crossover_states".into(),
+            Json::int(AUTO_CROSSOVER_STATES as u64),
         ),
-        ("unit".into(), Json::Str("ns/iter (mean of 3)".into())),
+        ("unit".into(), Json::Str("ms per check (single run)".into())),
+        ("row_budget_s".into(), Json::int(ROW_BUDGET.as_secs())),
+        ("quick".into(), Json::Bool(quick())),
         ("series".into(), Json::Arr(series)),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_backend.json");

@@ -6,8 +6,15 @@
 //! [`Backend`] trait with one [`Verdict`] shape, implemented by the
 //! explicit-state checker (`cmc_ctl::Checker`) and the symbolic BDD
 //! checker (`cmc_symbolic`), plus a [`BackendChoice`] selector whose
-//! `Auto` policy routes a check to the symbolic engine exactly when the
-//! target's alphabet exceeds the explicit-state limit.
+//! `Auto` policy is a measured **cost model**: it estimates the reachable
+//! state count from component sizes, alphabet overlap and the pinned
+//! initial condition ([`estimate_reachable_states`]), routes
+//! explicit-vs-symbolic on that estimate against the bench-calibrated
+//! [`AUTO_CROSSOVER_STATES`], and records the decision (and any fallback)
+//! in [`CheckStats::route`]. There is no width cliff any more — the
+//! explicit engine runs reachable-only past
+//! [`ExplicitLimits::dense_bits`], so a pinned 30-station ring stays
+//! explicit while a trivially-restricted one routes symbolic.
 //!
 //! Checks are posed against a [`Target`] — a list of component systems
 //! plus an expansion alphabet, composed *lazily*. This matters: neither
@@ -21,8 +28,8 @@
 
 use cmc_bdd::BddStats;
 use cmc_ctl::{
-    simulates_explicit, CheckError, Checker, Formula, Restriction, SimError, MAX_EXPLICIT_PROPS,
-    MAX_SIM_PAIR_PROPS,
+    simulates_explicit, CheckError, Checker, ExplicitLimits, Formula, Restriction, SimError,
+    MAX_EXPLICIT_PROPS, MAX_SIM_PAIR_PROPS,
 };
 use cmc_kripke::{Alphabet, SimulationOutcome, State, System};
 use cmc_symbolic::{
@@ -73,18 +80,24 @@ impl fmt::Display for BackendKind {
 /// The caller's backend policy for an engine or a driver run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum BackendChoice {
-    /// Always the explicit-state checker (errors past its limit).
+    /// Always the explicit-state checker (errors past its budgets).
     Explicit,
     /// Always the symbolic checker.
     Symbolic,
-    /// Explicit while the target fits under [`MAX_EXPLICIT_PROPS`],
-    /// symbolic beyond it.
+    /// Route on the measured cost model: explicit when the estimated
+    /// reachable state count is at most [`AUTO_CROSSOVER_STATES`],
+    /// symbolic beyond — with a budgeted explicit attempt that falls back
+    /// to symbolic if the estimate proves optimistic (see
+    /// [`check_routed`]).
     #[default]
     Auto,
 }
 
 impl BackendChoice {
-    /// Resolve the policy for a target of `width` propositions.
+    /// Resolve the policy on *width alone* — the pre-cost-model fallback,
+    /// kept for callers that have no [`Restriction`] in hand. The routed
+    /// path ([`BackendChoice::route`] / [`check_routed`]) supersedes this
+    /// wherever an initial condition is available.
     pub fn select(self, width: usize) -> BackendKind {
         match self {
             BackendChoice::Explicit => BackendKind::Explicit,
@@ -99,6 +112,34 @@ impl BackendChoice {
         }
     }
 
+    /// Plan a backend for `target ⊨_r …` using the measured cost model.
+    /// Deterministic in its inputs (the planned kind is what store keys
+    /// hash), and recorded verbatim in [`CheckStats::route`]; the actual
+    /// engine may differ only when an `Auto` explicit attempt falls back
+    /// (flagged by [`RouteDecision::fell_back`]).
+    pub fn route(self, target: &Target, r: &Restriction) -> RouteDecision {
+        let width = target.width();
+        let estimated_states = estimate_reachable_states(target, r);
+        let planned = match self {
+            BackendChoice::Explicit => BackendKind::Explicit,
+            BackendChoice::Symbolic => BackendKind::Symbolic,
+            BackendChoice::Auto => {
+                if estimated_states <= AUTO_CROSSOVER_STATES as u128 {
+                    BackendKind::Explicit
+                } else {
+                    BackendKind::Symbolic
+                }
+            }
+        };
+        RouteDecision {
+            width,
+            estimated_states,
+            crossover: AUTO_CROSSOVER_STATES,
+            planned,
+            fell_back: false,
+        }
+    }
+
     /// Stable identity string for deduction-level store keys (the
     /// *policy*, as opposed to the resolved [`BackendKind::name`] used for
     /// per-obligation keys).
@@ -109,6 +150,163 @@ impl BackendChoice {
             BackendChoice::Auto => "auto",
         }
     }
+}
+
+/// `Auto`'s measured crossover, in estimated reachable states: at or
+/// below this the explicit engine wins, above it the symbolic engine
+/// does. Calibrated from the `backend_crossover` sweep (BENCH_backend.json,
+/// token-ring family, 4..34 stations): the explicit engine wins every
+/// measured row at ≤64 labelled states (17–31 µs vs the symbolic engine's
+/// 22–103 µs BDD-construction floor), the engines tie near 256 states
+/// (43 µs vs 38 µs), and symbolic wins decisively from 1024 states up
+/// (46 µs vs 105 µs, widening to ~70× by 2^16 states). The crossover sits
+/// in the 128–256 band; 128 takes the conservative edge so marginal rows
+/// route to the engine whose cost grows sub-linearly past the boundary.
+pub const AUTO_CROSSOVER_STATES: usize = 128;
+
+/// Under `Auto`, dense-universe explicit checking is only used up to this
+/// width. Calibrated alongside [`AUTO_CROSSOVER_STATES`]: dense labelling
+/// costs `2^width` regardless of how small the reachable fragment is, and
+/// the sweep's pinned rings show dense explicit beating symbolic at width
+/// 8 (87 µs vs 141 µs) but losing from width 10 up (342 µs vs 167 µs) —
+/// so past width 8 an explicit-routed target runs the hash-compacted
+/// reachable kernel, whose cost tracks the *estimated* state count
+/// instead of `2^width`.
+pub const AUTO_DENSE_BITS: usize = 8;
+
+/// How `Auto`'s explicit attempt bounds wasted work when the estimate is
+/// optimistic: the reachable construction runs under a state budget of
+/// this many × [`AUTO_CROSSOVER_STATES`], and blowing it triggers the
+/// symbolic fallback. The attempt *is* the probe — nothing is built twice
+/// on the success path.
+pub const AUTO_BUDGET_SLACK: usize = 4;
+
+/// One routing decision of the `Auto` cost model, recorded in
+/// [`CheckStats::route`] so callers (and the crossover bench) can audit
+/// what the policy predicted against what actually ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// Union-alphabet width of the target.
+    pub width: usize,
+    /// Estimated reachable state count ([`estimate_reachable_states`]).
+    pub estimated_states: u128,
+    /// The crossover the estimate was compared against.
+    pub crossover: usize,
+    /// The engine the policy planned (deterministic; store keys use this).
+    pub planned: BackendKind,
+    /// Did an `Auto` explicit attempt exhaust its budget and fall back to
+    /// the symbolic engine? (`stats.backend` then names the engine that
+    /// actually produced the verdict.)
+    pub fell_back: bool,
+}
+
+/// Estimate the reachable state count of `target` under `r`'s initial
+/// condition — the `Auto` cost model's input, computed without building
+/// anything.
+///
+/// In log2 terms:
+///
+/// ```text
+/// est = Σ_i min(|Σᵢ|, log2(touchedᵢ + 1))   per-component state variety
+///     − (Σ_i |Σᵢ| − |covered|)              shared propositions correlate
+///     + (|Σ*| − |covered|)                  free expansion props double
+///     − |atoms(I) ∩ Σ*|                     pinned initial propositions
+/// ```
+///
+/// clamped to `[0, 127]`, where `touchedᵢ` is the number of distinct
+/// states on component `i`'s proper transitions and `covered` the union
+/// of component-owned positions. Components that wander their whole local
+/// space contribute `2^|Σᵢ|`; a token-ring station that only ever touches
+/// a handful of patterns contributes those. A conjunctive initial
+/// condition pins each mentioned proposition, collapsing a factor of two
+/// per atom — exactly why a one-hot-seeded 30-ring estimates ~1 state
+/// while its trivially-restricted twin estimates ~2^30.
+pub fn estimate_reachable_states(target: &Target, r: &Restriction) -> u128 {
+    let union = target.union_alphabet();
+    let mut covered: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    let mut own_sum = 0usize;
+    let mut log2 = 0.0f64;
+    for sys in target.systems() {
+        let a = sys.alphabet().len();
+        own_sum += a;
+        for name in sys.alphabet().names() {
+            if let Some(p) = union.position(name) {
+                covered.insert(p);
+            }
+        }
+        let mut touched: std::collections::BTreeSet<u128> = std::collections::BTreeSet::new();
+        for (s, t) in sys.proper_transitions() {
+            touched.insert(s.0);
+            touched.insert(t.0);
+        }
+        log2 += (a as f64).min(((touched.len() + 1) as f64).log2());
+    }
+    let dup = (own_sum - covered.len()) as f64;
+    let free = (union.len() - covered.len()) as f64;
+    let pinned = r
+        .init
+        .atomic_props()
+        .iter()
+        .filter(|p| union.contains(p))
+        .count() as f64;
+    let est = (log2 - dup + free - pinned).clamp(0.0, 127.0);
+    est.exp2().ceil() as u128
+}
+
+/// Decide `target ⊨_r f` under `choice` through the cost-model router:
+/// plan with [`BackendChoice::route`], run the planned engine, and — for
+/// `Auto` only — fall back to the symbolic engine when a budgeted
+/// explicit attempt refuses (state budget blown, or an initial condition
+/// it cannot enumerate). The returned verdict's
+/// [`CheckStats::route`] carries the decision, including the fallback
+/// flag; [`CheckStats::backend`] names the engine that actually ran.
+pub fn check_routed(
+    choice: BackendChoice,
+    target: &Target,
+    r: &Restriction,
+    f: &Formula,
+) -> Result<Verdict, BackendError> {
+    check_routed_with_workers(choice, target, r, f, 1)
+}
+
+/// [`check_routed`] with an explicit worker cap for the block-parallel
+/// explicit kernels (the symbolic engine is single-threaded per check).
+pub fn check_routed_with_workers(
+    choice: BackendChoice,
+    target: &Target,
+    r: &Restriction,
+    f: &Formula,
+    workers: usize,
+) -> Result<Verdict, BackendError> {
+    let mut decision = choice.route(target, r);
+    if decision.planned == BackendKind::Explicit {
+        let limits = match choice {
+            // The attempt is budgeted by the cost model: cheap to be wrong.
+            BackendChoice::Auto => ExplicitLimits {
+                dense_bits: AUTO_DENSE_BITS,
+                max_states: Some(AUTO_CROSSOVER_STATES.saturating_mul(AUTO_BUDGET_SLACK)),
+            },
+            _ => ExplicitLimits::default(),
+        };
+        let eb = ExplicitBackend { limits, workers };
+        match eb.check(target, r, f) {
+            Ok(mut v) => {
+                v.stats.route = Some(decision);
+                return Ok(v);
+            }
+            Err(
+                BackendError::StateBudget { .. }
+                | BackendError::TooLarge { .. }
+                | BackendError::Unsupported(_),
+            ) if choice == BackendChoice::Auto => {
+                decision.fell_back = true;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let mut v = SymbolicBackend::default().check(target, r, f)?;
+    v.stats.route = Some(decision);
+    Ok(v)
 }
 
 /// A checking target: the interleaving composition of `systems`, expanded
@@ -211,6 +409,13 @@ pub struct CheckStats {
     pub partitions: usize,
     /// Worker threads the check was allowed to fan out over.
     pub threads: usize,
+    /// States the reachable-only explicit kernel actually materialised
+    /// (`None` for dense-universe and symbolic checks) — the cost model's
+    /// "actual" against [`RouteDecision::estimated_states`].
+    pub reachable_states: Option<u64>,
+    /// The `Auto` cost-model decision that led here ([`None`] when the
+    /// check was not routed, e.g. a backend invoked directly).
+    pub route: Option<RouteDecision>,
 }
 
 /// Unified result of a backend check — the shape shared by both engines.
@@ -243,6 +448,19 @@ pub enum BackendError {
     },
     /// The formula (or restriction) mentions an unknown proposition.
     UnknownProposition(String),
+    /// Reachable explicit construction blew its opt-in state budget
+    /// ([`ExplicitLimits::max_states`]); under `Auto` this triggers the
+    /// symbolic fallback.
+    StateBudget {
+        /// States materialised before refusing.
+        explored: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// The backend cannot pose this obligation (e.g. a temporal initial
+    /// condition, which reachable explicit construction cannot enumerate
+    /// but the symbolic engine handles).
+    Unsupported(String),
     /// Any other checker failure.
     Other(String),
 }
@@ -257,6 +475,12 @@ impl fmt::Display for BackendError {
             BackendError::UnknownProposition(p) => {
                 write!(f, "formula mentions undefined proposition {p:?}")
             }
+            BackendError::StateBudget { explored, budget } => write!(
+                f,
+                "reachable state space exceeds the explicit-engine budget of {budget} \
+                 states ({explored} already materialised)"
+            ),
+            BackendError::Unsupported(m) => write!(f, "unsupported obligation: {m}"),
             BackendError::Other(m) => f.write_str(m),
         }
     }
@@ -269,6 +493,10 @@ impl From<CheckError> for BackendError {
         match e {
             CheckError::TooLarge { props, limit } => BackendError::TooLarge { props, limit },
             CheckError::UnknownProposition(p) => BackendError::UnknownProposition(p),
+            CheckError::StateBudget { explored, budget } => {
+                BackendError::StateBudget { explored, budget }
+            }
+            CheckError::InitNotEnumerable(m) => BackendError::Unsupported(m),
         }
     }
 }
@@ -291,12 +519,17 @@ pub trait Backend {
         -> Result<Verdict, BackendError>;
 }
 
-/// The explicit-state backend: builds the frontier kernel directly from
-/// the target's components and enumerates over `2^Σ*`.
+/// The explicit-state backend. Up to [`ExplicitLimits::dense_bits`]
+/// propositions it builds the dense frontier kernel over `2^Σ*` (exact
+/// whole-universe sat counts); wider targets run the **reachable-only**
+/// hash-compacted kernel — arbitrary-width state vectors interned to
+/// dense ids, the CSR built on the fly from SAT(`I`) outward, bounded
+/// only by the opt-in state budget.
 #[derive(Debug, Clone, Copy)]
 pub struct ExplicitBackend {
-    /// Maximum alphabet width (default [`MAX_EXPLICIT_PROPS`]).
-    pub limit: usize,
+    /// Width/memory budgets (dense-universe cutover + reachable state
+    /// budget).
+    pub limits: ExplicitLimits,
     /// Worker threads for the block-parallel frontier passes (default 1,
     /// i.e. the serial worklist kernels).
     pub workers: usize,
@@ -305,13 +538,18 @@ pub struct ExplicitBackend {
 impl Default for ExplicitBackend {
     fn default() -> Self {
         ExplicitBackend {
-            limit: MAX_EXPLICIT_PROPS,
+            limits: ExplicitLimits::default(),
             workers: 1,
         }
     }
 }
 
 impl ExplicitBackend {
+    /// Backend with the given limits, serial.
+    pub fn with_limits(limits: ExplicitLimits) -> Self {
+        ExplicitBackend { limits, workers: 1 }
+    }
+
     /// Fan the frontier passes out over up to `workers` threads (builder
     /// style). Any count computes identical verdicts — the block merge is
     /// a bitwise OR, pure set semantics.
@@ -332,36 +570,54 @@ impl Backend for ExplicitBackend {
         r: &Restriction,
         f: &Formula,
     ) -> Result<Verdict, BackendError> {
-        // Width check first: the CSR frame padding is exponential in
-        // foreign propositions, so an over-wide target must fail fast
-        // before any per-edge work starts.
         let props = target.width();
-        if props > self.limit {
-            return Err(BackendError::TooLarge {
-                props,
-                limit: self.limit,
-            });
-        }
         let start = Instant::now();
-        // Build the frontier kernel straight from the components — the CSR
-        // index frame-pads each component's transitions itself, so the
-        // exponential `materialize()` fold never runs on this path.
+        // Build the kernel straight from the components — neither mode
+        // runs the exponential `materialize()` fold.
         let refs: Vec<&System> = target.systems().iter().collect();
-        let checker =
-            Checker::from_components(&refs, target.extra(), self.limit)?.with_workers(self.workers);
-        let v = checker.check(r, f)?;
-        Ok(Verdict {
-            holds: v.holds,
-            violating: v.violating,
-            sat_states: Some(v.sat_states as u128),
-            stats: CheckStats {
-                backend: BackendKind::Explicit,
-                duration: start.elapsed(),
-                bdd: None,
-                partitions: checker.partition_blocks(),
-                threads: checker.workers(),
-            },
-        })
+        if props <= self.limits.dense_bits {
+            // Dense universe: index i IS the state pattern; exact counts.
+            let checker = Checker::from_components(&refs, target.extra(), self.limits.dense_bits)?
+                .with_workers(self.workers);
+            let v = checker.check(r, f)?;
+            Ok(Verdict {
+                holds: v.holds,
+                violating: v.violating,
+                sat_states: Some(v.sat_states as u128),
+                stats: CheckStats {
+                    backend: BackendKind::Explicit,
+                    duration: start.elapsed(),
+                    bdd: None,
+                    partitions: checker.partition_blocks(),
+                    threads: checker.workers(),
+                    reachable_states: None,
+                    route: None,
+                },
+            })
+        } else {
+            // Reachable-only: hash-compacted on-the-fly construction from
+            // SAT(I) outward. Verdicts agree with dense mode exactly;
+            // whole-universe counts are not defined, so sat_states is None
+            // and the materialised fragment size rides in the stats.
+            let checker =
+                Checker::reachable_from_components(&refs, target.extra(), &r.init, &self.limits)?
+                    .with_workers(self.workers);
+            let v = checker.check(r, f)?;
+            Ok(Verdict {
+                holds: v.holds,
+                violating: v.violating,
+                sat_states: None,
+                stats: CheckStats {
+                    backend: BackendKind::Explicit,
+                    duration: start.elapsed(),
+                    bdd: None,
+                    partitions: checker.partition_blocks(),
+                    threads: checker.workers(),
+                    reachable_states: Some(checker.universe() as u64),
+                    route: None,
+                },
+            })
+        }
     }
 }
 
@@ -474,6 +730,8 @@ impl Backend for SymbolicBackend {
                 bdd: Some(model.mgr_ref().stats()),
                 partitions: model.num_trans_parts(),
                 threads: 1,
+                reachable_states: None,
+                route: None,
             },
         })
     }
@@ -603,8 +861,7 @@ impl Obligation {
     pub fn discharge(&self, choice: BackendChoice) -> Result<ObligationOutcome, BackendError> {
         match self {
             Obligation::Check { target, r, f } => {
-                let kind = choice.select(target.width());
-                let verdict = backend_for(kind).check(target, r, f)?;
+                let verdict = check_routed(choice, target, r, f)?;
                 Ok(ObligationOutcome::Verdict(verdict))
             }
             Obligation::Refines {
@@ -626,8 +883,7 @@ impl Obligation {
                     let mut systems = vec![abstraction.clone()];
                     systems.extend(rest.iter().cloned());
                     let target = Target::composition(systems);
-                    let kind = choice.select(target.width());
-                    Some(backend_for(kind).check(&target, r, f)?)
+                    Some(check_routed(choice, &target, r, f)?)
                 } else {
                     None
                 };
@@ -703,7 +959,11 @@ mod tests {
     }
 
     #[test]
-    fn explicit_rejects_wide_targets_without_materialising() {
+    fn explicit_refuses_wide_unpinned_targets_on_the_state_budget() {
+        // 30 unpinned risers reach all 2^30 valuations; the reachable
+        // kernel must refuse on the opt-in state budget *before*
+        // materialising anything (the trivial init alone proves the
+        // budget is blown), not hang enumerating.
         let systems: Vec<System> = (0..30).map(|i| riser(&format!("p{i}"))).collect();
         let target = Target::composition(systems);
         let f = parse("p0 -> AX p0").unwrap();
@@ -712,10 +972,135 @@ mod tests {
             .unwrap_err();
         assert_eq!(
             err,
-            BackendError::TooLarge {
-                props: 30,
-                limit: MAX_EXPLICIT_PROPS
+            BackendError::StateBudget {
+                explored: 0,
+                budget: ExplicitLimits::DEFAULT_MAX_STATES
             }
+        );
+    }
+
+    #[test]
+    fn explicit_checks_wide_pinned_targets_reachable_only() {
+        // The same 30 propositions, but pinned: a 30-station token ring
+        // with a one-hot initial state has exactly 30 reachable states.
+        // Pre-PR-9 this was a hard TooLarge; now the reachable kernel
+        // answers it and agrees with the symbolic engine.
+        let stations: Vec<System> = (0..30)
+            .map(|i| {
+                let j = (i + 1) % 30;
+                let here = format!("t{i}");
+                let next = format!("t{j}");
+                let mut m = System::new(Alphabet::new([here.clone(), next.clone()]));
+                m.add_transition_named(&[&here], &[&next]);
+                m
+            })
+            .collect();
+        let target = Target::composition(stations);
+        assert_eq!(target.width(), 30);
+        let init = Formula::and_many((0..30).map(|i| {
+            let p = Formula::ap(format!("t{i}"));
+            if i == 0 {
+                p
+            } else {
+                p.not()
+            }
+        }));
+        let r = Restriction::with_init(init);
+        let f = parse("AG EF t0").unwrap();
+        let e = ExplicitBackend::default().check(&target, &r, &f).unwrap();
+        let s = SymbolicBackend::default().check(&target, &r, &f).unwrap();
+        assert_eq!(e.holds, s.holds);
+        assert!(e.holds);
+        assert_eq!(e.stats.backend, BackendKind::Explicit);
+        assert_eq!(e.stats.reachable_states, Some(30));
+        assert_eq!(e.sat_states, None, "no whole-universe count past dense");
+    }
+
+    #[test]
+    fn route_is_a_cost_model_not_a_width_cliff() {
+        // Same 30-prop ring, two restrictions: pinned routes explicit
+        // (est ≈ 1 state), trivial routes symbolic (est ≈ 2^30).
+        let stations: Vec<System> = (0..30)
+            .map(|i| {
+                let j = (i + 1) % 30;
+                let here = format!("t{i}");
+                let next = format!("t{j}");
+                let mut m = System::new(Alphabet::new([here.clone(), next.clone()]));
+                m.add_transition_named(&[&here], &[&next]);
+                m
+            })
+            .collect();
+        let target = Target::composition(stations);
+        let pinned = Restriction::with_init(Formula::and_many((0..30).map(|i| {
+            let p = Formula::ap(format!("t{i}"));
+            if i == 0 {
+                p
+            } else {
+                p.not()
+            }
+        })));
+        let trivial = Restriction::trivial();
+        let d_pinned = BackendChoice::Auto.route(&target, &pinned);
+        let d_trivial = BackendChoice::Auto.route(&target, &trivial);
+        assert_eq!(d_pinned.planned, BackendKind::Explicit);
+        assert_eq!(d_trivial.planned, BackendKind::Symbolic);
+        assert!(d_pinned.estimated_states <= AUTO_CROSSOVER_STATES as u128);
+        assert!(d_trivial.estimated_states > AUTO_CROSSOVER_STATES as u128);
+        // And the routed check actually runs the planned engines.
+        let f = parse("AG EF t0").unwrap();
+        let ve = check_routed(BackendChoice::Auto, &target, &pinned, &f).unwrap();
+        assert_eq!(ve.stats.backend, BackendKind::Explicit);
+        assert_eq!(ve.stats.route, Some(d_pinned));
+        let vs = check_routed(BackendChoice::Auto, &target, &trivial, &f).unwrap();
+        assert_eq!(vs.stats.backend, BackendKind::Symbolic);
+        assert_eq!(vs.stats.route, Some(d_trivial));
+    }
+
+    #[test]
+    fn optimistic_estimates_fall_back_to_symbolic() {
+        // Toggle components fool the estimate: the init pins every
+        // proposition, so the cost model predicts ~1 reachable state and
+        // plans explicit — but toggles fan back out to the full 2^26
+        // product. The explicit attempt burns through its state budget,
+        // refuses, and Auto recovers symbolically, recording the fallback.
+        let systems: Vec<System> = (0..26)
+            .map(|i| {
+                let name = format!("p{i}");
+                let mut m = System::new(Alphabet::new([name.clone()]));
+                m.add_transition_named(&[], &[name.as_str()]);
+                m.add_transition_named(&[name.as_str()], &[]);
+                m
+            })
+            .collect();
+        let target = Target::composition(systems);
+        let init = Formula::and_many((0..26).map(|i| Formula::ap(format!("p{i}"))));
+        let r = Restriction::with_init(init);
+        let d = BackendChoice::Auto.route(&target, &r);
+        assert_eq!(d.planned, BackendKind::Explicit, "estimate fooled low");
+        assert!(d.estimated_states <= AUTO_CROSSOVER_STATES as u128);
+        let f = parse("EF !p0").unwrap();
+        let v = check_routed(BackendChoice::Auto, &target, &r, &f).unwrap();
+        assert!(v.holds, "a toggle can always clear p0");
+        assert_eq!(v.stats.backend, BackendKind::Symbolic);
+        let route = v.stats.route.unwrap();
+        assert!(route.fell_back, "fallback must be recorded");
+        assert_eq!(route.planned, BackendKind::Explicit);
+        // Forced explicit backends get no safety net: a tight budget is an
+        // honest refusal, with the exploration cost it sank reported back.
+        let tight = ExplicitBackend::with_limits(ExplicitLimits {
+            dense_bits: 16,
+            max_states: Some(500),
+        });
+        let err = tight.check(&target, &r, &f).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                BackendError::StateBudget {
+                    explored: 500,
+                    budget: 500
+                }
+            ),
+            "{err}"
         );
     }
 

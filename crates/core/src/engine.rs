@@ -13,7 +13,7 @@
 //! exactly this workflow: "the developer of a component take\[s\] a greater
 //! part in proving correctness" and ships the proof with the component.
 
-use crate::backend::{backend_for, check_refines, BackendChoice, BackendKind, Target};
+use crate::backend::{check_refines, check_routed, BackendChoice, BackendKind, Target};
 use crate::property::{classify, PropertyClass};
 use crate::rules::{
     circular_refines, invariant_obligations, substitution_side_conditions, Guarantee,
@@ -483,7 +483,7 @@ impl Engine {
             for (i, comp) in self.components.iter().enumerate() {
                 let name = format!("minimal expansion of {} ⊨ {conjunct}", comp.name);
                 let target = self.minimal_target(i, &props);
-                let kind = self.backend.select(target.width());
+                let kind = self.backend.route(&target, &trivial).planned;
                 let key = self
                     .store
                     .as_ref()
@@ -512,7 +512,7 @@ impl Engine {
                         name,
                         verdict.holds,
                         true,
-                        kind,
+                        verdict.stats.backend,
                         Some(verdict.stats.duration),
                     );
                 }
@@ -530,22 +530,31 @@ impl Engine {
         r: &Restriction,
         f: &Formula,
     ) -> Result<(bool, bool, BackendKind, Option<Duration>), EngineError> {
-        let kind = self.backend.select(target.width());
+        // The store key carries the *planned* engine (deterministic across
+        // runs); the recorded backend is whatever actually answered, which
+        // differs only when Auto's explicit attempt fell back.
+        let kind = self.backend.route(target, r).planned;
         let duration = std::cell::Cell::new(None);
+        let actual = std::cell::Cell::new(None);
         let run = || -> Result<bool, EngineError> {
-            let v = backend_for(kind)
-                .check(target, r, f)
+            let v = check_routed(self.backend, target, r, f)
                 .map_err(|e| EngineError::Check(e.to_string()))?;
             duration.set(Some(v.stats.duration));
+            actual.set(Some(v.stats.backend));
             Ok(v.holds)
         };
         match &self.store {
             Some(store) => {
                 let key = self.target_key("check", target, r, f, kind);
                 let (entry, hit) = store.get_or_check(key, || run().map(Entry::verdict))?;
-                Ok((entry.verdict, hit, kind, duration.get()))
+                Ok((
+                    entry.verdict,
+                    hit,
+                    actual.get().unwrap_or(kind),
+                    duration.get(),
+                ))
             }
-            None => Ok((run()?, false, kind, duration.get())),
+            None => Ok((run()?, false, actual.get().unwrap_or(kind), duration.get())),
         }
     }
 
@@ -1160,9 +1169,7 @@ impl Engine {
     /// test-suite to validate the engine's conclusions).
     pub fn monolithic_check(&self, r: &Restriction, f: &Formula) -> Result<bool, EngineError> {
         let target = self.composition_target();
-        let kind = self.backend.select(target.width());
-        backend_for(kind)
-            .check(&target, r, f)
+        check_routed(self.backend, &target, r, f)
             .map(|v| v.holds)
             .map_err(|e| EngineError::Check(e.to_string()))
     }
@@ -1422,11 +1429,13 @@ mod tests {
         );
         assert!(auto.monolithic_check(&Restriction::trivial(), &f).unwrap());
 
-        // Forcing the explicit backend reproduces the old ceiling.
+        // Forcing the explicit backend still refuses: a trivial init over
+        // 26 propositions would materialise 2^26 states, past the budget.
         let explicit = Engine::new(comps).with_backend(BackendChoice::Explicit);
         let err = explicit.prove(&Restriction::trivial(), &f).unwrap_err();
         assert!(
-            err.to_string().contains("exceeds the backend limit"),
+            err.to_string()
+                .contains("exceeds the explicit-engine budget"),
             "unexpected error: {err}"
         );
     }

@@ -62,9 +62,12 @@ pub mod scheduler {
 }
 
 pub use backend::{
-    check_refines, Backend, BackendChoice, BackendError, BackendKind, CheckStats, ExplicitBackend,
-    Obligation, ObligationOutcome, SymbolicBackend, Target, Verdict, MAX_WITNESSES,
+    check_refines, check_routed, check_routed_with_workers, estimate_reachable_states, Backend,
+    BackendChoice, BackendError, BackendKind, CheckStats, ExplicitBackend, Obligation,
+    ObligationOutcome, RouteDecision, SymbolicBackend, Target, Verdict, AUTO_BUDGET_SLACK,
+    AUTO_CROSSOVER_STATES, AUTO_DENSE_BITS, MAX_WITNESSES,
 };
+pub use cmc_ctl::ExplicitLimits;
 pub use engine::{Certificate, Component, Engine, EngineError, Step, Substitution};
 pub use property::{classify, ClassRule, Classified, PropertyClass};
 pub use report::VerificationReport;

@@ -11,7 +11,7 @@
 //! still report normally, and result order is the input order regardless
 //! of worker count.
 
-use crate::backend::{backend_for, BackendChoice, BackendKind, Target, Verdict};
+use crate::backend::{check_routed, BackendChoice, BackendKind, Target, Verdict};
 use crate::scheduler;
 use cmc_ctl::{Formula, Restriction};
 use cmc_kripke::{Alphabet, System};
@@ -44,8 +44,7 @@ pub fn check_holds_everywhere_with_workers(
     let trivial = Restriction::trivial();
     let outcomes = scheduler::run_bounded(systems.len(), workers, |i| {
         let target = Target::system(systems[i].clone());
-        backend_for(choice.select(target.width()))
-            .check(&target, &trivial, f)
+        check_routed(choice, &target, &trivial, f)
             .map(|v| v.holds)
             .map_err(|e| e.to_string())
     });
@@ -76,9 +75,7 @@ pub fn check_targets_with_workers(
     let trivial = Restriction::trivial();
     let outcomes = scheduler::run_bounded(tasks.len(), workers, |i| {
         let (_, target, f) = &tasks[i];
-        backend_for(choice.select(target.width()))
-            .check(target, &trivial, f)
-            .map_err(|e| e.to_string())
+        check_routed(choice, target, &trivial, f).map_err(|e| e.to_string())
     });
     tasks
         .iter()
@@ -95,7 +92,9 @@ pub struct FanoutOutcome {
     /// Was the verdict served from the shared [`CertStore`] instead of
     /// being recomputed?
     pub store_hit: bool,
-    /// The engine the [`BackendChoice`] resolved for this target.
+    /// The engine the cost model *planned* for this target (store keys
+    /// are keyed by the plan, which is deterministic; a fallback at check
+    /// time does not change the obligation's identity).
     pub backend: BackendKind,
 }
 
@@ -118,7 +117,7 @@ pub fn check_targets_with_store(
     let trivial = Restriction::trivial();
     let outcomes = scheduler::run_bounded(tasks.len(), workers, |i| {
         let (_, target, f) = &tasks[i];
-        let kind = choice.select(target.width());
+        let kind = choice.route(target, &trivial).planned;
         let refs: Vec<&System> = target.systems().iter().collect();
         // The expansion alphabet is part of the obligation's identity (the
         // same components over a wider Σ* is a different target), so it
@@ -126,8 +125,7 @@ pub fn check_targets_with_store(
         let mode = format!("fanout/{}", target.extra().names().join(","));
         let key = ObligationKey::composed(&mode, kind.name(), &refs, &trivial, f);
         let (entry, store_hit) = store.get_or_check(key, || {
-            backend_for(kind)
-                .check(target, &trivial, f)
+            check_routed(choice, target, &trivial, f)
                 .map(|v| Entry::verdict(v.holds))
                 .map_err(|e| e.to_string())
         })?;

@@ -194,6 +194,84 @@ impl Formula {
         }
     }
 
+    /// Evaluate a propositional formula against an arbitrary valuation:
+    /// `bit(pos)` supplies the truth value of the proposition at alphabet
+    /// position `pos`. This is `eval_in_state` generalised past the 128-bit
+    /// `State` pattern — the reachable kernel uses it to evaluate against
+    /// interned `StateVec`s of any width. Propositions missing from the
+    /// alphabet evaluate to false (callers validate names up front).
+    /// Panics if the formula contains a temporal operator.
+    pub fn eval_bits<F: Fn(usize) -> bool>(&self, alphabet: &Alphabet, bit: &F) -> bool {
+        use Formula::*;
+        match self {
+            True => true,
+            False => false,
+            Ap(p) => alphabet.position(p).map(bit).unwrap_or(false),
+            Not(f) => !f.eval_bits(alphabet, bit),
+            And(f, g) => f.eval_bits(alphabet, bit) && g.eval_bits(alphabet, bit),
+            Or(f, g) => f.eval_bits(alphabet, bit) || g.eval_bits(alphabet, bit),
+            Implies(f, g) => !f.eval_bits(alphabet, bit) || g.eval_bits(alphabet, bit),
+            Iff(f, g) => f.eval_bits(alphabet, bit) == g.eval_bits(alphabet, bit),
+            _ => panic!("eval_bits on temporal formula {self}"),
+        }
+    }
+
+    /// Substitute a truth value for the proposition `name` and constant-fold
+    /// the boolean connectives. On propositional formulas repeated `assign`
+    /// over every mentioned proposition reduces to `True`/`False`; partial
+    /// assignments shrink the formula, which is what lets SAT enumeration
+    /// of initial-state predicates prune dead branches instead of walking
+    /// all `2^n` assignments. Temporal subformulas are left untouched.
+    pub fn assign(&self, name: &str, value: bool) -> Formula {
+        use Formula::*;
+        match self {
+            Ap(p) if p == name => {
+                if value {
+                    True
+                } else {
+                    False
+                }
+            }
+            True | False | Ap(_) => self.clone(),
+            Not(f) => match f.assign(name, value) {
+                True => False,
+                False => True,
+                g => g.not(),
+            },
+            And(f, g) => match (f.assign(name, value), g.assign(name, value)) {
+                (False, _) | (_, False) => False,
+                (True, h) | (h, True) => h,
+                (h, k) => h.and(k),
+            },
+            Or(f, g) => match (f.assign(name, value), g.assign(name, value)) {
+                (True, _) | (_, True) => True,
+                (False, h) | (h, False) => h,
+                (h, k) => h.or(k),
+            },
+            Implies(f, g) => match (f.assign(name, value), g.assign(name, value)) {
+                (False, _) | (_, True) => True,
+                (True, h) => h,
+                (h, False) => match h {
+                    True => False,
+                    k => k.not(),
+                },
+                (h, k) => h.implies(k),
+            },
+            Iff(f, g) => match (f.assign(name, value), g.assign(name, value)) {
+                (True, h) | (h, True) => h,
+                (False, h) | (h, False) => match h {
+                    True => False,
+                    False => True,
+                    k => k.not(),
+                },
+                (h, k) => h.iff(k),
+            },
+            // Temporal operators: substitution under path quantifiers is not
+            // needed by any caller; keep them intact.
+            _ => self.clone(),
+        }
+    }
+
     /// Rewrite into the existential core `{True, Ap, ¬, ∧, EX, EU, EG}`
     /// using the derivation rules of §2.1:
     ///

@@ -7,9 +7,18 @@
 //! Fair `EG` uses the Emerson–Lei fixpoint
 //! `EG_fair S = νZ. S ∧ ⋀_i EX (E[S U (Z ∧ Fᵢ)])`.
 //!
-//! The checker quantifies satisfaction over **all** states of `2^Σ` (not a
-//! reachable fragment), exactly as the paper defines `M ⊨ f`
-//! (`∀s ∈ 2^Σ : s ⊨ f`) and `M ⊨_r f` (`∀s : s ⊨ I ⇒ s ⊨ f`).
+//! In **dense** mode the checker quantifies satisfaction over **all** states
+//! of `2^Σ`, exactly as the paper defines `M ⊨ f` (`∀s ∈ 2^Σ : s ⊨ f`) and
+//! `M ⊨_r f` (`∀s : s ⊨ I ⇒ s ⊨ f`). Past [`ExplicitLimits::dense_bits`]
+//! the **reachable** mode takes over: states are arbitrary-width
+//! [`StateVec`]s hash-consed to dense `u32` ids
+//! ([`crate::interner::StateInterner`]), and the CSR index is built on the
+//! fly from the initial states outward — the `2^n` universe is never
+//! enumerated. Because the reachable fragment is successor-closed and
+//! contains every state satisfying `I`, `M ⊨_r f` verdicts agree exactly
+//! with dense mode; only whole-universe satisfaction *counts* (and
+//! `M ⊨ f`, which quantifies over unreachable states too) are not available
+//! there.
 //!
 //! ## The frontier kernel
 //!
@@ -28,9 +37,13 @@
 
 use crate::ast::Formula;
 use crate::csr::CsrIndex;
+use crate::interner::StateInterner;
+use crate::limits::ExplicitLimits;
 use crate::restriction::Restriction;
 use crate::stateset::StateSet;
+use crate::statevec::StateVec;
 use cmc_kripke::{Alphabet, State, System};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Errors from the explicit checker.
@@ -47,6 +60,18 @@ pub enum CheckError {
         /// The limit the checker was configured with.
         limit: usize,
     },
+    /// Reachable construction hit the opt-in state budget
+    /// ([`ExplicitLimits::max_states`]) before discovery converged.
+    StateBudget {
+        /// States materialised before refusing.
+        explored: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// The restriction's initial-state predicate cannot seed reachable
+    /// construction (it contains a temporal operator, so SAT enumeration
+    /// is not defined on it).
+    InitNotEnumerable(String),
 }
 
 impl fmt::Display for CheckError {
@@ -62,6 +87,17 @@ impl fmt::Display for CheckError {
                 f,
                 "alphabet of {props} propositions exceeds the explicit-state limit \
                  of {limit}; use the symbolic engine"
+            ),
+            CheckError::StateBudget { explored, budget } => write!(
+                f,
+                "reachable state space exceeds the explicit-engine budget of {budget} \
+                 states ({explored} already materialised); raise ExplicitLimits::max_states \
+                 or use the symbolic engine"
+            ),
+            CheckError::InitNotEnumerable(init) => write!(
+                f,
+                "initial-state predicate {init:?} is not propositional, so reachable \
+                 explicit construction cannot enumerate its satisfying states"
             ),
         }
     }
@@ -86,9 +122,11 @@ impl Verdict {
     pub const MAX_WITNESSES: usize = 16;
 }
 
-/// Default maximum alphabet size for explicit checking (2^24 ≈ 16.7M
-/// states). [`Checker::with_limit`] accepts a different ceiling.
-pub const MAX_EXPLICIT_PROPS: usize = 24;
+/// Default dense-universe width (2^24 ≈ 16.7M states). Kept as an alias of
+/// [`ExplicitLimits::DEFAULT_DENSE_BITS`] for callers of the dense
+/// constructors; it is **not** a ceiling on explicit checking any more —
+/// wider targets go through [`Checker::reachable_from_components`].
+pub const MAX_EXPLICIT_PROPS: usize = ExplicitLimits::DEFAULT_DENSE_BITS;
 
 /// Universes smaller than this stay on the serial frontier paths even
 /// when workers are configured: the per-round fan-out overhead would
@@ -113,6 +151,18 @@ pub struct Checker {
     universe: usize,
     csr: CsrIndex,
     workers: usize,
+    space: StateSpace,
+}
+
+/// How checker indices map to states.
+#[derive(Debug)]
+enum StateSpace {
+    /// Index `i` *is* the state pattern `State(i)`; universe is `2^|Σ|`.
+    Dense,
+    /// Index `i` is a hash-cons id; universe is the interned (reachable)
+    /// state count. Every kernel below this enum is index-pure, so the
+    /// fixpoints are byte-identical between the two modes.
+    Reachable(StateInterner),
 }
 
 impl Checker {
@@ -135,6 +185,7 @@ impl Checker {
             universe: 1usize << n,
             csr: CsrIndex::from_system(system),
             workers: 1,
+            space: StateSpace::Dense,
         })
     }
 
@@ -161,6 +212,119 @@ impl Checker {
             csr: CsrIndex::from_components(systems, &union),
             alphabet: union,
             workers: 1,
+            space: StateSpace::Dense,
+        })
+    }
+
+    /// Build a **reachable-only** kernel for `M₁ ∘ … ∘ Mₙ ∘ (extra, I)`:
+    /// enumerate SAT(`init`) by pruned DFS over the union alphabet, then BFS
+    /// outward applying each component's transitions through extract/splice
+    /// on arbitrary-width [`StateVec`]s, hash-consing every discovered state
+    /// to a dense id. Neither the `2^n` universe nor any unreachable frame
+    /// padding is ever enumerated, so the width is bounded only by
+    /// [`ExplicitLimits::max_states`] (and memory), not by 24 or 128 bits.
+    ///
+    /// `M ⊨_r f` verdicts from the resulting checker agree exactly with the
+    /// dense kernel's (the fragment is successor-closed and contains all of
+    /// SAT(`init`)); whole-universe sat counts are intentionally not
+    /// reported — [`Checker::universe`] is the reachable state count here.
+    pub fn reachable_from_components(
+        systems: &[&System],
+        extra: &Alphabet,
+        init: &Formula,
+        limits: &ExplicitLimits,
+    ) -> Result<Self, CheckError> {
+        let union = systems
+            .iter()
+            .fold(Alphabet::empty(), |acc, s| acc.union(s.alphabet()))
+            .union(extra);
+        for p in init.atomic_props() {
+            if !union.contains(&p) {
+                return Err(CheckError::UnknownProposition(p));
+            }
+        }
+        if !init.is_propositional() {
+            return Err(CheckError::InitNotEnumerable(init.to_string()));
+        }
+        let budget = limits.state_budget();
+        let seeds = enumerate_sat(init, &union, budget)?;
+        // Per-component stepper: union positions it owns plus a local
+        // transition table keyed by the component-projected pattern.
+        let comps: Vec<ComponentStep> = systems
+            .iter()
+            .map(|sys| ComponentStep::new(sys, &union))
+            .collect();
+        Self::reachable_bfs(union, seeds, &comps, budget)
+    }
+
+    /// Reachable-only kernel over one materialised [`System`], seeded from
+    /// `seeds` (the SMV front-end's enumerated initial states). Same
+    /// semantics as [`Checker::reachable_from_components`] with a single
+    /// component and no extra alphabet.
+    pub fn reachable_from_system(
+        system: &System,
+        seeds: &[State],
+        limits: &ExplicitLimits,
+    ) -> Result<Self, CheckError> {
+        let union = system.alphabet().clone();
+        let width = union.len();
+        let comps = [ComponentStep::new(system, &union)];
+        let seeds = seeds
+            .iter()
+            .map(|s| StateVec::from_state(*s, width))
+            .collect();
+        Self::reachable_bfs(union, seeds, &comps, limits.state_budget())
+    }
+
+    fn reachable_bfs(
+        union: Alphabet,
+        seeds: Vec<StateVec>,
+        comps: &[ComponentStep],
+        budget: usize,
+    ) -> Result<Self, CheckError> {
+        let mut interner = StateInterner::new();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for sv in seeds {
+            if interner.len() >= budget {
+                return Err(CheckError::StateBudget {
+                    explored: interner.len(),
+                    budget,
+                });
+            }
+            interner.intern(sv);
+        }
+        // Ids are handed out in discovery order, so scanning 0..len *is*
+        // the BFS queue; `next` chases the growing tail.
+        let mut next = 0usize;
+        while next < interner.len() {
+            let id = next as u32;
+            let sv = interner.get(next).clone();
+            next += 1;
+            for comp in comps {
+                let local = sv.extract(&comp.positions);
+                let Some(targets) = comp.table.get(&local) else {
+                    continue;
+                };
+                for &t in targets {
+                    let succ = sv.splice(&comp.positions, t);
+                    if interner.lookup(&succ).is_none() && interner.len() >= budget {
+                        return Err(CheckError::StateBudget {
+                            explored: interner.len(),
+                            budget,
+                        });
+                    }
+                    let (tid, _) = interner.intern(succ);
+                    edges.push((id, tid));
+                }
+            }
+        }
+        let universe = interner.len();
+        Ok(Checker {
+            universe,
+            csr: CsrIndex::from_edges(universe, &edges),
+            alphabet: union,
+            workers: 1,
+            space: StateSpace::Reachable(interner),
         })
     }
 
@@ -196,6 +360,54 @@ impl Checker {
         &self.alphabet
     }
 
+    /// Number of states the kernel ranges over: `2^|Σ|` in dense mode, the
+    /// interned (reachable) state count in reachable mode. This — not
+    /// `2^|Σ|` — is what `StateSet::full` and the reflexive-EG collapse
+    /// quantify over, so kernels never over-report past the fragment.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Is this a reachable-only (hash-compacted) kernel?
+    pub fn is_reachable(&self) -> bool {
+        matches!(self.space, StateSpace::Reachable(_))
+    }
+
+    /// Truth of propositional `f` at kernel index `i`.
+    #[inline]
+    fn eval_index(&self, f: &Formula, i: usize) -> bool {
+        match &self.space {
+            StateSpace::Dense => f.eval_in_state(&self.alphabet, State(i as u128)),
+            StateSpace::Reachable(interner) => {
+                let sv = interner.get(i);
+                f.eval_bits(&self.alphabet, &|pos| sv.bit(pos))
+            }
+        }
+    }
+
+    /// The dense [`State`] pattern at kernel index `i`, when one exists
+    /// (`None` only in reachable mode past 128 propositions).
+    pub fn state_at(&self, i: usize) -> Option<State> {
+        match &self.space {
+            StateSpace::Dense => Some(State(i as u128)),
+            StateSpace::Reachable(interner) => interner.get(i).to_state(),
+        }
+    }
+
+    /// Kernel index of a dense state pattern, if it is in the space
+    /// (always in dense mode; iff discovered in reachable mode).
+    pub fn index_of_state(&self, s: State) -> Option<usize> {
+        match &self.space {
+            StateSpace::Dense => {
+                let i = s.0 as usize;
+                (i < self.universe).then_some(i)
+            }
+            StateSpace::Reachable(interner) => interner
+                .lookup(&StateVec::from_state(s, self.alphabet.len().min(128)))
+                .map(|id| id as usize),
+        }
+    }
+
     /// The CSR transition index (exposed for witness extraction).
     pub(crate) fn csr(&self) -> &CsrIndex {
         &self.csr
@@ -219,7 +431,7 @@ impl Checker {
                 let r = &blocks[b];
                 let mut words = vec![0u64; (r.end - r.start).div_ceil(64)];
                 for i in r.clone() {
-                    if f.eval_in_state(&self.alphabet, State(i as u128)) {
+                    if self.eval_index(f, i) {
                         words[(i - r.start) / 64] |= 1 << (i % 64);
                     }
                 }
@@ -232,9 +444,8 @@ impl Checker {
             }
         } else {
             for i in 0..self.universe {
-                let s = State(i as u128);
-                if f.eval_in_state(&self.alphabet, s) {
-                    out.insert(s);
+                if self.eval_index(f, i) {
+                    out.insert_index(i);
                 }
             }
         }
@@ -518,18 +729,25 @@ impl Checker {
 
     /// `M ⊨_r f` — `f` true in every state satisfying `r.init`,
     /// quantifying over `r.fairness`-fair paths.
+    ///
+    /// In reachable mode `sat_states` counts over the reachable fragment
+    /// (the kernel's universe), and violating witnesses past 128
+    /// propositions are omitted (no dense [`State`] pattern exists), but
+    /// `holds` is exact in both modes.
     pub fn check(&self, r: &Restriction, f: &Formula) -> Result<Verdict, CheckError> {
         let sat = self.sat_fair(f, &r.fairness)?;
         let init = self.sat(&r.init)?;
         let mut violating = Vec::new();
         let mut holds = true;
-        for s in init.iter() {
-            if !sat.contains(s) {
+        for i in init.iter_indices() {
+            if !sat.contains_index(i) {
                 holds = false;
-                if violating.len() < Verdict::MAX_WITNESSES {
-                    violating.push(s);
-                } else {
-                    break;
+                match self.state_at(i) {
+                    Some(s) if violating.len() < Verdict::MAX_WITNESSES => violating.push(s),
+                    Some(_) => break,
+                    // Too wide for a State pattern — the verdict stands
+                    // without witness seeds.
+                    None => break,
                 }
             }
         }
@@ -539,6 +757,130 @@ impl Checker {
             sat_states: sat.len(),
         })
     }
+}
+
+/// One component's contribution to the on-the-fly BFS: the union positions
+/// it owns and its transition table keyed by the locally-projected pattern.
+/// Everything off `positions` is frame (unchanged) — §3.1's interleaving
+/// semantics, realised by [`StateVec::extract`]/[`StateVec::splice`]
+/// instead of enumerating frame paddings.
+struct ComponentStep {
+    positions: Vec<usize>,
+    table: HashMap<u128, Vec<u128>>,
+}
+
+impl ComponentStep {
+    fn new(system: &System, union: &Alphabet) -> Self {
+        let positions: Vec<usize> = system
+            .alphabet()
+            .names()
+            .iter()
+            .map(|name| {
+                union
+                    .position(name)
+                    .expect("component alphabet must embed in the union")
+            })
+            .collect();
+        let mut table: HashMap<u128, Vec<u128>> = HashMap::new();
+        for (s, t) in system.proper_transitions() {
+            table.entry(s.0).or_default().push(t.0);
+        }
+        ComponentStep { positions, table }
+    }
+}
+
+/// Enumerate SAT(`init`) over `alphabet` by DFS with partial evaluation:
+/// each proposition is assigned in turn and the formula constant-folded
+/// ([`Formula::assign`]), so branches die as soon as the residual hits
+/// `False` and fully-true residuals fill their free suffix directly. A
+/// one-hot predicate over 30 propositions thus yields its 30 states in
+/// ~30² steps, not 2^30. Fails with [`CheckError::StateBudget`] once more
+/// than `budget` satisfying states exist.
+fn enumerate_sat(
+    init: &Formula,
+    alphabet: &Alphabet,
+    budget: usize,
+) -> Result<Vec<StateVec>, CheckError> {
+    let n = alphabet.len();
+    let mut out = Vec::new();
+    let mut cur = StateVec::zero(n);
+    sat_dfs(init, alphabet, 0, n, &mut cur, &mut out, budget)?;
+    Ok(out)
+}
+
+fn sat_dfs(
+    f: &Formula,
+    alphabet: &Alphabet,
+    pos: usize,
+    n: usize,
+    cur: &mut StateVec,
+    out: &mut Vec<StateVec>,
+    budget: usize,
+) -> Result<(), CheckError> {
+    match f {
+        Formula::False => return Ok(()),
+        Formula::True => {
+            // Every completion of the remaining positions satisfies; spill
+            // them all (budget-guarded) without further substitution.
+            return fill_free(pos, n, cur, out, budget);
+        }
+        _ => {}
+    }
+    if pos == n {
+        // All propositions assigned: the residual is a constant expression
+        // (assign folded every Ap away), so evaluation is trivial.
+        if f.eval_bits(alphabet, &|p| cur.bit(p)) {
+            push_sat(cur, out, budget)?;
+        }
+        return Ok(());
+    }
+    let name = alphabet.name(pos);
+    for value in [false, true] {
+        let g = f.assign(name, value);
+        cur.set(pos, value);
+        sat_dfs(&g, alphabet, pos + 1, n, cur, out, budget)?;
+    }
+    cur.set(pos, false);
+    Ok(())
+}
+
+fn fill_free(
+    pos: usize,
+    n: usize,
+    cur: &mut StateVec,
+    out: &mut Vec<StateVec>,
+    budget: usize,
+) -> Result<(), CheckError> {
+    if pos == n {
+        return push_sat(cur, out, budget);
+    }
+    // All 2^(n-pos) completions will be pushed — refuse up front when that
+    // must blow the budget, instead of materialising budget-many states
+    // first (a trivial init over a wide alphabet refuses in O(1)).
+    let free = n - pos;
+    if free >= usize::BITS as usize || out.len().saturating_add(1usize << free) > budget {
+        return Err(CheckError::StateBudget {
+            explored: out.len(),
+            budget,
+        });
+    }
+    for value in [false, true] {
+        cur.set(pos, value);
+        fill_free(pos + 1, n, cur, out, budget)?;
+    }
+    cur.set(pos, false);
+    Ok(())
+}
+
+fn push_sat(cur: &StateVec, out: &mut Vec<StateVec>, budget: usize) -> Result<(), CheckError> {
+    if out.len() >= budget {
+        return Err(CheckError::StateBudget {
+            explored: out.len(),
+            budget,
+        });
+    }
+    out.push(cur.clone());
+    Ok(())
 }
 
 #[cfg(test)]
@@ -783,6 +1125,174 @@ mod tests {
             assert_eq!(v.violating, v0.violating);
             assert_eq!(v.sat_states, v0.sat_states);
         }
+    }
+
+    /// An `n`-station token ring as hand-built components: station `i`
+    /// owns `{t_i, t_(i+1 mod n)}` and passes the token along. With a
+    /// one-hot initial state only the `n` one-hot valuations are
+    /// reachable, out of a `2^n` dense universe.
+    fn ring_stations(n: usize) -> Vec<System> {
+        (0..n)
+            .map(|i| {
+                let j = (i + 1) % n;
+                let here = format!("t{i}");
+                let next = format!("t{j}");
+                let mut m = System::new(Alphabet::new([here.clone(), next.clone()]));
+                m.add_transition_named(&[&here], &[&next]);
+                m
+            })
+            .collect()
+    }
+
+    fn one_hot(n: usize) -> Formula {
+        Formula::or_many((0..n).map(|i| {
+            Formula::and_many((0..n).map(|j| {
+                let p = Formula::ap(format!("t{j}"));
+                if i == j {
+                    p
+                } else {
+                    p.not()
+                }
+            }))
+        }))
+    }
+
+    #[test]
+    fn reachable_kernel_matches_dense_verdicts() {
+        let stations = ring_stations(6);
+        let refs: Vec<&System> = stations.iter().collect();
+        let extra = Alphabet::empty();
+        let r = Restriction::with_init(one_hot(6));
+        let dense = Checker::from_components(&refs, &extra, MAX_EXPLICIT_PROPS).unwrap();
+        let limits = ExplicitLimits::default();
+        let reach = Checker::reachable_from_components(&refs, &extra, &r.init, &limits).unwrap();
+        assert!(reach.is_reachable() && !dense.is_reachable());
+        for spec in [
+            ap("t0").implies(ap("t1").ef()),
+            one_hot(6).ag(),
+            ap("t0").ef(),
+            ap("t0").not().eg(),
+        ] {
+            let vd = dense.check(&r, &spec).unwrap();
+            let vr = reach.check(&r, &spec).unwrap();
+            assert_eq!(vd.holds, vr.holds, "verdicts disagree on {spec}");
+            assert_eq!(
+                vd.violating, vr.violating,
+                "witness seeds disagree on {spec}"
+            );
+        }
+    }
+
+    /// Regression (PR 9 satellite): kernels that quantify over the
+    /// universe (`StateSet::full`, the reflexive-EG collapse,
+    /// `holds_everywhere`) must use the *interned* state count in
+    /// reachable mode. The dense kernel counts all `2^n` valuations —
+    /// including the 2^6 − 6 unreachable ones — so its sat counts
+    /// over-report; the reachable kernel's universe is exactly the ring's
+    /// 6 one-hot states.
+    #[test]
+    fn reachable_universe_is_interned_count_not_a_power_of_two() {
+        let n = 6;
+        let stations = ring_stations(n);
+        let refs: Vec<&System> = stations.iter().collect();
+        let extra = Alphabet::empty();
+        let init = one_hot(n);
+        let dense = Checker::from_components(&refs, &extra, MAX_EXPLICIT_PROPS).unwrap();
+        let reach =
+            Checker::reachable_from_components(&refs, &extra, &init, &ExplicitLimits::default())
+                .unwrap();
+        assert_eq!(dense.universe(), 1 << n);
+        assert_eq!(reach.universe(), n, "only the one-hot states are reachable");
+        // EG true = true collapses to the whole universe in both modes —
+        // the dense count includes unreachable paddings, the reachable one
+        // does not.
+        let eg_true = Formula::True.eg();
+        assert_eq!(dense.sat(&eg_true).unwrap().len(), 1 << n);
+        assert_eq!(reach.sat(&eg_true).unwrap().len(), n);
+        // Over the fragment, one-hot is an invariant: every reachable
+        // state satisfies it, so holds_everywhere is true there while the
+        // dense universe (rightly, per M ⊨ f) says no.
+        assert!(reach.holds_everywhere(&init).unwrap());
+        assert!(!dense.holds_everywhere(&init).unwrap());
+        // Restricted verdicts still agree exactly.
+        let r = Restriction::with_init(init.clone());
+        let spec = init.clone().ag();
+        assert_eq!(
+            dense.check(&r, &spec).unwrap().holds,
+            reach.check(&r, &spec).unwrap().holds
+        );
+    }
+
+    #[test]
+    fn reachable_construction_honours_the_state_budget() {
+        let stations = ring_stations(8);
+        let refs: Vec<&System> = stations.iter().collect();
+        let extra = Alphabet::empty();
+        // 8 reachable states against a budget of 4: refuse, telling the
+        // caller how far discovery got.
+        let limits = ExplicitLimits {
+            dense_bits: 0,
+            max_states: Some(4),
+        };
+        let err =
+            Checker::reachable_from_components(&refs, &extra, &one_hot(8), &limits).unwrap_err();
+        assert_eq!(
+            err,
+            CheckError::StateBudget {
+                explored: 4,
+                budget: 4
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("budget of 4"), "{msg}");
+        // Unbounded limits admit the same construction.
+        let ok = Checker::reachable_from_components(
+            &refs,
+            &extra,
+            &one_hot(8),
+            &ExplicitLimits::unbounded(),
+        )
+        .unwrap();
+        assert_eq!(ok.universe(), 8);
+    }
+
+    #[test]
+    fn reachable_rejects_temporal_init() {
+        let stations = ring_stations(4);
+        let refs: Vec<&System> = stations.iter().collect();
+        let err = Checker::reachable_from_components(
+            &refs,
+            &Alphabet::empty(),
+            &ap("t0").ef(),
+            &ExplicitLimits::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CheckError::InitNotEnumerable(_)));
+    }
+
+    #[test]
+    fn reachable_witness_extraction_works_by_index() {
+        let stations = ring_stations(5);
+        let refs: Vec<&System> = stations.iter().collect();
+        let reach = Checker::reachable_from_components(
+            &refs,
+            &Alphabet::empty(),
+            &one_hot(5),
+            &ExplicitLimits::default(),
+        )
+        .unwrap();
+        // AG t0 fails from the t0 state: the token moves on.
+        let r = Restriction::with_init(ap("t0"));
+        let v = reach.check(&r, &ap("t0").ag()).unwrap();
+        assert!(!v.holds);
+        assert_eq!(v.violating.len(), 1);
+        let from = reach.sat(&ap("t0")).unwrap();
+        let w = reach.counterexample_ag(&from, &ap("t0")).unwrap().unwrap();
+        assert!(!w.stem.is_empty());
+        let last = *w.stem.last().unwrap();
+        // The final state is a one-hot state without the token at 0.
+        let al = reach.alphabet().clone();
+        assert!(!last.contains_named(&al, "t0"));
     }
 
     #[test]

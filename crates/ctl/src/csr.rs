@@ -45,6 +45,16 @@ impl CsrIndex {
         Self::build(universe, system.proper_transition_count(), edges)
     }
 
+    /// Build from an explicit edge list over an arbitrary dense-id space.
+    ///
+    /// This is the entry point for the reachable-only kernel: the on-the-fly
+    /// BFS interns states to dense ids (`0..universe`) and hands the edges it
+    /// discovered here — the universe is the *interned* state count, not a
+    /// power of two, and no frame padding is ever enumerated.
+    pub fn from_edges(universe: usize, edges: &[(u32, u32)]) -> Self {
+        Self::build(universe, edges.len(), || edges.iter().copied())
+    }
+
     /// Index the interleaving composition `M₁ ∘ … ∘ Mₙ ∘ (extra, I)`
     /// directly from its components: each component transition is embedded
     /// into the union alphabet and replicated over every valuation of the

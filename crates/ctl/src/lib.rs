@@ -37,19 +37,25 @@
 pub mod ast;
 pub mod checker;
 pub mod csr;
+pub mod interner;
+pub mod limits;
 pub mod parser;
 pub mod restriction;
 pub mod rewrite;
 pub mod simulation;
 pub mod stateset;
+pub mod statevec;
 pub mod witness;
 
 pub use ast::Formula;
 pub use checker::{CheckError, Checker, Verdict, MAX_EXPLICIT_PROPS};
 pub use csr::CsrIndex;
+pub use interner::StateInterner;
+pub use limits::ExplicitLimits;
 pub use parser::{parse, ParseError};
 pub use restriction::Restriction;
 pub use rewrite::{formula_size, simplify};
 pub use simulation::{simulates_explicit, SimError, MAX_SIM_PAIR_PROPS};
 pub use stateset::StateSet;
+pub use statevec::StateVec;
 pub use witness::WitnessPath;

@@ -1,0 +1,198 @@
+//! Arbitrary-width packed state vectors for the reachable-only kernel.
+//!
+//! The dense kernel identifies a state with its `u128` bit pattern, which
+//! caps the union alphabet at 128 propositions and forces every set to
+//! span the whole `2^n` universe. [`StateVec`] removes the cap: a state
+//! over `n` propositions is an `n`-bit packed vector, stored inline (one
+//! `u128` word) while `n ≤ 128` and on the heap (a boxed `u64` slice)
+//! beyond — the SmallVec layout, so the common compositional widths pay
+//! no allocation at all.
+//!
+//! Vectors are *canonical*: widths up to 128 are always the inline
+//! representation and trailing bits beyond the width are always zero, so
+//! the derived `Eq`/`Hash` are structural equality of the valuation —
+//! exactly what the hash-cons interner ([`crate::interner::StateInterner`])
+//! needs.
+
+use cmc_kripke::State;
+
+/// A packed bit vector of `width` propositions (canonical representation;
+/// see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StateVec {
+    width: u32,
+    repr: Repr,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// Widths `0..=128`.
+    Inline(u128),
+    /// Widths `> 128`: exactly `width.div_ceil(64)` words, tail bits zero.
+    Heap(Box<[u64]>),
+}
+
+impl StateVec {
+    /// The all-false valuation over `width` propositions.
+    pub fn zero(width: usize) -> Self {
+        let repr = if width <= 128 {
+            Repr::Inline(0)
+        } else {
+            Repr::Heap(vec![0u64; width.div_ceil(64)].into_boxed_slice())
+        };
+        StateVec {
+            width: width as u32,
+            repr,
+        }
+    }
+
+    /// Number of propositions this vector ranges over.
+    pub fn width(&self) -> usize {
+        self.width as usize
+    }
+
+    /// Lift a dense [`State`] pattern into a vector of `width ≤ 128` bits.
+    pub fn from_state(s: State, width: usize) -> Self {
+        assert!(width <= 128, "State patterns carry at most 128 bits");
+        debug_assert!(
+            width == 128 || s.0 >> width == 0,
+            "pattern wider than width"
+        );
+        StateVec {
+            width: width as u32,
+            repr: Repr::Inline(s.0),
+        }
+    }
+
+    /// The dense [`State`] pattern, when the width permits one.
+    pub fn to_state(&self) -> Option<State> {
+        match &self.repr {
+            Repr::Inline(bits) => Some(State(*bits)),
+            Repr::Heap(_) => None,
+        }
+    }
+
+    /// Value of the bit at `pos`.
+    #[inline]
+    pub fn bit(&self, pos: usize) -> bool {
+        debug_assert!(pos < self.width());
+        match &self.repr {
+            Repr::Inline(bits) => bits >> pos & 1 == 1,
+            Repr::Heap(words) => words[pos / 64] >> (pos % 64) & 1 == 1,
+        }
+    }
+
+    /// Set the bit at `pos`.
+    #[inline]
+    pub fn set(&mut self, pos: usize, value: bool) {
+        debug_assert!(pos < self.width());
+        match &mut self.repr {
+            Repr::Inline(bits) => {
+                if value {
+                    *bits |= 1u128 << pos;
+                } else {
+                    *bits &= !(1u128 << pos);
+                }
+            }
+            Repr::Heap(words) => {
+                if value {
+                    words[pos / 64] |= 1u64 << (pos % 64);
+                } else {
+                    words[pos / 64] &= !(1u64 << (pos % 64));
+                }
+            }
+        }
+    }
+
+    /// Gather the bits at `positions` (component projection): bit `j` of
+    /// the result is the vector's bit at `positions[j]`. At most 128
+    /// positions — component alphabets always fit a `u128` even when the
+    /// union does not.
+    pub fn extract(&self, positions: &[usize]) -> u128 {
+        debug_assert!(positions.len() <= 128);
+        let mut out = 0u128;
+        for (j, &pos) in positions.iter().enumerate() {
+            if self.bit(pos) {
+                out |= 1u128 << j;
+            }
+        }
+        out
+    }
+
+    /// A copy with the bits at `positions` replaced by `pattern` (bit `j`
+    /// of `pattern` lands at `positions[j]`) — the frame-preserving
+    /// component step of §3.1: everything off `positions` is untouched.
+    pub fn splice(&self, positions: &[usize], pattern: u128) -> StateVec {
+        let mut out = self.clone();
+        for (j, &pos) in positions.iter().enumerate() {
+            out.set(pos, pattern >> j & 1 == 1);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_roundtrip_and_bits() {
+        let mut v = StateVec::zero(100);
+        assert_eq!(v.width(), 100);
+        v.set(0, true);
+        v.set(63, true);
+        v.set(64, true);
+        v.set(99, true);
+        for pos in [0, 63, 64, 99] {
+            assert!(v.bit(pos));
+        }
+        assert!(!v.bit(1) && !v.bit(98));
+        v.set(63, false);
+        assert!(!v.bit(63));
+        let s = v.to_state().unwrap();
+        assert_eq!(StateVec::from_state(s, 100), v);
+    }
+
+    #[test]
+    fn heap_crossover_past_128() {
+        let mut v = StateVec::zero(130);
+        assert!(v.to_state().is_none(), "width 130 has no dense pattern");
+        v.set(129, true);
+        v.set(5, true);
+        assert!(v.bit(129) && v.bit(5) && !v.bit(128));
+        // Equality and hashing are structural on the valuation.
+        let mut w = StateVec::zero(130);
+        w.set(5, true);
+        assert_ne!(v, w);
+        w.set(129, true);
+        assert_eq!(v, w);
+        use std::collections::HashSet;
+        let set: HashSet<StateVec> = [v.clone(), w].into_iter().collect();
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn extract_and_splice_are_inverse_on_owned_bits() {
+        for width in [20, 130] {
+            let mut v = StateVec::zero(width);
+            v.set(1, true);
+            v.set(width - 1, true);
+            let positions = [1usize, 3, width - 1];
+            assert_eq!(v.extract(&positions), 0b101);
+            let w = v.splice(&positions, 0b010);
+            assert_eq!(w.extract(&positions), 0b010);
+            assert!(!w.bit(1) && w.bit(3) && !w.bit(width - 1));
+            // Bits off the positions are untouched.
+            let mut x = v.clone();
+            x.set(0, true);
+            assert!(x.splice(&positions, 0).bit(0));
+        }
+    }
+
+    #[test]
+    fn exact_128_stays_inline() {
+        let mut v = StateVec::zero(128);
+        v.set(127, true);
+        assert_eq!(v.to_state(), Some(State(1u128 << 127)));
+    }
+}

@@ -120,44 +120,58 @@ impl fmt::Display for WitnessDisplay<'_> {
 }
 
 impl Checker {
+    /// Map a path of kernel indices to dense [`State`]s. `None` when the
+    /// space is too wide for `State` patterns (reachable mode past 128
+    /// propositions) — verdicts still stand, but traces are unavailable.
+    fn states_of_indices(&self, idxs: &[usize]) -> Option<Vec<State>> {
+        idxs.iter().map(|&i| self.state_at(i)).collect()
+    }
+
+    /// Reconstruct root→`last` from a BFS parent map (roots are their own
+    /// parent), then append nothing: `last` must already be in the map.
+    fn unwind(parent: &BTreeMap<usize, usize>, last: usize) -> Vec<usize> {
+        let mut path = vec![last];
+        let mut cur = last;
+        loop {
+            let p = parent[&cur];
+            if p == cur {
+                break;
+            }
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
     /// A shortest path from some state of `from` to some state of `to`
-    /// (both may include stutter steps). `None` if unreachable.
+    /// (both may include stutter steps). `None` if unreachable (or the
+    /// space is too wide to render states).
     pub fn find_path(&self, from: &StateSet, to: &StateSet) -> Option<WitnessPath> {
         // BFS over proper successors (stutter never helps a shortest path
         // except the trivial one).
-        let mut parent: BTreeMap<State, State> = BTreeMap::new();
-        let mut queue: std::collections::VecDeque<State> = Default::default();
-        for s in from.iter() {
-            if to.contains(s) {
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: std::collections::VecDeque<usize> = Default::default();
+        for i in from.iter_indices() {
+            if to.contains_index(i) {
                 return Some(WitnessPath {
-                    stem: vec![s],
+                    stem: self.states_of_indices(&[i])?,
                     cycle: vec![],
                 });
             }
-            parent.insert(s, s);
-            queue.push_back(s);
+            parent.insert(i, i);
+            queue.push_back(i);
         }
         while let Some(s) = queue.pop_front() {
-            for t in self.csr().successor_states(s) {
+            for &t in self.csr().successors(s) {
+                let t = t as usize;
                 if parent.contains_key(&t) {
                     continue;
                 }
                 parent.insert(t, s);
-                if to.contains(t) {
-                    // Reconstruct.
-                    let mut path = vec![t];
-                    let mut cur = s;
-                    loop {
-                        path.push(cur);
-                        let p = parent[&cur];
-                        if p == cur {
-                            break;
-                        }
-                        cur = p;
-                    }
-                    path.reverse();
+                if to.contains_index(t) {
                     return Some(WitnessPath {
-                        stem: path,
+                        stem: self.states_of_indices(&Self::unwind(&parent, t))?,
                         cycle: vec![],
                     });
                 }
@@ -183,42 +197,38 @@ impl Checker {
         // Direct hit?
         let mut direct = from.clone();
         direct.intersect_with(&sat_g);
-        if let Some(s) = direct.iter().next() {
+        if let Some(i) = direct.iter_indices().next() {
             return Ok(Some(WitnessPath {
-                stem: vec![s],
+                stem: match self.states_of_indices(&[i]) {
+                    Some(stem) => stem,
+                    None => return Ok(None),
+                },
                 cycle: vec![],
             }));
         }
         // BFS through f-states only.
-        let mut parent: BTreeMap<State, State> = BTreeMap::new();
-        let mut queue: std::collections::VecDeque<State> = Default::default();
-        for s in sources.iter() {
-            parent.insert(s, s);
-            queue.push_back(s);
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: std::collections::VecDeque<usize> = Default::default();
+        for i in sources.iter_indices() {
+            parent.insert(i, i);
+            queue.push_back(i);
         }
         while let Some(s) = queue.pop_front() {
-            for t in self.csr().successor_states(s) {
+            for &t in self.csr().successors(s) {
+                let t = t as usize;
                 if parent.contains_key(&t) {
                     continue;
                 }
-                if sat_g.contains(t) {
-                    let mut path = vec![t];
-                    let mut cur = s;
-                    loop {
-                        path.push(cur);
-                        let p = parent[&cur];
-                        if p == cur {
-                            break;
-                        }
-                        cur = p;
-                    }
-                    path.reverse();
-                    return Ok(Some(WitnessPath {
-                        stem: path,
-                        cycle: vec![],
-                    }));
+                if sat_g.contains_index(t) {
+                    parent.insert(t, s);
+                    return Ok(self
+                        .states_of_indices(&Self::unwind(&parent, t))
+                        .map(|stem| WitnessPath {
+                            stem,
+                            cycle: vec![],
+                        }));
                 }
-                if sat_f.contains(t) {
+                if sat_f.contains_index(t) {
                     parent.insert(t, s);
                     queue.push_back(t);
                 }
@@ -239,24 +249,32 @@ impl Checker {
         let eg = self.sat(&f.clone().eg())?;
         let mut sources = from.clone();
         sources.intersect_with(&eg);
-        let Some(start) = sources.iter().next() else {
+        let Some(start) = sources.iter_indices().next() else {
             return Ok(None);
         };
         // Walk within the EG set until a state repeats.
-        let mut order: Vec<State> = vec![start];
-        let mut seen: BTreeMap<State, usize> = BTreeMap::new();
+        let mut order: Vec<usize> = vec![start];
+        let mut seen: BTreeMap<usize, usize> = BTreeMap::new();
         seen.insert(start, 0);
         let mut cur = start;
         loop {
             // Prefer a proper successor inside EG; fall back to stutter.
             let next = self
                 .csr()
-                .successor_states(cur)
-                .find(|t| eg.contains(*t))
+                .successors(cur)
+                .iter()
+                .map(|&t| t as usize)
+                .find(|&t| eg.contains_index(t))
                 .unwrap_or(cur);
             if let Some(&idx) = seen.get(&next) {
-                let stem = order[..idx].to_vec();
-                let cycle = order[idx..].to_vec();
+                let stem = match self.states_of_indices(&order[..idx]) {
+                    Some(stem) => stem,
+                    None => return Ok(None),
+                };
+                let cycle = match self.states_of_indices(&order[idx..]) {
+                    Some(cycle) => cycle,
+                    None => return Ok(None),
+                };
                 return Ok(Some(WitnessPath { stem, cycle }));
             }
             seen.insert(next, order.len());
@@ -287,7 +305,7 @@ impl Checker {
         let w = self.sat_fair(&f.clone().eg(), fairness)?;
         let mut sources = from.clone();
         sources.intersect_with(&w);
-        let Some(start) = sources.iter().next() else {
+        let Some(start) = sources.iter_indices().next() else {
             return Ok(None);
         };
         // Targets per phase: fair-EG states satisfying the constraint.
@@ -301,18 +319,27 @@ impl Checker {
             })
             .collect::<Result<_, _>>()?;
 
-        let mut order: Vec<State> = vec![start];
-        let mut visited: BTreeMap<(State, usize), usize> = BTreeMap::new();
+        let mut order: Vec<usize> = vec![start];
+        let mut visited: BTreeMap<(usize, usize), usize> = BTreeMap::new();
         let mut cur = start;
         let mut phase = 0usize;
         loop {
             if let Some(&idx) = visited.get(&(cur, phase)) {
                 // order[idx] == cur == order.last(): drop the duplicate
                 // tail state so the cycle lists each state once.
-                let stem = order[..idx].to_vec();
-                let mut cycle = order[idx..order.len() - 1].to_vec();
+                let stem = match self.states_of_indices(&order[..idx]) {
+                    Some(stem) => stem,
+                    None => return Ok(None),
+                };
+                let mut cycle = match self.states_of_indices(&order[idx..order.len() - 1]) {
+                    Some(cycle) => cycle,
+                    None => return Ok(None),
+                };
                 if cycle.is_empty() {
-                    cycle.push(cur); // pure stutter lasso
+                    match self.state_at(cur) {
+                        Some(s) => cycle.push(s), // pure stutter lasso
+                        None => return Ok(None),
+                    }
                 }
                 return Ok(Some(WitnessPath { stem, cycle }));
             }
@@ -326,41 +353,31 @@ impl Checker {
         }
     }
 
-    /// A shortest path from `from` to some state of `targets` moving only
-    /// through states of `within` (stutter-free BFS; `from` itself counts
-    /// if already a target). `None` if unreachable.
+    /// A shortest index path from `from` to some state of `targets` moving
+    /// only through states of `within` (stutter-free BFS; `from` itself
+    /// counts if already a target). `None` if unreachable.
     fn path_within(
         &self,
         within: &StateSet,
-        from: State,
+        from: usize,
         targets: &StateSet,
-    ) -> Option<Vec<State>> {
-        if targets.contains(from) {
+    ) -> Option<Vec<usize>> {
+        if targets.contains_index(from) {
             return Some(vec![from]);
         }
-        let mut parent: BTreeMap<State, State> = BTreeMap::new();
-        let mut queue: std::collections::VecDeque<State> = Default::default();
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: std::collections::VecDeque<usize> = Default::default();
         parent.insert(from, from);
         queue.push_back(from);
         while let Some(s) = queue.pop_front() {
-            for t in self.csr().successor_states(s) {
-                if parent.contains_key(&t) || !within.contains(t) {
+            for &t in self.csr().successors(s) {
+                let t = t as usize;
+                if parent.contains_key(&t) || !within.contains_index(t) {
                     continue;
                 }
                 parent.insert(t, s);
-                if targets.contains(t) {
-                    let mut path = vec![t];
-                    let mut cur = s;
-                    loop {
-                        path.push(cur);
-                        let p = parent[&cur];
-                        if p == cur {
-                            break;
-                        }
-                        cur = p;
-                    }
-                    path.reverse();
-                    return Some(path);
+                if targets.contains_index(t) {
+                    return Some(Self::unwind(&parent, t));
                 }
                 queue.push_back(t);
             }

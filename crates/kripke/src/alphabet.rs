@@ -29,12 +29,10 @@ impl Alphabet {
             let prev = index.insert(n.clone(), i);
             assert!(prev.is_none(), "duplicate atomic proposition {n:?}");
         }
-        assert!(
-            names.len() <= crate::state::MAX_PROPS,
-            "explicit-state alphabets are limited to {} propositions; \
-             use the symbolic engine for larger systems",
-            crate::state::MAX_PROPS
-        );
+        // No width cap here: union alphabets of wide compositions go past
+        // 128 names, and the reachable kernel's packed bitvecs address
+        // them fine. The `MAX_PROPS` cap lives on [`crate::System`], whose
+        // `State`-pair transitions really are 128-bit-bounded.
         Alphabet { names, index }
     }
 

@@ -24,7 +24,18 @@ pub struct System {
 impl System {
     /// A system over `alphabet` with only the implicit stutter transitions —
     /// this is exactly the identity element `(Σ, I)` of Lemma 3.
+    ///
+    /// Panics past [`crate::state::MAX_PROPS`] propositions: explicit
+    /// transitions are `State` (`u128`) pairs, so a single system is
+    /// 128-bit-bounded. Wider *union* alphabets are fine — compose narrow
+    /// systems and let the reachable kernel pack their product states.
     pub fn new(alphabet: Alphabet) -> Self {
+        assert!(
+            alphabet.len() <= crate::state::MAX_PROPS,
+            "explicit-state systems are limited to {} propositions; \
+             compose narrower components or use the symbolic engine",
+            crate::state::MAX_PROPS
+        );
         System {
             alphabet,
             succ: BTreeMap::new(),

@@ -3,7 +3,7 @@
 
 use crate::ast::Module;
 use crate::compile::{compile, CompiledModel};
-use crate::explicit::{compile_explicit, ExplicitCompiled, EXPLICIT_BIT_LIMIT};
+use crate::explicit::{compile_explicit, ExplicitCompiled};
 use crate::parse::parse_module;
 use cmc_core::engine::{Component, Engine, EngineError, Substitution};
 use cmc_core::BackendChoice;
@@ -83,13 +83,29 @@ pub fn run_compiled(mut compiled: CompiledModel) -> Result<RunOutcome, DriverErr
     })
 }
 
+/// The driver's `Auto` plan: prefer the explicit engine when the model's
+/// *valid-state count* (`Π|domᵢ|`, not `2^bits`) is small enough to
+/// enumerate cheaply and the encoding fits 128 bits; route symbolic
+/// beyond. A state count rather than a bit cliff: ten three-valued enums
+/// encode to 20 bits but only 59049 states and stay explicit, while 25
+/// booleans (33M states) go to the BDD engine.
+fn auto_prefers_explicit(module: &Module) -> bool {
+    const AUTO_STATES: u128 = 1 << 16;
+    let bits: usize = module.vars.iter().map(|(_, ty)| ty.bits()).sum();
+    let states = module.vars.iter().try_fold(1u128, |acc, (_, ty)| {
+        acc.checked_mul(ty.cardinality() as u128)
+    });
+    bits <= 128 && states.is_some_and(|n| n <= AUTO_STATES)
+}
+
 /// Verify every `SPEC` through the engine selected by `choice`.
 ///
 /// `Symbolic` runs the BDD checker (same pipeline as [`run_source`]);
 /// `Explicit` runs the independent explicit-state compilation (and fails
-/// with a semantic error past its [`EXPLICIT_BIT_LIMIT`]-bit budget);
-/// `Auto` picks the explicit engine while the model's boolean encoding
-/// fits that budget and the symbolic engine beyond it — so wide models
+/// with a semantic error past its [`cmc_ctl::ExplicitLimits`] state
+/// budget);
+/// `Auto` picks the explicit engine while the model's valid-state count
+/// stays enumerable and the symbolic engine beyond it — so wide models
 /// verify instead of erroring. The report's trailer names the engine
 /// that ran.
 pub fn run_source_with_backend(
@@ -97,11 +113,10 @@ pub fn run_source_with_backend(
     choice: BackendChoice,
 ) -> Result<RunOutcome, DriverError> {
     let module = parse_module(src).map_err(|e| DriverError::Parse(e.to_string()))?;
-    let bits: usize = module.vars.iter().map(|(_, ty)| ty.bits()).sum();
     let use_explicit = match choice {
         BackendChoice::Explicit => true,
         BackendChoice::Symbolic => false,
-        BackendChoice::Auto => bits <= EXPLICIT_BIT_LIMIT,
+        BackendChoice::Auto => auto_prefers_explicit(&module),
     };
     if use_explicit {
         run_module_explicit(&module)
@@ -303,11 +318,10 @@ pub fn run_source_with_store_and_backend(
     choice: BackendChoice,
 ) -> Result<RunOutcome, DriverError> {
     let module = parse_module(src).map_err(|e| DriverError::Parse(e.to_string()))?;
-    let bits: usize = module.vars.iter().map(|(_, ty)| ty.bits()).sum();
     let use_explicit = match choice {
         BackendChoice::Explicit => true,
         BackendChoice::Symbolic => false,
-        BackendChoice::Auto => bits <= EXPLICIT_BIT_LIMIT,
+        BackendChoice::Auto => auto_prefers_explicit(&module),
     };
     if use_explicit {
         run_module_explicit_with_store(src, &module, store)
@@ -472,7 +486,8 @@ fn render_report(compiled: &CompiledModel, lines: Vec<String>, user_time: Durati
 /// and the independent explicit-state compilation — and fail loudly if
 /// they ever disagree. Slower, but the strongest possible answer; intended
 /// for certification runs and for models small enough to enumerate
-/// (explicit compilation is limited to 20 encoded bits).
+/// (explicit compilation is budgeted by valid-state count; see
+/// [`cmc_ctl::ExplicitLimits`]).
 pub fn run_source_validated(src: &str) -> Result<RunOutcome, DriverError> {
     let module = parse_module(src).map_err(|e| DriverError::Parse(e.to_string()))?;
     let compiled =

@@ -11,13 +11,8 @@
 use crate::ast::{Expr, Module, Type};
 use crate::check::{check_module, SemError, Symbols};
 use crate::compile::CompiledVar;
-use cmc_ctl::{Checker, Formula, Restriction};
+use cmc_ctl::{Checker, ExplicitLimits, Formula, Restriction, StateSet};
 use cmc_kripke::{Alphabet, State, System};
-
-/// Explicit compilation enumerates `2^bits` states, so it is limited to
-/// this many encoded bits (the driver's `Auto` backend policy switches to
-/// the symbolic engine beyond it).
-pub const EXPLICIT_BIT_LIMIT: usize = 20;
 
 /// An SMV module compiled to an explicit system.
 #[derive(Debug)]
@@ -36,6 +31,9 @@ pub struct ExplicitCompiled {
     /// names) → bit-level propositional formula. Used by
     /// [`ExplicitCompiled::parse_formula`].
     pub atoms: std::collections::BTreeMap<String, Formula>,
+    /// The limits this module was compiled under; checking consults
+    /// `dense_bits` to pick the dense or reachable-only kernel.
+    pub limits: ExplicitLimits,
 }
 
 /// A concrete value during evaluation.
@@ -75,8 +73,26 @@ struct Ctx<'m> {
     domains: Vec<Vec<String>>,
 }
 
-/// Compile a module to an explicit system. Runs the semantic checker.
+/// Compile a module to an explicit system under the default
+/// [`ExplicitLimits`]. Runs the semantic checker.
 pub fn compile_explicit(module: &Module) -> Result<ExplicitCompiled, SemError> {
+    compile_explicit_with(module, &ExplicitLimits::default())
+}
+
+/// Compile a module to an explicit system. Runs the semantic checker.
+///
+/// Compilation enumerates the *valid* states — the product of the variable
+/// domains, not the `2^bits` bit universe — because the composition layer
+/// takes the component `.system`s and composes them itself; dropping
+/// unreachable valid states here would change what the product means. The
+/// budget guard is therefore in **states** (`Π|domᵢ|` against
+/// `limits.max_states`), with a hard 128-bit cap from the `State` encoding.
+/// Models whose bit width exceeds `limits.dense_bits` are still *checked*
+/// reachable-only (see [`ExplicitCompiled::check_spec`]).
+pub fn compile_explicit_with(
+    module: &Module,
+    limits: &ExplicitLimits,
+) -> Result<ExplicitCompiled, SemError> {
     check_module(module)?;
     let syms = Symbols::new(module)?;
 
@@ -99,10 +115,23 @@ pub fn compile_explicit(module: &Module) -> Result<ExplicitCompiled, SemError> {
         });
     }
     let total_bits: usize = vars.iter().map(|v| v.bit_names.len()).sum();
-    if total_bits > EXPLICIT_BIT_LIMIT {
+    if total_bits > 128 {
         return Err(SemError(format!(
-            "explicit compilation limited to {EXPLICIT_BIT_LIMIT} bits, model needs {total_bits}"
+            "explicit compilation limited to 128 encoded bits, model needs {total_bits}"
         )));
+    }
+    let valid_count = domains
+        .iter()
+        .try_fold(1u128, |acc, d| acc.checked_mul(d.len() as u128));
+    let budget = limits.state_budget() as u128;
+    match valid_count {
+        Some(n) if n <= budget => {}
+        _ => {
+            return Err(SemError(format!(
+                "explicit compilation budgeted to {budget} states, model has {} valid states",
+                valid_count.map_or_else(|| "over 2^128".to_string(), |n| n.to_string())
+            )))
+        }
     }
     let alphabet = Alphabet::new(bit_names);
     let ctx = Ctx {
@@ -254,29 +283,54 @@ pub fn compile_explicit(module: &Module) -> Result<ExplicitCompiled, SemError> {
         specs,
         vars: ctx.vars,
         atoms,
+        limits: *limits,
     })
 }
 
 impl ExplicitCompiled {
+    /// Build the checker this module's width calls for: dense labelling up
+    /// to `limits.dense_bits`, the hash-compacted reachable-only kernel
+    /// (seeded from the initial states) beyond. Spec verdicts agree
+    /// between the two modes because the reachable fragment is
+    /// successor-closed and specs are quantified over initial states only.
+    fn checker(&self) -> Result<Checker, cmc_ctl::CheckError> {
+        let bits = self.system.alphabet().len();
+        if bits <= self.limits.dense_bits {
+            Checker::with_limit(&self.system, self.limits.dense_bits)
+        } else {
+            Checker::reachable_from_system(&self.system, &self.init_states, &self.limits)
+        }
+    }
+
+    /// Is `s` in `sat`, whichever index space the checker labels in?
+    fn sat_at(checker: &Checker, sat: &StateSet, s: State) -> bool {
+        checker
+            .index_of_state(s)
+            .is_some_and(|i| sat.contains_index(i))
+    }
+
     /// Check one spec: true iff every initial state satisfies it under the
     /// module's fairness constraints.
     pub fn check_spec(&self, idx: usize) -> Result<bool, cmc_ctl::CheckError> {
-        let checker = Checker::new(&self.system)?;
+        let checker = self.checker()?;
         let f = &self.specs[idx].1;
         let sat = checker.sat_fair(f, &self.fairness)?;
-        Ok(self.init_states.iter().all(|s| sat.contains(*s)))
+        Ok(self
+            .init_states
+            .iter()
+            .all(|s| Self::sat_at(&checker, &sat, *s)))
     }
 
     /// The initial states violating spec `idx` (empty when it holds).
     pub fn violating_init(&self, idx: usize) -> Result<Vec<State>, cmc_ctl::CheckError> {
-        let checker = Checker::new(&self.system)?;
+        let checker = self.checker()?;
         let f = &self.specs[idx].1;
         let sat = checker.sat_fair(f, &self.fairness)?;
         Ok(self
             .init_states
             .iter()
             .copied()
-            .filter(|s| !sat.contains(*s))
+            .filter(|s| !Self::sat_at(&checker, &sat, *s))
             .collect())
     }
 
@@ -368,7 +422,7 @@ impl ExplicitCompiled {
     /// Check an arbitrary bit-level formula under a restriction whose
     /// fairness is *added to* the module's own.
     pub fn check_formula(&self, r: &Restriction, f: &Formula) -> Result<bool, cmc_ctl::CheckError> {
-        let checker = Checker::new(&self.system)?;
+        let checker = self.checker()?;
         let mut fairness = self.fairness.clone();
         fairness.extend(r.fairness.iter().cloned());
         let sat = checker.sat_fair(f, &fairness)?;
@@ -376,7 +430,7 @@ impl ExplicitCompiled {
         Ok(self
             .init_states
             .iter()
-            .all(|s| !init_extra.contains(*s) || sat.contains(*s)))
+            .all(|s| !Self::sat_at(&checker, &init_extra, *s) || Self::sat_at(&checker, &sat, *s)))
     }
 }
 
@@ -730,11 +784,53 @@ mod tests {
     }
 
     #[test]
-    fn bit_budget_enforced() {
+    fn state_budget_enforced_in_states_not_bits() {
+        // 25 booleans = 2^25 ≈ 33.5M valid states: past the default
+        // 2^21-state budget, refused before any enumeration happens.
         let vars: String = (0..25).map(|i| format!("v{i} : boolean;\n")).collect();
-        let err = compile_explicit(&parse_module(&format!("MODULE main\nVAR {vars}")).unwrap())
-            .unwrap_err();
-        assert!(err.0.contains("limited to 20 bits"));
+        let module = parse_module(&format!("MODULE main\nVAR {vars}")).unwrap();
+        let err = compile_explicit(&module).unwrap_err();
+        assert!(err.0.contains("budgeted to"), "{}", err.0);
+        // The same width clears a raised budget (the guard counts valid
+        // states, not encoded bits) — use a tiny module to keep it fast.
+        let small = parse_module("MODULE main\nVAR x : boolean;").unwrap();
+        let tight = ExplicitLimits::budgeted(1);
+        let err = compile_explicit_with(&small, &tight).unwrap_err();
+        assert!(err.0.contains("model has 2 valid states"), "{}", err.0);
+        assert!(compile_explicit_with(&small, &ExplicitLimits::budgeted(2)).is_ok());
+    }
+
+    /// Past `dense_bits`, spec checking runs the reachable-only kernel
+    /// seeded from the initial states — verdicts must match the dense
+    /// kernel's on the same module.
+    #[test]
+    fn wide_specs_check_reachable_only() {
+        let vars: String = (0..3).map(|i| format!("s{i} : {{a, b, c}};\n")).collect();
+        let assigns: String = (0..3)
+            .map(|i| format!("init(s{i}) := a; next(s{i}) := case s{i} = a : b; 1 : s{i}; esac;\n"))
+            .collect();
+        let src = format!(
+            "MODULE main\nVAR {vars}ASSIGN {assigns}SPEC AG (s0 = c -> AX s0 = c)\nSPEC EF s1 = b"
+        );
+        let module = parse_module(&src).unwrap();
+        let dense = compile_explicit(&module).unwrap(); // 6 bits ≤ 24: dense
+        let narrow = ExplicitLimits {
+            dense_bits: 4,
+            ..ExplicitLimits::default()
+        };
+        let reachable = compile_explicit_with(&module, &narrow).unwrap();
+        for idx in 0..2 {
+            assert_eq!(
+                dense.check_spec(idx).unwrap(),
+                reachable.check_spec(idx).unwrap(),
+                "kernels disagree on spec {idx}"
+            );
+            assert_eq!(
+                dense.violating_init(idx).unwrap(),
+                reachable.violating_init(idx).unwrap()
+            );
+        }
+        assert!(dense.check_spec(0).unwrap() && dense.check_spec(1).unwrap());
     }
 
     /// The decisive test: symbolic and explicit compilation of the same

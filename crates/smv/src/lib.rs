@@ -45,11 +45,12 @@ pub mod token;
 pub use ast::{Expr, Module, Type};
 pub use check::{check_module, SemError, Symbols};
 pub use cmc_core::BackendChoice;
+pub use cmc_ctl::ExplicitLimits;
 pub use compile::{compile, CompiledModel, CompiledVar};
 pub use compose::{compile_composition, compile_expansion, union_variables};
 pub use driver::{
     run_refine, run_source, run_source_validated, run_source_with_backend, run_source_with_store,
     run_source_with_store_and_backend, DriverError, RunOutcome,
 };
-pub use explicit::{compile_explicit, ExplicitCompiled, EXPLICIT_BIT_LIMIT};
+pub use explicit::{compile_explicit, compile_explicit_with, ExplicitCompiled};
 pub use parse::{parse_module, SmvParseError};

@@ -246,6 +246,71 @@ pub fn gen_obligation(seed: u64, cfg: &GenConfig) -> Obligation {
     }
 }
 
+/// Generate one **wide** obligation from `seed`: a ring of `props`
+/// two-proposition stations (station `i` owns `{v_i, v_{i+1 mod props}}`,
+/// always carrying the token-pass arc `{v_i} → {v_{i+1}}` plus a couple of
+/// random *popcount-non-increasing* local arcs) under an initial condition
+/// that pins every proposition, placing at most two tokens. Transitions
+/// never mint tokens, so the reachable fragment stays combinatorially
+/// small (assignments with ≤ 2 set bits) even though `2^props` dwarfs the
+/// dense universe — these obligations exercise the arbitrary-width
+/// explicit kernel against the symbolic engine, past where the reference
+/// evaluator (and any dense enumeration) can follow.
+pub fn gen_wide_obligation(seed: u64, props: usize, cfg: &GenConfig) -> Obligation {
+    use rand::SeedableRng;
+    assert!(props >= 3, "a ring needs at least 3 stations");
+    // Decorrelate from the other obligation streams.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x91de_0b11_6a71_0a5e);
+    let names = prop_names(0, props);
+    // Local states over [v_i, v_j] with popcount(target) ≤ popcount(source)
+    // and source ≠ target: token moves, drops, and merges — never mints.
+    const SHRINKING_ARCS: [(u128, u128); 7] =
+        [(1, 0), (2, 0), (1, 2), (2, 1), (3, 1), (3, 2), (3, 0)];
+    let systems: Vec<System> = (0..props)
+        .map(|i| {
+            let local = vec![names[i].clone(), names[(i + 1) % props].clone()];
+            let mut m = System::new(Alphabet::new(local.clone()));
+            m.add_transition_named(&[local[0].as_str()], &[local[1].as_str()]);
+            for _ in 0..rng.gen_range(0..=cfg.max_transitions.min(3)) {
+                let (s, t) = SHRINKING_ARCS[rng.gen_range(0..SHRINKING_ARCS.len())];
+                m.add_transition(State(s), State(t));
+            }
+            m
+        })
+        .collect();
+
+    // Pin every proposition: one token at v0, possibly a second elsewhere.
+    let second = rng.gen_range(0..props);
+    let init = Formula::and_many(names.iter().enumerate().map(|(i, n)| {
+        let p = Formula::ap(n.clone());
+        if i == 0 || i == second {
+            p
+        } else {
+            p.not()
+        }
+    }));
+    let stratum = match rng.gen_range(0..8) {
+        0 | 1 => Stratum::Universal,
+        2 | 3 => Stratum::Existential,
+        4 => Stratum::Guarantee,
+        5 => Stratum::AxStep,
+        _ => Stratum::Free,
+    };
+    let formula = gen_formula(&mut rng, &names, cfg.max_depth, stratum);
+    let n_fair = rng.gen_range(0..=1);
+    let fairness: Vec<Formula> = (0..n_fair)
+        .map(|_| gen_propositional(&mut rng, &names, 1))
+        .collect();
+
+    Obligation {
+        seed,
+        systems,
+        restriction: Restriction::new(init, fairness),
+        formula,
+        stratum,
+    }
+}
+
 /// Generate one **partitioned** obligation from `seed`: always a
 /// composition of 2–4 components whose alphabets form an overlapping
 /// chain over the union (component `i` shares at least one proposition

@@ -25,13 +25,13 @@ pub mod reference;
 pub mod validate;
 
 pub use gen::{
-    gen_obligation, gen_partitioned_obligation, gen_sim_pair, GenConfig, Obligation, SimPair,
-    SimPairKind, Stratum,
+    gen_obligation, gen_partitioned_obligation, gen_sim_pair, gen_wide_obligation, GenConfig,
+    Obligation, SimPair, SimPairKind, Stratum,
 };
 pub use oracle::{
-    run_obligation, run_obligation_with, run_quad_obligation, run_sim_pair, shrink, shrink_quad,
-    shrink_with, Disagreement, OracleOutcome, QuadDisagreement, QuadOutcome, QuadVerdict,
-    SimOracleOutcome, TripleVerdict,
+    run_obligation, run_obligation_with, run_quad_obligation, run_sim_pair, run_wide_obligation,
+    shrink, shrink_quad, shrink_with, Disagreement, OracleOutcome, QuadDisagreement, QuadOutcome,
+    QuadVerdict, SimOracleOutcome, TripleVerdict, WideOutcome, WideVerdict,
 };
 pub use reference::{
     naive_simulates, NaiveSimulation, RefError, RefEvaluator, NAIVE_SIM_MAX_PROPS,

@@ -541,6 +541,99 @@ pub fn run_quad_obligation(o: &Obligation) -> QuadOutcome {
     }
 }
 
+/// The two verdicts of the wide-composition oracle, in a fixed order.
+/// Past the dense-universe width there is no reference evaluator (it
+/// materialises `2^Σ`), so the cross-check is the hash-compacted
+/// reachable-only explicit kernel against the symbolic engine — two
+/// independent implementations of the same restricted semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WideVerdict {
+    /// The reachable-only explicit kernel's `holds`.
+    pub explicit: bool,
+    /// The symbolic backend's `holds`.
+    pub symbolic: bool,
+    /// States the explicit kernel materialised (its interned universe).
+    pub reachable_states: u64,
+}
+
+impl WideVerdict {
+    /// Do the two engines agree?
+    pub fn agrees(&self) -> bool {
+        self.explicit == self.symbolic
+    }
+}
+
+/// Outcome of running one wide obligation through the two-way oracle.
+#[derive(Debug)]
+pub enum WideOutcome {
+    /// Both engines agree (and the explicit leg really ran reachable).
+    Agree(WideVerdict),
+    /// The engines disagree; a rendered report.
+    Disagree(String),
+    /// The obligation could not be run (e.g. the reachable fragment
+    /// exceeded the state budget) — skipped, honestly.
+    Skipped(String),
+}
+
+/// Run one wide obligation (see
+/// [`gen_wide_obligation`](crate::gen::gen_wide_obligation)) through the
+/// reachable-only explicit kernel and the symbolic engine. The target must
+/// exceed the dense width — the point is to exercise the arbitrary-width
+/// path, and a dense run would silently test the wrong kernel.
+pub fn run_wide_obligation(o: &Obligation) -> WideOutcome {
+    let target = Target::composition(o.systems.to_vec());
+    // A tighter budget than the production default: an oracle corpus wants
+    // many small cross-checks, and a seed whose reachable fragment runs
+    // away is better skipped in milliseconds than enumerated for minutes.
+    let limits = cmc_ctl::ExplicitLimits {
+        max_states: Some(1 << 16),
+        ..cmc_ctl::ExplicitLimits::default()
+    };
+    let explicit =
+        match ExplicitBackend::with_limits(limits).check(&target, &o.restriction, &o.formula) {
+            Ok(v) => v,
+            Err(e) => return WideOutcome::Skipped(format!("explicit: {e}")),
+        };
+    let Some(reachable_states) = explicit.stats.reachable_states else {
+        return WideOutcome::Skipped(
+            "target fits the dense universe; not a wide obligation".into(),
+        );
+    };
+    let symbolic = match SymbolicBackend::default().check(&target, &o.restriction, &o.formula) {
+        Ok(v) => v,
+        Err(e) => return WideOutcome::Skipped(format!("symbolic: {e}")),
+    };
+    let v = WideVerdict {
+        explicit: explicit.holds,
+        symbolic: symbolic.holds,
+        reachable_states,
+    };
+    if v.agrees() {
+        return WideOutcome::Agree(v);
+    }
+    let mut report = String::new();
+    use std::fmt::Write;
+    let _ = writeln!(report, "=== WIDE-COMPOSITION DISAGREEMENT ===");
+    let _ = writeln!(
+        report,
+        "verdicts: explicit={} symbolic={} ({} reachable states)",
+        v.explicit, v.symbolic, v.reachable_states
+    );
+    let _ = writeln!(report, "formula:  {}", o.formula);
+    let _ = writeln!(report, "init:     {}", o.restriction.init);
+    for (i, c) in o.restriction.fairness.iter().enumerate() {
+        let _ = writeln!(report, "fair[{i}]:  {c}");
+    }
+    let _ = writeln!(
+        report,
+        "stations: {} over {} propositions (seed {})",
+        o.systems.len(),
+        target.width(),
+        o.seed
+    );
+    WideOutcome::Disagree(report)
+}
+
 /// Outcome of running one simulation pair through the three checkers.
 #[derive(Debug)]
 pub enum SimOracleOutcome {
@@ -698,6 +791,31 @@ mod tests {
                 OracleOutcome::Disagree(d) => panic!("seed {seed} disagreed:\n{d}"),
             }
         }
+    }
+
+    #[test]
+    fn wide_corpus_agrees_past_the_dense_width() {
+        let cfg = GenConfig::default();
+        let mut agreed = 0usize;
+        let mut skipped = 0usize;
+        for seed in 0..30 {
+            let o = crate::gen::gen_wide_obligation(seed, 26, &cfg);
+            match run_wide_obligation(&o) {
+                WideOutcome::Agree(v) => {
+                    agreed += 1;
+                    assert!(v.reachable_states >= 1, "seed {seed}: empty fragment");
+                }
+                WideOutcome::Skipped(why) => {
+                    println!("seed {seed} skipped: {why}");
+                    skipped += 1;
+                }
+                WideOutcome::Disagree(d) => panic!("seed {seed} disagreed:\n{d}"),
+            }
+        }
+        assert!(
+            agreed >= 20,
+            "only {agreed} agreements in 30 wide seeds ({skipped} skipped)"
+        );
     }
 
     #[test]

@@ -1,13 +1,18 @@
-//! Boundary tests for the two explicit-engine size limits: a model *at*
-//! the limit must be accepted; one past it must be rejected. Guards
-//! against off-by-one regressions in `Checker::with_limit`, the
+//! Boundary tests for the explicit engine's size limits, now unified
+//! behind [`ExplicitLimits`]: the dense-universe width (`dense_bits`) is a
+//! *mode switch* — past it the engine goes reachable-only rather than
+//! refusing — and the only hard guard left is the opt-in state budget
+//! (`max_states`), measured in materialised states, not encoded bits.
+//! Guards against off-by-one regressions in `Checker::with_limit`, the
 //! `ExplicitBackend`, and the SMV driver's explicit compilation.
 
 use compositional_mc::core::{Backend, BackendChoice, BackendError, ExplicitBackend, Target};
-use compositional_mc::ctl::{CheckError, Checker, Formula, Restriction, MAX_EXPLICIT_PROPS};
+use compositional_mc::ctl::{
+    CheckError, Checker, ExplicitLimits, Formula, Restriction, MAX_EXPLICIT_PROPS,
+};
 use compositional_mc::kripke::{Alphabet, System};
 use compositional_mc::smv::{
-    compile_explicit, parse_module, run_source_with_backend, EXPLICIT_BIT_LIMIT,
+    compile_explicit, compile_explicit_with, parse_module, run_source_with_backend,
 };
 
 fn wide_system(n: usize) -> System {
@@ -16,7 +21,8 @@ fn wide_system(n: usize) -> System {
 }
 
 #[test]
-fn checker_accepts_exactly_max_explicit_props() {
+fn dense_checker_accepts_exactly_max_explicit_props() {
+    assert_eq!(MAX_EXPLICIT_PROPS, ExplicitLimits::DEFAULT_DENSE_BITS);
     let at = wide_system(MAX_EXPLICIT_PROPS);
     assert!(
         Checker::new(&at).is_ok(),
@@ -50,22 +56,54 @@ fn checker_custom_limit_boundary_still_checks() {
 }
 
 #[test]
-fn explicit_backend_accepts_exactly_its_limit() {
-    let backend = ExplicitBackend {
-        limit: 3,
-        ..ExplicitBackend::default()
-    };
+fn explicit_backend_widths_past_dense_bits_go_reachable_not_rejected() {
+    let backend = ExplicitBackend::with_limits(ExplicitLimits {
+        dense_bits: 3,
+        max_states: None,
+    });
     let at = Target::system(wide_system(3));
     let v = backend
         .check(&at, &Restriction::trivial(), &Formula::True)
         .unwrap();
     assert!(v.holds);
+    assert!(v.sat_states.is_some(), "dense mode counts the universe");
 
+    // One bit past dense_bits: the old engine refused with TooLarge; now
+    // the reachable kernel enumerates the 16 initial states and checks.
     let past = Target::system(wide_system(4));
-    let err = backend
+    let v = backend
+        .check(&past, &Restriction::trivial(), &Formula::True)
+        .unwrap();
+    assert!(v.holds);
+    assert_eq!(v.stats.reachable_states, Some(16));
+    assert_eq!(v.sat_states, None, "reachable mode has no universe count");
+}
+
+#[test]
+fn explicit_backend_state_budget_is_the_only_hard_guard() {
+    let tight = ExplicitBackend::with_limits(ExplicitLimits {
+        dense_bits: 3,
+        max_states: Some(8),
+    });
+    // 2^4 = 16 initial states exceed an 8-state budget: honest refusal
+    // before materialising anything.
+    let past = Target::system(wide_system(4));
+    let err = tight
         .check(&past, &Restriction::trivial(), &Formula::True)
         .unwrap_err();
-    assert!(matches!(err, BackendError::TooLarge { props: 4, .. }));
+    assert!(
+        matches!(err, BackendError::StateBudget { budget: 8, .. }),
+        "{err}"
+    );
+    // Exactly at the budget is accepted.
+    let at = Target::system(wide_system(3));
+    let v = ExplicitBackend::with_limits(ExplicitLimits {
+        dense_bits: 2,
+        max_states: Some(8),
+    })
+    .check(&at, &Restriction::trivial(), &Formula::True)
+    .unwrap();
+    assert_eq!(v.stats.reachable_states, Some(8));
 }
 
 /// An SMV module with `enums` three-valued variables (2 encoded bits
@@ -90,35 +128,48 @@ fn smv_module(enums: usize, bools: usize) -> String {
 }
 
 #[test]
-fn smv_explicit_accepts_exactly_the_bit_limit() {
-    // 10 three-valued enums = 20 encoded bits = EXPLICIT_BIT_LIMIT, but
-    // only 3^10 = 59049 concrete states to enumerate.
-    assert_eq!(EXPLICIT_BIT_LIMIT, 20, "update this test with the limit");
+fn smv_explicit_budget_counts_states_not_bits() {
+    // 10 three-valued enums: 20 encoded bits, 3^10 = 59049 valid states.
+    // The old 20-bit cliff sat exactly here; the state budget sails past
+    // it and the boundary is now the exact state count.
     let at = parse_module(&smv_module(10, 0)).unwrap();
-    let compiled = compile_explicit(&at).expect("bits == EXPLICIT_BIT_LIMIT must compile");
-    assert_eq!(compiled.system.alphabet().len(), EXPLICIT_BIT_LIMIT);
-
-    let past = parse_module(&smv_module(10, 1)).unwrap();
-    let err = compile_explicit(&past).unwrap_err();
+    assert!(compile_explicit(&at).is_ok());
+    assert!(compile_explicit_with(&at, &ExplicitLimits::budgeted(59049)).is_ok());
+    let err = compile_explicit_with(&at, &ExplicitLimits::budgeted(59048)).unwrap_err();
     assert!(
-        err.to_string().contains("21"),
-        "error should name the offending bit count: {err}"
+        err.to_string().contains("59049"),
+        "error should name the offending state count: {err}"
     );
+
+    // 21 bits (the old hard rejection) now compiles fine by default:
+    // 118098 states is well under the default budget.
+    let past_old_cliff = parse_module(&smv_module(10, 1)).unwrap();
+    let compiled = compile_explicit(&past_old_cliff).expect("21 bits must compile now");
+    assert_eq!(compiled.system.alphabet().len(), 21);
 }
 
 #[test]
-fn smv_driver_explicit_and_auto_accept_the_bit_limit() {
+fn smv_driver_auto_routes_by_state_count() {
+    // 3^10 = 59049 ≤ 2^16: Auto keeps the explicit engine even though the
+    // encoding is 20 bits wide.
     let src = smv_module(10, 0);
-    // Forced explicit: at the limit the driver must not reject.
     let out = run_source_with_backend(&src, BackendChoice::Explicit)
-        .expect("explicit driver must accept a 20-bit model");
+        .expect("explicit driver must accept a 59049-state model");
     assert!(out.all_true());
-    // Auto at the limit also stays on the explicit engine.
     let out = run_source_with_backend(&src, BackendChoice::Auto).unwrap();
     assert!(out.all_true());
     assert!(
         out.report.contains("explicit"),
-        "auto at the bit limit should pick the explicit engine:\n{}",
+        "auto under the state threshold should pick the explicit engine:\n{}",
+        out.report
+    );
+    // Doubling past 2^16 states flips Auto to the symbolic engine.
+    let wide = smv_module(10, 1);
+    let out = run_source_with_backend(&wide, BackendChoice::Auto).unwrap();
+    assert!(out.all_true());
+    assert!(
+        out.report.contains("symbolic"),
+        "auto past the state threshold should pick the symbolic engine:\n{}",
         out.report
     );
 }
