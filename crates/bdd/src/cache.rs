@@ -36,6 +36,8 @@ pub(crate) struct ComputedTable {
     hits: u64,
     misses: u64,
     evictions: u64,
+    and_exists_hits: u64,
+    and_exists_misses: u64,
 }
 
 impl ComputedTable {
@@ -47,21 +49,32 @@ impl ComputedTable {
             hits: 0,
             misses: 0,
             evictions: 0,
+            and_exists_hits: 0,
+            and_exists_misses: 0,
         }
     }
 
     pub(crate) fn get(&mut self, key: &CacheKey) -> Option<u32> {
         if let Some(&r) = self.cur.get(key) {
             self.hits += 1;
+            if key.0 == Op::AndExists {
+                self.and_exists_hits += 1;
+            }
             return Some(r);
         }
         if let Some(&r) = self.prev.get(key) {
             self.hits += 1;
+            if key.0 == Op::AndExists {
+                self.and_exists_hits += 1;
+            }
             // Promote so hot entries survive the next rotation.
             self.put(*key, r);
             return Some(r);
         }
         self.misses += 1;
+        if key.0 == Op::AndExists {
+            self.and_exists_misses += 1;
+        }
         None
     }
 
@@ -129,12 +142,25 @@ impl ComputedTable {
         self.evictions
     }
 
+    /// Hits attributed to [`Op::AndExists`] keys alone — the relational-product
+    /// memo whose locality the quantification scheduler is trying to improve.
+    pub(crate) fn and_exists_hits(&self) -> u64 {
+        self.and_exists_hits
+    }
+
+    /// Misses attributed to [`Op::AndExists`] keys alone.
+    pub(crate) fn and_exists_misses(&self) -> u64 {
+        self.and_exists_misses
+    }
+
     /// Fold another table's counters into this one (rehosting carries the
     /// session-cumulative numbers into the replacement manager).
     pub(crate) fn absorb_counters(&mut self, other: &ComputedTable) {
         self.hits += other.hits;
         self.misses += other.misses;
         self.evictions += other.evictions;
+        self.and_exists_hits += other.and_exists_hits;
+        self.and_exists_misses += other.and_exists_misses;
     }
 }
 
@@ -185,5 +211,24 @@ mod tests {
         assert_eq!(t.get(&(Op::Exists, 1, 2, 0)), Some(5));
         assert_eq!(t.hits(), 1);
         assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    fn and_exists_counters_only_count_and_exists_keys() {
+        let mut t = ComputedTable::new(16);
+        assert_eq!(t.get(&(Op::Ite, 1, 2, 3)), None);
+        assert_eq!(t.get(&(Op::AndExists, 1, 2, 3)), None);
+        t.put((Op::AndExists, 1, 2, 3), 7);
+        assert_eq!(t.get(&(Op::AndExists, 1, 2, 3)), Some(7));
+        assert_eq!(t.and_exists_hits(), 1);
+        assert_eq!(t.and_exists_misses(), 1);
+        // The generic counters see every lookup.
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 2);
+
+        let mut sink = ComputedTable::new(16);
+        sink.absorb_counters(&t);
+        assert_eq!(sink.and_exists_hits(), 1);
+        assert_eq!(sink.and_exists_misses(), 1);
     }
 }

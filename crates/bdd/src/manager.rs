@@ -605,6 +605,77 @@ impl BddManager {
         acc
     }
 
+    /// Choose a fold order for [`BddManager::and_exists_multi`] that
+    /// quantifies each cube variable at the earliest legal conjunct.
+    ///
+    /// Greedy IWLS-style live-span minimisation: at every step the conjunct
+    /// that *closes* the most still-open cube variables (i.e. is the last
+    /// unplaced conjunct mentioning them, so they quantify out right there)
+    /// is placed next; ties break toward the smaller support footprint,
+    /// then the smaller diagram, then declaration order — so the schedule
+    /// is deterministic for a fixed manager state. The returned vector is a
+    /// permutation of `0..parts.len()`; any permutation computes the same
+    /// function (see [`BddManager::and_exists_multi`]), so the choice is
+    /// purely a cost heuristic.
+    pub fn schedule_conjuncts(&self, parts: &[Bdd], cube: Bdd) -> Vec<usize> {
+        let cube_set: crate::hash::FxHashSet<u32> =
+            self.cube_vars(cube).into_iter().map(|v| v.0).collect();
+        // Per-conjunct support, split into quantified / free footprint.
+        let supports: Vec<Vec<u32>> = parts
+            .iter()
+            .map(|&p| self.support(p).into_iter().map(|v| v.0).collect())
+            .collect();
+        let sizes: Vec<usize> = parts.iter().map(|&p| self.node_count(p)).collect();
+        // How many *unplaced* conjuncts still mention each cube variable.
+        let mut mentions: FxHashMap<u32, usize> = FxHashMap::default();
+        for s in &supports {
+            for &v in s {
+                if cube_set.contains(&v) {
+                    *mentions.entry(v).or_insert(0) += 1;
+                }
+            }
+        }
+        let n = parts.len();
+        let mut placed = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut best: Option<(usize, usize, usize, usize)> = None;
+            for (i, s) in supports.iter().enumerate() {
+                if placed[i] {
+                    continue;
+                }
+                let closes = s
+                    .iter()
+                    .filter(|v| mentions.get(v).copied() == Some(1))
+                    .count();
+                // Maximise closes; minimise support then node count.
+                let key = (usize::MAX - closes, s.len(), sizes[i], i);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+            let (_, _, _, i) = best.expect("an unplaced conjunct remains");
+            placed[i] = true;
+            for &v in &supports[i] {
+                if let Some(m) = mentions.get_mut(&v) {
+                    *m -= 1;
+                }
+            }
+            order.push(i);
+        }
+        order
+    }
+
+    /// [`BddManager::and_exists_multi`] under the cost-driven permutation
+    /// chosen by [`BddManager::schedule_conjuncts`] instead of declaration
+    /// order. Semantically identical to the unscheduled fold for every
+    /// input; only peak intermediate size differs.
+    pub fn and_exists_multi_scheduled(&mut self, parts: &[Bdd], cube: Bdd) -> Bdd {
+        let order = self.schedule_conjuncts(parts, cube);
+        let permuted: Vec<Bdd> = order.iter().map(|&i| parts[i]).collect();
+        self.and_exists_multi(&permuted, cube)
+    }
+
     /// Is `f` a positive cube (a conjunction of positive literals)?
     pub fn is_cube(&self, mut f: Bdd) -> bool {
         while !f.is_const() {
@@ -755,6 +826,8 @@ impl BddManager {
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             cache_evictions: self.cache.evictions(),
+            and_exists_hits: self.cache.and_exists_hits(),
+            and_exists_misses: self.cache.and_exists_misses(),
             gc_runs: self.gc_runs,
             gc_reclaimed: self.gc_reclaimed,
             variables: self.num_vars as usize,
@@ -862,6 +935,45 @@ mod tests {
         for perm in [[p1, p0, p2], [p2, p1, p0], [p1, p2, p0], [p2, p0, p1]] {
             assert_eq!(m.and_exists_multi(&perm, cube), mono, "schedule varies");
         }
+    }
+
+    #[test]
+    fn schedule_conjuncts_is_a_permutation_and_scheduled_fold_agrees() {
+        let (mut m, l) = setup(6);
+        // A chain of overlapping conjuncts with distinct support footprints.
+        let p0 = m.or(l[0], l[1]);
+        let p1 = m.iff(l[1], l[2]);
+        let p2 = m.and(l[2], l[3]);
+        let p3 = {
+            let n4 = m.not(l[4]);
+            m.or(n4, l[5])
+        };
+        let parts = [p0, p1, p2, p3];
+        let cube = m.cube(&[Var(1), Var(2), Var(4)]);
+        let order = m.schedule_conjuncts(&parts, cube);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3], "must be a permutation");
+        // Determinism: same manager state, same schedule.
+        assert_eq!(order, m.schedule_conjuncts(&parts, cube));
+        // The scheduled fold computes the declaration-order function.
+        let fixed = m.and_exists_multi(&parts, cube);
+        let scheduled = m.and_exists_multi_scheduled(&parts, cube);
+        assert_eq!(scheduled, fixed);
+    }
+
+    #[test]
+    fn scheduler_closes_variables_before_opening_new_ones() {
+        let (mut m, l) = setup(4);
+        // x0 appears only in p0; x3 only in p2; p1 touches nothing quantified.
+        let p0 = m.and(l[0], l[1]);
+        let p1 = m.iff(l[1], l[2]);
+        let p2 = m.or(l[3], l[2]);
+        let cube = m.cube(&[Var(0), Var(3)]);
+        let order = m.schedule_conjuncts(&[p0, p1, p2], cube);
+        // p0 and p2 each close a quantified variable immediately; p1 closes
+        // none, so the greedy pass must place it last.
+        assert_eq!(order[2], 1, "the closure-free conjunct goes last");
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub struct BddStats {
     pub cache_misses: u64,
     /// Entries dropped by generational computed-table rotation.
     pub cache_evictions: u64,
+    /// Computed-table hits attributed to `and_exists` relational-product
+    /// keys alone — the memo the quantification scheduler optimises for.
+    pub and_exists_hits: u64,
+    /// Computed-table misses attributed to `and_exists` keys alone.
+    pub and_exists_misses: u64,
     /// Mark-and-sweep collections run.
     pub gc_runs: u64,
     /// Total nodes reclaimed across all collections.
@@ -47,6 +52,17 @@ impl BddStats {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// `and_exists` computed-table hit rate in `[0, 1]` (0 when the
+    /// relational product never ran).
+    pub fn and_exists_hit_rate(&self) -> f64 {
+        let total = self.and_exists_hits + self.and_exists_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.and_exists_hits as f64 / total as f64
         }
     }
 }
@@ -83,6 +99,11 @@ impl fmt::Display for ResourceReport {
             self.stats.gc_runs, self.stats.gc_reclaimed
         )?;
         writeln!(f, "cache evictions: {}", self.stats.cache_evictions)?;
+        writeln!(
+            f,
+            "and-exists cache: {} hits / {} misses",
+            self.stats.and_exists_hits, self.stats.and_exists_misses
+        )?;
         write!(
             f,
             "BDD nodes representing transition relation: {} + {}",
@@ -104,6 +125,8 @@ mod tests {
             cache_hits: 0,
             cache_misses: 0,
             cache_evictions: 0,
+            and_exists_hits: 0,
+            and_exists_misses: 0,
             gc_runs: 0,
             gc_reclaimed: 0,
             variables: 0,
@@ -145,6 +168,7 @@ mod tests {
         assert!(text.contains("Bytes allocated: 1245134"));
         assert!(text.contains("BDD nodes live: 280 (peak 390)"));
         assert!(text.contains("garbage collections: 2 (reclaimed 123 nodes)"));
+        assert!(text.contains("and-exists cache: 0 hits / 0 misses"));
         assert!(text.contains("transition relation: 43 + 7"));
     }
 }

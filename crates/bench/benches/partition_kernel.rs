@@ -4,11 +4,14 @@
 //! Two comparisons, both on obligations other artifacts already price:
 //!
 //! * **Symbolic:** the same `EF t[n/2]` obligation as
-//!   `BENCH_symbolic.json`, checked once with the partitioned relation
-//!   (per-component conjuncts, early quantification — the default) and
-//!   once with the memoised monolithic relation. The product relation is
-//!   never built on the partitioned path; the monolithic leg is the
-//!   measurable baseline it replaces.
+//!   `BENCH_symbolic.json`, checked with the fixed-order partitioned
+//!   relation, with the cost-driven scheduled image (cluster merging +
+//!   greedy ordering), and with the memoised monolithic relation. The
+//!   product relation is never built on the partitioned/scheduled paths;
+//!   the monolithic leg is the measurable baseline they replace. The
+//!   largest ring also runs a cluster-merge-threshold sweep
+//!   (`merge_node_limit` 0/16/64/256) and records a scheduled-vs-fixed
+//!   acceptance row (≥1.3× wall or ≥20 % peak-live-node reduction).
 //! * **Explicit:** the same `t0 -> AX (t0 | t1)` and `EF t[n/2]`
 //!   obligations as `BENCH_explicit.json`, swept over 1/2/4/8 workers on
 //!   the block-partitioned CSR kernels. Both paths decide the same sets,
@@ -31,7 +34,7 @@ use cmc_ctl::{parse, Formula, Restriction};
 use cmc_kripke::System;
 use cmc_smv::compile_explicit;
 use cmc_store::json::Json;
-use cmc_symbolic::ImageMode;
+use cmc_symbolic::{ImageMode, ScheduleConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
@@ -104,20 +107,41 @@ fn emit_summary(c: &mut Criterion) {
     let sym_sizes: &[usize] = if quick { &[8, 12] } else { &[20, 30] };
     let mut sym_series = Vec::new();
     let mut sym_acceptance = Json::Null;
+    let mut sched_acceptance = Json::Null;
+    let mut merge_sweep = Vec::new();
     for &n in sym_sizes {
         let target = Target::composition(stations(n));
         let f = ef_goal(n);
 
         let part_backend = SymbolicBackend::default().with_image_mode(ImageMode::Partitioned);
+        let sched_backend = SymbolicBackend::default().with_image_mode(ImageMode::Scheduled);
         let mono_backend = SymbolicBackend::default().with_image_mode(ImageMode::Monolithic);
 
         let v = part_backend.check(&target, &r, &f).unwrap();
         let expected = v.sat_states;
         let partitions = v.stats.partitions;
         let threads = v.stats.threads;
+        let part_peak = v.stats.bdd.map_or(0, |b| b.peak_live_nodes);
+        // Every timed scheduled iteration is also a differential check
+        // against the partitioned leg's exact sat count.
+        let sv = sched_backend.check(&target, &r, &f).unwrap();
+        assert_eq!(sv.sat_states, expected, "scheduled image diverged at {n}");
+        let sched_peak = sv.stats.bdd.map_or(0, |b| b.peak_live_nodes);
+        let (clusters_before, clusters_after, replans) =
+            sv.stats.schedule.as_ref().map_or((0, 0, 0), |s| {
+                (s.clusters_before, s.clusters_after, s.replans)
+            });
+
         let part_ns = mean_ns(
             || {
                 let v = part_backend.check(&target, &r, &f).unwrap();
+                assert_eq!(v.sat_states, expected);
+            },
+            iters,
+        );
+        let sched_ns = mean_ns(
+            || {
+                let v = sched_backend.check(&target, &r, &f).unwrap();
                 assert_eq!(v.sat_states, expected);
             },
             iters,
@@ -135,8 +159,15 @@ fn emit_summary(c: &mut Criterion) {
             ("partitions".into(), Json::int(partitions as u64)),
             ("threads".into(), Json::int(threads as u64)),
             ("partitioned_ns".into(), Json::Num(part_ns)),
+            ("scheduled_ns".into(), Json::Num(sched_ns)),
             ("monolithic_ns".into(), Json::Num(mono_ns)),
             ("speedup".into(), Json::Num(mono_ns / part_ns)),
+            ("scheduled_speedup".into(), Json::Num(part_ns / sched_ns)),
+            ("partitioned_peak_live".into(), Json::int(part_peak as u64)),
+            ("scheduled_peak_live".into(), Json::int(sched_peak as u64)),
+            ("clusters_before".into(), Json::int(clusters_before as u64)),
+            ("clusters_after".into(), Json::int(clusters_after as u64)),
+            ("replans".into(), Json::int(replans)),
         ]));
         // The acceptance row is the largest ring in the sweep (30
         // stations in a full run): the partitioned image — which never
@@ -160,6 +191,60 @@ fn emit_summary(c: &mut Criterion) {
                 ),
                 ("beats_recorded_baseline".into(), beats),
             ]);
+            // Scheduled-mode acceptance against the fixed-order
+            // partitioned leg, same host, same run: a ≥1.3× wall-time
+            // speedup OR a ≥20 % peak-live-node reduction counts.
+            let wall_speedup = part_ns / sched_ns;
+            let peak_drop_pct = if part_peak > 0 {
+                100.0 * (part_peak as f64 - sched_peak as f64) / part_peak as f64
+            } else {
+                0.0
+            };
+            sched_acceptance = Json::Obj(vec![
+                ("stations".into(), Json::int(n as u64)),
+                ("partitioned_ns".into(), Json::Num(part_ns)),
+                ("scheduled_ns".into(), Json::Num(sched_ns)),
+                ("wall_speedup".into(), Json::Num(wall_speedup)),
+                ("partitioned_peak_live".into(), Json::int(part_peak as u64)),
+                ("scheduled_peak_live".into(), Json::int(sched_peak as u64)),
+                ("peak_live_reduction_pct".into(), Json::Num(peak_drop_pct)),
+                (
+                    "meets_target".into(),
+                    Json::Bool(wall_speedup >= 1.3 || peak_drop_pct >= 20.0),
+                ),
+            ]);
+            // Cluster-merge-threshold sweep: how hard the merge policy is
+            // allowed to pre-conjoin, from "ordering only" (no_merging)
+            // through increasingly permissive node limits.
+            let sweep_limits: &[usize] = if quick { &[0, 64] } else { &[0, 16, 64, 256] };
+            for &limit in sweep_limits {
+                let cfg = if limit == 0 {
+                    ScheduleConfig::no_merging()
+                } else {
+                    ScheduleConfig {
+                        merge_node_limit: limit,
+                        ..ScheduleConfig::default()
+                    }
+                };
+                let backend = sched_backend.with_schedule(cfg);
+                let v = backend.check(&target, &r, &f).unwrap();
+                assert_eq!(v.sat_states, expected, "merge sweep diverged at {limit}");
+                let peak = v.stats.bdd.map_or(0, |b| b.peak_live_nodes);
+                let after = v.stats.schedule.as_ref().map_or(0, |s| s.clusters_after);
+                let wall = mean_ns(
+                    || {
+                        let v = backend.check(&target, &r, &f).unwrap();
+                        assert_eq!(v.sat_states, expected);
+                    },
+                    iters,
+                );
+                merge_sweep.push(Json::Obj(vec![
+                    ("merge_node_limit".into(), Json::int(limit as u64)),
+                    ("clusters_after".into(), Json::int(after as u64)),
+                    ("wall_ns".into(), Json::Num(wall)),
+                    ("peak_live".into(), Json::int(peak as u64)),
+                ]));
+            }
         }
     }
 
@@ -289,6 +374,15 @@ fn emit_summary(c: &mut Criterion) {
                     ),
                 ),
                 (
+                    "scheduled".into(),
+                    Json::Str(
+                        "cost-driven quantification schedule: overlap/size-triggered \
+                         cluster merging plus greedy cost-model ordering, adaptive \
+                         re-plan on 2x growth divergence (bit-identical to partitioned)"
+                            .into(),
+                    ),
+                ),
+                (
                     "monolithic".into(),
                     Json::Str("root-memoised full transition relation (the seed strategy)".into()),
                 ),
@@ -304,6 +398,8 @@ fn emit_summary(c: &mut Criterion) {
         ),
         ("symbolic".into(), Json::Arr(sym_series)),
         ("symbolic_acceptance".into(), sym_acceptance),
+        ("scheduled_acceptance".into(), sched_acceptance),
+        ("merge_threshold_sweep".into(), Json::Arr(merge_sweep)),
         ("explicit".into(), Json::Obj(explicit)),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_partition.json");

@@ -33,7 +33,8 @@ use cmc_ctl::{
 };
 use cmc_kripke::{Alphabet, SimulationOutcome, State, System};
 use cmc_symbolic::{
-    simulates_symbolic, ImageMode, MaintenanceConfig, SymbolicError, SymbolicModel,
+    simulates_symbolic, ImageMode, MaintenanceConfig, ScheduleConfig, ScheduleStats, SymbolicError,
+    SymbolicModel,
 };
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -416,6 +417,10 @@ pub struct CheckStats {
     /// The `Auto` cost-model decision that led here ([`None`] when the
     /// check was not routed, e.g. a backend invoked directly).
     pub route: Option<RouteDecision>,
+    /// The quantification schedule an [`ImageMode::Scheduled`] symbolic
+    /// check used — cluster counts before/after merging, the processing
+    /// permutation, and re-plans triggered ([`None`] otherwise).
+    pub schedule: Option<ScheduleStats>,
 }
 
 /// Unified result of a backend check — the shape shared by both engines.
@@ -592,6 +597,7 @@ impl Backend for ExplicitBackend {
                     threads: checker.workers(),
                     reachable_states: None,
                     route: None,
+                    schedule: None,
                 },
             })
         } else {
@@ -615,6 +621,7 @@ impl Backend for ExplicitBackend {
                     threads: checker.workers(),
                     reachable_states: Some(checker.universe() as u64),
                     route: None,
+                    schedule: None,
                 },
             })
         }
@@ -633,9 +640,13 @@ pub struct SymbolicBackend {
     pub maintenance: Option<MaintenanceConfig>,
     /// Computed-table segment capacity, in entries.
     pub cache_capacity: Option<usize>,
-    /// Image strategy: partitioned early quantification (the default) or
-    /// the memoised monolithic relation. `None` keeps the model default.
+    /// Image strategy: partitioned early quantification (the default),
+    /// the memoised monolithic relation, or cost-driven scheduling.
+    /// `None` keeps the model default.
     pub image_mode: Option<ImageMode>,
+    /// Merge/cost-model knobs for [`ImageMode::Scheduled`]. `None` keeps
+    /// the model defaults.
+    pub schedule: Option<ScheduleConfig>,
 }
 
 impl SymbolicBackend {
@@ -658,6 +669,13 @@ impl SymbolicBackend {
     /// partitioned product is benchmarked against.
     pub fn with_image_mode(mut self, mode: ImageMode) -> Self {
         self.image_mode = Some(mode);
+        self
+    }
+
+    /// Override the scheduler's merge/cost-model knobs (builder style).
+    /// Only [`ImageMode::Scheduled`] reads them.
+    pub fn with_schedule(mut self, cfg: ScheduleConfig) -> Self {
+        self.schedule = Some(cfg);
         self
     }
 }
@@ -688,6 +706,9 @@ impl Backend for SymbolicBackend {
         }
         if let Some(mode) = self.image_mode {
             model.set_image_mode(mode);
+        }
+        if let Some(cfg) = self.schedule {
+            model.set_schedule_config(cfg);
         }
         let v = model.check(r, f)?;
         let n = model.num_state_vars();
@@ -732,6 +753,7 @@ impl Backend for SymbolicBackend {
                 threads: 1,
                 reachable_states: None,
                 route: None,
+                schedule: model.schedule_stats(),
             },
         })
     }

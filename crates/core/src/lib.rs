@@ -68,6 +68,9 @@ pub use backend::{
     AUTO_CROSSOVER_STATES, AUTO_DENSE_BITS, MAX_WITNESSES,
 };
 pub use cmc_ctl::ExplicitLimits;
+pub use cmc_symbolic::{
+    ImageMode, MaintenanceConfig, MaintenanceMode, ScheduleConfig, ScheduleStats,
+};
 pub use engine::{Certificate, Component, Engine, EngineError, Step, Substitution};
 pub use property::{classify, ClassRule, Classified, PropertyClass};
 pub use report::VerificationReport;

@@ -465,6 +465,7 @@ fn render_report(compiled: &CompiledModel, lines: Vec<String>, user_time: Durati
          BDD nodes live: {} (peak {})\n\
          garbage collections: {} (reclaimed {} nodes)\n\
          cache evictions: {}\n\
+         and-exists cache: {} hits / {} misses\n\
          transition relation: {} conjunctive partition(s), early quantification\n\
          BDD nodes representing transition relation: {} + {}\n",
         user_time.as_secs_f64(),
@@ -475,10 +476,19 @@ fn render_report(compiled: &CompiledModel, lines: Vec<String>, user_time: Durati
         stats.gc_runs,
         stats.gc_reclaimed,
         stats.cache_evictions,
+        stats.and_exists_hits,
+        stats.and_exists_misses,
         parts.len(),
         trans_nodes,
         aux
     ));
+    if let Some(sched) = compiled.model.schedule_stats() {
+        report.push_str(&format!(
+            "quantification schedule: {} cluster(s) merged from {} partition(s), \
+             {} re-plan(s)\n",
+            sched.clusters_after, sched.clusters_before, sched.replans
+        ));
+    }
     report
 }
 
@@ -656,6 +666,10 @@ mod tests {
         assert!(out.report.contains("-- specification AF x is true"));
         assert!(out.report.contains("BDD nodes allocated:"));
         assert!(out.report.contains("transition relation:"));
+        assert!(out.report.contains("and-exists cache:"));
+        // The compiled model checks under the quantification scheduler,
+        // so the trailer reports the plan it used.
+        assert!(out.report.contains("quantification schedule:"));
     }
 
     #[test]

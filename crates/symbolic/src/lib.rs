@@ -43,6 +43,9 @@ pub mod simulation;
 pub mod witness;
 
 pub use checker::{SymbolicError, SymbolicVerdict};
-pub use model::{ImageMode, MaintenanceConfig, MaintenanceMode, StateVar, SymbolicModel};
+pub use model::{
+    ImageMode, MaintenanceConfig, MaintenanceMode, ScheduleConfig, ScheduleStats, StateVar,
+    SymbolicModel,
+};
 pub use simulation::simulates_symbolic;
 pub use witness::{NamedState, Trace};

@@ -92,6 +92,68 @@ pub enum ImageMode {
     /// their frames, memoised in a registry root) — the ablation baseline
     /// and one leg of the partition-conformance oracle.
     Monolithic,
+    /// Cost-driven quantification scheduling: partitions are pre-merged
+    /// into clusters (per [`ScheduleConfig`]) and images walk the clusters
+    /// in a cost-model order instead of declaration order. Semantically
+    /// identical to [`ImageMode::Partitioned`] — images distribute over
+    /// the disjunctive union, so any clustering and any order computes the
+    /// same set; only per-call overhead and peak live nodes differ.
+    Scheduled,
+}
+
+/// Cost-model and merge-policy knobs for [`ImageMode::Scheduled`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleConfig {
+    /// Partitions whose local relation is at most this many nodes are
+    /// merge candidates regardless of overlap — tiny stutter-step parts
+    /// stop paying a full relational-product call each. `0` disables
+    /// size-triggered merging.
+    pub merge_node_limit: usize,
+    /// Merge a pair when their owned-variable sets overlap by at least
+    /// this percentage of the smaller set. `> 100` disables
+    /// overlap-triggered merging.
+    pub merge_overlap_pct: u32,
+    /// Never grow a merged cluster beyond this many owned variables
+    /// (bounds the materialised partial frames).
+    pub max_cluster_vars: usize,
+}
+
+impl Default for ScheduleConfig {
+    fn default() -> Self {
+        ScheduleConfig {
+            merge_node_limit: 64,
+            merge_overlap_pct: 50,
+            max_cluster_vars: 8,
+        }
+    }
+}
+
+impl ScheduleConfig {
+    /// Keep one cluster per partition (ordering still applies).
+    pub fn no_merging() -> Self {
+        ScheduleConfig {
+            merge_node_limit: 0,
+            merge_overlap_pct: 101,
+            ..Self::default()
+        }
+    }
+}
+
+/// The schedule an [`ImageMode::Scheduled`] run actually used — surfaced
+/// through `CheckStats` and the SMV `-r` trailer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// Declared partitions before merging.
+    pub clusters_before: usize,
+    /// Clusters after merging.
+    pub clusters_after: usize,
+    /// Cluster processing order (a permutation of `0..clusters_after`).
+    pub order: Vec<usize>,
+    /// For each cluster, the indices of the declared partitions it
+    /// absorbed (singleton for unmerged partitions).
+    pub members: Vec<Vec<usize>>,
+    /// Re-plans triggered by the adaptive feedback loop.
+    pub replans: u64,
 }
 
 /// One disjunctive transition partition: a component's **local move
@@ -109,6 +171,38 @@ struct TransPart {
     /// Ascending indices into `SymbolicModel::vars` of the owned variables
     /// (those whose next-state value the partition constrains).
     owned: Vec<usize>,
+}
+
+/// One merged cluster of the quantification schedule. Merging member
+/// partitions `A` and `B` (disjunctive!) materialises each member's frame
+/// over the *symmetric difference* of the owned sets only:
+/// `rel = (relA ∧ frame(O_B∖O_A)) ∨ (relB ∧ frame(O_A∖O_B))`, owned
+/// `O_A ∪ O_B`. The image through the merged cluster is then exactly the
+/// union of the member images — images distribute over `∨` — so any merge
+/// plan preserves `pre`/`post` bit-for-bit while cutting the number of
+/// relational-product calls per image.
+struct SchedCluster {
+    /// Indices into `SymbolicModel::trans_parts` of the member partitions.
+    members: Vec<usize>,
+    /// Ascending union of the members' owned-variable indices.
+    owned: Vec<usize>,
+    /// Merged local move relation (partial frames materialised), held in
+    /// the root registry so GC and rehosting keep it alive.
+    rel: RootId,
+}
+
+/// A cached quantification schedule: the merge plan plus the cost-model
+/// processing order, and the growth estimate the adaptive re-plan trigger
+/// compares against.
+struct QuantSchedule {
+    clusters: Vec<SchedCluster>,
+    /// Cluster processing order (permutation of `0..clusters.len()`).
+    order: Vec<usize>,
+    /// `peak_live_nodes` when the plan was made.
+    planned_peak: usize,
+    /// Predicted extra live nodes the schedule should cost; measured
+    /// growth ≥ 2× this re-triggers planning at the next safe point.
+    est_growth: usize,
 }
 
 /// A symbolic finite-state system: initial states, a transition relation in
@@ -138,6 +232,13 @@ pub struct SymbolicModel {
     full_trans_memo: Option<RootId>,
     /// Image strategy for `pre_exists`/`post_exists`.
     image_mode: ImageMode,
+    /// Merge/cost-model knobs for [`ImageMode::Scheduled`].
+    sched_config: ScheduleConfig,
+    /// Cached quantification schedule (built on first scheduled image;
+    /// invalidated when a partition is added or the config changes).
+    schedule: Option<QuantSchedule>,
+    /// Re-plans triggered by the adaptive feedback loop.
+    sched_replans: u64,
     /// Initial-state predicate over current variables.
     init: RootId,
     /// Fairness constraints over current variables.
@@ -190,6 +291,9 @@ impl SymbolicModel {
             trans_parts: Vec::new(),
             full_trans_memo: None,
             image_mode: ImageMode::default(),
+            sched_config: ScheduleConfig::default(),
+            schedule: None,
+            sched_replans: 0,
             init,
             fairness: Vec::new(),
             cur_cube,
@@ -289,6 +393,7 @@ impl SymbolicModel {
         if let Some(root) = self.full_trans_memo.take() {
             self.mgr.unprotect(root);
         }
+        self.drop_schedule();
     }
 
     /// Number of disjunctive transition partitions.
@@ -310,6 +415,39 @@ impl SymbolicModel {
     /// The active image strategy.
     pub fn image_mode(&self) -> ImageMode {
         self.image_mode
+    }
+
+    /// Install merge/cost-model knobs for [`ImageMode::Scheduled`]
+    /// (invalidates any cached schedule so the next image re-plans).
+    pub fn set_schedule_config(&mut self, cfg: ScheduleConfig) {
+        self.sched_config = cfg;
+        self.drop_schedule();
+    }
+
+    /// The active schedule configuration.
+    pub fn schedule_config(&self) -> &ScheduleConfig {
+        &self.sched_config
+    }
+
+    /// The schedule the last [`ImageMode::Scheduled`] image used, or `None`
+    /// when no scheduled image has run since the last invalidation.
+    pub fn schedule_stats(&self) -> Option<ScheduleStats> {
+        self.schedule.as_ref().map(|s| ScheduleStats {
+            clusters_before: self.trans_parts.len(),
+            clusters_after: s.clusters.len(),
+            order: s.order.clone(),
+            members: s.clusters.iter().map(|c| c.members.clone()).collect(),
+            replans: self.sched_replans,
+        })
+    }
+
+    /// Drop the cached schedule, releasing its merged-cluster roots.
+    fn drop_schedule(&mut self) {
+        if let Some(sched) = self.schedule.take() {
+            for c in sched.clusters {
+                self.mgr.unprotect(c.rel);
+            }
+        }
     }
 
     /// Set the initial-state predicate.
@@ -432,6 +570,34 @@ impl SymbolicModel {
                 }
             }
         }
+        self.maybe_replan();
+    }
+
+    /// The adaptive feedback loop of [`ImageMode::Scheduled`]: when
+    /// measured node growth since planning diverges ≥2× from the
+    /// schedule's estimate, re-score and re-merge — after a sift + rehost
+    /// when the live set is large enough to be worth reordering, so the
+    /// fresh plan sees post-sift node counts and co-located cluster
+    /// variables. Verdict-invariant by construction (any plan computes the
+    /// same images), so this can fire at any safe point.
+    fn maybe_replan(&mut self) {
+        if self.image_mode != ImageMode::Scheduled {
+            return;
+        }
+        let Some(sched) = &self.schedule else { return };
+        let grown = self
+            .mgr
+            .stats()
+            .peak_live_nodes
+            .saturating_sub(sched.planned_peak);
+        if grown < sched.est_growth.saturating_mul(2) {
+            return;
+        }
+        if self.mgr.stats().live_nodes >= self.maintenance.rehost_threshold {
+            self.rehost_now();
+        }
+        self.build_schedule();
+        self.sched_replans += 1;
     }
 
     /// Look up a memoised `fair_states` result (valid: the memo is cleared
@@ -493,12 +659,18 @@ impl SymbolicModel {
     fn part_with_frame(&mut self, i: usize) -> Bdd {
         let rel = self.mgr.root(self.trans_parts[i].rel);
         let owned = &self.trans_parts[i].owned;
-        let lit_pairs: Vec<(Bdd, Bdd)> = self
-            .vars
+        let foreign: Vec<usize> = (0..self.vars.len())
+            .filter(|vi| owned.binary_search(vi).is_err())
+            .collect();
+        let frame = self.frame_over(&foreign);
+        self.mgr.and(rel, frame)
+    }
+
+    /// Frame condition `⋀_{vi ∈ indices} v' = v` over variable indices.
+    fn frame_over(&mut self, indices: &[usize]) -> Bdd {
+        let lit_pairs: Vec<(Bdd, Bdd)> = indices
             .iter()
-            .enumerate()
-            .filter(|(vi, _)| owned.binary_search(vi).is_err())
-            .map(|(_, sv)| (sv.cur, sv.next))
+            .map(|&vi| (self.vars[vi].cur, self.vars[vi].next))
             .collect::<Vec<_>>()
             .into_iter()
             .map(|(c, n)| {
@@ -507,8 +679,7 @@ impl SymbolicModel {
                 (cb, nb)
             })
             .collect();
-        let frame = self.mgr.pairwise_iff(&lit_pairs);
-        self.mgr.and(rel, frame)
+        self.mgr.pairwise_iff(&lit_pairs)
     }
 
     /// The monolithic transition relation: the union of all partitions
@@ -557,6 +728,13 @@ impl SymbolicModel {
     pub fn pre_image_part(&mut self, i: usize, s: Bdd) -> Bdd {
         let rel = self.mgr.root(self.trans_parts[i].rel);
         let owned = self.trans_parts[i].owned.clone();
+        self.pre_image_owned(rel, &owned, s)
+    }
+
+    /// Backward image through one local relation owning exactly the
+    /// variables at `owned` — the shared closed form behind
+    /// [`SymbolicModel::pre_image_part`] and the merged-cluster images.
+    fn pre_image_owned(&mut self, rel: Bdd, owned: &[usize], s: Bdd) -> Bdd {
         let rename: Vec<(Var, Var)> = owned
             .iter()
             .map(|&vi| (self.vars[vi].cur, self.vars[vi].next))
@@ -574,6 +752,12 @@ impl SymbolicModel {
     pub fn post_image_part(&mut self, i: usize, s: Bdd) -> Bdd {
         let rel = self.mgr.root(self.trans_parts[i].rel);
         let owned = self.trans_parts[i].owned.clone();
+        self.post_image_owned(rel, &owned, s)
+    }
+
+    /// Forward image through one local relation owning exactly the
+    /// variables at `owned` (see [`SymbolicModel::pre_image_owned`]).
+    fn post_image_owned(&mut self, rel: Bdd, owned: &[usize], s: Bdd) -> Bdd {
         let cur_vars: Vec<Var> = owned.iter().map(|&vi| self.vars[vi].cur).collect();
         let rename: Vec<(Var, Var)> = owned
             .iter()
@@ -593,15 +777,27 @@ impl SymbolicModel {
     /// never built. [`ImageMode::Monolithic`] computes the same set
     /// against the memoised product relation instead.
     pub fn pre_exists(&mut self, s: Bdd) -> Bdd {
-        if self.image_mode == ImageMode::Monolithic {
-            return self.pre_exists_monolithic(s);
+        match self.image_mode {
+            ImageMode::Monolithic => self.pre_exists_monolithic(s),
+            ImageMode::Partitioned => {
+                let mut acc = s; // identity partition: S itself
+                for i in 0..self.trans_parts.len() {
+                    let img = self.pre_image_part(i, s);
+                    acc = self.mgr.or(acc, img);
+                }
+                acc
+            }
+            ImageMode::Scheduled => {
+                let plan = self.scheduled_plan();
+                let mut acc = s; // identity partition: S itself
+                for (rel_root, owned) in plan {
+                    let rel = self.mgr.root(rel_root);
+                    let img = self.pre_image_owned(rel, &owned, s);
+                    acc = self.mgr.or(acc, img);
+                }
+                acc
+            }
         }
-        let mut acc = s; // identity partition: S itself
-        for i in 0..self.trans_parts.len() {
-            let img = self.pre_image_part(i, s);
-            acc = self.mgr.or(acc, img);
-        }
-        acc
     }
 
     /// `EX S` computed against the **monolithic** transition relation
@@ -619,20 +815,187 @@ impl SymbolicModel {
 
     /// Forward image: successors of `S` under the transition relation.
     pub fn post_exists(&mut self, s: Bdd) -> Bdd {
-        if self.image_mode == ImageMode::Monolithic {
-            // The memoised relation contains the identity, so the result
-            // already includes the stutter successors `S` itself.
-            let trans = self.full_trans_rooted();
-            let cur_cube = self.cur_cube();
-            let img_next = self.mgr.and_exists(trans, s, cur_cube);
-            return self.mgr.rename(img_next, &self.next_to_cur);
+        match self.image_mode {
+            ImageMode::Monolithic => {
+                // The memoised relation contains the identity, so the result
+                // already includes the stutter successors `S` itself.
+                let trans = self.full_trans_rooted();
+                let cur_cube = self.cur_cube();
+                let img_next = self.mgr.and_exists(trans, s, cur_cube);
+                self.mgr.rename(img_next, &self.next_to_cur)
+            }
+            ImageMode::Partitioned => {
+                let mut acc = s; // identity partition
+                for i in 0..self.trans_parts.len() {
+                    let img = self.post_image_part(i, s);
+                    acc = self.mgr.or(acc, img);
+                }
+                acc
+            }
+            ImageMode::Scheduled => {
+                let plan = self.scheduled_plan();
+                let mut acc = s; // identity partition
+                for (rel_root, owned) in plan {
+                    let rel = self.mgr.root(rel_root);
+                    let img = self.post_image_owned(rel, &owned, s);
+                    acc = self.mgr.or(acc, img);
+                }
+                acc
+            }
         }
-        let mut acc = s; // identity partition
-        for i in 0..self.trans_parts.len() {
-            let img = self.post_image_part(i, s);
-            acc = self.mgr.or(acc, img);
+    }
+
+    /// The cached schedule's cluster relations and owned sets, in
+    /// processing order — building the schedule on first use. Returns
+    /// registry handles so the plan stays valid across the images the
+    /// caller is about to run (no maintenance happens inside an image).
+    fn scheduled_plan(&mut self) -> Vec<(RootId, Vec<usize>)> {
+        self.ensure_schedule();
+        let sched = self.schedule.as_ref().expect("schedule just built");
+        sched
+            .order
+            .iter()
+            .map(|&c| (sched.clusters[c].rel, sched.clusters[c].owned.clone()))
+            .collect()
+    }
+
+    fn ensure_schedule(&mut self) {
+        if self.schedule.is_none() {
+            self.build_schedule();
         }
-        acc
+    }
+
+    /// Compute and cache the quantification schedule: greedy cluster
+    /// merging followed by cost-model ordering.
+    ///
+    /// **Merging** repeatedly picks the admissible pair with the largest
+    /// owned-set overlap (ties: smallest combined relation) and merges it.
+    /// A pair is admissible when the merged owned set stays within
+    /// [`ScheduleConfig::max_cluster_vars`] and either both relations are
+    /// at most [`ScheduleConfig::merge_node_limit`] nodes or the owned
+    /// overlap reaches [`ScheduleConfig::merge_overlap_pct`] of the
+    /// smaller set (see [`SchedCluster`] for why the merged relation is an
+    /// exact disjunctive combination).
+    ///
+    /// **Ordering** sorts clusters by ascending cost
+    /// `|support| · |owned| + nodes` — the static cost model over
+    /// support-set size, owned-next-var count and estimated node growth —
+    /// tie-breaking toward the earliest owned variable in the manager
+    /// order. Cheap, low-footprint clusters run first so each next-state
+    /// variable is quantified while the accumulated union (and the
+    /// computed table's working set) is still small; expensive clusters
+    /// run last against a warm cache.
+    fn build_schedule(&mut self) {
+        self.drop_schedule();
+        let cfg = self.sched_config;
+        // Working clusters: (members, owned, rel as a plain handle —
+        // safe: no maintenance runs during planning).
+        let mut work: Vec<(Vec<usize>, Vec<usize>, Bdd)> = (0..self.trans_parts.len())
+            .map(|i| {
+                (
+                    vec![i],
+                    self.trans_parts[i].owned.clone(),
+                    self.mgr.root(self.trans_parts[i].rel),
+                )
+            })
+            .collect();
+        let mut sizes: Vec<usize> = work.iter().map(|c| self.mgr.node_count(c.2)).collect();
+        loop {
+            let mut best: Option<(usize, usize, usize, usize)> = None; // (i, j, overlap, nodes)
+            for i in 0..work.len() {
+                for j in i + 1..work.len() {
+                    let (oi, oj) = (&work[i].1, &work[j].1);
+                    let overlap = oi.iter().filter(|v| oj.binary_search(v).is_ok()).count();
+                    let union_len = oi.len() + oj.len() - overlap;
+                    if union_len > cfg.max_cluster_vars {
+                        continue;
+                    }
+                    let tiny = cfg.merge_node_limit > 0
+                        && sizes[i] <= cfg.merge_node_limit
+                        && sizes[j] <= cfg.merge_node_limit;
+                    let overlapping = overlap > 0
+                        && (overlap * 100) as u64
+                            >= u64::from(cfg.merge_overlap_pct) * oi.len().min(oj.len()) as u64;
+                    if !(tiny || overlapping) {
+                        continue;
+                    }
+                    let nodes = sizes[i] + sizes[j];
+                    let better = match best {
+                        None => true,
+                        Some((_, _, bo, bn)) => overlap > bo || (overlap == bo && nodes < bn),
+                    };
+                    if better {
+                        best = Some((i, j, overlap, nodes));
+                    }
+                }
+            }
+            let Some((i, j, _, _)) = best else { break };
+            let (mj, oj, rj) = work.remove(j);
+            let (mi, oi, ri) = work.remove(i);
+            sizes.remove(j);
+            sizes.remove(i);
+            let only_i: Vec<usize> = oi
+                .iter()
+                .copied()
+                .filter(|v| oj.binary_search(v).is_err())
+                .collect();
+            let only_j: Vec<usize> = oj
+                .iter()
+                .copied()
+                .filter(|v| oi.binary_search(v).is_err())
+                .collect();
+            // rel = (relᵢ ∧ frame(O_j∖O_i)) ∨ (relⱼ ∧ frame(O_i∖O_j))
+            let frame_j = self.frame_over(&only_j);
+            let lhs = self.mgr.and(ri, frame_j);
+            let frame_i = self.frame_over(&only_i);
+            let rhs = self.mgr.and(rj, frame_i);
+            let rel = self.mgr.or(lhs, rhs);
+            let mut members = mi;
+            members.extend(mj);
+            members.sort_unstable();
+            let mut owned = oi;
+            owned.extend(only_j);
+            owned.sort_unstable();
+            sizes.push(self.mgr.node_count(rel));
+            work.push((members, owned, rel));
+        }
+        // Cost-model ordering.
+        let mut keyed: Vec<(usize, usize, usize)> = work
+            .iter()
+            .enumerate()
+            .map(|(c, (_, owned, rel))| {
+                let support = self.mgr.support(*rel).len();
+                let cost = support * owned.len().max(1) + sizes[c];
+                let first_owned = owned
+                    .iter()
+                    .map(|&vi| self.vars[vi].cur.index())
+                    .min()
+                    .unwrap_or(usize::MAX);
+                (cost, first_owned, c)
+            })
+            .collect();
+        keyed.sort_unstable();
+        let order: Vec<usize> = keyed.into_iter().map(|(_, _, c)| c).collect();
+        // Growth estimate for the adaptive re-plan trigger: images build
+        // intermediate products a small multiple of the cluster relations'
+        // size; divergence past 2× of this at a safe point re-plans.
+        let total_nodes: usize = sizes.iter().sum();
+        let est_growth = (total_nodes * 8).max(1 << 10);
+        let planned_peak = self.mgr.stats().peak_live_nodes;
+        let clusters = work
+            .into_iter()
+            .map(|(members, owned, rel)| SchedCluster {
+                members,
+                owned,
+                rel: self.mgr.protect(rel),
+            })
+            .collect();
+        self.schedule = Some(QuantSchedule {
+            clusters,
+            order,
+            planned_peak,
+            est_growth,
+        });
     }
 
     /// The conjunctive-cluster view of partition `i`: its local move
@@ -1174,7 +1537,98 @@ mod partition_tests {
             clusters.reverse();
             let got = m.mgr().and_exists_multi(&clusters, next_cube);
             assert_eq!(got, want, "partition {i} reversed schedule");
+            // The cost-driven scheduler picks one of those legal
+            // permutations; it must land on the same function.
+            let order = m.mgr().schedule_conjuncts(&clusters, next_cube);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..clusters.len()).collect::<Vec<_>>());
+            let got = m.mgr().and_exists_multi_scheduled(&clusters, next_cube);
+            assert_eq!(got, want, "partition {i} scheduler-chosen permutation");
         }
+    }
+
+    /// `ImageMode::Scheduled` merges the tiny ring stations into fewer
+    /// clusters and still computes bit-identical images in both
+    /// directions; the schedule is cached and surfaced via
+    /// `schedule_stats`.
+    #[test]
+    fn scheduled_images_agree_and_merge_clusters() {
+        let mut ring = Vec::new();
+        for i in 0..6 {
+            let this = format!("t{i}");
+            let next = format!("t{}", (i + 1) % 6);
+            let mut sys = System::new(Alphabet::new([this.clone(), next.clone()]));
+            sys.add_transition_named(&[&this], &[&next]);
+            ring.push(sys);
+        }
+        let refs: Vec<&System> = ring.iter().collect();
+        let mut m = SymbolicModel::from_components(&refs, &Alphabet::empty());
+        let t0 = m.prop("t0").unwrap();
+        let t3 = m.prop("t3").unwrap();
+        let sets = [t0, t3, {
+            let g = m.mgr();
+            g.or(t0, t3)
+        }];
+        for s in sets {
+            let pre_part = m.pre_exists(s);
+            let post_part = m.post_exists(s);
+            m.set_image_mode(ImageMode::Scheduled);
+            assert_eq!(m.pre_exists(s), pre_part, "scheduled pre disagrees");
+            assert_eq!(m.post_exists(s), post_part, "scheduled post disagrees");
+            m.set_image_mode(ImageMode::Partitioned);
+        }
+        let stats = m.schedule_stats().expect("schedule was built");
+        assert_eq!(stats.clusters_before, 6);
+        assert!(
+            stats.clusters_after < stats.clusters_before,
+            "overlapping 2-var stations must merge ({} -> {})",
+            stats.clusters_before,
+            stats.clusters_after
+        );
+        let mut order = stats.order.clone();
+        order.sort_unstable();
+        assert_eq!(order, (0..stats.clusters_after).collect::<Vec<_>>());
+        assert_eq!(stats.replans, 0);
+    }
+
+    /// Disabling merging keeps one cluster per partition, and installing a
+    /// new config or partition invalidates the cached plan.
+    #[test]
+    fn schedule_config_controls_merging_and_invalidation() {
+        let mut ring = Vec::new();
+        for i in 0..4 {
+            let this = format!("t{i}");
+            let next = format!("t{}", (i + 1) % 4);
+            let mut sys = System::new(Alphabet::new([this.clone(), next.clone()]));
+            sys.add_transition_named(&[&this], &[&next]);
+            ring.push(sys);
+        }
+        let refs: Vec<&System> = ring.iter().collect();
+        let mut m = SymbolicModel::from_components(&refs, &Alphabet::empty());
+        m.set_image_mode(ImageMode::Scheduled);
+        m.set_schedule_config(ScheduleConfig::no_merging());
+        let t0 = m.prop("t0").unwrap();
+        let baseline = {
+            m.set_image_mode(ImageMode::Partitioned);
+            let p = m.pre_exists(t0);
+            m.set_image_mode(ImageMode::Scheduled);
+            p
+        };
+        assert_eq!(m.pre_exists(t0), baseline);
+        let stats = m.schedule_stats().unwrap();
+        assert_eq!(stats.clusters_after, stats.clusters_before);
+        // New config → plan dropped until the next image.
+        m.set_schedule_config(ScheduleConfig::default());
+        assert!(m.schedule_stats().is_none());
+        assert_eq!(m.pre_exists(t0), baseline);
+        assert!(m.schedule_stats().unwrap().clusters_after < 4);
+        // New partition → plan dropped again.
+        let stutter = Bdd::TRUE;
+        let nothing_owned: Vec<usize> = Vec::new();
+        m.add_trans_part_owned(stutter, nothing_owned);
+        assert!(m.schedule_stats().is_none());
+        assert_eq!(m.pre_exists(t0), baseline, "stutter part adds nothing");
     }
 
     /// Adding a partition invalidates the memoised monolithic relation.

@@ -249,13 +249,30 @@ pub fn gen_obligation(seed: u64, cfg: &GenConfig) -> Obligation {
 /// Generate one **wide** obligation from `seed`: a ring of `props`
 /// two-proposition stations (station `i` owns `{v_i, v_{i+1 mod props}}`,
 /// always carrying the token-pass arc `{v_i} → {v_{i+1}}` plus a couple of
-/// random *popcount-non-increasing* local arcs) under an initial condition
-/// that pins every proposition, placing at most two tokens. Transitions
-/// never mint tokens, so the reachable fragment stays combinatorially
-/// small (assignments with ≤ 2 set bits) even though `2^props` dwarfs the
-/// dense universe — these obligations exercise the arbitrary-width
-/// explicit kernel against the symbolic engine, past where the reference
-/// evaluator (and any dense enumeration) can follow.
+/// random local arcs) under an initial condition that pins every
+/// proposition, placing at most two tokens. These obligations exercise the
+/// arbitrary-width explicit kernel against the symbolic engine, past where
+/// the reference evaluator (and any dense enumeration) can follow.
+///
+/// The random arcs come from one of three **families**, rotated by seed:
+///
+/// * *shrinking* (`seed % 3 == 0`) — the legacy dense ring with
+///   popcount-non-increasing arcs only (token moves, drops, merges —
+///   never mints), so the reachable fragment stays combinatorially small
+///   (assignments with ≤ 2 set bits);
+/// * *minting* (`seed % 3 == 1`) — a **sparse** ring where only a few
+///   stations are active, one of them carrying a popcount-*increasing*
+///   arc, making reachability non-monotone in token count;
+/// * *mixed* (`seed % 3 == 2`) — the sparse ring with every active
+///   station drawing from the combined pool, biased 3:1 toward
+///   shrinking arcs.
+///
+/// The non-monotone families *must* be sparse: a mint anywhere on a dense
+/// ring cascades through the token-pass arcs until the reachable fragment
+/// approaches `C(props, k)` for climbing `k`, past any oracle budget. With
+/// only a few active stations the mutable bits form short islands and the
+/// fragment stays a product of small local state spaces — wide,
+/// non-monotone, and still enumerable.
 pub fn gen_wide_obligation(seed: u64, props: usize, cfg: &GenConfig) -> Obligation {
     use rand::SeedableRng;
     assert!(props >= 3, "a ring needs at least 3 stations");
@@ -266,13 +283,42 @@ pub fn gen_wide_obligation(seed: u64, props: usize, cfg: &GenConfig) -> Obligati
     // and source ≠ target: token moves, drops, and merges — never mints.
     const SHRINKING_ARCS: [(u128, u128); 7] =
         [(1, 0), (2, 0), (1, 2), (2, 1), (3, 1), (3, 2), (3, 0)];
+    // Popcount-increasing arcs: token mints and duplications.
+    const GROWING_ARCS: [(u128, u128); 5] = [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)];
+    let family = seed % 3;
+    let active: Vec<bool> = if family == 0 {
+        vec![true; props]
+    } else {
+        let mut v = vec![false; props];
+        let mut chosen = 0;
+        while chosen < 5.min(props) {
+            let i = rng.gen_range(0..props);
+            if !v[i] {
+                v[i] = true;
+                chosen += 1;
+            }
+        }
+        v
+    };
+    let minting_station = (0..props).find(|&i| active[i]).unwrap_or(0);
     let systems: Vec<System> = (0..props)
         .map(|i| {
             let local = vec![names[i].clone(), names[(i + 1) % props].clone()];
             let mut m = System::new(Alphabet::new(local.clone()));
+            if !active[i] {
+                return m; // frozen station: stutter only
+            }
             m.add_transition_named(&[local[0].as_str()], &[local[1].as_str()]);
             for _ in 0..rng.gen_range(0..=cfg.max_transitions.min(3)) {
-                let (s, t) = SHRINKING_ARCS[rng.gen_range(0..SHRINKING_ARCS.len())];
+                let (s, t) = if family == 2 && rng.gen_range(0..4) == 0 {
+                    GROWING_ARCS[rng.gen_range(0..GROWING_ARCS.len())]
+                } else {
+                    SHRINKING_ARCS[rng.gen_range(0..SHRINKING_ARCS.len())]
+                };
+                m.add_transition(State(s), State(t));
+            }
+            if family == 1 && i == minting_station {
+                let (s, t) = GROWING_ARCS[rng.gen_range(0..GROWING_ARCS.len())];
                 m.add_transition(State(s), State(t));
             }
             m
@@ -583,6 +629,34 @@ mod tests {
         assert!(
             sizes.len() >= 2,
             "150 seeds should vary the component count, got {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn wide_families_cover_non_monotone_reachability() {
+        let cfg = GenConfig::default();
+        let grows = |o: &Obligation| {
+            o.systems.iter().any(|m| {
+                m.proper_transitions()
+                    .any(|(s, t)| t.0.count_ones() > s.0.count_ones())
+            })
+        };
+        let mut shrinking_only = true;
+        let mut minting = 0usize;
+        let mut mixed_minting = 0usize;
+        for seed in 0..30u64 {
+            let o = gen_wide_obligation(seed, 9, &cfg);
+            match seed % 3 {
+                0 => shrinking_only &= !grows(&o),
+                1 => minting += usize::from(grows(&o)),
+                _ => mixed_minting += usize::from(grows(&o)),
+            }
+        }
+        assert!(shrinking_only, "family 0 must never mint tokens");
+        assert_eq!(minting, 10, "family 1 always carries a minting arc");
+        assert!(
+            mixed_minting >= 3,
+            "mixed family minted in only {mixed_minting}/10 seeds"
         );
     }
 

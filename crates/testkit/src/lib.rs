@@ -60,7 +60,7 @@ pub fn corpus_seeds() -> Vec<u64> {
 /// The partitioned-obligation regression corpus (seeds for
 /// [`gen_partitioned_obligation`]), one seed per line, `#` comments
 /// allowed. A separate file from [`SEED_CORPUS`]: these seeds drive the
-/// *four-way* oracle over multi-component partitions.
+/// *five-way* oracle over multi-component partitions.
 pub const PARTITION_SEED_CORPUS: &str = include_str!("../corpus/partition_seeds.txt");
 
 /// Parse [`PARTITION_SEED_CORPUS`] into seeds.
@@ -80,13 +80,13 @@ pub struct PartitionFuzzReport {
     pub agreed: usize,
     /// Obligations skipped (backend limits).
     pub skipped: usize,
-    /// The first four-way disagreement found, if any.
+    /// The first five-way disagreement found, if any.
     pub failure: Option<QuadDisagreement>,
 }
 
 /// Run `iters` seeded **partitioned** obligations (overlapping-alphabet
 /// component sets from [`gen_partitioned_obligation`]) through the
-/// four-way oracle, stopping at the first disagreement.
+/// five-way oracle, stopping at the first disagreement.
 pub fn partition_fuzz(
     seed0: u64,
     iters: u64,

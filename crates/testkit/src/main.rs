@@ -5,7 +5,7 @@
 //! cargo run -p cmc-testkit --release -- --corpus             # regression corpus
 //! cargo run -p cmc-testkit --release -- --soak N             # one shared symbolic session
 //! cargo run -p cmc-testkit --release -- --sim N              # simulation-pair differential
-//! cargo run -p cmc-testkit --release -- --partition          # four-way partition oracle
+//! cargo run -p cmc-testkit --release -- --partition          # five-way partition oracle
 //! ```
 //!
 //! Exit status 0 means every obligation ran through the explicit backend,
@@ -143,13 +143,13 @@ fn main() {
                 }
             }
         }
-        println!("partition corpus clean: {agreed} obligations, four-way agreement everywhere");
+        println!("partition corpus clean: {agreed} obligations, five-way agreement everywhere");
         return;
     }
 
     if args.partition {
         println!(
-            "fuzzing {} partitioned obligations from seed {} (four-way oracle)",
+            "fuzzing {} partitioned obligations from seed {} (five-way oracle)",
             args.iters, args.seed
         );
         let report = partition_fuzz(args.seed, args.iters, |line| println!("{line}"));
@@ -158,7 +158,7 @@ fn main() {
             std::process::exit(1);
         }
         println!(
-            "done: {} agreed, {} skipped, four-way agreement everywhere",
+            "done: {} agreed, {} skipped, five-way agreement everywhere",
             report.agreed, report.skipped
         );
         return;

@@ -5,9 +5,10 @@
 //! Three pillars:
 //!
 //! 1. a 250-seed sweep of multi-component obligations through the
-//!    **four-way** oracle (partitioned symbolic / monolithic symbolic /
-//!    blocked explicit / naïve reference), with sat counts and witnesses
-//!    cross-validated and partition-coarsening shrinking on failure;
+//!    **five-way** oracle (partitioned symbolic / scheduled symbolic /
+//!    monolithic symbolic / blocked explicit / naïve reference), with sat
+//!    counts and witnesses cross-validated and partition-coarsening
+//!    shrinking on failure;
 //! 2. property tests that **any** early-quantification schedule over a
 //!    conjunctive partition computes the same pre-image as the monolithic
 //!    relation, and that block-parallel frontiers agree with the serial
@@ -27,11 +28,11 @@ use compositional_mc::core::{
 };
 use compositional_mc::ctl::{Checker, Formula, Restriction};
 use compositional_mc::kripke::{Alphabet, State, System};
-use compositional_mc::symbolic::{ImageMode, MaintenanceConfig, SymbolicModel};
+use compositional_mc::symbolic::{ImageMode, MaintenanceConfig, ScheduleConfig, SymbolicModel};
 use proptest::prelude::*;
 
 /// The tentpole acceptance gate: ≥ 250 deterministic multi-component
-/// obligations through the four-way oracle, in full agreement, every
+/// obligations through the five-way oracle, in full agreement, every
 /// backend witness replayed and every exact sat count checked against
 /// the reference (both happen inside the oracle — a bogus witness or
 /// count is reported as a disagreement note).
@@ -131,15 +132,29 @@ proptest! {
             s = m.mgr().or(s, extra);
         }
 
-        // Partitioned vs monolithic pre-image of the same set.
+        // Partitioned vs monolithic vs scheduled (merged-cluster)
+        // pre-image of the same set.
         m.set_image_mode(ImageMode::Partitioned);
         let part = m.pre_exists(s);
         m.set_image_mode(ImageMode::Monolithic);
         let mono = m.pre_exists(s);
         prop_assert_eq!(part, mono, "image modes disagree on pre_exists");
+        m.set_image_mode(ImageMode::Scheduled);
+        let sched = m.pre_exists(s);
+        prop_assert_eq!(sched, mono, "scheduled pre_exists diverged");
+        if let Some(st) = m.schedule_stats() {
+            let mut order = st.order.clone();
+            order.sort_unstable();
+            prop_assert_eq!(
+                order,
+                (0..st.clusters_after).collect::<Vec<_>>(),
+                "schedule order is not a permutation"
+            );
+        }
 
         // Every rotation of every partition's conjunctive clusters
-        // computes the closed-form per-partition pre-image.
+        // computes the closed-form per-partition pre-image — and so does
+        // the cost-model-chosen permutation.
         m.set_image_mode(ImageMode::Partitioned);
         let s_next = m.to_next_frame(s);
         let next_cube = m.next_cube();
@@ -153,6 +168,11 @@ proptest! {
             prop_assert_eq!(
                 scheduled, closed,
                 "cluster schedule (rotation {rot}) disagrees on partition {i}"
+            );
+            let greedy = m.mgr().and_exists_multi_scheduled(&clusters, next_cube);
+            prop_assert_eq!(
+                greedy, closed,
+                "greedy conjunct schedule disagrees on partition {i}"
             );
         }
     }
@@ -323,9 +343,11 @@ fn certificate_steps_identical_across_worker_counts() {
     }
 }
 
-/// The two symbolic image modes and the blocked explicit backend agree on
-/// a deterministic spot-check fleet, as full verdicts (holds, witnesses,
-/// counts) — the direct four-way assertion without the oracle plumbing.
+/// The three symbolic image modes and the blocked explicit backend agree
+/// on a deterministic spot-check fleet, as full verdicts (holds,
+/// witnesses, counts) — the direct assertion without the oracle plumbing.
+/// The scheduled leg must be **bit-identical** to the partitioned one:
+/// same witness list, same exact sat count.
 #[test]
 fn image_modes_and_blocked_explicit_agree_on_fleet() {
     let cfg = GenConfig::default();
@@ -335,6 +357,9 @@ fn image_modes_and_blocked_explicit_agree_on_fleet() {
         let part = SymbolicBackend::default()
             .with_image_mode(ImageMode::Partitioned)
             .check(&target, &o.restriction, &o.formula);
+        let sched = SymbolicBackend::default()
+            .with_image_mode(ImageMode::Scheduled)
+            .check(&target, &o.restriction, &o.formula);
         let mono = SymbolicBackend::default()
             .with_image_mode(ImageMode::Monolithic)
             .check(&target, &o.restriction, &o.formula);
@@ -342,8 +367,8 @@ fn image_modes_and_blocked_explicit_agree_on_fleet() {
             ExplicitBackend::default()
                 .with_workers(4)
                 .check(&target, &o.restriction, &o.formula);
-        let (part, mono, blocked) = match (part, mono, blocked) {
-            (Ok(a), Ok(b), Ok(c)) => (a, b, c),
+        let (part, sched, mono, blocked) = match (part, sched, mono, blocked) {
+            (Ok(a), Ok(s), Ok(b), Ok(c)) => (a, s, b, c),
             other => panic!("seed {seed}: a backend failed: {other:?}"),
         };
         assert_eq!(part.holds, mono.holds, "seed {seed}: image modes split");
@@ -351,9 +376,80 @@ fn image_modes_and_blocked_explicit_agree_on_fleet() {
         assert_eq!(part.sat_states, mono.sat_states, "seed {seed}");
         assert_eq!(part.sat_states, blocked.sat_states, "seed {seed}");
         assert_eq!(part.violating, mono.violating, "seed {seed}");
+        // Scheduled is bit-identical to partitioned, and its schedule
+        // bookkeeping flows into CheckStats.
+        assert_eq!(sched.holds, part.holds, "seed {seed}: scheduled split");
+        assert_eq!(
+            sched.sat_states, part.sat_states,
+            "seed {seed}: scheduled count"
+        );
+        assert_eq!(
+            sched.violating, part.violating,
+            "seed {seed}: scheduled witnesses"
+        );
+        if let Some(st) = &sched.stats.schedule {
+            assert!(
+                st.clusters_after <= st.clusters_before,
+                "seed {seed}: merging grew the cluster count"
+            );
+            let mut order = st.order.clone();
+            order.sort_unstable();
+            assert_eq!(
+                order,
+                (0..st.clusters_after).collect::<Vec<_>>(),
+                "seed {seed}: schedule order is not a permutation"
+            );
+        }
         // Partition bookkeeping flows into the stats: one partition per
         // component that has proper transitions.
         assert!(part.stats.partitions <= o.systems.len(), "seed {seed}");
         assert_eq!(blocked.stats.threads, 4, "seed {seed}");
+    }
+}
+
+/// `ImageMode::Scheduled` is verdict-invariant across worker counts and
+/// schedule configurations: the oracle corpus agrees at 1/2/4/8 workers
+/// whether clusters are merged aggressively or not at all, and under the
+/// most aggressive maintenance policy (which exercises the re-plan path
+/// through rehosting).
+#[test]
+fn scheduled_mode_is_verdict_invariant_across_workers() {
+    let cfg = GenConfig::default();
+    let obligations: Vec<_> = (500..512u64)
+        .map(|seed| gen_partitioned_obligation(seed, &cfg))
+        .collect();
+    let run = |workers: usize, backend: SymbolicBackend| -> Vec<String> {
+        compositional_mc::core::scheduler::run_bounded(obligations.len(), workers, |i| {
+            match run_obligation_with(&obligations[i], backend) {
+                OracleOutcome::Agree(v) => format!("agree:{}", v.symbolic),
+                OracleOutcome::Skipped(why) => format!("skip:{why}"),
+                OracleOutcome::Disagree(d) => format!("disagree:{d}"),
+            }
+        })
+        .into_iter()
+        .map(|r| r.expect("oracle job panicked"))
+        .collect()
+    };
+    let baseline = run(1, SymbolicBackend::default());
+    assert!(
+        baseline.iter().all(|s| s.starts_with("agree:")),
+        "baseline corpus must agree: {baseline:?}"
+    );
+    let scheduled = SymbolicBackend::default().with_image_mode(ImageMode::Scheduled);
+    let unmerged = scheduled.with_schedule(ScheduleConfig::no_merging());
+    let forced = SymbolicBackend::with_maintenance(MaintenanceConfig::forced_every(1))
+        .with_image_mode(ImageMode::Scheduled);
+    for workers in [1usize, 2, 4, 8] {
+        for (label, backend) in [
+            ("scheduled", scheduled),
+            ("scheduled+no-merging", unmerged),
+            ("scheduled+forced-maintenance", forced),
+        ] {
+            assert_eq!(
+                run(workers, backend),
+                baseline,
+                "{label} with {workers} workers changed a verdict"
+            );
+        }
     }
 }
